@@ -1,0 +1,38 @@
+//! Island-style FPGA architecture model and routing-resource graph.
+//!
+//! Reproduces the experimental substrate of the paper (§IV-B): VPR's
+//! `4lut_sanitized.arch` — logic blocks with one 4-LUT and one flip-flop,
+//! IO pads of capacity 2 on the periphery, unit-length wire segments and a
+//! disjoint switch-block pattern — generalised over LUT width, array size,
+//! channel width and connection-block flexibility.
+//!
+//! Two views are provided:
+//!
+//! * [`Architecture`] — the placeable sites and sizing rules ("the square
+//!   area of the FPGA and the channel width were both chosen 20% bigger
+//!   than the minimum needed").
+//! * [`RoutingGraph`] — the routing-resource graph: every programmable
+//!   switch is one configuration bit ([`SwitchId`]), the currency in which
+//!   the paper measures reconfiguration time.
+//!
+//! # Example
+//!
+//! ```
+//! use mm_arch::{Architecture, RoutingGraph, Site, SiteKind};
+//!
+//! let arch = Architecture::new(4, 8, 10);
+//! assert_eq!(arch.site_kind(Site::new(3, 4, 0)), Some(SiteKind::Logic));
+//!
+//! let rrg = RoutingGraph::build(&arch);
+//! // Routing bits dominate LUT bits, the premise of the paper's Fig. 6.
+//! assert!(rrg.switch_count() > arch.total_lut_bits());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod model;
+mod rrg;
+
+pub use model::{Architecture, Site, SiteKind, SwitchPattern};
+pub use rrg::{RoutingGraph, RrEdge, RrKind, RrNode, RrNodeId, SwitchId};

@@ -1,0 +1,308 @@
+//! The island-style FPGA architecture model.
+//!
+//! The model mirrors VPR's `4lut_sanitized.arch`, the architecture used in
+//! the paper's experiments: logic blocks containing one k-LUT and one
+//! flip-flop, IO pads on the periphery, and an interconnect of unit-length
+//! wire segments with a disjoint (planar) switch-block pattern of
+//! flexibility Fs = 3. The LUT width `k`, array size, channel width and
+//! connection-block flexibilities are all parameters, matching the paper's
+//! remark that "the number of inputs of the LUTs is simply an input
+//! parameter of the tool flow".
+
+use std::fmt;
+
+/// A physical location a netlist block can be placed on.
+///
+/// Coordinates follow the VPR convention: the logic array occupies
+/// `1..=n` in both axes, the IO ring sits at coordinate `0` and `n + 1`
+/// (corners are unused). IO locations hold [`Architecture::io_capacity`]
+/// pads, distinguished by `sub`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Site {
+    /// Column, `0..=n + 1`.
+    pub x: u16,
+    /// Row, `0..=n + 1`.
+    pub y: u16,
+    /// Subsite within an IO location (always 0 for logic sites).
+    pub sub: u8,
+}
+
+impl Site {
+    /// Creates a site.
+    #[must_use]
+    pub fn new(x: u16, y: u16, sub: u8) -> Self {
+        Self { x, y, sub }
+    }
+}
+
+impl fmt::Display for Site {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({},{}).{}", self.x, self.y, self.sub)
+    }
+}
+
+/// What kind of block a site can host.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SiteKind {
+    /// A logic block (one k-LUT + one flip-flop).
+    Logic,
+    /// An IO pad position.
+    Io,
+}
+
+/// The switch-block connection pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SwitchPattern {
+    /// The planar/disjoint subset pattern: track `t` connects to track `t`
+    /// on the other sides. Simple, but tracks form disjoint domains, so
+    /// fractional connection-block flexibilities can make pin pairs
+    /// unreachable.
+    #[default]
+    Disjoint,
+    /// A Wilton-style rotating pattern: straight connections keep the
+    /// track, turns shift it by ±1. Routes can migrate between tracks,
+    /// which keeps the fabric routable at low `Fc` (Fs stays 3).
+    Wilton,
+}
+
+/// An island-style FPGA: an `n × n` array of logic blocks surrounded by an
+/// IO ring, with routing channels of `channel_width` unit-length tracks.
+///
+/// # Example
+///
+/// ```
+/// use mm_arch::Architecture;
+///
+/// let arch = Architecture::new(4, 6, 8);
+/// assert_eq!(arch.logic_sites().count(), 36);
+/// // 4 sides × 6 positions × 2 pads.
+/// assert_eq!(arch.io_sites().count(), 48);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Architecture {
+    /// LUT input count of each logic block.
+    pub k: usize,
+    /// Logic-array side length `n`.
+    pub grid: usize,
+    /// Tracks per routing channel.
+    pub channel_width: usize,
+    /// Pads per IO location (VPR's `io_rat`, 2 in `4lut_sanitized`).
+    pub io_capacity: usize,
+    /// Fraction of the adjacent channel's tracks each logic input pin
+    /// connects to (`Fc_in`).
+    pub fc_in: f64,
+    /// Fraction of each adjacent channel's tracks the output pin connects
+    /// to (`Fc_out`).
+    pub fc_out: f64,
+    /// Switch-block connection pattern.
+    pub switch_pattern: SwitchPattern,
+}
+
+impl Architecture {
+    /// Creates an architecture with the `4lut_sanitized` defaults for the
+    /// flexibility parameters (fully connected pins, `io_rat` 2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `grid` or `channel_width` is zero, or `k` outside `1..=6`.
+    #[must_use]
+    pub fn new(k: usize, grid: usize, channel_width: usize) -> Self {
+        assert!((1..=6).contains(&k), "k must be in 1..=6");
+        assert!(grid >= 1, "grid must be positive");
+        assert!(channel_width >= 1, "channel width must be positive");
+        Self {
+            k,
+            grid,
+            channel_width,
+            io_capacity: 2,
+            fc_in: 1.0,
+            fc_out: 1.0,
+            switch_pattern: SwitchPattern::Disjoint,
+        }
+    }
+
+    /// Returns a copy with a different switch-block pattern.
+    #[must_use]
+    pub fn with_switch_pattern(mut self, pattern: SwitchPattern) -> Self {
+        self.switch_pattern = pattern;
+        self
+    }
+
+    /// Returns a copy with a different channel width (used by the
+    /// minimum-channel-width search).
+    #[must_use]
+    pub fn with_channel_width(mut self, w: usize) -> Self {
+        assert!(w >= 1, "channel width must be positive");
+        self.channel_width = w;
+        self
+    }
+
+    /// Returns a copy with the given connection-block flexibilities.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both fractions are in `(0, 1]`.
+    #[must_use]
+    pub fn with_fc(mut self, fc_in: f64, fc_out: f64) -> Self {
+        assert!(fc_in > 0.0 && fc_in <= 1.0, "fc_in must be in (0,1]");
+        assert!(fc_out > 0.0 && fc_out <= 1.0, "fc_out must be in (0,1]");
+        self.fc_in = fc_in;
+        self.fc_out = fc_out;
+        self
+    }
+
+    /// The kind of block `site` can host, or `None` for the unused corner
+    /// positions and out-of-range coordinates.
+    #[must_use]
+    pub fn site_kind(&self, site: Site) -> Option<SiteKind> {
+        let n = self.grid as u16;
+        let (x, y) = (site.x, site.y);
+        let on_x_ring = x == 0 || x == n + 1;
+        let on_y_ring = y == 0 || y == n + 1;
+        if x > n + 1 || y > n + 1 {
+            None
+        } else if on_x_ring && on_y_ring {
+            None // corner
+        } else if on_x_ring || on_y_ring {
+            (usize::from(site.sub) < self.io_capacity).then_some(SiteKind::Io)
+        } else {
+            (site.sub == 0).then_some(SiteKind::Logic)
+        }
+    }
+
+    /// Iterates over all logic sites (row-major).
+    pub fn logic_sites(&self) -> impl Iterator<Item = Site> {
+        let n = self.grid as u16;
+        (1..=n).flat_map(move |y| (1..=n).map(move |x| Site::new(x, y, 0)))
+    }
+
+    /// Iterates over all IO pad sites (each subsite separately).
+    pub fn io_sites(&self) -> impl Iterator<Item = Site> {
+        let n = self.grid as u16;
+        let cap = self.io_capacity as u8;
+        let bottom = (1..=n).map(move |x| (x, 0));
+        let top = (1..=n).map(move |x| (x, n + 1));
+        let left = (1..=n).map(move |y| (0u16, y));
+        let right = (1..=n).map(move |y| (n + 1, y));
+        bottom
+            .chain(top)
+            .chain(left)
+            .chain(right)
+            .flat_map(move |(x, y)| (0..cap).map(move |sub| Site::new(x, y, sub)))
+    }
+
+    /// Number of logic sites.
+    #[must_use]
+    pub fn logic_capacity(&self) -> usize {
+        self.grid * self.grid
+    }
+
+    /// Number of IO pad sites.
+    #[must_use]
+    pub fn io_pad_capacity(&self) -> usize {
+        4 * self.grid * self.io_capacity
+    }
+
+    /// Configuration bits of one logic block: `2^k` truth-table cells plus
+    /// one flip-flop select bit.
+    #[must_use]
+    pub fn lut_bits_per_block(&self) -> usize {
+        (1usize << self.k) + 1
+    }
+
+    /// Total LUT configuration bits of the array.
+    #[must_use]
+    pub fn total_lut_bits(&self) -> usize {
+        self.logic_capacity() * self.lut_bits_per_block()
+    }
+
+    /// The smallest square array that fits `luts` logic blocks and `pads`
+    /// IO pads.
+    #[must_use]
+    pub fn min_grid_for(luts: usize, pads: usize, io_capacity: usize) -> usize {
+        let logic_side = (luts as f64).sqrt().ceil() as usize;
+        let io_side = pads.div_ceil(4 * io_capacity.max(1));
+        logic_side.max(io_side).max(1)
+    }
+
+    /// The paper's sizing rule: "the square area of the FPGA … chosen 20%
+    /// bigger than the minimum needed" — 20% more *area*, i.e. sides scale
+    /// by √1.2.
+    #[must_use]
+    pub fn relaxed_grid_for(luts: usize, pads: usize, io_capacity: usize) -> usize {
+        let min = Self::min_grid_for(luts, pads, io_capacity);
+        let relaxed_logic = ((luts as f64 * 1.2).sqrt()).ceil() as usize;
+        relaxed_logic.max(min)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn site_kinds() {
+        let a = Architecture::new(4, 4, 8);
+        assert_eq!(a.site_kind(Site::new(1, 1, 0)), Some(SiteKind::Logic));
+        assert_eq!(a.site_kind(Site::new(4, 4, 0)), Some(SiteKind::Logic));
+        assert_eq!(a.site_kind(Site::new(0, 1, 0)), Some(SiteKind::Io));
+        assert_eq!(a.site_kind(Site::new(0, 1, 1)), Some(SiteKind::Io));
+        assert_eq!(a.site_kind(Site::new(0, 1, 2)), None, "io_rat exceeded");
+        assert_eq!(a.site_kind(Site::new(0, 0, 0)), None, "corner");
+        assert_eq!(a.site_kind(Site::new(5, 5, 0)), None, "corner");
+        assert_eq!(a.site_kind(Site::new(6, 1, 0)), None, "out of range");
+        assert_eq!(a.site_kind(Site::new(1, 1, 1)), None, "logic has 1 sub");
+    }
+
+    #[test]
+    fn site_counts_match_capacity() {
+        let a = Architecture::new(4, 5, 8);
+        assert_eq!(a.logic_sites().count(), a.logic_capacity());
+        assert_eq!(a.io_sites().count(), a.io_pad_capacity());
+        // Every enumerated site is valid.
+        for s in a.logic_sites() {
+            assert_eq!(a.site_kind(s), Some(SiteKind::Logic));
+        }
+        for s in a.io_sites() {
+            assert_eq!(a.site_kind(s), Some(SiteKind::Io));
+        }
+    }
+
+    #[test]
+    fn lut_bits() {
+        let a = Architecture::new(4, 3, 8);
+        assert_eq!(a.lut_bits_per_block(), 17);
+        assert_eq!(a.total_lut_bits(), 9 * 17);
+    }
+
+    #[test]
+    fn min_grid_covers_both_resources() {
+        // 10 LUTs need a 4×4 array; 50 pads need ceil(50/8) > 6 → side 7.
+        assert_eq!(Architecture::min_grid_for(10, 8, 2), 4);
+        assert_eq!(Architecture::min_grid_for(10, 50, 2), 7);
+        assert_eq!(Architecture::min_grid_for(0, 0, 2), 1);
+    }
+
+    #[test]
+    fn relaxed_grid_adds_twenty_percent_area() {
+        // 100 LUTs: min side 10, relaxed side ceil(sqrt(120)) = 11.
+        assert_eq!(Architecture::relaxed_grid_for(100, 10, 2), 11);
+        assert!(Architecture::relaxed_grid_for(256, 10, 2) >= 18);
+    }
+
+    #[test]
+    fn builder_methods() {
+        let a = Architecture::new(4, 6, 10)
+            .with_channel_width(14)
+            .with_fc(0.5, 0.25);
+        assert_eq!(a.channel_width, 14);
+        assert!((a.fc_in - 0.5).abs() < 1e-12);
+        assert!((a.fc_out - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "fc_in")]
+    fn fc_zero_rejected() {
+        let _ = Architecture::new(4, 6, 10).with_fc(0.0, 1.0);
+    }
+}

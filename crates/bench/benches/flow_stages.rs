@@ -1,0 +1,154 @@
+//! Criterion micro-benchmarks of the tool-flow stages.
+//!
+//! These measure the building blocks on small, fixed inputs so that
+//! `cargo bench` finishes quickly; the paper-scale measurements live in
+//! the `experiments`/`fig*` binaries.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mm_arch::{Architecture, RoutingGraph, SwitchPattern};
+use mm_bitstream::{Config, ParamConfig};
+use mm_boolexpr::{qm, ModeSet, ModeSpace};
+use mm_flow::TunableCircuit;
+use mm_netlist::{BlockId, LutCircuit, TruthTable};
+use mm_place::{place_combined, place_single, CostKind, PlacerOptions};
+use mm_route::{nets_for_circuit, Router, RouterOptions};
+use mm_synth::{synthesize, MapOptions};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Deterministic random LUT circuit used by the place/route benches.
+fn random_circuit(name: &str, n_inputs: usize, n_luts: usize, seed: u64) -> LutCircuit {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut c = LutCircuit::new(name, 4);
+    let mut drivers: Vec<BlockId> = (0..n_inputs)
+        .map(|i| c.add_input(format!("i{i}")).unwrap())
+        .collect();
+    for j in 0..n_luts {
+        let fanin = rng.gen_range(2..=4.min(drivers.len()));
+        let mut ins = Vec::new();
+        while ins.len() < fanin {
+            let d = drivers[rng.gen_range(0..drivers.len())];
+            if !ins.contains(&d) {
+                ins.push(d);
+            }
+        }
+        let tt = TruthTable::from_bits(ins.len(), rng.gen());
+        let id = c
+            .add_lut(format!("n{j}"), ins, tt, rng.gen_bool(0.2))
+            .unwrap();
+        drivers.push(id);
+    }
+    for t in 0..3 {
+        let d = drivers[drivers.len() - 1 - t];
+        c.add_output(format!("o{t}"), d).unwrap();
+    }
+    c
+}
+
+fn bench_synthesis(c: &mut Criterion) {
+    let net = mm_gen::mcnc::multiplier("m6", 6);
+    c.bench_function("synth/map_mult6", |b| {
+        b.iter(|| synthesize(std::hint::black_box(&net), MapOptions::default()).unwrap())
+    });
+}
+
+fn bench_regex_compile(c: &mut Criterion) {
+    c.bench_function("gen/regex_compile", |b| {
+        b.iter(|| {
+            mm_gen::regex::RegexEngine::compile(
+                std::hint::black_box(r"GET /(a|b)+/cmd\.exe\?[0-9]{8}"),
+                4,
+            )
+            .unwrap()
+        })
+    });
+}
+
+fn bench_placer(c: &mut Criterion) {
+    let circuit = random_circuit("p", 6, 40, 3);
+    let arch = Architecture::new(4, 8, 8);
+    let options = PlacerOptions::default();
+    c.bench_function("place/single_40luts", |b| {
+        b.iter(|| place_single(std::hint::black_box(&circuit), &arch, &options).unwrap())
+    });
+
+    let pair = vec![
+        random_circuit("p0", 6, 35, 5),
+        random_circuit("p1", 6, 38, 6),
+    ];
+    c.bench_function("place/combined_wl", |b| {
+        b.iter(|| place_combined(std::hint::black_box(&pair), &arch, &options).unwrap())
+    });
+    let edge = PlacerOptions::default().with_cost(CostKind::EdgeMatching);
+    c.bench_function("place/combined_edge", |b| {
+        b.iter(|| place_combined(std::hint::black_box(&pair), &arch, &edge).unwrap())
+    });
+}
+
+fn bench_router(c: &mut Criterion) {
+    let circuit = random_circuit("r", 6, 40, 7);
+    let arch = Architecture::new(4, 8, 10).with_switch_pattern(SwitchPattern::Wilton);
+    let (placement, _) = place_single(&circuit, &arch, &PlacerOptions::default()).unwrap();
+    let rrg = RoutingGraph::build(&arch);
+    let nets = nets_for_circuit(&circuit, &rrg, ModeSet::single(0), |b| placement.site_of(b));
+    c.bench_function("route/pathfinder_40luts", |b| {
+        b.iter(|| {
+            let mut router = Router::new(&rrg, RouterOptions::default());
+            router.route(std::hint::black_box(&nets))
+        })
+    });
+}
+
+fn bench_merge_and_bits(c: &mut Criterion) {
+    let pair = vec![
+        random_circuit("m0", 6, 35, 9),
+        random_circuit("m1", 6, 38, 10),
+    ];
+    let arch = Architecture::new(4, 8, 10).with_switch_pattern(SwitchPattern::Wilton);
+    let (placement, _) = place_combined(&pair, &arch, &PlacerOptions::default()).unwrap();
+    c.bench_function("flow/tunable_extraction", |b| {
+        b.iter(|| TunableCircuit::from_placement(std::hint::black_box(&pair), &placement, &arch).unwrap())
+    });
+
+    let tunable = TunableCircuit::from_placement(&pair, &placement, &arch).unwrap();
+    let rrg = RoutingGraph::build(&arch);
+    let nets = tunable.route_nets(&rrg);
+    let mut router = Router::new(&rrg, RouterOptions::for_modes(2));
+    let routing = router.route(&nets);
+    assert!(routing.success);
+    c.bench_function("bitstream/param_config", |b| {
+        b.iter(|| ParamConfig::from_routing(std::hint::black_box(&routing), ModeSpace::new(2)))
+    });
+    let config = Config::from_routing(&routing);
+    c.bench_function("bitstream/config_diff", |b| {
+        b.iter(|| config.differing_switches(std::hint::black_box(&config)))
+    });
+}
+
+fn bench_boolexpr(c: &mut Criterion) {
+    let space = ModeSpace::new(8);
+    c.bench_function("boolexpr/qm_minimize", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for mask in 0..256u64 {
+                total += qm::minimize(ModeSet::from_mask(mask), space).len();
+            }
+            total
+        })
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_synthesis, bench_regex_compile, bench_placer, bench_router,
+              bench_merge_and_bits, bench_boolexpr
+}
+criterion_main!(benches);

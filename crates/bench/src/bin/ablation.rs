@@ -1,0 +1,111 @@
+//! Ablation studies beyond the paper:
+//!
+//! * X1 — hybrid combined-placement cost (WL + lambda*connections);
+//! * X2 — sharing-aware routing on/off (TRoute-style switch reuse).
+//!
+//! Run on the first RegExp pair by default (`--set`/`--pairs` as usual).
+
+use mm_bench::{BenchmarkSet, RunConfig};
+use mm_flow::report::render_table;
+use mm_flow::{DcsFlow, MultiModeInput};
+use mm_place::CostKind;
+
+fn main() {
+    let mut config = RunConfig::from_args(std::env::args().skip(1));
+    if config.set.is_none() {
+        config.set = Some(BenchmarkSet::RegExp);
+    }
+    if config.max_pairs == usize::MAX {
+        config.max_pairs = 3;
+    }
+    let set = config.sets()[0];
+    let circuits = set.circuits();
+    let pairs: Vec<(usize, usize)> = set
+        .pairs()
+        .into_iter()
+        .take(config.max_pairs)
+        .collect();
+
+    // ---- X1: placement cost sweep -----------------------------------------
+    println!("\nAblation X1: combined-placement cost function (DCS variants)\n");
+    let variants: Vec<(String, CostKind)> = vec![
+        ("wirelength".into(), CostKind::WireLength),
+        ("edge-matching".into(), CostKind::EdgeMatching),
+        (
+            "hybrid l=0.5".into(),
+            CostKind::Hybrid {
+                wl_weight: 1.0,
+                edge_weight: 0.5,
+            },
+        ),
+        (
+            "hybrid l=2".into(),
+            CostKind::Hybrid {
+                wl_weight: 1.0,
+                edge_weight: 2.0,
+            },
+        ),
+    ];
+    let mut rows = Vec::new();
+    for (label, cost) in &variants {
+        let mut param = 0usize;
+        let mut merged = 0usize;
+        let mut conns = 0usize;
+        let mut wires = 0usize;
+        for &(i, j) in &pairs {
+            let input =
+                MultiModeInput::new(vec![circuits[i].clone(), circuits[j].clone()]).unwrap();
+            let r = DcsFlow::new(config.options)
+                .with_cost(*cost)
+                .run(&input)
+                .expect("flow runs");
+            param += r.parameterized_routing_bits();
+            let stats = r.tunable.stats();
+            merged += stats.merged_connections;
+            conns += stats.connections;
+            wires += (0..2).map(|m| r.wires_in_mode(m)).sum::<usize>();
+        }
+        rows.push(vec![
+            label.clone(),
+            format!("{}", param / pairs.len()),
+            format!("{}/{}", merged / pairs.len(), conns / pairs.len()),
+            format!("{}", wires / (2 * pairs.len())),
+        ]);
+    }
+    print!(
+        "{}",
+        render_table(
+            &["placement cost", "param bits", "merged/conns", "wires/mode"],
+            &rows
+        )
+    );
+
+    // ---- X2: sharing-aware routing on/off -----------------------------------
+    println!("\nAblation X2: TRoute sharing-aware routing cost (wire-length placement)\n");
+    let mut rows = Vec::new();
+    for (label, discount, penalty) in
+        [("sharing on", 0.35, 0.2), ("sharing off", 0.0, 0.0)]
+    {
+        let mut options = config.options;
+        options.router.share_discount = discount;
+        options.router.param_penalty = penalty;
+        let mut param = 0usize;
+        let mut static_on = 0usize;
+        for &(i, j) in &pairs {
+            let input =
+                MultiModeInput::new(vec![circuits[i].clone(), circuits[j].clone()]).unwrap();
+            let r = DcsFlow::new(options).run(&input).expect("flow runs");
+            param += r.parameterized_routing_bits();
+            static_on += r.param.static_on_bits();
+        }
+        rows.push(vec![
+            label.to_string(),
+            format!("{}", param / pairs.len()),
+            format!("{}", static_on / pairs.len()),
+        ]);
+    }
+    print!(
+        "{}",
+        render_table(&["router", "param bits", "static-on bits"], &rows)
+    );
+}

@@ -1,0 +1,80 @@
+//! Runs the complete evaluation (Table I + Figures 5, 6, 7 + area) in one
+//! pass, computing each pair's flows once.
+
+use mm_bench::{fig5_row, fig6_rows, fig7_row, run_set, table1_row, BenchmarkSet, RunConfig};
+use mm_flow::report::render_table;
+use mm_flow::{PairMetrics, Stats};
+use mm_netlist::LutCircuit;
+use std::time::Instant;
+
+fn main() {
+    let config = RunConfig::from_args(std::env::args().skip(1));
+    let t0 = Instant::now();
+
+    println!("== Table I: Size of the LUT circuits used in the experiments ==");
+    println!("(paper: RegExp 224/243/261, FIR 235/302/371, MCNC 264/310/404)\n");
+    let rows: Vec<Vec<String>> = config.sets().into_iter().map(table1_row).collect();
+    print!("{}", render_table(&["set", "min", "avg", "max"], &rows));
+
+    let mut all: Vec<(BenchmarkSet, Vec<PairMetrics>)> = Vec::new();
+    for set in config.sets() {
+        eprintln!("running {} pairs...", set.name());
+        let metrics = run_set(set, &config);
+        all.push((set, metrics));
+    }
+
+    println!("\n== Fig. 5: Reconfiguration speed up of DCS compared to MDR ==");
+    println!("(paper: 4.6x-5.1x; mean [min..max])\n");
+    let rows: Vec<Vec<String>> = all.iter().map(|(s, m)| fig5_row(*s, m)).collect();
+    print!(
+        "{}",
+        render_table(&["set", "MDR (base)", "DCS-Edge matching", "DCS-Wire length"], &rows)
+    );
+
+    println!("\n== Fig. 6: Relative contribution of LUTs and routing in reconf. time ==");
+    println!("(paper, RegExp: MDR routing-heavy; Diff ~5x less routing; DCS ~4x less again)\n");
+    let rows: Vec<Vec<String>> = all
+        .iter()
+        .flat_map(|(s, m)| fig6_rows(*s, m))
+        .collect();
+    print!(
+        "{}",
+        render_table(
+            &["scenario", "LUT bits", "routing bits", "LUT %", "routing %"],
+            &rows
+        )
+    );
+
+    println!("\n== Fig. 7: Wire usage of an individual mode relative to MDR ==");
+    println!("(paper: WL-opt +24% avg [11..35] RegExp/FIR, up to +45% MCNC; edge >2x possible)\n");
+    let rows: Vec<Vec<String>> = all.iter().map(|(s, m)| fig7_row(*s, m)).collect();
+    print!(
+        "{}",
+        render_table(&["set", "MDR (base)", "DCS-Edge matching", "DCS-Wire length"], &rows)
+    );
+
+    println!("\n== Area (paper §IV-C: ~50% of static for RegExp/MCNC; FIR 33% of generic) ==\n");
+    let mut rows = Vec::new();
+    for (set, metrics) in &all {
+        let ratios: Vec<f64> = metrics.iter().map(|m| 100.0 * m.area_vs_static()).collect();
+        let s = Stats::of(&ratios);
+        rows.push(vec![
+            set.name().to_string(),
+            format!("{:.0}% [{:.0}..{:.0}]", s.mean, s.min, s.max),
+        ]);
+    }
+    print!("{}", render_table(&["set", "area vs static"], &rows));
+    if all.iter().any(|(s, _)| *s == BenchmarkSet::Fir) {
+        let generic = mm_gen::fir_generic_reference(4).lut_count();
+        let suite = mm_gen::fir_suite(4);
+        let sizes: Vec<usize> = suite.iter().map(LutCircuit::lut_count).collect();
+        let max = *sizes.iter().max().expect("nonempty");
+        let avg = sizes.iter().sum::<usize>() as f64 / sizes.len() as f64;
+        println!("\nFIR vs generic: region {:.0}% of generic; specialised {:.1}x smaller",
+            100.0 * (max as f64 * 1.2) / generic as f64,
+            generic as f64 / avg
+        );
+    }
+
+    eprintln!("\ntotal runtime {:?}", t0.elapsed());
+}

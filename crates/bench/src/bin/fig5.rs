@@ -1,0 +1,19 @@
+//! Regenerates Fig. 5: reconfiguration speed-up of DCS compared to MDR.
+
+use mm_bench::{fig5_row, run_set, RunConfig};
+use mm_flow::report::render_table;
+
+fn main() {
+    let config = RunConfig::from_args(std::env::args().skip(1));
+    let mut rows = Vec::new();
+    for set in config.sets() {
+        let metrics = run_set(set, &config);
+        rows.push(fig5_row(set, &metrics));
+    }
+    println!("\nFig. 5: Reconfiguration speed up of DCS compared to MDR.");
+    println!("(paper: 4.6x-5.1x for both DCS variants; mean [min..max])\n");
+    print!(
+        "{}",
+        render_table(&["set", "MDR (base)", "DCS-Edge matching", "DCS-Wire length"], &rows)
+    );
+}

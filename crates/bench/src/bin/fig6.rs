@@ -1,0 +1,26 @@
+//! Regenerates Fig. 6: relative contribution of LUTs and routing in the
+//! reconfiguration time (RegExp set by default, as in the paper).
+
+use mm_bench::{fig6_rows, run_set, BenchmarkSet, RunConfig};
+use mm_flow::report::render_table;
+
+fn main() {
+    let mut config = RunConfig::from_args(std::env::args().skip(1));
+    if config.set.is_none() {
+        config.set = Some(BenchmarkSet::RegExp);
+    }
+    let mut rows = Vec::new();
+    for set in config.sets() {
+        let metrics = run_set(set, &config);
+        rows.extend(fig6_rows(set, &metrics));
+    }
+    println!("\nFig. 6: Relative contribution of LUTs and routing in reconf. time.");
+    println!("(paper: MDR routing-dominated; Diff cuts routing ~5x; DCS a further ~4x)\n");
+    print!(
+        "{}",
+        render_table(
+            &["scenario", "LUT bits", "routing bits", "LUT %", "routing %"],
+            &rows
+        )
+    );
+}

@@ -1,0 +1,21 @@
+//! Regenerates Fig. 7: number of wires of an individual mode relative to
+//! MDR.
+
+use mm_bench::{fig7_row, run_set, RunConfig};
+use mm_flow::report::render_table;
+
+fn main() {
+    let config = RunConfig::from_args(std::env::args().skip(1));
+    let mut rows = Vec::new();
+    for set in config.sets() {
+        let metrics = run_set(set, &config);
+        rows.push(fig7_row(set, &metrics));
+    }
+    println!("\nFig. 7: Wire usage of an individual mode relative to MDR.");
+    println!("(paper: wire-length opt +24% avg, 11-35% RegExp/FIR, up to +45% MCNC;");
+    println!(" edge matching sometimes >200%; mean [min..max])\n");
+    print!(
+        "{}",
+        render_table(&["set", "MDR (base)", "DCS-Edge matching", "DCS-Wire length"], &rows)
+    );
+}

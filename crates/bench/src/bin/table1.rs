@@ -1,0 +1,12 @@
+//! Regenerates Table I: size of the LUT circuits used in the experiments.
+
+use mm_bench::{table1_row, RunConfig};
+use mm_flow::report::render_table;
+
+fn main() {
+    let config = RunConfig::from_args(std::env::args().skip(1));
+    let rows: Vec<Vec<String>> = config.sets().into_iter().map(table1_row).collect();
+    println!("Table I: Size of the LUT circuits used in the experiments.");
+    println!("(paper: RegExp 224/243/261, FIR 235/302/371, MCNC 264/310/404)\n");
+    print!("{}", render_table(&["set", "min", "avg", "max"], &rows));
+}

@@ -1,0 +1,336 @@
+//! Shared experiment driver for the benchmark binaries.
+//!
+//! Each binary regenerates one artefact of the paper (see `DESIGN.md`'s
+//! experiment index): `table1`, `fig5`, `fig6`, `fig7`, `area` and the
+//! `ablation` extras, plus `experiments` which runs the whole evaluation
+//! in one pass. All binaries accept:
+//!
+//! * `--quick` — fixed channel width and light annealing (fast smoke run);
+//! * `--set regexp|fir|mcnc` — restrict to one benchmark set;
+//! * `--pairs N` — only the first N pairs per set.
+
+#![forbid(unsafe_code)]
+
+use mm_flow::{run_pair, FlowOptions, MultiModeInput, PairMetrics, Stats};
+use mm_netlist::LutCircuit;
+
+/// The three benchmark sets of the paper (§IV-A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BenchmarkSet {
+    /// Regular-expression matching engines.
+    RegExp,
+    /// Adaptive filtering (low-pass + high-pass FIR pairs).
+    Fir,
+    /// General MCNC-class circuits.
+    Mcnc,
+}
+
+impl BenchmarkSet {
+    /// All three sets in paper order.
+    pub const ALL: [BenchmarkSet; 3] =
+        [BenchmarkSet::RegExp, BenchmarkSet::Fir, BenchmarkSet::Mcnc];
+
+    /// Display name as used in the figures.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            BenchmarkSet::RegExp => "RegExp",
+            BenchmarkSet::Fir => "FIR",
+            BenchmarkSet::Mcnc => "MCNC",
+        }
+    }
+
+    /// The suite circuits (mapped to 4-LUTs).
+    #[must_use]
+    pub fn circuits(self) -> Vec<LutCircuit> {
+        match self {
+            BenchmarkSet::RegExp => mm_gen::regexp_suite(4),
+            BenchmarkSet::Fir => mm_gen::fir_suite(4),
+            BenchmarkSet::Mcnc => mm_gen::mcnc_suite(4),
+        }
+    }
+
+    /// The multi-mode pairings of the suite.
+    #[must_use]
+    pub fn pairs(self) -> Vec<(usize, usize)> {
+        match self {
+            BenchmarkSet::RegExp | BenchmarkSet::Mcnc => mm_gen::all_pairs(mm_gen::SUITE_SIZE),
+            BenchmarkSet::Fir => mm_gen::fir_mode_pairs(),
+        }
+    }
+}
+
+/// Command-line configuration shared by the binaries.
+#[derive(Debug, Clone)]
+pub struct RunConfig {
+    /// Restrict to one set (`None` = all three).
+    pub set: Option<BenchmarkSet>,
+    /// Cap on pairs per set.
+    pub max_pairs: usize,
+    /// Flow options (quick vs paper-mode).
+    pub options: FlowOptions,
+    /// Whether `--quick` was given.
+    pub quick: bool,
+}
+
+impl RunConfig {
+    /// Parses `std::env::args`-style arguments (without the binary name).
+    ///
+    /// # Panics
+    ///
+    /// Panics (with usage help) on unknown arguments.
+    #[must_use]
+    pub fn from_args(args: impl Iterator<Item = String>) -> Self {
+        let mut config = Self {
+            set: None,
+            max_pairs: usize::MAX,
+            options: paper_options(),
+            quick: false,
+        };
+        let mut args = args.peekable();
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--quick" => {
+                    config.quick = true;
+                    config.options = quick_options();
+                }
+                "--set" => {
+                    let v = args.next().expect("--set needs a value");
+                    config.set = Some(match v.as_str() {
+                        "regexp" => BenchmarkSet::RegExp,
+                        "fir" => BenchmarkSet::Fir,
+                        "mcnc" => BenchmarkSet::Mcnc,
+                        other => panic!("unknown set '{other}' (regexp|fir|mcnc)"),
+                    });
+                }
+                "--pairs" => {
+                    config.max_pairs = args
+                        .next()
+                        .expect("--pairs needs a value")
+                        .parse()
+                        .expect("--pairs needs a number");
+                }
+                "--seed" => {
+                    config.options.placer.seed = args
+                        .next()
+                        .expect("--seed needs a value")
+                        .parse()
+                        .expect("--seed needs a number");
+                }
+                other => {
+                    panic!("unknown argument '{other}' (try --quick, --set, --pairs, --seed)")
+                }
+            }
+        }
+        config
+    }
+
+    /// The sets this run covers.
+    #[must_use]
+    pub fn sets(&self) -> Vec<BenchmarkSet> {
+        match self.set {
+            Some(s) => vec![s],
+            None => BenchmarkSet::ALL.to_vec(),
+        }
+    }
+}
+
+/// Paper-mode options: relaxed (min+20%) widths, VPR-ish annealing effort.
+#[must_use]
+pub fn paper_options() -> FlowOptions {
+    let mut options = FlowOptions::default();
+    options.placer.inner_num = 5.0;
+    options
+}
+
+/// Quick options: light annealing and a capped router effort — for smoke
+/// runs and CI. Widths stay auto-sized (min + 20%), which is what keeps
+/// every pair routable.
+#[must_use]
+pub fn quick_options() -> FlowOptions {
+    let mut options = FlowOptions::default();
+    options.placer.inner_num = 1.0;
+    options.router.max_iterations = 30;
+    options
+}
+
+/// Runs every pair of a set and returns the metrics.
+///
+/// # Panics
+///
+/// Panics if a pair fails to place or route (the calibrated suites never
+/// do).
+#[must_use]
+pub fn run_set(set: BenchmarkSet, config: &RunConfig) -> Vec<PairMetrics> {
+    let circuits = set.circuits();
+    let mut out = Vec::new();
+    for (count, (i, j)) in set.pairs().into_iter().enumerate() {
+        if count >= config.max_pairs {
+            break;
+        }
+        let name = format!("{}+{}", circuits[i].name(), circuits[j].name());
+        let input = MultiModeInput::new(vec![circuits[i].clone(), circuits[j].clone()])
+            .expect("suite circuits are valid");
+        let metrics = match run_pair(&input, &config.options, name.clone()) {
+            Ok(m) => m,
+            Err(e) => {
+                // A pair can defeat one of the flows (edge matching can
+                // produce unroutable congestion on dissimilar circuits);
+                // record the skip and keep the set going.
+                eprintln!("  [{}] {name}: SKIPPED ({e})", set.name());
+                continue;
+            }
+        };
+        eprintln!(
+            "  [{}] {name}: speedup wl {:.2} edge {:.2}, wires wl {:.0}% edge {:.0}%",
+            set.name(),
+            metrics.speedup_wirelength(),
+            metrics.speedup_edge(),
+            100.0 * metrics.wire_ratio_wirelength(),
+            100.0 * metrics.wire_ratio_edge(),
+        );
+        out.push(metrics);
+    }
+    out
+}
+
+/// Fig. 5 row: speed-up statistics per set.
+#[must_use]
+pub fn fig5_row(set: BenchmarkSet, metrics: &[PairMetrics]) -> Vec<String> {
+    let edge = Stats::of(
+        &metrics
+            .iter()
+            .map(PairMetrics::speedup_edge)
+            .collect::<Vec<_>>(),
+    );
+    let wl = Stats::of(
+        &metrics
+            .iter()
+            .map(PairMetrics::speedup_wirelength)
+            .collect::<Vec<_>>(),
+    );
+    vec![
+        set.name().to_string(),
+        "1.00x".to_string(),
+        format!("{:.2}x [{:.2}..{:.2}]", edge.mean, edge.min, edge.max),
+        format!("{:.2}x [{:.2}..{:.2}]", wl.mean, wl.min, wl.max),
+    ]
+}
+
+/// Fig. 6 rows: LUT/routing contribution for MDR, Diff and DCS(-wl).
+#[must_use]
+pub fn fig6_rows(set: BenchmarkSet, metrics: &[PairMetrics]) -> Vec<Vec<String>> {
+    let mean = |f: &dyn Fn(&PairMetrics) -> (usize, usize)| -> (f64, f64) {
+        let n = metrics.len().max(1) as f64;
+        let (l, r) = metrics
+            .iter()
+            .map(f)
+            .fold((0usize, 0usize), |(al, ar), (l, r)| (al + l, ar + r));
+        (l as f64 / n, r as f64 / n)
+    };
+    let scenarios: [(&str, Box<dyn Fn(&PairMetrics) -> (usize, usize)>); 3] = [
+        (
+            "MDR",
+            Box::new(|m: &PairMetrics| (m.mdr.lut_bits, m.mdr.routing_bits)),
+        ),
+        (
+            "Diff",
+            Box::new(|m: &PairMetrics| (m.diff.lut_bits, m.diff.routing_bits)),
+        ),
+        (
+            "DCS",
+            Box::new(|m: &PairMetrics| {
+                (m.dcs_wirelength.lut_bits, m.dcs_wirelength.routing_bits)
+            }),
+        ),
+    ];
+    scenarios
+        .iter()
+        .map(|(label, f)| {
+            let (l, r) = mean(&**f);
+            let total = l + r;
+            vec![
+                format!("{}-{}", set.name(), label),
+                format!("{l:.0}"),
+                format!("{r:.0}"),
+                format!("{:.1}%", 100.0 * l / total),
+                format!("{:.1}%", 100.0 * r / total),
+            ]
+        })
+        .collect()
+}
+
+/// Fig. 7 row: per-mode wire usage relative to MDR.
+#[must_use]
+pub fn fig7_row(set: BenchmarkSet, metrics: &[PairMetrics]) -> Vec<String> {
+    let edge = Stats::of(
+        &metrics
+            .iter()
+            .map(|m| 100.0 * m.wire_ratio_edge())
+            .collect::<Vec<_>>(),
+    );
+    let wl = Stats::of(
+        &metrics
+            .iter()
+            .map(|m| 100.0 * m.wire_ratio_wirelength())
+            .collect::<Vec<_>>(),
+    );
+    vec![
+        set.name().to_string(),
+        "100%".to_string(),
+        format!("{:.0}% [{:.0}..{:.0}]", edge.mean, edge.min, edge.max),
+        format!("{:.0}% [{:.0}..{:.0}]", wl.mean, wl.min, wl.max),
+    ]
+}
+
+/// Table I row: min/avg/max LUT counts of a suite.
+#[must_use]
+pub fn table1_row(set: BenchmarkSet) -> Vec<String> {
+    let sizes: Vec<usize> = set.circuits().iter().map(LutCircuit::lut_count).collect();
+    let stats = Stats::of_usize(&sizes);
+    vec![
+        set.name().to_string(),
+        format!("{:.0}", stats.min),
+        format!("{:.0}", stats.mean),
+        format!("{:.0}", stats.max),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arg_parsing() {
+        let c = RunConfig::from_args(
+            ["--quick", "--set", "fir", "--pairs", "2", "--seed", "7"]
+                .iter()
+                .map(ToString::to_string),
+        );
+        assert!(c.quick);
+        assert_eq!(c.set, Some(BenchmarkSet::Fir));
+        assert_eq!(c.max_pairs, 2);
+        assert_eq!(c.options.placer.seed, 7);
+        assert_eq!(c.sets(), vec![BenchmarkSet::Fir]);
+    }
+
+    #[test]
+    fn default_covers_all_sets() {
+        let c = RunConfig::from_args(std::iter::empty());
+        assert_eq!(c.sets().len(), 3);
+        assert!(!c.quick);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown argument")]
+    fn rejects_unknown_arguments() {
+        let _ = RunConfig::from_args(["--bogus".to_string()].into_iter());
+    }
+
+    #[test]
+    fn pairings_match_paper() {
+        assert_eq!(BenchmarkSet::RegExp.pairs().len(), 10);
+        assert_eq!(BenchmarkSet::Fir.pairs().len(), 10);
+        assert_eq!(BenchmarkSet::Mcnc.pairs().len(), 10);
+    }
+}

@@ -1,0 +1,246 @@
+//! Cubes (product terms) over the mode bits.
+
+use std::fmt;
+
+/// A cube (product term) over `B` Boolean variables, e.g. `m2·m̄0`.
+///
+/// Each variable independently appears positive, negative, or not at all
+/// (don't-care). The representation is the classic pair of bit masks:
+/// `care` marks the variables that appear, `value` their required polarity
+/// (only meaningful where `care` is set).
+///
+/// Cubes are produced by the [Quine–McCluskey minimiser](crate::qm) and
+/// rendered through [`Expr`](crate::Expr).
+///
+/// # Example
+///
+/// ```
+/// use mm_boolexpr::Cube;
+/// // m1·m̄0 — covers exactly the codes with bit1 = 1 and bit0 = 0.
+/// let c = Cube::new(0b11, 0b10);
+/// assert!(c.covers(0b10));
+/// assert!(!c.covers(0b11));
+/// assert_eq!(c.literal_count(), 2);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Cube {
+    care: u64,
+    value: u64,
+}
+
+impl Cube {
+    /// Creates a cube from a care mask and a value mask.
+    ///
+    /// Bits of `value` outside `care` are normalised to zero so that equal
+    /// cubes compare equal.
+    #[must_use]
+    pub fn new(care: u64, value: u64) -> Self {
+        Self {
+            care,
+            value: value & care,
+        }
+    }
+
+    /// The minterm cube for `code` over `bits` variables (all variables
+    /// cared for).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is zero or greater than 64.
+    #[must_use]
+    pub fn minterm(code: u64, bits: usize) -> Self {
+        assert!(bits >= 1 && bits <= 64, "bits must be in 1..=64");
+        let care = if bits == 64 {
+            u64::MAX
+        } else {
+            (1u64 << bits) - 1
+        };
+        Self::new(care, code)
+    }
+
+    /// The universal cube (empty product, constant true).
+    #[must_use]
+    pub const fn universe() -> Self {
+        Self { care: 0, value: 0 }
+    }
+
+    /// Mask of variables appearing in the cube.
+    #[must_use]
+    pub const fn care(self) -> u64 {
+        self.care
+    }
+
+    /// Polarity mask (only bits inside [`Cube::care`] are meaningful).
+    #[must_use]
+    pub const fn value(self) -> u64 {
+        self.value
+    }
+
+    /// Whether the cube covers the given variable assignment `code`.
+    #[must_use]
+    pub fn covers(self, code: u64) -> bool {
+        code & self.care == self.value
+    }
+
+    /// Number of literals in the product term.
+    #[must_use]
+    pub fn literal_count(self) -> usize {
+        self.care.count_ones() as usize
+    }
+
+    /// Tries to merge two cubes that differ in exactly one cared-for
+    /// variable (the Quine–McCluskey combining step), returning the merged
+    /// cube with that variable dropped.
+    ///
+    /// Returns `None` if the cubes care about different variable sets or
+    /// differ in more than one position.
+    #[must_use]
+    pub fn merge(self, other: Cube) -> Option<Cube> {
+        if self.care != other.care {
+            return None;
+        }
+        let diff = self.value ^ other.value;
+        if diff.count_ones() == 1 {
+            Some(Cube::new(self.care & !diff, self.value & !diff))
+        } else {
+            None
+        }
+    }
+
+    /// Whether `self` covers every assignment covered by `other`
+    /// (i.e. `other ⇒ self` as product terms).
+    #[must_use]
+    pub fn contains_cube(self, other: Cube) -> bool {
+        // Every literal of self must appear in other with equal polarity.
+        self.care & other.care == self.care && other.value & self.care == self.value
+    }
+
+    /// Iterates over the codes (assignments over `bits` variables) covered
+    /// by this cube, ascending.
+    pub fn codes(self, bits: usize) -> impl Iterator<Item = u64> {
+        let total = if bits >= 64 { u64::MAX } else { (1u64 << bits) - 1 };
+        let free = total & !self.care;
+        let base = self.value & total;
+        // Iterate subsets of the free mask in ascending order using the
+        // standard (sub - free) & free enumeration.
+        let mut sub: Option<u64> = Some(0);
+        std::iter::from_fn(move || {
+            let s = sub?;
+            let code = base | s;
+            sub = if s == free {
+                None
+            } else {
+                Some((s.wrapping_sub(free)) & free)
+            };
+            Some(code)
+        })
+    }
+}
+
+impl fmt::Display for Cube {
+    /// Renders the cube as a product of `m<i>` / `~m<i>` literals,
+    /// lowest-index variable first; the universal cube prints as `1`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.care == 0 {
+            return write!(f, "1");
+        }
+        let mut first = true;
+        for i in 0..64 {
+            if self.care & (1 << i) != 0 {
+                if !first {
+                    write!(f, "·")?;
+                }
+                if self.value & (1 << i) == 0 {
+                    write!(f, "~")?;
+                }
+                write!(f, "m{i}")?;
+                first = false;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minterm_covers_only_its_code() {
+        let c = Cube::minterm(0b101, 3);
+        for code in 0..8u64 {
+            assert_eq!(c.covers(code), code == 0b101);
+        }
+        assert_eq!(c.literal_count(), 3);
+    }
+
+    #[test]
+    fn universe_covers_everything() {
+        let u = Cube::universe();
+        for code in 0..16u64 {
+            assert!(u.covers(code));
+        }
+        assert_eq!(u.literal_count(), 0);
+        assert_eq!(u.to_string(), "1");
+    }
+
+    #[test]
+    fn merge_drops_single_differing_bit() {
+        let a = Cube::minterm(0b00, 2);
+        let b = Cube::minterm(0b01, 2);
+        let m = a.merge(b).expect("mergeable");
+        assert_eq!(m.care(), 0b10);
+        assert_eq!(m.value(), 0b00);
+        assert!(m.covers(0b00) && m.covers(0b01));
+        assert!(!m.covers(0b10));
+    }
+
+    #[test]
+    fn merge_rejects_two_bit_difference() {
+        let a = Cube::minterm(0b00, 2);
+        let b = Cube::minterm(0b11, 2);
+        assert!(a.merge(b).is_none());
+    }
+
+    #[test]
+    fn merge_rejects_different_care_sets() {
+        let a = Cube::new(0b11, 0b01);
+        let b = Cube::new(0b01, 0b01);
+        assert!(a.merge(b).is_none());
+    }
+
+    #[test]
+    fn contains_cube_partial_order() {
+        let big = Cube::new(0b10, 0b10); // m1
+        let small = Cube::new(0b11, 0b10); // m1·~m0
+        assert!(big.contains_cube(small));
+        assert!(!small.contains_cube(big));
+        assert!(Cube::universe().contains_cube(big));
+        // Reflexive.
+        assert!(big.contains_cube(big));
+    }
+
+    #[test]
+    fn codes_enumerates_covered_assignments() {
+        let c = Cube::new(0b10, 0b10); // m1 over 3 bits
+        let codes: Vec<u64> = c.codes(3).collect();
+        assert_eq!(codes, vec![0b010, 0b011, 0b110, 0b111]);
+    }
+
+    #[test]
+    fn codes_of_minterm_is_single() {
+        let c = Cube::minterm(5, 3);
+        assert_eq!(c.codes(3).collect::<Vec<_>>(), vec![5]);
+    }
+
+    #[test]
+    fn display_polarity() {
+        let c = Cube::new(0b101, 0b100);
+        assert_eq!(c.to_string(), "~m0·m2");
+    }
+
+    #[test]
+    fn value_outside_care_normalised() {
+        assert_eq!(Cube::new(0b01, 0b11), Cube::new(0b01, 0b01));
+    }
+}

@@ -1,0 +1,423 @@
+//! Boolean expression trees over the mode bits, for rendering and parsing
+//! the paper's `m1·m0 + m̄0` notation.
+
+use crate::Cube;
+use std::error::Error;
+use std::fmt;
+
+/// A Boolean expression over the mode bits `m0, m1, …`.
+///
+/// `Expr` is the human-facing companion of [`ModeSet`](crate::ModeSet):
+/// mode sets are canonical and cheap, expressions are readable. Convert
+/// with [`ModeSet::to_expr`](crate::ModeSet::to_expr) (minimised) and back
+/// with [`Expr::eval`] over all mode codes.
+///
+/// # Example
+///
+/// ```
+/// use mm_boolexpr::Expr;
+/// let e: Expr = "m1·~m0 + m0".parse()?;
+/// assert!(e.eval(0b01));
+/// assert!(e.eval(0b10));
+/// assert!(!e.eval(0b00));
+/// # Ok::<(), mm_boolexpr::ParseExprError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Expr {
+    /// Constant `0` or `1`.
+    Const(bool),
+    /// Mode bit `m<i>`.
+    Var(usize),
+    /// Logical negation.
+    Not(Box<Expr>),
+    /// Logical conjunction.
+    And(Vec<Expr>),
+    /// Logical disjunction.
+    Or(Vec<Expr>),
+}
+
+impl Expr {
+    /// Builds a sum-of-products expression from Quine–McCluskey cubes.
+    ///
+    /// An empty slice yields the constant `0`; a lone universal cube yields
+    /// the constant `1`.
+    #[must_use]
+    pub fn from_cubes(cubes: &[Cube]) -> Self {
+        if cubes.is_empty() {
+            return Expr::Const(false);
+        }
+        let mut terms: Vec<Expr> = Vec::with_capacity(cubes.len());
+        for cube in cubes {
+            if cube.care() == 0 {
+                return Expr::Const(true);
+            }
+            let mut lits: Vec<Expr> = Vec::with_capacity(cube.literal_count());
+            for i in 0..64 {
+                if cube.care() & (1 << i) != 0 {
+                    let v = Expr::Var(i);
+                    if cube.value() & (1 << i) != 0 {
+                        lits.push(v);
+                    } else {
+                        lits.push(Expr::Not(Box::new(v)));
+                    }
+                }
+            }
+            terms.push(if lits.len() == 1 {
+                lits.pop().expect("one literal")
+            } else {
+                Expr::And(lits)
+            });
+        }
+        if terms.len() == 1 {
+            terms.pop().expect("one term")
+        } else {
+            Expr::Or(terms)
+        }
+    }
+
+    /// Evaluates the expression with mode bit `i` taken from bit `i` of
+    /// `code`.
+    #[must_use]
+    pub fn eval(&self, code: u64) -> bool {
+        match self {
+            Expr::Const(b) => *b,
+            Expr::Var(i) => code & (1 << i) != 0,
+            Expr::Not(e) => !e.eval(code),
+            Expr::And(es) => es.iter().all(|e| e.eval(code)),
+            Expr::Or(es) => es.iter().any(|e| e.eval(code)),
+        }
+    }
+
+    /// The highest mode-bit index referenced, if any.
+    #[must_use]
+    pub fn max_var(&self) -> Option<usize> {
+        match self {
+            Expr::Const(_) => None,
+            Expr::Var(i) => Some(*i),
+            Expr::Not(e) => e.max_var(),
+            Expr::And(es) | Expr::Or(es) => es.iter().filter_map(Expr::max_var).max(),
+        }
+    }
+
+    /// Counts the literals (variable occurrences) in the expression — a
+    /// rough measure of reconfiguration-manager evaluation cost.
+    #[must_use]
+    pub fn literal_count(&self) -> usize {
+        match self {
+            Expr::Const(_) => 0,
+            Expr::Var(_) => 1,
+            Expr::Not(e) => e.literal_count(),
+            Expr::And(es) | Expr::Or(es) => es.iter().map(Expr::literal_count).sum(),
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    /// Renders with `·` for AND, `+` for OR and `~` for NOT, parenthesising
+    /// only where precedence requires it.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn write_prec(e: &Expr, f: &mut fmt::Formatter<'_>, parent: u8) -> fmt::Result {
+            // precedence: Or = 0, And = 1, Not/Var/Const = 2
+            match e {
+                Expr::Const(b) => write!(f, "{}", if *b { "1" } else { "0" }),
+                Expr::Var(i) => write!(f, "m{i}"),
+                Expr::Not(inner) => {
+                    write!(f, "~")?;
+                    write_prec(inner, f, 2)
+                }
+                Expr::And(es) => {
+                    let need = parent > 1;
+                    if need {
+                        write!(f, "(")?;
+                    }
+                    for (i, t) in es.iter().enumerate() {
+                        if i > 0 {
+                            write!(f, "·")?;
+                        }
+                        write_prec(t, f, 1)?;
+                    }
+                    if need {
+                        write!(f, ")")?;
+                    }
+                    Ok(())
+                }
+                Expr::Or(es) => {
+                    let need = parent > 0;
+                    if need {
+                        write!(f, "(")?;
+                    }
+                    for (i, t) in es.iter().enumerate() {
+                        if i > 0 {
+                            write!(f, " + ")?;
+                        }
+                        write_prec(t, f, 0)?;
+                    }
+                    if need {
+                        write!(f, ")")?;
+                    }
+                    Ok(())
+                }
+            }
+        }
+        write_prec(self, f, 0)
+    }
+}
+
+/// Error returned when parsing an [`Expr`] from text fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseExprError {
+    msg: String,
+    pos: usize,
+}
+
+impl ParseExprError {
+    fn new(msg: impl Into<String>, pos: usize) -> Self {
+        Self {
+            msg: msg.into(),
+            pos,
+        }
+    }
+
+    /// Byte offset in the input at which parsing failed.
+    #[must_use]
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+}
+
+impl fmt::Display for ParseExprError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at byte {}", self.msg, self.pos)
+    }
+}
+
+impl Error for ParseExprError {}
+
+impl std::str::FromStr for Expr {
+    type Err = ParseExprError;
+
+    /// Parses expressions in the crate's own `Display` syntax:
+    /// `m<i>` variables, `~` negation, `·`, `*` or `&` for AND (also
+    /// implicit by juxtaposition of factors), `+` or `|` for OR, `0`/`1`
+    /// constants and parentheses.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut p = Parser {
+            src: s.as_bytes(),
+            pos: 0,
+            text: s,
+        };
+        let e = p.parse_or()?;
+        p.skip_ws();
+        if p.pos != p.src.len() {
+            return Err(ParseExprError::new("unexpected trailing input", p.pos));
+        }
+        Ok(e)
+    }
+}
+
+struct Parser<'a> {
+    src: &'a [u8],
+    text: &'a str,
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while self.pos < self.src.len() && self.src[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<char> {
+        self.skip_ws();
+        self.text[self.pos..].chars().next()
+    }
+
+    fn bump(&mut self, c: char) {
+        self.pos += c.len_utf8();
+    }
+
+    fn parse_or(&mut self) -> Result<Expr, ParseExprError> {
+        let mut terms = vec![self.parse_and()?];
+        while let Some(c) = self.peek() {
+            if c == '+' || c == '|' {
+                self.bump(c);
+                terms.push(self.parse_and()?);
+            } else {
+                break;
+            }
+        }
+        Ok(if terms.len() == 1 {
+            terms.pop().expect("nonempty")
+        } else {
+            Expr::Or(terms)
+        })
+    }
+
+    fn parse_and(&mut self) -> Result<Expr, ParseExprError> {
+        let mut factors = vec![self.parse_atom()?];
+        loop {
+            match self.peek() {
+                Some(c) if c == '·' || c == '*' || c == '&' || c == '.' => {
+                    self.bump(c);
+                    factors.push(self.parse_atom()?);
+                }
+                // Implicit AND: a factor can start right after another.
+                Some(c) if c == '~' || c == 'm' || c == '(' => {
+                    factors.push(self.parse_atom()?);
+                }
+                _ => break,
+            }
+        }
+        Ok(if factors.len() == 1 {
+            factors.pop().expect("nonempty")
+        } else {
+            Expr::And(factors)
+        })
+    }
+
+    fn parse_atom(&mut self) -> Result<Expr, ParseExprError> {
+        match self.peek() {
+            Some('~') | Some('!') => {
+                let c = self.peek().expect("peeked");
+                self.bump(c);
+                Ok(Expr::Not(Box::new(self.parse_atom()?)))
+            }
+            Some('(') => {
+                self.bump('(');
+                let inner = self.parse_or()?;
+                if self.peek() == Some(')') {
+                    self.bump(')');
+                    Ok(inner)
+                } else {
+                    Err(ParseExprError::new("expected ')'", self.pos))
+                }
+            }
+            Some('0') => {
+                self.bump('0');
+                Ok(Expr::Const(false))
+            }
+            Some('1') => {
+                self.bump('1');
+                Ok(Expr::Const(true))
+            }
+            Some('m') => {
+                self.bump('m');
+                let start = self.pos;
+                while self.pos < self.src.len() && self.src[self.pos].is_ascii_digit() {
+                    self.pos += 1;
+                }
+                if self.pos == start {
+                    return Err(ParseExprError::new("expected digits after 'm'", self.pos));
+                }
+                let idx: usize = self.text[start..self.pos]
+                    .parse()
+                    .map_err(|_| ParseExprError::new("mode-bit index out of range", start))?;
+                if idx >= 64 {
+                    return Err(ParseExprError::new("mode-bit index out of range", start));
+                }
+                Ok(Expr::Var(idx))
+            }
+            Some(c) => Err(ParseExprError::new(
+                format!("unexpected character '{c}'"),
+                self.pos,
+            )),
+            None => Err(ParseExprError::new("unexpected end of input", self.pos)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ModeSet, ModeSpace};
+
+    #[test]
+    fn display_constants_and_vars() {
+        assert_eq!(Expr::Const(true).to_string(), "1");
+        assert_eq!(Expr::Const(false).to_string(), "0");
+        assert_eq!(Expr::Var(3).to_string(), "m3");
+        assert_eq!(Expr::Not(Box::new(Expr::Var(0))).to_string(), "~m0");
+    }
+
+    #[test]
+    fn display_precedence() {
+        let e = Expr::Or(vec![
+            Expr::And(vec![Expr::Var(1), Expr::Not(Box::new(Expr::Var(0)))]),
+            Expr::Var(0),
+        ]);
+        assert_eq!(e.to_string(), "m1·~m0 + m0");
+    }
+
+    #[test]
+    fn display_nested_or_in_and_parenthesised() {
+        let e = Expr::And(vec![
+            Expr::Or(vec![Expr::Var(0), Expr::Var(1)]),
+            Expr::Var(2),
+        ]);
+        assert_eq!(e.to_string(), "(m0 + m1)·m2");
+    }
+
+    #[test]
+    fn parse_roundtrip_display() {
+        for src in ["m0", "~m1", "m1·~m0 + m0", "(m0 + m1)·m2", "0", "1"] {
+            let e: Expr = src.parse().expect(src);
+            assert_eq!(e.to_string(), src);
+        }
+    }
+
+    #[test]
+    fn parse_alternative_operators() {
+        let a: Expr = "m0*m1 | !m2".parse().expect("parse");
+        let b: Expr = "m0·m1 + ~m2".parse().expect("parse");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn parse_implicit_and() {
+        let a: Expr = "m1~m0".parse().expect("parse");
+        let b: Expr = "m1·~m0".parse().expect("parse");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn parse_errors_report_position() {
+        let err = "m0 + ".parse::<Expr>().unwrap_err();
+        assert_eq!(err.position(), 5);
+        assert!("m".parse::<Expr>().is_err());
+        assert!("m0)".parse::<Expr>().is_err());
+        assert!("(m0".parse::<Expr>().is_err());
+        assert!("m999999999999999999999".parse::<Expr>().is_err());
+    }
+
+    #[test]
+    fn eval_matches_semantics() {
+        let e: Expr = "m1·~m0 + m2".parse().expect("parse");
+        for code in 0..8u64 {
+            let m0 = code & 1 != 0;
+            let m1 = code & 2 != 0;
+            let m2 = code & 4 != 0;
+            assert_eq!(e.eval(code), (m1 && !m0) || m2, "code={code:03b}");
+        }
+    }
+
+    #[test]
+    fn from_cubes_matches_modeset() {
+        let space = ModeSpace::new(6);
+        for mask in [0u64, 1, 0b10110, 0b111111, 0b101010] {
+            let s = ModeSet::from_mask(mask);
+            let e = s.to_expr(space);
+            for m in space.modes() {
+                assert_eq!(e.eval(m as u64), s.contains(m), "mask={mask:b} mode={m}");
+            }
+        }
+    }
+
+    #[test]
+    fn max_var_and_literals() {
+        let e: Expr = "m1·~m0 + m4".parse().expect("parse");
+        assert_eq!(e.max_var(), Some(4));
+        assert_eq!(e.literal_count(), 3);
+        assert_eq!(Expr::Const(true).max_var(), None);
+    }
+}

@@ -1,0 +1,53 @@
+//! Boolean *mode algebra* for multi-mode circuits.
+//!
+//! A multi-mode circuit implements `M` mutually exclusive circuits
+//! (*modes*). The active mode is selected by `B = ceil(log2 M)` slowly
+//! varying signals, the *mode bits* `m_{B-1} … m_0`. Throughout the tool
+//! flow, three kinds of Boolean functions **of the mode bits** appear:
+//!
+//! * *activation functions* of tunable connections — the connection must be
+//!   realised exactly for the modes in which the function is true;
+//! * *parameterized configuration bits* — truth-table bits of tunable LUTs
+//!   and routing-switch bits whose value depends on the mode;
+//! * the *Boolean product* of a mode — the minterm of the mode's binary
+//!   code, e.g. mode `10₂` has product `m1·m̄0`.
+//!
+//! Any Boolean function of the mode bits is fully determined by its value
+//! on each of the `M` valid mode codes (codes `M..2^B` never occur and are
+//! don't-cares). This crate therefore represents such functions canonically
+//! as a [`ModeSet`]: the set of modes in which the function evaluates to
+//! true. All algebra (AND/OR/NOT, constant tests) is cheap bit-mask
+//! arithmetic, and two functions are equal iff their mode sets are equal.
+//!
+//! For human consumption (reports, bitstream dumps, the paper's
+//! `1, 0, 0, m1·m0, m0, 1, 0 …` notation), [`ModeSet::to_expr`] converts a
+//! mode set back into a minimised sum-of-products over the mode bits using
+//! a small Quine–McCluskey minimiser ([`qm`]) that exploits the unused
+//! codes as don't-cares.
+//!
+//! # Example
+//!
+//! ```
+//! use mm_boolexpr::{ModeSpace, ModeSet};
+//!
+//! // Three modes need two mode bits; code 3 is a don't-care.
+//! let space = ModeSpace::new(3);
+//! assert_eq!(space.bit_count(), 2);
+//!
+//! // A connection used by modes 1 and 2.
+//! let act = ModeSet::of(&[1, 2]);
+//! assert!(!act.is_always(space));
+//! assert!(act.contains(2));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cube;
+mod expr;
+mod modeset;
+pub mod qm;
+
+pub use cube::Cube;
+pub use expr::{Expr, ParseExprError};
+pub use modeset::{ModeSet, ModeSpace, MAX_MODES};

@@ -1,0 +1,486 @@
+//! Mode spaces and mode sets — the canonical representation of Boolean
+//! functions of the mode bits.
+
+use crate::expr::Expr;
+use crate::qm;
+use std::fmt;
+use std::ops::{BitAnd, BitAndAssign, BitOr, BitOrAssign, BitXor, Not};
+
+/// Maximum number of modes supported by [`ModeSet`]'s bit-mask
+/// representation.
+///
+/// The paper's multi-mode circuits have 2–3 modes; 64 leaves ample head
+/// room while keeping every set operation a single machine instruction.
+pub const MAX_MODES: usize = 64;
+
+/// The space of modes of a multi-mode circuit: how many modes exist and how
+/// they are encoded in mode bits.
+///
+/// Modes are numbered `0..M` and encoded in binary using
+/// `B = ceil(log2 M)` mode bits (at least one bit even for a single mode,
+/// so a mode product always exists). Codes `M..2^B` never occur at run time
+/// and act as don't-cares during expression minimisation.
+///
+/// # Example
+///
+/// ```
+/// use mm_boolexpr::ModeSpace;
+/// let space = ModeSpace::new(5);
+/// assert_eq!(space.mode_count(), 5);
+/// assert_eq!(space.bit_count(), 3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ModeSpace {
+    modes: u8,
+}
+
+impl ModeSpace {
+    /// Creates the mode space for `mode_count` modes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mode_count` is zero or exceeds [`MAX_MODES`].
+    #[must_use]
+    pub fn new(mode_count: usize) -> Self {
+        assert!(
+            mode_count >= 1 && mode_count <= MAX_MODES,
+            "mode count must be in 1..={MAX_MODES}, got {mode_count}"
+        );
+        Self {
+            modes: mode_count as u8,
+        }
+    }
+
+    /// Number of modes `M`.
+    #[must_use]
+    pub fn mode_count(self) -> usize {
+        self.modes as usize
+    }
+
+    /// Number of mode bits `B = max(1, ceil(log2 M))`.
+    #[must_use]
+    pub fn bit_count(self) -> usize {
+        let m = self.modes as usize;
+        if m <= 2 {
+            1
+        } else {
+            (usize::BITS - (m - 1).leading_zeros()) as usize
+        }
+    }
+
+    /// Iterates over all mode numbers `0..M`.
+    pub fn modes(self) -> impl Iterator<Item = usize> {
+        0..self.modes as usize
+    }
+
+    /// The set of *all* modes in this space (the constant-true function).
+    #[must_use]
+    pub fn all(self) -> ModeSet {
+        if self.modes as usize == MAX_MODES {
+            ModeSet(u64::MAX)
+        } else {
+            ModeSet((1u64 << self.modes) - 1)
+        }
+    }
+
+    /// The *Boolean product* (minterm over the mode bits) of `mode`, i.e.
+    /// the function that is true exactly in that mode — as a [`ModeSet`]
+    /// this is simply the singleton set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mode >= self.mode_count()`.
+    #[must_use]
+    pub fn product(self, mode: usize) -> ModeSet {
+        assert!(
+            mode < self.modes as usize,
+            "mode {mode} out of range (mode count {})",
+            self.modes
+        );
+        ModeSet(1u64 << mode)
+    }
+}
+
+/// A set of modes — canonically representing a Boolean function of the
+/// mode bits (the function that is true exactly for the modes in the set).
+///
+/// `ModeSet` is the workhorse of the tool flow: activation functions of
+/// tunable connections, parameterized LUT truth-table bits and routing
+/// switch bits are all `ModeSet`s. Logical AND/OR/NOT on the functions are
+/// the set operations `&`, `|` and complement (via [`ModeSet::complement`]).
+///
+/// A `ModeSet` does not know the size of its [`ModeSpace`]; operations that
+/// need it (complement, constant tests, expression conversion) take the
+/// space as an argument.
+///
+/// # Example
+///
+/// ```
+/// use mm_boolexpr::{ModeSet, ModeSpace};
+/// let space = ModeSpace::new(2);
+/// let a = space.product(0);
+/// let b = space.product(1);
+/// // A connection present in both modes is always active:
+/// assert!((a | b).is_always(space));
+/// // …and one present in no mode is never active:
+/// assert!((a & b).is_never());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct ModeSet(u64);
+
+impl ModeSet {
+    /// The empty set (the constant-false function).
+    pub const EMPTY: ModeSet = ModeSet(0);
+
+    /// Creates a set from a raw bit mask (bit `i` ⇔ mode `i`).
+    #[must_use]
+    pub const fn from_mask(mask: u64) -> Self {
+        Self(mask)
+    }
+
+    /// The raw bit mask (bit `i` ⇔ mode `i`).
+    #[must_use]
+    pub const fn mask(self) -> u64 {
+        self.0
+    }
+
+    /// Creates a set containing exactly the given modes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any mode number is `>= MAX_MODES`.
+    #[must_use]
+    pub fn of(modes: &[usize]) -> Self {
+        let mut mask = 0u64;
+        for &m in modes {
+            assert!(m < MAX_MODES, "mode {m} out of range");
+            mask |= 1 << m;
+        }
+        Self(mask)
+    }
+
+    /// Creates the singleton set `{mode}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mode >= MAX_MODES`.
+    #[must_use]
+    pub fn single(mode: usize) -> Self {
+        assert!(mode < MAX_MODES, "mode {mode} out of range");
+        Self(1 << mode)
+    }
+
+    /// Whether `mode` is in the set.
+    #[must_use]
+    pub fn contains(self, mode: usize) -> bool {
+        mode < MAX_MODES && self.0 & (1 << mode) != 0
+    }
+
+    /// Inserts `mode` into the set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mode >= MAX_MODES`.
+    pub fn insert(&mut self, mode: usize) {
+        assert!(mode < MAX_MODES, "mode {mode} out of range");
+        self.0 |= 1 << mode;
+    }
+
+    /// Removes `mode` from the set.
+    pub fn remove(&mut self, mode: usize) {
+        if mode < MAX_MODES {
+            self.0 &= !(1 << mode);
+        }
+    }
+
+    /// Number of modes in the set.
+    #[must_use]
+    pub fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// Whether the set is empty, i.e. the function is the constant `0` —
+    /// the connection/bit is never active.
+    #[must_use]
+    pub fn is_never(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Alias of [`ModeSet::is_never`] for use as a collection.
+    #[must_use]
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Whether the function is the constant `1` in `space`, i.e. the set
+    /// contains every valid mode. Don't-care codes are ignored.
+    #[must_use]
+    pub fn is_always(self, space: ModeSpace) -> bool {
+        self.0 & space.all().0 == space.all().0
+    }
+
+    /// Whether the function depends on the mode bits in `space`: not
+    /// constant-0 and not constant-1. Such a configuration bit is
+    /// *parameterized* and must be rewritten when the mode changes.
+    #[must_use]
+    pub fn is_parameterized(self, space: ModeSpace) -> bool {
+        !self.is_never() && !self.is_always(space)
+    }
+
+    /// Whether the two sets share no mode — e.g. two connections that may
+    /// share a physical wire because they are never active simultaneously.
+    #[must_use]
+    pub fn is_disjoint(self, other: ModeSet) -> bool {
+        self.0 & other.0 == 0
+    }
+
+    /// Whether `self` is a subset of `other`.
+    #[must_use]
+    pub fn is_subset(self, other: ModeSet) -> bool {
+        self.0 & !other.0 == 0
+    }
+
+    /// The complement within `space` (logical NOT of the function).
+    #[must_use]
+    pub fn complement(self, space: ModeSpace) -> ModeSet {
+        ModeSet(!self.0 & space.all().0)
+    }
+
+    /// Iterates over the mode numbers in the set, ascending.
+    pub fn iter(self) -> impl Iterator<Item = usize> {
+        let mut rest = self.0;
+        std::iter::from_fn(move || {
+            if rest == 0 {
+                None
+            } else {
+                let m = rest.trailing_zeros() as usize;
+                rest &= rest - 1;
+                Some(m)
+            }
+        })
+    }
+
+    /// Evaluates the function for a concrete `mode` (truth value of the
+    /// corresponding parameterized bit / activation function in that mode).
+    #[must_use]
+    pub fn eval(self, mode: usize) -> bool {
+        self.contains(mode)
+    }
+
+    /// Converts the function to a minimised sum-of-products expression over
+    /// the mode bits of `space`, using the unused codes `M..2^B` as
+    /// don't-cares.
+    ///
+    /// ```
+    /// use mm_boolexpr::{ModeSet, ModeSpace};
+    /// let space = ModeSpace::new(4);
+    /// // Modes 2 and 3 are exactly the codes with m1 = 1.
+    /// assert_eq!(ModeSet::of(&[2, 3]).to_expr(space).to_string(), "m1");
+    /// ```
+    #[must_use]
+    pub fn to_expr(self, space: ModeSpace) -> Expr {
+        let cubes = qm::minimize(self, space);
+        Expr::from_cubes(&cubes)
+    }
+}
+
+impl fmt::Display for ModeSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, m) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{m}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl BitOr for ModeSet {
+    type Output = ModeSet;
+    fn bitor(self, rhs: ModeSet) -> ModeSet {
+        ModeSet(self.0 | rhs.0)
+    }
+}
+
+impl BitOrAssign for ModeSet {
+    fn bitor_assign(&mut self, rhs: ModeSet) {
+        self.0 |= rhs.0;
+    }
+}
+
+impl BitAnd for ModeSet {
+    type Output = ModeSet;
+    fn bitand(self, rhs: ModeSet) -> ModeSet {
+        ModeSet(self.0 & rhs.0)
+    }
+}
+
+impl BitAndAssign for ModeSet {
+    fn bitand_assign(&mut self, rhs: ModeSet) {
+        self.0 &= rhs.0;
+    }
+}
+
+impl BitXor for ModeSet {
+    type Output = ModeSet;
+    fn bitxor(self, rhs: ModeSet) -> ModeSet {
+        ModeSet(self.0 ^ rhs.0)
+    }
+}
+
+impl Not for ModeSet {
+    type Output = ModeSet;
+    /// Bitwise complement over the full 64-bit mask. Prefer
+    /// [`ModeSet::complement`] which respects the mode space.
+    fn not(self) -> ModeSet {
+        ModeSet(!self.0)
+    }
+}
+
+impl FromIterator<usize> for ModeSet {
+    fn from_iter<T: IntoIterator<Item = usize>>(iter: T) -> Self {
+        let mut s = ModeSet::EMPTY;
+        for m in iter {
+            s.insert(m);
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bit_count_matches_ceil_log2() {
+        let expect = [
+            (1, 1),
+            (2, 1),
+            (3, 2),
+            (4, 2),
+            (5, 3),
+            (8, 3),
+            (9, 4),
+            (16, 4),
+            (17, 5),
+            (33, 6),
+            (64, 6),
+        ];
+        for (m, b) in expect {
+            assert_eq!(ModeSpace::new(m).bit_count(), b, "modes={m}");
+        }
+    }
+
+    #[test]
+    fn all_contains_every_mode() {
+        for m in [1, 2, 3, 5, 64] {
+            let space = ModeSpace::new(m);
+            let all = space.all();
+            assert_eq!(all.len(), m);
+            for i in 0..m {
+                assert!(all.contains(i));
+            }
+            assert!(all.is_always(space));
+        }
+    }
+
+    #[test]
+    fn product_is_singleton() {
+        let space = ModeSpace::new(3);
+        let p = space.product(2);
+        assert_eq!(p.len(), 1);
+        assert!(p.contains(2));
+        assert!(!p.contains(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn product_rejects_out_of_range() {
+        let _ = ModeSpace::new(3).product(3);
+    }
+
+    #[test]
+    fn and_of_two_products_is_never() {
+        let space = ModeSpace::new(2);
+        assert!((space.product(0) & space.product(1)).is_never());
+    }
+
+    #[test]
+    fn or_of_all_products_is_always() {
+        let space = ModeSpace::new(5);
+        let mut s = ModeSet::EMPTY;
+        for m in space.modes() {
+            s |= space.product(m);
+        }
+        assert!(s.is_always(space));
+        assert!(!s.is_parameterized(space));
+    }
+
+    #[test]
+    fn parameterized_detection() {
+        let space = ModeSpace::new(3);
+        assert!(!ModeSet::EMPTY.is_parameterized(space));
+        assert!(!space.all().is_parameterized(space));
+        assert!(ModeSet::of(&[1]).is_parameterized(space));
+        assert!(ModeSet::of(&[0, 2]).is_parameterized(space));
+    }
+
+    #[test]
+    fn complement_respects_space() {
+        let space = ModeSpace::new(3);
+        let s = ModeSet::of(&[0]);
+        let c = s.complement(space);
+        assert_eq!(c, ModeSet::of(&[1, 2]));
+        assert!((s | c).is_always(space));
+        assert!((s & c).is_never());
+    }
+
+    #[test]
+    fn iter_ascending() {
+        let s = ModeSet::of(&[5, 1, 9]);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![1, 5, 9]);
+    }
+
+    #[test]
+    fn from_iterator_collects() {
+        let s: ModeSet = [0usize, 2, 2, 4].into_iter().collect();
+        assert_eq!(s, ModeSet::of(&[0, 2, 4]));
+    }
+
+    #[test]
+    fn display_lists_modes() {
+        assert_eq!(ModeSet::of(&[0, 3]).to_string(), "{0,3}");
+        assert_eq!(ModeSet::EMPTY.to_string(), "{}");
+    }
+
+    #[test]
+    fn insert_remove_roundtrip() {
+        let mut s = ModeSet::EMPTY;
+        s.insert(7);
+        assert!(s.contains(7));
+        s.remove(7);
+        assert!(s.is_never());
+        // Removing an absent mode is a no-op.
+        s.remove(63);
+        assert!(s.is_never());
+    }
+
+    #[test]
+    fn subset_and_disjoint() {
+        let a = ModeSet::of(&[1, 2]);
+        let b = ModeSet::of(&[1, 2, 3]);
+        assert!(a.is_subset(b));
+        assert!(!b.is_subset(a));
+        assert!(a.is_disjoint(ModeSet::of(&[0, 4])));
+        assert!(!a.is_disjoint(b));
+    }
+
+    #[test]
+    fn max_modes_space() {
+        let space = ModeSpace::new(64);
+        assert_eq!(space.all().mask(), u64::MAX);
+        assert!(space.all().is_always(space));
+    }
+}

@@ -1,0 +1,252 @@
+//! Quine–McCluskey two-level minimisation over the mode bits.
+//!
+//! The tool flow reports parameterized configuration bits as Boolean
+//! expressions of the mode bits (the paper's `…, m1·m0, m0, 1, 0, …`
+//! notation). The functions involved are tiny — at most
+//! `B = ceil(log2 M)` variables — so exact Quine–McCluskey with a greedy
+//! set cover for the cyclic core is more than adequate.
+//!
+//! Codes `M..2^B` (bit patterns that never occur because there are only
+//! `M` modes) are treated as don't-cares, which is what lets e.g. the
+//! 3-mode function `{1,2}` minimise to `m0 + m1` instead of
+//! `m̄1·m0 + m1·m̄0`.
+
+use crate::{Cube, ModeSet, ModeSpace};
+
+/// Minimises the Boolean function represented by `on` (the set of modes
+/// where the function is 1) into a minimal sum of prime-implicant cubes
+/// over the mode bits of `space`.
+///
+/// Unused codes act as don't-cares. Returns an empty vector for the
+/// constant-0 function and `vec![Cube::universe()]` for constant-1.
+///
+/// # Example
+///
+/// ```
+/// use mm_boolexpr::{qm, ModeSet, ModeSpace};
+/// let space = ModeSpace::new(4);
+/// let cubes = qm::minimize(ModeSet::of(&[1, 3]), space);
+/// assert_eq!(cubes.len(), 1);
+/// assert_eq!(cubes[0].to_string(), "m0");
+/// ```
+#[must_use]
+pub fn minimize(on: ModeSet, space: ModeSpace) -> Vec<Cube> {
+    let bits = space.bit_count();
+    let valid = space.all();
+    let on = on & valid;
+    if on.is_never() {
+        return Vec::new();
+    }
+    if on.is_always(space) {
+        return vec![Cube::universe()];
+    }
+
+    // Don't-care codes: everything in 0..2^B outside the valid modes.
+    let total_codes: u64 = 1u64 << bits;
+    let minterms: Vec<u64> = on.iter().map(|m| m as u64).collect();
+    let dontcares: Vec<u64> = (0..total_codes)
+        .filter(|&c| c as usize >= space.mode_count())
+        .collect();
+
+    let primes = prime_implicants(&minterms, &dontcares, bits);
+    cover(&minterms, &primes)
+}
+
+/// Computes all prime implicants of the function with the given ON-set
+/// minterms and don't-cares over `bits` variables, via iterated cube
+/// merging.
+#[must_use]
+pub fn prime_implicants(minterms: &[u64], dontcares: &[u64], bits: usize) -> Vec<Cube> {
+    let mut current: Vec<Cube> = minterms
+        .iter()
+        .chain(dontcares.iter())
+        .map(|&c| Cube::minterm(c, bits))
+        .collect();
+    current.sort_unstable();
+    current.dedup();
+
+    let mut primes: Vec<Cube> = Vec::new();
+    while !current.is_empty() {
+        let mut merged_flag = vec![false; current.len()];
+        let mut next: Vec<Cube> = Vec::new();
+        for i in 0..current.len() {
+            for j in (i + 1)..current.len() {
+                if let Some(m) = current[i].merge(current[j]) {
+                    merged_flag[i] = true;
+                    merged_flag[j] = true;
+                    next.push(m);
+                }
+            }
+        }
+        for (i, cube) in current.iter().enumerate() {
+            if !merged_flag[i] {
+                primes.push(*cube);
+            }
+        }
+        next.sort_unstable();
+        next.dedup();
+        current = next;
+    }
+    primes.sort_unstable();
+    primes.dedup();
+    primes
+}
+
+/// Selects a small cover of `minterms` out of the prime implicants:
+/// essential primes first, then greedy set cover (fewest literals breaking
+/// ties) for the remaining minterms.
+fn cover(minterms: &[u64], primes: &[Cube]) -> Vec<Cube> {
+    let mut chosen: Vec<Cube> = Vec::new();
+    let mut uncovered: Vec<u64> = minterms.to_vec();
+
+    // Essential primes: minterms covered by exactly one prime.
+    loop {
+        let mut essential: Option<Cube> = None;
+        for &m in &uncovered {
+            let covering: Vec<&Cube> = primes.iter().filter(|p| p.covers(m)).collect();
+            if covering.len() == 1 && !chosen.contains(covering[0]) {
+                essential = Some(*covering[0]);
+                break;
+            }
+        }
+        match essential {
+            Some(p) => {
+                chosen.push(p);
+                uncovered.retain(|&m| !p.covers(m));
+                if uncovered.is_empty() {
+                    return finalize(chosen);
+                }
+            }
+            None => break,
+        }
+    }
+
+    // Greedy cover of the cyclic core: repeatedly pick the prime covering
+    // the most uncovered minterms; prefer fewer literals on ties.
+    while !uncovered.is_empty() {
+        let best = primes
+            .iter()
+            .filter(|p| !chosen.contains(*p))
+            .map(|p| {
+                let gain = uncovered.iter().filter(|&&m| p.covers(m)).count();
+                (gain, std::cmp::Reverse(p.literal_count()), *p)
+            })
+            .max_by_key(|&(gain, lits, _)| (gain, lits))
+            .map(|(gain, _, p)| (gain, p));
+        match best {
+            Some((gain, p)) if gain > 0 => {
+                chosen.push(p);
+                uncovered.retain(|&m| !p.covers(m));
+            }
+            _ => unreachable!("prime implicants always cover all minterms"),
+        }
+    }
+    finalize(chosen)
+}
+
+fn finalize(mut cubes: Vec<Cube>) -> Vec<Cube> {
+    cubes.sort_unstable();
+    cubes.dedup();
+    cubes
+}
+
+/// Evaluates a sum-of-products on a code: true iff any cube covers it.
+#[must_use]
+pub fn eval_cubes(cubes: &[Cube], code: u64) -> bool {
+    cubes.iter().any(|c| c.covers(code))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_equivalent(on: ModeSet, space: ModeSpace) {
+        let cubes = minimize(on, space);
+        for m in space.modes() {
+            assert_eq!(
+                eval_cubes(&cubes, m as u64),
+                on.contains(m),
+                "mode {m}, on={on}, cubes={cubes:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn constant_functions() {
+        let space = ModeSpace::new(3);
+        assert!(minimize(ModeSet::EMPTY, space).is_empty());
+        assert_eq!(minimize(space.all(), space), vec![Cube::universe()]);
+    }
+
+    #[test]
+    fn two_modes_single_literal() {
+        let space = ModeSpace::new(2);
+        let cubes = minimize(ModeSet::of(&[1]), space);
+        assert_eq!(cubes.len(), 1);
+        assert_eq!(cubes[0].to_string(), "m0");
+        let cubes = minimize(ModeSet::of(&[0]), space);
+        assert_eq!(cubes[0].to_string(), "~m0");
+    }
+
+    #[test]
+    fn dontcare_codes_simplify() {
+        // 3 modes, function {1,2}: with code 3 as don't-care this is m0+m1.
+        let space = ModeSpace::new(3);
+        let cubes = minimize(ModeSet::of(&[1, 2]), space);
+        assert_eq!(cubes.len(), 2);
+        let rendered: Vec<String> = cubes.iter().map(|c| c.to_string()).collect();
+        assert!(rendered.contains(&"m0".to_string()), "{rendered:?}");
+        assert!(rendered.contains(&"m1".to_string()), "{rendered:?}");
+    }
+
+    #[test]
+    fn four_mode_bit_function() {
+        let space = ModeSpace::new(4);
+        // Modes {2,3} = m1.
+        let cubes = minimize(ModeSet::of(&[2, 3]), space);
+        assert_eq!(cubes.len(), 1);
+        assert_eq!(cubes[0].to_string(), "m1");
+    }
+
+    #[test]
+    fn xor_needs_two_cubes() {
+        let space = ModeSpace::new(4);
+        // Modes {1,2} = m1 xor m0 over 2 bits, no don't-cares.
+        let cubes = minimize(ModeSet::of(&[1, 2]), space);
+        assert_eq!(cubes.len(), 2);
+        check_equivalent(ModeSet::of(&[1, 2]), space);
+    }
+
+    #[test]
+    fn exhaustive_equivalence_small_spaces() {
+        for mode_count in 1..=5usize {
+            let space = ModeSpace::new(mode_count);
+            let all = space.all().mask();
+            for mask in 0..=all {
+                check_equivalent(ModeSet::from_mask(mask), space);
+            }
+        }
+    }
+
+    #[test]
+    fn prime_implicants_of_full_square() {
+        // ON = {0,1,2,3} over 2 bits → single universal prime.
+        let primes = prime_implicants(&[0, 1, 2, 3], &[], 2);
+        assert_eq!(primes, vec![Cube::universe()]);
+    }
+
+    #[test]
+    fn cover_is_minimal_for_classic_example() {
+        // Classic QM example: f(a,b,c,d) with ON-set
+        // {4,8,10,11,12,15}, DC {9,14} minimises to 3 cubes.
+        let primes = prime_implicants(&[4, 8, 10, 11, 12, 15], &[9, 14], 4);
+        let cover = cover(&[4, 8, 10, 11, 12, 15], &primes);
+        assert_eq!(cover.len(), 3, "cover={cover:?}");
+        for m in [4u64, 8, 10, 11, 12, 15] {
+            assert!(eval_cubes(&cover, m));
+        }
+        for m in [0u64, 1, 2, 3, 5, 6, 7, 13] {
+            assert!(!eval_cubes(&cover, m), "minterm {m} wrongly covered");
+        }
+    }
+}

@@ -1,0 +1,284 @@
+//! `mmflow` — the fully automated multi-mode tool flow from the command
+//! line.
+//!
+//! ```text
+//! mmflow merge a.blif b.blif [...]   run the DCS flow on BLIF mode circuits
+//! mmflow mdr   a.blif b.blif [...]   run the MDR baseline
+//! mmflow stats a.blif                print circuit statistics
+//! mmflow gen   <regexp|fir|mcnc> DIR write a benchmark suite as BLIF files
+//! ```
+
+use mm_flow::{DcsFlow, FlowOptions, MdrFlow, MultiModeInput, WidthChoice};
+use mm_netlist::{blif, LutCircuit};
+use mm_place::CostKind;
+use std::error::Error;
+use std::path::Path;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+mmflow — combined implementation of multi-mode circuits (DATE'13 flow)
+
+USAGE:
+  mmflow merge <MODE.blif>... [OPTIONS]   DCS flow: merge modes, report the
+                                          parameterized configuration
+  mmflow mdr   <MODE.blif>... [OPTIONS]   MDR baseline: separate configs
+  mmflow stats <CIRCUIT.blif>...          circuit statistics
+  mmflow gen <regexp|fir|mcnc> <DIR>      write a benchmark suite as BLIF
+
+OPTIONS:
+  -k <N>           LUT input count (default 4)
+  --cost <C>       combined-placement cost: wl | edge | hybrid:<lambda>
+                   (default wl)
+  --width <W>      fixed channel width (default: minimum + 20%)
+  --seed <S>       placer seed (default 0x5eed)
+  --effort <E>     annealing effort (VPR inner_num, default 1)
+  --bits <N>       print the first N parameterized bit expressions
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+struct CommonOptions {
+    k: usize,
+    cost: CostKind,
+    flow: FlowOptions,
+    show_bits: usize,
+    files: Vec<String>,
+}
+
+fn parse_common(args: &[String]) -> Result<CommonOptions, Box<dyn Error>> {
+    let mut options = CommonOptions {
+        k: 4,
+        cost: CostKind::WireLength,
+        flow: FlowOptions::default(),
+        show_bits: 0,
+        files: Vec::new(),
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "-k" => options.k = next_value(&mut it, "-k")?.parse()?,
+            "--cost" => {
+                let v = next_value(&mut it, "--cost")?;
+                options.cost = match v.as_str() {
+                    "wl" => CostKind::WireLength,
+                    "edge" => CostKind::EdgeMatching,
+                    other => match other.strip_prefix("hybrid:") {
+                        Some(l) => CostKind::Hybrid {
+                            wl_weight: 1.0,
+                            edge_weight: l.parse()?,
+                        },
+                        None => return Err(format!("unknown cost '{v}'").into()),
+                    },
+                };
+            }
+            "--width" => {
+                options.flow.width = WidthChoice::Fixed(next_value(&mut it, "--width")?.parse()?);
+            }
+            "--seed" => options.flow.placer.seed = next_value(&mut it, "--seed")?.parse()?,
+            "--effort" => {
+                options.flow.placer.inner_num = next_value(&mut it, "--effort")?.parse()?;
+            }
+            "--bits" => options.show_bits = next_value(&mut it, "--bits")?.parse()?,
+            other if other.starts_with('-') => {
+                return Err(format!("unknown option '{other}'").into());
+            }
+            file => options.files.push(file.to_string()),
+        }
+    }
+    Ok(options)
+}
+
+fn next_value<'a>(
+    it: &mut std::slice::Iter<'a, String>,
+    flag: &str,
+) -> Result<&'a String, Box<dyn Error>> {
+    it.next()
+        .ok_or_else(|| format!("{flag} needs a value").into())
+}
+
+fn load_circuits(files: &[String], k: usize) -> Result<Vec<LutCircuit>, Box<dyn Error>> {
+    if files.is_empty() {
+        return Err("no input files".into());
+    }
+    files
+        .iter()
+        .map(|f| {
+            let text = std::fs::read_to_string(f).map_err(|e| format!("{f}: {e}"))?;
+            blif::from_blif(&text, k).map_err(|e| -> Box<dyn Error> { format!("{f}: {e}").into() })
+        })
+        .collect()
+}
+
+fn run(args: &[String]) -> Result<(), Box<dyn Error>> {
+    let Some(command) = args.first() else {
+        return Err("missing command".into());
+    };
+    match command.as_str() {
+        "merge" => cmd_merge(&args[1..]),
+        "mdr" => cmd_mdr(&args[1..]),
+        "stats" => cmd_stats(&args[1..]),
+        "gen" => cmd_gen(&args[1..]),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}'").into()),
+    }
+}
+
+fn cmd_merge(args: &[String]) -> Result<(), Box<dyn Error>> {
+    let options = parse_common(args)?;
+    let circuits = load_circuits(&options.files, options.k)?;
+    for (i, c) in circuits.iter().enumerate() {
+        println!("mode {i}: {} — {}", c.name(), c.stats());
+    }
+    let input = MultiModeInput::new(circuits)?;
+    let result = DcsFlow::new(options.flow)
+        .with_cost(options.cost)
+        .run(&input)?;
+
+    let stats = result.tunable.stats();
+    println!();
+    println!(
+        "region:   {0}x{0} logic blocks, channel width {1}",
+        result.arch.grid, result.arch.channel_width
+    );
+    println!("tunable:  {stats}");
+    let dcs = result.dcs_cost();
+    let mdr = result.mdr_cost();
+    println!("MDR rewrite:  {mdr}");
+    println!("DCS rewrite:  {dcs}");
+    println!("speed-up:     {:.2}x", mm_bitstream::speedup(&mdr, &dcs));
+    for m in 0..input.mode_count() {
+        println!("wires in mode {m}: {}", result.wires_in_mode(m));
+    }
+    if options.show_bits > 0 {
+        println!();
+        println!("parameterized routing bits (first {}):", options.show_bits);
+        for (switch, expr) in result
+            .param
+            .parameterized_expressions()
+            .take(options.show_bits)
+        {
+            println!("  bit[{}] = {expr}", switch.index());
+        }
+    }
+    Ok(())
+}
+
+fn cmd_mdr(args: &[String]) -> Result<(), Box<dyn Error>> {
+    let options = parse_common(args)?;
+    let circuits = load_circuits(&options.files, options.k)?;
+    for (i, c) in circuits.iter().enumerate() {
+        println!("mode {i}: {} — {}", c.name(), c.stats());
+    }
+    let input = MultiModeInput::new(circuits)?;
+    let result = MdrFlow::new(options.flow).run(&input)?;
+    println!();
+    println!(
+        "region:   {0}x{0} logic blocks, channel width {1}",
+        result.arch.grid, result.arch.channel_width
+    );
+    println!("MDR rewrite:            {}", result.mdr_cost());
+    println!("diff rewrite (average): {}", result.average_diff_cost());
+    for m in 0..input.mode_count() {
+        println!("wires in mode {m}: {}", result.wires_in_mode(m));
+    }
+    Ok(())
+}
+
+fn cmd_stats(args: &[String]) -> Result<(), Box<dyn Error>> {
+    let options = parse_common(args)?;
+    for (file, c) in options
+        .files
+        .iter()
+        .zip(load_circuits(&options.files, options.k)?)
+    {
+        println!("{file}: {} — {}", c.name(), c.stats());
+    }
+    Ok(())
+}
+
+fn cmd_gen(args: &[String]) -> Result<(), Box<dyn Error>> {
+    let [suite, dir] = args else {
+        return Err("usage: mmflow gen <regexp|fir|mcnc> <DIR>".into());
+    };
+    let circuits = match suite.as_str() {
+        "regexp" => mm_gen::regexp_suite(4),
+        "fir" => mm_gen::fir_suite(4),
+        "mcnc" => mm_gen::mcnc_suite(4),
+        other => return Err(format!("unknown suite '{other}'").into()),
+    };
+    std::fs::create_dir_all(dir)?;
+    for c in &circuits {
+        let path = Path::new(dir).join(format!("{}.blif", c.name()));
+        std::fs::write(&path, blif::to_blif(c))?;
+        println!("wrote {} ({} LUTs)", path.display(), c.lut_count());
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strings(args: &[&str]) -> Vec<String> {
+        args.iter().map(ToString::to_string).collect()
+    }
+
+    #[test]
+    fn parses_options() {
+        let o = parse_common(&strings(&[
+            "a.blif", "-k", "5", "--cost", "edge", "--width", "12", "--seed", "9", "--bits", "4",
+        ]))
+        .unwrap();
+        assert_eq!(o.k, 5);
+        assert_eq!(o.cost, CostKind::EdgeMatching);
+        assert_eq!(o.flow.width, WidthChoice::Fixed(12));
+        assert_eq!(o.flow.placer.seed, 9);
+        assert_eq!(o.show_bits, 4);
+        assert_eq!(o.files, vec!["a.blif"]);
+    }
+
+    #[test]
+    fn parses_hybrid_cost() {
+        let o = parse_common(&strings(&["--cost", "hybrid:1.5"])).unwrap();
+        match o.cost {
+            CostKind::Hybrid { edge_weight, .. } => assert!((edge_weight - 1.5).abs() < 1e-12),
+            other => panic!("expected hybrid, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(parse_common(&strings(&["--cost", "banana"])).is_err());
+        assert!(parse_common(&strings(&["--width"])).is_err());
+        assert!(parse_common(&strings(&["--frobnicate"])).is_err());
+        assert!(run(&strings(&["explode"])).is_err());
+        assert!(run(&[]).is_err());
+    }
+
+    #[test]
+    fn gen_and_stats_roundtrip() {
+        let dir = std::env::temp_dir().join("mmflow_test_gen");
+        let _ = std::fs::remove_dir_all(&dir);
+        // Generating all suites is slow; use stats on a hand-written file.
+        std::fs::create_dir_all(&dir).unwrap();
+        let file = dir.join("toy.blif");
+        std::fs::write(&file, ".model toy\n.inputs a b\n.outputs y\n.names a b y\n11 1\n.end\n")
+            .unwrap();
+        run(&strings(&["stats", file.to_str().unwrap()])).unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,113 @@
+//! Integration tests driving the `mmflow` binary end to end.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn mmflow() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_mmflow"))
+}
+
+fn write_blif(dir: &std::path::Path, name: &str, body: &str) -> PathBuf {
+    let path = dir.join(name);
+    std::fs::write(&path, body).unwrap();
+    path
+}
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("mmflow_it_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+const MODE_A: &str = "\
+.model a
+.inputs x y
+.outputs f
+.names x y n1
+11 1
+.names n1 f
+1 1
+.end
+";
+
+const MODE_B: &str = "\
+.model b
+.inputs x y
+.outputs f
+.names x y n1
+00 1
+.names n1 f
+0 1
+.end
+";
+
+#[test]
+fn merge_command_reports_speedup() {
+    let dir = tmpdir("merge");
+    let a = write_blif(&dir, "a.blif", MODE_A);
+    let b = write_blif(&dir, "b.blif", MODE_B);
+    let out = mmflow()
+        .args([
+            "merge",
+            a.to_str().unwrap(),
+            b.to_str().unwrap(),
+            "--width",
+            "6",
+            "--bits",
+            "3",
+        ])
+        .output()
+        .unwrap();
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(stdout.contains("speed-up"), "{stdout}");
+    assert!(stdout.contains("tunable"), "{stdout}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn mdr_command_reports_costs() {
+    let dir = tmpdir("mdr");
+    let a = write_blif(&dir, "a.blif", MODE_A);
+    let b = write_blif(&dir, "b.blif", MODE_B);
+    let out = mmflow()
+        .args(["mdr", a.to_str().unwrap(), b.to_str().unwrap(), "--width", "6"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("MDR rewrite"), "{stdout}");
+    assert!(stdout.contains("diff rewrite"), "{stdout}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn stats_command_prints_counts() {
+    let dir = tmpdir("stats");
+    let a = write_blif(&dir, "a.blif", MODE_A);
+    let out = mmflow().args(["stats", a.to_str().unwrap()]).output().unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("LUTs"), "{stdout}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn bad_usage_fails_with_help() {
+    let out = mmflow().args(["frobnicate"]).output().unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("USAGE"), "{stderr}");
+    let out = mmflow().output().unwrap();
+    assert!(!out.status.success());
+}
+
+#[test]
+fn merge_rejects_missing_file() {
+    let out = mmflow()
+        .args(["merge", "/nonexistent/zz.blif"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+}

@@ -1,0 +1,50 @@
+//! Flow-level error type.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors of the multi-mode tool flow.
+#[derive(Debug)]
+pub enum FlowError {
+    /// The input (mode circuits, placement) is malformed.
+    Input(String),
+    /// Placement failed.
+    Place(mm_place::PlaceError),
+    /// The design did not route within the allowed channel width.
+    Unroutable {
+        /// The maximum width attempted.
+        max_width: usize,
+        /// What was being routed.
+        context: String,
+    },
+    /// Internal invariant violated (verification failed).
+    Internal(String),
+}
+
+impl fmt::Display for FlowError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FlowError::Input(msg) => write!(f, "invalid flow input: {msg}"),
+            FlowError::Place(e) => write!(f, "placement failed: {e}"),
+            FlowError::Unroutable { max_width, context } => {
+                write!(f, "{context} unroutable within channel width {max_width}")
+            }
+            FlowError::Internal(msg) => write!(f, "internal flow error: {msg}"),
+        }
+    }
+}
+
+impl Error for FlowError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            FlowError::Place(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<mm_place::PlaceError> for FlowError {
+    fn from(e: mm_place::PlaceError) -> Self {
+        FlowError::Place(e)
+    }
+}

@@ -1,0 +1,665 @@
+//! The MDR and DCS tool flows (paper Fig. 2).
+//!
+//! * [`MdrFlow`] — Modular Dynamic Reconfiguration: every mode is placed
+//!   and routed *separately* in the same reconfigurable region; switching
+//!   rewrites the whole region.
+//! * [`DcsFlow`] — the paper's flow: the modes are merged by combined
+//!   placement into a tunable circuit, routed once by the mode-aware
+//!   router, and emitted as a parameterized configuration.
+//!
+//! Both flows size the fabric the same way the paper does: array area and
+//! channel width 20% above the minimum needed (§IV-B).
+
+use crate::{FlowError, TunableCircuit};
+use mm_arch::{Architecture, RoutingGraph};
+use mm_bitstream::{Config, ConfigModel, ParamConfig, RewriteCost};
+use mm_boolexpr::{ModeSet, ModeSpace};
+use mm_netlist::LutCircuit;
+use mm_place::{place_combined, CostKind, MultiPlacement, Placement, PlacerOptions};
+use mm_route::{
+    min_channel_width, nets_for_circuit, relaxed_width, verify_routing, RouteNet, Router,
+    RouterOptions, Routing,
+};
+
+/// A validated multi-mode problem: the per-mode LUT circuits.
+#[derive(Debug, Clone)]
+pub struct MultiModeInput {
+    circuits: Vec<LutCircuit>,
+    space: ModeSpace,
+}
+
+impl MultiModeInput {
+    /// Wraps the mode circuits, checking they are non-empty, agree on the
+    /// LUT width and are individually valid.
+    ///
+    /// # Errors
+    ///
+    /// Fails on empty input, mismatched k, or invalid circuits.
+    pub fn new(circuits: Vec<LutCircuit>) -> Result<Self, FlowError> {
+        if circuits.is_empty() {
+            return Err(FlowError::Input("at least one mode required".into()));
+        }
+        let k = circuits[0].k();
+        for c in &circuits {
+            if c.k() != k {
+                return Err(FlowError::Input(format!(
+                    "mode '{}' uses {}-LUTs, expected {k}",
+                    c.name(),
+                    c.k()
+                )));
+            }
+            c.validate()
+                .map_err(|e| FlowError::Input(format!("mode '{}': {e}", c.name())))?;
+        }
+        let space = ModeSpace::new(circuits.len());
+        Ok(Self { circuits, space })
+    }
+
+    /// The mode circuits.
+    #[must_use]
+    pub fn circuits(&self) -> &[LutCircuit] {
+        &self.circuits
+    }
+
+    /// Number of modes.
+    #[must_use]
+    pub fn mode_count(&self) -> usize {
+        self.circuits.len()
+    }
+
+    /// The mode space.
+    #[must_use]
+    pub fn space(&self) -> ModeSpace {
+        self.space
+    }
+
+    /// The LUT width.
+    #[must_use]
+    pub fn k(&self) -> usize {
+        self.circuits[0].k()
+    }
+
+    /// Logic blocks of the largest mode — what sizes the region.
+    #[must_use]
+    pub fn max_luts(&self) -> usize {
+        self.circuits.iter().map(LutCircuit::lut_count).max().unwrap_or(0)
+    }
+
+    /// IO pads of the largest mode.
+    #[must_use]
+    pub fn max_pads(&self) -> usize {
+        self.circuits
+            .iter()
+            .map(|c| c.block_count() - c.lut_count())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// The reconfigurable region (paper: array area 20% above minimum).
+    #[must_use]
+    pub fn region(&self, io_capacity: usize) -> usize {
+        Architecture::relaxed_grid_for(self.max_luts(), self.max_pads(), io_capacity)
+    }
+}
+
+/// How the channel width is chosen.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WidthChoice {
+    /// Binary-search the minimum width, then add 20% (paper §IV-B).
+    Relaxed,
+    /// Use a fixed width (fast runs, experiments with pinned fabrics).
+    Fixed(usize),
+}
+
+/// Options shared by both flows.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FlowOptions {
+    /// Placer configuration (cost kind is overridden by [`DcsFlow`]).
+    pub placer: PlacerOptions,
+    /// Router configuration (mode count is set by the flows).
+    pub router: RouterOptions,
+    /// Channel-width policy.
+    pub width: WidthChoice,
+    /// Upper bound for the width search.
+    pub max_width: usize,
+    /// Input connection-block flexibility (fraction of the adjacent
+    /// channel's tracks each input pin connects to).
+    pub fc_in: f64,
+    /// Output connection-block flexibility.
+    pub fc_out: f64,
+}
+
+impl Default for FlowOptions {
+    fn default() -> Self {
+        Self {
+            placer: PlacerOptions::default(),
+            router: RouterOptions::default(),
+            width: WidthChoice::Relaxed,
+            max_width: 96,
+            // Betz/Rose-recommended connection-block flexibilities; the
+            // fully-connected fabric of `Architecture::new` is unrealistic
+            // for configuration-bit accounting.
+            fc_in: 0.4,
+            fc_out: 0.25,
+        }
+    }
+}
+
+impl FlowOptions {
+    /// The base architecture (before width resolution) for an input.
+    #[must_use]
+    pub fn base_arch(&self, input: &MultiModeInput) -> Architecture {
+        Architecture::new(input.k(), input.region(2), 8)
+            .with_fc(self.fc_in, self.fc_out)
+            .with_switch_pattern(mm_arch::SwitchPattern::Wilton)
+    }
+
+    /// Returns a copy with a fixed channel width.
+    #[must_use]
+    pub fn with_fixed_width(mut self, w: usize) -> Self {
+        self.width = WidthChoice::Fixed(w);
+        self
+    }
+
+    /// Returns a copy with a different placer seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.placer.seed = seed;
+        self
+    }
+}
+
+/// Routes nets at `width`, growing the channel (+1, +2, +4, …) up to
+/// `max_width` if negotiation fails — congestion convergence is not
+/// strictly monotone in width under an iteration cap, so the relaxed
+/// width occasionally needs another track.
+pub(crate) fn route_with_growth(
+    base: &Architecture,
+    width: usize,
+    max_width: usize,
+    router: &RouterOptions,
+    context: &str,
+    mut nets: impl FnMut(&RoutingGraph) -> Vec<RouteNet>,
+) -> Result<(Architecture, RoutingGraph, Vec<RouteNet>, Routing), FlowError> {
+    let mut grow = 0usize;
+    loop {
+        let w = (width + grow).min(max_width);
+        let arch = base.with_channel_width(w);
+        let rrg = RoutingGraph::build(&arch);
+        let net_list = nets(&rrg);
+        let mut engine = Router::new(&rrg, *router);
+        let routing = engine.route(&net_list);
+        if routing.success {
+            return Ok((arch, rrg, net_list, routing));
+        }
+        if w >= max_width {
+            return Err(FlowError::Unroutable {
+                max_width,
+                context: context.to_string(),
+            });
+        }
+        grow = if grow == 0 { 1 } else { grow * 2 };
+    }
+}
+
+/// Resolves the channel width for a net-building closure: either fixed, or
+/// minimum + 20%.
+pub(crate) fn resolve_width(
+    arch: &Architecture,
+    options: &FlowOptions,
+    router: &RouterOptions,
+    context: &str,
+    nets: impl FnMut(&RoutingGraph) -> Vec<RouteNet>,
+) -> Result<usize, FlowError> {
+    match options.width {
+        WidthChoice::Fixed(w) => Ok(w),
+        WidthChoice::Relaxed => {
+            let found = min_channel_width(arch, router, options.max_width, nets).ok_or(
+                FlowError::Unroutable {
+                    max_width: options.max_width,
+                    context: context.to_string(),
+                },
+            )?;
+            Ok(relaxed_width(found.min_width))
+        }
+    }
+}
+
+/// Result of the MDR flow.
+#[derive(Debug)]
+pub struct MdrResult {
+    /// The sized architecture (shared region).
+    pub arch: Architecture,
+    /// The routing-resource graph at the final width.
+    pub rrg: RoutingGraph,
+    /// Configuration memory model.
+    pub model: ConfigModel,
+    /// Per-mode placements.
+    pub placements: Vec<Placement>,
+    /// Per-mode routings.
+    pub routings: Vec<Routing>,
+    /// Per-mode full configurations.
+    pub configs: Vec<Config>,
+}
+
+impl MdrResult {
+    /// The MDR reconfiguration cost: the full region.
+    #[must_use]
+    pub fn mdr_cost(&self) -> RewriteCost {
+        self.model.mdr_cost()
+    }
+
+    /// The diff cost between two modes' configurations.
+    #[must_use]
+    pub fn diff_cost(&self, a: usize, b: usize) -> RewriteCost {
+        self.model.diff_cost(&self.configs[a], &self.configs[b])
+    }
+
+    /// The diff cost averaged over all ordered mode pairs.
+    #[must_use]
+    pub fn average_diff_cost(&self) -> RewriteCost {
+        let m = self.configs.len();
+        if m < 2 {
+            return RewriteCost {
+                lut_bits: self.model.lut_bits,
+                routing_bits: 0,
+            };
+        }
+        let mut total = 0usize;
+        let mut pairs = 0usize;
+        for a in 0..m {
+            for b in 0..m {
+                if a != b {
+                    total += self.diff_cost(a, b).routing_bits;
+                    pairs += 1;
+                }
+            }
+        }
+        RewriteCost {
+            lut_bits: self.model.lut_bits,
+            routing_bits: total / pairs,
+        }
+    }
+
+    /// Wires used by mode `mode` when active.
+    #[must_use]
+    pub fn wires_in_mode(&self, mode: usize) -> usize {
+        self.routings[mode].total_wires(&self.rrg)
+    }
+
+    /// Mean wires per mode.
+    #[must_use]
+    pub fn mean_wires(&self) -> f64 {
+        let total: usize = (0..self.routings.len()).map(|m| self.wires_in_mode(m)).sum();
+        total as f64 / self.routings.len() as f64
+    }
+}
+
+/// The Modular Dynamic Reconfiguration baseline flow.
+#[derive(Debug, Clone, Copy)]
+pub struct MdrFlow {
+    options: FlowOptions,
+}
+
+impl MdrFlow {
+    /// Creates the flow with the given options.
+    #[must_use]
+    pub fn new(options: FlowOptions) -> Self {
+        Self { options }
+    }
+
+    /// Runs MDR: places and routes every mode separately on the shared
+    /// region.
+    ///
+    /// # Errors
+    ///
+    /// Fails if a mode cannot be placed or routed.
+    pub fn run(&self, input: &MultiModeInput) -> Result<MdrResult, FlowError> {
+        let base = self.options.base_arch(input);
+        let router = RouterOptions {
+            mode_count: 1,
+            ..self.options.router
+        };
+        let placer = PlacerOptions {
+            cost: CostKind::WireLength,
+            ..self.options.placer
+        };
+
+        // Per-mode placements (conventional single-circuit annealing).
+        let mut placements = Vec::with_capacity(input.mode_count());
+        for (m, circuit) in input.circuits().iter().enumerate() {
+            let opts = PlacerOptions {
+                seed: placer.seed ^ (m as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+                ..placer
+            };
+            let (p, _) = mm_place::place_single(circuit, &base, &opts)?;
+            placements.push(p);
+        }
+
+        // Width: the maximum over the modes' minima, relaxed 20%.
+        let width = match self.options.width {
+            WidthChoice::Fixed(w) => w,
+            WidthChoice::Relaxed => {
+                let mut w = 0usize;
+                for (m, circuit) in input.circuits().iter().enumerate() {
+                    let placement = &placements[m];
+                    let found = min_channel_width(&base, &router, self.options.max_width, |rrg| {
+                        nets_for_circuit(circuit, rrg, ModeSet::single(0), |b| {
+                            placement.site_of(b)
+                        })
+                    })
+                    .ok_or(FlowError::Unroutable {
+                        max_width: self.options.max_width,
+                        context: format!("MDR mode {m}"),
+                    })?;
+                    w = w.max(found.min_width);
+                }
+                relaxed_width(w)
+            }
+        };
+
+        // All modes must route at one shared width; grow it together if a
+        // mode fails to converge.
+        let mut final_width = width;
+        let (arch, rrg, routings, configs) = loop {
+            let arch = base.with_channel_width(final_width);
+            let rrg = RoutingGraph::build(&arch);
+            let mut routings = Vec::with_capacity(input.mode_count());
+            let mut configs = Vec::with_capacity(input.mode_count());
+            let mut ok = true;
+            for (m, circuit) in input.circuits().iter().enumerate() {
+                let placement = &placements[m];
+                let nets = nets_for_circuit(circuit, &rrg, ModeSet::single(0), |b| {
+                    placement.site_of(b)
+                });
+                let mut route_engine = Router::new(&rrg, router);
+                let routing = route_engine.route(&nets);
+                if !routing.success {
+                    ok = false;
+                    break;
+                }
+                verify_routing(&rrg, &nets, &routing, 1).map_err(FlowError::Internal)?;
+                configs.push(Config::from_routing(&routing));
+                routings.push(routing);
+            }
+            if ok {
+                break (arch, rrg, routings, configs);
+            }
+            if final_width >= self.options.max_width {
+                return Err(FlowError::Unroutable {
+                    max_width: self.options.max_width,
+                    context: "MDR at final width".into(),
+                });
+            }
+            final_width = (final_width + final_width.div_ceil(8)).min(self.options.max_width);
+        };
+        let model = ConfigModel::new(&arch, &rrg);
+
+        Ok(MdrResult {
+            arch,
+            rrg,
+            model,
+            placements,
+            routings,
+            configs,
+        })
+    }
+}
+
+/// Result of the DCS multi-mode flow.
+#[derive(Debug)]
+pub struct DcsResult {
+    /// The sized architecture.
+    pub arch: Architecture,
+    /// The routing-resource graph at the final width.
+    pub rrg: RoutingGraph,
+    /// Configuration memory model.
+    pub model: ConfigModel,
+    /// The combined placement.
+    pub placement: MultiPlacement,
+    /// The merged tunable circuit.
+    pub tunable: TunableCircuit,
+    /// The mode-aware routing of the tunable circuit.
+    pub routing: Routing,
+    /// The parameterized configuration.
+    pub param: ParamConfig,
+}
+
+impl DcsResult {
+    /// Parameterized routing bits — what the reconfiguration manager
+    /// rewrites on a mode switch (besides the LUT bits).
+    #[must_use]
+    pub fn parameterized_routing_bits(&self) -> usize {
+        self.param.parameterized_bits()
+    }
+
+    /// The DCS reconfiguration cost.
+    #[must_use]
+    pub fn dcs_cost(&self) -> RewriteCost {
+        self.model.dcs_cost(&self.param)
+    }
+
+    /// The MDR cost on the *same* fabric (for speed-up ratios).
+    #[must_use]
+    pub fn mdr_cost(&self) -> RewriteCost {
+        self.model.mdr_cost()
+    }
+
+    /// Wires used by mode `mode` when active.
+    #[must_use]
+    pub fn wires_in_mode(&self, mode: usize) -> usize {
+        self.routing.wires_in_mode(&self.rrg, mode)
+    }
+
+    /// Mean wires per mode.
+    #[must_use]
+    pub fn mean_wires(&self) -> f64 {
+        let m = self.tunable.space().mode_count();
+        let total: usize = (0..m).map(|i| self.wires_in_mode(i)).sum();
+        total as f64 / m as f64
+    }
+}
+
+/// The paper's flow: merge by combined placement, then Dynamic Circuit
+/// Specialization.
+#[derive(Debug, Clone, Copy)]
+pub struct DcsFlow {
+    options: FlowOptions,
+    cost: CostKind,
+}
+
+impl DcsFlow {
+    /// Creates the flow with the paper's default wire-length-optimised
+    /// combined placement.
+    #[must_use]
+    pub fn new(options: FlowOptions) -> Self {
+        Self {
+            options,
+            cost: CostKind::WireLength,
+        }
+    }
+
+    /// Selects the combined-placement cost function (wire length vs edge
+    /// matching).
+    #[must_use]
+    pub fn with_cost(mut self, cost: CostKind) -> Self {
+        self.cost = cost;
+        self
+    }
+
+    /// Runs the flow: combined placement → tunable circuit → mode-aware
+    /// routing → parameterized configuration.
+    ///
+    /// # Errors
+    ///
+    /// Fails on placement/routing failure or verification errors.
+    pub fn run(&self, input: &MultiModeInput) -> Result<DcsResult, FlowError> {
+        let base = self.options.base_arch(input);
+        let placer = PlacerOptions {
+            cost: self.cost,
+            ..self.options.placer
+        };
+        let router = RouterOptions {
+            mode_count: input.mode_count(),
+            ..self.options.router
+        };
+
+        let (placement, _) = place_combined(input.circuits(), &base, &placer)?;
+        let tunable = TunableCircuit::from_placement(input.circuits(), &placement, &base)?;
+        tunable
+            .verify_projection(input.circuits(), &placement)
+            .map_err(FlowError::Internal)?;
+
+        let width = resolve_width(&base, &self.options, &router, "tunable circuit", |rrg| {
+            tunable.route_nets(rrg)
+        })?;
+        let (arch, rrg, nets, routing) = route_with_growth(
+            &base,
+            width,
+            self.options.max_width,
+            &router,
+            "tunable circuit at final width",
+            |rrg| tunable.route_nets(rrg),
+        )?;
+        let model = ConfigModel::new(&arch, &rrg);
+        verify_routing(&rrg, &nets, &routing, input.mode_count())
+            .map_err(FlowError::Internal)?;
+
+        let param = ParamConfig::from_routing(&routing, input.space());
+
+        Ok(DcsResult {
+            arch,
+            rrg,
+            model,
+            placement,
+            tunable,
+            routing,
+            param,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mm_bitstream::speedup;
+    use mm_netlist::TruthTable;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// A deterministic random circuit (mirrors the placer's test helper).
+    fn random_circuit(name: &str, n_inputs: usize, n_luts: usize, seed: u64) -> LutCircuit {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut c = LutCircuit::new(name, 4);
+        let mut drivers: Vec<mm_netlist::BlockId> = (0..n_inputs)
+            .map(|i| c.add_input(format!("i{i}")).unwrap())
+            .collect();
+        for j in 0..n_luts {
+            let fanin = rng.gen_range(2..=4.min(drivers.len()));
+            let mut ins = Vec::new();
+            while ins.len() < fanin {
+                let d = drivers[rng.gen_range(0..drivers.len())];
+                if !ins.contains(&d) {
+                    ins.push(d);
+                }
+            }
+            let tt = TruthTable::from_bits(ins.len(), rng.gen());
+            let id = c
+                .add_lut(format!("n{j}"), ins, tt, rng.gen_bool(0.2))
+                .unwrap();
+            drivers.push(id);
+        }
+        for t in 0..3 {
+            let d = drivers[drivers.len() - 1 - t];
+            c.add_output(format!("o{t}"), d).unwrap();
+        }
+        c
+    }
+
+    fn small_input() -> MultiModeInput {
+        MultiModeInput::new(vec![
+            random_circuit("m0", 6, 20, 11),
+            random_circuit("m1", 6, 22, 12),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn input_validation() {
+        assert!(MultiModeInput::new(vec![]).is_err());
+        let a = random_circuit("a", 4, 5, 1);
+        let mut b = LutCircuit::new("b", 5);
+        let i = b.add_input("i").unwrap();
+        b.add_output("o", i).unwrap();
+        assert!(MultiModeInput::new(vec![a.clone(), b]).is_err(), "k mismatch");
+        let ok = MultiModeInput::new(vec![a]).unwrap();
+        assert_eq!(ok.mode_count(), 1);
+    }
+
+    #[test]
+    fn region_sizing_follows_biggest_mode() {
+        let input = small_input();
+        assert_eq!(input.max_luts(), 22);
+        // ceil(sqrt(22 * 1.2)) = 6.
+        assert_eq!(input.region(2), 6);
+    }
+
+    #[test]
+    fn mdr_flow_end_to_end() {
+        let input = small_input();
+        let result = MdrFlow::new(FlowOptions::default()).run(&input).unwrap();
+        assert_eq!(result.placements.len(), 2);
+        assert_eq!(result.routings.len(), 2);
+        let mdr = result.mdr_cost();
+        assert!(mdr.routing_bits > mdr.lut_bits, "routing dominates");
+        // The diff cost is strictly smaller than the full region.
+        let diff = result.diff_cost(0, 1);
+        assert!(diff.routing_bits < mdr.routing_bits);
+        assert!(result.mean_wires() > 0.0);
+    }
+
+    #[test]
+    fn dcs_flow_end_to_end_and_beats_mdr() {
+        let input = small_input();
+        let mdr = MdrFlow::new(FlowOptions::default()).run(&input).unwrap();
+        let dcs = DcsFlow::new(FlowOptions::default()).run(&input).unwrap();
+        assert!(dcs.routing.success);
+        let s = speedup(&mdr.mdr_cost(), &dcs.dcs_cost());
+        assert!(s > 1.0, "DCS must beat full-region rewrites, got {s:.2}");
+        // Structure sanity.
+        let stats = dcs.tunable.stats();
+        assert_eq!(stats.modes, 2);
+        assert!(stats.tunable_luts >= input.max_luts());
+        assert!(dcs.parameterized_routing_bits() > 0);
+    }
+
+    #[test]
+    fn fixed_width_skips_search() {
+        let input = small_input();
+        let options = FlowOptions::default().with_fixed_width(12);
+        let dcs = DcsFlow::new(options).run(&input).unwrap();
+        assert_eq!(dcs.arch.channel_width, 12);
+    }
+
+    #[test]
+    fn edge_matching_cost_flows_too() {
+        let input = small_input();
+        let options = FlowOptions::default();
+        let dcs = DcsFlow::new(options)
+            .with_cost(CostKind::EdgeMatching)
+            .run(&input)
+            .unwrap();
+        assert!(dcs.routing.success);
+        assert!(dcs.tunable.merged_connection_count() > 0);
+    }
+
+    #[test]
+    fn unroutable_reported() {
+        let input = small_input();
+        let mut options = FlowOptions::default();
+        options.max_width = 1;
+        options.router.max_iterations = 3;
+        let err = DcsFlow::new(options).run(&input).unwrap_err();
+        assert!(matches!(err, FlowError::Unroutable { .. }), "{err}");
+    }
+}

@@ -1,0 +1,57 @@
+//! The multi-mode tool flow — the paper's primary contribution.
+//!
+//! "In this paper we present a new, fully automated flow that exploits
+//! similarities between the modes and uses Dynamic Circuit Specialization
+//! to reduce reconfiguration time."
+//!
+//! The flow (paper Fig. 2b) merges per-mode LUT circuits into one
+//! [`TunableCircuit`] via combined placement (`mm-place`), routes it with
+//! a mode-aware connection router (`mm-route`) and derives a parameterized
+//! configuration (`mm-bitstream`) in which only a small number of routing
+//! bits depend on the mode.
+//!
+//! * [`MultiModeInput`] — the validated per-mode circuits.
+//! * [`MdrFlow`] — the Modular Dynamic Reconfiguration baseline.
+//! * [`DcsFlow`] — the paper's flow (wire-length or edge-matching
+//!   combined placement).
+//! * [`run_pair`] — the full experimental comparison on a shared fabric,
+//!   producing the measurements behind Figures 5–7.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use mm_flow::{DcsFlow, FlowOptions, MultiModeInput};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let modes = mm_gen::regexp_suite(4);
+//! let input = MultiModeInput::new(vec![modes[0].clone(), modes[1].clone()])?;
+//! let result = DcsFlow::new(FlowOptions::default()).run(&input)?;
+//! println!(
+//!     "parameterized routing bits: {} (of {})",
+//!     result.parameterized_routing_bits(),
+//!     result.model.routing_bits
+//! );
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod experiment;
+mod flow;
+pub mod report;
+pub mod timing;
+mod tunable;
+
+pub use error::FlowError;
+pub use experiment::{run_pair, PairMetrics};
+pub use flow::{
+    DcsFlow, DcsResult, FlowOptions, MdrFlow, MdrResult, MultiModeInput, WidthChoice,
+};
+pub use report::Stats;
+pub use timing::{dcs_mode_timing, mdr_mode_timing, TimingReport, LUT_DELAY};
+pub use tunable::{
+    TunableCircuit, TunableConnection, TunableLutBits, TunableSite, TunableStats,
+};

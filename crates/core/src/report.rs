@@ -1,0 +1,149 @@
+//! Small statistics and table-formatting helpers shared by the experiment
+//! drivers and the benchmark binaries.
+
+use std::fmt;
+
+/// Min/mean/max summary of a sample, as used by the paper's error bars.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Stats {
+    /// Smallest sample.
+    pub min: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Largest sample.
+    pub max: f64,
+    /// Sample count.
+    pub count: usize,
+}
+
+impl Stats {
+    /// Summarises a sample (empty samples give zeroed stats).
+    #[must_use]
+    pub fn of(samples: &[f64]) -> Self {
+        if samples.is_empty() {
+            return Self {
+                min: 0.0,
+                mean: 0.0,
+                max: 0.0,
+                count: 0,
+            };
+        }
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        let mut sum = 0.0;
+        for &s in samples {
+            min = min.min(s);
+            max = max.max(s);
+            sum += s;
+        }
+        Self {
+            min,
+            mean: sum / samples.len() as f64,
+            max,
+            count: samples.len(),
+        }
+    }
+
+    /// Summarises integer samples.
+    #[must_use]
+    pub fn of_usize(samples: &[usize]) -> Self {
+        let v: Vec<f64> = samples.iter().map(|&s| s as f64).collect();
+        Self::of(&v)
+    }
+}
+
+impl fmt::Display for Stats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "min {:.2} / mean {:.2} / max {:.2} (n={})",
+            self.min, self.mean, self.max, self.count
+        )
+    }
+}
+
+/// Renders a fixed-width text table: a header row plus data rows.
+///
+/// # Panics
+///
+/// Panics if a row's length differs from the header's.
+#[must_use]
+pub fn render_table(header: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = header.len();
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        assert_eq!(row.len(), cols, "ragged table row");
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: Vec<&str>, widths: &[usize]| -> String {
+        let mut line = String::new();
+        for (i, cell) in cells.iter().enumerate() {
+            if i > 0 {
+                line.push_str("  ");
+            }
+            line.push_str(&format!("{cell:>width$}", width = widths[i]));
+        }
+        line.push('\n');
+        line
+    };
+    out.push_str(&fmt_row(header.to_vec(), &widths));
+    let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+    out.push_str(&"-".repeat(total));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row.iter().map(String::as_str).collect(), &widths));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_of_samples() {
+        let s = Stats::of(&[2.0, 4.0, 6.0]);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.mean, 4.0);
+        assert_eq!(s.max, 6.0);
+        assert_eq!(s.count, 3);
+        assert_eq!(s.to_string(), "min 2.00 / mean 4.00 / max 6.00 (n=3)");
+    }
+
+    #[test]
+    fn stats_of_empty() {
+        let s = Stats::of(&[]);
+        assert_eq!(s.count, 0);
+        assert_eq!(s.mean, 0.0);
+    }
+
+    #[test]
+    fn stats_of_usize_converts() {
+        let s = Stats::of_usize(&[1, 2, 3]);
+        assert_eq!(s.mean, 2.0);
+    }
+
+    #[test]
+    fn table_renders_aligned() {
+        let t = render_table(
+            &["name", "luts"],
+            &[
+                vec!["regexp0".into(), "224".into()],
+                vec!["fir".into(), "302".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("name"));
+        assert!(lines[2].ends_with("224"));
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn table_rejects_ragged_rows() {
+        let _ = render_table(&["a", "b"], &[vec!["x".into()]]);
+    }
+}

@@ -1,0 +1,246 @@
+//! Routed timing analysis.
+//!
+//! The paper evaluates wire length because it "correlates with power usage
+//! and performance (maximum clock frequency) of a circuit" (§IV-C). This
+//! module makes that link concrete: a unit-delay static timing analysis
+//! over the *routed* connections, so the per-mode critical path of an MDR
+//! implementation can be compared against the same mode inside the merged
+//! tunable circuit.
+//!
+//! Delay model: every wire segment costs 1 unit, every LUT costs
+//! [`LUT_DELAY`] units; paths start at input pads and register outputs and
+//! end at register data inputs and output pads.
+
+use crate::{DcsResult, MdrResult, MultiModeInput};
+use mm_arch::RrNodeId;
+use mm_netlist::{BlockKind, LutCircuit};
+use mm_route::{RouteNet, Routing};
+use std::collections::HashMap;
+
+/// Delay of one LUT traversal in wire-segment units.
+pub const LUT_DELAY: f64 = 2.0;
+
+/// Per-mode timing summary.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimingReport {
+    /// Longest register-to-register / pad-to-pad path delay.
+    pub critical_path: f64,
+    /// Mean routed delay of a connection (wires per connection).
+    pub mean_connection_delay: f64,
+    /// Number of routed connections considered.
+    pub connections: usize,
+}
+
+/// Builds the routed-delay lookup `(source node, sink node) → wires` for
+/// the connections of `mode`.
+fn delay_map(
+    rrg: &mm_arch::RoutingGraph,
+    nets: &[RouteNet],
+    routing: &Routing,
+    mode: usize,
+) -> HashMap<(RrNodeId, RrNodeId), f64> {
+    let mut map = HashMap::new();
+    for (net, route) in nets.iter().zip(&routing.nets) {
+        for (si, sink) in net.sinks.iter().enumerate() {
+            if sink.activation.contains(mode) {
+                let wires = route.wires_to_sink(rrg, si) as f64;
+                map.insert((net.source, sink.node), wires);
+            }
+        }
+    }
+    map
+}
+
+/// Unit-delay STA over one mode circuit given its placement and routed
+/// delays.
+fn analyze(
+    circuit: &LutCircuit,
+    site_of: impl Fn(mm_netlist::BlockId) -> mm_arch::Site,
+    rrg: &mm_arch::RoutingGraph,
+    delays: &HashMap<(RrNodeId, RrNodeId), f64>,
+) -> TimingReport {
+    let conn_delay = |src: mm_netlist::BlockId, dst: mm_netlist::BlockId| -> f64 {
+        let key = (rrg.source_at(site_of(src)), rrg.sink_at(site_of(dst)));
+        delays.get(&key).copied().unwrap_or(0.0)
+    };
+
+    // Arrival times: sources (input pads, registered LUT outputs) at 0.
+    let mut arrival: HashMap<mm_netlist::BlockId, f64> = HashMap::new();
+    let order = circuit
+        .comb_topo_order()
+        .expect("flow circuits are validated");
+    let arrival_of = |arrival: &HashMap<mm_netlist::BlockId, f64>,
+                      id: mm_netlist::BlockId|
+     -> f64 { arrival.get(&id).copied().unwrap_or(0.0) };
+
+    let mut critical = 0.0f64;
+    for id in order {
+        let at = circuit
+            .block(id)
+            .fanin()
+            .iter()
+            .map(|&d| arrival_of(&arrival, d) + conn_delay(d, id))
+            .fold(0.0f64, f64::max)
+            + LUT_DELAY;
+        critical = critical.max(at);
+        arrival.insert(id, at);
+    }
+    // Endpoints: registered LUT data inputs and output pads.
+    for id in circuit.block_ids() {
+        match circuit.block(id).kind() {
+            BlockKind::Lut {
+                registered: true, ..
+            } => {
+                let at = circuit
+                    .block(id)
+                    .fanin()
+                    .iter()
+                    .map(|&d| arrival_of(&arrival, d) + conn_delay(d, id))
+                    .fold(0.0f64, f64::max)
+                    + LUT_DELAY;
+                critical = critical.max(at);
+            }
+            BlockKind::OutputPad { source, .. } => {
+                let at = arrival_of(&arrival, *source) + conn_delay(*source, id);
+                critical = critical.max(at);
+            }
+            _ => {}
+        }
+    }
+
+    let total: f64 = delays.values().sum();
+    TimingReport {
+        critical_path: critical,
+        mean_connection_delay: if delays.is_empty() {
+            0.0
+        } else {
+            total / delays.len() as f64
+        },
+        connections: delays.len(),
+    }
+}
+
+/// Timing of `mode` inside the merged tunable circuit of a DCS result.
+///
+/// # Panics
+///
+/// Panics if `mode` is out of range for the input.
+#[must_use]
+pub fn dcs_mode_timing(input: &MultiModeInput, result: &DcsResult, mode: usize) -> TimingReport {
+    assert!(mode < input.mode_count(), "mode out of range");
+    let nets = result.tunable.route_nets(&result.rrg);
+    let delays = delay_map(&result.rrg, &nets, &result.routing, mode);
+    let circuit = &input.circuits()[mode];
+    analyze(
+        circuit,
+        |b| result.placement.modes[mode].site_of(b),
+        &result.rrg,
+        &delays,
+    )
+}
+
+/// Timing of `mode` in its standalone MDR implementation.
+///
+/// # Panics
+///
+/// Panics if `mode` is out of range for the input.
+#[must_use]
+pub fn mdr_mode_timing(input: &MultiModeInput, result: &MdrResult, mode: usize) -> TimingReport {
+    assert!(mode < input.mode_count(), "mode out of range");
+    let circuit = &input.circuits()[mode];
+    let placement = &result.placements[mode];
+    let nets = mm_route::nets_for_circuit(
+        circuit,
+        &result.rrg,
+        mm_boolexpr::ModeSet::single(0),
+        |b| placement.site_of(b),
+    );
+    let delays = delay_map(&result.rrg, &nets, &result.routings[mode], 0);
+    analyze(circuit, |b| placement.site_of(b), &result.rrg, &delays)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DcsFlow, FlowOptions, MdrFlow};
+    use mm_netlist::TruthTable;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_circuit(name: &str, n_inputs: usize, n_luts: usize, seed: u64) -> LutCircuit {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut c = LutCircuit::new(name, 4);
+        let mut drivers: Vec<mm_netlist::BlockId> = (0..n_inputs)
+            .map(|i| c.add_input(format!("i{i}")).unwrap())
+            .collect();
+        for j in 0..n_luts {
+            let fanin = rng.gen_range(2..=4.min(drivers.len()));
+            let mut ins = Vec::new();
+            while ins.len() < fanin {
+                let d = drivers[rng.gen_range(0..drivers.len())];
+                if !ins.contains(&d) {
+                    ins.push(d);
+                }
+            }
+            let tt = TruthTable::from_bits(ins.len(), rng.gen());
+            let id = c
+                .add_lut(format!("n{j}"), ins, tt, rng.gen_bool(0.2))
+                .unwrap();
+            drivers.push(id);
+        }
+        for t in 0..3 {
+            let d = drivers[drivers.len() - 1 - t];
+            c.add_output(format!("o{t}"), d).unwrap();
+        }
+        c
+    }
+
+    #[test]
+    fn timing_reports_are_plausible() {
+        let input = MultiModeInput::new(vec![
+            random_circuit("m0", 5, 18, 61),
+            random_circuit("m1", 5, 20, 62),
+        ])
+        .unwrap();
+        let mut options = FlowOptions::default();
+        options.placer.inner_num = 1.0;
+        let mdr = MdrFlow::new(options).run(&input).unwrap();
+        let dcs = DcsFlow::new(options).run(&input).unwrap();
+
+        for mode in 0..2 {
+            let tm = mdr_mode_timing(&input, &mdr, mode);
+            let td = dcs_mode_timing(&input, &dcs, mode);
+            assert!(tm.critical_path >= LUT_DELAY, "mode {mode}: {tm:?}");
+            assert!(td.critical_path >= LUT_DELAY, "mode {mode}: {td:?}");
+            assert!(tm.connections > 0);
+            assert_eq!(
+                td.connections, tm.connections,
+                "same circuit, same connection count"
+            );
+            assert!(tm.mean_connection_delay > 0.0);
+            // The merged implementation pays a bounded latency penalty —
+            // the timing analogue of the paper's bounded wire overhead.
+            assert!(
+                td.critical_path <= tm.critical_path * 3.0,
+                "mode {mode}: DCS {td:?} vs MDR {tm:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn combinational_depth_contributes() {
+        // A 3-LUT chain must have critical path ≥ 3 LUT delays.
+        let mut c = LutCircuit::new("chain", 4);
+        let a = c.add_input("a").unwrap();
+        let g1 = c.add_lut("g1", vec![a], TruthTable::var(1, 0), false).unwrap();
+        let g2 = c.add_lut("g2", vec![g1], TruthTable::var(1, 0), false).unwrap();
+        let g3 = c.add_lut("g3", vec![g2], TruthTable::var(1, 0), false).unwrap();
+        c.add_output("y", g3).unwrap();
+        let input = MultiModeInput::new(vec![c]).unwrap();
+        let mut options = FlowOptions::default();
+        options.placer.inner_num = 1.0;
+        let mdr = MdrFlow::new(options).run(&input).unwrap();
+        let t = mdr_mode_timing(&input, &mdr, 0);
+        assert!(t.critical_path >= 3.0 * LUT_DELAY);
+    }
+}

@@ -1,0 +1,24 @@
+//! Prints the mapped size of every benchmark circuit — the raw data behind
+//! Table I and the knob used to calibrate the generators.
+
+fn main() {
+    println!("-- RegExp suite --");
+    for c in mm_gen::regexp_suite(4) {
+        println!("{:12} {:4} LUTs", c.name(), c.lut_count());
+    }
+    println!("-- FIR suite (every 5th) --");
+    for (i, c) in mm_gen::fir_suite(4).iter().enumerate() {
+        if i % 5 == 0 {
+            println!("{:12} {:4} LUTs", c.name(), c.lut_count());
+        }
+    }
+    println!(
+        "{:12} {:4} LUTs",
+        "fir_generic",
+        mm_gen::fir_generic_reference(4).lut_count()
+    );
+    println!("-- MCNC suite --");
+    for c in mm_gen::mcnc_suite(4) {
+        println!("{:12} {:4} LUTs", c.name(), c.lut_count());
+    }
+}

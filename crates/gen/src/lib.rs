@@ -1,0 +1,267 @@
+//! Multi-mode benchmark generators.
+//!
+//! Recreates the paper's three experiments (§IV-A):
+//!
+//! * [`regexp_suite`] — five regular-expression matching engines compiled
+//!   from IDS payload patterns ([`regex`]); all 10 pairs of two engines
+//!   form the `RegExp` multi-mode circuits.
+//! * [`fir_suite`] — ten low-pass and ten high-pass constant-coefficient
+//!   FIR filters ([`fir`]); filter `i` of each family forms multi-mode
+//!   pair `i`.
+//! * [`mcnc_suite`] — five MCNC-class general circuits ([`mcnc`]); all 10
+//!   pairs form the `MCNC` multi-mode circuits.
+//!
+//! All generators are deterministic (seeded) and return circuits already
+//! technology-mapped to k-input LUTs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fir;
+pub mod mcnc;
+pub mod regex;
+pub mod words;
+
+use mm_netlist::LutCircuit;
+use mm_synth::MapOptions;
+
+/// Number of circuits in the RegExp and MCNC suites.
+pub const SUITE_SIZE: usize = 5;
+/// Number of filters per FIR family.
+pub const FIR_FAMILY_SIZE: usize = 10;
+
+/// Compiles the five regular-expression engines, mapped to k-LUTs.
+///
+/// # Panics
+///
+/// Panics only if a built-in pattern fails to compile (a bug).
+#[must_use]
+pub fn regexp_suite(k: usize) -> Vec<LutCircuit> {
+    regex::bleeding_edge_patterns()
+        .iter()
+        .enumerate()
+        .map(|(i, p)| {
+            let c = regex::RegexEngine::compile(p, k)
+                .expect("built-in pattern compiles")
+                .into_lut_circuit();
+            rename(c, &format!("regexp{i}"))
+        })
+        .collect()
+}
+
+/// Generates the ten low-pass + ten high-pass specialised FIR filters
+/// (indices `0..10` low-pass, `10..20` high-pass), mapped to k-LUTs.
+///
+/// # Panics
+///
+/// Panics only on internal synthesis errors (a bug).
+#[must_use]
+pub fn fir_suite(k: usize) -> Vec<LutCircuit> {
+    let mut out = Vec::with_capacity(2 * FIR_FAMILY_SIZE);
+    for i in 0..FIR_FAMILY_SIZE {
+        let spec = fir::FirSpec {
+            name: format!("fir_lp{i}"),
+            taps: fir::lowpass_taps(14, 7, 7, 1000 + i as u64),
+            data_width: 8,
+        };
+        out.push(map(&fir::specialized_fir(&spec), k));
+    }
+    for i in 0..FIR_FAMILY_SIZE {
+        let spec = fir::FirSpec {
+            name: format!("fir_hp{i}"),
+            taps: fir::highpass_taps(14, 7, 7, 2000 + i as u64),
+            data_width: 8,
+        };
+        out.push(map(&fir::specialized_fir(&spec), k));
+    }
+    out
+}
+
+/// The generic (programmable) FIR used as the area baseline: same tap
+/// count and widths as the specialised filters.
+///
+/// # Panics
+///
+/// Panics only on internal synthesis errors (a bug).
+#[must_use]
+pub fn fir_generic_reference(k: usize) -> LutCircuit {
+    map(&fir::generic_fir("fir_generic", 14, 8, 4), k)
+}
+
+/// Generates the five MCNC-class circuits, mapped to k-LUTs.
+///
+/// # Panics
+///
+/// Panics only on internal synthesis errors (a bug).
+#[must_use]
+pub fn mcnc_suite(k: usize) -> Vec<LutCircuit> {
+    vec![
+        map(&mcnc::alu("alu24", 24), k),
+        map(&mcnc::pla("plax", 14, 20, 8, 5, 0xbeef), k),
+        map(&mcnc::multiplier("mult10", 10), k),
+        map(&mcnc::crc("crc32p48", 0xEDB8_8320, 32, 48), k),
+        map(&mcnc::interrupt_controller("intc32", 32), k),
+    ]
+}
+
+/// All unordered pairs `(i, j)` with `i < j < n` — the paper's "all
+/// possible combinations of 2 circuits out of the 5" (10 pairs for 5).
+#[must_use]
+pub fn all_pairs(n: usize) -> Vec<(usize, usize)> {
+    let mut pairs = Vec::with_capacity(n * n / 2);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            pairs.push((i, j));
+        }
+    }
+    pairs
+}
+
+/// The FIR pairing: low-pass `i` with high-pass `i` (indices into
+/// [`fir_suite`]'s output), giving the 10 multi-mode filters.
+#[must_use]
+pub fn fir_mode_pairs() -> Vec<(usize, usize)> {
+    (0..FIR_FAMILY_SIZE)
+        .map(|i| (i, FIR_FAMILY_SIZE + i))
+        .collect()
+}
+
+fn map(net: &mm_netlist::GateNetwork, k: usize) -> LutCircuit {
+    mm_synth::synthesize(net, MapOptions::for_k(k)).expect("generator circuits synthesize")
+}
+
+/// Rebuilds a circuit under a new model name (generators produce
+/// pattern-derived names; suites use stable ones).
+fn rename(circuit: LutCircuit, name: &str) -> LutCircuit {
+    let mut out = LutCircuit::new(name, circuit.k());
+    let mut remap = std::collections::HashMap::new();
+    // Two-phase copy (registered feedback may point forward).
+    for id in circuit.block_ids() {
+        let block = circuit.block(id);
+        match block.kind() {
+            mm_netlist::BlockKind::InputPad => {
+                remap.insert(id, out.add_input(block.name().to_string()).expect("copy"));
+            }
+            mm_netlist::BlockKind::Lut {
+                registered, init, ..
+            } => {
+                let nid = out
+                    .add_lut(
+                        block.name().to_string(),
+                        vec![],
+                        mm_netlist::TruthTable::const0(0),
+                        *registered,
+                    )
+                    .expect("copy");
+                if *registered {
+                    out.set_init(nid, *init).expect("registered");
+                }
+                remap.insert(id, nid);
+            }
+            mm_netlist::BlockKind::OutputPad { .. } => {}
+        }
+    }
+    for id in circuit.block_ids() {
+        let block = circuit.block(id);
+        match block.kind() {
+            mm_netlist::BlockKind::Lut { inputs, truth, .. } => {
+                let fanin: Vec<_> = inputs.iter().map(|s| remap[s]).collect();
+                out.set_lut(remap[&id], fanin, *truth).expect("copy");
+            }
+            mm_netlist::BlockKind::OutputPad { source, port } => {
+                out.add_output_port(block.name().to_string(), port.clone(), remap[source])
+                    .expect("copy");
+            }
+            mm_netlist::BlockKind::InputPad => {}
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pairs_enumeration() {
+        let p = all_pairs(5);
+        assert_eq!(p.len(), 10);
+        assert_eq!(p[0], (0, 1));
+        assert_eq!(p[9], (3, 4));
+        assert!(p.iter().all(|&(i, j)| i < j && j < 5));
+        assert_eq!(fir_mode_pairs().len(), 10);
+        assert_eq!(fir_mode_pairs()[3], (3, 13));
+    }
+
+    #[test]
+    fn regexp_suite_sizes_in_band() {
+        let suite = regexp_suite(4);
+        assert_eq!(suite.len(), SUITE_SIZE);
+        for c in &suite {
+            let n = c.lut_count();
+            assert!(
+                (180..=320).contains(&n),
+                "{}: {n} LUTs out of calibration band",
+                c.name()
+            );
+            c.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn fir_suite_sizes_in_band() {
+        let suite = fir_suite(4);
+        assert_eq!(suite.len(), 20);
+        for c in &suite {
+            let n = c.lut_count();
+            assert!(
+                (200..=420).contains(&n),
+                "{}: {n} LUTs out of calibration band",
+                c.name()
+            );
+            c.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn mcnc_suite_sizes_in_band() {
+        let suite = mcnc_suite(4);
+        assert_eq!(suite.len(), SUITE_SIZE);
+        for c in &suite {
+            let n = c.lut_count();
+            assert!(
+                (250..=450).contains(&n),
+                "{}: {n} LUTs out of calibration band",
+                c.name()
+            );
+            c.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn generic_fir_larger_than_specialised() {
+        let generic = fir_generic_reference(4).lut_count();
+        let suite = fir_suite(4);
+        let avg: usize = suite.iter().map(LutCircuit::lut_count).sum::<usize>() / suite.len();
+        assert!(
+            generic > 2 * avg,
+            "generic {generic} vs avg specialised {avg}"
+        );
+    }
+
+    #[test]
+    fn suites_are_deterministic() {
+        let a = mcnc_suite(4);
+        let b = mcnc_suite(4);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(mm_netlist::blif::to_blif(x), mm_netlist::blif::to_blif(y));
+        }
+    }
+
+    #[test]
+    fn rename_preserves_structure() {
+        let suite = regexp_suite(4);
+        assert_eq!(suite[0].name(), "regexp0");
+        assert!(suite[0].lut_count() > 0);
+    }
+}

@@ -1,0 +1,881 @@
+//! Regular-expression hardware engines.
+//!
+//! Reimplements the generator of Sourdis/Bispo/Cardoso (paper ref. \[7\]):
+//! a regular expression is compiled into a streaming matcher circuit with
+//! one flip-flop per NFA state (Glushkov construction, as in
+//! Sidhu–Prasanna), shared nibble-based character decoders, and a
+//! registered `match` output. The resulting [`GateNetwork`] is synthesised
+//! to 4-LUTs to form one *mode* of the paper's multi-mode transceiver
+//! experiments.
+//!
+//! Supported syntax: literals, `.`, escapes (`\xHH`, `\d \w \s \D \W \S`,
+//! control escapes), character classes `[a-z]` / `[^…]`, grouping,
+//! alternation `|`, and the quantifiers `* + ? {n} {n,} {n,m}` (counted
+//! quantifiers are expanded).
+
+use crate::words::Word;
+use mm_netlist::{GateNetwork, SignalId};
+use std::collections::{BTreeSet, HashMap};
+use std::error::Error;
+use std::fmt;
+
+/// A set of bytes (a character class) as a 256-bit mask.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CharClass([u64; 4]);
+
+impl CharClass {
+    /// The empty class.
+    #[must_use]
+    pub fn empty() -> Self {
+        Self([0; 4])
+    }
+
+    /// The class matching every byte (`.` matches everything but `\n`
+    /// per convention; use [`CharClass::dot`] for that).
+    #[must_use]
+    pub fn full() -> Self {
+        Self([u64::MAX; 4])
+    }
+
+    /// `.`: every byte except `\n`.
+    #[must_use]
+    pub fn dot() -> Self {
+        let mut c = Self::full();
+        c.remove(b'\n');
+        c
+    }
+
+    /// The singleton class `{byte}`.
+    #[must_use]
+    pub fn single(byte: u8) -> Self {
+        let mut c = Self::empty();
+        c.insert(byte);
+        c
+    }
+
+    /// Inserts a byte.
+    pub fn insert(&mut self, byte: u8) {
+        self.0[usize::from(byte >> 6)] |= 1 << (byte & 63);
+    }
+
+    /// Removes a byte.
+    pub fn remove(&mut self, byte: u8) {
+        self.0[usize::from(byte >> 6)] &= !(1 << (byte & 63));
+    }
+
+    /// Inserts an inclusive byte range.
+    pub fn insert_range(&mut self, lo: u8, hi: u8) {
+        for b in lo..=hi {
+            self.insert(b);
+        }
+    }
+
+    /// Whether the class contains a byte.
+    #[must_use]
+    pub fn contains(&self, byte: u8) -> bool {
+        self.0[usize::from(byte >> 6)] & (1 << (byte & 63)) != 0
+    }
+
+    /// The complement class.
+    #[must_use]
+    pub fn negated(&self) -> Self {
+        Self([!self.0[0], !self.0[1], !self.0[2], !self.0[3]])
+    }
+
+    /// Union of two classes.
+    #[must_use]
+    pub fn union(&self, other: &Self) -> Self {
+        Self([
+            self.0[0] | other.0[0],
+            self.0[1] | other.0[1],
+            self.0[2] | other.0[2],
+            self.0[3] | other.0[3],
+        ])
+    }
+
+    /// Number of bytes in the class.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.0.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Whether the class is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.0 == [0; 4]
+    }
+
+    fn digits() -> Self {
+        let mut c = Self::empty();
+        c.insert_range(b'0', b'9');
+        c
+    }
+
+    fn word_chars() -> Self {
+        let mut c = Self::digits();
+        c.insert_range(b'a', b'z');
+        c.insert_range(b'A', b'Z');
+        c.insert(b'_');
+        c
+    }
+
+    fn whitespace() -> Self {
+        let mut c = Self::empty();
+        for b in [b' ', b'\t', b'\n', b'\r', 0x0b, 0x0c] {
+            c.insert(b);
+        }
+        c
+    }
+}
+
+/// Regex parse error with byte position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseRegexError {
+    msg: String,
+    pos: usize,
+}
+
+impl fmt::Display for ParseRegexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at byte {}", self.msg, self.pos)
+    }
+}
+
+impl Error for ParseRegexError {}
+
+/// Regex AST.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Ast {
+    Empty,
+    Char(CharClass),
+    Concat(Vec<Ast>),
+    Alt(Vec<Ast>),
+    Star(Box<Ast>),
+    Plus(Box<Ast>),
+    Opt(Box<Ast>),
+}
+
+struct Parser<'a> {
+    src: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, msg: impl Into<String>) -> ParseRegexError {
+        ParseRegexError {
+            msg: msg.into(),
+            pos: self.pos,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn parse_alternation(&mut self) -> Result<Ast, ParseRegexError> {
+        let mut branches = vec![self.parse_concat()?];
+        while self.peek() == Some(b'|') {
+            self.bump();
+            branches.push(self.parse_concat()?);
+        }
+        Ok(if branches.len() == 1 {
+            branches.pop().expect("nonempty")
+        } else {
+            Ast::Alt(branches)
+        })
+    }
+
+    fn parse_concat(&mut self) -> Result<Ast, ParseRegexError> {
+        let mut items = Vec::new();
+        while let Some(b) = self.peek() {
+            if b == b'|' || b == b')' {
+                break;
+            }
+            items.push(self.parse_repeat()?);
+        }
+        Ok(match items.len() {
+            0 => Ast::Empty,
+            1 => items.pop().expect("nonempty"),
+            _ => Ast::Concat(items),
+        })
+    }
+
+    fn parse_repeat(&mut self) -> Result<Ast, ParseRegexError> {
+        let mut atom = self.parse_atom()?;
+        loop {
+            match self.peek() {
+                Some(b'*') => {
+                    self.bump();
+                    atom = Ast::Star(Box::new(atom));
+                }
+                Some(b'+') => {
+                    self.bump();
+                    atom = Ast::Plus(Box::new(atom));
+                }
+                Some(b'?') => {
+                    self.bump();
+                    atom = Ast::Opt(Box::new(atom));
+                }
+                Some(b'{') => {
+                    self.bump();
+                    let (lo, hi) = self.parse_counts()?;
+                    atom = expand_counted(&atom, lo, hi);
+                }
+                _ => break,
+            }
+        }
+        Ok(atom)
+    }
+
+    /// Parses `n}`, `n,}` or `n,m}` after `{`.
+    fn parse_counts(&mut self) -> Result<(usize, Option<usize>), ParseRegexError> {
+        let n = self.parse_number()?;
+        match self.bump() {
+            Some(b'}') => Ok((n, Some(n))),
+            Some(b',') => {
+                if self.peek() == Some(b'}') {
+                    self.bump();
+                    Ok((n, None))
+                } else {
+                    let m = self.parse_number()?;
+                    if self.bump() != Some(b'}') {
+                        return Err(self.err("expected '}'"));
+                    }
+                    if m < n {
+                        return Err(self.err("bad repetition range"));
+                    }
+                    Ok((n, Some(m)))
+                }
+            }
+            _ => Err(self.err("expected '}' or ','")),
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<usize, ParseRegexError> {
+        let start = self.pos;
+        while self.peek().is_some_and(|b| b.is_ascii_digit()) {
+            self.bump();
+        }
+        if self.pos == start {
+            return Err(self.err("expected a number"));
+        }
+        std::str::from_utf8(&self.src[start..self.pos])
+            .expect("digits are UTF-8")
+            .parse()
+            .map_err(|_| self.err("repetition count too large"))
+    }
+
+    fn parse_atom(&mut self) -> Result<Ast, ParseRegexError> {
+        match self.bump() {
+            Some(b'(') => {
+                let inner = self.parse_alternation()?;
+                if self.bump() != Some(b')') {
+                    return Err(self.err("unclosed group"));
+                }
+                Ok(inner)
+            }
+            Some(b'.') => Ok(Ast::Char(CharClass::dot())),
+            Some(b'[') => self.parse_class(),
+            Some(b'\\') => Ok(Ast::Char(self.parse_escape()?)),
+            Some(b) if b == b'*' || b == b'+' || b == b'?' => {
+                Err(self.err("quantifier without atom"))
+            }
+            Some(b) => Ok(Ast::Char(CharClass::single(b))),
+            None => Err(self.err("unexpected end of pattern")),
+        }
+    }
+
+    fn parse_escape(&mut self) -> Result<CharClass, ParseRegexError> {
+        match self.bump() {
+            Some(b'd') => Ok(CharClass::digits()),
+            Some(b'D') => Ok(CharClass::digits().negated()),
+            Some(b'w') => Ok(CharClass::word_chars()),
+            Some(b'W') => Ok(CharClass::word_chars().negated()),
+            Some(b's') => Ok(CharClass::whitespace()),
+            Some(b'S') => Ok(CharClass::whitespace().negated()),
+            Some(b'n') => Ok(CharClass::single(b'\n')),
+            Some(b'r') => Ok(CharClass::single(b'\r')),
+            Some(b't') => Ok(CharClass::single(b'\t')),
+            Some(b'0') => Ok(CharClass::single(0)),
+            Some(b'x') => {
+                let hi = self.hex_digit()?;
+                let lo = self.hex_digit()?;
+                Ok(CharClass::single(hi * 16 + lo))
+            }
+            Some(b) => Ok(CharClass::single(b)), // \. \\ \[ …
+            None => Err(self.err("dangling escape")),
+        }
+    }
+
+    fn hex_digit(&mut self) -> Result<u8, ParseRegexError> {
+        match self.bump() {
+            Some(b) if b.is_ascii_hexdigit() => Ok(match b {
+                b'0'..=b'9' => b - b'0',
+                b'a'..=b'f' => b - b'a' + 10,
+                _ => b - b'A' + 10,
+            }),
+            _ => Err(self.err("expected hex digit")),
+        }
+    }
+
+    fn parse_class(&mut self) -> Result<Ast, ParseRegexError> {
+        let negate = if self.peek() == Some(b'^') {
+            self.bump();
+            true
+        } else {
+            false
+        };
+        let mut class = CharClass::empty();
+        let mut first = true;
+        loop {
+            let b = self.bump().ok_or_else(|| self.err("unclosed class"))?;
+            if b == b']' && !first {
+                break;
+            }
+            first = false;
+            let lo = if b == b'\\' {
+                let c = self.parse_escape()?;
+                if c.len() != 1 {
+                    class = class.union(&c);
+                    continue;
+                }
+                (0u8..=255)
+                    .find(|&x| c.contains(x))
+                    .expect("singleton class")
+            } else {
+                b
+            };
+            if self.peek() == Some(b'-') && self.src.get(self.pos + 1) != Some(&b']') {
+                self.bump(); // '-'
+                let hi = match self.bump() {
+                    Some(b'\\') => {
+                        let c = self.parse_escape()?;
+                        (0u8..=255)
+                            .find(|&x| c.contains(x))
+                            .ok_or_else(|| self.err("bad range end"))?
+                    }
+                    Some(h) => h,
+                    None => return Err(self.err("unclosed class")),
+                };
+                if hi < lo {
+                    return Err(self.err("reversed range"));
+                }
+                class.insert_range(lo, hi);
+            } else {
+                class.insert(lo);
+            }
+        }
+        Ok(Ast::Char(if negate { class.negated() } else { class }))
+    }
+}
+
+fn expand_counted(atom: &Ast, lo: usize, hi: Option<usize>) -> Ast {
+    let mut items: Vec<Ast> = Vec::new();
+    for _ in 0..lo {
+        items.push(atom.clone());
+    }
+    match hi {
+        None => {
+            // {n,}: the final copy becomes a Plus (or a bare Star for n=0).
+            if let Some(last) = items.pop() {
+                items.push(Ast::Plus(Box::new(last)));
+            } else {
+                items.push(Ast::Star(Box::new(atom.clone())));
+            }
+        }
+        Some(m) => {
+            for _ in lo..m {
+                items.push(Ast::Opt(Box::new(atom.clone())));
+            }
+        }
+    }
+    match items.len() {
+        0 => Ast::Empty,
+        1 => items.pop().expect("nonempty"),
+        _ => Ast::Concat(items),
+    }
+}
+
+/// Glushkov construction state.
+struct Glushkov {
+    classes: Vec<CharClass>,
+    nullable: bool,
+    first: BTreeSet<u32>,
+    last: BTreeSet<u32>,
+    follow: Vec<BTreeSet<u32>>,
+}
+
+fn glushkov(ast: &Ast) -> Glushkov {
+    struct Ctx {
+        classes: Vec<CharClass>,
+        follow: Vec<BTreeSet<u32>>,
+    }
+    struct Info {
+        nullable: bool,
+        first: BTreeSet<u32>,
+        last: BTreeSet<u32>,
+    }
+    fn visit(ast: &Ast, ctx: &mut Ctx) -> Info {
+        match ast {
+            Ast::Empty => Info {
+                nullable: true,
+                first: BTreeSet::new(),
+                last: BTreeSet::new(),
+            },
+            Ast::Char(c) => {
+                let p = ctx.classes.len() as u32;
+                ctx.classes.push(*c);
+                ctx.follow.push(BTreeSet::new());
+                Info {
+                    nullable: false,
+                    first: BTreeSet::from([p]),
+                    last: BTreeSet::from([p]),
+                }
+            }
+            Ast::Concat(items) => {
+                let mut acc = Info {
+                    nullable: true,
+                    first: BTreeSet::new(),
+                    last: BTreeSet::new(),
+                };
+                for item in items {
+                    let info = visit(item, ctx);
+                    // follow: last(acc) → first(item)
+                    for &q in &acc.last {
+                        ctx.follow[q as usize].extend(info.first.iter().copied());
+                    }
+                    if acc.nullable {
+                        acc.first.extend(info.first.iter().copied());
+                    }
+                    if info.nullable {
+                        acc.last.extend(info.last.iter().copied());
+                    } else {
+                        acc.last = info.last;
+                    }
+                    acc.nullable &= info.nullable;
+                }
+                acc
+            }
+            Ast::Alt(branches) => {
+                let mut acc = Info {
+                    nullable: false,
+                    first: BTreeSet::new(),
+                    last: BTreeSet::new(),
+                };
+                for b in branches {
+                    let info = visit(b, ctx);
+                    acc.nullable |= info.nullable;
+                    acc.first.extend(info.first);
+                    acc.last.extend(info.last);
+                }
+                acc
+            }
+            Ast::Star(inner) | Ast::Plus(inner) => {
+                let info = visit(inner, ctx);
+                for &q in &info.last {
+                    ctx.follow[q as usize].extend(info.first.iter().copied());
+                }
+                Info {
+                    nullable: info.nullable || matches!(ast, Ast::Star(_)),
+                    first: info.first,
+                    last: info.last,
+                }
+            }
+            Ast::Opt(inner) => {
+                let info = visit(inner, ctx);
+                Info {
+                    nullable: true,
+                    first: info.first,
+                    last: info.last,
+                }
+            }
+        }
+    }
+    let mut ctx = Ctx {
+        classes: Vec::new(),
+        follow: Vec::new(),
+    };
+    let info = visit(ast, &mut ctx);
+    Glushkov {
+        classes: ctx.classes,
+        nullable: info.nullable,
+        first: info.first,
+        last: info.last,
+        follow: ctx.follow,
+    }
+}
+
+/// A compiled regular-expression hardware engine.
+///
+/// The circuit consumes one input byte (`ch0..ch7`, LSB first) per clock
+/// cycle and raises the registered `match` output one cycle after the last
+/// byte of any (unanchored) occurrence of the pattern.
+///
+/// # Example
+///
+/// ```
+/// use mm_gen::regex::RegexEngine;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let engine = RegexEngine::compile("cmd\\.exe", 4)?;
+/// assert!(engine.matches(b"GET /scripts/cmd.exe HTTP/1.0"));
+/// assert!(!engine.matches(b"GET /index.html"));
+/// println!("{} states, {} LUTs", engine.state_count(), engine.lut_circuit().lut_count());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct RegexEngine {
+    pattern: String,
+    network: GateNetwork,
+    lut_circuit: mm_netlist::LutCircuit,
+    state_count: usize,
+    /// The combinational (pre-register) match signal, for validation.
+    match_comb: SignalId,
+}
+
+impl RegexEngine {
+    /// Compiles `pattern` into a matcher circuit mapped to `k`-input LUTs.
+    ///
+    /// # Errors
+    ///
+    /// Fails on malformed patterns or (theoretically) on internal netlist
+    /// errors during mapping.
+    pub fn compile(pattern: &str, k: usize) -> Result<Self, Box<dyn Error>> {
+        let mut parser = Parser {
+            src: pattern.as_bytes(),
+            pos: 0,
+        };
+        let ast = parser.parse_alternation()?;
+        if parser.pos != parser.src.len() {
+            return Err(Box::new(parser.err("unexpected ')'")));
+        }
+        let nfa = glushkov(&ast);
+        let (network, match_comb) = build_matcher(pattern, &nfa);
+        let lut_circuit =
+            mm_synth::synthesize(&network, mm_synth::MapOptions::for_k(k.max(2)))?;
+        Ok(Self {
+            pattern: pattern.to_string(),
+            state_count: nfa.classes.len(),
+            network,
+            lut_circuit,
+            match_comb,
+        })
+    }
+
+    /// The source pattern.
+    #[must_use]
+    pub fn pattern(&self) -> &str {
+        &self.pattern
+    }
+
+    /// Number of NFA states (flip-flops).
+    #[must_use]
+    pub fn state_count(&self) -> usize {
+        self.state_count
+    }
+
+    /// The gate-level matcher.
+    #[must_use]
+    pub fn network(&self) -> &GateNetwork {
+        &self.network
+    }
+
+    /// The technology-mapped matcher.
+    #[must_use]
+    pub fn lut_circuit(&self) -> &mm_netlist::LutCircuit {
+        &self.lut_circuit
+    }
+
+    /// Consumes the engine, returning the mapped circuit (one mode of a
+    /// multi-mode input).
+    #[must_use]
+    pub fn into_lut_circuit(self) -> mm_netlist::LutCircuit {
+        self.lut_circuit
+    }
+
+    /// Streams `haystack` through the gate-level matcher and reports
+    /// whether the pattern occurred (functional validation).
+    ///
+    /// Reads the combinational match signal: during the cycle after byte
+    /// `i`, it reflects occurrences ending at byte `i` (the flip-flops
+    /// were latched at the end of that cycle), so one trailing evaluation
+    /// with unchanged state covers the final byte without the flush bytes
+    /// themselves being able to extend a match.
+    #[must_use]
+    pub fn matches(&self, haystack: &[u8]) -> bool {
+        let mut sim = mm_netlist::GateSimulator::new(&self.network);
+        let mut hit = false;
+        for &byte in haystack {
+            let bits: Vec<bool> = (0..8).map(|i| (byte >> i) & 1 == 1).collect();
+            sim.step(&bits);
+            hit |= sim.value(self.match_comb);
+        }
+        // One trailing evaluation: the combinational match computed from
+        // the states latched after the final byte. The dummy byte cannot
+        // influence the sampled value (it only affects the next latch).
+        sim.step(&[false; 8]);
+        hit | sim.value(self.match_comb)
+    }
+}
+
+/// Builds the one-hot NFA matcher network; returns the network and the
+/// combinational match signal.
+fn build_matcher(pattern: &str, nfa: &Glushkov) -> (GateNetwork, SignalId) {
+    let mut net = GateNetwork::new(format!("re_{}", sanitize(pattern)));
+    let ch = Word::inputs(&mut net, "ch", 8);
+
+    // Shared nibble decoders.
+    let lo_bits = Word::from_bits(ch.bits()[0..4].to_vec());
+    let hi_bits = Word::from_bits(ch.bits()[4..8].to_vec());
+    let lo_eq: Vec<SignalId> = (0..16)
+        .map(|v| lo_bits.equals_const(&mut net, v))
+        .collect();
+    let hi_eq: Vec<SignalId> = (0..16)
+        .map(|v| hi_bits.equals_const(&mut net, v))
+        .collect();
+
+    // Character-class decoders, deduplicated by class.
+    let mut decoder_of: HashMap<CharClass, SignalId> = HashMap::new();
+    let mut decoders: Vec<SignalId> = Vec::with_capacity(nfa.classes.len());
+    for class in &nfa.classes {
+        let sig = *decoder_of.entry(*class).or_insert_with(|| {
+            build_decoder(&mut net, class, &lo_eq, &hi_eq)
+        });
+        decoders.push(sig);
+    }
+
+    // One flip-flop per position; the virtual start state is constant 1
+    // (unanchored matching — the engine hunts for the pattern anywhere in
+    // the stream, as IDS engines do).
+    let start = net.constant(true);
+    let states: Vec<SignalId> = (0..nfa.classes.len()).map(|_| net.add_dff(false)).collect();
+
+    // incoming(p) = OR of predecessor states (+ start if p ∈ first).
+    let mut preds: Vec<Vec<SignalId>> = vec![Vec::new(); nfa.classes.len()];
+    for &p in &nfa.first {
+        preds[p as usize].push(start);
+    }
+    for (q, follows) in nfa.follow.iter().enumerate() {
+        for &p in follows {
+            preds[p as usize].push(states[q]);
+        }
+    }
+    for (p, pred) in preds.iter().enumerate() {
+        let incoming = net.or_many(pred);
+        let next = net.and(incoming, decoders[p]);
+        net.connect_dff(states[p], next)
+            .expect("state is a flip-flop");
+    }
+
+    // match = OR of last states, registered.
+    let lasts: Vec<SignalId> = nfa.last.iter().map(|&p| states[p as usize]).collect();
+    let mut matched = net.or_many(&lasts);
+    if nfa.nullable {
+        // A nullable pattern matches trivially; fold in constant true to
+        // keep semantics (degenerate case).
+        let t = net.constant(true);
+        matched = net.or(matched, t);
+    }
+    let registered = net.dff(matched, false);
+    net.add_output("match", registered)
+        .expect("unique output name");
+    (net, matched)
+}
+
+/// Class decoder via the shared nibble comparators: group the class bytes
+/// by high nibble, OR the needed low-nibble comparators per group.
+fn build_decoder(
+    net: &mut GateNetwork,
+    class: &CharClass,
+    lo_eq: &[SignalId],
+    hi_eq: &[SignalId],
+) -> SignalId {
+    if class.is_empty() {
+        return net.constant(false);
+    }
+    if class.len() == 256 {
+        return net.constant(true);
+    }
+    let mut groups: Vec<SignalId> = Vec::new();
+    for hi in 0..16u16 {
+        let lows: Vec<usize> = (0..16usize)
+            .filter(|&lo| class.contains((hi as u8) << 4 | lo as u8))
+            .collect();
+        if lows.is_empty() {
+            continue;
+        }
+        if lows.len() == 16 {
+            groups.push(hi_eq[hi as usize]);
+        } else {
+            let lo_signals: Vec<SignalId> = lows.iter().map(|&l| lo_eq[l]).collect();
+            let lo_any = net.or_many(&lo_signals);
+            groups.push(net.and(hi_eq[hi as usize], lo_any));
+        }
+    }
+    net.or_many(&groups)
+}
+
+fn sanitize(p: &str) -> String {
+    p.chars()
+        .take(12)
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect()
+}
+
+/// Five IDS payload patterns representative of the Bleeding Edge rule set
+/// used in the paper (the original distribution is defunct; these match
+/// its web-attack rules in length and structure).
+#[must_use]
+pub fn bleeding_edge_patterns() -> Vec<&'static str> {
+    vec![
+        // Unicode directory traversal against IIS, full command tail.
+        r"GET /(scripts|msadc|iisadmpwd|_vti_bin)/\.\.%(c0%af|c1%1c|255c|%35c)\.\./\.\.%(c0%af|c1%1c)\.\./winnt/system32/cmd\.exe\?/c\+(dir\+c:\\\\|copy\+\\\\winnt\\\\system32\\\\cmd\.exe\+root\.exe|tftp\+-i\+[0-9]{1,3}\.[0-9]{1,3}\.[0-9]{1,3}\.[0-9]{1,3}\+GET) HTTP/1\.[01]",
+        // Code-Red-style .ida overflow: long filler then %u escapes.
+        r"GET /default\.ida\?[NX]{144}%u(9090|4141)%u(9090|4141)%u(8190|00c3)%u(0003|9090)%u(8b00|531b)%u(53ff|0078)=a\s+HTTP/1\.[01]",
+        // awstats/cgi command injection with shell metacharacters.
+        r"GET /(cgi-bin|awstats|cgi-local|scgi-bin)/awstats\.(pl|cgi)\?(configdir|logfile|pluginmode|loadplugin)=\|(echo ?;?|%20)?(id|uname -a|cat|ls -la|head -n1) ?(/etc/(passwd|shadow|hosts)|/var/log/(messages|secure)|/proc/self/environ)? ?\|(%00)? HTTP/1\.[01]",
+        // Suspicious scanner user agents plus SQL injection tail.
+        r"User-Agent: (sqlmap|nikto|w3af|havij|acunetix|dirbuster)/[0-9]\.[0-9]{1,2}[\r\n]+.*(union (all )?select [a-z0-9_,%]{12,} from|or 1=1( )?--|xp_cmdshell\('.{4,}'\)|information_schema\.(tables|columns)|waitfor delay '0:0:[0-9]{2}'|benchmark\([0-9]{6,},md5\()",
+        // NOP sled, setuid shellcode preamble and an int 0x80 trigger.
+        r"\x90{128,}(\x31\xc0\x31\xdb|\x31\xd2\x31\xc9|\xeb\x1f\x5e)(\x50|\x68....|\x6a.|\x89[\xe0-\xe6])+(\xb0\x17\xcd\x80|\xb0\x0b\xcd\x80|\xb0\x2e\xcd\x80)(\x31\xc0(\x40)?|\x89\xc3)\xcd\x80",
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn engine(p: &str) -> RegexEngine {
+        RegexEngine::compile(p, 4).expect("compiles")
+    }
+
+    #[test]
+    fn literal_match() {
+        let e = engine("abc");
+        assert!(e.matches(b"xxabcxx"));
+        assert!(e.matches(b"abc"));
+        assert!(!e.matches(b"ab"));
+        assert!(!e.matches(b"axbxc"));
+        assert_eq!(e.state_count(), 3);
+    }
+
+    #[test]
+    fn alternation_and_group() {
+        let e = engine("(cat|dog)s?");
+        assert!(e.matches(b"hotdogs!"));
+        assert!(e.matches(b"a cat"));
+        assert!(!e.matches(b"cow"));
+    }
+
+    #[test]
+    fn char_classes_and_ranges() {
+        let e = engine("[a-c]x[0-9]");
+        assert!(e.matches(b"bx7"));
+        assert!(!e.matches(b"dx7"));
+        assert!(!e.matches(b"bxx"));
+        let neg = engine("a[^0-9]b");
+        assert!(neg.matches(b"a-b"));
+        assert!(!neg.matches(b"a5b"));
+    }
+
+    #[test]
+    fn dot_and_escapes() {
+        let e = engine(r"a.c");
+        assert!(e.matches(b"abc"));
+        assert!(e.matches(b"a%c"));
+        assert!(!e.matches(b"a\nc"), ". excludes newline");
+        let hex = engine(r"\x41\x42");
+        assert!(hex.matches(b"xxABxx"));
+        let d = engine(r"\d\d\d");
+        assert!(d.matches(b"abc123"));
+        assert!(!d.matches(b"ab12c"));
+    }
+
+    #[test]
+    fn quantifiers() {
+        let star = engine("ab*c");
+        assert!(star.matches(b"ac"));
+        assert!(star.matches(b"abbbbc"));
+        let plus = engine("ab+c");
+        assert!(!plus.matches(b"ac"));
+        assert!(plus.matches(b"abc"));
+        let opt = engine("colou?r");
+        assert!(opt.matches(b"color"));
+        assert!(opt.matches(b"colour"));
+    }
+
+    #[test]
+    fn counted_repetition() {
+        let exact = engine("a{3}b");
+        assert!(exact.matches(b"aaab"));
+        assert!(!exact.matches(b"aab"));
+        let atleast = engine("x{2,}y");
+        assert!(!atleast.matches(b"xy"));
+        assert!(atleast.matches(b"xxy"));
+        assert!(atleast.matches(b"xxxxxy"));
+        let range = engine("z{1,3}w");
+        assert!(range.matches(b"zw"));
+        assert!(range.matches(b"zzzw"));
+        assert!(!range.matches(b"w"));
+    }
+
+    #[test]
+    fn unanchored_overlapping_stream() {
+        let e = engine("abab");
+        assert!(e.matches(b"xxabababxx"), "overlapping occurrence");
+        assert!(!e.matches(b"abba"));
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(RegexEngine::compile("(abc", 4).is_err());
+        assert!(RegexEngine::compile("abc)", 4).is_err());
+        assert!(RegexEngine::compile("[abc", 4).is_err());
+        assert!(RegexEngine::compile("a{3,1}", 4).is_err());
+        assert!(RegexEngine::compile("*a", 4).is_err());
+        assert!(RegexEngine::compile(r"a\x4", 4).is_err());
+        assert!(RegexEngine::compile("[z-a]", 4).is_err());
+    }
+
+    #[test]
+    fn bleeding_edge_patterns_compile_and_fire() {
+        let patterns = bleeding_edge_patterns();
+        assert_eq!(patterns.len(), 5);
+        // Spot-check pattern 0 on a crafted attack string.
+        let e = engine(patterns[0]);
+        assert!(e.matches(
+            b"GET /scripts/..%c0%af../..%c1%1c../winnt/system32/cmd.exe?/c+dir+c:\\\\ HTTP/1.0"
+        ));
+        assert!(!e.matches(b"GET /index.html HTTP/1.0"));
+    }
+
+    #[test]
+    fn mapped_circuit_sizes_are_reported() {
+        let e = engine("ab[0-9]+cd");
+        let stats = e.lut_circuit().stats();
+        assert!(stats.luts > 0);
+        assert!(stats.registered_luts >= e.state_count());
+        assert_eq!(stats.inputs, 8);
+        assert_eq!(stats.outputs, 1);
+    }
+
+    #[test]
+    fn lut_circuit_matches_gate_network() {
+        // The mapped circuit must behave identically to the gate network.
+        let e = engine("(ab|ba)+c");
+        let mut gate_sim = mm_netlist::GateSimulator::new(e.network());
+        let mut lut_sim = mm_netlist::LutSimulator::new(e.lut_circuit()).unwrap();
+        let stream = b"abbaabbac ababc baac";
+        for &byte in stream.iter() {
+            let bits: Vec<bool> = (0..8).map(|i| (byte >> i) & 1 == 1).collect();
+            assert_eq!(gate_sim.step(&bits), lut_sim.step(&bits));
+        }
+    }
+}

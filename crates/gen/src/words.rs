@@ -1,0 +1,368 @@
+//! Word-level construction helpers over [`GateNetwork`]s.
+//!
+//! The benchmark generators build datapaths (FIR filters, ALUs,
+//! multipliers) gate by gate; this module provides little-endian
+//! bit-vector words with ripple-carry arithmetic so the generators read
+//! like RTL.
+
+use mm_netlist::{GateNetwork, SignalId};
+
+/// A little-endian bit vector (`bits[0]` is the LSB).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Word {
+    bits: Vec<SignalId>,
+}
+
+impl Word {
+    /// Wraps existing signals (LSB first).
+    #[must_use]
+    pub fn from_bits(bits: Vec<SignalId>) -> Self {
+        Self { bits }
+    }
+
+    /// A constant word of the given width.
+    #[must_use]
+    pub fn constant(net: &mut GateNetwork, value: u64, width: usize) -> Self {
+        let bits = (0..width)
+            .map(|i| net.constant((value >> i) & 1 == 1))
+            .collect();
+        Self { bits }
+    }
+
+    /// Fresh named inputs `prefix0..prefixN`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an input name collides (generator bug).
+    #[must_use]
+    pub fn inputs(net: &mut GateNetwork, prefix: &str, width: usize) -> Self {
+        let bits = (0..width)
+            .map(|i| {
+                net.add_input(format!("{prefix}{i}"))
+                    .expect("generator input names are unique")
+            })
+            .collect();
+        Self { bits }
+    }
+
+    /// Width in bits.
+    #[must_use]
+    pub fn width(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// The bit signals, LSB first.
+    #[must_use]
+    pub fn bits(&self) -> &[SignalId] {
+        &self.bits
+    }
+
+    /// Bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn bit(&self, i: usize) -> SignalId {
+        self.bits[i]
+    }
+
+    /// Exports the word as outputs `prefix0..prefixN`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an output name collides (generator bug).
+    pub fn export(&self, net: &mut GateNetwork, prefix: &str) {
+        for (i, &b) in self.bits.iter().enumerate() {
+            net.add_output(format!("{prefix}{i}"), b)
+                .expect("generator output names are unique");
+        }
+    }
+
+    /// Zero- or sign-extends / truncates to `width`.
+    #[must_use]
+    pub fn resize(&self, net: &mut GateNetwork, width: usize, signed: bool) -> Word {
+        let mut bits = self.bits.clone();
+        if bits.len() > width {
+            bits.truncate(width);
+        } else {
+            let fill = if signed && !bits.is_empty() {
+                *bits.last().expect("nonempty")
+            } else {
+                net.constant(false)
+            };
+            while bits.len() < width {
+                bits.push(fill);
+            }
+        }
+        Word { bits }
+    }
+
+    /// Logical shift left by a constant (drops carried-out bits, keeps
+    /// width + shift).
+    #[must_use]
+    pub fn shifted_left(&self, net: &mut GateNetwork, shift: usize) -> Word {
+        let mut bits: Vec<SignalId> = (0..shift).map(|_| net.constant(false)).collect();
+        bits.extend_from_slice(&self.bits);
+        Word { bits }
+    }
+
+    /// Bitwise NOT.
+    #[must_use]
+    pub fn not(&self, net: &mut GateNetwork) -> Word {
+        Word {
+            bits: self.bits.iter().map(|&b| net.not(b)).collect(),
+        }
+    }
+
+    /// Bitwise AND with a single control bit (masking).
+    #[must_use]
+    pub fn gated(&self, net: &mut GateNetwork, enable: SignalId) -> Word {
+        Word {
+            bits: self.bits.iter().map(|&b| net.and(b, enable)).collect(),
+        }
+    }
+
+    /// Bitwise binary op.
+    fn zip(&self, net: &mut GateNetwork, other: &Word, f: impl Fn(&mut GateNetwork, SignalId, SignalId) -> SignalId) -> Word {
+        assert_eq!(self.width(), other.width(), "word width mismatch");
+        Word {
+            bits: self
+                .bits
+                .iter()
+                .zip(&other.bits)
+                .map(|(&a, &b)| f(net, a, b))
+                .collect(),
+        }
+    }
+
+    /// Bitwise AND.
+    #[must_use]
+    pub fn and(&self, net: &mut GateNetwork, other: &Word) -> Word {
+        self.zip(net, other, |n, a, b| n.and(a, b))
+    }
+
+    /// Bitwise OR.
+    #[must_use]
+    pub fn or(&self, net: &mut GateNetwork, other: &Word) -> Word {
+        self.zip(net, other, |n, a, b| n.or(a, b))
+    }
+
+    /// Bitwise XOR.
+    #[must_use]
+    pub fn xor(&self, net: &mut GateNetwork, other: &Word) -> Word {
+        self.zip(net, other, |n, a, b| n.xor(a, b))
+    }
+
+    /// Ripple-carry addition (result has the same width; carry-out
+    /// returned separately).
+    ///
+    /// # Panics
+    ///
+    /// Panics if widths differ.
+    #[must_use]
+    pub fn add(&self, net: &mut GateNetwork, other: &Word) -> (Word, SignalId) {
+        assert_eq!(self.width(), other.width(), "word width mismatch");
+        let mut carry = net.constant(false);
+        let mut bits = Vec::with_capacity(self.width());
+        for (&a, &b) in self.bits.iter().zip(&other.bits) {
+            let axb = net.xor(a, b);
+            let sum = net.xor(axb, carry);
+            let g1 = net.and(a, b);
+            let g2 = net.and(axb, carry);
+            carry = net.or(g1, g2);
+            bits.push(sum);
+        }
+        (Word { bits }, carry)
+    }
+
+    /// Two's-complement subtraction `self - other` (same width; borrow-free
+    /// flag = carry-out).
+    ///
+    /// # Panics
+    ///
+    /// Panics if widths differ.
+    #[must_use]
+    pub fn sub(&self, net: &mut GateNetwork, other: &Word) -> (Word, SignalId) {
+        assert_eq!(self.width(), other.width(), "word width mismatch");
+        let mut carry = net.constant(true);
+        let mut bits = Vec::with_capacity(self.width());
+        for (&a, &b) in self.bits.iter().zip(&other.bits) {
+            let nb = net.not(b);
+            let axb = net.xor(a, nb);
+            let sum = net.xor(axb, carry);
+            let g1 = net.and(a, nb);
+            let g2 = net.and(axb, carry);
+            carry = net.or(g1, g2);
+            bits.push(sum);
+        }
+        (Word { bits }, carry)
+    }
+
+    /// Word-level 2:1 multiplexer `sel ? self : other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if widths differ.
+    #[must_use]
+    pub fn mux(&self, net: &mut GateNetwork, other: &Word, sel: SignalId) -> Word {
+        self.zip(net, other, |n, a, b| n.mux(sel, a, b))
+    }
+
+    /// Registers every bit through a D flip-flop.
+    #[must_use]
+    pub fn registered(&self, net: &mut GateNetwork, init: bool) -> Word {
+        Word {
+            bits: self.bits.iter().map(|&b| net.dff(b, init)).collect(),
+        }
+    }
+
+    /// Equality comparator against a constant.
+    #[must_use]
+    pub fn equals_const(&self, net: &mut GateNetwork, value: u64) -> SignalId {
+        let lits: Vec<SignalId> = self
+            .bits
+            .iter()
+            .enumerate()
+            .map(|(i, &b)| {
+                if (value >> i) & 1 == 1 {
+                    b
+                } else {
+                    net.not(b)
+                }
+            })
+            .collect();
+        net.and_many(&lits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mm_netlist::GateSimulator;
+
+    fn eval_word(out: &[bool]) -> u64 {
+        out.iter()
+            .enumerate()
+            .fold(0u64, |acc, (i, &b)| acc | (u64::from(b) << i))
+    }
+
+    fn bits_of(v: u64, w: usize) -> Vec<bool> {
+        (0..w).map(|i| (v >> i) & 1 == 1).collect()
+    }
+
+    #[test]
+    fn adder_exhaustive_4bit() {
+        let mut net = GateNetwork::new("add");
+        let a = Word::inputs(&mut net, "a", 4);
+        let b = Word::inputs(&mut net, "b", 4);
+        let (s, c) = a.add(&mut net, &b);
+        s.export(&mut net, "s");
+        net.add_output("c", c).unwrap();
+        let mut sim = GateSimulator::new(&net);
+        for x in 0..16u64 {
+            for y in 0..16u64 {
+                let mut ins = bits_of(x, 4);
+                ins.extend(bits_of(y, 4));
+                let out = sim.step(&ins);
+                let sum = eval_word(&out[..4]);
+                let carry = out[4];
+                assert_eq!(sum, (x + y) & 0xf, "{x}+{y}");
+                assert_eq!(carry, x + y > 15, "{x}+{y}");
+            }
+        }
+    }
+
+    #[test]
+    fn subtractor_exhaustive_4bit() {
+        let mut net = GateNetwork::new("sub");
+        let a = Word::inputs(&mut net, "a", 4);
+        let b = Word::inputs(&mut net, "b", 4);
+        let (d, no_borrow) = a.sub(&mut net, &b);
+        d.export(&mut net, "d");
+        net.add_output("nb", no_borrow).unwrap();
+        let mut sim = GateSimulator::new(&net);
+        for x in 0..16u64 {
+            for y in 0..16u64 {
+                let mut ins = bits_of(x, 4);
+                ins.extend(bits_of(y, 4));
+                let out = sim.step(&ins);
+                assert_eq!(eval_word(&out[..4]), x.wrapping_sub(y) & 0xf, "{x}-{y}");
+                assert_eq!(out[4], x >= y, "{x}-{y}");
+            }
+        }
+    }
+
+    #[test]
+    fn constant_and_shift() {
+        let mut net = GateNetwork::new("c");
+        let k = Word::constant(&mut net, 0b1011, 4);
+        let sh = k.shifted_left(&mut net, 2);
+        assert_eq!(sh.width(), 6);
+        sh.export(&mut net, "o");
+        let mut sim = GateSimulator::new(&net);
+        let out = sim.step(&[]);
+        assert_eq!(eval_word(&out), 0b101100);
+    }
+
+    #[test]
+    fn resize_signed_and_unsigned() {
+        let mut net = GateNetwork::new("r");
+        let k = Word::constant(&mut net, 0b100, 3); // -4 signed
+        let u = k.resize(&mut net, 5, false);
+        let s = k.resize(&mut net, 5, true);
+        let t = k.resize(&mut net, 2, false);
+        u.export(&mut net, "u");
+        s.export(&mut net, "s");
+        t.export(&mut net, "t");
+        let mut sim = GateSimulator::new(&net);
+        let out = sim.step(&[]);
+        assert_eq!(eval_word(&out[..5]), 0b00100);
+        assert_eq!(eval_word(&out[5..10]), 0b11100);
+        assert_eq!(eval_word(&out[10..]), 0b00);
+    }
+
+    #[test]
+    fn mux_and_gate() {
+        let mut net = GateNetwork::new("m");
+        let sel = net.add_input("sel").unwrap();
+        let a = Word::constant(&mut net, 0b1010, 4);
+        let b = Word::constant(&mut net, 0b0101, 4);
+        let m = a.mux(&mut net, &b, sel);
+        let g = a.gated(&mut net, sel);
+        m.export(&mut net, "m");
+        g.export(&mut net, "g");
+        let mut sim = GateSimulator::new(&net);
+        let out0 = sim.step(&[false]);
+        assert_eq!(eval_word(&out0[..4]), 0b0101);
+        assert_eq!(eval_word(&out0[4..]), 0);
+        let out1 = sim.step(&[true]);
+        assert_eq!(eval_word(&out1[..4]), 0b1010);
+        assert_eq!(eval_word(&out1[4..]), 0b1010);
+    }
+
+    #[test]
+    fn equals_const_decoder() {
+        let mut net = GateNetwork::new("e");
+        let a = Word::inputs(&mut net, "a", 4);
+        let hit = a.equals_const(&mut net, 9);
+        net.add_output("hit", hit).unwrap();
+        let mut sim = GateSimulator::new(&net);
+        for x in 0..16u64 {
+            let out = sim.step(&bits_of(x, 4));
+            assert_eq!(out[0], x == 9, "{x}");
+        }
+    }
+
+    #[test]
+    fn registered_word_delays() {
+        let mut net = GateNetwork::new("reg");
+        let a = Word::inputs(&mut net, "a", 2);
+        let q = a.registered(&mut net, false);
+        q.export(&mut net, "q");
+        let mut sim = GateSimulator::new(&net);
+        assert_eq!(sim.step(&[true, false]), vec![false, false]);
+        assert_eq!(sim.step(&[false, true]), vec![true, false]);
+        assert_eq!(sim.step(&[false, false]), vec![false, true]);
+    }
+}

@@ -1,0 +1,75 @@
+//! Error types for netlist construction and BLIF I/O.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while building, validating or parsing netlists.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetlistError {
+    /// A block or signal name was declared twice.
+    DuplicateName(String),
+    /// A referenced signal/block name is not declared.
+    UnknownName(String),
+    /// A LUT was given more inputs than the architecture's k.
+    TooManyInputs {
+        /// Offending block name.
+        name: String,
+        /// Requested fanin.
+        got: usize,
+        /// Architecture LUT width.
+        k: usize,
+    },
+    /// Truth-table width does not match the declared fanin.
+    TruthWidthMismatch {
+        /// Offending block name.
+        name: String,
+        /// Truth-table width.
+        truth_k: usize,
+        /// Declared fanin.
+        fanin: usize,
+    },
+    /// The combinational part of the circuit contains a cycle.
+    CombinationalCycle(String),
+    /// A cover in a BLIF `.names` body is malformed.
+    InvalidCover(String),
+    /// BLIF text could not be parsed.
+    BlifParse {
+        /// 1-based source line.
+        line: usize,
+        /// Problem description.
+        msg: String,
+    },
+    /// An operation referenced a block of the wrong kind (e.g. asking for
+    /// the truth table of an input pad).
+    WrongBlockKind(String),
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetlistError::DuplicateName(n) => write!(f, "duplicate name '{n}'"),
+            NetlistError::UnknownName(n) => write!(f, "unknown name '{n}'"),
+            NetlistError::TooManyInputs { name, got, k } => {
+                write!(f, "block '{name}' has {got} inputs, architecture k = {k}")
+            }
+            NetlistError::TruthWidthMismatch {
+                name,
+                truth_k,
+                fanin,
+            } => write!(
+                f,
+                "block '{name}': truth table width {truth_k} != fanin {fanin}"
+            ),
+            NetlistError::CombinationalCycle(n) => {
+                write!(f, "combinational cycle through '{n}'")
+            }
+            NetlistError::InvalidCover(msg) => write!(f, "invalid cover: {msg}"),
+            NetlistError::BlifParse { line, msg } => {
+                write!(f, "BLIF parse error on line {line}: {msg}")
+            }
+            NetlistError::WrongBlockKind(msg) => write!(f, "wrong block kind: {msg}"),
+        }
+    }
+}
+
+impl Error for NetlistError {}

@@ -1,0 +1,566 @@
+//! Gate-level logic networks — the front-end IR emitted by the benchmark
+//! generators and consumed by synthesis.
+//!
+//! A [`GateNetwork`] is a word-level-free, technology-independent netlist
+//! of two-input gates, inverters, multiplexers and D flip-flops.
+//! Combinational acyclicity is guaranteed *by construction*: every gate may
+//! only reference signals created before it; cycles are closed exclusively
+//! through flip-flops, whose data input is connected after creation with
+//! [`GateNetwork::connect_dff`].
+
+use crate::NetlistError;
+use std::fmt;
+
+/// Identifier of a signal (gate output) in a [`GateNetwork`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SignalId(pub(crate) u32);
+
+impl SignalId {
+    /// The raw index of the signal.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for SignalId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// The operation producing a signal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GateOp {
+    /// Primary input.
+    Input,
+    /// Constant 0 or 1.
+    Const(bool),
+    /// Inverter.
+    Not(SignalId),
+    /// 2-input AND.
+    And(SignalId, SignalId),
+    /// 2-input OR.
+    Or(SignalId, SignalId),
+    /// 2-input XOR.
+    Xor(SignalId, SignalId),
+    /// 2:1 multiplexer: `sel ? hi : lo`.
+    Mux {
+        /// Select input.
+        sel: SignalId,
+        /// Output when `sel` is 1.
+        hi: SignalId,
+        /// Output when `sel` is 0.
+        lo: SignalId,
+    },
+    /// D flip-flop; `d` is patched by [`GateNetwork::connect_dff`] and the
+    /// placeholder value points at the flip-flop itself until then.
+    Dff {
+        /// Data input.
+        d: SignalId,
+        /// Reset/initial value.
+        init: bool,
+    },
+}
+
+impl GateOp {
+    fn operands(&self) -> impl Iterator<Item = SignalId> + '_ {
+        let ops: [Option<SignalId>; 3] = match *self {
+            GateOp::Input | GateOp::Const(_) => [None, None, None],
+            GateOp::Not(a) => [Some(a), None, None],
+            GateOp::And(a, b) | GateOp::Or(a, b) | GateOp::Xor(a, b) => {
+                [Some(a), Some(b), None]
+            }
+            GateOp::Mux { sel, hi, lo } => [Some(sel), Some(hi), Some(lo)],
+            GateOp::Dff { d, .. } => [Some(d), None, None],
+        };
+        ops.into_iter().flatten()
+    }
+}
+
+/// A gate-level logic network with named primary inputs and outputs.
+///
+/// # Example
+///
+/// ```
+/// use mm_netlist::GateNetwork;
+///
+/// # fn main() -> Result<(), mm_netlist::NetlistError> {
+/// let mut n = GateNetwork::new("half_adder");
+/// let a = n.add_input("a")?;
+/// let b = n.add_input("b")?;
+/// let sum = n.xor(a, b);
+/// let carry = n.and(a, b);
+/// n.add_output("sum", sum)?;
+/// n.add_output("carry", carry)?;
+/// assert_eq!(n.gate_count(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct GateNetwork {
+    name: String,
+    gates: Vec<GateOp>,
+    inputs: Vec<(String, SignalId)>,
+    outputs: Vec<(String, SignalId)>,
+}
+
+impl GateNetwork {
+    /// Creates an empty network.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            gates: Vec::new(),
+            inputs: Vec::new(),
+            outputs: Vec::new(),
+        }
+    }
+
+    /// The network name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn push(&mut self, op: GateOp) -> SignalId {
+        for operand in op.operands() {
+            // DFF placeholders reference themselves; allow equality.
+            assert!(
+                operand.index() <= self.gates.len(),
+                "operand {operand} not yet defined"
+            );
+        }
+        let id = SignalId(self.gates.len() as u32);
+        self.gates.push(op);
+        id
+    }
+
+    /// Adds a named primary input.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::DuplicateName`] if an input or output of
+    /// this name exists.
+    pub fn add_input(&mut self, name: impl Into<String>) -> Result<SignalId, NetlistError> {
+        let name = name.into();
+        if self.port_exists(&name) {
+            return Err(NetlistError::DuplicateName(name));
+        }
+        let id = self.push(GateOp::Input);
+        self.inputs.push((name, id));
+        Ok(id)
+    }
+
+    /// Exports `signal` as a named primary output.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::DuplicateName`] if an input or output of
+    /// this name exists.
+    pub fn add_output(
+        &mut self,
+        name: impl Into<String>,
+        signal: SignalId,
+    ) -> Result<(), NetlistError> {
+        let name = name.into();
+        if self.port_exists(&name) {
+            return Err(NetlistError::DuplicateName(name));
+        }
+        self.outputs.push((name, signal));
+        Ok(())
+    }
+
+    fn port_exists(&self, name: &str) -> bool {
+        self.inputs.iter().any(|(n, _)| n == name)
+            || self.outputs.iter().any(|(n, _)| n == name)
+    }
+
+    /// Constant signal.
+    pub fn constant(&mut self, value: bool) -> SignalId {
+        self.push(GateOp::Const(value))
+    }
+
+    /// Inverter.
+    pub fn not(&mut self, a: SignalId) -> SignalId {
+        self.push(GateOp::Not(a))
+    }
+
+    /// 2-input AND.
+    pub fn and(&mut self, a: SignalId, b: SignalId) -> SignalId {
+        self.push(GateOp::And(a, b))
+    }
+
+    /// 2-input OR.
+    pub fn or(&mut self, a: SignalId, b: SignalId) -> SignalId {
+        self.push(GateOp::Or(a, b))
+    }
+
+    /// 2-input XOR.
+    pub fn xor(&mut self, a: SignalId, b: SignalId) -> SignalId {
+        self.push(GateOp::Xor(a, b))
+    }
+
+    /// 2-input NAND.
+    pub fn nand(&mut self, a: SignalId, b: SignalId) -> SignalId {
+        let g = self.and(a, b);
+        self.not(g)
+    }
+
+    /// 2-input NOR.
+    pub fn nor(&mut self, a: SignalId, b: SignalId) -> SignalId {
+        let g = self.or(a, b);
+        self.not(g)
+    }
+
+    /// 2:1 multiplexer `sel ? hi : lo`.
+    pub fn mux(&mut self, sel: SignalId, hi: SignalId, lo: SignalId) -> SignalId {
+        self.push(GateOp::Mux { sel, hi, lo })
+    }
+
+    /// Reduction AND over any number of signals (empty = constant 1).
+    pub fn and_many(&mut self, signals: &[SignalId]) -> SignalId {
+        self.reduce(signals, true)
+    }
+
+    /// Reduction OR over any number of signals (empty = constant 0).
+    pub fn or_many(&mut self, signals: &[SignalId]) -> SignalId {
+        self.reduce(signals, false)
+    }
+
+    fn reduce(&mut self, signals: &[SignalId], is_and: bool) -> SignalId {
+        match signals {
+            [] => self.constant(is_and),
+            [s] => *s,
+            _ => {
+                // Balanced tree keeps depth logarithmic.
+                let mid = signals.len() / 2;
+                let l = self.reduce(&signals[..mid], is_and);
+                let r = self.reduce(&signals[mid..], is_and);
+                if is_and {
+                    self.and(l, r)
+                } else {
+                    self.or(l, r)
+                }
+            }
+        }
+    }
+
+    /// Reduction XOR (parity) over any number of signals (empty = 0).
+    pub fn xor_many(&mut self, signals: &[SignalId]) -> SignalId {
+        match signals {
+            [] => self.constant(false),
+            [s] => *s,
+            _ => {
+                let mid = signals.len() / 2;
+                let l = self.xor_many(&signals[..mid]);
+                let r = self.xor_many(&signals[mid..]);
+                self.xor(l, r)
+            }
+        }
+    }
+
+    /// Creates a D flip-flop whose data input is connected later with
+    /// [`GateNetwork::connect_dff`]; until then it feeds back on itself.
+    pub fn add_dff(&mut self, init: bool) -> SignalId {
+        let id = SignalId(self.gates.len() as u32);
+        self.gates.push(GateOp::Dff { d: id, init });
+        id
+    }
+
+    /// Creates a D flip-flop clocked from an already-defined signal.
+    pub fn dff(&mut self, d: SignalId, init: bool) -> SignalId {
+        self.push(GateOp::Dff { d, init })
+    }
+
+    /// Connects the data input of a flip-flop created with
+    /// [`GateNetwork::add_dff`] — the only way to close a (sequential)
+    /// cycle.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `ff` is not a flip-flop.
+    pub fn connect_dff(&mut self, ff: SignalId, d: SignalId) -> Result<(), NetlistError> {
+        assert!(d.index() < self.gates.len(), "data signal not defined");
+        match self.gates.get_mut(ff.index()) {
+            Some(GateOp::Dff { d: slot, .. }) => {
+                *slot = d;
+                Ok(())
+            }
+            _ => Err(NetlistError::WrongBlockKind(format!(
+                "{ff} is not a flip-flop"
+            ))),
+        }
+    }
+
+    /// The operation producing `signal`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the signal does not belong to this network.
+    #[must_use]
+    pub fn op(&self, signal: SignalId) -> GateOp {
+        self.gates[signal.index()]
+    }
+
+    /// Number of signals (gates + inputs + constants + flip-flops).
+    #[must_use]
+    pub fn signal_count(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// Number of combinational gates (excluding inputs, constants and
+    /// flip-flops).
+    #[must_use]
+    pub fn gate_count(&self) -> usize {
+        self.gates
+            .iter()
+            .filter(|g| {
+                !matches!(g, GateOp::Input | GateOp::Const(_) | GateOp::Dff { .. })
+            })
+            .count()
+    }
+
+    /// Number of flip-flops.
+    #[must_use]
+    pub fn dff_count(&self) -> usize {
+        self.gates
+            .iter()
+            .filter(|g| matches!(g, GateOp::Dff { .. }))
+            .count()
+    }
+
+    /// Named primary inputs in declaration order.
+    #[must_use]
+    pub fn inputs(&self) -> &[(String, SignalId)] {
+        &self.inputs
+    }
+
+    /// Named primary outputs in declaration order.
+    #[must_use]
+    pub fn outputs(&self) -> &[(String, SignalId)] {
+        &self.outputs
+    }
+
+    /// All signal ids in definition order.
+    pub fn signal_ids(&self) -> impl Iterator<Item = SignalId> {
+        (0..self.gates.len() as u32).map(SignalId)
+    }
+}
+
+/// Cycle-accurate two-valued simulator for a [`GateNetwork`].
+///
+/// Evaluation order is definition order, which is a topological order of
+/// the combinational logic by construction; flip-flops read their state
+/// and latch their next value at [`GateSimulator::step`].
+#[derive(Debug, Clone)]
+pub struct GateSimulator<'a> {
+    net: &'a GateNetwork,
+    values: Vec<bool>,
+    state: Vec<bool>,
+}
+
+impl<'a> GateSimulator<'a> {
+    /// Creates a simulator with flip-flops at their initial values.
+    #[must_use]
+    pub fn new(net: &'a GateNetwork) -> Self {
+        let state = net
+            .gates
+            .iter()
+            .map(|g| match g {
+                GateOp::Dff { init, .. } => *init,
+                _ => false,
+            })
+            .collect();
+        Self {
+            net,
+            values: vec![false; net.gates.len()],
+            state,
+        }
+    }
+
+    /// Resets all flip-flops to their initial values.
+    pub fn reset(&mut self) {
+        for (i, g) in self.net.gates.iter().enumerate() {
+            if let GateOp::Dff { init, .. } = g {
+                self.state[i] = *init;
+            }
+        }
+    }
+
+    /// Evaluates one clock cycle: applies `input_values` (one per primary
+    /// input, in declaration order), computes all signals, latches
+    /// flip-flops, and returns the primary-output values in declaration
+    /// order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input_values.len()` differs from the input count.
+    pub fn step(&mut self, input_values: &[bool]) -> Vec<bool> {
+        assert_eq!(
+            input_values.len(),
+            self.net.inputs.len(),
+            "input width mismatch"
+        );
+        let mut next_in = input_values.iter();
+        for (i, g) in self.net.gates.iter().enumerate() {
+            let v = |s: SignalId| self.values[s.index()];
+            self.values[i] = match *g {
+                GateOp::Input => *next_in.next().expect("inputs counted"),
+                GateOp::Const(b) => b,
+                GateOp::Not(a) => !v(a),
+                GateOp::And(a, b) => v(a) && v(b),
+                GateOp::Or(a, b) => v(a) || v(b),
+                GateOp::Xor(a, b) => v(a) ^ v(b),
+                GateOp::Mux { sel, hi, lo } => {
+                    if v(sel) {
+                        v(hi)
+                    } else {
+                        v(lo)
+                    }
+                }
+                GateOp::Dff { .. } => self.state[i],
+            };
+        }
+        // Latch flip-flops from the settled combinational values.
+        for (i, g) in self.net.gates.iter().enumerate() {
+            if let GateOp::Dff { d, .. } = g {
+                self.state[i] = self.values[d.index()];
+            }
+        }
+        self.net
+            .outputs
+            .iter()
+            .map(|&(_, s)| self.values[s.index()])
+            .collect()
+    }
+
+    /// The settled value of an arbitrary signal after the latest
+    /// [`GateSimulator::step`].
+    #[must_use]
+    pub fn value(&self, signal: SignalId) -> bool {
+        self.values[signal.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn half_adder_truth() {
+        let mut n = GateNetwork::new("ha");
+        let a = n.add_input("a").unwrap();
+        let b = n.add_input("b").unwrap();
+        let s = n.xor(a, b);
+        let c = n.and(a, b);
+        n.add_output("s", s).unwrap();
+        n.add_output("c", c).unwrap();
+        let mut sim = GateSimulator::new(&n);
+        for (ia, ib) in [(false, false), (false, true), (true, false), (true, true)] {
+            let out = sim.step(&[ia, ib]);
+            assert_eq!(out[0], ia ^ ib);
+            assert_eq!(out[1], ia && ib);
+        }
+    }
+
+    #[test]
+    fn mux_selects() {
+        let mut n = GateNetwork::new("m");
+        let s = n.add_input("s").unwrap();
+        let a = n.add_input("a").unwrap();
+        let b = n.add_input("b").unwrap();
+        let m = n.mux(s, a, b);
+        n.add_output("y", m).unwrap();
+        let mut sim = GateSimulator::new(&n);
+        assert_eq!(sim.step(&[false, true, false]), vec![false]); // lo = b
+        assert_eq!(sim.step(&[true, true, false]), vec![true]); // hi = a
+    }
+
+    #[test]
+    fn dff_delays_one_cycle() {
+        let mut n = GateNetwork::new("d");
+        let a = n.add_input("a").unwrap();
+        let q = n.dff(a, false);
+        n.add_output("q", q).unwrap();
+        let mut sim = GateSimulator::new(&n);
+        assert_eq!(sim.step(&[true]), vec![false]); // init visible
+        assert_eq!(sim.step(&[false]), vec![true]); // previous input
+        assert_eq!(sim.step(&[false]), vec![false]);
+    }
+
+    #[test]
+    fn toggle_flipflop_via_feedback() {
+        let mut n = GateNetwork::new("t");
+        let ff = n.add_dff(false);
+        let nq = n.not(ff);
+        n.connect_dff(ff, nq).unwrap();
+        n.add_output("q", ff).unwrap();
+        let mut sim = GateSimulator::new(&n);
+        assert_eq!(sim.step(&[]), vec![false]);
+        assert_eq!(sim.step(&[]), vec![true]);
+        assert_eq!(sim.step(&[]), vec![false]);
+        sim.reset();
+        assert_eq!(sim.step(&[]), vec![false]);
+    }
+
+    #[test]
+    fn reductions() {
+        let mut n = GateNetwork::new("r");
+        let sigs: Vec<SignalId> = (0..5)
+            .map(|i| n.add_input(format!("i{i}")).unwrap())
+            .collect();
+        let all = n.and_many(&sigs);
+        let any = n.or_many(&sigs);
+        let par = n.xor_many(&sigs);
+        n.add_output("all", all).unwrap();
+        n.add_output("any", any).unwrap();
+        n.add_output("par", par).unwrap();
+        let mut sim = GateSimulator::new(&n);
+        let out = sim.step(&[true, true, false, true, true]);
+        assert_eq!(out, vec![false, true, false]);
+        let out = sim.step(&[true; 5]);
+        assert_eq!(out, vec![true, true, true]);
+    }
+
+    #[test]
+    fn empty_reductions_are_constants() {
+        let mut n = GateNetwork::new("r");
+        let t = n.and_many(&[]);
+        let f = n.or_many(&[]);
+        n.add_output("t", t).unwrap();
+        n.add_output("f", f).unwrap();
+        let mut sim = GateSimulator::new(&n);
+        assert_eq!(sim.step(&[]), vec![true, false]);
+    }
+
+    #[test]
+    fn duplicate_port_names_rejected() {
+        let mut n = GateNetwork::new("x");
+        let a = n.add_input("a").unwrap();
+        assert!(n.add_input("a").is_err());
+        assert!(n.add_output("a", a).is_err());
+        n.add_output("y", a).unwrap();
+        assert!(n.add_output("y", a).is_err());
+    }
+
+    #[test]
+    fn connect_dff_rejects_non_ff() {
+        let mut n = GateNetwork::new("x");
+        let a = n.add_input("a").unwrap();
+        assert!(n.connect_dff(a, a).is_err());
+    }
+
+    #[test]
+    fn counts() {
+        let mut n = GateNetwork::new("x");
+        let a = n.add_input("a").unwrap();
+        let b = n.add_input("b").unwrap();
+        let g = n.and(a, b);
+        let _ = n.dff(g, false);
+        let _ = n.constant(true);
+        assert_eq!(n.signal_count(), 5);
+        assert_eq!(n.gate_count(), 1);
+        assert_eq!(n.dff_count(), 1);
+    }
+}

@@ -1,0 +1,50 @@
+//! Logic netlists for the multi-mode tool flow.
+//!
+//! Three levels of representation:
+//!
+//! * [`GateNetwork`] — technology-independent gate-level logic, emitted by
+//!   the benchmark generators (`mm-gen`) and consumed by synthesis
+//!   (`mm-synth`).
+//! * [`TruthTable`] — the configuration of one k-input LUT (k ≤ 6).
+//! * [`LutCircuit`] — a technology-mapped circuit of k-LUT logic blocks
+//!   (one LUT + optional flip-flop per block, as in VPR's
+//!   `4lut_sanitized.arch`) with IO pads. This is the unit the paper's
+//!   flow merges, places and routes.
+//!
+//! BLIF I/O lives in [`blif`]; cycle-accurate simulation (used heavily by
+//! the test-suite to prove that mapping and multi-mode merging preserve
+//! behaviour) in [`LutSimulator`] and [`GateSimulator`].
+//!
+//! # Example
+//!
+//! ```
+//! use mm_netlist::{LutCircuit, LutSimulator, TruthTable};
+//!
+//! # fn main() -> Result<(), mm_netlist::NetlistError> {
+//! let mut c = LutCircuit::new("xor2", 4);
+//! let a = c.add_input("a")?;
+//! let b = c.add_input("b")?;
+//! let x = c.add_lut("x", vec![a, b], TruthTable::var(2, 0) ^ TruthTable::var(2, 1), false)?;
+//! c.add_output("y", x)?;
+//!
+//! let mut sim = LutSimulator::new(&c)?;
+//! assert_eq!(sim.step(&[true, false]), vec![true]);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod blif;
+mod error;
+mod gates;
+mod lut;
+mod sim;
+mod truth;
+
+pub use error::NetlistError;
+pub use gates::{GateNetwork, GateOp, GateSimulator, SignalId};
+pub use lut::{Block, BlockId, BlockKind, LutCircuit, LutStats};
+pub use sim::{first_divergence, LutSimulator};
+pub use truth::{TruthTable, MAX_LUT_INPUTS};

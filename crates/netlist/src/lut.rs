@@ -1,0 +1,785 @@
+//! k-LUT circuits — the intermediate representation produced by technology
+//! mapping and consumed by placement, merging and routing.
+
+use crate::{NetlistError, TruthTable};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Identifier of a block inside one [`LutCircuit`].
+///
+/// Blocks are input pads, output pads and LUTs; the id is an index into the
+/// circuit's block table and is only meaningful for the circuit that issued
+/// it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BlockId(pub(crate) u32);
+
+impl BlockId {
+    /// The raw index of the block.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b{}", self.0)
+    }
+}
+
+/// The role of a block within a [`LutCircuit`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BlockKind {
+    /// A primary-input pad; drives one net named after the block.
+    InputPad,
+    /// A primary-output pad consuming the value of `source`.
+    OutputPad {
+        /// The driver block (input pad or LUT) observed by this output.
+        source: BlockId,
+        /// Exported port name (the BLIF `.outputs` signal).
+        port: String,
+    },
+    /// A logic block: one k-input LUT plus an optional output flip-flop —
+    /// the paper's "logic block … consisting of a combination of a look-up
+    /// table and a flip-flop".
+    Lut {
+        /// Driver blocks of the LUT inputs, in truth-table input order.
+        inputs: Vec<BlockId>,
+        /// The LUT configuration.
+        truth: TruthTable,
+        /// Whether the block output is taken from the flip-flop
+        /// (sequential) rather than the LUT (combinational).
+        registered: bool,
+        /// Initial flip-flop value (only meaningful when `registered`).
+        init: bool,
+    },
+}
+
+/// One block of a [`LutCircuit`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Block {
+    name: String,
+    kind: BlockKind,
+}
+
+impl Block {
+    /// The unique block name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The block role.
+    #[must_use]
+    pub fn kind(&self) -> &BlockKind {
+        &self.kind
+    }
+
+    /// Whether the block drives a net (input pads and LUTs do; output pads
+    /// do not).
+    #[must_use]
+    pub fn is_driver(&self) -> bool {
+        !matches!(self.kind, BlockKind::OutputPad { .. })
+    }
+
+    /// Whether the block occupies a logic (CLB) site when placed.
+    #[must_use]
+    pub fn is_lut(&self) -> bool {
+        matches!(self.kind, BlockKind::Lut { .. })
+    }
+
+    /// Whether the block occupies an IO site when placed.
+    #[must_use]
+    pub fn is_pad(&self) -> bool {
+        matches!(self.kind, BlockKind::InputPad | BlockKind::OutputPad { .. })
+    }
+
+    /// Driver blocks feeding this block, in pin order (empty for input
+    /// pads).
+    #[must_use]
+    pub fn fanin(&self) -> &[BlockId] {
+        match &self.kind {
+            BlockKind::InputPad => &[],
+            BlockKind::OutputPad { source, .. } => std::slice::from_ref(source),
+            BlockKind::Lut { inputs, .. } => inputs,
+        }
+    }
+}
+
+/// A circuit of k-input LUT logic blocks with IO pads — the output of
+/// technology mapping for one mode, and (after merging) the structural
+/// skeleton of a tunable circuit.
+///
+/// Every block has a unique name. Input pads and LUTs each drive one net;
+/// nets are identified with their driver block. Registered LUT outputs
+/// come from the block's flip-flop and therefore break combinational
+/// paths.
+///
+/// # Example
+///
+/// ```
+/// use mm_netlist::{LutCircuit, TruthTable};
+///
+/// # fn main() -> Result<(), mm_netlist::NetlistError> {
+/// let mut c = LutCircuit::new("toy", 4);
+/// let a = c.add_input("a")?;
+/// let b = c.add_input("b")?;
+/// let and2 = TruthTable::var(2, 0) & TruthTable::var(2, 1);
+/// let g = c.add_lut("g", vec![a, b], and2, false)?;
+/// c.add_output("y", g)?;
+/// assert_eq!(c.lut_count(), 1);
+/// c.validate()?;
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct LutCircuit {
+    name: String,
+    k: usize,
+    blocks: Vec<Block>,
+    by_name: HashMap<String, BlockId>,
+    inputs: Vec<BlockId>,
+    outputs: Vec<BlockId>,
+    luts: Vec<BlockId>,
+}
+
+impl LutCircuit {
+    /// Creates an empty circuit for k-input LUTs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is zero or exceeds
+    /// [`MAX_LUT_INPUTS`](crate::MAX_LUT_INPUTS).
+    #[must_use]
+    pub fn new(name: impl Into<String>, k: usize) -> Self {
+        assert!(
+            k >= 1 && k <= crate::MAX_LUT_INPUTS,
+            "LUT width must be 1..={}",
+            crate::MAX_LUT_INPUTS
+        );
+        Self {
+            name: name.into(),
+            k,
+            blocks: Vec::new(),
+            by_name: HashMap::new(),
+            inputs: Vec::new(),
+            outputs: Vec::new(),
+            luts: Vec::new(),
+        }
+    }
+
+    /// The circuit (model) name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The architecture's LUT input count k.
+    #[must_use]
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    fn insert_name(&mut self, name: &str, id: BlockId) -> Result<(), NetlistError> {
+        if self.by_name.contains_key(name) {
+            return Err(NetlistError::DuplicateName(name.to_string()));
+        }
+        self.by_name.insert(name.to_string(), id);
+        Ok(())
+    }
+
+    /// Adds a primary-input pad.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::DuplicateName`] if the name is taken.
+    pub fn add_input(&mut self, name: impl Into<String>) -> Result<BlockId, NetlistError> {
+        let name = name.into();
+        let id = BlockId(self.blocks.len() as u32);
+        self.insert_name(&name, id)?;
+        self.blocks.push(Block {
+            name,
+            kind: BlockKind::InputPad,
+        });
+        self.inputs.push(id);
+        Ok(id)
+    }
+
+    /// Adds a LUT logic block with the given input drivers and truth table.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the name is taken, the fanin exceeds k, the truth-table
+    /// width disagrees with the fanin, or an input id does not refer to a
+    /// driver block.
+    pub fn add_lut(
+        &mut self,
+        name: impl Into<String>,
+        inputs: Vec<BlockId>,
+        truth: TruthTable,
+        registered: bool,
+    ) -> Result<BlockId, NetlistError> {
+        let name = name.into();
+        if inputs.len() > self.k {
+            return Err(NetlistError::TooManyInputs {
+                name,
+                got: inputs.len(),
+                k: self.k,
+            });
+        }
+        if truth.k() != inputs.len() {
+            return Err(NetlistError::TruthWidthMismatch {
+                name,
+                truth_k: truth.k(),
+                fanin: inputs.len(),
+            });
+        }
+        for &i in &inputs {
+            let blk = self
+                .blocks
+                .get(i.index())
+                .ok_or_else(|| NetlistError::UnknownName(format!("{i}")))?;
+            if !blk.is_driver() {
+                return Err(NetlistError::WrongBlockKind(format!(
+                    "'{}' cannot drive a LUT input",
+                    blk.name
+                )));
+            }
+        }
+        let id = BlockId(self.blocks.len() as u32);
+        self.insert_name(&name, id)?;
+        self.blocks.push(Block {
+            name,
+            kind: BlockKind::Lut {
+                inputs,
+                truth,
+                registered,
+                init: false,
+            },
+        });
+        self.luts.push(id);
+        Ok(id)
+    }
+
+    /// Adds a primary-output pad observing `source`; the exported port name
+    /// equals the pad's block name.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the name is taken or `source` is not a driver block.
+    pub fn add_output(
+        &mut self,
+        name: impl Into<String>,
+        source: BlockId,
+    ) -> Result<BlockId, NetlistError> {
+        let name = name.into();
+        self.add_output_port(name.clone(), name, source)
+    }
+
+    /// Adds a primary-output pad with an explicit exported `port` name that
+    /// may differ from the (unique) block name — needed when the port name
+    /// collides with an internal signal.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the block name is taken or `source` is not a driver block.
+    pub fn add_output_port(
+        &mut self,
+        name: impl Into<String>,
+        port: impl Into<String>,
+        source: BlockId,
+    ) -> Result<BlockId, NetlistError> {
+        let name = name.into();
+        let src = self
+            .blocks
+            .get(source.index())
+            .ok_or_else(|| NetlistError::UnknownName(format!("{source}")))?;
+        if !src.is_driver() {
+            return Err(NetlistError::WrongBlockKind(format!(
+                "'{}' cannot feed an output pad",
+                src.name
+            )));
+        }
+        let id = BlockId(self.blocks.len() as u32);
+        self.insert_name(&name, id)?;
+        self.blocks.push(Block {
+            name,
+            kind: BlockKind::OutputPad {
+                source,
+                port: port.into(),
+            },
+        });
+        self.outputs.push(id);
+        Ok(id)
+    }
+
+    /// Sets the initial flip-flop value of a registered LUT.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `id` is not a registered LUT.
+    pub fn set_init(&mut self, id: BlockId, value: bool) -> Result<(), NetlistError> {
+        match self.blocks.get_mut(id.index()).map(|b| &mut b.kind) {
+            Some(BlockKind::Lut {
+                registered: true,
+                init,
+                ..
+            }) => {
+                *init = value;
+                Ok(())
+            }
+            _ => Err(NetlistError::WrongBlockKind(format!(
+                "{id} is not a registered LUT"
+            ))),
+        }
+    }
+
+    /// Replaces the fanin and truth table of a LUT block.
+    ///
+    /// This is the low-level patching API for *two-phase construction*:
+    /// registered LUTs may participate in sequential cycles, so builders
+    /// (the BLIF reader, the technology mapper, the tunable-circuit merge)
+    /// first create blocks with placeholder functions and patch the fanin
+    /// once every driver exists. Call [`LutCircuit::validate`] after
+    /// patching to re-establish the acyclicity invariant.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `id` is not a LUT, the fanin exceeds k, or the truth-table
+    /// width disagrees with the fanin.
+    pub fn set_lut(
+        &mut self,
+        id: BlockId,
+        inputs: Vec<BlockId>,
+        truth: TruthTable,
+    ) -> Result<(), NetlistError> {
+        if inputs.len() > self.k {
+            return Err(NetlistError::TooManyInputs {
+                name: self.blocks[id.index()].name.clone(),
+                got: inputs.len(),
+                k: self.k,
+            });
+        }
+        if truth.k() != inputs.len() {
+            return Err(NetlistError::TruthWidthMismatch {
+                name: self.blocks[id.index()].name.clone(),
+                truth_k: truth.k(),
+                fanin: inputs.len(),
+            });
+        }
+        match self.blocks.get_mut(id.index()).map(|b| &mut b.kind) {
+            Some(BlockKind::Lut { inputs: i, truth: t, .. }) => {
+                *i = inputs;
+                *t = truth;
+                Ok(())
+            }
+            _ => Err(NetlistError::WrongBlockKind(format!("{id} is not a LUT"))),
+        }
+    }
+
+    /// Looks a block up by name.
+    #[must_use]
+    pub fn find(&self, name: &str) -> Option<BlockId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// The block with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this circuit.
+    #[must_use]
+    pub fn block(&self, id: BlockId) -> &Block {
+        &self.blocks[id.index()]
+    }
+
+    /// Total number of blocks (pads + LUTs).
+    #[must_use]
+    pub fn block_count(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Number of LUT logic blocks.
+    #[must_use]
+    pub fn lut_count(&self) -> usize {
+        self.luts.len()
+    }
+
+    /// All block ids in insertion order.
+    pub fn block_ids(&self) -> impl Iterator<Item = BlockId> + '_ {
+        (0..self.blocks.len() as u32).map(BlockId)
+    }
+
+    /// Input pads in declaration order.
+    #[must_use]
+    pub fn inputs(&self) -> &[BlockId] {
+        &self.inputs
+    }
+
+    /// Output pads in declaration order.
+    #[must_use]
+    pub fn outputs(&self) -> &[BlockId] {
+        &self.outputs
+    }
+
+    /// LUT blocks in declaration order.
+    #[must_use]
+    pub fn luts(&self) -> &[BlockId] {
+        &self.luts
+    }
+
+    /// For every block, the blocks consuming its output (sink pins count
+    /// once per pin).
+    #[must_use]
+    pub fn fanouts(&self) -> Vec<Vec<BlockId>> {
+        let mut fo = vec![Vec::new(); self.blocks.len()];
+        for id in self.block_ids() {
+            for &src in self.block(id).fanin() {
+                fo[src.index()].push(id);
+            }
+        }
+        fo
+    }
+
+    /// The distinct directed connections (source driver → sink block) of
+    /// the circuit — the paper's *circuit edges*. A sink using the same
+    /// source on several pins contributes one connection.
+    #[must_use]
+    pub fn connections(&self) -> Vec<(BlockId, BlockId)> {
+        let mut conns = Vec::new();
+        for id in self.block_ids() {
+            let mut seen: Vec<BlockId> = Vec::new();
+            for &src in self.block(id).fanin() {
+                if !seen.contains(&src) {
+                    seen.push(src);
+                    conns.push((src, id));
+                }
+            }
+        }
+        conns
+    }
+
+    /// Topological order of the *unregistered* LUTs along combinational
+    /// paths (input pads and registered outputs are sources and do not
+    /// appear).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::CombinationalCycle`] if a combinational
+    /// cycle exists.
+    pub fn comb_topo_order(&self) -> Result<Vec<BlockId>, NetlistError> {
+        let is_comb_lut = |id: BlockId| {
+            matches!(
+                self.block(id).kind(),
+                BlockKind::Lut {
+                    registered: false,
+                    ..
+                }
+            )
+        };
+        // Kahn over the sub-graph of unregistered LUTs.
+        let mut indeg: HashMap<BlockId, usize> = HashMap::new();
+        let mut succ: HashMap<BlockId, Vec<BlockId>> = HashMap::new();
+        for &id in &self.luts {
+            if !is_comb_lut(id) {
+                continue;
+            }
+            let mut d = 0;
+            for &src in self.block(id).fanin() {
+                if is_comb_lut(src) {
+                    d += 1;
+                    succ.entry(src).or_default().push(id);
+                }
+            }
+            indeg.insert(id, d);
+        }
+        let mut ready: Vec<BlockId> = indeg
+            .iter()
+            .filter(|&(_, &d)| d == 0)
+            .map(|(&id, _)| id)
+            .collect();
+        ready.sort_unstable();
+        let mut order = Vec::with_capacity(indeg.len());
+        while let Some(id) = ready.pop() {
+            order.push(id);
+            if let Some(ss) = succ.get(&id) {
+                for &s in ss {
+                    let d = indeg.get_mut(&s).expect("successor tracked");
+                    *d -= 1;
+                    if *d == 0 {
+                        ready.push(s);
+                    }
+                }
+            }
+        }
+        if order.len() != indeg.len() {
+            let stuck = indeg
+                .iter()
+                .find(|&(id, _)| !order.contains(id))
+                .map(|(&id, _)| self.block(id).name().to_string())
+                .unwrap_or_default();
+            return Err(NetlistError::CombinationalCycle(stuck));
+        }
+        Ok(order)
+    }
+
+    /// Checks structural invariants: combinational acyclicity (fanin
+    /// widths and name uniqueness are enforced at construction).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated invariant.
+    pub fn validate(&self) -> Result<(), NetlistError> {
+        self.comb_topo_order().map(|_| ())
+    }
+
+    /// Longest combinational path measured in LUT levels.
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        let Ok(order) = self.comb_topo_order() else {
+            return 0;
+        };
+        let mut level: HashMap<BlockId, usize> = HashMap::new();
+        let mut max = 0;
+        for id in order {
+            let l = 1 + self
+                .block(id)
+                .fanin()
+                .iter()
+                .map(|s| level.get(s).copied().unwrap_or(0))
+                .max()
+                .unwrap_or(0);
+            max = max.max(l);
+            level.insert(id, l);
+        }
+        max
+    }
+
+    /// Summary statistics of the circuit.
+    #[must_use]
+    pub fn stats(&self) -> LutStats {
+        let registered = self
+            .luts
+            .iter()
+            .filter(|&&id| {
+                matches!(
+                    self.block(id).kind(),
+                    BlockKind::Lut {
+                        registered: true,
+                        ..
+                    }
+                )
+            })
+            .count();
+        let total_fanin: usize = self
+            .luts
+            .iter()
+            .map(|&id| self.block(id).fanin().len())
+            .sum();
+        LutStats {
+            luts: self.luts.len(),
+            registered_luts: registered,
+            inputs: self.inputs.len(),
+            outputs: self.outputs.len(),
+            connections: self.connections().len(),
+            depth: self.depth(),
+            avg_fanin: if self.luts.is_empty() {
+                0.0
+            } else {
+                total_fanin as f64 / self.luts.len() as f64
+            },
+        }
+    }
+}
+
+/// Summary statistics of a [`LutCircuit`], as reported in the paper's
+/// Table I.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LutStats {
+    /// Number of LUT logic blocks.
+    pub luts: usize,
+    /// LUTs whose output is registered.
+    pub registered_luts: usize,
+    /// Primary inputs.
+    pub inputs: usize,
+    /// Primary outputs.
+    pub outputs: usize,
+    /// Distinct (source, sink) connections.
+    pub connections: usize,
+    /// Combinational depth in LUT levels.
+    pub depth: usize,
+    /// Mean LUT fanin.
+    pub avg_fanin: f64,
+}
+
+impl fmt::Display for LutStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} LUTs ({} registered), {} PIs, {} POs, {} connections, depth {}, avg fanin {:.2}",
+            self.luts,
+            self.registered_luts,
+            self.inputs,
+            self.outputs,
+            self.connections,
+            self.depth,
+            self.avg_fanin
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn and2() -> TruthTable {
+        TruthTable::var(2, 0) & TruthTable::var(2, 1)
+    }
+
+    #[test]
+    fn build_simple_circuit() {
+        let mut c = LutCircuit::new("t", 4);
+        let a = c.add_input("a").unwrap();
+        let b = c.add_input("b").unwrap();
+        let g = c.add_lut("g", vec![a, b], and2(), false).unwrap();
+        let y = c.add_output("y", g).unwrap();
+        assert_eq!(c.lut_count(), 1);
+        assert_eq!(c.inputs(), &[a, b]);
+        assert_eq!(c.outputs(), &[y]);
+        assert_eq!(c.find("g"), Some(g));
+        assert!(c.block(g).is_lut());
+        assert!(c.block(a).is_pad());
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let mut c = LutCircuit::new("t", 4);
+        c.add_input("a").unwrap();
+        assert!(matches!(
+            c.add_input("a"),
+            Err(NetlistError::DuplicateName(_))
+        ));
+    }
+
+    #[test]
+    fn fanin_limit_enforced() {
+        let mut c = LutCircuit::new("t", 2);
+        let a = c.add_input("a").unwrap();
+        let b = c.add_input("b").unwrap();
+        let d = c.add_input("d").unwrap();
+        let t3 = TruthTable::const0(3);
+        assert!(matches!(
+            c.add_lut("g", vec![a, b, d], t3, false),
+            Err(NetlistError::TooManyInputs { .. })
+        ));
+    }
+
+    #[test]
+    fn truth_width_must_match() {
+        let mut c = LutCircuit::new("t", 4);
+        let a = c.add_input("a").unwrap();
+        assert!(matches!(
+            c.add_lut("g", vec![a], TruthTable::const0(2), false),
+            Err(NetlistError::TruthWidthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn output_pad_cannot_drive() {
+        let mut c = LutCircuit::new("t", 4);
+        let a = c.add_input("a").unwrap();
+        let y = c.add_output("y", a).unwrap();
+        assert!(matches!(
+            c.add_lut("g", vec![y], TruthTable::var(1, 0), false),
+            Err(NetlistError::WrongBlockKind(_))
+        ));
+        assert!(c.add_output("z", y).is_err());
+    }
+
+    #[test]
+    fn comb_cycle_detected() {
+        let mut c = LutCircuit::new("t", 4);
+        let a = c.add_input("a").unwrap();
+        // g feeds itself (patched via two-phase construction).
+        let g = c.add_lut("g", vec![a], TruthTable::var(1, 0), false).unwrap();
+        c.set_lut(g, vec![g], TruthTable::var(1, 0)).unwrap();
+        assert!(matches!(
+            c.validate(),
+            Err(NetlistError::CombinationalCycle(_))
+        ));
+    }
+
+    #[test]
+    fn registered_breaks_cycle() {
+        let mut c = LutCircuit::new("t", 4);
+        let a = c.add_input("a").unwrap();
+        let g = c.add_lut("g", vec![a], TruthTable::var(1, 0), true).unwrap();
+        c.set_lut(g, vec![g], TruthTable::var(1, 0)).unwrap();
+        c.validate().expect("registered self-loop is legal");
+    }
+
+    #[test]
+    fn connections_dedup_per_sink() {
+        let mut c = LutCircuit::new("t", 4);
+        let a = c.add_input("a").unwrap();
+        // Same source on two pins.
+        let g = c
+            .add_lut("g", vec![a, a], TruthTable::var(2, 0), false)
+            .unwrap();
+        c.add_output("y", g).unwrap();
+        let conns = c.connections();
+        assert_eq!(conns.len(), 2); // a→g once, g→y.
+        assert!(conns.contains(&(a, g)));
+    }
+
+    #[test]
+    fn depth_counts_lut_levels() {
+        let mut c = LutCircuit::new("t", 4);
+        let a = c.add_input("a").unwrap();
+        let g1 = c.add_lut("g1", vec![a], TruthTable::var(1, 0), false).unwrap();
+        let g2 = c.add_lut("g2", vec![g1], TruthTable::var(1, 0), false).unwrap();
+        let g3 = c.add_lut("g3", vec![g2], TruthTable::var(1, 0), true).unwrap();
+        let g4 = c.add_lut("g4", vec![g3], TruthTable::var(1, 0), false).unwrap();
+        c.add_output("y", g4).unwrap();
+        // g1,g2 comb chain of 2; g3 registered; g4 restarts at level 1.
+        assert_eq!(c.depth(), 2);
+    }
+
+    #[test]
+    fn stats_reports_counts() {
+        let mut c = LutCircuit::new("t", 4);
+        let a = c.add_input("a").unwrap();
+        let b = c.add_input("b").unwrap();
+        let g = c.add_lut("g", vec![a, b], and2(), true).unwrap();
+        c.add_output("y", g).unwrap();
+        let s = c.stats();
+        assert_eq!(s.luts, 1);
+        assert_eq!(s.registered_luts, 1);
+        assert_eq!(s.inputs, 2);
+        assert_eq!(s.outputs, 1);
+        assert_eq!(s.connections, 3);
+        assert!((s.avg_fanin - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn set_init_only_on_registered() {
+        let mut c = LutCircuit::new("t", 4);
+        let a = c.add_input("a").unwrap();
+        let g = c.add_lut("g", vec![a], TruthTable::var(1, 0), false).unwrap();
+        assert!(c.set_init(g, true).is_err());
+        let r = c.add_lut("r", vec![a], TruthTable::var(1, 0), true).unwrap();
+        c.set_init(r, true).unwrap();
+    }
+
+    #[test]
+    fn zero_input_lut_constant() {
+        let mut c = LutCircuit::new("t", 4);
+        let g = c
+            .add_lut("one", vec![], TruthTable::const1(0), false)
+            .unwrap();
+        c.add_output("y", g).unwrap();
+        c.validate().unwrap();
+        assert_eq!(c.block(g).fanin().len(), 0);
+    }
+}

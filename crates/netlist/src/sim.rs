@@ -1,0 +1,336 @@
+//! Cycle-accurate simulation of [`LutCircuit`]s.
+//!
+//! The simulator is the work-horse of the test-suite: technology mapping
+//! and multi-mode merging are both verified by proving that the simulated
+//! behaviour is unchanged (per mode, for the merge).
+
+use crate::{BlockId, BlockKind, LutCircuit, NetlistError};
+
+/// Cycle-accurate two-valued simulator for a [`LutCircuit`].
+///
+/// # Example
+///
+/// ```
+/// use mm_netlist::{LutCircuit, LutSimulator, TruthTable};
+///
+/// # fn main() -> Result<(), mm_netlist::NetlistError> {
+/// let mut c = LutCircuit::new("inv", 4);
+/// let a = c.add_input("a")?;
+/// let g = c.add_lut("g", vec![a], !TruthTable::var(1, 0), false)?;
+/// c.add_output("y", g)?;
+///
+/// let mut sim = LutSimulator::new(&c)?;
+/// assert_eq!(sim.step(&[false]), vec![true]);
+/// assert_eq!(sim.step(&[true]), vec![false]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct LutSimulator<'a> {
+    circuit: &'a LutCircuit,
+    /// Topological order of the unregistered LUTs.
+    comb_order: Vec<BlockId>,
+    /// Current output value of every block.
+    values: Vec<bool>,
+}
+
+impl<'a> LutSimulator<'a> {
+    /// Creates a simulator with flip-flops at their initial values.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the circuit has a combinational cycle.
+    pub fn new(circuit: &'a LutCircuit) -> Result<Self, NetlistError> {
+        let comb_order = circuit.comb_topo_order()?;
+        let mut sim = Self {
+            circuit,
+            comb_order,
+            values: vec![false; circuit.block_count()],
+        };
+        sim.reset();
+        Ok(sim)
+    }
+
+    /// Resets all flip-flops to their initial values.
+    pub fn reset(&mut self) {
+        for id in self.circuit.block_ids() {
+            if let BlockKind::Lut {
+                registered: true,
+                init,
+                ..
+            } = self.circuit.block(id).kind()
+            {
+                self.values[id.index()] = *init;
+            }
+        }
+    }
+
+    fn eval_lut(&self, id: BlockId) -> bool {
+        match self.circuit.block(id).kind() {
+            BlockKind::Lut { inputs, truth, .. } => {
+                let mut idx = 0usize;
+                for (j, src) in inputs.iter().enumerate() {
+                    if self.values[src.index()] {
+                        idx |= 1 << j;
+                    }
+                }
+                truth.eval_index(idx)
+            }
+            _ => unreachable!("eval_lut on non-LUT"),
+        }
+    }
+
+    /// Evaluates one clock cycle: applies the primary-input values (in
+    /// declaration order), settles combinational logic, samples the
+    /// primary outputs *just before the clock edge*, then latches the
+    /// flip-flops. The pre-edge samples are returned, matching
+    /// [`GateSimulator::step`](crate::GateSimulator::step) so that
+    /// gate-level and mapped circuits can be compared cycle by cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input_values.len()` differs from the input-pad count.
+    pub fn step(&mut self, input_values: &[bool]) -> Vec<bool> {
+        let inputs = self.circuit.inputs();
+        assert_eq!(input_values.len(), inputs.len(), "input width mismatch");
+        for (&pad, &v) in inputs.iter().zip(input_values) {
+            self.values[pad.index()] = v;
+        }
+        // Settle combinational LUTs in topological order.
+        for i in 0..self.comb_order.len() {
+            let id = self.comb_order[i];
+            self.values[id.index()] = self.eval_lut(id);
+        }
+        // Sample outputs before the edge: registered blocks still show
+        // their pre-edge state.
+        let sampled = self.outputs();
+        // Compute flip-flop next states from the settled values, then
+        // latch simultaneously.
+        let mut latched: Vec<(BlockId, bool)> = Vec::new();
+        for &id in self.circuit.luts() {
+            if matches!(
+                self.circuit.block(id).kind(),
+                BlockKind::Lut {
+                    registered: true,
+                    ..
+                }
+            ) {
+                latched.push((id, self.eval_lut(id)));
+            }
+        }
+        for (id, v) in latched {
+            self.values[id.index()] = v;
+        }
+        sampled
+    }
+
+    /// Primary-output values read from the current block values (after the
+    /// most recent clock edge).
+    #[must_use]
+    pub fn outputs(&self) -> Vec<bool> {
+        self.circuit
+            .outputs()
+            .iter()
+            .map(|&pad| match self.circuit.block(pad).kind() {
+                BlockKind::OutputPad { source, .. } => self.values[source.index()],
+                _ => unreachable!("outputs() lists only pads"),
+            })
+            .collect()
+    }
+
+    /// The current output value of an arbitrary block.
+    #[must_use]
+    pub fn value(&self, id: BlockId) -> bool {
+        self.values[id.index()]
+    }
+}
+
+/// Runs both circuits on the same pseudo-random input sequence and reports
+/// the first cycle where any primary output differs, or `None` when they
+/// agree for all `cycles` cycles.
+///
+/// Inputs are matched *by pad name*, outputs *by port name*; circuits must
+/// expose identical port sets.
+///
+/// # Errors
+///
+/// Fails if either circuit has a combinational cycle or the port sets
+/// differ.
+pub fn first_divergence(
+    a: &LutCircuit,
+    b: &LutCircuit,
+    cycles: usize,
+    seed: u64,
+) -> Result<Option<usize>, NetlistError> {
+    let mut sim_a = LutSimulator::new(a)?;
+    let mut sim_b = LutSimulator::new(b)?;
+
+    // Map b's inputs onto a's input order.
+    let a_in_names: Vec<&str> = a.inputs().iter().map(|&i| a.block(i).name()).collect();
+    let mut b_in_perm = Vec::with_capacity(a_in_names.len());
+    for name in &a_in_names {
+        let id = b
+            .find(name)
+            .ok_or_else(|| NetlistError::UnknownName((*name).to_string()))?;
+        let pos = b
+            .inputs()
+            .iter()
+            .position(|&p| p == id)
+            .ok_or_else(|| NetlistError::WrongBlockKind(format!("'{name}' is not an input")))?;
+        b_in_perm.push(pos);
+    }
+    if b.inputs().len() != a.inputs().len() {
+        return Err(NetlistError::WrongBlockKind(
+            "input port sets differ".into(),
+        ));
+    }
+
+    // Map output ports.
+    let port_of = |c: &LutCircuit, pad: BlockId| -> String {
+        match c.block(pad).kind() {
+            BlockKind::OutputPad { port, .. } => port.clone(),
+            _ => unreachable!(),
+        }
+    };
+    let a_ports: Vec<String> = a.outputs().iter().map(|&p| port_of(a, p)).collect();
+    let b_ports: Vec<String> = b.outputs().iter().map(|&p| port_of(b, p)).collect();
+    let mut b_out_perm = Vec::with_capacity(a_ports.len());
+    for p in &a_ports {
+        let pos = b_ports
+            .iter()
+            .position(|q| q == p)
+            .ok_or_else(|| NetlistError::UnknownName(p.clone()))?;
+        b_out_perm.push(pos);
+    }
+    if b_ports.len() != a_ports.len() {
+        return Err(NetlistError::WrongBlockKind(
+            "output port sets differ".into(),
+        ));
+    }
+
+    // xorshift64* gives deterministic stimulus without external deps.
+    let mut state = seed | 1;
+    let mut next_bit = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state & 1 == 1
+    };
+
+    let n_in = a.inputs().len();
+    let mut a_vec = vec![false; n_in];
+    let mut b_vec = vec![false; n_in];
+    for cycle in 0..cycles {
+        for (i, slot) in a_vec.iter_mut().enumerate() {
+            *slot = next_bit();
+            b_vec[b_in_perm[i]] = *slot;
+        }
+        let out_a = sim_a.step(&a_vec);
+        let out_b = sim_b.step(&b_vec);
+        for (i, &va) in out_a.iter().enumerate() {
+            if va != out_b[b_out_perm[i]] {
+                return Ok(Some(cycle));
+            }
+        }
+    }
+    Ok(None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TruthTable;
+
+    fn and2() -> TruthTable {
+        TruthTable::var(2, 0) & TruthTable::var(2, 1)
+    }
+
+    #[test]
+    fn combinational_eval() {
+        let mut c = LutCircuit::new("t", 4);
+        let a = c.add_input("a").unwrap();
+        let b = c.add_input("b").unwrap();
+        let g = c.add_lut("g", vec![a, b], and2(), false).unwrap();
+        c.add_output("y", g).unwrap();
+        let mut sim = LutSimulator::new(&c).unwrap();
+        assert_eq!(sim.step(&[true, true]), vec![true]);
+        assert_eq!(sim.step(&[true, false]), vec![false]);
+    }
+
+    #[test]
+    fn registered_lut_delays() {
+        let mut c = LutCircuit::new("t", 4);
+        let a = c.add_input("a").unwrap();
+        let g = c.add_lut("g", vec![a], TruthTable::var(1, 0), true).unwrap();
+        c.add_output("y", g).unwrap();
+        let mut sim = LutSimulator::new(&c).unwrap();
+        // step() samples before the edge: the first step still shows the
+        // initial flip-flop value.
+        assert_eq!(sim.step(&[true]), vec![false]);
+        assert_eq!(sim.step(&[false]), vec![true]);
+        assert_eq!(sim.step(&[false]), vec![false]);
+    }
+
+    #[test]
+    fn registered_self_loop_toggles() {
+        let mut c = LutCircuit::new("t", 4);
+        let g = c.add_lut("g", vec![], TruthTable::const0(0), true).unwrap();
+        c.set_lut(g, vec![g], !TruthTable::var(1, 0)).unwrap();
+        c.add_output("y", g).unwrap();
+        let mut sim = LutSimulator::new(&c).unwrap();
+        assert_eq!(sim.step(&[]), vec![false]);
+        assert_eq!(sim.step(&[]), vec![true]);
+        assert_eq!(sim.step(&[]), vec![false]);
+    }
+
+    #[test]
+    fn init_value_respected() {
+        let mut c = LutCircuit::new("t", 4);
+        let a = c.add_input("a").unwrap();
+        let g = c.add_lut("g", vec![a], TruthTable::var(1, 0), true).unwrap();
+        c.set_init(g, true).unwrap();
+        c.add_output("y", g).unwrap();
+        let sim = LutSimulator::new(&c).unwrap();
+        assert!(sim.value(g));
+    }
+
+    #[test]
+    fn equivalence_of_identical_circuits() {
+        let mut c = LutCircuit::new("t", 4);
+        let a = c.add_input("a").unwrap();
+        let b = c.add_input("b").unwrap();
+        let g = c.add_lut("g", vec![a, b], and2(), false).unwrap();
+        c.add_output("y", g).unwrap();
+        // Same function, different structure (swapped input order).
+        let mut d = LutCircuit::new("t2", 4);
+        let b2 = d.add_input("b").unwrap();
+        let a2 = d.add_input("a").unwrap();
+        let g2 = d.add_lut("g", vec![b2, a2], and2(), false).unwrap();
+        d.add_output("y", g2).unwrap();
+        assert_eq!(first_divergence(&c, &d, 64, 42).unwrap(), None);
+    }
+
+    #[test]
+    fn divergence_detected() {
+        let mut c = LutCircuit::new("t", 4);
+        let a = c.add_input("a").unwrap();
+        let g = c.add_lut("g", vec![a], TruthTable::var(1, 0), false).unwrap();
+        c.add_output("y", g).unwrap();
+        let mut d = LutCircuit::new("t2", 4);
+        let a2 = d.add_input("a").unwrap();
+        let g2 = d.add_lut("g", vec![a2], !TruthTable::var(1, 0), false).unwrap();
+        d.add_output("y", g2).unwrap();
+        assert!(first_divergence(&c, &d, 64, 42).unwrap().is_some());
+    }
+
+    #[test]
+    fn port_mismatch_is_error() {
+        let mut c = LutCircuit::new("t", 4);
+        let a = c.add_input("a").unwrap();
+        c.add_output("y", a).unwrap();
+        let mut d = LutCircuit::new("t2", 4);
+        let b = d.add_input("b").unwrap();
+        d.add_output("y", b).unwrap();
+        assert!(first_divergence(&c, &d, 8, 1).is_err());
+    }
+}

@@ -1,0 +1,530 @@
+//! Truth tables for k-input look-up tables (k ≤ 6).
+
+use crate::NetlistError;
+use std::fmt;
+use std::ops::{BitAnd, BitOr, BitXor, Not};
+
+/// Maximum LUT input count supported by the 64-bit truth-table
+/// representation.
+pub const MAX_LUT_INPUTS: usize = 6;
+
+/// The truth table of a k-input LUT, k ≤ [`MAX_LUT_INPUTS`].
+///
+/// Entry `i` (bit `i` of the backing `u64`) is the output for the input
+/// assignment where LUT input `j` carries bit `j` of `i`. This is the
+/// conventional FPGA configuration-bit ordering: the 2^k entries are
+/// exactly the LUT's configuration memory cells, which the multi-mode flow
+/// turns into Boolean functions of the mode bits when LUTs of different
+/// modes share a tunable LUT.
+///
+/// # Example
+///
+/// ```
+/// use mm_netlist::TruthTable;
+/// let a = TruthTable::var(2, 0);
+/// let b = TruthTable::var(2, 1);
+/// let f = a & !b;
+/// assert!(f.eval_index(0b01));
+/// assert!(!f.eval_index(0b11));
+/// // Entry 0 is leftmost: only entry 1 (a=1, b=0) is true.
+/// assert_eq!(f.to_string(), "0100:2");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TruthTable {
+    bits: u64,
+    k: u8,
+}
+
+/// All 2^k table entries are meaningful only for k inputs; this is the mask
+/// of valid bits.
+fn mask(k: usize) -> u64 {
+    if k >= 6 {
+        u64::MAX
+    } else {
+        (1u64 << (1usize << k)) - 1
+    }
+}
+
+impl TruthTable {
+    /// Creates a truth table from raw bits; bits above entry `2^k` are
+    /// cleared.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k > MAX_LUT_INPUTS`.
+    #[must_use]
+    pub fn from_bits(k: usize, bits: u64) -> Self {
+        assert!(k <= MAX_LUT_INPUTS, "LUT width {k} exceeds {MAX_LUT_INPUTS}");
+        Self {
+            bits: bits & mask(k),
+            k: k as u8,
+        }
+    }
+
+    /// The constant-0 function of `k` inputs.
+    #[must_use]
+    pub fn const0(k: usize) -> Self {
+        Self::from_bits(k, 0)
+    }
+
+    /// The constant-1 function of `k` inputs.
+    #[must_use]
+    pub fn const1(k: usize) -> Self {
+        Self::from_bits(k, u64::MAX)
+    }
+
+    /// The projection onto input `var` (`f = x_var`) over `k` inputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var >= k`.
+    #[must_use]
+    pub fn var(k: usize, var: usize) -> Self {
+        assert!(var < k, "input {var} out of range for {k}-LUT");
+        // Standard variable masks: for var v, entries with bit v set.
+        let mut bits = 0u64;
+        for i in 0..(1usize << k) {
+            if i & (1 << var) != 0 {
+                bits |= 1 << i;
+            }
+        }
+        Self::from_bits(k, bits)
+    }
+
+    /// Builds a table by evaluating `f` on every entry index.
+    #[must_use]
+    pub fn from_fn(k: usize, f: impl Fn(usize) -> bool) -> Self {
+        let mut bits = 0u64;
+        for i in 0..(1usize << k) {
+            if f(i) {
+                bits |= 1 << i;
+            }
+        }
+        Self::from_bits(k, bits)
+    }
+
+    /// Number of LUT inputs.
+    #[must_use]
+    pub fn k(self) -> usize {
+        self.k as usize
+    }
+
+    /// Raw configuration bits (entry `i` in bit `i`).
+    #[must_use]
+    pub fn bits(self) -> u64 {
+        self.bits
+    }
+
+    /// Number of configuration entries (2^k).
+    #[must_use]
+    pub fn len(self) -> usize {
+        1usize << self.k
+    }
+
+    /// Truth tables are never empty; provided for clippy-friendliness.
+    #[must_use]
+    pub fn is_empty(self) -> bool {
+        false
+    }
+
+    /// Output for entry `index` (input `j` = bit `j` of `index`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 2^k`.
+    #[must_use]
+    pub fn eval_index(self, index: usize) -> bool {
+        assert!(index < self.len(), "entry {index} out of range");
+        self.bits & (1 << index) != 0
+    }
+
+    /// Output for the given input values (`inputs.len()` must equal `k`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len() != k`.
+    #[must_use]
+    pub fn eval(self, inputs: &[bool]) -> bool {
+        assert_eq!(inputs.len(), self.k(), "input count mismatch");
+        let mut idx = 0usize;
+        for (j, &v) in inputs.iter().enumerate() {
+            if v {
+                idx |= 1 << j;
+            }
+        }
+        self.eval_index(idx)
+    }
+
+    /// Sets entry `index` to `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 2^k`.
+    pub fn set(&mut self, index: usize, value: bool) {
+        assert!(index < self.len(), "entry {index} out of range");
+        if value {
+            self.bits |= 1 << index;
+        } else {
+            self.bits &= !(1 << index);
+        }
+    }
+
+    /// Whether the function is constant (0 or 1).
+    #[must_use]
+    pub fn is_const(self) -> bool {
+        self.bits == 0 || self.bits == mask(self.k())
+    }
+
+    /// Whether input `var` influences the output.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var >= k`.
+    #[must_use]
+    pub fn depends_on(self, var: usize) -> bool {
+        assert!(var < self.k(), "input {var} out of range");
+        let vmask = Self::var(self.k(), var).bits;
+        // Positive cofactor (entries with var=1, shifted down) vs negative.
+        let hi = (self.bits & vmask) >> (1 << var);
+        let lo = self.bits & !vmask;
+        hi != lo
+    }
+
+    /// The set of inputs that influence the output (the *support*).
+    #[must_use]
+    pub fn support(self) -> Vec<usize> {
+        (0..self.k()).filter(|&v| self.depends_on(v)).collect()
+    }
+
+    /// Extends the table to `new_k` inputs (added inputs are don't-cares).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `new_k < k` or `new_k > MAX_LUT_INPUTS`.
+    #[must_use]
+    pub fn extend_to(self, new_k: usize) -> Self {
+        assert!(new_k >= self.k(), "cannot shrink with extend_to");
+        let mut t = self;
+        while t.k() < new_k {
+            let k = t.k();
+            let m = mask(k);
+            let bits = (t.bits & m) | ((t.bits & m) << (1u32 << k));
+            t = Self::from_bits(k + 1, bits);
+        }
+        t
+    }
+
+    /// Reorders inputs: new input `j` takes the role of old input
+    /// `perm[j]`. `perm` must be a permutation of `0..k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `perm` is not a permutation of `0..k`.
+    #[must_use]
+    pub fn permute(self, perm: &[usize]) -> Self {
+        let k = self.k();
+        assert_eq!(perm.len(), k, "permutation length mismatch");
+        let mut seen = vec![false; k];
+        for &p in perm {
+            assert!(p < k && !seen[p], "not a permutation of 0..{k}");
+            seen[p] = true;
+        }
+        Self::from_fn(k, |idx| {
+            let mut old = 0usize;
+            for (new_pos, &old_pos) in perm.iter().enumerate() {
+                if idx & (1 << new_pos) != 0 {
+                    old |= 1 << old_pos;
+                }
+            }
+            self.eval_index(old)
+        })
+    }
+
+    /// The function with input `var` fixed to `value`, as a table over the
+    /// same `k` inputs (the fixed input becomes a don't-care).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var >= k`.
+    #[must_use]
+    pub fn cofactor(self, var: usize, value: bool) -> Self {
+        Self::from_fn(self.k(), |idx| {
+            let fixed = if value {
+                idx | (1 << var)
+            } else {
+                idx & !(1 << var)
+            };
+            self.eval_index(fixed)
+        })
+    }
+
+    /// Parses a BLIF-style single-output cover into a truth table over
+    /// `k` inputs.
+    ///
+    /// Each element of `cover` is `(input pattern, output char)` where the
+    /// pattern uses `0`, `1` and `-`; all output chars must agree (`1` for
+    /// an ON-set cover, `0` for an OFF-set cover). The *first* pattern
+    /// character corresponds to LUT input 0, matching the order of the
+    /// `.names` header.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if patterns have the wrong length, contain invalid
+    /// characters, or mix output polarities.
+    pub fn from_cover(k: usize, cover: &[(String, char)]) -> Result<Self, NetlistError> {
+        if cover.is_empty() {
+            // An empty cover is the constant 0 in BLIF.
+            return Ok(Self::const0(k));
+        }
+        let polarity = cover[0].1;
+        if polarity != '0' && polarity != '1' {
+            return Err(NetlistError::InvalidCover(format!(
+                "bad output value '{polarity}'"
+            )));
+        }
+        let mut on = 0u64;
+        for (pat, out) in cover {
+            if *out != polarity {
+                return Err(NetlistError::InvalidCover(
+                    "mixed output polarities in cover".into(),
+                ));
+            }
+            if pat.len() != k {
+                return Err(NetlistError::InvalidCover(format!(
+                    "pattern '{pat}' has {} chars, expected {k}",
+                    pat.len()
+                )));
+            }
+            let mut care = 0usize;
+            let mut val = 0usize;
+            for (j, c) in pat.chars().enumerate() {
+                match c {
+                    '0' => care |= 1 << j,
+                    '1' => {
+                        care |= 1 << j;
+                        val |= 1 << j;
+                    }
+                    '-' => {}
+                    _ => {
+                        return Err(NetlistError::InvalidCover(format!(
+                            "bad pattern character '{c}'"
+                        )))
+                    }
+                }
+            }
+            for idx in 0..(1usize << k) {
+                if idx & care == val {
+                    on |= 1 << idx;
+                }
+            }
+        }
+        let t = Self::from_bits(k, on);
+        Ok(if polarity == '1' { t } else { !t })
+    }
+
+    /// Emits a BLIF ON-set cover (pattern, `'1'`) pairs; one line per
+    /// minterm. The empty vector encodes the constant-0 function.
+    #[must_use]
+    pub fn to_cover(self) -> Vec<(String, char)> {
+        let k = self.k();
+        let mut lines = Vec::new();
+        for idx in 0..(1usize << k) {
+            if self.eval_index(idx) {
+                let pat: String = (0..k)
+                    .map(|j| if idx & (1 << j) != 0 { '1' } else { '0' })
+                    .collect();
+                lines.push((pat, '1'));
+            }
+        }
+        lines
+    }
+}
+
+impl fmt::Display for TruthTable {
+    /// Renders as `<entries>:<k>` with entry 0 leftmost, e.g. the 2-input
+    /// AND is `0001:2`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in 0..self.len() {
+            write!(f, "{}", u8::from(self.eval_index(i)))?;
+        }
+        write!(f, ":{}", self.k)
+    }
+}
+
+impl BitAnd for TruthTable {
+    type Output = TruthTable;
+    /// # Panics
+    /// Panics if the two tables have different input counts.
+    fn bitand(self, rhs: TruthTable) -> TruthTable {
+        assert_eq!(self.k, rhs.k, "truth-table width mismatch");
+        TruthTable::from_bits(self.k(), self.bits & rhs.bits)
+    }
+}
+
+impl BitOr for TruthTable {
+    type Output = TruthTable;
+    /// # Panics
+    /// Panics if the two tables have different input counts.
+    fn bitor(self, rhs: TruthTable) -> TruthTable {
+        assert_eq!(self.k, rhs.k, "truth-table width mismatch");
+        TruthTable::from_bits(self.k(), self.bits | rhs.bits)
+    }
+}
+
+impl BitXor for TruthTable {
+    type Output = TruthTable;
+    /// # Panics
+    /// Panics if the two tables have different input counts.
+    fn bitxor(self, rhs: TruthTable) -> TruthTable {
+        assert_eq!(self.k, rhs.k, "truth-table width mismatch");
+        TruthTable::from_bits(self.k(), self.bits ^ rhs.bits)
+    }
+}
+
+impl Not for TruthTable {
+    type Output = TruthTable;
+    fn not(self) -> TruthTable {
+        TruthTable::from_bits(self.k(), !self.bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn var_tables() {
+        let a = TruthTable::var(2, 0);
+        assert_eq!(a.bits(), 0b1010);
+        let b = TruthTable::var(2, 1);
+        assert_eq!(b.bits(), 0b1100);
+    }
+
+    #[test]
+    fn boolean_ops() {
+        let a = TruthTable::var(2, 0);
+        let b = TruthTable::var(2, 1);
+        assert_eq!((a & b).bits(), 0b1000);
+        assert_eq!((a | b).bits(), 0b1110);
+        assert_eq!((a ^ b).bits(), 0b0110);
+        assert_eq!((!a).bits(), 0b0101);
+    }
+
+    #[test]
+    fn eval_paths_agree() {
+        let f = TruthTable::from_bits(3, 0b1110_1000); // majority
+        for idx in 0..8usize {
+            let ins = [(idx & 1) != 0, (idx & 2) != 0, (idx & 4) != 0];
+            assert_eq!(f.eval(&ins), f.eval_index(idx));
+        }
+    }
+
+    #[test]
+    fn const_detection() {
+        assert!(TruthTable::const0(4).is_const());
+        assert!(TruthTable::const1(6).is_const());
+        assert!(!TruthTable::var(3, 1).is_const());
+    }
+
+    #[test]
+    fn support_of_degenerate_function() {
+        // f = x0 over 3 inputs: support is {0}.
+        let f = TruthTable::var(3, 0);
+        assert_eq!(f.support(), vec![0]);
+        assert!(f.depends_on(0));
+        assert!(!f.depends_on(1));
+        assert!(!f.depends_on(2));
+    }
+
+    #[test]
+    fn extend_preserves_function() {
+        let f = TruthTable::var(2, 0) & TruthTable::var(2, 1);
+        let g = f.extend_to(4);
+        assert_eq!(g.k(), 4);
+        for idx in 0..16usize {
+            assert_eq!(g.eval_index(idx), f.eval_index(idx & 0b11));
+        }
+    }
+
+    #[test]
+    fn permute_swaps_roles() {
+        // f(x0,x1) = x0 & !x1, permuted with perm=[1,0] gives x1 & !x0.
+        let f = TruthTable::var(2, 0) & !TruthTable::var(2, 1);
+        let g = f.permute(&[1, 0]);
+        assert_eq!(g, TruthTable::var(2, 1) & !TruthTable::var(2, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "not a permutation")]
+    fn permute_rejects_non_permutation() {
+        let _ = TruthTable::var(2, 0).permute(&[0, 0]);
+    }
+
+    #[test]
+    fn cofactor_fixes_input() {
+        let f = TruthTable::var(2, 0) ^ TruthTable::var(2, 1);
+        let f0 = f.cofactor(1, false);
+        let f1 = f.cofactor(1, true);
+        assert_eq!(f0, TruthTable::var(2, 0));
+        assert_eq!(f1, !TruthTable::var(2, 0));
+    }
+
+    #[test]
+    fn cover_roundtrip() {
+        let f = TruthTable::from_bits(3, 0b1001_0110); // parity
+        let cover = f.to_cover();
+        let g = TruthTable::from_cover(3, &cover).expect("parse cover");
+        assert_eq!(f, g);
+    }
+
+    #[test]
+    fn cover_with_dontcares() {
+        // "1-" means input0=1: f = x0 over 2 inputs.
+        let cover = vec![("1-".to_string(), '1')];
+        let f = TruthTable::from_cover(2, &cover).expect("parse");
+        assert_eq!(f, TruthTable::var(2, 0));
+    }
+
+    #[test]
+    fn offset_cover_complements() {
+        // OFF-set cover "11 0": f = !(x0&x1) = NAND.
+        let cover = vec![("11".to_string(), '0')];
+        let f = TruthTable::from_cover(2, &cover).expect("parse");
+        assert_eq!(f, !(TruthTable::var(2, 0) & TruthTable::var(2, 1)));
+    }
+
+    #[test]
+    fn empty_cover_is_const0() {
+        let f = TruthTable::from_cover(2, &[]).expect("parse");
+        assert_eq!(f, TruthTable::const0(2));
+    }
+
+    #[test]
+    fn cover_errors() {
+        assert!(TruthTable::from_cover(2, &[("1".into(), '1')]).is_err());
+        assert!(TruthTable::from_cover(2, &[("1x".into(), '1')]).is_err());
+        assert!(
+            TruthTable::from_cover(2, &[("11".into(), '1'), ("00".into(), '0')]).is_err()
+        );
+        assert!(TruthTable::from_cover(2, &[("11".into(), '2')]).is_err());
+    }
+
+    #[test]
+    fn six_input_tables() {
+        let f = TruthTable::var(6, 5);
+        assert_eq!(f.support(), vec![5]);
+        assert!(!TruthTable::const1(6).bits() == 0);
+    }
+
+    #[test]
+    fn display_format() {
+        let and2 = TruthTable::var(2, 0) & TruthTable::var(2, 1);
+        assert_eq!(and2.to_string(), "0001:2");
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn rejects_wide_luts() {
+        let _ = TruthTable::const0(7);
+    }
+}

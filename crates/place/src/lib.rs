@@ -1,0 +1,48 @@
+//! Placement for the multi-mode tool flow.
+//!
+//! Contains a Rust re-implementation of the VPR wire-length-driven
+//! simulated-annealing placer (the paper's baseline infrastructure, §IV-B)
+//! and its extension to **combined placement** — the paper's key
+//! contribution (§III-A): all mode circuits are placed simultaneously,
+//! LUTs of different modes may share a physical LUT, and a swap moves the
+//! occupants of one *mode* between two sites.
+//!
+//! Two combined-placement cost functions are provided (§III-B):
+//! [`CostKind::WireLength`] (the paper's novel approach — bounding-box
+//! wire length of the merged tunable circuit) and
+//! [`CostKind::EdgeMatching`] (the prior technique — maximise connections
+//! with identical source and sink sites).
+//!
+//! # Example
+//!
+//! ```no_run
+//! use mm_arch::Architecture;
+//! use mm_netlist::LutCircuit;
+//! use mm_place::{place_combined, CostKind, PlacerOptions};
+//!
+//! # fn demo(mode_a: LutCircuit, mode_b: LutCircuit) -> Result<(), mm_place::PlaceError> {
+//! let arch = Architecture::new(4, 12, 10);
+//! let circuits = vec![mode_a, mode_b];
+//! let options = PlacerOptions::default().with_cost(CostKind::WireLength);
+//! let (placement, stats) = place_combined(&circuits, &arch, &options)?;
+//! println!("tunable WL = {}", stats.wirelength);
+//! # let _ = placement;
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod annealer;
+mod netmodel;
+mod placement;
+mod qfactor;
+
+pub use annealer::{
+    place_combined, place_single, placement_tunable_connections, placement_wirelength, site_of,
+    PlaceError, PlaceStats, PlacerOptions,
+};
+pub use netmodel::{CostKind, CostModel, SwapUndo};
+pub use placement::{verify_placement, MultiPlacement, Placement, SiteMap};
+pub use qfactor::q_factor;

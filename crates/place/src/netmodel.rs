@@ -1,0 +1,661 @@
+//! Incremental cost evaluation for combined placement.
+//!
+//! The combined placer evaluates two cost functions over a *simultaneous*
+//! placement of all modes (paper §III-B):
+//!
+//! * **Wire length** — the novel approach: the bounding-box wire length of
+//!   the *merged tunable circuit*. Every site hosting at least one driver
+//!   block defines one tunable net whose terminals are the site itself
+//!   plus the sites of every sink of every co-located mode driver; the
+//!   cost is VPR's `q(t) · HPWL` summed over tunable nets. "The
+//!   wire-length estimation used during the combined placement is the same
+//!   as the one TPlace uses during the placement of the Tunable circuit
+//!   after merging."
+//! * **Circuit edge matching** — the prior technique (Rullmann & Merker):
+//!   minimise the number of *distinct* site-level connections
+//!   `(source site, sink site)`; connections of different modes that land
+//!   on the same site pair merge into one tunable connection.
+//!
+//! Both are maintained incrementally under single-mode swaps with exact
+//! undo, so the annealer can evaluate millions of moves.
+
+use crate::{q_factor, SiteMap};
+use mm_netlist::{BlockKind, LutCircuit};
+use std::collections::{HashMap, HashSet};
+
+/// Which cost function drives the combined placement.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CostKind {
+    /// Bounding-box wire length of the merged tunable circuit (the paper's
+    /// novel approach).
+    WireLength,
+    /// Number of distinct tunable connections (circuit edge matching).
+    EdgeMatching,
+    /// Weighted combination `wl_weight · WL + edge_weight · connections`
+    /// (an ablation knob; not part of the paper).
+    Hybrid {
+        /// Weight of the wire-length term.
+        wl_weight: f64,
+        /// Weight of the connection-count term.
+        edge_weight: f64,
+    },
+}
+
+/// Undo record returned by [`CostModel::apply_swap`].
+#[derive(Debug)]
+pub struct SwapUndo {
+    mode: usize,
+    site_a: u32,
+    site_b: u32,
+    /// (net key, previous cost) — `None` means the key had no net.
+    wl_snapshot: Vec<(u32, Option<f64>)>,
+    /// (pair, count delta applied) to be reversed.
+    pair_ops: Vec<((u32, u32), i32)>,
+    /// Cost delta that was applied (to subtract back).
+    delta: f64,
+}
+
+/// The combined-placement state: per-mode block locations plus incremental
+/// cost bookkeeping.
+#[derive(Debug)]
+pub struct CostModel {
+    kind: CostKind,
+    mode_count: usize,
+    /// `[mode][block] → distinct sink blocks` (dense block = `BlockId::index`).
+    drives: Vec<Vec<Vec<u32>>>,
+    /// `[mode][block] → distinct driver blocks`.
+    driven_by: Vec<Vec<Vec<u32>>>,
+    /// Whether the block drives a net (LUTs and input pads).
+    is_driver: Vec<Vec<bool>>,
+    /// `[mode][block] → site index`.
+    loc: Vec<Vec<u32>>,
+    /// `[mode][site] → block`.
+    occ: Vec<Vec<Option<u32>>>,
+    site_xy: Vec<(u16, u16)>,
+    /// Tunable-net cost per source site.
+    net_cost: HashMap<u32, f64>,
+    wl: f64,
+    /// Per-mode connection multiplicity of each site pair.
+    pairs: HashMap<(u32, u32), u32>,
+    track_wl: bool,
+    track_pairs: bool,
+}
+
+impl CostModel {
+    /// Builds the model from the mode circuits; all blocks start unplaced
+    /// (call [`CostModel::set_location`] then [`CostModel::recompute`]).
+    #[must_use]
+    pub fn new(circuits: &[LutCircuit], sites: &SiteMap, kind: CostKind) -> Self {
+        let mode_count = circuits.len();
+        let mut drives = Vec::with_capacity(mode_count);
+        let mut driven_by = Vec::with_capacity(mode_count);
+        let mut is_driver = Vec::with_capacity(mode_count);
+        for circuit in circuits {
+            let n = circuit.block_count();
+            let mut dr: Vec<Vec<u32>> = vec![Vec::new(); n];
+            let mut db: Vec<Vec<u32>> = vec![Vec::new(); n];
+            for (src, dst) in circuit.connections() {
+                dr[src.index()].push(dst.index() as u32);
+                db[dst.index()].push(src.index() as u32);
+            }
+            drives.push(dr);
+            driven_by.push(db);
+            is_driver.push(
+                circuit
+                    .block_ids()
+                    .map(|id| !matches!(circuit.block(id).kind(), BlockKind::OutputPad { .. }))
+                    .collect(),
+            );
+        }
+        let site_xy = (0..sites.len() as u32)
+            .map(|i| {
+                let s = sites.site(i);
+                (s.x, s.y)
+            })
+            .collect();
+        let (track_wl, track_pairs) = match kind {
+            CostKind::WireLength => (true, false),
+            CostKind::EdgeMatching => (false, true),
+            CostKind::Hybrid { .. } => (true, true),
+        };
+        Self {
+            kind,
+            mode_count,
+            loc: circuits
+                .iter()
+                .map(|c| vec![u32::MAX; c.block_count()])
+                .collect(),
+            occ: (0..mode_count).map(|_| vec![None; sites.len()]).collect(),
+            drives,
+            driven_by,
+            is_driver,
+            site_xy,
+            net_cost: HashMap::new(),
+            wl: 0.0,
+            pairs: HashMap::new(),
+            track_wl,
+            track_pairs,
+        }
+    }
+
+    /// Number of modes.
+    #[must_use]
+    pub fn mode_count(&self) -> usize {
+        self.mode_count
+    }
+
+    /// Places block `b` of mode `m` on `site` (initial placement only; use
+    /// [`CostModel::apply_swap`] afterwards).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the site is already occupied in that mode.
+    pub fn set_location(&mut self, mode: usize, block: u32, site: u32) {
+        assert!(
+            self.occ[mode][site as usize].is_none(),
+            "site already occupied in mode {mode}"
+        );
+        self.loc[mode][block as usize] = site;
+        self.occ[mode][site as usize] = Some(block);
+    }
+
+    /// The current site of a block.
+    #[must_use]
+    pub fn location(&self, mode: usize, block: u32) -> u32 {
+        self.loc[mode][block as usize]
+    }
+
+    /// The block occupying `site` in `mode`, if any.
+    #[must_use]
+    pub fn occupant(&self, mode: usize, site: u32) -> Option<u32> {
+        self.occ[mode][site as usize]
+    }
+
+    /// The current total cost under the configured [`CostKind`].
+    #[must_use]
+    pub fn cost(&self) -> f64 {
+        match self.kind {
+            CostKind::WireLength => self.wl,
+            CostKind::EdgeMatching => self.pairs.len() as f64,
+            CostKind::Hybrid {
+                wl_weight,
+                edge_weight,
+            } => wl_weight * self.wl + edge_weight * self.pairs.len() as f64,
+        }
+    }
+
+    /// The bounding-box wire-length component (0 unless tracked).
+    #[must_use]
+    pub fn wirelength(&self) -> f64 {
+        self.wl
+    }
+
+    /// The number of distinct tunable connections (0 unless tracked).
+    #[must_use]
+    pub fn tunable_connections(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Number of tunable nets (for the annealer's exit criterion).
+    #[must_use]
+    pub fn net_count(&self) -> usize {
+        if self.track_wl {
+            self.net_cost.len().max(1)
+        } else {
+            self.pairs.len().max(1)
+        }
+    }
+
+    /// Recomputes all bookkeeping from scratch (placement initialisation
+    /// and periodic drift correction).
+    pub fn recompute(&mut self) {
+        if self.track_wl {
+            self.net_cost.clear();
+            self.wl = 0.0;
+            let site_count = self.site_xy.len() as u32;
+            for s in 0..site_count {
+                if let Some(c) = self.compute_net_cost(s) {
+                    self.net_cost.insert(s, c);
+                    self.wl += c;
+                }
+            }
+        }
+        if self.track_pairs {
+            self.pairs.clear();
+            for m in 0..self.mode_count {
+                for (b, sinks) in self.drives[m].iter().enumerate() {
+                    let ls = self.loc[m][b];
+                    for &snk in sinks {
+                        let ld = self.loc[m][snk as usize];
+                        *self.pairs.entry((ls, ld)).or_insert(0) += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    /// The cost of the tunable net sourced at `site`, or `None` when no
+    /// driver of any mode is placed there.
+    fn compute_net_cost(&self, site: u32) -> Option<f64> {
+        let mut terms: Vec<u32> = Vec::with_capacity(8);
+        let push = |terms: &mut Vec<u32>, s: u32| {
+            if !terms.contains(&s) {
+                terms.push(s);
+            }
+        };
+        for m in 0..self.mode_count {
+            if let Some(b) = self.occ[m][site as usize] {
+                if self.is_driver[m][b as usize] {
+                    push(&mut terms, site);
+                    for &snk in &self.drives[m][b as usize] {
+                        push(&mut terms, self.loc[m][snk as usize]);
+                    }
+                }
+            }
+        }
+        if terms.is_empty() {
+            return None;
+        }
+        let (mut minx, mut maxx, mut miny, mut maxy) = (u16::MAX, 0u16, u16::MAX, 0u16);
+        for &t in &terms {
+            let (x, y) = self.site_xy[t as usize];
+            minx = minx.min(x);
+            maxx = maxx.max(x);
+            miny = miny.min(y);
+            maxy = maxy.max(y);
+        }
+        let span = f64::from(maxx - minx + 1) + f64::from(maxy - miny + 1);
+        Some(q_factor(terms.len()) * span)
+    }
+
+    /// Applies the swap of the `mode`-occupants of `site_a` and `site_b`
+    /// and returns the cost delta together with the undo record.
+    ///
+    /// Returns `None` (and applies nothing) if both sites are empty in
+    /// that mode or the sites are equal.
+    pub fn apply_swap(&mut self, mode: usize, site_a: u32, site_b: u32) -> Option<(f64, SwapUndo)> {
+        if site_a == site_b {
+            return None;
+        }
+        let ba = self.occ[mode][site_a as usize];
+        let bb = self.occ[mode][site_b as usize];
+        if ba.is_none() && bb.is_none() {
+            return None;
+        }
+        let moved: Vec<u32> = ba.iter().chain(bb.iter()).copied().collect();
+
+        // Connections of the moved blocks (mode `mode` only), deduplicated.
+        let mut conns: HashSet<(u32, u32)> = HashSet::new();
+        if self.track_pairs {
+            for &b in &moved {
+                for &snk in &self.drives[mode][b as usize] {
+                    conns.insert((b, snk));
+                }
+                for &d in &self.driven_by[mode][b as usize] {
+                    conns.insert((d, b));
+                }
+            }
+        }
+        let old_pairs: Vec<(u32, u32)> = conns
+            .iter()
+            .map(|&(d, s)| (self.loc[mode][d as usize], self.loc[mode][s as usize]))
+            .collect();
+
+        // WL: affected tunable-net keys — the two sites plus the sites of
+        // every driver of a moved block (identical before/after the move
+        // except for drivers that are themselves moved, which are covered
+        // by {a, b}).
+        let mut keys: Vec<u32> = Vec::new();
+        if self.track_wl {
+            let push = |keys: &mut Vec<u32>, s: u32| {
+                if !keys.contains(&s) {
+                    keys.push(s);
+                }
+            };
+            push(&mut keys, site_a);
+            push(&mut keys, site_b);
+            for &b in &moved {
+                for &d in &self.driven_by[mode][b as usize] {
+                    push(&mut keys, self.loc[mode][d as usize]);
+                }
+            }
+        }
+
+        // ---- apply the move -------------------------------------------------
+        self.occ[mode][site_a as usize] = bb;
+        self.occ[mode][site_b as usize] = ba;
+        if let Some(b) = ba {
+            self.loc[mode][b as usize] = site_b;
+        }
+        if let Some(b) = bb {
+            self.loc[mode][b as usize] = site_a;
+        }
+
+        let mut delta = 0.0;
+
+        // ---- wire length ----------------------------------------------------
+        let mut wl_snapshot = Vec::with_capacity(keys.len());
+        if self.track_wl {
+            for &key in &keys {
+                let old = self.net_cost.get(&key).copied();
+                let new = self.compute_net_cost(key);
+                wl_snapshot.push((key, old));
+                let old_v = old.unwrap_or(0.0);
+                let new_v = new.unwrap_or(0.0);
+                self.wl += new_v - old_v;
+                let wl_delta = new_v - old_v;
+                match new {
+                    Some(c) => {
+                        self.net_cost.insert(key, c);
+                    }
+                    None => {
+                        self.net_cost.remove(&key);
+                    }
+                }
+                match self.kind {
+                    CostKind::WireLength => delta += wl_delta,
+                    CostKind::Hybrid { wl_weight, .. } => delta += wl_weight * wl_delta,
+                    CostKind::EdgeMatching => {}
+                }
+            }
+        }
+
+        // ---- edge matching --------------------------------------------------
+        let mut pair_ops: Vec<((u32, u32), i32)> = Vec::new();
+        if self.track_pairs {
+            let new_pairs: Vec<(u32, u32)> = conns
+                .iter()
+                .map(|&(d, s)| (self.loc[mode][d as usize], self.loc[mode][s as usize]))
+                .collect();
+            let mut distinct_delta = 0i64;
+            for &p in &old_pairs {
+                let c = self.pairs.get_mut(&p).expect("old pair present");
+                *c -= 1;
+                if *c == 0 {
+                    self.pairs.remove(&p);
+                    distinct_delta -= 1;
+                }
+                pair_ops.push((p, -1));
+            }
+            for &p in &new_pairs {
+                let c = self.pairs.entry(p).or_insert(0);
+                if *c == 0 {
+                    distinct_delta += 1;
+                }
+                *c += 1;
+                pair_ops.push((p, 1));
+            }
+            match self.kind {
+                CostKind::EdgeMatching => delta += distinct_delta as f64,
+                CostKind::Hybrid { edge_weight, .. } => {
+                    delta += edge_weight * distinct_delta as f64;
+                }
+                CostKind::WireLength => {}
+            }
+        }
+
+        Some((
+            delta,
+            SwapUndo {
+                mode,
+                site_a,
+                site_b,
+                wl_snapshot,
+                pair_ops,
+                delta,
+            },
+        ))
+    }
+
+    /// Reverts a swap applied by [`CostModel::apply_swap`].
+    pub fn revert(&mut self, undo: SwapUndo) {
+        let (mode, a, b) = (undo.mode, undo.site_a, undo.site_b);
+        let ba = self.occ[mode][b as usize];
+        let bb = self.occ[mode][a as usize];
+        self.occ[mode][a as usize] = ba;
+        self.occ[mode][b as usize] = bb;
+        if let Some(blk) = ba {
+            self.loc[mode][blk as usize] = a;
+        }
+        if let Some(blk) = bb {
+            self.loc[mode][blk as usize] = b;
+        }
+        // Restore net costs.
+        for (key, old) in undo.wl_snapshot {
+            let current = self.net_cost.get(&key).copied().unwrap_or(0.0);
+            match old {
+                Some(c) => {
+                    self.wl += c - current;
+                    self.net_cost.insert(key, c);
+                }
+                None => {
+                    self.wl -= current;
+                    self.net_cost.remove(&key);
+                }
+            }
+        }
+        // Reverse pair operations.
+        for (pair, op) in undo.pair_ops.into_iter().rev() {
+            match op {
+                1 => {
+                    let c = self.pairs.get_mut(&pair).expect("pair present");
+                    *c -= 1;
+                    if *c == 0 {
+                        self.pairs.remove(&pair);
+                    }
+                }
+                _ => {
+                    *self.pairs.entry(pair).or_insert(0) += 1;
+                }
+            }
+        }
+        let _ = undo.delta;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mm_arch::Architecture;
+    use mm_netlist::TruthTable;
+
+    /// A chain a → g1 → g2 → y.
+    fn chain() -> LutCircuit {
+        let mut c = LutCircuit::new("chain", 4);
+        let a = c.add_input("a").unwrap();
+        let g1 = c.add_lut("g1", vec![a], TruthTable::var(1, 0), false).unwrap();
+        let g2 = c.add_lut("g2", vec![g1], TruthTable::var(1, 0), false).unwrap();
+        c.add_output("y", g2).unwrap();
+        c
+    }
+
+    fn setup(kind: CostKind) -> (Vec<LutCircuit>, SiteMap, CostModel) {
+        let arch = Architecture::new(4, 3, 4);
+        let sites = SiteMap::new(&arch);
+        let circuits = vec![chain(), chain()];
+        let model = CostModel::new(&circuits, &sites, kind);
+        (circuits, sites, model)
+    }
+
+    fn place_initial(model: &mut CostModel, sites: &SiteMap) {
+        // Mode 0: a→io0, g1→logic0, g2→logic1, y→io1.
+        // Mode 1: a→io2, g1→logic4, g2→logic5, y→io3.
+        let io: Vec<u32> = sites.io_indices().collect();
+        for (m, offsets) in [(0usize, (0usize, 0usize)), (1, (2, 4))] {
+            let (io_off, logic_off) = offsets;
+            model.set_location(m, 0, io[io_off]); // a
+            model.set_location(m, 1, logic_off as u32); // g1
+            model.set_location(m, 2, logic_off as u32 + 1); // g2
+            model.set_location(m, 3, io[io_off + 1]); // y
+        }
+        model.recompute();
+    }
+
+    #[test]
+    fn full_recompute_matches_incremental_wl() {
+        let (_c, sites, mut model) = setup(CostKind::WireLength);
+        place_initial(&mut model, &sites);
+        let mut reference = model.wirelength();
+        // Random-ish swap sequence with occasional reverts.
+        let moves = [
+            (0usize, 0u32, 5u32, true),
+            (1, 4, 2, true),
+            (0, 1, 3, false),
+            (1, 5, 0, true),
+            (0, 5, 7, false),
+        ];
+        for (m, a, b, keep) in moves {
+            if let Some((delta, undo)) = model.apply_swap(m, a, b) {
+                if keep {
+                    reference += delta;
+                } else {
+                    model.revert(undo);
+                }
+            }
+            let mut fresh = model_snapshot(&model);
+            fresh.recompute();
+            assert!(
+                (fresh.wirelength() - model.wirelength()).abs() < 1e-6,
+                "incremental {} vs fresh {}",
+                model.wirelength(),
+                fresh.wirelength()
+            );
+        }
+        assert!((model.wirelength() - reference).abs() < 1e-6);
+    }
+
+    /// Clones the model state into a fresh model for recompute comparison.
+    fn model_snapshot(model: &CostModel) -> CostModel {
+        CostModel {
+            kind: model.kind,
+            mode_count: model.mode_count,
+            drives: model.drives.clone(),
+            driven_by: model.driven_by.clone(),
+            is_driver: model.is_driver.clone(),
+            loc: model.loc.clone(),
+            occ: model.occ.clone(),
+            site_xy: model.site_xy.clone(),
+            net_cost: HashMap::new(),
+            wl: 0.0,
+            pairs: HashMap::new(),
+            track_wl: model.track_wl,
+            track_pairs: model.track_pairs,
+        }
+    }
+
+    #[test]
+    fn full_recompute_matches_incremental_pairs() {
+        let (_c, sites, mut model) = setup(CostKind::EdgeMatching);
+        place_initial(&mut model, &sites);
+        let before = model.tunable_connections();
+        assert!(before > 0);
+        for (m, a, b, keep) in [
+            (0usize, 0u32, 4u32, true),
+            (1, 5, 1, true),
+            (0, 4, 5, false),
+            (1, 2, 0, true),
+        ] {
+            if let Some((_, undo)) = model.apply_swap(m, a, b) {
+                if !keep {
+                    model.revert(undo);
+                }
+            }
+            let mut fresh = model_snapshot(&model);
+            fresh.recompute();
+            assert_eq!(fresh.tunable_connections(), model.tunable_connections());
+        }
+    }
+
+    #[test]
+    fn perfect_overlap_minimises_edge_cost() {
+        let (_c, sites, mut model) = setup(CostKind::EdgeMatching);
+        // Both modes placed identically: connections all merge.
+        let io: Vec<u32> = sites.io_indices().collect();
+        for m in 0..2 {
+            model.set_location(m, 0, io[0]);
+            model.set_location(m, 1, 0);
+            model.set_location(m, 2, 1);
+            model.set_location(m, 3, io[1]);
+        }
+        model.recompute();
+        // 3 connections per mode, fully merged → 3 distinct pairs.
+        assert_eq!(model.tunable_connections(), 3);
+        assert_eq!(model.cost(), 3.0);
+
+        // Moving one block of one mode away splits its two connections.
+        let (delta, _) = model.apply_swap(1, 1, 5).expect("swap applies");
+        assert_eq!(model.tunable_connections(), 5);
+        assert_eq!(delta, 2.0);
+    }
+
+    #[test]
+    fn disjoint_placements_double_edge_cost() {
+        let (_c, sites, mut model) = setup(CostKind::EdgeMatching);
+        place_initial(&mut model, &sites);
+        // Nothing merges: 3 + 3 distinct pairs.
+        assert_eq!(model.tunable_connections(), 6);
+    }
+
+    #[test]
+    fn wl_counts_merged_nets_once() {
+        let (_c, sites, mut model) = setup(CostKind::WireLength);
+        // Identical placement: the tunable net of each site is the same as
+        // a single mode's net → WL equals single-mode WL.
+        let io: Vec<u32> = sites.io_indices().collect();
+        for m in 0..2 {
+            model.set_location(m, 0, io[0]);
+            model.set_location(m, 1, 0);
+            model.set_location(m, 2, 1);
+            model.set_location(m, 3, io[1]);
+        }
+        model.recompute();
+        let merged_wl = model.wirelength();
+
+        let arch = Architecture::new(4, 3, 4);
+        let sites2 = SiteMap::new(&arch);
+        let single = vec![chain()];
+        let mut smodel = CostModel::new(&single, &sites2, CostKind::WireLength);
+        smodel.set_location(0, 0, io[0]);
+        smodel.set_location(0, 1, 0);
+        smodel.set_location(0, 2, 1);
+        smodel.set_location(0, 3, io[1]);
+        smodel.recompute();
+        assert!((merged_wl - smodel.wirelength()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn swap_of_two_empty_sites_is_none() {
+        let (_c, sites, mut model) = setup(CostKind::WireLength);
+        place_initial(&mut model, &sites);
+        assert!(model.apply_swap(0, 7, 8).is_none());
+        assert!(model.apply_swap(0, 3, 3).is_none());
+    }
+
+    #[test]
+    fn revert_restores_cost_exactly() {
+        let (_c, sites, mut model) = setup(CostKind::Hybrid {
+            wl_weight: 1.0,
+            edge_weight: 2.0,
+        });
+        place_initial(&mut model, &sites);
+        let cost0 = model.cost();
+        let wl0 = model.wirelength();
+        let pairs0 = model.tunable_connections();
+        let (_, undo) = model.apply_swap(0, 0, 5).expect("applies");
+        model.revert(undo);
+        assert!((model.cost() - cost0).abs() < 1e-9);
+        assert!((model.wirelength() - wl0).abs() < 1e-9);
+        assert_eq!(model.tunable_connections(), pairs0);
+    }
+
+    #[test]
+    fn hybrid_cost_combines_components() {
+        let (_c, sites, mut model) = setup(CostKind::Hybrid {
+            wl_weight: 1.0,
+            edge_weight: 10.0,
+        });
+        place_initial(&mut model, &sites);
+        let expect = model.wirelength() + 10.0 * model.tunable_connections() as f64;
+        assert!((model.cost() - expect).abs() < 1e-9);
+    }
+}

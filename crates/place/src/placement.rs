@@ -1,0 +1,304 @@
+//! Placement containers: compact site indexing and per-mode block
+//! locations.
+
+use mm_arch::{Architecture, Site, SiteKind};
+use mm_netlist::{BlockId, LutCircuit};
+use std::collections::HashMap;
+
+/// Compact bidirectional mapping between [`Site`]s and dense indices.
+///
+/// Logic sites come first (`0..n²`), IO pad sites after; the annealer and
+/// cost model work exclusively in dense indices.
+#[derive(Debug, Clone)]
+pub struct SiteMap {
+    sites: Vec<Site>,
+    index: HashMap<Site, u32>,
+    logic_count: usize,
+}
+
+impl SiteMap {
+    /// Builds the site map of an architecture.
+    #[must_use]
+    pub fn new(arch: &Architecture) -> Self {
+        let mut sites: Vec<Site> = arch.logic_sites().collect();
+        let logic_count = sites.len();
+        sites.extend(arch.io_sites());
+        let index = sites
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| (s, i as u32))
+            .collect();
+        Self {
+            sites,
+            index,
+            logic_count,
+        }
+    }
+
+    /// Total number of placeable sites.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.sites.len()
+    }
+
+    /// Whether the architecture has no sites (never true for valid
+    /// architectures).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.sites.is_empty()
+    }
+
+    /// Number of logic sites (they occupy indices `0..logic_count`).
+    #[must_use]
+    pub fn logic_count(&self) -> usize {
+        self.logic_count
+    }
+
+    /// The site with dense index `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    #[must_use]
+    pub fn site(&self, idx: u32) -> Site {
+        self.sites[idx as usize]
+    }
+
+    /// The dense index of `site`, if it is placeable.
+    #[must_use]
+    pub fn index_of(&self, site: Site) -> Option<u32> {
+        self.index.get(&site).copied()
+    }
+
+    /// Whether `idx` refers to a logic site.
+    #[must_use]
+    pub fn is_logic(&self, idx: u32) -> bool {
+        (idx as usize) < self.logic_count
+    }
+
+    /// Indices of all logic sites.
+    pub fn logic_indices(&self) -> impl Iterator<Item = u32> {
+        0..self.logic_count as u32
+    }
+
+    /// Indices of all IO pad sites.
+    pub fn io_indices(&self) -> impl Iterator<Item = u32> + '_ {
+        self.logic_count as u32..self.sites.len() as u32
+    }
+}
+
+/// The placement of one mode circuit: every block mapped to a site.
+#[derive(Debug, Clone)]
+pub struct Placement {
+    /// `sites[block.index()]` is the site of that block (`None` only for
+    /// blocks that do not exist in this circuit — the vector is indexed by
+    /// [`BlockId::index`]).
+    sites: Vec<Option<Site>>,
+}
+
+impl Placement {
+    /// Creates an empty placement for a circuit with `block_count` blocks.
+    #[must_use]
+    pub fn new(block_count: usize) -> Self {
+        Self {
+            sites: vec![None; block_count],
+        }
+    }
+
+    /// Sets the site of a block.
+    pub fn assign(&mut self, block: BlockId, site: Site) {
+        self.sites[block.index()] = Some(site);
+    }
+
+    /// The site of a block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block is unplaced.
+    #[must_use]
+    pub fn site_of(&self, block: BlockId) -> Site {
+        self.sites[block.index()].expect("block is placed")
+    }
+
+    /// The site of a block, if placed.
+    #[must_use]
+    pub fn try_site_of(&self, block: BlockId) -> Option<Site> {
+        self.sites[block.index()]
+    }
+}
+
+/// The simultaneous placement of all mode circuits on one reconfigurable
+/// region — the output of combined placement.
+#[derive(Debug, Clone)]
+pub struct MultiPlacement {
+    /// One [`Placement`] per mode, in mode order.
+    pub modes: Vec<Placement>,
+}
+
+impl MultiPlacement {
+    /// The site of `block` of mode `mode`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block is unplaced or the mode out of range.
+    #[must_use]
+    pub fn site_of(&self, mode: usize, block: BlockId) -> Site {
+        self.modes[mode].site_of(block)
+    }
+
+    /// Number of modes.
+    #[must_use]
+    pub fn mode_count(&self) -> usize {
+        self.modes.len()
+    }
+}
+
+/// Checks that `placement` is legal for `circuits` on `arch`:
+/// every block on a compatible site, at most one block per site *per
+/// mode*, and every block placed.
+///
+/// Returns a human-readable description of the first violation.
+///
+/// # Errors
+///
+/// Returns `Err` with a diagnostic string if the placement is illegal.
+pub fn verify_placement(
+    circuits: &[LutCircuit],
+    arch: &Architecture,
+    placement: &MultiPlacement,
+) -> Result<(), String> {
+    if placement.modes.len() != circuits.len() {
+        return Err(format!(
+            "placement has {} modes, expected {}",
+            placement.modes.len(),
+            circuits.len()
+        ));
+    }
+    for (m, circuit) in circuits.iter().enumerate() {
+        let mut used: HashMap<Site, BlockId> = HashMap::new();
+        for id in circuit.block_ids() {
+            let block = circuit.block(id);
+            let Some(site) = placement.modes[m].try_site_of(id) else {
+                return Err(format!("mode {m}: block '{}' unplaced", block.name()));
+            };
+            let kind = arch.site_kind(site);
+            let want = if block.is_lut() {
+                SiteKind::Logic
+            } else {
+                SiteKind::Io
+            };
+            if kind != Some(want) {
+                return Err(format!(
+                    "mode {m}: block '{}' placed on incompatible site {site}",
+                    block.name()
+                ));
+            }
+            if let Some(prev) = used.insert(site, id) {
+                return Err(format!(
+                    "mode {m}: blocks '{}' and '{}' share site {site}",
+                    circuit.block(prev).name(),
+                    block.name()
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mm_netlist::TruthTable;
+
+    fn tiny_circuit() -> LutCircuit {
+        let mut c = LutCircuit::new("t", 4);
+        let a = c.add_input("a").unwrap();
+        let g = c.add_lut("g", vec![a], TruthTable::var(1, 0), false).unwrap();
+        c.add_output("y", g).unwrap();
+        c
+    }
+
+    #[test]
+    fn site_map_roundtrip() {
+        let arch = Architecture::new(4, 3, 4);
+        let map = SiteMap::new(&arch);
+        assert_eq!(map.len(), 9 + 24);
+        assert_eq!(map.logic_count(), 9);
+        for idx in 0..map.len() as u32 {
+            let site = map.site(idx);
+            assert_eq!(map.index_of(site), Some(idx));
+        }
+        assert_eq!(map.index_of(Site::new(0, 0, 0)), None, "corner");
+        assert!(map.is_logic(0));
+        assert!(!map.is_logic(9));
+        assert_eq!(map.logic_indices().count(), 9);
+        assert_eq!(map.io_indices().count(), 24);
+    }
+
+    #[test]
+    fn verify_accepts_legal() {
+        let arch = Architecture::new(4, 2, 4);
+        let c = tiny_circuit();
+        let mut p = Placement::new(c.block_count());
+        p.assign(c.find("a").unwrap(), Site::new(0, 1, 0));
+        p.assign(c.find("g").unwrap(), Site::new(1, 1, 0));
+        p.assign(c.find("y").unwrap(), Site::new(0, 2, 1));
+        let mp = MultiPlacement { modes: vec![p] };
+        verify_placement(&[c], &arch, &mp).unwrap();
+    }
+
+    #[test]
+    fn verify_rejects_overlap_within_mode() {
+        let arch = Architecture::new(4, 2, 4);
+        let c = tiny_circuit();
+        let mut p = Placement::new(c.block_count());
+        p.assign(c.find("a").unwrap(), Site::new(0, 1, 0));
+        p.assign(c.find("g").unwrap(), Site::new(1, 1, 0));
+        p.assign(c.find("y").unwrap(), Site::new(0, 1, 0)); // same as 'a'
+        let mp = MultiPlacement { modes: vec![p] };
+        let err = verify_placement(&[c], &arch, &mp).unwrap_err();
+        assert!(err.contains("share site"), "{err}");
+    }
+
+    #[test]
+    fn verify_allows_overlap_across_modes() {
+        let arch = Architecture::new(4, 2, 4);
+        let (c1, c2) = (tiny_circuit(), tiny_circuit());
+        let mut p1 = Placement::new(c1.block_count());
+        p1.assign(c1.find("a").unwrap(), Site::new(0, 1, 0));
+        p1.assign(c1.find("g").unwrap(), Site::new(1, 1, 0));
+        p1.assign(c1.find("y").unwrap(), Site::new(3, 1, 0));
+        let mut p2 = Placement::new(c2.block_count());
+        // Same sites in the other mode: legal — this is the whole point of
+        // multi-mode sharing.
+        p2.assign(c2.find("a").unwrap(), Site::new(0, 1, 0));
+        p2.assign(c2.find("g").unwrap(), Site::new(1, 1, 0));
+        p2.assign(c2.find("y").unwrap(), Site::new(3, 1, 0));
+        let mp = MultiPlacement {
+            modes: vec![p1, p2],
+        };
+        verify_placement(&[c1, c2], &arch, &mp).unwrap();
+    }
+
+    #[test]
+    fn verify_rejects_wrong_site_kind() {
+        let arch = Architecture::new(4, 2, 4);
+        let c = tiny_circuit();
+        let mut p = Placement::new(c.block_count());
+        p.assign(c.find("a").unwrap(), Site::new(1, 1, 0)); // pad on logic
+        p.assign(c.find("g").unwrap(), Site::new(2, 1, 0));
+        p.assign(c.find("y").unwrap(), Site::new(0, 2, 0));
+        let mp = MultiPlacement { modes: vec![p] };
+        let err = verify_placement(&[c], &arch, &mp).unwrap_err();
+        assert!(err.contains("incompatible"), "{err}");
+    }
+
+    #[test]
+    fn verify_rejects_unplaced() {
+        let arch = Architecture::new(4, 2, 4);
+        let c = tiny_circuit();
+        let p = Placement::new(c.block_count());
+        let mp = MultiPlacement { modes: vec![p] };
+        assert!(verify_placement(&[c], &arch, &mp).is_err());
+    }
+}

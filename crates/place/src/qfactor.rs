@@ -1,0 +1,99 @@
+//! VPR's bounding-box correction factors.
+//!
+//! The half-perimeter wire length (HPWL) of a net's bounding box
+//! underestimates the wiring of nets with many terminals; VPR multiplies
+//! the HPWL by a compensation factor `q(t)` that grows with the terminal
+//! count `t` (C. E. Cheng, "RISA: accurate and efficient placement
+//! routability modeling", as adopted by VPR's `get_net_cost`).
+
+/// Anchor values of `q` at terminal counts 1..=10, then every 5 up to 50.
+const Q_SMALL: [f64; 10] = [
+    1.0, 1.0, 1.0, 1.0828, 1.1536, 1.2206, 1.2823, 1.3385, 1.3991, 1.4493,
+];
+const Q_COARSE: [(usize, f64); 9] = [
+    (10, 1.4493),
+    (15, 1.6899),
+    (20, 1.8924),
+    (25, 2.0743),
+    (30, 2.2334),
+    (35, 2.3895),
+    (40, 2.5356),
+    (45, 2.6625),
+    (50, 2.7933),
+];
+
+/// Per-terminal growth beyond 50 terminals.
+const Q_SLOPE: f64 = 0.026_16;
+
+/// The crossing-count compensation factor for a net with `terminals`
+/// distinct terminal locations.
+///
+/// # Example
+///
+/// ```
+/// use mm_place::q_factor;
+/// assert_eq!(q_factor(2), 1.0);
+/// assert!(q_factor(20) > q_factor(10));
+/// ```
+#[must_use]
+pub fn q_factor(terminals: usize) -> f64 {
+    match terminals {
+        0 | 1 | 2 | 3 => 1.0,
+        t if t <= 10 => Q_SMALL[t - 1],
+        t if t <= 50 => {
+            // Linear interpolation between the coarse anchors.
+            let hi = Q_COARSE
+                .iter()
+                .position(|&(n, _)| n >= t)
+                .expect("t <= 50 covered");
+            let (n1, q1) = Q_COARSE[hi - 1];
+            let (n2, q2) = Q_COARSE[hi];
+            q1 + (q2 - q1) * (t - n1) as f64 / (n2 - n1) as f64
+        }
+        t => 2.7933 + Q_SLOPE * (t - 50) as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_match_table() {
+        assert_eq!(q_factor(1), 1.0);
+        assert_eq!(q_factor(3), 1.0);
+        assert!((q_factor(4) - 1.0828).abs() < 1e-12);
+        assert!((q_factor(10) - 1.4493).abs() < 1e-12);
+    }
+
+    #[test]
+    fn anchors_exact() {
+        assert!((q_factor(25) - 2.0743).abs() < 1e-12);
+        assert!((q_factor(50) - 2.7933).abs() < 1e-12);
+    }
+
+    #[test]
+    fn interpolation_between_anchors() {
+        let q12 = q_factor(12);
+        assert!(q12 > q_factor(10) && q12 < q_factor(15));
+        // Midpoint-ish check: 12 is 2/5 between 10 and 15.
+        let expect = 1.4493 + (1.6899 - 1.4493) * 2.0 / 5.0;
+        assert!((q12 - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn monotone_nondecreasing() {
+        let mut last = 0.0;
+        for t in 0..200 {
+            let q = q_factor(t);
+            assert!(q >= last, "q({t}) = {q} < {last}");
+            last = q;
+        }
+    }
+
+    #[test]
+    fn beyond_fifty_linear() {
+        assert!((q_factor(51) - (2.7933 + Q_SLOPE)).abs() < 1e-12);
+        assert!((q_factor(60) - (2.7933 + 10.0 * Q_SLOPE)).abs() < 1e-12);
+    }
+}

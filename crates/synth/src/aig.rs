@@ -1,0 +1,563 @@
+//! And-Inverter Graphs with structural hashing and constant folding.
+//!
+//! The AIG is the synthesis IR between the generators' gate networks and
+//! technology mapping. Structural hashing merges identical gates and the
+//! constant-folding rules propagate constants — this is what shrinks a
+//! constant-coefficient FIR filter to a third of its generic size
+//! (paper §IV-A).
+
+use mm_netlist::{GateNetwork, GateOp, NetlistError, SignalId};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A literal: an AIG node with an optional complement.
+///
+/// Encoding is the conventional `2·node + complement`; the constant node 0
+/// yields the literals [`AigLit::FALSE`] and [`AigLit::TRUE`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct AigLit(u32);
+
+impl AigLit {
+    /// Constant false.
+    pub const FALSE: AigLit = AigLit(0);
+    /// Constant true.
+    pub const TRUE: AigLit = AigLit(1);
+
+    /// Builds a literal from node index and complement flag.
+    #[must_use]
+    pub fn new(node: u32, complement: bool) -> Self {
+        AigLit(node << 1 | u32::from(complement))
+    }
+
+    /// The node the literal refers to.
+    #[must_use]
+    pub fn node(self) -> u32 {
+        self.0 >> 1
+    }
+
+    /// Whether the literal is complemented.
+    #[must_use]
+    pub fn is_complemented(self) -> bool {
+        self.0 & 1 != 0
+    }
+
+    /// Whether the literal is one of the two constants.
+    #[must_use]
+    pub fn is_const(self) -> bool {
+        self.node() == 0
+    }
+}
+
+impl std::ops::Not for AigLit {
+    type Output = AigLit;
+    fn not(self) -> AigLit {
+        AigLit(self.0 ^ 1)
+    }
+}
+
+impl fmt::Display for AigLit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_complemented() {
+            write!(f, "!n{}", self.node())
+        } else {
+            write!(f, "n{}", self.node())
+        }
+    }
+}
+
+/// One AIG node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AigNode {
+    /// The constant-false node (index 0 only).
+    Const,
+    /// Primary input.
+    Input,
+    /// Latch (flip-flop) output; its data input lives in [`AigLatch`].
+    Latch,
+    /// Two-input AND of the literals.
+    And(AigLit, AigLit),
+}
+
+/// Bookkeeping for one latch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AigLatch {
+    /// The node representing the latch output.
+    pub node: u32,
+    /// Data input (next-state function).
+    pub input: AigLit,
+    /// Initial value.
+    pub init: bool,
+    /// Latch name (becomes the registered block name after mapping).
+    pub name: String,
+}
+
+/// An And-Inverter Graph with named ports and latches.
+///
+/// Nodes are append-only and AND operands always precede their gate, so
+/// node order is a topological order of the combinational logic; latches
+/// close sequential cycles through [`Aig::connect_latch`].
+///
+/// # Example
+///
+/// ```
+/// use mm_synth::Aig;
+///
+/// let mut g = Aig::new("maj");
+/// let a = g.add_input("a");
+/// let b = g.add_input("b");
+/// let c = g.add_input("c");
+/// let ab = g.and(a, b);
+/// let bc = g.and(b, c);
+/// let ac = g.and(a, c);
+/// let t = g.or(ab, bc);
+/// let maj = g.or(t, ac);
+/// g.add_output("maj", maj);
+/// assert_eq!(g.and_count(), 5);
+/// // Structural hashing: rebuilding an existing gate is free.
+/// assert_eq!(g.and(a, b), ab);
+/// assert_eq!(g.and_count(), 5);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Aig {
+    name: String,
+    nodes: Vec<AigNode>,
+    inputs: Vec<(String, u32)>,
+    outputs: Vec<(String, AigLit)>,
+    latches: Vec<AigLatch>,
+    strash: HashMap<(AigLit, AigLit), u32>,
+}
+
+impl Aig {
+    /// Creates an empty AIG containing only the constant node.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            nodes: vec![AigNode::Const],
+            inputs: Vec::new(),
+            outputs: Vec::new(),
+            latches: Vec::new(),
+            strash: HashMap::new(),
+        }
+    }
+
+    /// The graph name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Constant literal of the given polarity.
+    #[must_use]
+    pub fn constant(value: bool) -> AigLit {
+        if value {
+            AigLit::TRUE
+        } else {
+            AigLit::FALSE
+        }
+    }
+
+    /// Adds a named primary input and returns its literal.
+    pub fn add_input(&mut self, name: impl Into<String>) -> AigLit {
+        let node = self.nodes.len() as u32;
+        self.nodes.push(AigNode::Input);
+        self.inputs.push((name.into(), node));
+        AigLit::new(node, false)
+    }
+
+    /// Adds a latch (data input connected later) and returns the literal of
+    /// its output.
+    pub fn add_latch(&mut self, name: impl Into<String>, init: bool) -> AigLit {
+        let node = self.nodes.len() as u32;
+        self.nodes.push(AigNode::Latch);
+        self.latches.push(AigLatch {
+            node,
+            input: AigLit::new(node, false), // self until connected
+            init,
+            name: name.into(),
+        });
+        AigLit::new(node, false)
+    }
+
+    /// Connects the data input of the latch whose output node is
+    /// `latch.node()`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `latch` does not refer to a latch node.
+    pub fn connect_latch(&mut self, latch: AigLit, data: AigLit) -> Result<(), NetlistError> {
+        let node = latch.node();
+        match self.latches.iter_mut().find(|l| l.node == node) {
+            Some(l) => {
+                l.input = if latch.is_complemented() { !data } else { data };
+                Ok(())
+            }
+            None => Err(NetlistError::WrongBlockKind(format!(
+                "{latch} is not a latch"
+            ))),
+        }
+    }
+
+    /// Exports `lit` as a named primary output.
+    pub fn add_output(&mut self, name: impl Into<String>, lit: AigLit) {
+        self.outputs.push((name.into(), lit));
+    }
+
+    /// Structural-hashed, constant-folded AND of two literals.
+    pub fn and(&mut self, a: AigLit, b: AigLit) -> AigLit {
+        // Constant folding and trivial identities.
+        if a == AigLit::FALSE || b == AigLit::FALSE || a == !b {
+            return AigLit::FALSE;
+        }
+        if a == AigLit::TRUE {
+            return b;
+        }
+        if b == AigLit::TRUE || a == b {
+            return a;
+        }
+        let key = if a <= b { (a, b) } else { (b, a) };
+        if let Some(&node) = self.strash.get(&key) {
+            return AigLit::new(node, false);
+        }
+        let node = self.nodes.len() as u32;
+        self.nodes.push(AigNode::And(key.0, key.1));
+        self.strash.insert(key, node);
+        AigLit::new(node, false)
+    }
+
+    /// OR via De Morgan.
+    pub fn or(&mut self, a: AigLit, b: AigLit) -> AigLit {
+        let n = self.and(!a, !b);
+        !n
+    }
+
+    /// XOR as three ANDs.
+    pub fn xor(&mut self, a: AigLit, b: AigLit) -> AigLit {
+        let p = self.and(a, !b);
+        let q = self.and(!a, b);
+        self.or(p, q)
+    }
+
+    /// Multiplexer `sel ? hi : lo`.
+    pub fn mux(&mut self, sel: AigLit, hi: AigLit, lo: AigLit) -> AigLit {
+        let p = self.and(sel, hi);
+        let q = self.and(!sel, lo);
+        self.or(p, q)
+    }
+
+    /// The node table entry for `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node index is out of range.
+    #[must_use]
+    pub fn node(&self, node: u32) -> AigNode {
+        self.nodes[node as usize]
+    }
+
+    /// Total number of nodes (constant + inputs + latches + ANDs).
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of AND gates.
+    #[must_use]
+    pub fn and_count(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter(|n| matches!(n, AigNode::And(..)))
+            .count()
+    }
+
+    /// Named inputs in declaration order.
+    #[must_use]
+    pub fn inputs(&self) -> &[(String, u32)] {
+        &self.inputs
+    }
+
+    /// Named outputs in declaration order.
+    #[must_use]
+    pub fn outputs(&self) -> &[(String, AigLit)] {
+        &self.outputs
+    }
+
+    /// Latches in declaration order.
+    #[must_use]
+    pub fn latches(&self) -> &[AigLatch] {
+        &self.latches
+    }
+
+    /// Longest path from any source to any AND node, in AND levels.
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        let mut level = vec![0usize; self.nodes.len()];
+        let mut max = 0;
+        for (i, n) in self.nodes.iter().enumerate() {
+            if let AigNode::And(a, b) = n {
+                level[i] = 1 + level[a.node() as usize].max(level[b.node() as usize]);
+                max = max.max(level[i]);
+            }
+        }
+        max
+    }
+
+    /// Lowers a gate-level network into a fresh AIG (with structural
+    /// hashing and constant propagation applied on the fly).
+    #[must_use]
+    pub fn from_gates(net: &GateNetwork) -> Self {
+        let mut aig = Aig::new(net.name().to_string());
+        let mut lit_of: HashMap<SignalId, AigLit> = HashMap::new();
+        let mut input_iter = net.inputs().iter();
+        // First pass: create inputs and latches so that feedback
+        // references resolve.
+        for s in net.signal_ids() {
+            match net.op(s) {
+                GateOp::Input => {
+                    let (name, _) = input_iter.next().expect("inputs in declaration order");
+                    let l = aig.add_input(name.clone());
+                    lit_of.insert(s, l);
+                }
+                GateOp::Dff { init, .. } => {
+                    let l = aig.add_latch(format!("ff{}", s.index()), init);
+                    lit_of.insert(s, l);
+                }
+                _ => {}
+            }
+        }
+        // Second pass: combinational gates in definition order.
+        for s in net.signal_ids() {
+            let lit = match net.op(s) {
+                GateOp::Input | GateOp::Dff { .. } => continue,
+                GateOp::Const(v) => Aig::constant(v),
+                GateOp::Not(a) => !lit_of[&a],
+                GateOp::And(a, b) => {
+                    let (a, b) = (lit_of[&a], lit_of[&b]);
+                    aig.and(a, b)
+                }
+                GateOp::Or(a, b) => {
+                    let (a, b) = (lit_of[&a], lit_of[&b]);
+                    aig.or(a, b)
+                }
+                GateOp::Xor(a, b) => {
+                    let (a, b) = (lit_of[&a], lit_of[&b]);
+                    aig.xor(a, b)
+                }
+                GateOp::Mux { sel, hi, lo } => {
+                    let (s_, h, l) = (lit_of[&sel], lit_of[&hi], lit_of[&lo]);
+                    aig.mux(s_, h, l)
+                }
+            };
+            lit_of.insert(s, lit);
+        }
+        // Third pass: latch data inputs and outputs.
+        for s in net.signal_ids() {
+            if let GateOp::Dff { d, .. } = net.op(s) {
+                let latch = lit_of[&s];
+                let data = lit_of[&d];
+                aig.connect_latch(latch, data)
+                    .expect("latch created in first pass");
+            }
+        }
+        for (name, s) in net.outputs() {
+            aig.add_output(name.clone(), lit_of[s]);
+        }
+        aig
+    }
+}
+
+/// Cycle-accurate simulator for an [`Aig`] (used to validate lowering and
+/// mapping).
+#[derive(Debug, Clone)]
+pub struct AigSimulator<'a> {
+    aig: &'a Aig,
+    values: Vec<bool>,
+    state: HashMap<u32, bool>,
+}
+
+impl<'a> AigSimulator<'a> {
+    /// Creates a simulator with latches at their initial values.
+    #[must_use]
+    pub fn new(aig: &'a Aig) -> Self {
+        let state = aig.latches.iter().map(|l| (l.node, l.init)).collect();
+        Self {
+            aig,
+            values: vec![false; aig.node_count()],
+            state,
+        }
+    }
+
+    fn lit_value(&self, lit: AigLit) -> bool {
+        self.values[lit.node() as usize] ^ lit.is_complemented()
+    }
+
+    /// Evaluates one clock cycle (outputs sampled before the edge).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input_values.len()` differs from the input count.
+    pub fn step(&mut self, input_values: &[bool]) -> Vec<bool> {
+        assert_eq!(
+            input_values.len(),
+            self.aig.inputs.len(),
+            "input width mismatch"
+        );
+        let mut next_input = input_values.iter();
+        for (i, node) in self.aig.nodes.iter().enumerate() {
+            self.values[i] = match node {
+                AigNode::Const => false,
+                AigNode::Input => *next_input.next().expect("inputs counted"),
+                AigNode::Latch => self.state[&(i as u32)],
+                AigNode::And(a, b) => self.lit_value(*a) && self.lit_value(*b),
+            };
+        }
+        let sampled: Vec<bool> = self
+            .aig
+            .outputs
+            .iter()
+            .map(|&(_, lit)| self.lit_value(lit))
+            .collect();
+        let next: Vec<(u32, bool)> = self
+            .aig
+            .latches
+            .iter()
+            .map(|l| (l.node, self.lit_value(l.input)))
+            .collect();
+        for (n, v) in next {
+            self.state.insert(n, v);
+        }
+        sampled
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mm_netlist::GateSimulator;
+
+    #[test]
+    fn literal_encoding() {
+        let l = AigLit::new(5, true);
+        assert_eq!(l.node(), 5);
+        assert!(l.is_complemented());
+        assert_eq!((!l).node(), 5);
+        assert!(!(!l).is_complemented());
+        assert!(AigLit::TRUE.is_const());
+    }
+
+    #[test]
+    fn constant_folding() {
+        let mut g = Aig::new("t");
+        let a = g.add_input("a");
+        assert_eq!(g.and(a, AigLit::FALSE), AigLit::FALSE);
+        assert_eq!(g.and(AigLit::TRUE, a), a);
+        assert_eq!(g.and(a, a), a);
+        assert_eq!(g.and(a, !a), AigLit::FALSE);
+        assert_eq!(g.and_count(), 0);
+    }
+
+    #[test]
+    fn strash_dedup_commutative() {
+        let mut g = Aig::new("t");
+        let a = g.add_input("a");
+        let b = g.add_input("b");
+        let x = g.and(a, b);
+        let y = g.and(b, a);
+        assert_eq!(x, y);
+        assert_eq!(g.and_count(), 1);
+    }
+
+    #[test]
+    fn xor_and_mux_shapes() {
+        let mut g = Aig::new("t");
+        let a = g.add_input("a");
+        let b = g.add_input("b");
+        let s = g.add_input("s");
+        let _x = g.xor(a, b);
+        assert_eq!(g.and_count(), 3);
+        let _m = g.mux(s, a, b);
+        assert_eq!(g.and_count(), 6);
+    }
+
+    #[test]
+    fn depth_counts_and_levels() {
+        let mut g = Aig::new("t");
+        let a = g.add_input("a");
+        let b = g.add_input("b");
+        let c = g.add_input("c");
+        let ab = g.and(a, b);
+        let abc = g.and(ab, c);
+        g.add_output("y", abc);
+        assert_eq!(g.depth(), 2);
+    }
+
+    #[test]
+    fn lower_gate_network_equivalent() {
+        let mut n = GateNetwork::new("mix");
+        let a = n.add_input("a").unwrap();
+        let b = n.add_input("b").unwrap();
+        let c = n.add_input("c").unwrap();
+        let x = n.xor(a, b);
+        let m = n.mux(c, x, a);
+        let o = n.nor(m, b);
+        n.add_output("y", o).unwrap();
+        let aig = Aig::from_gates(&n);
+
+        let mut gs = GateSimulator::new(&n);
+        let mut asim = AigSimulator::new(&aig);
+        for code in 0..8u32 {
+            let ins = [(code & 1) != 0, (code & 2) != 0, (code & 4) != 0];
+            assert_eq!(gs.step(&ins), asim.step(&ins), "code={code}");
+        }
+    }
+
+    #[test]
+    fn lower_sequential_equivalent() {
+        // 3-bit LFSR-ish toggle chain with an enable.
+        let mut n = GateNetwork::new("seq");
+        let en = n.add_input("en").unwrap();
+        let ff0 = n.add_dff(true);
+        let ff1 = n.add_dff(false);
+        let t0 = n.xor(ff0, en);
+        let t1 = n.xor(ff1, ff0);
+        n.connect_dff(ff0, t0).unwrap();
+        n.connect_dff(ff1, t1).unwrap();
+        n.add_output("q0", ff0).unwrap();
+        n.add_output("q1", ff1).unwrap();
+        let aig = Aig::from_gates(&n);
+        assert_eq!(aig.latches().len(), 2);
+
+        let mut gs = GateSimulator::new(&n);
+        let mut asim = AigSimulator::new(&aig);
+        let stim = [true, false, true, true, false, false, true, false];
+        for (i, &e) in stim.iter().enumerate() {
+            assert_eq!(gs.step(&[e]), asim.step(&[e]), "cycle {i}");
+        }
+    }
+
+    #[test]
+    fn constant_propagation_through_network() {
+        let mut n = GateNetwork::new("cp");
+        let a = n.add_input("a").unwrap();
+        let zero = n.constant(false);
+        let x = n.and(a, zero); // = 0
+        let y = n.or(x, a); // = a
+        n.add_output("y", y).unwrap();
+        let aig = Aig::from_gates(&n);
+        assert_eq!(aig.and_count(), 0, "everything folds to a wire");
+        let (_, lit) = &aig.outputs()[0];
+        assert_eq!(lit.node(), aig.inputs()[0].1);
+    }
+
+    #[test]
+    fn connect_latch_complement_handling() {
+        let mut g = Aig::new("t");
+        let l = g.add_latch("l", false);
+        let a = g.add_input("a");
+        // Connecting through a complemented latch literal stores the
+        // complement on the data side.
+        g.connect_latch(!l, a).unwrap();
+        assert_eq!(g.latches()[0].input, !a);
+        assert!(g.connect_latch(a, l).is_err());
+    }
+}

@@ -1,0 +1,193 @@
+//! k-feasible cuts over AIG nodes.
+//!
+//! A *cut* of node `n` is a set of nodes (*leaves*) such that every path
+//! from a source to `n` passes through a leaf; a cut with at most `k`
+//! leaves can be implemented by one k-input LUT computing the cone between
+//! the leaves and `n`. Technology mapping enumerates *priority cuts*
+//! bottom-up: the cuts of an AND gate are merges of its fanins' cuts,
+//! pruned by dominance and ranked by (depth, area flow).
+
+use mm_netlist::MAX_LUT_INPUTS;
+
+/// Maximum number of leaves in a cut (bounded by the LUT width).
+pub const MAX_CUT: usize = MAX_LUT_INPUTS;
+
+/// A sorted set of at most [`MAX_CUT`] leaf nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Cut {
+    leaves: [u32; MAX_CUT],
+    len: u8,
+}
+
+impl Cut {
+    /// The trivial cut `{node}` — the node provided as a leaf by whatever
+    /// implements it.
+    #[must_use]
+    pub fn trivial(node: u32) -> Self {
+        let mut leaves = [0u32; MAX_CUT];
+        leaves[0] = node;
+        Self { leaves, len: 1 }
+    }
+
+    /// The leaves, sorted ascending.
+    #[must_use]
+    pub fn leaves(&self) -> &[u32] {
+        &self.leaves[..self.len as usize]
+    }
+
+    /// Number of leaves.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// A cut always has at least one leaf.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Whether `node` is one of the leaves.
+    #[must_use]
+    pub fn contains(&self, node: u32) -> bool {
+        self.leaves().binary_search(&node).is_ok()
+    }
+
+    /// Merges two cuts (sorted-set union); `None` if the union exceeds `k`
+    /// leaves.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k > MAX_CUT`.
+    #[must_use]
+    pub fn merge(&self, other: &Cut, k: usize) -> Option<Cut> {
+        assert!(k <= MAX_CUT, "k exceeds MAX_CUT");
+        let mut leaves = [0u32; MAX_CUT];
+        let (a, b) = (self.leaves(), other.leaves());
+        let (mut i, mut j, mut n) = (0usize, 0usize, 0usize);
+        while i < a.len() || j < b.len() {
+            let take_a = match (a.get(i), b.get(j)) {
+                (Some(&x), Some(&y)) => {
+                    if x == y {
+                        j += 1;
+                    }
+                    x <= y
+                }
+                (Some(_), None) => true,
+                (None, Some(_)) => false,
+                (None, None) => unreachable!(),
+            };
+            let v = if take_a {
+                let v = a[i];
+                i += 1;
+                v
+            } else {
+                let v = b[j];
+                j += 1;
+                v
+            };
+            if n == k {
+                return None;
+            }
+            leaves[n] = v;
+            n += 1;
+        }
+        Some(Cut {
+            leaves,
+            len: n as u8,
+        })
+    }
+
+    /// Whether `self`'s leaves are a subset of `other`'s — then `self`
+    /// *dominates* `other` and the larger cut can be pruned.
+    #[must_use]
+    pub fn dominates(&self, other: &Cut) -> bool {
+        if self.len > other.len {
+            return false;
+        }
+        self.leaves().iter().all(|&l| other.contains(l))
+    }
+}
+
+/// Removes dominated cuts, keeping the first occurrence order otherwise.
+pub fn prune_dominated(cuts: &mut Vec<Cut>) {
+    let mut keep: Vec<Cut> = Vec::with_capacity(cuts.len());
+    'outer: for c in cuts.iter() {
+        for k in &keep {
+            if k.dominates(c) {
+                continue 'outer;
+            }
+        }
+        keep.retain(|k| !c.dominates(k));
+        keep.push(*c);
+    }
+    *cuts = keep;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cut(leaves: &[u32]) -> Cut {
+        let mut c = Cut::trivial(leaves[0]);
+        for &l in &leaves[1..] {
+            c = c.merge(&Cut::trivial(l), MAX_CUT).expect("fits");
+        }
+        c
+    }
+
+    #[test]
+    fn trivial_cut() {
+        let c = Cut::trivial(7);
+        assert_eq!(c.leaves(), &[7]);
+        assert_eq!(c.len(), 1);
+        assert!(c.contains(7));
+        assert!(!c.contains(3));
+    }
+
+    #[test]
+    fn merge_unions_sorted() {
+        let a = cut(&[1, 5, 9]);
+        let b = cut(&[2, 5, 10]);
+        let m = a.merge(&b, 6).expect("fits in 6");
+        assert_eq!(m.leaves(), &[1, 2, 5, 9, 10]);
+    }
+
+    #[test]
+    fn merge_respects_k() {
+        let a = cut(&[1, 2, 3]);
+        let b = cut(&[4, 5, 6]);
+        assert!(a.merge(&b, 4).is_none());
+        assert!(a.merge(&b, 6).is_some());
+    }
+
+    #[test]
+    fn merge_identical_is_same() {
+        let a = cut(&[3, 8]);
+        let m = a.merge(&a, 2).expect("same set");
+        assert_eq!(m.leaves(), &[3, 8]);
+    }
+
+    #[test]
+    fn dominance() {
+        let small = cut(&[1, 3]);
+        let big = cut(&[1, 2, 3]);
+        assert!(small.dominates(&big));
+        assert!(!big.dominates(&small));
+        assert!(small.dominates(&small));
+    }
+
+    #[test]
+    fn prune_removes_supersets() {
+        let mut cuts = vec![cut(&[1, 2, 3]), cut(&[1, 3]), cut(&[2, 4]), cut(&[2, 4, 5])];
+        prune_dominated(&mut cuts);
+        assert_eq!(cuts, vec![cut(&[1, 3]), cut(&[2, 4])]);
+    }
+
+    #[test]
+    fn prune_keeps_incomparable() {
+        let mut cuts = vec![cut(&[1, 2]), cut(&[2, 3]), cut(&[1, 3])];
+        prune_dominated(&mut cuts);
+        assert_eq!(cuts.len(), 3);
+    }
+}

@@ -1,0 +1,578 @@
+//! Priority-cut technology mapping from AIGs to k-LUT circuits.
+//!
+//! The mapper follows the classic depth-oriented priority-cuts scheme
+//! (Mishchenko et al.): enumerate up to [`MapOptions::cut_limit`] cuts per
+//! AND node, rank by (depth, area flow), select the best cut per node, and
+//! extract the cover backwards from the roots. Flip-flops are absorbed
+//! into the logic block of their driving LUT when that LUT has no other
+//! fanout — mirroring VPack's packing for the paper's one-LUT-one-FF logic
+//! block.
+
+use crate::aig::{Aig, AigLit, AigNode};
+use crate::cuts::{prune_dominated, Cut};
+use mm_netlist::{BlockId, LutCircuit, NetlistError, TruthTable};
+use std::collections::HashMap;
+
+/// Options controlling technology mapping.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MapOptions {
+    /// LUT input count of the target architecture.
+    pub k: usize,
+    /// Priority cuts kept per node.
+    pub cut_limit: usize,
+}
+
+impl Default for MapOptions {
+    /// Defaults to 4-LUTs (the paper's `4lut_sanitized.arch`) with 8
+    /// priority cuts.
+    fn default() -> Self {
+        Self { k: 4, cut_limit: 8 }
+    }
+}
+
+impl MapOptions {
+    /// Options for k-input LUTs with the default cut limit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is outside `2..=6`.
+    #[must_use]
+    pub fn for_k(k: usize) -> Self {
+        assert!((2..=6).contains(&k), "k must be in 2..=6");
+        Self { k, cut_limit: 8 }
+    }
+}
+
+/// Per-node mapping state.
+struct NodeInfo {
+    /// Non-trivial priority cuts, best first (empty for sources).
+    cuts: Vec<Cut>,
+    /// Depth of the best cut (sources: 0).
+    arrival: u32,
+    /// Area-flow estimate of the best cut.
+    area_flow: f64,
+}
+
+/// Maps an AIG onto a circuit of k-input LUT logic blocks.
+///
+/// # Errors
+///
+/// Fails only on internal netlist violations (which would indicate a bug);
+/// the mapper accepts any well-formed AIG.
+///
+/// # Example
+///
+/// ```
+/// use mm_synth::{Aig, map_aig, MapOptions};
+///
+/// # fn main() -> Result<(), mm_netlist::NetlistError> {
+/// let mut g = Aig::new("and3");
+/// let a = g.add_input("a");
+/// let b = g.add_input("b");
+/// let c = g.add_input("c");
+/// let ab = g.and(a, b);
+/// let abc = g.and(ab, c);
+/// g.add_output("y", abc);
+/// let mapped = map_aig(&g, MapOptions::default())?;
+/// assert_eq!(mapped.lut_count(), 1); // fits one 4-LUT
+/// # Ok(())
+/// # }
+/// ```
+pub fn map_aig(aig: &Aig, options: MapOptions) -> Result<LutCircuit, NetlistError> {
+    let k = options.k;
+    let n = aig.node_count();
+
+    // ---- structural refs ----------------------------------------------
+    let mut refs = vec![0u32; n];
+    for i in 0..n {
+        if let AigNode::And(a, b) = aig.node(i as u32) {
+            refs[a.node() as usize] += 1;
+            refs[b.node() as usize] += 1;
+        }
+    }
+    for (_, lit) in aig.outputs() {
+        refs[lit.node() as usize] += 1;
+    }
+    for latch in aig.latches() {
+        refs[latch.input.node() as usize] += 1;
+    }
+
+    // ---- cut enumeration + best-cut costs ------------------------------
+    let mut info: Vec<NodeInfo> = Vec::with_capacity(n);
+    for i in 0..n {
+        let node = aig.node(i as u32);
+        let ni = match node {
+            AigNode::Const | AigNode::Input | AigNode::Latch => NodeInfo {
+                cuts: Vec::new(),
+                arrival: 0,
+                area_flow: 0.0,
+            },
+            AigNode::And(a, b) => {
+                let (an, bn) = (a.node() as usize, b.node() as usize);
+                let mut candidates: Vec<Cut> = Vec::new();
+                let a_cuts = cuts_with_trivial(&info[an], a.node());
+                let b_cuts = cuts_with_trivial(&info[bn], b.node());
+                for ca in &a_cuts {
+                    for cb in &b_cuts {
+                        if let Some(m) = ca.merge(cb, k) {
+                            candidates.push(m);
+                        }
+                    }
+                }
+                prune_dominated(&mut candidates);
+                // Rank by (depth, area flow, size).
+                let mut ranked: Vec<(u32, f64, Cut)> = candidates
+                    .into_iter()
+                    .map(|c| {
+                        let depth = 1 + c
+                            .leaves()
+                            .iter()
+                            .map(|&l| info[l as usize].arrival)
+                            .max()
+                            .unwrap_or(0);
+                        let af: f64 = 1.0
+                            + c.leaves()
+                                .iter()
+                                .map(|&l| info[l as usize].area_flow)
+                                .sum::<f64>();
+                        (depth, af, c)
+                    })
+                    .collect();
+                ranked.sort_by(|x, y| {
+                    x.0.cmp(&y.0)
+                        .then(x.1.partial_cmp(&y.1).unwrap_or(std::cmp::Ordering::Equal))
+                        .then(x.2.len().cmp(&y.2.len()))
+                });
+                ranked.truncate(options.cut_limit);
+                let best = ranked.first().expect("an AND node always has cuts");
+                let fanout = refs[i].max(1) as f64;
+                NodeInfo {
+                    arrival: best.0,
+                    area_flow: best.1 / fanout,
+                    cuts: ranked.into_iter().map(|(_, _, c)| c).collect(),
+                }
+            }
+        };
+        info.push(ni);
+    }
+
+    // ---- cover selection ------------------------------------------------
+    // required[i] = node i must be implemented as a LUT root.
+    let mut required = vec![false; n];
+    let mut stack: Vec<u32> = Vec::new();
+    let push_root = |lit: AigLit, stack: &mut Vec<u32>| {
+        if matches!(aig.node(lit.node()), AigNode::And(..)) {
+            stack.push(lit.node());
+        }
+    };
+    for (_, lit) in aig.outputs() {
+        push_root(*lit, &mut stack);
+    }
+    for latch in aig.latches() {
+        push_root(latch.input, &mut stack);
+    }
+    while let Some(node) = stack.pop() {
+        if required[node as usize] {
+            continue;
+        }
+        required[node as usize] = true;
+        let best = info[node as usize].cuts[0];
+        for &leaf in best.leaves() {
+            if matches!(aig.node(leaf), AigNode::And(..)) && !required[leaf as usize] {
+                stack.push(leaf);
+            }
+        }
+    }
+
+    // ---- use analysis of required roots ---------------------------------
+    // Leaf uses (as LUT inputs of other roots) always reference the node's
+    // positive function; port uses (outputs, latch data) carry a polarity.
+    let mut leaf_uses = vec![0u32; n];
+    for i in 0..n {
+        if required[i] {
+            for &leaf in info[i].cuts[0].leaves() {
+                leaf_uses[leaf as usize] += 1;
+            }
+        }
+    }
+    let mut port_uses_pos = vec![0u32; n];
+    let mut port_uses_neg = vec![0u32; n];
+    for (_, lit) in aig.outputs() {
+        if lit.is_complemented() {
+            port_uses_neg[lit.node() as usize] += 1;
+        } else {
+            port_uses_pos[lit.node() as usize] += 1;
+        }
+    }
+    for latch in aig.latches() {
+        if latch.input.is_complemented() {
+            port_uses_neg[latch.input.node() as usize] += 1;
+        } else {
+            port_uses_pos[latch.input.node() as usize] += 1;
+        }
+    }
+
+    // Polarity canonicalisation: a root never used as a leaf and only used
+    // complemented implements the complemented function directly, saving an
+    // inverter LUT.
+    let mut flipped = vec![false; n];
+    for i in 0..n {
+        if required[i] && leaf_uses[i] == 0 && port_uses_pos[i] == 0 && port_uses_neg[i] > 0 {
+            flipped[i] = true;
+        }
+    }
+
+    // FF absorption: a root is absorbable into a latch when its *only* use
+    // is that latch's data input (any polarity — it folds into the truth
+    // table).
+    let mut absorbed: HashMap<u32, usize> = HashMap::new(); // root → latch index
+    for (li, latch) in aig.latches().iter().enumerate() {
+        let root = latch.input.node() as usize;
+        if matches!(aig.node(root as u32), AigNode::And(..))
+            && required[root]
+            && leaf_uses[root] == 0
+            && port_uses_pos[root] + port_uses_neg[root] == 1
+        {
+            absorbed.insert(root as u32, li);
+        }
+    }
+
+    // ---- netlist construction ------------------------------------------
+    let mut circuit = LutCircuit::new(aig.name().to_string(), k);
+    let mut block_of: HashMap<u32, BlockId> = HashMap::new();
+
+    for (name, node) in aig.inputs() {
+        let id = circuit.add_input(name.clone())?;
+        block_of.insert(*node, id);
+    }
+    // Latch blocks first (placeholders) so feedback resolves.
+    let placeholder = TruthTable::const0(0);
+    let mut latch_blocks: Vec<BlockId> = Vec::with_capacity(aig.latches().len());
+    for latch in aig.latches() {
+        let id = circuit.add_lut(latch.name.clone(), vec![], placeholder, true)?;
+        circuit.set_init(id, latch.init)?;
+        block_of.insert(latch.node, id);
+        latch_blocks.push(id);
+    }
+
+    // Emit combinational LUTs for required, non-absorbed roots in topo
+    // (index) order.
+    for i in 0..n {
+        if !required[i] || absorbed.contains_key(&(i as u32)) {
+            continue;
+        }
+        let cut = info[i].cuts[0];
+        let mut truth = cut_truth(aig, i as u32, cut.leaves());
+        if flipped[i] {
+            truth = !truth;
+        }
+        let fanin: Vec<BlockId> = cut.leaves().iter().map(|l| block_of[l]).collect();
+        let id = circuit.add_lut(format!("n{i}"), fanin, truth, false)?;
+        block_of.insert(i as u32, id);
+    }
+
+    // Patch latch blocks.
+    for (li, latch) in aig.latches().iter().enumerate() {
+        let lit = latch.input;
+        let root = lit.node();
+        let block = latch_blocks[li];
+        if let Some(&ali) = absorbed.get(&root) {
+            debug_assert_eq!(ali, li);
+            let cut = info[root as usize].cuts[0];
+            let mut truth = cut_truth(aig, root, cut.leaves());
+            if lit.is_complemented() {
+                truth = !truth;
+            }
+            let fanin: Vec<BlockId> = cut.leaves().iter().map(|l| block_of[l]).collect();
+            circuit.set_lut(block, fanin, truth)?;
+        } else if lit.is_const() {
+            let truth = if lit == AigLit::TRUE {
+                TruthTable::const1(0)
+            } else {
+                TruthTable::const0(0)
+            };
+            circuit.set_lut(block, vec![], truth)?;
+        } else {
+            // Pass-through (possibly inverting) registered LUT.
+            let src = block_of[&root];
+            let effective_compl = lit.is_complemented() ^ flipped[root as usize];
+            let truth = if effective_compl {
+                !TruthTable::var(1, 0)
+            } else {
+                TruthTable::var(1, 0)
+            };
+            circuit.set_lut(block, vec![src], truth)?;
+        }
+    }
+
+    // Primary outputs.
+    let mut inverter_of: HashMap<u32, BlockId> = HashMap::new();
+    let mut const_block: HashMap<bool, BlockId> = HashMap::new();
+    for (name, lit) in aig.outputs() {
+        let source = if lit.is_const() {
+            let value = *lit == AigLit::TRUE;
+            match const_block.get(&value) {
+                Some(&b) => b,
+                None => {
+                    let truth = if value {
+                        TruthTable::const1(0)
+                    } else {
+                        TruthTable::const0(0)
+                    };
+                    let b = circuit.add_lut(format!("const{}", u8::from(value)), vec![], truth, false)?;
+                    const_block.insert(value, b);
+                    b
+                }
+            }
+        } else if lit.is_complemented() ^ flipped[lit.node() as usize] {
+            let root = lit.node();
+            match inverter_of.get(&root) {
+                Some(&b) => b,
+                None => {
+                    let src = block_of[&root];
+                    let b = circuit.add_lut(
+                        format!("n{root}_inv"),
+                        vec![src],
+                        !TruthTable::var(1, 0),
+                        false,
+                    )?;
+                    inverter_of.insert(root, b);
+                    b
+                }
+            }
+        } else {
+            block_of[&lit.node()]
+        };
+        let pad_name = if circuit.find(name).is_none() {
+            name.clone()
+        } else {
+            format!("{name}$pad")
+        };
+        circuit.add_output_port(pad_name, name.clone(), source)?;
+    }
+
+    circuit.validate()?;
+    Ok(circuit)
+}
+
+fn cuts_with_trivial(info: &NodeInfo, node: u32) -> Vec<Cut> {
+    let mut v = info.cuts.clone();
+    v.push(Cut::trivial(node));
+    v
+}
+
+/// Computes the truth table of `root` as a function of the cut `leaves`.
+fn cut_truth(aig: &Aig, root: u32, leaves: &[u32]) -> TruthTable {
+    let k = leaves.len();
+    let mut memo: HashMap<u32, TruthTable> = leaves
+        .iter()
+        .enumerate()
+        .map(|(i, &l)| (l, TruthTable::var(k, i)))
+        .collect();
+    truth_rec(aig, root, k, &mut memo)
+}
+
+fn truth_rec(aig: &Aig, node: u32, k: usize, memo: &mut HashMap<u32, TruthTable>) -> TruthTable {
+    if let Some(&t) = memo.get(&node) {
+        return t;
+    }
+    let t = match aig.node(node) {
+        AigNode::Const => TruthTable::const0(k),
+        AigNode::Input | AigNode::Latch => {
+            unreachable!("cut leaves cover all sources (node {node})")
+        }
+        AigNode::And(a, b) => {
+            let ta = truth_rec(aig, a.node(), k, memo);
+            let ta = if a.is_complemented() { !ta } else { ta };
+            let tb = truth_rec(aig, b.node(), k, memo);
+            let tb = if b.is_complemented() { !tb } else { tb };
+            ta & tb
+        }
+    };
+    memo.insert(node, t);
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aig::AigSimulator;
+    use mm_netlist::LutSimulator;
+
+    /// Steps both simulators over pseudo-random stimulus and asserts
+    /// identical outputs.
+    fn assert_equivalent(aig: &Aig, circuit: &LutCircuit, cycles: usize, seed: u64) {
+        let mut asim = AigSimulator::new(aig);
+        let mut lsim = LutSimulator::new(circuit).expect("valid circuit");
+        let n_in = aig.inputs().len();
+        let mut state = seed | 1;
+        let mut next_bit = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state & 1 == 1
+        };
+        for cycle in 0..cycles {
+            let ins: Vec<bool> = (0..n_in).map(|_| next_bit()).collect();
+            assert_eq!(asim.step(&ins), lsim.step(&ins), "cycle {cycle}");
+        }
+    }
+
+    #[test]
+    fn map_wide_and_tree() {
+        let mut g = Aig::new("and8");
+        let ins: Vec<AigLit> = (0..8).map(|i| g.add_input(format!("i{i}"))).collect();
+        let mut acc = ins[0];
+        for &l in &ins[1..] {
+            acc = g.and(acc, l);
+        }
+        g.add_output("y", acc);
+        let c = map_aig(&g, MapOptions::default()).unwrap();
+        // 8-input AND needs at least ceil(7/3) = 3 4-LUTs.
+        assert!(c.lut_count() <= 4, "got {} LUTs", c.lut_count());
+        assert!(c.lut_count() >= 3);
+        assert_equivalent(&g, &c, 64, 11);
+    }
+
+    #[test]
+    fn map_xor_chain() {
+        let mut g = Aig::new("parity6");
+        let ins: Vec<AigLit> = (0..6).map(|i| g.add_input(format!("i{i}"))).collect();
+        let mut acc = ins[0];
+        for &l in &ins[1..] {
+            acc = g.xor(acc, l);
+        }
+        g.add_output("p", acc);
+        let c = map_aig(&g, MapOptions::default()).unwrap();
+        assert_equivalent(&g, &c, 128, 5);
+        // Parity of 6 fits in two 4-LUTs... plus possibly one combiner.
+        assert!(c.lut_count() <= 3, "got {}", c.lut_count());
+    }
+
+    #[test]
+    fn map_complemented_output() {
+        let mut g = Aig::new("nand");
+        let a = g.add_input("a");
+        let b = g.add_input("b");
+        let x = g.and(a, b);
+        g.add_output("y", !x);
+        g.add_output("z", x); // both polarities used
+        let c = map_aig(&g, MapOptions::default()).unwrap();
+        assert_equivalent(&g, &c, 32, 3);
+    }
+
+    #[test]
+    fn map_constant_and_wire_outputs() {
+        let mut g = Aig::new("wires");
+        let a = g.add_input("a");
+        g.add_output("t", AigLit::TRUE);
+        g.add_output("f", AigLit::FALSE);
+        g.add_output("w", a);
+        g.add_output("nw", !a);
+        let c = map_aig(&g, MapOptions::default()).unwrap();
+        assert_equivalent(&g, &c, 16, 9);
+    }
+
+    #[test]
+    fn map_sequential_with_absorption() {
+        // q' = q ^ en — the XOR LUT should absorb the flip-flop.
+        let mut g = Aig::new("acc");
+        let en = g.add_input("en");
+        let q = g.add_latch("q", false);
+        let nxt = g.xor(q, en);
+        g.connect_latch(q, nxt).unwrap();
+        g.add_output("q", q);
+        let c = map_aig(&g, MapOptions::default()).unwrap();
+        assert_eq!(c.lut_count(), 1, "FF absorbed into the XOR LUT");
+        assert_equivalent(&g, &c, 64, 21);
+    }
+
+    #[test]
+    fn map_sequential_without_absorption() {
+        // The next-state logic also feeds an output, so it cannot be
+        // absorbed and a pass-through registered LUT is created.
+        let mut g = Aig::new("acc2");
+        let en = g.add_input("en");
+        let q = g.add_latch("q", false);
+        let nxt = g.xor(q, en);
+        g.connect_latch(q, nxt).unwrap();
+        g.add_output("q", q);
+        g.add_output("nxt", nxt);
+        let c = map_aig(&g, MapOptions::default()).unwrap();
+        assert_eq!(c.lut_count(), 2);
+        assert_equivalent(&g, &c, 64, 22);
+    }
+
+    #[test]
+    fn map_latch_from_input_and_const() {
+        let mut g = Aig::new("lat");
+        let a = g.add_input("a");
+        let q1 = g.add_latch("q1", false);
+        g.connect_latch(q1, a).unwrap();
+        let q2 = g.add_latch("q2", true);
+        g.connect_latch(q2, AigLit::TRUE).unwrap();
+        let q3 = g.add_latch("q3", false);
+        g.connect_latch(q3, !a).unwrap();
+        let y1 = g.and(q1, q2);
+        let y = g.and(y1, q3);
+        g.add_output("y", y);
+        let c = map_aig(&g, MapOptions::default()).unwrap();
+        assert_equivalent(&g, &c, 64, 17);
+    }
+
+    #[test]
+    fn map_respects_k() {
+        for k in [2usize, 3, 4, 5, 6] {
+            let mut g = Aig::new("wide");
+            let ins: Vec<AigLit> = (0..10).map(|i| g.add_input(format!("i{i}"))).collect();
+            let mut acc = ins[0];
+            for &l in &ins[1..] {
+                let x = g.xor(acc, l);
+                acc = g.and(x, ins[0]);
+            }
+            g.add_output("y", acc);
+            let c = map_aig(&g, MapOptions::for_k(k)).unwrap();
+            for &id in c.luts() {
+                assert!(c.block(id).fanin().len() <= k);
+            }
+            assert_equivalent(&g, &c, 32, k as u64);
+        }
+    }
+
+    #[test]
+    fn mapping_is_deterministic() {
+        let mut g = Aig::new("det");
+        let ins: Vec<AigLit> = (0..6).map(|i| g.add_input(format!("i{i}"))).collect();
+        let mut acc = ins[0];
+        for (j, &l) in ins[1..].iter().enumerate() {
+            acc = if j % 2 == 0 { g.xor(acc, l) } else { g.or(acc, l) };
+        }
+        g.add_output("y", acc);
+        let c1 = map_aig(&g, MapOptions::default()).unwrap();
+        let c2 = map_aig(&g, MapOptions::default()).unwrap();
+        assert_eq!(c1.lut_count(), c2.lut_count());
+        assert_eq!(
+            mm_netlist::blif::to_blif(&c1),
+            mm_netlist::blif::to_blif(&c2)
+        );
+    }
+
+    #[test]
+    fn shared_logic_not_duplicated() {
+        // y0 = a&b&c, y1 = (a&b)&d: the a&b node is shared; total LUTs
+        // must not exceed 3 (and with 4-LUTs should be 2).
+        let mut g = Aig::new("share");
+        let a = g.add_input("a");
+        let b = g.add_input("b");
+        let c = g.add_input("c");
+        let d = g.add_input("d");
+        let ab = g.and(a, b);
+        let abc = g.and(ab, c);
+        let abd = g.and(ab, d);
+        g.add_output("y0", abc);
+        g.add_output("y1", abd);
+        let circuit = map_aig(&g, MapOptions::default()).unwrap();
+        assert!(circuit.lut_count() <= 2, "got {}", circuit.lut_count());
+        assert_equivalent(&g, &circuit, 32, 2);
+    }
+}

@@ -1,0 +1,63 @@
+//! The paper's adaptive-filtering experiment in miniature: a low-pass and
+//! a high-pass FIR filter with constant-propagated coefficients form a
+//! two-mode circuit; Dynamic Circuit Specialization switches between them
+//! by rewriting a handful of routing bits.
+//!
+//! ```sh
+//! cargo run --release --example adaptive_filter
+//! ```
+
+use multimode::flow::{DcsFlow, FlowOptions, MultiModeInput};
+use multimode::gen::fir::{highpass_taps, lowpass_taps, specialized_fir, FirSpec};
+use multimode::gen::{fir_generic_reference, regexp_suite};
+use multimode::synth::{synthesize, MapOptions};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let _ = regexp_suite; // (see multimode_transceiver for the RegExp demo)
+
+    // ---- specialise two filters ------------------------------------------
+    let lp = FirSpec {
+        name: "lowpass".into(),
+        taps: lowpass_taps(14, 7, 7, 42),
+        data_width: 8,
+    };
+    let hp = FirSpec {
+        name: "highpass".into(),
+        taps: highpass_taps(14, 7, 7, 43),
+        data_width: 8,
+    };
+    println!("low-pass taps:  {:?}", lp.taps);
+    println!("high-pass taps: {:?}", hp.taps);
+
+    let lp_mapped = synthesize(&specialized_fir(&lp), MapOptions::default())?;
+    let hp_mapped = synthesize(&specialized_fir(&hp), MapOptions::default())?;
+    let generic = fir_generic_reference(4);
+    println!(
+        "\nconstant propagation (paper: 'such a FIR filter is 3 times smaller'):"
+    );
+    println!("  generic filter:      {} LUTs", generic.lut_count());
+    println!("  specialised low-pass:  {} LUTs", lp_mapped.lut_count());
+    println!("  specialised high-pass: {} LUTs", hp_mapped.lut_count());
+
+    // ---- merge them into one multi-mode circuit ----------------------------
+    let input = MultiModeInput::new(vec![lp_mapped, hp_mapped])?;
+    let result = DcsFlow::new(FlowOptions::default()).run(&input)?;
+    let stats = result.tunable.stats();
+    println!("\nmulti-mode filter on a {0}x{0} region (channel width {1}):", result.arch.grid, result.arch.channel_width);
+    println!("  {stats}");
+    println!("  MDR rewrite: {}", result.mdr_cost());
+    println!("  DCS rewrite: {}", result.dcs_cost());
+    println!(
+        "  switching the passband rewrites {} routing bits ({:.1}% of the fabric's {})",
+        result.parameterized_routing_bits(),
+        100.0 * result.parameterized_routing_bits() as f64 / result.model.routing_bits as f64,
+        result.model.routing_bits,
+    );
+
+    // A few of the parameterized bits in the paper's Boolean notation.
+    println!("\n  first parameterized bits as functions of the mode bit m0:");
+    for (switch, expr) in result.param.parameterized_expressions().take(5) {
+        println!("    bit[{}] = {expr}", switch.index());
+    }
+    Ok(())
+}

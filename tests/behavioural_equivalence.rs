@@ -1,0 +1,112 @@
+//! Behavioural equivalence across the front-end: generators → synthesis →
+//! mapped circuits → BLIF round trips. These are the guarantees that make
+//! the reconfiguration metrics meaningful — the circuits being merged
+//! really are the circuits the generators specified.
+
+use multimode::gen::fir::{lowpass_taps, specialized_fir, FirSpec};
+use multimode::gen::regex::RegexEngine;
+use multimode::gen::{mcnc, words::Word};
+use multimode::netlist::{blif, first_divergence, GateSimulator, LutSimulator};
+use multimode::synth::{synthesize, MapOptions};
+
+#[test]
+fn regex_engine_gate_vs_mapped() {
+    let engine = RegexEngine::compile(r"(ab|ba)+[0-9]{2}x?", 4).unwrap();
+    let mut gate = GateSimulator::new(engine.network());
+    let mut lut = LutSimulator::new(engine.lut_circuit()).unwrap();
+    let stream = b"abba42x baab07 ab12 zzz abab99x";
+    for &byte in stream.iter() {
+        let bits: Vec<bool> = (0..8).map(|i| (byte >> i) & 1 == 1).collect();
+        assert_eq!(gate.step(&bits), lut.step(&bits));
+    }
+}
+
+#[test]
+fn regex_engine_blif_roundtrip() {
+    let engine = RegexEngine::compile(r"GET /cmd\?[a-f0-9]{4}", 4).unwrap();
+    let original = engine.lut_circuit();
+    let text = blif::to_blif(original);
+    let parsed = blif::from_blif(&text, 4).unwrap();
+    assert_eq!(
+        first_divergence(original, &parsed, 256, 0xfeed).unwrap(),
+        None,
+        "BLIF round trip must preserve behaviour"
+    );
+}
+
+#[test]
+fn fir_mapped_matches_reference() {
+    let spec = FirSpec {
+        name: "t".into(),
+        taps: lowpass_taps(10, 5, 7, 5),
+        data_width: 6,
+    };
+    let net = specialized_fir(&spec);
+    let mapped = synthesize(&net, MapOptions::default()).unwrap();
+
+    let mut gate = GateSimulator::new(&net);
+    let mut lut = LutSimulator::new(&mapped).unwrap();
+    let samples: Vec<u64> = vec![3, 60, 17, 0, 44, 9, 21, 33, 2, 63, 11, 50];
+    for &s in &samples {
+        let bits: Vec<bool> = (0..6).map(|i| (s >> i) & 1 == 1).collect();
+        assert_eq!(gate.step(&bits), lut.step(&bits), "sample {s}");
+    }
+}
+
+#[test]
+fn mcnc_circuits_map_equivalently() {
+    for (name, net) in [
+        ("alu", mcnc::alu("alu6", 6)),
+        ("mult", mcnc::multiplier("m5", 5)),
+        ("crc", mcnc::crc("c8", 0xb8, 8, 4)),
+        ("pla", mcnc::pla("p", 8, 6, 5, 4, 77)),
+    ] {
+        let mapped = synthesize(&net, MapOptions::default()).unwrap();
+        let mut gate = GateSimulator::new(&net);
+        let mut lut = LutSimulator::new(&mapped).unwrap();
+        let n_in = net.inputs().len();
+        let mut state = 0x1234_5678_9abc_def0u64 ^ name.len() as u64;
+        for cycle in 0..200 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let ins: Vec<bool> = (0..n_in).map(|i| (state >> (i % 60)) & 1 == 1).collect();
+            assert_eq!(gate.step(&ins), lut.step(&ins), "{name} cycle {cycle}");
+        }
+    }
+}
+
+#[test]
+fn blif_roundtrip_of_sequential_datapath() {
+    let mut net = multimode::netlist::GateNetwork::new("acc");
+    let x = Word::inputs(&mut net, "x", 5);
+    let acc_ff: Vec<_> = (0..6).map(|_| net.add_dff(false)).collect();
+    let acc = Word::from_bits(acc_ff.clone());
+    let xe = x.resize(&mut net, 6, false);
+    let (sum, _) = acc.add(&mut net, &xe);
+    for (i, &ff) in acc_ff.iter().enumerate() {
+        net.connect_dff(ff, sum.bit(i)).unwrap();
+    }
+    acc.export(&mut net, "acc");
+    let mapped = synthesize(&net, MapOptions::default()).unwrap();
+    let text = blif::to_blif(&mapped);
+    let parsed = blif::from_blif(&text, 4).unwrap();
+    assert_eq!(first_divergence(&mapped, &parsed, 512, 0xace).unwrap(), None);
+}
+
+#[test]
+fn suite_circuits_are_blif_stable() {
+    // A slice of every suite survives BLIF round trips behaviourally.
+    let circuits = vec![
+        multimode::gen::regexp_suite(4).swap_remove(4),
+        multimode::gen::fir_suite(4).swap_remove(0),
+        multimode::gen::mcnc_suite(4).swap_remove(3),
+    ];
+    for c in &circuits {
+        let parsed = blif::from_blif(&blif::to_blif(c), 4).unwrap();
+        assert_eq!(
+            first_divergence(c, &parsed, 128, 0xbeef).unwrap(),
+            None,
+            "{} round trip",
+            c.name()
+        );
+    }
+}

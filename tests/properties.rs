@@ -1,0 +1,326 @@
+//! Property-based tests (proptest) on the core data structures and the
+//! central invariant of the paper: merging mode circuits into a tunable
+//! circuit preserves every mode exactly.
+
+use multimode::arch::{Architecture, Site};
+use multimode::boolexpr::{qm, Expr, ModeSet, ModeSpace};
+use multimode::flow::TunableCircuit;
+use multimode::netlist::{blif, BlockId, LutCircuit, TruthTable};
+use multimode::place::{verify_placement, MultiPlacement, Placement};
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------- boolexpr
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Quine–McCluskey minimisation is exact: the SOP evaluates to the
+    /// mode set on every valid mode.
+    #[test]
+    fn qm_minimisation_is_equivalent(mode_count in 1usize..=16, mask: u64) {
+        let space = ModeSpace::new(mode_count);
+        let on = ModeSet::from_mask(mask) & space.all();
+        let cubes = qm::minimize(on, space);
+        for m in space.modes() {
+            prop_assert_eq!(qm::eval_cubes(&cubes, m as u64), on.contains(m));
+        }
+        // The expression view agrees as well.
+        let expr = on.to_expr(space);
+        for m in space.modes() {
+            prop_assert_eq!(expr.eval(m as u64), on.contains(m));
+        }
+    }
+
+    /// Display → parse round trip of expressions built from mode sets.
+    #[test]
+    fn expr_roundtrips_through_text(mode_count in 1usize..=8, mask: u64) {
+        let space = ModeSpace::new(mode_count);
+        let on = ModeSet::from_mask(mask) & space.all();
+        let expr = on.to_expr(space);
+        let reparsed: Expr = expr.to_string().parse().expect("own display reparses");
+        for m in space.modes() {
+            prop_assert_eq!(reparsed.eval(m as u64), on.contains(m));
+        }
+    }
+
+    /// Mode-set algebra is faithful boolean algebra on every mode.
+    #[test]
+    fn modeset_algebra(mode_count in 1usize..=16, a: u64, b: u64) {
+        let space = ModeSpace::new(mode_count);
+        let sa = ModeSet::from_mask(a) & space.all();
+        let sb = ModeSet::from_mask(b) & space.all();
+        for m in space.modes() {
+            prop_assert_eq!((sa | sb).contains(m), sa.contains(m) || sb.contains(m));
+            prop_assert_eq!((sa & sb).contains(m), sa.contains(m) && sb.contains(m));
+            prop_assert_eq!(sa.complement(space).contains(m), !sa.contains(m));
+        }
+    }
+}
+
+// ------------------------------------------------------------- truth tables
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// extend_to adds don't-care inputs without changing the function.
+    #[test]
+    fn truth_extension_preserves_function(k in 1usize..=4, bits: u64, extra in 0usize..=2) {
+        let t = TruthTable::from_bits(k, bits);
+        let e = t.extend_to(k + extra);
+        for idx in 0..(1usize << (k + extra)) {
+            prop_assert_eq!(e.eval_index(idx), t.eval_index(idx & ((1 << k) - 1)));
+        }
+    }
+
+    /// Permuting inputs twice with inverse permutations is the identity.
+    #[test]
+    fn truth_permutation_inverts(bits: u64, seed in 0u64..1000) {
+        let k = 4usize;
+        let t = TruthTable::from_bits(k, bits);
+        // Build a permutation deterministically from the seed.
+        let mut perm: Vec<usize> = (0..k).collect();
+        let mut s = seed;
+        for i in (1..k).rev() {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+            perm.swap(i, (s as usize) % (i + 1));
+        }
+        let mut inverse = vec![0usize; k];
+        for (new, &old) in perm.iter().enumerate() {
+            inverse[old] = new;
+        }
+        prop_assert_eq!(t.permute(&perm).permute(&inverse), t);
+    }
+
+    /// Shannon expansion: f = x·f|x=1 + x̄·f|x=0.
+    #[test]
+    fn truth_shannon_expansion(bits: u64, var in 0usize..4) {
+        let k = 4usize;
+        let f = TruthTable::from_bits(k, bits);
+        let x = TruthTable::var(k, var);
+        let hi = f.cofactor(var, true);
+        let lo = f.cofactor(var, false);
+        prop_assert_eq!((x & hi) | (!x & lo), f);
+    }
+
+    /// Cover round trip: BLIF ON-set cover reproduces the table.
+    #[test]
+    fn truth_cover_roundtrip(k in 1usize..=4, bits: u64) {
+        let t = TruthTable::from_bits(k, bits);
+        let back = TruthTable::from_cover(k, &t.to_cover()).expect("valid cover");
+        prop_assert_eq!(back, t);
+    }
+}
+
+// ------------------------------------------------- random circuits + merge
+
+/// Deterministic random circuit from a seed (proptest shrinks the seed).
+fn build_circuit(name: &str, n_inputs: usize, n_luts: usize, seed: u64) -> LutCircuit {
+    let mut s = seed | 1;
+    let mut next = move |bound: usize| {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        (s as usize) % bound.max(1)
+    };
+    let mut c = LutCircuit::new(name, 4);
+    let mut drivers: Vec<BlockId> = (0..n_inputs)
+        .map(|i| c.add_input(format!("i{i}")).unwrap())
+        .collect();
+    for j in 0..n_luts {
+        let fanin = 1 + next(4.min(drivers.len()));
+        let mut ins: Vec<BlockId> = Vec::new();
+        while ins.len() < fanin {
+            let d = drivers[next(drivers.len())];
+            if !ins.contains(&d) {
+                ins.push(d);
+            }
+        }
+        let tt = TruthTable::from_bits(ins.len(), next(usize::MAX) as u64);
+        let registered = next(5) == 0;
+        let id = c
+            .add_lut(format!("n{j}"), ins, tt, registered)
+            .unwrap();
+        drivers.push(id);
+    }
+    let out = drivers[drivers.len() - 1];
+    c.add_output("o0", out).unwrap();
+    c
+}
+
+/// Random legal placement of `circuits` on `arch`.
+fn random_placement(
+    circuits: &[LutCircuit],
+    arch: &Architecture,
+    seed: u64,
+) -> MultiPlacement {
+    let mut s = seed | 1;
+    let mut next = move |bound: usize| {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        (s as usize) % bound.max(1)
+    };
+    let logic: Vec<Site> = arch.logic_sites().collect();
+    let io: Vec<Site> = arch.io_sites().collect();
+    let mut modes = Vec::new();
+    for c in circuits {
+        let mut p = Placement::new(c.block_count());
+        let mut logic_pool = logic.clone();
+        let mut io_pool = io.clone();
+        for id in c.block_ids() {
+            let pool = if c.block(id).is_lut() {
+                &mut logic_pool
+            } else {
+                &mut io_pool
+            };
+            let k = next(pool.len());
+            p.assign(id, pool.swap_remove(k));
+        }
+        modes.push(p);
+    }
+    MultiPlacement { modes }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The core merge invariant (paper §III): projecting the tunable
+    /// circuit onto any mode reproduces exactly that mode's placed
+    /// connections, and specialising any tunable LUT for a mode gives
+    /// back the occupant's (extended) truth table.
+    #[test]
+    fn merge_projection_is_exact(seed in 0u64..10_000, luts_a in 4usize..14, luts_b in 4usize..14) {
+        let a = build_circuit("a", 4, luts_a, seed.wrapping_mul(3) + 1);
+        let b = build_circuit("b", 4, luts_b, seed.wrapping_mul(7) + 2);
+        let circuits = vec![a, b];
+        let arch = Architecture::new(4, 5, 4);
+        let placement = random_placement(&circuits, &arch, seed + 11);
+        verify_placement(&circuits, &arch, &placement).expect("random placement is legal");
+
+        let tunable = TunableCircuit::from_placement(&circuits, &placement, &arch).unwrap();
+        tunable.verify_projection(&circuits, &placement).unwrap();
+
+        // Specialised truth tables match the occupants.
+        for (m, c) in circuits.iter().enumerate() {
+            for &id in c.luts() {
+                let site = placement.modes[m].site_of(id);
+                let spec = tunable.specialized_truth(&circuits, site, m).unwrap();
+                if let multimode::netlist::BlockKind::Lut { truth, .. } = c.block(id).kind() {
+                    prop_assert_eq!(spec, truth.extend_to(4));
+                }
+            }
+        }
+
+        // Connection counts: between max(modes) and sum(modes).
+        let ca = circuits[0].connections().len();
+        let cb = circuits[1].connections().len();
+        let t = tunable.connections().len();
+        prop_assert!(t <= ca + cb);
+        prop_assert!(t >= ca.max(cb));
+    }
+
+    /// BLIF round trips preserve structure counts for random circuits.
+    #[test]
+    fn blif_roundtrip_preserves_behaviour(seed in 0u64..10_000, luts in 3usize..20) {
+        let c = build_circuit("rt", 4, luts, seed + 5);
+        let parsed = blif::from_blif(&blif::to_blif(&c), 4).expect("own BLIF parses");
+        prop_assert_eq!(
+            multimode::netlist::first_divergence(&c, &parsed, 64, seed).unwrap(),
+            None
+        );
+    }
+}
+
+// -------------------------------------------------- synthesis equivalence
+
+/// Random gate network built from a seed: a layered mix of gates and a
+/// couple of flip-flops.
+fn build_gate_network(seed: u64, gates: usize) -> multimode::netlist::GateNetwork {
+    use multimode::netlist::{GateNetwork, SignalId};
+    let mut s = seed | 1;
+    let mut next = move |bound: usize| {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        (s as usize) % bound.max(1)
+    };
+    let mut net = GateNetwork::new("rnd");
+    let mut signals: Vec<SignalId> = (0..4)
+        .map(|i| net.add_input(format!("i{i}")).unwrap())
+        .collect();
+    for g in 0..gates {
+        let a = signals[next(signals.len())];
+        let b = signals[next(signals.len())];
+        let sig = match next(6) {
+            0 => net.and(a, b),
+            1 => net.or(a, b),
+            2 => net.xor(a, b),
+            3 => net.not(a),
+            4 => {
+                let sel = signals[next(signals.len())];
+                net.mux(sel, a, b)
+            }
+            _ => net.dff(a, next(2) == 0),
+        };
+        signals.push(sig);
+        let _ = g;
+    }
+    for t in 0..2 {
+        let sig = signals[signals.len() - 1 - t];
+        net.add_output(format!("o{t}"), sig).unwrap();
+    }
+    net
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Technology mapping preserves cycle-accurate behaviour for random
+    /// gate networks, across LUT widths.
+    #[test]
+    fn mapping_preserves_behaviour(seed in 0u64..10_000, gates in 5usize..40, k in 3usize..=6) {
+        use multimode::netlist::{GateSimulator, LutSimulator};
+        use multimode::synth::{synthesize, MapOptions};
+        let net = build_gate_network(seed, gates);
+        let mapped = synthesize(&net, MapOptions::for_k(k)).unwrap();
+        // Every LUT respects the width.
+        for &id in mapped.luts() {
+            prop_assert!(mapped.block(id).fanin().len() <= k);
+        }
+        let mut gs = GateSimulator::new(&net);
+        let mut ls = LutSimulator::new(&mapped).unwrap();
+        let mut s = seed.wrapping_mul(31) | 1;
+        for _ in 0..48 {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            let ins: Vec<bool> = (0..4).map(|i| (s >> (i + 7)) & 1 == 1).collect();
+            prop_assert_eq!(gs.step(&ins), ls.step(&ins));
+        }
+    }
+
+    /// Routing random placed circuits always yields structurally valid,
+    /// capacity-respecting route trees (or a definite failure).
+    #[test]
+    fn routing_is_structurally_valid(seed in 0u64..10_000, luts in 4usize..16) {
+        use multimode::route::{nets_for_circuit, verify_routing, Router, RouterOptions};
+        use multimode::boolexpr::ModeSet;
+        let circuit = build_circuit("r", 4, luts, seed + 77);
+        let arch = Architecture::new(4, 5, 6)
+            .with_fc(0.5, 0.5)
+            .with_switch_pattern(multimode::arch::SwitchPattern::Wilton);
+        let placement = random_placement(std::slice::from_ref(&circuit), &arch, seed + 3);
+        let rrg = multimode::arch::RoutingGraph::build(&arch);
+        let p0 = &placement.modes[0];
+        let nets = nets_for_circuit(&circuit, &rrg, ModeSet::single(0), |b| p0.site_of(b));
+        let mut router = Router::new(&rrg, RouterOptions::default());
+        let routing = router.route(&nets);
+        if routing.success {
+            verify_routing(&rrg, &nets, &routing, 1).map_err(|e| {
+                proptest::test_runner::TestCaseError::fail(e)
+            })?;
+        } else {
+            prop_assert!(routing.overused_nodes > 0 || routing.unrouted_sinks > 0);
+        }
+    }
+}
