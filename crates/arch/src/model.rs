@@ -151,6 +151,26 @@ impl Architecture {
         self
     }
 
+    /// A stable, content-addressed fingerprint of every parameter that
+    /// affects placement and routing on this architecture.
+    ///
+    /// Two architectures with equal fingerprints build identical site sets
+    /// and routing-resource graphs; floats are encoded via their exact bit
+    /// patterns. Used by the batch engine's stage cache keys.
+    #[must_use]
+    pub fn fingerprint(&self) -> String {
+        format!(
+            "arch-v1;k={};grid={};w={};io={};fci={:016x};fco={:016x};sw={:?}",
+            self.k,
+            self.grid,
+            self.channel_width,
+            self.io_capacity,
+            self.fc_in.to_bits(),
+            self.fc_out.to_bits(),
+            self.switch_pattern,
+        )
+    }
+
     /// The kind of block `site` can host, or `None` for the unused corner
     /// positions and out-of-range coordinates.
     #[must_use]
@@ -159,10 +179,8 @@ impl Architecture {
         let (x, y) = (site.x, site.y);
         let on_x_ring = x == 0 || x == n + 1;
         let on_y_ring = y == 0 || y == n + 1;
-        if x > n + 1 || y > n + 1 {
-            None
-        } else if on_x_ring && on_y_ring {
-            None // corner
+        if x > n + 1 || y > n + 1 || (on_x_ring && on_y_ring) {
+            None // out of range, or an unused corner position
         } else if on_x_ring || on_y_ring {
             (usize::from(site.sub) < self.io_capacity).then_some(SiteKind::Io)
         } else {

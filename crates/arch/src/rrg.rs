@@ -388,9 +388,9 @@ impl RoutingGraph {
             match arch.switch_pattern {
                 crate::SwitchPattern::Disjoint => 0,
                 crate::SwitchPattern::Wilton => match (i, j) {
-                    (0, 1) | (2, 3) => 0,            // straight
-                    (0, 2) | (1, 3) => 1,            // W–S, E–N: +1
-                    (0, 3) | (1, 2) => -1,           // W–N, E–S: −1
+                    (0, 1) | (2, 3) => 0,  // straight
+                    (0, 2) | (1, 3) => 1,  // W–S, E–N: +1
+                    (0, 3) | (1, 2) => -1, // W–N, E–S: −1
                     _ => unreachable!("i < j side pairs"),
                 },
             }
@@ -401,9 +401,9 @@ impl RoutingGraph {
                     let side_wire = |side: usize, track: usize| -> Option<RrNodeId> {
                         match side {
                             0 => (x >= 1).then(|| wire(chanx_id(x, y, track))),
-                            1 => (x + 1 <= n).then(|| wire(chanx_id(x + 1, y, track))),
+                            1 => (x < n).then(|| wire(chanx_id(x + 1, y, track))),
                             2 => (y >= 1).then(|| wire(chany_id(x, y, track))),
-                            _ => (y + 1 <= n).then(|| wire(chany_id(x, y + 1, track))),
+                            _ => (y < n).then(|| wire(chany_id(x, y + 1, track))),
                         }
                     };
                     for i in 0..4 {
@@ -672,10 +672,7 @@ mod tests {
         assert_eq!(wires.len(), 4 * arch.channel_width);
         for e in wires {
             assert!(e.switch.is_some());
-            assert!(matches!(
-                rrg.node(e.to).kind,
-                RrKind::ChanX | RrKind::ChanY
-            ));
+            assert!(matches!(rrg.node(e.to).kind, RrKind::ChanX | RrKind::ChanY));
         }
     }
 
@@ -687,9 +684,7 @@ mod tests {
         // Count IPINs that feed this sink.
         let mut feeders = 0;
         for id in rrg.node_ids() {
-            if rrg.node(id).kind == RrKind::Ipin
-                && rrg.edges(id).iter().any(|e| e.to == sink)
-            {
+            if rrg.node(id).kind == RrKind::Ipin && rrg.edges(id).iter().any(|e| e.to == sink) {
                 feeders += 1;
                 assert_eq!(rrg.node(id).x, 2);
             }
@@ -725,7 +720,9 @@ mod tests {
             if matches!(rrg.node(id).kind, RrKind::ChanX | RrKind::ChanY) {
                 for e in rrg.edges(id) {
                     if matches!(rrg.node(e.to).kind, RrKind::ChanX | RrKind::ChanY) {
-                        *uses.entry(e.switch.expect("wire-wire is switched").index()).or_default() += 1;
+                        *uses
+                            .entry(e.switch.expect("wire-wire is switched").index())
+                            .or_default() += 1;
                     }
                 }
             }

@@ -107,7 +107,9 @@ fn bench_merge_and_bits(c: &mut Criterion) {
     let arch = Architecture::new(4, 8, 10).with_switch_pattern(SwitchPattern::Wilton);
     let (placement, _) = place_combined(&pair, &arch, &PlacerOptions::default()).unwrap();
     c.bench_function("flow/tunable_extraction", |b| {
-        b.iter(|| TunableCircuit::from_placement(std::hint::black_box(&pair), &placement, &arch).unwrap())
+        b.iter(|| {
+            TunableCircuit::from_placement(std::hint::black_box(&pair), &placement, &arch).unwrap()
+        })
     });
 
     let tunable = TunableCircuit::from_placement(&pair, &placement, &arch).unwrap();

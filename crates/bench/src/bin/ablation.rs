@@ -3,12 +3,18 @@
 //! * X1 — hybrid combined-placement cost (WL + lambda*connections);
 //! * X2 — sharing-aware routing on/off (TRoute-style switch reuse).
 //!
-//! Run on the first RegExp pair by default (`--set`/`--pairs` as usual).
+//! Run on the first RegExp pairs by default (`--set`/`--pairs` as usual).
+//! Every variant × pair cell is one `mm-engine` job, so the whole sweep
+//! fans out across the thread pool. With `--cache DIR`, X2's router
+//! variants can reuse X1's wire-length placements via the stage cache —
+//! opportunistic on a cold cache (concurrent cells may race past each
+//! other's writes), guaranteed on a warm re-run.
 
 use mm_bench::{BenchmarkSet, RunConfig};
+use mm_engine::{FlowKind, Job, JobOutcome};
 use mm_flow::report::render_table;
-use mm_flow::{DcsFlow, MultiModeInput};
 use mm_place::CostKind;
+use std::time::Instant;
 
 fn main() {
     let mut config = RunConfig::from_args(std::env::args().skip(1));
@@ -20,14 +26,10 @@ fn main() {
     }
     let set = config.sets()[0];
     let circuits = set.circuits();
-    let pairs: Vec<(usize, usize)> = set
-        .pairs()
-        .into_iter()
-        .take(config.max_pairs)
-        .collect();
+    let pairs: Vec<(usize, usize)> = set.pairs().into_iter().take(config.max_pairs).collect();
+    let engine = config.engine();
 
     // ---- X1: placement cost sweep -----------------------------------------
-    println!("\nAblation X1: combined-placement cost function (DCS variants)\n");
     let variants: Vec<(String, CostKind)> = vec![
         ("wirelength".into(), CostKind::WireLength),
         ("edge-matching".into(), CostKind::EdgeMatching),
@@ -46,25 +48,71 @@ fn main() {
             },
         ),
     ];
-    let mut rows = Vec::new();
+    let mut x1_jobs = Vec::new();
     for (label, cost) in &variants {
-        let mut param = 0usize;
-        let mut merged = 0usize;
-        let mut conns = 0usize;
-        let mut wires = 0usize;
         for &(i, j) in &pairs {
-            let input =
-                MultiModeInput::new(vec![circuits[i].clone(), circuits[j].clone()]).unwrap();
-            let r = DcsFlow::new(config.options)
-                .with_cost(*cost)
-                .run(&input)
-                .expect("flow runs");
-            param += r.parameterized_routing_bits();
-            let stats = r.tunable.stats();
-            merged += stats.merged_connections;
-            conns += stats.connections;
-            wires += (0..2).map(|m| r.wires_in_mode(m)).sum::<usize>();
+            x1_jobs.push(Job {
+                name: format!("{label}/{}+{}", circuits[i].name(), circuits[j].name()),
+                circuits: vec![circuits[i].clone(), circuits[j].clone()],
+                flow: FlowKind::Dcs(*cost),
+                options: config.options,
+            });
         }
+    }
+
+    // ---- X2: sharing-aware routing on/off -----------------------------------
+    let router_variants = [("sharing on", 0.35, 0.2), ("sharing off", 0.0, 0.0)];
+    let mut x2_jobs = Vec::new();
+    for (label, discount, penalty) in router_variants {
+        let mut options = config.options;
+        options.router.share_discount = discount;
+        options.router.param_penalty = penalty;
+        for &(i, j) in &pairs {
+            x2_jobs.push(Job {
+                name: format!("{label}/{}+{}", circuits[i].name(), circuits[j].name()),
+                circuits: vec![circuits[i].clone(), circuits[j].clone()],
+                flow: FlowKind::Dcs(CostKind::WireLength),
+                options,
+            });
+        }
+    }
+
+    // One batch: the engine interleaves every cell of both sweeps.
+    let x1_count = x1_jobs.len();
+    let mut jobs = x1_jobs;
+    jobs.append(&mut x2_jobs);
+    eprintln!(
+        "ablation: {} jobs ({} X1 + {} X2) on {} threads",
+        jobs.len(),
+        x1_count,
+        jobs.len() - x1_count,
+        engine.threads()
+    );
+    let t0 = Instant::now();
+    let report = engine.run_streamed(jobs, |r| {
+        if let Err(e) = &r.outcome {
+            eprintln!("  {}: FAILED ({e})", r.name);
+        }
+    });
+    let wall = t0.elapsed();
+
+    let dcs = |index: usize| -> &mm_engine::DcsSummary {
+        match &report.results[index].outcome {
+            Ok(JobOutcome::Dcs(s)) => s,
+            Ok(_) => unreachable!("ablation only submits DCS jobs"),
+            Err(e) => panic!("{} failed: {e}", report.results[index].name),
+        }
+    };
+
+    println!("\nAblation X1: combined-placement cost function (DCS variants)\n");
+    let mut rows = Vec::new();
+    for (v, (label, _)) in variants.iter().enumerate() {
+        let cells: Vec<&mm_engine::DcsSummary> =
+            (0..pairs.len()).map(|p| dcs(v * pairs.len() + p)).collect();
+        let param: usize = cells.iter().map(|s| s.param_bits).sum();
+        let merged: usize = cells.iter().map(|s| s.tunable.merged_connections).sum();
+        let conns: usize = cells.iter().map(|s| s.tunable.connections).sum();
+        let wires: usize = cells.iter().map(|s| s.wires.iter().sum::<usize>()).sum();
         rows.push(vec![
             label.clone(),
             format!("{}", param / pairs.len()),
@@ -80,24 +128,14 @@ fn main() {
         )
     );
 
-    // ---- X2: sharing-aware routing on/off -----------------------------------
     println!("\nAblation X2: TRoute sharing-aware routing cost (wire-length placement)\n");
     let mut rows = Vec::new();
-    for (label, discount, penalty) in
-        [("sharing on", 0.35, 0.2), ("sharing off", 0.0, 0.0)]
-    {
-        let mut options = config.options;
-        options.router.share_discount = discount;
-        options.router.param_penalty = penalty;
-        let mut param = 0usize;
-        let mut static_on = 0usize;
-        for &(i, j) in &pairs {
-            let input =
-                MultiModeInput::new(vec![circuits[i].clone(), circuits[j].clone()]).unwrap();
-            let r = DcsFlow::new(options).run(&input).expect("flow runs");
-            param += r.parameterized_routing_bits();
-            static_on += r.param.static_on_bits();
-        }
+    for (v, (label, _, _)) in router_variants.iter().enumerate() {
+        let cells: Vec<&mm_engine::DcsSummary> = (0..pairs.len())
+            .map(|p| dcs(x1_count + v * pairs.len() + p))
+            .collect();
+        let param: usize = cells.iter().map(|s| s.param_bits).sum();
+        let static_on: usize = cells.iter().map(|s| s.static_on_bits).sum();
         rows.push(vec![
             label.to_string(),
             format!("{}", param / pairs.len()),
@@ -107,5 +145,15 @@ fn main() {
     print!(
         "{}",
         render_table(&["router", "param bits", "static-on bits"], &rows)
+    );
+
+    eprintln!(
+        "\nsweep: parallel wall {:?} on {} threads vs serial cost {:?} ({:.2}x); \
+         {} placements from cache",
+        wall,
+        engine.threads(),
+        report.serial_estimate(),
+        report.serial_estimate().as_secs_f64() / wall.as_secs_f64().max(1e-9),
+        report.stats.placements_from_cache,
     );
 }

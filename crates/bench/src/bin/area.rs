@@ -26,10 +26,7 @@ fn main() {
     println!("(paper: ~50% for RegExp and MCNC)\n");
     print!("{}", render_table(&["set", "area vs static"], &rows));
 
-    if config
-        .sets()
-        .contains(&BenchmarkSet::Fir)
-    {
+    if config.sets().contains(&BenchmarkSet::Fir) {
         let generic = mm_gen::fir_generic_reference(4).lut_count();
         let suite = mm_gen::fir_suite(4);
         let sizes: Vec<usize> = suite.iter().map(LutCircuit::lut_count).collect();

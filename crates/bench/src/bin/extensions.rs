@@ -28,8 +28,7 @@ fn main() {
     let mut timing_rows = Vec::new();
     for &(i, j) in &pairs {
         let name = format!("{}+{}", circuits[i].name(), circuits[j].name());
-        let input =
-            MultiModeInput::new(vec![circuits[i].clone(), circuits[j].clone()]).unwrap();
+        let input = MultiModeInput::new(vec![circuits[i].clone(), circuits[j].clone()]).unwrap();
         let dcs = DcsFlow::new(config.options).run(&input).expect("dcs runs");
         let mdr = MdrFlow::new(config.options).run(&input).expect("mdr runs");
 
@@ -84,7 +83,13 @@ fn main() {
     print!(
         "{}",
         render_table(
-            &["pair", "all LUT bits", "param LUT bits", "speed-up std", "speed-up refined"],
+            &[
+                "pair",
+                "all LUT bits",
+                "param LUT bits",
+                "speed-up std",
+                "speed-up refined"
+            ],
             &lut_rows
         )
     );

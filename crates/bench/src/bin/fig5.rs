@@ -14,6 +14,9 @@ fn main() {
     println!("(paper: 4.6x-5.1x for both DCS variants; mean [min..max])\n");
     print!(
         "{}",
-        render_table(&["set", "MDR (base)", "DCS-Edge matching", "DCS-Wire length"], &rows)
+        render_table(
+            &["set", "MDR (base)", "DCS-Edge matching", "DCS-Wire length"],
+            &rows
+        )
     );
 }

@@ -16,6 +16,9 @@ fn main() {
     println!(" edge matching sometimes >200%; mean [min..max])\n");
     print!(
         "{}",
-        render_table(&["set", "MDR (base)", "DCS-Edge matching", "DCS-Wire length"], &rows)
+        render_table(
+            &["set", "MDR (base)", "DCS-Edge matching", "DCS-Wire length"],
+            &rows
+        )
     );
 }

@@ -11,8 +11,10 @@
 
 #![forbid(unsafe_code)]
 
+use mm_engine::{Engine, EngineOptions, FlowKind, Job, JobOutcome};
 use mm_flow::{run_pair, FlowOptions, MultiModeInput, PairMetrics, Stats};
 use mm_netlist::LutCircuit;
+use std::path::PathBuf;
 
 /// The three benchmark sets of the paper (§IV-A).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -71,6 +73,13 @@ pub struct RunConfig {
     pub options: FlowOptions,
     /// Whether `--quick` was given.
     pub quick: bool,
+    /// Engine worker threads (`0` = one per CPU, `1` = serial).
+    pub threads: usize,
+    /// Stage-cache directory for the engine (`--cache DIR`).
+    pub cache: Option<PathBuf>,
+    /// Also run the suite strictly serially and print the measured
+    /// wall-clock comparison (`--compare-serial`).
+    pub compare_serial: bool,
 }
 
 impl RunConfig {
@@ -86,6 +95,9 @@ impl RunConfig {
             max_pairs: usize::MAX,
             options: paper_options(),
             quick: false,
+            threads: 0,
+            cache: None,
+            compare_serial: false,
         };
         let mut args = args.peekable();
         while let Some(arg) = args.next() {
@@ -94,6 +106,17 @@ impl RunConfig {
                     config.quick = true;
                     config.options = quick_options();
                 }
+                "--threads" => {
+                    config.threads = args
+                        .next()
+                        .expect("--threads needs a value")
+                        .parse()
+                        .expect("--threads needs a number");
+                }
+                "--cache" => {
+                    config.cache = Some(args.next().expect("--cache needs a directory").into());
+                }
+                "--compare-serial" => config.compare_serial = true,
                 "--set" => {
                     let v = args.next().expect("--set needs a value");
                     config.set = Some(match v.as_str() {
@@ -118,7 +141,10 @@ impl RunConfig {
                         .expect("--seed needs a number");
                 }
                 other => {
-                    panic!("unknown argument '{other}' (try --quick, --set, --pairs, --seed)")
+                    panic!(
+                        "unknown argument '{other}' (try --quick, --set, --pairs, --seed, \
+                         --threads, --cache, --compare-serial)"
+                    )
                 }
             }
         }
@@ -132,6 +158,20 @@ impl RunConfig {
             Some(s) => vec![s],
             None => BenchmarkSet::ALL.to_vec(),
         }
+    }
+
+    /// Builds the batch engine this configuration asks for.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cache directory cannot be created.
+    #[must_use]
+    pub fn engine(&self) -> Engine {
+        Engine::new(EngineOptions {
+            threads: self.threads,
+            cache_dir: self.cache.clone(),
+        })
+        .expect("engine cache directory")
     }
 }
 
@@ -194,6 +234,62 @@ pub fn run_set(set: BenchmarkSet, config: &RunConfig) -> Vec<PairMetrics> {
     out
 }
 
+/// The multi-mode pairings of a set as engine jobs (full `run_pair`
+/// comparisons, named `<a>+<b>`).
+#[must_use]
+pub fn pair_jobs(set: BenchmarkSet, config: &RunConfig) -> Vec<Job> {
+    let circuits = set.circuits();
+    set.pairs()
+        .into_iter()
+        .take(config.max_pairs)
+        .map(|(i, j)| Job {
+            name: format!("{}+{}", circuits[i].name(), circuits[j].name()),
+            circuits: vec![circuits[i].clone(), circuits[j].clone()],
+            flow: FlowKind::Pair,
+            options: config.options,
+        })
+        .collect()
+}
+
+/// Runs every pair of a set through the batch engine (parallel, cached)
+/// and returns the metrics plus the engine's execution report (for
+/// wall-clock and cache accounting), logging progress like [`run_set`].
+///
+/// Failed pairs are reported and skipped, matching [`run_set`]'s
+/// behaviour on circuits that defeat one of the flows.
+#[must_use]
+pub fn run_set_engine(
+    set: BenchmarkSet,
+    config: &RunConfig,
+    engine: &Engine,
+) -> (Vec<PairMetrics>, mm_engine::BatchReport) {
+    let jobs = pair_jobs(set, config);
+    let report = engine.run_streamed(jobs, |r| match &r.outcome {
+        Ok(JobOutcome::Pair(m)) => {
+            eprintln!(
+                "  [{}] {}: speedup wl {:.2} edge {:.2}, wires wl {:.0}% edge {:.0}%",
+                set.name(),
+                r.name,
+                m.speedup_wirelength(),
+                m.speedup_edge(),
+                100.0 * m.wire_ratio_wirelength(),
+                100.0 * m.wire_ratio_edge(),
+            );
+        }
+        Ok(_) => {}
+        Err(e) => eprintln!("  [{}] {}: SKIPPED ({e})", set.name(), r.name),
+    });
+    let metrics = report
+        .results
+        .iter()
+        .filter_map(|r| match &r.outcome {
+            Ok(JobOutcome::Pair(m)) => Some(m.clone()),
+            _ => None,
+        })
+        .collect();
+    (metrics, report)
+}
+
 /// Fig. 5 row: speed-up statistics per set.
 #[must_use]
 pub fn fig5_row(set: BenchmarkSet, metrics: &[PairMetrics]) -> Vec<String> {
@@ -228,7 +324,8 @@ pub fn fig6_rows(set: BenchmarkSet, metrics: &[PairMetrics]) -> Vec<Vec<String>>
             .fold((0usize, 0usize), |(al, ar), (l, r)| (al + l, ar + r));
         (l as f64 / n, r as f64 / n)
     };
-    let scenarios: [(&str, Box<dyn Fn(&PairMetrics) -> (usize, usize)>); 3] = [
+    type BitsExtractor = Box<dyn Fn(&PairMetrics) -> (usize, usize)>;
+    let scenarios: [(&str, BitsExtractor); 3] = [
         (
             "MDR",
             Box::new(|m: &PairMetrics| (m.mdr.lut_bits, m.mdr.routing_bits)),
@@ -239,9 +336,7 @@ pub fn fig6_rows(set: BenchmarkSet, metrics: &[PairMetrics]) -> Vec<Vec<String>>
         ),
         (
             "DCS",
-            Box::new(|m: &PairMetrics| {
-                (m.dcs_wirelength.lut_bits, m.dcs_wirelength.routing_bits)
-            }),
+            Box::new(|m: &PairMetrics| (m.dcs_wirelength.lut_bits, m.dcs_wirelength.routing_bits)),
         ),
     ];
     scenarios
@@ -303,15 +398,42 @@ mod tests {
     #[test]
     fn arg_parsing() {
         let c = RunConfig::from_args(
-            ["--quick", "--set", "fir", "--pairs", "2", "--seed", "7"]
-                .iter()
-                .map(ToString::to_string),
+            [
+                "--quick",
+                "--set",
+                "fir",
+                "--pairs",
+                "2",
+                "--seed",
+                "7",
+                "--threads",
+                "3",
+                "--cache",
+                "/tmp/c",
+                "--compare-serial",
+            ]
+            .iter()
+            .map(ToString::to_string),
         );
         assert!(c.quick);
         assert_eq!(c.set, Some(BenchmarkSet::Fir));
         assert_eq!(c.max_pairs, 2);
         assert_eq!(c.options.placer.seed, 7);
         assert_eq!(c.sets(), vec![BenchmarkSet::Fir]);
+        assert_eq!(c.threads, 3);
+        assert_eq!(c.cache, Some(std::path::PathBuf::from("/tmp/c")));
+        assert!(c.compare_serial);
+    }
+
+    #[test]
+    fn pair_jobs_cover_the_pairings() {
+        let mut config = RunConfig::from_args(["--quick".to_string()].into_iter());
+        config.max_pairs = 2;
+        let jobs = pair_jobs(BenchmarkSet::RegExp, &config);
+        assert_eq!(jobs.len(), 2);
+        assert_eq!(jobs[0].name, "regexp0+regexp1");
+        assert_eq!(jobs[0].circuits.len(), 2);
+        assert!(matches!(jobs[0].flow, FlowKind::Pair));
     }
 
     #[test]

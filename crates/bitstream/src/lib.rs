@@ -323,7 +323,7 @@ pub fn speedup(mdr: &RewriteCost, dcs: &RewriteCost) -> f64 {
 mod tests {
     use super::*;
     use mm_arch::Site;
-    use mm_route::{RouteNet, Router, RouterOptions, RouteSink};
+    use mm_route::{RouteNet, RouteSink, Router, RouterOptions};
 
     /// SwitchId has no public constructor by design; harvest real ids from
     /// a small RRG.
@@ -430,7 +430,10 @@ mod tests {
         assert!(routing.success);
         let param = ParamConfig::from_routing(&routing, space);
         assert!(param.static_on_bits() > 0, "shared connection is static");
-        assert!(param.parameterized_bits() > 0, "mode-1 net is parameterized");
+        assert!(
+            param.parameterized_bits() > 0,
+            "mode-1 net is parameterized"
+        );
         assert_eq!(
             param.used_switches(),
             param.static_on_bits() + param.parameterized_bits(),
@@ -472,7 +475,10 @@ mod tests {
         let param = ParamConfig::from_routing(&routing, space);
         let dcs = model.dcs_cost(&param);
         let mdr = model.mdr_cost();
-        assert_eq!(dcs.routing_bits, 0, "fully shared routing: nothing to rewrite");
+        assert_eq!(
+            dcs.routing_bits, 0,
+            "fully shared routing: nothing to rewrite"
+        );
         assert!(speedup(&mdr, &dcs) > 1.0);
     }
 
@@ -611,7 +617,7 @@ mod frame_tests {
     use super::*;
     use mm_arch::{Architecture, RoutingGraph, Site};
     use mm_boolexpr::{ModeSet, ModeSpace};
-    use mm_route::{RouteNet, Router, RouterOptions, RouteSink};
+    use mm_route::{RouteNet, RouteSink, Router, RouterOptions};
 
     #[test]
     fn total_frames_rounds_up() {
@@ -666,7 +672,7 @@ mod frame_tests {
         let frames = FrameModel::new(rrg.switch_count(), 8);
         // ids[40] and ids[41] differ; same or adjacent frame.
         let d = frames.frames_differing(&a, &b);
-        assert!(d >= 1 && d <= 2, "differing frames {d}");
+        assert!((1..=2).contains(&d), "differing frames {d}");
         assert_eq!(frames.frames_differing(&a, &a), 0);
     }
 }

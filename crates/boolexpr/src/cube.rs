@@ -49,7 +49,7 @@ impl Cube {
     /// Panics if `bits` is zero or greater than 64.
     #[must_use]
     pub fn minterm(code: u64, bits: usize) -> Self {
-        assert!(bits >= 1 && bits <= 64, "bits must be in 1..=64");
+        assert!((1..=64).contains(&bits), "bits must be in 1..=64");
         let care = if bits == 64 {
             u64::MAX
         } else {
@@ -118,7 +118,11 @@ impl Cube {
     /// Iterates over the codes (assignments over `bits` variables) covered
     /// by this cube, ascending.
     pub fn codes(self, bits: usize) -> impl Iterator<Item = u64> {
-        let total = if bits >= 64 { u64::MAX } else { (1u64 << bits) - 1 };
+        let total = if bits >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << bits) - 1
+        };
         let free = total & !self.care;
         let base = self.value & total;
         // Iterate subsets of the free mask in ascending order using the

@@ -43,7 +43,7 @@ impl ModeSpace {
     #[must_use]
     pub fn new(mode_count: usize) -> Self {
         assert!(
-            mode_count >= 1 && mode_count <= MAX_MODES,
+            (1..=MAX_MODES).contains(&mode_count),
             "mode count must be in 1..={MAX_MODES}, got {mode_count}"
         );
         Self {

@@ -4,6 +4,7 @@
 //! ```text
 //! mmflow merge a.blif b.blif [...]   run the DCS flow on BLIF mode circuits
 //! mmflow mdr   a.blif b.blif [...]   run the MDR baseline
+//! mmflow batch SPEC [...]            run a whole suite through mm-engine
 //! mmflow stats a.blif                print circuit statistics
 //! mmflow gen   <regexp|fir|mcnc> DIR write a benchmark suite as BLIF files
 //! ```
@@ -22,6 +23,11 @@ USAGE:
   mmflow merge <MODE.blif>... [OPTIONS]   DCS flow: merge modes, report the
                                           parameterized configuration
   mmflow mdr   <MODE.blif>... [OPTIONS]   MDR baseline: separate configs
+  mmflow batch <SPEC> [OPTIONS]           run a batch of multi-mode problems
+                                          in parallel with stage caching;
+                                          SPEC is a JSON spec file, a
+                                          directory of BLIF mode groups, or
+                                          suite:<regexp|fir|mcnc>
   mmflow stats <CIRCUIT.blif>...          circuit statistics
   mmflow gen <regexp|fir|mcnc> <DIR>      write a benchmark suite as BLIF
 
@@ -33,6 +39,20 @@ OPTIONS:
   --seed <S>       placer seed (default 0x5eed)
   --effort <E>     annealing effort (VPR inner_num, default 1)
   --bits <N>       print the first N parameterized bit expressions
+
+BATCH OPTIONS:
+  -k <N>           LUT width for directory BLIFs and generated suites
+                   (default 4; spec files may set their own \"k\")
+  --threads <N>    worker threads (default: one per CPU; 1 = serial)
+  --serial         shorthand for --threads 1
+  --cache <DIR>    stage-cache directory (default .mmcache)
+  --no-cache       disable the stage cache
+  --jobs <N>       only run the first N jobs of the batch
+  --out <FILE>     write JSONL results to FILE instead of stdout
+
+Batch results stream to stdout as one JSON record per job, in job order,
+byte-identical for serial, parallel and cached executions; the summary
+(timings + cache counters) goes to stderr. Exits non-zero if a job fails.
 ";
 
 fn main() -> ExitCode {
@@ -127,6 +147,7 @@ fn run(args: &[String]) -> Result<(), Box<dyn Error>> {
     match command.as_str() {
         "merge" => cmd_merge(&args[1..]),
         "mdr" => cmd_mdr(&args[1..]),
+        "batch" => cmd_batch(&args[1..]),
         "stats" => cmd_stats(&args[1..]),
         "gen" => cmd_gen(&args[1..]),
         "help" | "--help" | "-h" => {
@@ -194,6 +215,87 @@ fn cmd_mdr(args: &[String]) -> Result<(), Box<dyn Error>> {
     println!("diff rewrite (average): {}", result.average_diff_cost());
     for m in 0..input.mode_count() {
         println!("wires in mode {m}: {}", result.wires_in_mode(m));
+    }
+    Ok(())
+}
+
+fn cmd_batch(args: &[String]) -> Result<(), Box<dyn Error>> {
+    use mm_engine::{load_spec, Engine, EngineOptions};
+    use std::io::Write;
+
+    let mut spec: Option<String> = None;
+    let mut threads = 0usize;
+    let mut cache_dir: Option<std::path::PathBuf> = Some(".mmcache".into());
+    let mut max_jobs = usize::MAX;
+    let mut out_path: Option<String> = None;
+    let mut flow = FlowOptions::default();
+    let mut k = 4usize;
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "-k" => k = next_value(&mut it, "-k")?.parse()?,
+            "--threads" => threads = next_value(&mut it, "--threads")?.parse()?,
+            "--serial" => threads = 1,
+            "--cache" => {
+                cache_dir = Some(next_value(&mut it, "--cache")?.into());
+            }
+            "--no-cache" => cache_dir = None,
+            "--jobs" => max_jobs = next_value(&mut it, "--jobs")?.parse()?,
+            "--out" => out_path = Some(next_value(&mut it, "--out")?.clone()),
+            "--width" => {
+                flow.width = WidthChoice::Fixed(next_value(&mut it, "--width")?.parse()?);
+            }
+            "--seed" => flow.placer.seed = next_value(&mut it, "--seed")?.parse()?,
+            "--effort" => flow.placer.inner_num = next_value(&mut it, "--effort")?.parse()?,
+            other if other.starts_with('-') => {
+                return Err(format!("unknown batch option '{other}'").into());
+            }
+            positional if spec.is_none() => spec = Some(positional.to_string()),
+            extra => return Err(format!("unexpected argument '{extra}'").into()),
+        }
+    }
+    let spec = spec.ok_or("batch needs a spec: a JSON file, a directory, or suite:<name>")?;
+
+    let mut batch = load_spec(&spec, &flow, k)?;
+    batch.jobs.truncate(max_jobs);
+    let job_count = batch.jobs.len();
+    eprintln!("batch: {} jobs from {spec}", job_count);
+
+    let engine = Engine::new(EngineOptions { threads, cache_dir })?;
+    let mut sink: Box<dyn Write + Send> = match &out_path {
+        Some(path) => Box::new(std::io::BufWriter::new(std::fs::File::create(path)?)),
+        None => Box::new(std::io::stdout()),
+    };
+    // A failed record write (disk full, broken pipe) must fail the run —
+    // and cancel the jobs that have not started yet, instead of burning
+    // hours computing results nobody can read.
+    let cancelled = std::sync::atomic::AtomicBool::new(false);
+    let mut write_error: Option<std::io::Error> = None;
+    let report = engine.run_streamed_cancellable(batch.jobs, Some(&cancelled), |r| {
+        if write_error.is_none() {
+            if let Err(e) = writeln!(sink, "{}", r.to_json_line()) {
+                write_error = Some(e);
+                cancelled.store(true, std::sync::atomic::Ordering::Relaxed);
+            }
+        }
+    });
+    if let Some(e) = write_error {
+        return Err(format!("writing results: {e}").into());
+    }
+    sink.flush()?;
+
+    eprintln!("{}", report.summary_json());
+    eprintln!(
+        "wall {:?} vs serial-estimate {:?} on {} threads ({} results, {} placements from cache)",
+        report.wall,
+        report.serial_estimate(),
+        report.threads,
+        report.stats.results_from_cache,
+        report.stats.placements_from_cache,
+    );
+    if report.stats.failed > 0 {
+        return Err(format!("{} of {} jobs failed", report.stats.failed, job_count).into());
     }
     Ok(())
 }
@@ -276,8 +378,11 @@ mod tests {
         // Generating all suites is slow; use stats on a hand-written file.
         std::fs::create_dir_all(&dir).unwrap();
         let file = dir.join("toy.blif");
-        std::fs::write(&file, ".model toy\n.inputs a b\n.outputs y\n.names a b y\n11 1\n.end\n")
-            .unwrap();
+        std::fs::write(
+            &file,
+            ".model toy\n.inputs a b\n.outputs y\n.names a b y\n11 1\n.end\n",
+        )
+        .unwrap();
         run(&strings(&["stats", file.to_str().unwrap()])).unwrap();
         let _ = std::fs::remove_dir_all(&dir);
     }

@@ -60,7 +60,11 @@ fn merge_command_reports_speedup() {
         .output()
         .unwrap();
     let stdout = String::from_utf8_lossy(&out.stdout);
-    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(stdout.contains("speed-up"), "{stdout}");
     assert!(stdout.contains("tunable"), "{stdout}");
     let _ = std::fs::remove_dir_all(&dir);
@@ -72,7 +76,13 @@ fn mdr_command_reports_costs() {
     let a = write_blif(&dir, "a.blif", MODE_A);
     let b = write_blif(&dir, "b.blif", MODE_B);
     let out = mmflow()
-        .args(["mdr", a.to_str().unwrap(), b.to_str().unwrap(), "--width", "6"])
+        .args([
+            "mdr",
+            a.to_str().unwrap(),
+            b.to_str().unwrap(),
+            "--width",
+            "6",
+        ])
         .output()
         .unwrap();
     assert!(out.status.success());
@@ -86,11 +96,111 @@ fn mdr_command_reports_costs() {
 fn stats_command_prints_counts() {
     let dir = tmpdir("stats");
     let a = write_blif(&dir, "a.blif", MODE_A);
-    let out = mmflow().args(["stats", a.to_str().unwrap()]).output().unwrap();
+    let out = mmflow()
+        .args(["stats", a.to_str().unwrap()])
+        .output()
+        .unwrap();
     assert!(out.status.success());
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("LUTs"), "{stdout}");
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn batch_command_streams_jsonl_and_summary() {
+    let dir = tmpdir("batch");
+    // Two mode groups → two jobs.
+    for group in ["g0", "g1"] {
+        let gdir = dir.join(group);
+        std::fs::create_dir_all(&gdir).unwrap();
+        write_blif(&gdir, "a.blif", MODE_A);
+        write_blif(&gdir, "b.blif", MODE_B);
+    }
+    let cache = dir.join("cache");
+    let run = || {
+        mmflow()
+            .args([
+                "batch",
+                dir.to_str().unwrap(),
+                "--width",
+                "6",
+                "--cache",
+                cache.to_str().unwrap(),
+            ])
+            .output()
+            .unwrap()
+    };
+    let cold = run();
+    assert!(
+        cold.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&cold.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&cold.stdout);
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert_eq!(lines.len(), 2, "{stdout}");
+    assert!(
+        lines[0].starts_with(r#"{"name":"g0","flow":"dcs","status":"ok""#),
+        "{stdout}"
+    );
+    assert!(lines[1].contains(r#""name":"g1""#), "{stdout}");
+    let stderr = String::from_utf8_lossy(&cold.stderr);
+    assert!(stderr.contains("\"jobs\":2"), "{stderr}");
+
+    // Warm re-run: byte-identical stdout, zero recomputation.
+    let warm = run();
+    assert!(warm.status.success());
+    assert_eq!(warm.stdout, cold.stdout, "cache transparency");
+    let stderr = String::from_utf8_lossy(&warm.stderr);
+    assert!(stderr.contains("\"stages_recomputed\":0"), "{stderr}");
+    assert!(stderr.contains("\"results_from_cache\":2"), "{stderr}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn batch_serial_equals_parallel() {
+    let dir = tmpdir("batch_det");
+    for group in ["p0", "p1", "p2"] {
+        let gdir = dir.join(group);
+        std::fs::create_dir_all(&gdir).unwrap();
+        write_blif(&gdir, "a.blif", MODE_A);
+        write_blif(&gdir, "b.blif", MODE_B);
+    }
+    let run = |threads: &str| {
+        mmflow()
+            .args([
+                "batch",
+                dir.to_str().unwrap(),
+                "--width",
+                "6",
+                "--no-cache",
+                "--threads",
+                threads,
+            ])
+            .output()
+            .unwrap()
+    };
+    let serial = run("1");
+    let parallel = run("4");
+    assert!(serial.status.success() && parallel.status.success());
+    assert_eq!(serial.stdout, parallel.stdout, "byte-identical");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn batch_rejects_bad_specs() {
+    let out = mmflow()
+        .args(["batch", "suite:bogus", "--no-cache"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let out = mmflow().args(["batch"]).output().unwrap();
+    assert!(!out.status.success());
+    let out = mmflow()
+        .args(["batch", "/nonexistent/spec.json", "--no-cache"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
 }
 
 #[test]

@@ -19,7 +19,7 @@ use mm_place::{place_combined, place_single, CostKind, PlacerOptions};
 use mm_route::{nets_for_circuit, verify_routing, Router, RouterOptions};
 
 /// All per-pair measurements used by the figures.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PairMetrics {
     /// Human-readable id, e.g. `regexp0+regexp3`.
     pub name: String,
@@ -148,9 +148,7 @@ pub fn run_pair(
                 options,
                 &single_router,
                 &format!("MDR mode {m}"),
-                |rrg| {
-                    nets_for_circuit(circuit, rrg, ModeSet::single(0), |b| placement.site_of(b))
-                },
+                |rrg| nets_for_circuit(circuit, rrg, ModeSet::single(0), |b| placement.site_of(b)),
             )?;
             w = w.max(wm);
         }
@@ -212,8 +210,7 @@ pub fn run_pair(
             |rrg| tunable.route_nets(rrg),
         )?;
         let model = ConfigModel::new(&arch, &rrg);
-        verify_routing(&rrg, &nets, &routing, input.mode_count())
-            .map_err(FlowError::Internal)?;
+        verify_routing(&rrg, &nets, &routing, input.mode_count()).map_err(FlowError::Internal)?;
         let wires = (0..input.mode_count())
             .map(|m| routing.wires_in_mode(&rrg, m))
             .collect();
@@ -224,8 +221,7 @@ pub fn run_pair(
     let (wl_cost, wl_wires, width_wl) = route_tunable(&wl_tunable, width_wl, "wl")?;
 
     // ---- metrics --------------------------------------------------------------
-    let mean =
-        |w: &[usize]| -> f64 { w.iter().sum::<usize>() as f64 / w.len().max(1) as f64 };
+    let mean = |w: &[usize]| -> f64 { w.iter().sum::<usize>() as f64 / w.len().max(1) as f64 };
     let diff = {
         let m = input.mode_count();
         let mut total = 0usize;
@@ -242,7 +238,7 @@ pub fn run_pair(
         }
         RewriteCost {
             lut_bits: mdr_model.lut_bits,
-            routing_bits: if pairs == 0 { 0 } else { total / pairs },
+            routing_bits: total.checked_div(pairs).unwrap_or_default(),
         }
     };
 

@@ -82,7 +82,11 @@ impl MultiModeInput {
     /// Logic blocks of the largest mode — what sizes the region.
     #[must_use]
     pub fn max_luts(&self) -> usize {
-        self.circuits.iter().map(LutCircuit::lut_count).max().unwrap_or(0)
+        self.circuits
+            .iter()
+            .map(LutCircuit::lut_count)
+            .max()
+            .unwrap_or(0)
     }
 
     /// IO pads of the largest mode.
@@ -145,7 +149,35 @@ impl Default for FlowOptions {
     }
 }
 
+impl WidthChoice {
+    /// A stable fingerprint of the width policy, used by the batch
+    /// engine's stage cache keys.
+    #[must_use]
+    pub fn fingerprint(&self) -> String {
+        match self {
+            WidthChoice::Relaxed => "relaxed".to_string(),
+            WidthChoice::Fixed(w) => format!("fixed({w})"),
+        }
+    }
+}
+
 impl FlowOptions {
+    /// A stable fingerprint of every option that affects flow results
+    /// (floats by bit pattern), used by the batch engine's stage cache
+    /// keys.
+    #[must_use]
+    pub fn fingerprint(&self) -> String {
+        format!(
+            "flow-v1;{};{};width={};maxw={};fci={:016x};fco={:016x}",
+            self.placer.fingerprint(),
+            self.router.fingerprint(),
+            self.width.fingerprint(),
+            self.max_width,
+            self.fc_in.to_bits(),
+            self.fc_out.to_bits(),
+        )
+    }
+
     /// The base architecture (before width resolution) for an input.
     #[must_use]
     pub fn base_arch(&self, input: &MultiModeInput) -> Architecture {
@@ -290,7 +322,9 @@ impl MdrResult {
     /// Mean wires per mode.
     #[must_use]
     pub fn mean_wires(&self) -> f64 {
-        let total: usize = (0..self.routings.len()).map(|m| self.wires_in_mode(m)).sum();
+        let total: usize = (0..self.routings.len())
+            .map(|m| self.wires_in_mode(m))
+            .sum();
         total as f64 / self.routings.len() as f64
     }
 }
@@ -308,6 +342,12 @@ impl MdrFlow {
         Self { options }
     }
 
+    /// The flow options.
+    #[must_use]
+    pub fn options(&self) -> &FlowOptions {
+        &self.options
+    }
+
     /// Runs MDR: places and routes every mode separately on the shared
     /// region.
     ///
@@ -315,17 +355,25 @@ impl MdrFlow {
     ///
     /// Fails if a mode cannot be placed or routed.
     pub fn run(&self, input: &MultiModeInput) -> Result<MdrResult, FlowError> {
+        let placements = self.place(input)?;
+        self.run_with_placements(input, placements)
+    }
+
+    /// Stage 1 of MDR: conventional single-circuit annealing of every
+    /// mode on the shared region.
+    ///
+    /// This is the expensive, seed-determined stage; the batch engine
+    /// caches its output by content address.
+    ///
+    /// # Errors
+    ///
+    /// Fails if a mode cannot be placed.
+    pub fn place(&self, input: &MultiModeInput) -> Result<Vec<Placement>, FlowError> {
         let base = self.options.base_arch(input);
-        let router = RouterOptions {
-            mode_count: 1,
-            ..self.options.router
-        };
         let placer = PlacerOptions {
             cost: CostKind::WireLength,
             ..self.options.placer
         };
-
-        // Per-mode placements (conventional single-circuit annealing).
         let mut placements = Vec::with_capacity(input.mode_count());
         for (m, circuit) in input.circuits().iter().enumerate() {
             let opts = PlacerOptions {
@@ -335,6 +383,38 @@ impl MdrFlow {
             let (p, _) = mm_place::place_single(circuit, &base, &opts)?;
             placements.push(p);
         }
+        Ok(placements)
+    }
+
+    /// Stage 2 of MDR: width resolution, per-mode routing and
+    /// configuration extraction on top of existing placements.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the placements do not fit the input or a mode cannot be
+    /// routed.
+    pub fn run_with_placements(
+        &self,
+        input: &MultiModeInput,
+        placements: Vec<Placement>,
+    ) -> Result<MdrResult, FlowError> {
+        let base = self.options.base_arch(input);
+        let router = RouterOptions {
+            mode_count: 1,
+            ..self.options.router
+        };
+        if placements.len() != input.mode_count() {
+            return Err(FlowError::Input(format!(
+                "{} placements for {} modes",
+                placements.len(),
+                input.mode_count()
+            )));
+        }
+        // Wrap (not clone) the placements for verification, then take
+        // them back.
+        let wrapped = MultiPlacement { modes: placements };
+        mm_place::verify_placement(input.circuits(), &base, &wrapped).map_err(FlowError::Input)?;
+        let placements = wrapped.modes;
 
         // Width: the maximum over the modes' minima, relaxed 20%.
         let width = match self.options.width {
@@ -344,9 +424,7 @@ impl MdrFlow {
                 for (m, circuit) in input.circuits().iter().enumerate() {
                     let placement = &placements[m];
                     let found = min_channel_width(&base, &router, self.options.max_width, |rrg| {
-                        nets_for_circuit(circuit, rrg, ModeSet::single(0), |b| {
-                            placement.site_of(b)
-                        })
+                        nets_for_circuit(circuit, rrg, ModeSet::single(0), |b| placement.site_of(b))
                     })
                     .ok_or(FlowError::Unroutable {
                         max_width: self.options.max_width,
@@ -369,9 +447,8 @@ impl MdrFlow {
             let mut ok = true;
             for (m, circuit) in input.circuits().iter().enumerate() {
                 let placement = &placements[m];
-                let nets = nets_for_circuit(circuit, &rrg, ModeSet::single(0), |b| {
-                    placement.site_of(b)
-                });
+                let nets =
+                    nets_for_circuit(circuit, &rrg, ModeSet::single(0), |b| placement.site_of(b));
                 let mut route_engine = Router::new(&rrg, router);
                 let routing = route_engine.route(&nets);
                 if !routing.success {
@@ -487,6 +564,18 @@ impl DcsFlow {
         self
     }
 
+    /// The flow options.
+    #[must_use]
+    pub fn options(&self) -> &FlowOptions {
+        &self.options
+    }
+
+    /// The combined-placement cost function.
+    #[must_use]
+    pub fn cost(&self) -> CostKind {
+        self.cost
+    }
+
     /// Runs the flow: combined placement → tunable circuit → mode-aware
     /// routing → parameterized configuration.
     ///
@@ -494,17 +583,50 @@ impl DcsFlow {
     ///
     /// Fails on placement/routing failure or verification errors.
     pub fn run(&self, input: &MultiModeInput) -> Result<DcsResult, FlowError> {
+        let placement = self.place(input)?;
+        self.run_with_placement(input, placement)
+    }
+
+    /// Stage 1 of DCS: the combined placement of all modes (paper
+    /// §III-A/B).
+    ///
+    /// This is the expensive, seed-determined stage; the batch engine
+    /// caches its output by content address.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the modes cannot be placed.
+    pub fn place(&self, input: &MultiModeInput) -> Result<MultiPlacement, FlowError> {
         let base = self.options.base_arch(input);
         let placer = PlacerOptions {
             cost: self.cost,
             ..self.options.placer
         };
+        let (placement, _) = place_combined(input.circuits(), &base, &placer)?;
+        Ok(placement)
+    }
+
+    /// Stage 2 of DCS: tunable-circuit extraction, mode-aware routing and
+    /// parameterized-configuration derivation on top of an existing
+    /// combined placement.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the placement does not fit the input, or on
+    /// routing/verification failure.
+    pub fn run_with_placement(
+        &self,
+        input: &MultiModeInput,
+        placement: MultiPlacement,
+    ) -> Result<DcsResult, FlowError> {
+        let base = self.options.base_arch(input);
         let router = RouterOptions {
             mode_count: input.mode_count(),
             ..self.options.router
         };
+        mm_place::verify_placement(input.circuits(), &base, &placement)
+            .map_err(FlowError::Input)?;
 
-        let (placement, _) = place_combined(input.circuits(), &base, &placer)?;
         let tunable = TunableCircuit::from_placement(input.circuits(), &placement, &base)?;
         tunable
             .verify_projection(input.circuits(), &placement)
@@ -522,8 +644,7 @@ impl DcsFlow {
             |rrg| tunable.route_nets(rrg),
         )?;
         let model = ConfigModel::new(&arch, &rrg);
-        verify_routing(&rrg, &nets, &routing, input.mode_count())
-            .map_err(FlowError::Internal)?;
+        verify_routing(&rrg, &nets, &routing, input.mode_count()).map_err(FlowError::Internal)?;
 
         let param = ParamConfig::from_routing(&routing, input.space());
 
@@ -591,7 +712,10 @@ mod tests {
         let mut b = LutCircuit::new("b", 5);
         let i = b.add_input("i").unwrap();
         b.add_output("o", i).unwrap();
-        assert!(MultiModeInput::new(vec![a.clone(), b]).is_err(), "k mismatch");
+        assert!(
+            MultiModeInput::new(vec![a.clone(), b]).is_err(),
+            "k mismatch"
+        );
         let ok = MultiModeInput::new(vec![a]).unwrap();
         assert_eq!(ok.mode_count(), 1);
     }
@@ -654,11 +778,75 @@ mod tests {
     }
 
     #[test]
+    fn staged_run_equals_monolithic_run() {
+        let input = small_input();
+        let options = FlowOptions::default().with_fixed_width(12);
+        let flow = DcsFlow::new(options);
+        let placement = flow.place(&input).unwrap();
+        let staged = flow.run_with_placement(&input, placement).unwrap();
+        let whole = flow.run(&input).unwrap();
+        assert_eq!(
+            staged.param.parameterized_bits(),
+            whole.param.parameterized_bits()
+        );
+        assert_eq!(staged.arch.channel_width, whole.arch.channel_width);
+        assert_eq!(
+            staged.routing.total_wires(&staged.rrg),
+            whole.routing.total_wires(&whole.rrg)
+        );
+
+        let mdr_flow = MdrFlow::new(options);
+        let placements = mdr_flow.place(&input).unwrap();
+        let staged = mdr_flow.run_with_placements(&input, placements).unwrap();
+        let whole = mdr_flow.run(&input).unwrap();
+        assert_eq!(staged.mdr_cost(), whole.mdr_cost());
+        assert_eq!(staged.diff_cost(0, 1), whole.diff_cost(0, 1));
+    }
+
+    #[test]
+    fn stale_placement_rejected() {
+        let input = small_input();
+        let other = MultiModeInput::new(vec![
+            random_circuit("m0", 6, 24, 77),
+            random_circuit("m1", 6, 25, 78),
+        ])
+        .unwrap();
+        let options = FlowOptions::default().with_fixed_width(12);
+        let flow = DcsFlow::new(options);
+        // A placement computed for different circuits must not silently
+        // produce a result (this is the cache-poisoning guard).
+        let placement = flow.place(&other).unwrap();
+        let err = flow.run_with_placement(&input, placement);
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn fingerprints_are_stable_and_sensitive() {
+        let a = FlowOptions::default();
+        assert_eq!(a.fingerprint(), FlowOptions::default().fingerprint());
+        let b = FlowOptions::default().with_seed(1);
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        let c = FlowOptions::default().with_fixed_width(9);
+        assert_ne!(a.fingerprint(), c.fingerprint());
+        let mut d = FlowOptions::default();
+        d.router.astar_fac = 1.3;
+        assert_ne!(a.fingerprint(), d.fingerprint());
+        let mut e = FlowOptions::default();
+        e.placer.inner_num = 2.0;
+        assert_ne!(a.fingerprint(), e.fingerprint());
+    }
+
+    #[test]
     fn unroutable_reported() {
         let input = small_input();
-        let mut options = FlowOptions::default();
-        options.max_width = 1;
-        options.router.max_iterations = 3;
+        let options = FlowOptions {
+            max_width: 1,
+            router: RouterOptions {
+                max_iterations: 3,
+                ..RouterOptions::default()
+            },
+            ..FlowOptions::default()
+        };
         let err = DcsFlow::new(options).run(&input).unwrap_err();
         assert!(matches!(err, FlowError::Unroutable { .. }), "{err}");
     }

@@ -47,11 +47,24 @@ mod tunable;
 
 pub use error::FlowError;
 pub use experiment::{run_pair, PairMetrics};
-pub use flow::{
-    DcsFlow, DcsResult, FlowOptions, MdrFlow, MdrResult, MultiModeInput, WidthChoice,
-};
+pub use flow::{DcsFlow, DcsResult, FlowOptions, MdrFlow, MdrResult, MultiModeInput, WidthChoice};
 pub use report::Stats;
 pub use timing::{dcs_mode_timing, mdr_mode_timing, TimingReport, LUT_DELAY};
-pub use tunable::{
-    TunableCircuit, TunableConnection, TunableLutBits, TunableSite, TunableStats,
+pub use tunable::{TunableCircuit, TunableConnection, TunableLutBits, TunableSite, TunableStats};
+
+// The batch engine fans jobs out across threads; every type that crosses
+// a job boundary must be `Send + Sync`. Assert it at compile time so a
+// future `Rc`/`RefCell` regression fails here, with a readable error,
+// rather than deep inside the engine.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<MultiModeInput>();
+    assert_send_sync::<FlowOptions>();
+    assert_send_sync::<DcsFlow>();
+    assert_send_sync::<MdrFlow>();
+    assert_send_sync::<DcsResult>();
+    assert_send_sync::<MdrResult>();
+    assert_send_sync::<PairMetrics>();
+    assert_send_sync::<TunableCircuit>();
+    assert_send_sync::<FlowError>();
 };

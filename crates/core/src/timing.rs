@@ -149,12 +149,10 @@ pub fn mdr_mode_timing(input: &MultiModeInput, result: &MdrResult, mode: usize) 
     assert!(mode < input.mode_count(), "mode out of range");
     let circuit = &input.circuits()[mode];
     let placement = &result.placements[mode];
-    let nets = mm_route::nets_for_circuit(
-        circuit,
-        &result.rrg,
-        mm_boolexpr::ModeSet::single(0),
-        |b| placement.site_of(b),
-    );
+    let nets =
+        mm_route::nets_for_circuit(circuit, &result.rrg, mm_boolexpr::ModeSet::single(0), |b| {
+            placement.site_of(b)
+        });
     let delays = delay_map(&result.rrg, &nets, &result.routings[mode], 0);
     analyze(circuit, |b| placement.site_of(b), &result.rrg, &delays)
 }
@@ -232,9 +230,15 @@ mod tests {
         // A 3-LUT chain must have critical path ≥ 3 LUT delays.
         let mut c = LutCircuit::new("chain", 4);
         let a = c.add_input("a").unwrap();
-        let g1 = c.add_lut("g1", vec![a], TruthTable::var(1, 0), false).unwrap();
-        let g2 = c.add_lut("g2", vec![g1], TruthTable::var(1, 0), false).unwrap();
-        let g3 = c.add_lut("g3", vec![g2], TruthTable::var(1, 0), false).unwrap();
+        let g1 = c
+            .add_lut("g1", vec![a], TruthTable::var(1, 0), false)
+            .unwrap();
+        let g2 = c
+            .add_lut("g2", vec![g1], TruthTable::var(1, 0), false)
+            .unwrap();
+        let g3 = c
+            .add_lut("g3", vec![g2], TruthTable::var(1, 0), false)
+            .unwrap();
         c.add_output("y", g3).unwrap();
         let input = MultiModeInput::new(vec![c]).unwrap();
         let mut options = FlowOptions::default();

@@ -259,7 +259,12 @@ impl TunableCircuit {
     /// LUT of that mode — the correctness property of Fig. 4. Returns the
     /// specialised truth table (constant-0 for modes without occupant).
     #[must_use]
-    pub fn specialized_truth(&self, circuits: &[LutCircuit], site: Site, mode: usize) -> Option<TruthTable> {
+    pub fn specialized_truth(
+        &self,
+        circuits: &[LutCircuit],
+        site: Site,
+        mode: usize,
+    ) -> Option<TruthTable> {
         let bits = self.tunable_lut_bits(circuits, site)?;
         let mut t = TruthTable::const0(self.k);
         for (j, f) in bits.truth.iter().enumerate() {
@@ -288,7 +293,10 @@ impl TunableCircuit {
     pub fn route_nets(&self, rrg: &mm_arch::RoutingGraph) -> Vec<RouteNet> {
         let mut by_source: HashMap<Site, Vec<(Site, ModeSet)>> = HashMap::new();
         for c in &self.connections {
-            by_source.entry(c.source).or_default().push((c.sink, c.activation));
+            by_source
+                .entry(c.source)
+                .or_default()
+                .push((c.sink, c.activation));
         }
         let mut sources: Vec<Site> = by_source.keys().copied().collect();
         sources.sort_unstable();
@@ -412,9 +420,7 @@ mod tests {
         c
     }
 
-    fn place_pair(
-        overlap: bool,
-    ) -> (Vec<LutCircuit>, MultiPlacement, Architecture) {
+    fn place_pair(overlap: bool) -> (Vec<LutCircuit>, MultiPlacement, Architecture) {
         let arch = Architecture::new(4, 3, 4);
         let (a, b) = (chain("a"), chain("b"));
         let mut p0 = Placement::new(a.block_count());

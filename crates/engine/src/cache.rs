@@ -1,0 +1,270 @@
+//! Content-addressed on-disk stage cache.
+//!
+//! Every cacheable flow stage is keyed by a SHA-256 of everything that
+//! determines its output: the canonical BLIF of each mode circuit, the
+//! architecture fingerprint, the flow-option fingerprints, the flow kind
+//! and the stage name (see [`crate::Engine`]). Entries live under
+//!
+//! ```text
+//! <root>/<stage>/<aa>/<key>.json      (aa = first two hex digits)
+//! ```
+//!
+//! and store `{"key": …, "stage": …, "payload": …}`. Writes go through a
+//! unique temp file + atomic rename, so concurrent workers computing the
+//! same entry race benignly. Reads validate shape and embedded key;
+//! anything unreadable or mismatched counts as `corrupt`, is deleted
+//! best-effort, and falls back to recomputation — a corrupted cache can
+//! cost time, never correctness.
+
+use crate::json::{self, ObjBuilder, Value};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Hit/miss/corruption counters (engine-lifetime totals).
+#[derive(Debug, Default)]
+pub struct CacheCounters {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    writes: AtomicU64,
+    corrupt: AtomicU64,
+}
+
+/// A point-in-time snapshot of [`CacheCounters`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Entries served from disk.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Entries written.
+    pub writes: u64,
+    /// Entries that existed but failed validation and were discarded.
+    pub corrupt: u64,
+}
+
+impl CacheStats {
+    /// The activity between an earlier snapshot and this one — what one
+    /// batch contributed on a long-lived engine.
+    #[must_use]
+    pub fn since(&self, earlier: CacheStats) -> CacheStats {
+        CacheStats {
+            hits: self.hits.saturating_sub(earlier.hits),
+            misses: self.misses.saturating_sub(earlier.misses),
+            writes: self.writes.saturating_sub(earlier.writes),
+            corrupt: self.corrupt.saturating_sub(earlier.corrupt),
+        }
+    }
+}
+
+/// The stage cache rooted at one directory.
+#[derive(Debug)]
+pub struct StageCache {
+    root: PathBuf,
+    counters: CacheCounters,
+}
+
+impl StageCache {
+    /// Opens (and creates) a cache rooted at `root`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the root directory cannot be created.
+    pub fn open(root: impl Into<PathBuf>) -> std::io::Result<Self> {
+        let root = root.into();
+        std::fs::create_dir_all(&root)?;
+        Ok(Self {
+            root,
+            counters: CacheCounters::default(),
+        })
+    }
+
+    /// The cache root.
+    #[must_use]
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// The path of an entry (exposed for tests and tooling).
+    #[must_use]
+    pub fn entry_path(&self, stage: &str, key: &str) -> PathBuf {
+        let prefix = key.get(..2).unwrap_or("xx");
+        self.root
+            .join(stage)
+            .join(prefix)
+            .join(format!("{key}.json"))
+    }
+
+    /// Looks up `key` in `stage`, returning the stored payload.
+    ///
+    /// Counts a hit, a miss, or (for undecodable/mismatched entries) a
+    /// corruption — corrupted entries are removed so the follow-up
+    /// [`StageCache::put`] recreates them.
+    #[must_use]
+    pub fn get(&self, stage: &str, key: &str) -> Option<Value> {
+        let path = self.entry_path(stage, key);
+        let text = match std::fs::read_to_string(&path) {
+            Ok(text) => text,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                self.counters.misses.fetch_add(1, Ordering::Relaxed);
+                return None;
+            }
+            Err(_) => {
+                self.discard_corrupt(&path);
+                return None;
+            }
+        };
+        match json::parse(&text) {
+            Ok(entry)
+                if entry.get("key").and_then(Value::as_str) == Some(key)
+                    && entry.get("stage").and_then(Value::as_str) == Some(stage) =>
+            {
+                match entry.get("payload") {
+                    Some(payload) => {
+                        self.counters.hits.fetch_add(1, Ordering::Relaxed);
+                        Some(payload.clone())
+                    }
+                    None => {
+                        self.discard_corrupt(&path);
+                        None
+                    }
+                }
+            }
+            _ => {
+                self.discard_corrupt(&path);
+                None
+            }
+        }
+    }
+
+    /// Stores `payload` under (`stage`, `key`). Failures are swallowed —
+    /// a read-only or full cache disk degrades to recomputation.
+    pub fn put(&self, stage: &str, key: &str, payload: &Value) {
+        let path = self.entry_path(stage, key);
+        let Some(dir) = path.parent() else { return };
+        if std::fs::create_dir_all(dir).is_err() {
+            return;
+        }
+        let entry = ObjBuilder::new()
+            .field("key", key)
+            .field("stage", stage)
+            .field("payload", payload.clone())
+            .build();
+        // Unique temp name per writer; rename is atomic within the dir.
+        let tmp = dir.join(format!(
+            ".tmp-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        if std::fs::write(&tmp, entry.to_json()).is_ok() && std::fs::rename(&tmp, &path).is_ok() {
+            self.counters.writes.fetch_add(1, Ordering::Relaxed);
+        } else {
+            let _ = std::fs::remove_file(&tmp);
+        }
+    }
+
+    /// Current counter totals.
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.counters.hits.load(Ordering::Relaxed),
+            misses: self.counters.misses.load(Ordering::Relaxed),
+            writes: self.counters.writes.load(Ordering::Relaxed),
+            corrupt: self.counters.corrupt.load(Ordering::Relaxed),
+        }
+    }
+
+    fn discard_corrupt(&self, path: &Path) {
+        self.counters.corrupt.fetch_add(1, Ordering::Relaxed);
+        let _ = std::fs::remove_file(path);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_root(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("mm_engine_cache_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let cache = StageCache::open(tmp_root("mh")).unwrap();
+        let key = "a".repeat(64);
+        assert!(cache.get("placement", &key).is_none());
+        let payload = Value::Str("data".into());
+        cache.put("placement", &key, &payload);
+        assert_eq!(cache.get("placement", &key), Some(payload));
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.writes, s.corrupt), (1, 1, 1, 0));
+        let _ = std::fs::remove_dir_all(cache.root());
+    }
+
+    #[test]
+    fn stages_are_disjoint_namespaces() {
+        let cache = StageCache::open(tmp_root("ns")).unwrap();
+        let key = "b".repeat(64);
+        cache.put("placement", &key, &Value::Num(1.0));
+        assert!(cache.get("result", &key).is_none());
+        let _ = std::fs::remove_dir_all(cache.root());
+    }
+
+    #[test]
+    fn corrupted_entry_is_discarded_and_recovered() {
+        let cache = StageCache::open(tmp_root("cor")).unwrap();
+        let key = "c".repeat(64);
+        cache.put("result", &key, &Value::Num(42.0));
+
+        // Truncate the entry mid-JSON.
+        let path = cache.entry_path("result", &key);
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, &text[..text.len() / 2]).unwrap();
+
+        assert!(cache.get("result", &key).is_none(), "corrupt => miss");
+        assert!(!path.exists(), "corrupt entry removed");
+        assert_eq!(cache.stats().corrupt, 1);
+
+        // Recomputation path: put again, read back.
+        cache.put("result", &key, &Value::Num(42.0));
+        assert_eq!(cache.get("result", &key), Some(Value::Num(42.0)));
+        let _ = std::fs::remove_dir_all(cache.root());
+    }
+
+    #[test]
+    fn wrong_key_inside_entry_is_corruption() {
+        let cache = StageCache::open(tmp_root("wk")).unwrap();
+        let key1 = "d".repeat(64);
+        let key2 = "e".repeat(64);
+        cache.put("result", &key1, &Value::Bool(true));
+        // Copy entry for key1 into key2's slot: content-address mismatch.
+        let from = cache.entry_path("result", &key1);
+        let to = cache.entry_path("result", &key2);
+        std::fs::create_dir_all(to.parent().unwrap()).unwrap();
+        std::fs::copy(&from, &to).unwrap();
+        assert!(cache.get("result", &key2).is_none());
+        assert_eq!(cache.stats().corrupt, 1);
+        let _ = std::fs::remove_dir_all(cache.root());
+    }
+
+    #[test]
+    fn concurrent_writers_race_benignly() {
+        let cache = StageCache::open(tmp_root("cc")).unwrap();
+        let key = "f".repeat(64);
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    for _ in 0..50 {
+                        cache.put("result", &key, &Value::Num(7.0));
+                        let _ = cache.get("result", &key);
+                    }
+                });
+            }
+        });
+        assert_eq!(cache.get("result", &key), Some(Value::Num(7.0)));
+        assert_eq!(cache.stats().corrupt, 0, "no torn reads");
+        let _ = std::fs::remove_dir_all(cache.root());
+    }
+}

@@ -1,0 +1,502 @@
+//! The batch engine: fan-out, stage caching, streaming, summary.
+//!
+//! # Execution model
+//!
+//! [`Engine::run_streamed`] fans the jobs of a batch out across the
+//! work-stealing pool ([`crate::pool`]) and emits every [`JobResult`] —
+//! in job order, through a reorder buffer — as soon as it and all its
+//! predecessors are done. Each job is independent and seeded, so:
+//!
+//! * with `threads == 1` the batch runs strictly sequentially;
+//! * with any thread count the emitted result records are **byte
+//!   identical** to the sequential run (verified by the integration
+//!   tests — this is the engine's determinism contract).
+//!
+//! # Stage caching
+//!
+//! With a cache configured, each job consults two content-addressed
+//! stages keyed by SHA-256 over the canonical BLIF of every mode, the
+//! architecture fingerprint, the option fingerprints and the flow kind:
+//!
+//! * `result` — the finished summary. A hit skips the job entirely.
+//! * `placement` — the expensive annealing stage (DCS combined placement
+//!   or MDR per-mode placements). A hit skips annealing and re-runs only
+//!   routing/extraction. Jobs that share a mode group, seed and placer
+//!   configuration share this entry even across different router
+//!   settings.
+//!
+//! `pair` jobs (the full experimental comparison) cache at result
+//! granularity only. Failures are never cached.
+
+use crate::cache::{CacheStats, StageCache};
+use crate::hash::Sha256;
+use crate::job::{
+    multi_placement_from, placements_from, placements_value, DcsSummary, FlowKind, Job,
+    JobCacheInfo, JobOutcome, JobResult, MdrSummary,
+};
+use crate::json::ObjBuilder;
+use crate::pool;
+use mm_flow::{run_pair, DcsFlow, MdrFlow, MultiModeInput};
+use mm_netlist::blif;
+use mm_place::PlacerOptions;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// Engine configuration.
+#[derive(Debug, Clone, Default)]
+pub struct EngineOptions {
+    /// Worker threads; `0` means one per available CPU.
+    pub threads: usize,
+    /// Stage-cache root; `None` disables caching.
+    pub cache_dir: Option<PathBuf>,
+}
+
+/// Aggregated execution counters of one batch.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Jobs executed.
+    pub jobs: usize,
+    /// Jobs that produced a result.
+    pub ok: usize,
+    /// Jobs that failed.
+    pub failed: usize,
+    /// Jobs whose final result came from the cache.
+    pub results_from_cache: usize,
+    /// Jobs whose placement stage came from the cache.
+    pub placements_from_cache: usize,
+    /// Flow stages actually executed across the batch (0 on a fully warm
+    /// cache — the "zero recomputation" acceptance check).
+    pub stages_recomputed: usize,
+}
+
+/// The outcome of one batch.
+#[derive(Debug)]
+pub struct BatchReport {
+    /// Per-job results, in job order.
+    pub results: Vec<JobResult>,
+    /// Aggregated counters.
+    pub stats: EngineStats,
+    /// Low-level cache counters (zeroes when caching is disabled).
+    pub cache: CacheStats,
+    /// Wall-clock time of the whole batch.
+    pub wall: Duration,
+    /// Worker threads used.
+    pub threads: usize,
+}
+
+impl BatchReport {
+    /// Sum of per-job execution times — what a strictly serial run would
+    /// have cost (directly comparable to `wall` for the parallel
+    /// speed-up).
+    #[must_use]
+    pub fn serial_estimate(&self) -> Duration {
+        self.results.iter().map(|r| r.duration).sum()
+    }
+
+    /// The aggregated summary as one JSON line (this *does* contain
+    /// timings and cache counters, unlike the per-job records).
+    #[must_use]
+    pub fn summary_json(&self) -> String {
+        let serial = self.serial_estimate();
+        let speedup = if self.wall.as_secs_f64() > 0.0 {
+            serial.as_secs_f64() / self.wall.as_secs_f64()
+        } else {
+            1.0
+        };
+        ObjBuilder::new()
+            .field("jobs", self.stats.jobs)
+            .field("ok", self.stats.ok)
+            .field("failed", self.stats.failed)
+            .field("threads", self.threads)
+            .field("wall_ms", self.wall.as_millis() as u64)
+            .field("serial_estimate_ms", serial.as_millis() as u64)
+            .field("parallel_speedup", (speedup * 100.0).round() / 100.0)
+            .field(
+                "cache",
+                ObjBuilder::new()
+                    .field("results_from_cache", self.stats.results_from_cache)
+                    .field("placements_from_cache", self.stats.placements_from_cache)
+                    .field("stages_recomputed", self.stats.stages_recomputed)
+                    .field("hits", self.cache.hits)
+                    .field("misses", self.cache.misses)
+                    .field("writes", self.cache.writes)
+                    .field("corrupt", self.cache.corrupt)
+                    .build(),
+            )
+            .build()
+            .to_json()
+    }
+}
+
+/// The batch-execution engine.
+#[derive(Debug)]
+pub struct Engine {
+    threads: usize,
+    cache: Option<StageCache>,
+}
+
+impl Engine {
+    /// Creates an engine (opening the cache directory if configured).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the cache root cannot be created.
+    pub fn new(options: EngineOptions) -> std::io::Result<Self> {
+        let threads = if options.threads == 0 {
+            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+        } else {
+            options.threads
+        };
+        let cache = options.cache_dir.map(StageCache::open).transpose()?;
+        Ok(Self { threads, cache })
+    }
+
+    /// The resolved worker-thread count.
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The stage cache, if enabled.
+    #[must_use]
+    pub fn cache(&self) -> Option<&StageCache> {
+        self.cache.as_ref()
+    }
+
+    /// Runs a batch, discarding the stream.
+    #[must_use]
+    pub fn run(&self, jobs: Vec<Job>) -> BatchReport {
+        self.run_streamed(jobs, |_| {})
+    }
+
+    /// Runs a batch, invoking `sink` with every result **in job order**
+    /// as soon as it (and all its predecessors) completed.
+    #[must_use]
+    pub fn run_streamed(&self, jobs: Vec<Job>, sink: impl FnMut(&JobResult) + Send) -> BatchReport {
+        self.run_streamed_cancellable(jobs, None, sink)
+    }
+
+    /// [`Engine::run_streamed`] with a cancellation flag: once `cancel`
+    /// is set (typically from the sink, e.g. on a broken output pipe),
+    /// jobs that have not started yet fail fast with a "cancelled"
+    /// error instead of running their flows. In-flight jobs finish.
+    #[must_use]
+    pub fn run_streamed_cancellable(
+        &self,
+        jobs: Vec<Job>,
+        cancel: Option<&std::sync::atomic::AtomicBool>,
+        mut sink: impl FnMut(&JobResult) + Send,
+    ) -> BatchReport {
+        let t0 = Instant::now();
+        let n = jobs.len();
+        let counters = StageCounters::default();
+        let cache_before = self
+            .cache
+            .as_ref()
+            .map(StageCache::stats)
+            .unwrap_or_default();
+        let results = pool::run_ordered(
+            jobs,
+            self.threads,
+            |_, job| self.execute(&job, &counters, cancel),
+            |_, result| sink(result),
+        );
+        let wall = t0.elapsed();
+
+        let ok = results.iter().filter(|r| r.outcome.is_ok()).count();
+        let stats = EngineStats {
+            jobs: n,
+            ok,
+            failed: n - ok,
+            results_from_cache: counters.result_hits.load(Ordering::Relaxed) as usize,
+            placements_from_cache: counters.placement_hits.load(Ordering::Relaxed) as usize,
+            stages_recomputed: counters.recomputed.load(Ordering::Relaxed) as usize,
+        };
+        BatchReport {
+            results,
+            stats,
+            // Per-batch counters: a long-lived engine runs many batches
+            // against one cumulative StageCache.
+            cache: self
+                .cache
+                .as_ref()
+                .map(|c| c.stats().since(cache_before))
+                .unwrap_or_default(),
+            wall,
+            threads: self.threads,
+        }
+    }
+
+    fn execute(
+        &self,
+        job: &Job,
+        counters: &StageCounters,
+        cancel: Option<&std::sync::atomic::AtomicBool>,
+    ) -> JobResult {
+        if cancel.is_some_and(|c| c.load(Ordering::Relaxed)) {
+            return JobResult {
+                name: job.name.clone(),
+                flow: job.flow,
+                outcome: Err("cancelled before execution".to_string()),
+                cache: JobCacheInfo::default(),
+                duration: Duration::ZERO,
+            };
+        }
+        let t0 = Instant::now();
+        let mut info = JobCacheInfo::default();
+        let outcome = self.run_flow(job, &mut info);
+        counters.record(&info);
+        JobResult {
+            name: job.name.clone(),
+            flow: job.flow,
+            outcome,
+            cache: info,
+            duration: t0.elapsed(),
+        }
+    }
+
+    fn run_flow(&self, job: &Job, info: &mut JobCacheInfo) -> Result<JobOutcome, String> {
+        let input = MultiModeInput::new(job.circuits.clone()).map_err(|e| e.to_string())?;
+        // Serializing the circuits and hashing keys is only worth doing
+        // when there is a cache to consult.
+        let keys = self.cache.as_ref().map(|_| KeyContext {
+            blifs: job.circuits.iter().map(blif::to_blif).collect(),
+            arch_fp: job.options.base_arch(&input).fingerprint(),
+        });
+
+        let result_key = keys.as_ref().map(|k| {
+            stage_key(
+                "result",
+                &[
+                    &job.flow.fingerprint(),
+                    &job.options.fingerprint(),
+                    &k.arch_fp,
+                ],
+                &k.blifs,
+            )
+        });
+        if let (Some(cache), Some(key)) = (&self.cache, &result_key) {
+            if let Some(v) = cache.get("result", key) {
+                if let Some(outcome) = JobOutcome::from_value(&v, &job.name) {
+                    info.result_hit = true;
+                    return Ok(outcome);
+                }
+            }
+        }
+
+        let outcome = match job.flow {
+            FlowKind::Dcs(cost) => self.run_dcs(job, &input, cost, keys.as_ref(), info)?,
+            FlowKind::Mdr => self.run_mdr(job, &input, keys.as_ref(), info)?,
+            FlowKind::Pair => {
+                info.stages_recomputed += 1;
+                JobOutcome::Pair(
+                    run_pair(&input, &job.options, job.name.clone()).map_err(|e| e.to_string())?,
+                )
+            }
+        };
+        if let (Some(cache), Some(key)) = (&self.cache, &result_key) {
+            cache.put("result", key, &outcome.to_value());
+        }
+        Ok(outcome)
+    }
+
+    fn run_dcs(
+        &self,
+        job: &Job,
+        input: &MultiModeInput,
+        cost: mm_place::CostKind,
+        keys: Option<&KeyContext>,
+        info: &mut JobCacheInfo,
+    ) -> Result<JobOutcome, String> {
+        let flow = DcsFlow::new(job.options).with_cost(cost);
+        // The placement key deliberately excludes router options: jobs
+        // differing only in routing configuration share annealing work.
+        let placer = PlacerOptions {
+            cost,
+            ..job.options.placer
+        };
+        let key = keys.map(|k| {
+            stage_key(
+                "placement",
+                &["dcs", &placer.fingerprint(), &k.arch_fp],
+                &k.blifs,
+            )
+        });
+
+        let placement = self
+            .cached_placement(key.as_deref(), |v| multi_placement_from(&job.circuits, v))
+            .inspect(|_p| {
+                info.placement_hit = true;
+            });
+        let placement = match placement {
+            Some(p) => p,
+            None => {
+                info.stages_recomputed += 1;
+                let p = flow.place(input).map_err(|e| e.to_string())?;
+                if let (Some(cache), Some(key)) = (&self.cache, &key) {
+                    cache.put("placement", key, &placements_value(&job.circuits, &p.modes));
+                }
+                p
+            }
+        };
+
+        info.stages_recomputed += 1; // routing + extraction always run on a result miss
+        let r = flow
+            .run_with_placement(input, placement)
+            .map_err(|e| e.to_string())?;
+        let modes = input.mode_count();
+        Ok(JobOutcome::Dcs(DcsSummary {
+            grid: r.arch.grid,
+            channel_width: r.arch.channel_width,
+            modes,
+            param_bits: r.parameterized_routing_bits(),
+            static_on_bits: r.param.static_on_bits(),
+            dcs_cost: r.dcs_cost(),
+            mdr_cost: r.mdr_cost(),
+            wires: (0..modes).map(|m| r.wires_in_mode(m)).collect(),
+            tunable: r.tunable.stats(),
+        }))
+    }
+
+    fn run_mdr(
+        &self,
+        job: &Job,
+        input: &MultiModeInput,
+        keys: Option<&KeyContext>,
+        info: &mut JobCacheInfo,
+    ) -> Result<JobOutcome, String> {
+        let flow = MdrFlow::new(job.options);
+        // `MdrFlow::place` always anneals with the wire-length cost, so
+        // normalize the cost out of the key: MDR jobs differing only in
+        // an (ignored) combined-placement cost share their annealing.
+        let placer = PlacerOptions {
+            cost: mm_place::CostKind::WireLength,
+            ..job.options.placer
+        };
+        let key = keys.map(|k| {
+            stage_key(
+                "placement",
+                &["mdr", &placer.fingerprint(), &k.arch_fp],
+                &k.blifs,
+            )
+        });
+
+        let placements = self
+            .cached_placement(key.as_deref(), |v| placements_from(&job.circuits, v))
+            .inspect(|_p| {
+                info.placement_hit = true;
+            });
+        let placements = match placements {
+            Some(p) => p,
+            None => {
+                info.stages_recomputed += 1;
+                let p = flow.place(input).map_err(|e| e.to_string())?;
+                if let (Some(cache), Some(key)) = (&self.cache, &key) {
+                    cache.put("placement", key, &placements_value(&job.circuits, &p));
+                }
+                p
+            }
+        };
+
+        info.stages_recomputed += 1;
+        let r = flow
+            .run_with_placements(input, placements)
+            .map_err(|e| e.to_string())?;
+        let modes = input.mode_count();
+        Ok(JobOutcome::Mdr(MdrSummary {
+            grid: r.arch.grid,
+            channel_width: r.arch.channel_width,
+            modes,
+            mdr_cost: r.mdr_cost(),
+            avg_diff_cost: r.average_diff_cost(),
+            wires: (0..modes).map(|m| r.wires_in_mode(m)).collect(),
+        }))
+    }
+
+    fn cached_placement<P>(
+        &self,
+        key: Option<&str>,
+        decode: impl FnOnce(&crate::json::Value) -> Option<P>,
+    ) -> Option<P> {
+        let cache = self.cache.as_ref()?;
+        let v = cache.get("placement", key?)?;
+        decode(&v)
+    }
+}
+
+/// The per-job material every cache key is derived from; only built
+/// when a cache is configured.
+struct KeyContext {
+    blifs: Vec<String>,
+    arch_fp: String,
+}
+
+#[derive(Debug, Default)]
+struct StageCounters {
+    result_hits: AtomicU64,
+    placement_hits: AtomicU64,
+    recomputed: AtomicU64,
+}
+
+impl StageCounters {
+    fn record(&self, info: &JobCacheInfo) {
+        if info.result_hit {
+            self.result_hits.fetch_add(1, Ordering::Relaxed);
+        }
+        if info.placement_hit {
+            self.placement_hits.fetch_add(1, Ordering::Relaxed);
+        }
+        self.recomputed
+            .fetch_add(info.stages_recomputed as u64, Ordering::Relaxed);
+    }
+}
+
+/// A content-addressed stage key: SHA-256 over the engine version, the
+/// stage, every context fingerprint and every mode's canonical BLIF, all
+/// length-prefixed.
+fn stage_key(stage: &str, context: &[&str], blifs: &[String]) -> String {
+    let mut h = Sha256::new();
+    h.field(b"mm-engine-v1");
+    h.field(stage.as_bytes());
+    for part in context {
+        h.field(part.as_bytes());
+    }
+    for text in blifs {
+        h.field(text.as_bytes());
+    }
+    h.finish_hex()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stage_keys_separate_stage_context_and_content() {
+        let blifs = vec!["a".to_string(), "b".to_string()];
+        let base = stage_key("result", &["x"], &blifs);
+        assert_eq!(base.len(), 64);
+        assert_eq!(base, stage_key("result", &["x"], &blifs));
+        assert_ne!(base, stage_key("placement", &["x"], &blifs));
+        assert_ne!(base, stage_key("result", &["y"], &blifs));
+        assert_ne!(
+            base,
+            stage_key("result", &["x"], &["ab".to_string()]),
+            "field framing"
+        );
+    }
+
+    #[test]
+    fn thread_resolution() {
+        let e = Engine::new(EngineOptions {
+            threads: 3,
+            cache_dir: None,
+        })
+        .unwrap();
+        assert_eq!(e.threads(), 3);
+        let auto = Engine::new(EngineOptions::default()).unwrap();
+        assert!(auto.threads() >= 1);
+        assert!(auto.cache().is_none());
+    }
+}

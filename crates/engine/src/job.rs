@@ -1,0 +1,939 @@
+//! The batch job model: what to run, and what came out.
+//!
+//! A [`Job`] is one multi-mode problem (an ordered set of mode circuits)
+//! plus the flow to run on it ([`FlowKind`]) and its [`FlowOptions`].
+//! Jobs come from three sources, all handled by [`load_spec`]:
+//!
+//! * a JSON spec file (`{"defaults": …, "jobs": [{"modes": [...]}, …]}`),
+//! * a directory whose subdirectories each hold one BLIF mode group,
+//! * a generated suite (`suite:regexp`, `suite:fir`, `suite:mcnc`).
+//!
+//! A [`JobResult`] serializes to one deterministic JSON line: the record
+//! is purely semantic (no timings, no cache provenance), so a cached
+//! re-run emits byte-identical lines — cache transparency is part of the
+//! engine's contract. Timings and cache counters live in the summary.
+
+use crate::json::{self, ObjBuilder, Value};
+use mm_bitstream::RewriteCost;
+use mm_flow::{FlowOptions, PairMetrics, TunableStats, WidthChoice};
+use mm_netlist::{blif, LutCircuit};
+use mm_place::{CostKind, MultiPlacement, Placement};
+use std::path::Path;
+use std::time::Duration;
+
+/// Which flow a job runs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FlowKind {
+    /// The paper's DCS flow with the given combined-placement cost.
+    Dcs(CostKind),
+    /// The MDR baseline.
+    Mdr,
+    /// The full experimental comparison (`run_pair`): MDR + both DCS
+    /// variants on the same fabric.
+    Pair,
+}
+
+impl FlowKind {
+    /// Short stable name, used in result records and cache keys.
+    #[must_use]
+    pub fn name(&self) -> String {
+        match self {
+            FlowKind::Dcs(CostKind::WireLength) => "dcs".to_string(),
+            FlowKind::Dcs(CostKind::EdgeMatching) => "dcs-edge".to_string(),
+            FlowKind::Dcs(CostKind::Hybrid { .. }) => "dcs-hybrid".to_string(),
+            FlowKind::Mdr => "mdr".to_string(),
+            FlowKind::Pair => "pair".to_string(),
+        }
+    }
+
+    /// Cache-key fingerprint (includes hybrid weights exactly).
+    #[must_use]
+    pub fn fingerprint(&self) -> String {
+        match self {
+            FlowKind::Dcs(cost) => format!("dcs({})", cost.fingerprint()),
+            FlowKind::Mdr => "mdr".to_string(),
+            FlowKind::Pair => "pair".to_string(),
+        }
+    }
+
+    /// Parses `dcs` / `mdr` / `pair`, with `dcs` cost selectors
+    /// `wl` / `edge` / `hybrid:<lambda>` as in the `mmflow` CLI.
+    ///
+    /// # Errors
+    ///
+    /// Fails with a description on unknown kinds.
+    pub fn parse(kind: &str, cost: Option<&str>) -> Result<Self, String> {
+        let cost_kind = match cost {
+            None | Some("wl") => CostKind::WireLength,
+            Some("edge") => CostKind::EdgeMatching,
+            Some(other) => match other.strip_prefix("hybrid:") {
+                Some(l) => CostKind::Hybrid {
+                    wl_weight: 1.0,
+                    edge_weight: l.parse().map_err(|_| format!("bad hybrid weight '{l}'"))?,
+                },
+                None => return Err(format!("unknown cost '{other}'")),
+            },
+        };
+        match kind {
+            "dcs" => Ok(FlowKind::Dcs(cost_kind)),
+            "mdr" => Ok(FlowKind::Mdr),
+            "pair" => Ok(FlowKind::Pair),
+            other => Err(format!("unknown flow '{other}' (dcs|mdr|pair)")),
+        }
+    }
+}
+
+/// One batch job.
+#[derive(Debug, Clone)]
+pub struct Job {
+    /// Human-readable id, unique within a batch.
+    pub name: String,
+    /// The mode circuits, in mode order.
+    pub circuits: Vec<LutCircuit>,
+    /// Which flow to run.
+    pub flow: FlowKind,
+    /// Flow options (seed, width policy, efforts).
+    pub options: FlowOptions,
+}
+
+/// Numeric summary of one DCS run (everything the batch reports).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DcsSummary {
+    /// Array side length.
+    pub grid: usize,
+    /// Final channel width.
+    pub channel_width: usize,
+    /// Mode count.
+    pub modes: usize,
+    /// Parameterized routing bits (the paper's headline per-switch cost).
+    pub param_bits: usize,
+    /// Statically-on routing bits.
+    pub static_on_bits: usize,
+    /// DCS rewrite cost.
+    pub dcs_cost: RewriteCost,
+    /// MDR rewrite cost on the same fabric.
+    pub mdr_cost: RewriteCost,
+    /// Wires used per mode.
+    pub wires: Vec<usize>,
+    /// Tunable-circuit statistics.
+    pub tunable: TunableStats,
+}
+
+/// Numeric summary of one MDR run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MdrSummary {
+    /// Array side length.
+    pub grid: usize,
+    /// Final channel width.
+    pub channel_width: usize,
+    /// Mode count.
+    pub modes: usize,
+    /// Full-region rewrite cost.
+    pub mdr_cost: RewriteCost,
+    /// Diff-based rewrite cost, averaged over ordered mode pairs.
+    pub avg_diff_cost: RewriteCost,
+    /// Wires used per mode.
+    pub wires: Vec<usize>,
+}
+
+/// What a finished job produced.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobOutcome {
+    /// A DCS summary.
+    Dcs(DcsSummary),
+    /// An MDR summary.
+    Mdr(MdrSummary),
+    /// The full pairwise comparison metrics.
+    Pair(PairMetrics),
+}
+
+/// Cache provenance of one job (reported in the summary, not in the
+/// result record).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct JobCacheInfo {
+    /// The final result came from the cache; nothing was recomputed.
+    pub result_hit: bool,
+    /// The placement stage came from the cache.
+    pub placement_hit: bool,
+    /// Flow stages actually executed (0 on a full hit).
+    pub stages_recomputed: usize,
+}
+
+/// One job's result.
+#[derive(Debug, Clone)]
+pub struct JobResult {
+    /// The job's name.
+    pub name: String,
+    /// The flow that ran.
+    pub flow: FlowKind,
+    /// Outcome or error description.
+    pub outcome: Result<JobOutcome, String>,
+    /// Cache provenance.
+    pub cache: JobCacheInfo,
+    /// Wall-clock execution time of this job (on whatever worker ran it).
+    pub duration: Duration,
+}
+
+impl JobResult {
+    /// The deterministic JSONL record: semantic content only, no timings
+    /// or cache provenance, so records are byte-identical across serial,
+    /// parallel and cached executions.
+    #[must_use]
+    pub fn to_json_line(&self) -> String {
+        let b = ObjBuilder::new()
+            .field("name", self.name.as_str())
+            .field("flow", self.flow.name());
+        let value = match &self.outcome {
+            Ok(outcome) => b
+                .field("status", "ok")
+                .field("metrics", outcome.to_value())
+                .build(),
+            Err(e) => b
+                .field("status", "error")
+                .field("error", e.as_str())
+                .build(),
+        };
+        value.to_json()
+    }
+}
+
+// ---------------------------------------------------------------- to_value
+
+fn cost_value(c: &RewriteCost) -> Value {
+    ObjBuilder::new()
+        .field("lut_bits", c.lut_bits)
+        .field("routing_bits", c.routing_bits)
+        .build()
+}
+
+fn cost_from(v: &Value) -> Option<RewriteCost> {
+    Some(RewriteCost {
+        lut_bits: v.get("lut_bits")?.as_usize()?,
+        routing_bits: v.get("routing_bits")?.as_usize()?,
+    })
+}
+
+fn usizes_from(v: &Value) -> Option<Vec<usize>> {
+    v.as_arr()?.iter().map(Value::as_usize).collect()
+}
+
+fn tunable_value(t: &TunableStats) -> Value {
+    ObjBuilder::new()
+        .field("modes", t.modes)
+        .field("tunable_luts", t.tunable_luts)
+        .field("io_sites", t.io_sites)
+        .field("connections", t.connections)
+        .field("merged_connections", t.merged_connections)
+        .build()
+}
+
+fn tunable_from(v: &Value) -> Option<TunableStats> {
+    Some(TunableStats {
+        modes: v.get("modes")?.as_usize()?,
+        tunable_luts: v.get("tunable_luts")?.as_usize()?,
+        io_sites: v.get("io_sites")?.as_usize()?,
+        connections: v.get("connections")?.as_usize()?,
+        merged_connections: v.get("merged_connections")?.as_usize()?,
+    })
+}
+
+impl JobOutcome {
+    /// Serializes for result records and the cache.
+    #[must_use]
+    pub fn to_value(&self) -> Value {
+        match self {
+            JobOutcome::Dcs(s) => ObjBuilder::new()
+                .field("kind", "dcs")
+                .field("grid", s.grid)
+                .field("channel_width", s.channel_width)
+                .field("modes", s.modes)
+                .field("param_bits", s.param_bits)
+                .field("static_on_bits", s.static_on_bits)
+                .field("dcs_cost", cost_value(&s.dcs_cost))
+                .field("mdr_cost", cost_value(&s.mdr_cost))
+                .field("speedup", mm_bitstream::speedup(&s.mdr_cost, &s.dcs_cost))
+                .field("wires", s.wires.clone())
+                .field("tunable", tunable_value(&s.tunable))
+                .build(),
+            JobOutcome::Mdr(s) => ObjBuilder::new()
+                .field("kind", "mdr")
+                .field("grid", s.grid)
+                .field("channel_width", s.channel_width)
+                .field("modes", s.modes)
+                .field("mdr_cost", cost_value(&s.mdr_cost))
+                .field("avg_diff_cost", cost_value(&s.avg_diff_cost))
+                .field("wires", s.wires.clone())
+                .build(),
+            JobOutcome::Pair(m) => ObjBuilder::new()
+                .field("kind", "pair")
+                .field("grid", m.grid)
+                .field("width_mdr", m.width_mdr)
+                .field("width_edge", m.width_edge)
+                .field("width_wirelength", m.width_wirelength)
+                .field("mdr", cost_value(&m.mdr))
+                .field("diff", cost_value(&m.diff))
+                .field("dcs_edge", cost_value(&m.dcs_edge))
+                .field("dcs_wirelength", cost_value(&m.dcs_wirelength))
+                .field("speedup_edge", m.speedup_edge())
+                .field("speedup_wirelength", m.speedup_wirelength())
+                .field("wires_mdr", m.wires_mdr)
+                .field("wires_edge", m.wires_edge)
+                .field("wires_wirelength", m.wires_wirelength)
+                .field("tunable", tunable_value(&m.tunable_stats))
+                .field("mode_luts", m.mode_luts.clone())
+                .build(),
+        }
+    }
+
+    /// Deserializes a cached outcome; `name` rebuilds the pair id.
+    #[must_use]
+    pub fn from_value(v: &Value, name: &str) -> Option<Self> {
+        match v.get("kind")?.as_str()? {
+            "dcs" => Some(JobOutcome::Dcs(DcsSummary {
+                grid: v.get("grid")?.as_usize()?,
+                channel_width: v.get("channel_width")?.as_usize()?,
+                modes: v.get("modes")?.as_usize()?,
+                param_bits: v.get("param_bits")?.as_usize()?,
+                static_on_bits: v.get("static_on_bits")?.as_usize()?,
+                dcs_cost: cost_from(v.get("dcs_cost")?)?,
+                mdr_cost: cost_from(v.get("mdr_cost")?)?,
+                wires: usizes_from(v.get("wires")?)?,
+                tunable: tunable_from(v.get("tunable")?)?,
+            })),
+            "mdr" => Some(JobOutcome::Mdr(MdrSummary {
+                grid: v.get("grid")?.as_usize()?,
+                channel_width: v.get("channel_width")?.as_usize()?,
+                modes: v.get("modes")?.as_usize()?,
+                mdr_cost: cost_from(v.get("mdr_cost")?)?,
+                avg_diff_cost: cost_from(v.get("avg_diff_cost")?)?,
+                wires: usizes_from(v.get("wires")?)?,
+            })),
+            "pair" => Some(JobOutcome::Pair(PairMetrics {
+                name: name.to_string(),
+                grid: v.get("grid")?.as_usize()?,
+                width_mdr: v.get("width_mdr")?.as_usize()?,
+                width_edge: v.get("width_edge")?.as_usize()?,
+                width_wirelength: v.get("width_wirelength")?.as_usize()?,
+                mdr: cost_from(v.get("mdr")?)?,
+                diff: cost_from(v.get("diff")?)?,
+                dcs_edge: cost_from(v.get("dcs_edge")?)?,
+                dcs_wirelength: cost_from(v.get("dcs_wirelength")?)?,
+                wires_mdr: v.get("wires_mdr")?.as_f64()?,
+                wires_edge: v.get("wires_edge")?.as_f64()?,
+                wires_wirelength: v.get("wires_wirelength")?.as_f64()?,
+                tunable_stats: tunable_from(v.get("tunable")?)?,
+                mode_luts: usizes_from(v.get("mode_luts")?)?,
+            })),
+            _ => None,
+        }
+    }
+}
+
+// --------------------------------------------------- placement serialization
+
+/// Serializes one mode's placement, aligned with the circuit's
+/// `block_ids()` order.
+fn placement_value(circuit: &LutCircuit, placement: &Placement) -> Value {
+    Value::Arr(
+        circuit
+            .block_ids()
+            .map(|id| {
+                let site = placement.site_of(id);
+                Value::Arr(vec![
+                    Value::from(usize::from(site.x)),
+                    Value::from(usize::from(site.y)),
+                    Value::from(usize::from(site.sub)),
+                ])
+            })
+            .collect(),
+    )
+}
+
+fn placement_from(circuit: &LutCircuit, v: &Value) -> Option<Placement> {
+    let sites = v.as_arr()?;
+    if sites.len() != circuit.block_count() {
+        return None;
+    }
+    let mut p = Placement::new(circuit.block_count());
+    for (id, site) in circuit.block_ids().zip(sites) {
+        let parts = site.as_arr()?;
+        let [x, y, sub] = parts else { return None };
+        p.assign(
+            id,
+            mm_arch_site(x.as_usize()?, y.as_usize()?, sub.as_usize()?)?,
+        );
+    }
+    Some(p)
+}
+
+fn mm_arch_site(x: usize, y: usize, sub: usize) -> Option<mm_arch::Site> {
+    Some(mm_arch::Site::new(
+        u16::try_from(x).ok()?,
+        u16::try_from(y).ok()?,
+        u8::try_from(sub).ok()?,
+    ))
+}
+
+/// Serializes the per-mode placements of a job (DCS combined placement
+/// or MDR independent placements — both are one `Placement` per mode).
+#[must_use]
+pub fn placements_value(circuits: &[LutCircuit], modes: &[Placement]) -> Value {
+    Value::Arr(
+        circuits
+            .iter()
+            .zip(modes)
+            .map(|(c, p)| placement_value(c, p))
+            .collect(),
+    )
+}
+
+/// Deserializes per-mode placements; `None` on any shape mismatch (the
+/// caller treats that as a cache miss).
+#[must_use]
+pub fn placements_from(circuits: &[LutCircuit], v: &Value) -> Option<Vec<Placement>> {
+    let modes = v.as_arr()?;
+    if modes.len() != circuits.len() {
+        return None;
+    }
+    circuits
+        .iter()
+        .zip(modes)
+        .map(|(c, pv)| placement_from(c, pv))
+        .collect()
+}
+
+/// Deserializes a combined placement.
+#[must_use]
+pub fn multi_placement_from(circuits: &[LutCircuit], v: &Value) -> Option<MultiPlacement> {
+    placements_from(circuits, v).map(|modes| MultiPlacement { modes })
+}
+
+// ------------------------------------------------------------ spec loading
+
+/// Where a batch came from, for diagnostics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpecSource {
+    /// A JSON spec file.
+    File,
+    /// A directory of BLIF mode groups.
+    Directory,
+    /// A generated suite.
+    Suite,
+}
+
+/// A parsed batch: jobs plus provenance.
+#[derive(Debug)]
+pub struct BatchSpec {
+    /// The jobs, in declaration order.
+    pub jobs: Vec<Job>,
+    /// Where they came from.
+    pub source: SpecSource,
+}
+
+/// Loads a batch from `spec`:
+///
+/// * `suite:<regexp|fir|mcnc>` — the paper's multi-mode pairings of a
+///   generated suite;
+/// * a directory — every subdirectory holding `.blif` files becomes one
+///   job (modes in filename order);
+/// * anything else — a JSON spec file (see the module docs).
+///
+/// `base` supplies the flow options jobs inherit; spec files can
+/// override seed/width/cost/flow per job or via `"defaults"`. `k` is
+/// the LUT width used to parse directory BLIFs and to map generated
+/// suites (spec files may override it with their own `"k"`).
+///
+/// # Errors
+///
+/// Fails with a description of the first malformed entry.
+pub fn load_spec(spec: &str, base: &FlowOptions, k: usize) -> Result<BatchSpec, String> {
+    if let Some(suite) = spec.strip_prefix("suite:") {
+        return Ok(BatchSpec {
+            jobs: suite_jobs(suite, base, k)?,
+            source: SpecSource::Suite,
+        });
+    }
+    let path = Path::new(spec);
+    if path.is_dir() {
+        return Ok(BatchSpec {
+            jobs: directory_jobs(path, base, k)?,
+            source: SpecSource::Directory,
+        });
+    }
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{spec}: {e}"))?;
+    Ok(BatchSpec {
+        jobs: spec_file_jobs(&text, path, base, k)?,
+        source: SpecSource::File,
+    })
+}
+
+/// The paper's multi-mode pairings of one generated suite as jobs
+/// (named `<a>+<b>`), mapped to `k`-LUTs, with `base` options and the
+/// DCS wire-length flow.
+///
+/// # Errors
+///
+/// Fails on unknown suite names.
+pub fn suite_jobs(suite: &str, base: &FlowOptions, k: usize) -> Result<Vec<Job>, String> {
+    let (circuits, pairs) = match suite {
+        "regexp" => (
+            mm_gen::regexp_suite(k),
+            mm_gen::all_pairs(mm_gen::SUITE_SIZE),
+        ),
+        "fir" => (mm_gen::fir_suite(k), mm_gen::fir_mode_pairs()),
+        "mcnc" => (mm_gen::mcnc_suite(k), mm_gen::all_pairs(mm_gen::SUITE_SIZE)),
+        other => return Err(format!("unknown suite '{other}' (regexp|fir|mcnc)")),
+    };
+    Ok(pairs
+        .into_iter()
+        .map(|(i, j)| Job {
+            name: format!("{}+{}", circuits[i].name(), circuits[j].name()),
+            circuits: vec![circuits[i].clone(), circuits[j].clone()],
+            flow: FlowKind::Dcs(CostKind::WireLength),
+            options: *base,
+        })
+        .collect())
+}
+
+fn directory_jobs(dir: &Path, base: &FlowOptions, k: usize) -> Result<Vec<Job>, String> {
+    let mut groups: Vec<std::path::PathBuf> = std::fs::read_dir(dir)
+        .map_err(|e| format!("{}: {e}", dir.display()))?
+        .filter_map(Result::ok)
+        .map(|entry| entry.path())
+        .filter(|p| p.is_dir())
+        .collect();
+    groups.sort();
+    if groups.is_empty() {
+        return Err(format!(
+            "{}: no subdirectories (each job is one directory of mode .blif files)",
+            dir.display()
+        ));
+    }
+    let mut jobs = Vec::new();
+    for group in groups {
+        let mut modes: Vec<std::path::PathBuf> = std::fs::read_dir(&group)
+            .map_err(|e| format!("{}: {e}", group.display()))?
+            .filter_map(Result::ok)
+            .map(|entry| entry.path())
+            .filter(|p| p.extension().is_some_and(|ext| ext == "blif"))
+            .collect();
+        modes.sort();
+        if modes.is_empty() {
+            continue;
+        }
+        let name = group
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_else(|| "job".to_string());
+        jobs.push(Job {
+            name,
+            circuits: read_modes(&modes, k)?,
+            flow: FlowKind::Dcs(CostKind::WireLength),
+            options: *base,
+        });
+    }
+    if jobs.is_empty() {
+        return Err(format!("{}: no BLIF mode groups found", dir.display()));
+    }
+    Ok(jobs)
+}
+
+fn read_modes(paths: &[std::path::PathBuf], k: usize) -> Result<Vec<LutCircuit>, String> {
+    paths
+        .iter()
+        .map(|p| {
+            let text = std::fs::read_to_string(p).map_err(|e| format!("{}: {e}", p.display()))?;
+            blif::from_blif(&text, k).map_err(|e| format!("{}: {e}", p.display()))
+        })
+        .collect()
+}
+
+fn spec_file_jobs(
+    text: &str,
+    path: &Path,
+    base: &FlowOptions,
+    default_k: usize,
+) -> Result<Vec<Job>, String> {
+    let doc = json::parse(text).map_err(|e| format!("{}: {e}", path.display()))?;
+    let k = doc
+        .get("k")
+        .map(|v| v.as_usize().ok_or("\"k\" must be a non-negative integer"))
+        .transpose()?
+        .unwrap_or(default_k);
+    let defaults = doc.get("defaults");
+    let jobs_value = doc
+        .get("jobs")
+        .and_then(Value::as_arr)
+        .ok_or("spec needs a \"jobs\" array")?;
+    let spec_dir = path.parent().unwrap_or(Path::new("."));
+
+    let mut jobs = Vec::with_capacity(jobs_value.len());
+    for (index, jv) in jobs_value.iter().enumerate() {
+        let job = parse_job(jv, index, defaults, spec_dir, base, k)
+            .map_err(|e| format!("{} job {index}: {e}", path.display()))?;
+        jobs.push(job);
+    }
+    if jobs.is_empty() {
+        return Err(format!("{}: empty \"jobs\" array", path.display()));
+    }
+    Ok(jobs)
+}
+
+fn lookup<'v>(jv: &'v Value, defaults: Option<&'v Value>, key: &str) -> Option<&'v Value> {
+    jv.get(key).or_else(|| defaults.and_then(|d| d.get(key)))
+}
+
+/// Seeds are 64-bit, but JSON numbers round-trip exactly only up to
+/// 2^53 — larger seeds must be written as strings (decimal or `0x…`)
+/// so the requested seed is never silently rounded to a neighbour.
+fn parse_seed(v: &Value) -> Result<u64, String> {
+    if let Some(n) = v.as_u64() {
+        return Ok(n);
+    }
+    if let Some(s) = v.as_str() {
+        let parsed = match s.strip_prefix("0x") {
+            Some(hex) => u64::from_str_radix(hex, 16),
+            None => s.parse(),
+        };
+        return parsed.map_err(|_| format!("bad seed '{s}'"));
+    }
+    Err("\"seed\" must be an integer below 2^53 or a decimal/0x string".to_string())
+}
+
+fn parse_job(
+    jv: &Value,
+    index: usize,
+    defaults: Option<&Value>,
+    spec_dir: &Path,
+    base: &FlowOptions,
+    k: usize,
+) -> Result<Job, String> {
+    let modes = jv
+        .get("modes")
+        .and_then(Value::as_arr)
+        .ok_or("needs a \"modes\" array of BLIF paths")?;
+    let paths: Vec<std::path::PathBuf> = modes
+        .iter()
+        .map(|m| {
+            m.as_str()
+                .map(|s| spec_dir.join(s))
+                .ok_or_else(|| "mode paths must be strings".to_string())
+        })
+        .collect::<Result<_, _>>()?;
+    let circuits = read_modes(&paths, k)?;
+
+    let name = jv
+        .get("name")
+        .and_then(Value::as_str)
+        .map(ToString::to_string)
+        .unwrap_or_else(|| format!("job{index}"));
+
+    let flow_name = lookup(jv, defaults, "flow")
+        .map(|v| v.as_str().ok_or("\"flow\" must be a string"))
+        .transpose()?
+        .unwrap_or("dcs");
+    let cost = lookup(jv, defaults, "cost")
+        .map(|v| v.as_str().ok_or("\"cost\" must be a string"))
+        .transpose()?;
+    let flow = FlowKind::parse(flow_name, cost)?;
+
+    let mut options = *base;
+    if let Some(seed) = lookup(jv, defaults, "seed") {
+        options.placer.seed = parse_seed(seed)?;
+    }
+    if let Some(width) = lookup(jv, defaults, "width") {
+        options.width = WidthChoice::Fixed(width.as_usize().ok_or("\"width\" must be an integer")?);
+    }
+    if let Some(effort) = lookup(jv, defaults, "effort") {
+        options.placer.inner_num = effort.as_f64().ok_or("\"effort\" must be a number")?;
+    }
+    if let Some(iters) = lookup(jv, defaults, "max_iterations") {
+        options.router.max_iterations = iters
+            .as_usize()
+            .ok_or("\"max_iterations\" must be an integer")?;
+    }
+    Ok(Job {
+        name,
+        circuits,
+        flow,
+        options,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mm_netlist::TruthTable;
+
+    fn tiny(name: &str) -> LutCircuit {
+        let mut c = LutCircuit::new(name, 4);
+        let a = c.add_input("a").unwrap();
+        let g = c
+            .add_lut("g", vec![a], TruthTable::var(1, 0), false)
+            .unwrap();
+        c.add_output("y", g).unwrap();
+        c
+    }
+
+    #[test]
+    fn flow_kind_parsing() {
+        assert_eq!(
+            FlowKind::parse("dcs", None).unwrap(),
+            FlowKind::Dcs(CostKind::WireLength)
+        );
+        assert_eq!(
+            FlowKind::parse("dcs", Some("edge")).unwrap(),
+            FlowKind::Dcs(CostKind::EdgeMatching)
+        );
+        assert!(matches!(
+            FlowKind::parse("dcs", Some("hybrid:1.5")).unwrap(),
+            FlowKind::Dcs(CostKind::Hybrid { .. })
+        ));
+        assert_eq!(FlowKind::parse("mdr", None).unwrap(), FlowKind::Mdr);
+        assert_eq!(FlowKind::parse("pair", None).unwrap(), FlowKind::Pair);
+        assert!(FlowKind::parse("zzz", None).is_err());
+        assert!(FlowKind::parse("dcs", Some("banana")).is_err());
+    }
+
+    #[test]
+    fn outcome_roundtrips_through_value() {
+        let dcs = JobOutcome::Dcs(DcsSummary {
+            grid: 6,
+            channel_width: 12,
+            modes: 2,
+            param_bits: 31,
+            static_on_bits: 200,
+            dcs_cost: RewriteCost {
+                lut_bits: 576,
+                routing_bits: 31,
+            },
+            mdr_cost: RewriteCost {
+                lut_bits: 576,
+                routing_bits: 4000,
+            },
+            wires: vec![120, 130],
+            tunable: TunableStats {
+                modes: 2,
+                tunable_luts: 22,
+                io_sites: 9,
+                connections: 70,
+                merged_connections: 12,
+            },
+        });
+        let back = JobOutcome::from_value(&dcs.to_value(), "x").unwrap();
+        assert_eq!(back, dcs);
+
+        let pair = JobOutcome::Pair(PairMetrics {
+            name: "p".into(),
+            grid: 6,
+            width_mdr: 10,
+            width_edge: 12,
+            width_wirelength: 11,
+            mdr: RewriteCost {
+                lut_bits: 576,
+                routing_bits: 4000,
+            },
+            diff: RewriteCost {
+                lut_bits: 576,
+                routing_bits: 900,
+            },
+            dcs_edge: RewriteCost {
+                lut_bits: 576,
+                routing_bits: 60,
+            },
+            dcs_wirelength: RewriteCost {
+                lut_bits: 576,
+                routing_bits: 40,
+            },
+            wires_mdr: 120.5,
+            wires_edge: 150.25,
+            wires_wirelength: 140.75,
+            tunable_stats: TunableStats {
+                modes: 2,
+                tunable_luts: 22,
+                io_sites: 9,
+                connections: 70,
+                merged_connections: 12,
+            },
+            mode_luts: vec![20, 22],
+        });
+        let back = JobOutcome::from_value(&pair.to_value(), "p").unwrap();
+        match (&back, &pair) {
+            (JobOutcome::Pair(a), JobOutcome::Pair(b)) => {
+                assert_eq!(a.name, b.name);
+                assert_eq!(a.mdr, b.mdr);
+                assert_eq!(a.wires_edge, b.wires_edge);
+                assert_eq!(a.tunable_stats, b.tunable_stats);
+            }
+            _ => panic!("wrong kind"),
+        }
+    }
+
+    #[test]
+    fn placements_roundtrip_and_reject_mismatch() {
+        let circuits = vec![tiny("a"), tiny("b")];
+        let arch = mm_arch::Architecture::new(4, 3, 4);
+        let sites: Vec<mm_arch::Site> = arch.logic_sites().collect();
+        let ios: Vec<mm_arch::Site> = arch.io_sites().collect();
+        let mut modes = Vec::new();
+        for c in &circuits {
+            let mut p = Placement::new(c.block_count());
+            let mut li = 0;
+            let mut ii = 0;
+            for id in c.block_ids() {
+                if c.block(id).is_lut() {
+                    p.assign(id, sites[li]);
+                    li += 1;
+                } else {
+                    p.assign(id, ios[ii]);
+                    ii += 1;
+                }
+            }
+            modes.push(p);
+        }
+        let v = placements_value(&circuits, &modes);
+        let back = placements_from(&circuits, &v).unwrap();
+        for (c, (orig, rt)) in circuits.iter().zip(modes.iter().zip(&back)) {
+            for id in c.block_ids() {
+                assert_eq!(orig.site_of(id), rt.site_of(id));
+            }
+        }
+        // A different circuit shape must be rejected, not misapplied.
+        let other = vec![tiny("a")];
+        assert!(placements_from(&other, &v).is_none());
+        assert!(multi_placement_from(&circuits, &Value::Null).is_none());
+    }
+
+    #[test]
+    fn spec_file_parses_with_defaults_and_overrides() {
+        let dir = std::env::temp_dir().join(format!("mm_engine_spec_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        for name in ["a", "b"] {
+            std::fs::write(dir.join(format!("{name}.blif")), blif::to_blif(&tiny(name))).unwrap();
+        }
+        let spec_path = dir.join("suite.json");
+        std::fs::write(
+            &spec_path,
+            r#"{
+              "k": 4,
+              "defaults": {"flow": "dcs", "seed": 11, "width": 8},
+              "jobs": [
+                {"name": "first", "modes": ["a.blif", "b.blif"]},
+                {"modes": ["b.blif", "a.blif"], "flow": "mdr", "seed": 99},
+                {"modes": ["a.blif"], "cost": "edge"}
+              ]
+            }"#,
+        )
+        .unwrap();
+        let batch = load_spec(spec_path.to_str().unwrap(), &FlowOptions::default(), 4).unwrap();
+        assert_eq!(batch.source, SpecSource::File);
+        assert_eq!(batch.jobs.len(), 3);
+        assert_eq!(batch.jobs[0].name, "first");
+        assert_eq!(batch.jobs[0].options.placer.seed, 11);
+        assert_eq!(batch.jobs[0].options.width, WidthChoice::Fixed(8));
+        assert_eq!(batch.jobs[1].name, "job1");
+        assert_eq!(batch.jobs[1].flow, FlowKind::Mdr);
+        assert_eq!(batch.jobs[1].options.placer.seed, 99);
+        assert_eq!(batch.jobs[2].flow, FlowKind::Dcs(CostKind::EdgeMatching));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn directory_spec_discovers_mode_groups() {
+        let dir = std::env::temp_dir().join(format!("mm_engine_dir_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        for group in ["g1", "g0"] {
+            std::fs::create_dir_all(dir.join(group)).unwrap();
+            for name in ["m0", "m1"] {
+                std::fs::write(
+                    dir.join(group).join(format!("{name}.blif")),
+                    blif::to_blif(&tiny(name)),
+                )
+                .unwrap();
+            }
+        }
+        // A stray non-BLIF file and an empty dir are ignored.
+        std::fs::write(dir.join("g0").join("notes.txt"), "x").unwrap();
+        std::fs::create_dir_all(dir.join("empty")).unwrap();
+
+        let batch = load_spec(dir.to_str().unwrap(), &FlowOptions::default(), 4).unwrap();
+        assert_eq!(batch.source, SpecSource::Directory);
+        let names: Vec<&str> = batch.jobs.iter().map(|j| j.name.as_str()).collect();
+        assert_eq!(names, vec!["g0", "g1"], "sorted, deterministic");
+        assert_eq!(batch.jobs[0].circuits.len(), 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn bad_specs_are_rejected() {
+        assert!(load_spec("suite:nope", &FlowOptions::default(), 4).is_err());
+        assert!(load_spec("/nonexistent/spec.json", &FlowOptions::default(), 4).is_err());
+    }
+
+    #[test]
+    fn seed_precision_is_protected() {
+        assert_eq!(parse_seed(&Value::Num(7.0)).unwrap(), 7);
+        assert_eq!(
+            parse_seed(&Value::Num(9_007_199_254_740_991.0)).unwrap(),
+            (1 << 53) - 1
+        );
+        // From 2^53 a JSON number may already be a rounded neighbour
+        // (2^53 + 1 parses to exactly 2^53): reject.
+        assert!(parse_seed(&Value::Num(9_007_199_254_740_992.0)).is_err());
+        assert!(parse_seed(&Value::Num(1.8446744073709552e19)).is_err());
+        // Full 64-bit seeds go through strings.
+        assert_eq!(
+            parse_seed(&Value::Str("18446744073709551615".into())).unwrap(),
+            u64::MAX
+        );
+        assert_eq!(
+            parse_seed(&Value::Str("0xdeadbeef".into())).unwrap(),
+            0xdead_beef
+        );
+        assert!(parse_seed(&Value::Str("banana".into())).is_err());
+        assert!(parse_seed(&Value::Bool(true)).is_err());
+    }
+
+    #[test]
+    fn result_line_shapes() {
+        let ok = JobResult {
+            name: "j".into(),
+            flow: FlowKind::Mdr,
+            outcome: Ok(JobOutcome::Mdr(MdrSummary {
+                grid: 5,
+                channel_width: 8,
+                modes: 2,
+                mdr_cost: RewriteCost {
+                    lut_bits: 400,
+                    routing_bits: 3000,
+                },
+                avg_diff_cost: RewriteCost {
+                    lut_bits: 400,
+                    routing_bits: 700,
+                },
+                wires: vec![90, 95],
+            })),
+            cache: JobCacheInfo::default(),
+            duration: Duration::from_millis(5),
+        };
+        let line = ok.to_json_line();
+        assert!(
+            line.starts_with(r#"{"name":"j","flow":"mdr","status":"ok""#),
+            "{line}"
+        );
+        assert!(!line.contains("duration"), "no timing in records");
+
+        let err = JobResult {
+            name: "j".into(),
+            flow: FlowKind::Pair,
+            outcome: Err("boom".into()),
+            cache: JobCacheInfo::default(),
+            duration: Duration::ZERO,
+        };
+        assert_eq!(
+            err.to_json_line(),
+            r#"{"name":"j","flow":"pair","status":"error","error":"boom"}"#
+        );
+    }
+}

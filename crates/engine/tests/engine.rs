@@ -1,0 +1,322 @@
+//! Integration tests of the batch engine's three contracts:
+//!
+//! 1. **Determinism** — parallel execution emits byte-identical result
+//!    records to sequential execution under the same seeds.
+//! 2. **Cache transparency** — a warm-cache re-run recomputes zero flow
+//!    stages and still emits byte-identical records.
+//! 3. **Corruption safety** — damaged cache entries are discarded and
+//!    recomputed, never believed.
+
+use mm_engine::{Engine, EngineOptions, FlowKind, Job, JobResult};
+use mm_flow::FlowOptions;
+use mm_netlist::{LutCircuit, TruthTable};
+use mm_place::CostKind;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::path::PathBuf;
+
+fn random_circuit(name: &str, n_inputs: usize, n_luts: usize, seed: u64) -> LutCircuit {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut c = LutCircuit::new(name, 4);
+    let mut drivers: Vec<mm_netlist::BlockId> = (0..n_inputs)
+        .map(|i| c.add_input(format!("i{i}")).unwrap())
+        .collect();
+    for j in 0..n_luts {
+        let fanin = rng.gen_range(2..=4.min(drivers.len()));
+        let mut ins = Vec::new();
+        while ins.len() < fanin {
+            let d = drivers[rng.gen_range(0..drivers.len())];
+            if !ins.contains(&d) {
+                ins.push(d);
+            }
+        }
+        let tt = TruthTable::from_bits(ins.len(), rng.gen());
+        let id = c
+            .add_lut(format!("n{j}"), ins, tt, rng.gen_bool(0.2))
+            .unwrap();
+        drivers.push(id);
+    }
+    for t in 0..2 {
+        let d = drivers[drivers.len() - 1 - t];
+        c.add_output(format!("o{t}"), d).unwrap();
+    }
+    c
+}
+
+fn quick_options(seed: u64) -> FlowOptions {
+    let mut o = FlowOptions::default().with_fixed_width(12).with_seed(seed);
+    o.placer.inner_num = 1.0;
+    o.router.max_iterations = 30;
+    o
+}
+
+/// A suite of `n` small multi-mode problems with distinct circuits and
+/// seeds, mixing DCS and MDR flows.
+fn suite(n: usize) -> Vec<Job> {
+    (0..n)
+        .map(|i| {
+            let a = random_circuit("m0", 5, 12 + i % 4, 1000 + i as u64);
+            let b = random_circuit("m1", 5, 13 + (i / 2) % 3, 2000 + i as u64);
+            Job {
+                name: format!("p{i}"),
+                circuits: vec![a, b],
+                flow: if i % 3 == 2 {
+                    FlowKind::Mdr
+                } else {
+                    FlowKind::Dcs(CostKind::WireLength)
+                },
+                options: quick_options(0x5eed + i as u64),
+            }
+        })
+        .collect()
+}
+
+fn record_stream(results: &[JobResult]) -> String {
+    let mut out = String::new();
+    for r in results {
+        out.push_str(&r.to_json_line());
+        out.push('\n');
+    }
+    out
+}
+
+fn tmp_cache(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("mm_engine_it_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn parallel_batch_is_byte_identical_to_sequential() {
+    let serial_engine = Engine::new(EngineOptions {
+        threads: 1,
+        cache_dir: None,
+    })
+    .unwrap();
+    let parallel_engine = Engine::new(EngineOptions {
+        threads: 4,
+        cache_dir: None,
+    })
+    .unwrap();
+
+    let mut streamed = String::new();
+    let serial = serial_engine.run(suite(8));
+    let parallel = parallel_engine.run_streamed(suite(8), |r| {
+        streamed.push_str(&r.to_json_line());
+        streamed.push('\n');
+    });
+
+    assert_eq!(serial.results.len(), 8);
+    assert!(serial.results.iter().all(|r| r.outcome.is_ok()));
+    let serial_bytes = record_stream(&serial.results);
+    let parallel_bytes = record_stream(&parallel.results);
+    assert_eq!(serial_bytes, parallel_bytes, "parallel == sequential");
+    assert_eq!(streamed, parallel_bytes, "stream order == job order");
+    assert_eq!(parallel.threads, 4);
+    assert_eq!(parallel.stats.results_from_cache, 0, "no cache configured");
+}
+
+#[test]
+fn warm_cache_rerun_recomputes_nothing_and_matches() {
+    let dir = tmp_cache("warm");
+    let make = || {
+        Engine::new(EngineOptions {
+            threads: 2,
+            cache_dir: Some(dir.clone()),
+        })
+        .unwrap()
+    };
+
+    let cold = make().run(suite(8));
+    assert!(cold.results.iter().all(|r| r.outcome.is_ok()));
+    assert_eq!(cold.stats.results_from_cache, 0);
+    assert!(
+        cold.stats.stages_recomputed >= 8,
+        "cold run computes stages"
+    );
+
+    // Fresh engine, same cache directory: everything must come from disk.
+    let warm = make().run(suite(8));
+    assert_eq!(warm.stats.results_from_cache, 8, "all results cached");
+    assert_eq!(
+        warm.stats.stages_recomputed, 0,
+        "zero flow-stage recomputation"
+    );
+    assert_eq!(
+        record_stream(&cold.results),
+        record_stream(&warm.results),
+        "cache transparency: identical records"
+    );
+    let summary = warm.summary_json();
+    assert!(summary.contains("\"stages_recomputed\":0"), "{summary}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn placement_stage_is_shared_across_router_variants() {
+    let dir = tmp_cache("share");
+    let engine = Engine::new(EngineOptions {
+        threads: 1, // sequential so job 0 seeds the cache for job 1
+        cache_dir: Some(dir.clone()),
+    })
+    .unwrap();
+
+    let a = random_circuit("m0", 5, 14, 71);
+    let b = random_circuit("m1", 5, 15, 72);
+    let mut variant = quick_options(9);
+    variant.router.max_iterations = 31; // different result key, same placement key
+    let jobs = vec![
+        Job {
+            name: "base".into(),
+            circuits: vec![a.clone(), b.clone()],
+            flow: FlowKind::Dcs(CostKind::WireLength),
+            options: quick_options(9),
+        },
+        Job {
+            name: "router-variant".into(),
+            circuits: vec![a, b],
+            flow: FlowKind::Dcs(CostKind::WireLength),
+            options: variant,
+        },
+    ];
+    let report = engine.run(jobs);
+    assert!(report.results.iter().all(|r| r.outcome.is_ok()));
+    assert_eq!(report.stats.results_from_cache, 0);
+    assert_eq!(
+        report.stats.placements_from_cache, 1,
+        "the second job reuses the first job's annealing"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupted_cache_entries_are_recomputed_not_believed() {
+    let dir = tmp_cache("corrupt");
+    let make = || {
+        Engine::new(EngineOptions {
+            threads: 2,
+            cache_dir: Some(dir.clone()),
+        })
+        .unwrap()
+    };
+    let cold = make().run(suite(4));
+    let reference = record_stream(&cold.results);
+
+    // Vandalize every cached entry: truncations and garbage.
+    let mut damaged = 0;
+    for entry in walk_json_files(&dir) {
+        let text = std::fs::read_to_string(&entry).unwrap();
+        let new = if damaged % 2 == 0 {
+            text[..text.len() / 3].to_string()
+        } else {
+            "{\"key\":\"not-the-right-key\",\"stage\":\"result\",\"payload\":{}}".to_string()
+        };
+        std::fs::write(&entry, new).unwrap();
+        damaged += 1;
+    }
+    assert!(damaged >= 4, "cache had entries to damage");
+
+    let rerun = make().run(suite(4));
+    assert_eq!(rerun.stats.results_from_cache, 0, "nothing trusted");
+    assert!(rerun.cache.corrupt >= 4, "corruption detected and counted");
+    assert_eq!(
+        record_stream(&rerun.results),
+        reference,
+        "recomputed results identical"
+    );
+
+    // Third run: the repaired cache works again.
+    let repaired = make().run(suite(4));
+    assert_eq!(repaired.stats.results_from_cache, 4);
+    assert_eq!(repaired.stats.stages_recomputed, 0);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn failed_jobs_are_reported_not_cached_and_deterministic() {
+    let dir = tmp_cache("fail");
+    let make = || {
+        Engine::new(EngineOptions {
+            threads: 2,
+            cache_dir: Some(dir.clone()),
+        })
+        .unwrap()
+    };
+    // One impossible job (unroutable width cap) among good ones.
+    let mut jobs = suite(3);
+    let mut impossible = quick_options(5);
+    impossible.width = mm_flow::WidthChoice::Fixed(1);
+    impossible.max_width = 1;
+    impossible.router.max_iterations = 3;
+    jobs.push(Job {
+        name: "impossible".into(),
+        circuits: vec![
+            random_circuit("m0", 5, 16, 301),
+            random_circuit("m1", 5, 16, 302),
+        ],
+        flow: FlowKind::Dcs(CostKind::WireLength),
+        options: impossible,
+    });
+
+    let first = make().run(jobs.clone());
+    assert_eq!(first.stats.ok, 3);
+    assert_eq!(first.stats.failed, 1);
+    let line = first.results[3].to_json_line();
+    assert!(line.contains("\"status\":\"error\""), "{line}");
+
+    let second = make().run(jobs);
+    assert_eq!(
+        second.stats.results_from_cache, 3,
+        "failures are not cached; successes are"
+    );
+    assert_eq!(
+        record_stream(&first.results),
+        record_stream(&second.results)
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn cancellation_fails_pending_jobs_fast() {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    let engine = Engine::new(EngineOptions {
+        threads: 1,
+        cache_dir: None,
+    })
+    .unwrap();
+    let cancel = AtomicBool::new(false);
+    let t0 = std::time::Instant::now();
+    // Cancel from the sink after the first result — the remaining jobs
+    // must fail fast instead of running their flows.
+    let report = engine.run_streamed_cancellable(suite(6), Some(&cancel), |_r| {
+        cancel.store(true, Ordering::Relaxed);
+    });
+    assert!(report.results[0].outcome.is_ok(), "in-flight job finished");
+    for r in &report.results[1..] {
+        let err = r.outcome.as_ref().unwrap_err();
+        assert!(err.contains("cancelled"), "{err}");
+    }
+    assert!(
+        t0.elapsed() < std::time::Duration::from_secs(30),
+        "cancelled jobs must not run their flows"
+    );
+}
+
+fn walk_json_files(root: &std::path::Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let Ok(entries) = std::fs::read_dir(&dir) else {
+            continue;
+        };
+        for entry in entries.filter_map(Result::ok) {
+            let path = entry.path();
+            if path.is_dir() {
+                stack.push(path);
+            } else if path.extension().is_some_and(|e| e == "json") {
+                out.push(path);
+            }
+        }
+    }
+    out
+}

@@ -94,11 +94,7 @@ pub fn specialized_fir(spec: &FirSpec) -> GateNetwork {
     let acc_w = spec.accumulator_width();
 
     // Delay line up to the last non-zero tap.
-    let last_used = spec
-        .taps
-        .iter()
-        .rposition(|&c| c != 0)
-        .unwrap_or(0);
+    let last_used = spec.taps.iter().rposition(|&c| c != 0).unwrap_or(0);
     let mut delayed: Vec<Word> = Vec::with_capacity(last_used + 1);
     let mut current = x;
     for i in 0..=last_used {
@@ -116,7 +112,9 @@ pub fn specialized_fir(spec: &FirSpec) -> GateNetwork {
         }
         let xi = delayed[i].resize(&mut net, acc_w, false);
         for (shift, negative) in csd_digits(c) {
-            let term = xi.shifted_left(&mut net, shift).resize(&mut net, acc_w, false);
+            let term = xi
+                .shifted_left(&mut net, shift)
+                .resize(&mut net, acc_w, false);
             acc = if negative {
                 acc.sub(&mut net, &term).0
             } else {
@@ -291,11 +289,7 @@ mod tests {
         let samples: Vec<u64> = vec![1, 5, 63, 0, 17, 42, 8, 9, 60, 2, 11, 33];
         let hw = run_filter(&net, &spec, &samples);
         for (n, &y) in hw.iter().enumerate() {
-            assert_eq!(
-                y,
-                spec.reference_output(&samples, n),
-                "sample {n}"
-            );
+            assert_eq!(y, spec.reference_output(&samples, n), "sample {n}");
         }
     }
 
@@ -357,7 +351,9 @@ mod tests {
             let hp = highpass_taps(20, 6, 63, seed);
             assert_eq!(hp.iter().filter(|&&c| c != 0).count(), 6);
             assert!(
-                hp.iter().enumerate().all(|(i, &c)| c == 0 || (i % 2 == 0) == (c > 0)),
+                hp.iter()
+                    .enumerate()
+                    .all(|(i, &c)| c == 0 || (i % 2 == 0) == (c > 0)),
                 "high-pass signs alternate: {hp:?}"
             );
         }
@@ -372,8 +368,8 @@ mod tests {
             taps: taps.clone(),
             data_width: 6,
         };
-        let special = mm_synth::synthesize(&specialized_fir(&spec), mm_synth::MapOptions::default())
-            .unwrap();
+        let special =
+            mm_synth::synthesize(&specialized_fir(&spec), mm_synth::MapOptions::default()).unwrap();
         let generic =
             mm_synth::synthesize(&generic_fir("g", 12, 6, 6), mm_synth::MapOptions::default())
                 .unwrap();

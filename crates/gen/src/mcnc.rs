@@ -166,9 +166,9 @@ pub fn interrupt_controller(name: &str, requests: usize) -> GateNetwork {
 
     // Mask register, loadable.
     let mask_ff: Vec<SignalId> = (0..requests).map(|_| net.add_dff(false)).collect();
-    for i in 0..requests {
-        let next = net.mux(wr_mask, wdata.bit(i), mask_ff[i]);
-        net.connect_dff(mask_ff[i], next).expect("ff");
+    for (i, &ff) in mask_ff.iter().enumerate() {
+        let next = net.mux(wr_mask, wdata.bit(i), ff);
+        net.connect_dff(ff, next).expect("ff");
     }
 
     // Pending = (req & !mask) | (pending & !ack-clear), latched.
@@ -189,9 +189,9 @@ pub fn interrupt_controller(name: &str, requests: usize) -> GateNetwork {
         let ptr = Word::from_bits(ptr_ff.clone());
         let one = Word::constant(&mut net, 1, id_bits);
         let (inc, _) = ptr.add(&mut net, &one);
-        for i in 0..id_bits {
+        for (i, &ff) in ptr_ff.iter().enumerate() {
             let next = net.mux(ack, inc.bit(i), ptr.bit(i));
-            net.connect_dff(ptr_ff[i], next).expect("ff");
+            net.connect_dff(ff, next).expect("ff");
         }
     }
 
@@ -212,9 +212,9 @@ pub fn interrupt_controller(name: &str, requests: usize) -> GateNetwork {
     // Priority encoder over the rotated vector (LSB wins).
     let mut taken = net.constant(false);
     let mut grant_rel: Vec<SignalId> = vec![net.constant(false); id_bits];
-    for i in 0..requests {
+    for (i, &req) in rotated.iter().enumerate() {
         let nt = net.not(taken);
-        let fire = net.and(rotated[i], nt);
+        let fire = net.and(req, nt);
         for (b, slot) in grant_rel.iter_mut().enumerate() {
             if (i >> b) & 1 == 1 {
                 *slot = net.or(*slot, fire);
@@ -227,7 +227,8 @@ pub fn interrupt_controller(name: &str, requests: usize) -> GateNetwork {
     let ptr = Word::from_bits(ptr_ff);
     let (abs, _) = rel.add(&mut net, &ptr);
     for i in 0..id_bits {
-        net.add_output(format!("id{i}"), abs.bit(i)).expect("unique");
+        net.add_output(format!("id{i}"), abs.bit(i))
+            .expect("unique");
     }
     net.add_output("valid", taken).expect("unique");
     net
@@ -253,14 +254,14 @@ mod tests {
         let net = alu("alu8", 8);
         let mut sim = GateSimulator::new(&net);
         let cases = [
-            (5u64, 3u64, 0u64, 8u64),           // add
-            (5, 3, 1, 2),                        // sub
-            (0b1100, 0b1010, 2, 0b1000),         // and
-            (0b1100, 0b1010, 3, 0b1110),         // or
-            (0b1100, 0b1010, 4, 0b0110),         // xor
-            (0b1100, 0, 5, 0b11000),             // shl
-            (3, 7, 6, 1),                        // slt
-            (0xff, 0xff, 7, 0x00),               // nand
+            (5u64, 3u64, 0u64, 8u64),    // add
+            (5, 3, 1, 2),                // sub
+            (0b1100, 0b1010, 2, 0b1000), // and
+            (0b1100, 0b1010, 3, 0b1110), // or
+            (0b1100, 0b1010, 4, 0b0110), // xor
+            (0b1100, 0, 5, 0b11000),     // shl
+            (3, 7, 6, 1),                // slt
+            (0xff, 0xff, 7, 0x00),       // nand
         ];
         for (a, b, op, expect) in cases {
             let mut ins = word_bits(a, 8);

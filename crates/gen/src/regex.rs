@@ -558,8 +558,7 @@ impl RegexEngine {
         }
         let nfa = glushkov(&ast);
         let (network, match_comb) = build_matcher(pattern, &nfa);
-        let lut_circuit =
-            mm_synth::synthesize(&network, mm_synth::MapOptions::for_k(k.max(2)))?;
+        let lut_circuit = mm_synth::synthesize(&network, mm_synth::MapOptions::for_k(k.max(2)))?;
         Ok(Self {
             pattern: pattern.to_string(),
             state_count: nfa.classes.len(),
@@ -634,20 +633,16 @@ fn build_matcher(pattern: &str, nfa: &Glushkov) -> (GateNetwork, SignalId) {
     // Shared nibble decoders.
     let lo_bits = Word::from_bits(ch.bits()[0..4].to_vec());
     let hi_bits = Word::from_bits(ch.bits()[4..8].to_vec());
-    let lo_eq: Vec<SignalId> = (0..16)
-        .map(|v| lo_bits.equals_const(&mut net, v))
-        .collect();
-    let hi_eq: Vec<SignalId> = (0..16)
-        .map(|v| hi_bits.equals_const(&mut net, v))
-        .collect();
+    let lo_eq: Vec<SignalId> = (0..16).map(|v| lo_bits.equals_const(&mut net, v)).collect();
+    let hi_eq: Vec<SignalId> = (0..16).map(|v| hi_bits.equals_const(&mut net, v)).collect();
 
     // Character-class decoders, deduplicated by class.
     let mut decoder_of: HashMap<CharClass, SignalId> = HashMap::new();
     let mut decoders: Vec<SignalId> = Vec::with_capacity(nfa.classes.len());
     for class in &nfa.classes {
-        let sig = *decoder_of.entry(*class).or_insert_with(|| {
-            build_decoder(&mut net, class, &lo_eq, &hi_eq)
-        });
+        let sig = *decoder_of
+            .entry(*class)
+            .or_insert_with(|| build_decoder(&mut net, class, &lo_eq, &hi_eq));
         decoders.push(sig);
     }
 

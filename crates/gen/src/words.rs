@@ -124,7 +124,12 @@ impl Word {
     }
 
     /// Bitwise binary op.
-    fn zip(&self, net: &mut GateNetwork, other: &Word, f: impl Fn(&mut GateNetwork, SignalId, SignalId) -> SignalId) -> Word {
+    fn zip(
+        &self,
+        net: &mut GateNetwork,
+        other: &Word,
+        f: impl Fn(&mut GateNetwork, SignalId, SignalId) -> SignalId,
+    ) -> Word {
         assert_eq!(self.width(), other.width(), "word width mismatch");
         Word {
             bits: self
@@ -224,13 +229,7 @@ impl Word {
             .bits
             .iter()
             .enumerate()
-            .map(|(i, &b)| {
-                if (value >> i) & 1 == 1 {
-                    b
-                } else {
-                    net.not(b)
-                }
-            })
+            .map(|(i, &b)| if (value >> i) & 1 == 1 { b } else { net.not(b) })
             .collect();
         net.and_many(&lits)
     }

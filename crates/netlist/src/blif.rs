@@ -499,10 +499,9 @@ mod tests {
         let d = from_blif(&text, 4).unwrap();
         // The port buffer emitted for y→y_pad collapses back into the pad.
         assert_eq!(d.lut_count(), 1);
-        assert!(d
-            .outputs()
-            .iter()
-            .any(|&p| matches!(d.block(p).kind(), BlockKind::OutputPad { port, .. } if port == "y_pad")));
+        assert!(d.outputs().iter().any(
+            |&p| matches!(d.block(p).kind(), BlockKind::OutputPad { port, .. } if port == "y_pad")
+        ));
         assert_eq!(first_divergence(&c, &d, 64, 5).unwrap(), None);
     }
 
@@ -680,8 +679,12 @@ mod tests {
     fn prune_removes_dead_logic() {
         let mut c = LutCircuit::new("p", 4);
         let a = c.add_input("a").unwrap();
-        let live = c.add_lut("live", vec![a], TruthTable::var(1, 0), false).unwrap();
-        let _dead = c.add_lut("dead", vec![a], TruthTable::var(1, 0), false).unwrap();
+        let live = c
+            .add_lut("live", vec![a], TruthTable::var(1, 0), false)
+            .unwrap();
+        let _dead = c
+            .add_lut("dead", vec![a], TruthTable::var(1, 0), false)
+            .unwrap();
         c.add_output("y", live).unwrap();
         let pruned = prune_dangling(&c).unwrap();
         assert_eq!(pruned.lut_count(), 1);
@@ -694,16 +697,24 @@ mod tests {
         // A 2-bit counter with enable.
         let mut c = LutCircuit::new("ctr", 4);
         let en = c.add_input("en").unwrap();
-        let b0 = c.add_lut("b0", vec![], TruthTable::const0(0), true).unwrap();
-        let b1 = c.add_lut("b1", vec![], TruthTable::const0(0), true).unwrap();
-        // b0' = b0 ^ en
-        c.set_lut(b0, vec![b0, en], TruthTable::var(2, 0) ^ TruthTable::var(2, 1))
+        let b0 = c
+            .add_lut("b0", vec![], TruthTable::const0(0), true)
             .unwrap();
+        let b1 = c
+            .add_lut("b1", vec![], TruthTable::const0(0), true)
+            .unwrap();
+        // b0' = b0 ^ en
+        c.set_lut(
+            b0,
+            vec![b0, en],
+            TruthTable::var(2, 0) ^ TruthTable::var(2, 1),
+        )
+        .unwrap();
         // b1' = b1 ^ (b0 & en)
         c.set_lut(
             b1,
             vec![b1, b0, en],
-            TruthTable::from_fn(3, |i| ((i >> 0) & 1) ^ (((i >> 1) & 1) & ((i >> 2) & 1)) == 1),
+            TruthTable::from_fn(3, |i| (i & 1) ^ (((i >> 1) & 1) & ((i >> 2) & 1)) == 1),
         )
         .unwrap();
         c.add_output_port("c0", "c0", b0).unwrap();

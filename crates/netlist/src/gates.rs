@@ -68,9 +68,7 @@ impl GateOp {
         let ops: [Option<SignalId>; 3] = match *self {
             GateOp::Input | GateOp::Const(_) => [None, None, None],
             GateOp::Not(a) => [Some(a), None, None],
-            GateOp::And(a, b) | GateOp::Or(a, b) | GateOp::Xor(a, b) => {
-                [Some(a), Some(b), None]
-            }
+            GateOp::And(a, b) | GateOp::Or(a, b) | GateOp::Xor(a, b) => [Some(a), Some(b), None],
             GateOp::Mux { sel, hi, lo } => [Some(sel), Some(hi), Some(lo)],
             GateOp::Dff { d, .. } => [Some(d), None, None],
         };
@@ -172,8 +170,7 @@ impl GateNetwork {
     }
 
     fn port_exists(&self, name: &str) -> bool {
-        self.inputs.iter().any(|(n, _)| n == name)
-            || self.outputs.iter().any(|(n, _)| n == name)
+        self.inputs.iter().any(|(n, _)| n == name) || self.outputs.iter().any(|(n, _)| n == name)
     }
 
     /// Constant signal.
@@ -315,9 +312,7 @@ impl GateNetwork {
     pub fn gate_count(&self) -> usize {
         self.gates
             .iter()
-            .filter(|g| {
-                !matches!(g, GateOp::Input | GateOp::Const(_) | GateOp::Dff { .. })
-            })
+            .filter(|g| !matches!(g, GateOp::Input | GateOp::Const(_) | GateOp::Dff { .. }))
             .count()
     }
 

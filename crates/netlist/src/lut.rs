@@ -153,7 +153,7 @@ impl LutCircuit {
     #[must_use]
     pub fn new(name: impl Into<String>, k: usize) -> Self {
         assert!(
-            k >= 1 && k <= crate::MAX_LUT_INPUTS,
+            (1..=crate::MAX_LUT_INPUTS).contains(&k),
             "LUT width must be 1..={}",
             crate::MAX_LUT_INPUTS
         );
@@ -368,7 +368,11 @@ impl LutCircuit {
             });
         }
         match self.blocks.get_mut(id.index()).map(|b| &mut b.kind) {
-            Some(BlockKind::Lut { inputs: i, truth: t, .. }) => {
+            Some(BlockKind::Lut {
+                inputs: i,
+                truth: t,
+                ..
+            }) => {
                 *i = inputs;
                 *t = truth;
                 Ok(())
@@ -702,7 +706,9 @@ mod tests {
         let mut c = LutCircuit::new("t", 4);
         let a = c.add_input("a").unwrap();
         // g feeds itself (patched via two-phase construction).
-        let g = c.add_lut("g", vec![a], TruthTable::var(1, 0), false).unwrap();
+        let g = c
+            .add_lut("g", vec![a], TruthTable::var(1, 0), false)
+            .unwrap();
         c.set_lut(g, vec![g], TruthTable::var(1, 0)).unwrap();
         assert!(matches!(
             c.validate(),
@@ -714,7 +720,9 @@ mod tests {
     fn registered_breaks_cycle() {
         let mut c = LutCircuit::new("t", 4);
         let a = c.add_input("a").unwrap();
-        let g = c.add_lut("g", vec![a], TruthTable::var(1, 0), true).unwrap();
+        let g = c
+            .add_lut("g", vec![a], TruthTable::var(1, 0), true)
+            .unwrap();
         c.set_lut(g, vec![g], TruthTable::var(1, 0)).unwrap();
         c.validate().expect("registered self-loop is legal");
     }
@@ -737,10 +745,18 @@ mod tests {
     fn depth_counts_lut_levels() {
         let mut c = LutCircuit::new("t", 4);
         let a = c.add_input("a").unwrap();
-        let g1 = c.add_lut("g1", vec![a], TruthTable::var(1, 0), false).unwrap();
-        let g2 = c.add_lut("g2", vec![g1], TruthTable::var(1, 0), false).unwrap();
-        let g3 = c.add_lut("g3", vec![g2], TruthTable::var(1, 0), true).unwrap();
-        let g4 = c.add_lut("g4", vec![g3], TruthTable::var(1, 0), false).unwrap();
+        let g1 = c
+            .add_lut("g1", vec![a], TruthTable::var(1, 0), false)
+            .unwrap();
+        let g2 = c
+            .add_lut("g2", vec![g1], TruthTable::var(1, 0), false)
+            .unwrap();
+        let g3 = c
+            .add_lut("g3", vec![g2], TruthTable::var(1, 0), true)
+            .unwrap();
+        let g4 = c
+            .add_lut("g4", vec![g3], TruthTable::var(1, 0), false)
+            .unwrap();
         c.add_output("y", g4).unwrap();
         // g1,g2 comb chain of 2; g3 registered; g4 restarts at level 1.
         assert_eq!(c.depth(), 2);
@@ -766,9 +782,13 @@ mod tests {
     fn set_init_only_on_registered() {
         let mut c = LutCircuit::new("t", 4);
         let a = c.add_input("a").unwrap();
-        let g = c.add_lut("g", vec![a], TruthTable::var(1, 0), false).unwrap();
+        let g = c
+            .add_lut("g", vec![a], TruthTable::var(1, 0), false)
+            .unwrap();
         assert!(c.set_init(g, true).is_err());
-        let r = c.add_lut("r", vec![a], TruthTable::var(1, 0), true).unwrap();
+        let r = c
+            .add_lut("r", vec![a], TruthTable::var(1, 0), true)
+            .unwrap();
         c.set_init(r, true).unwrap();
     }
 

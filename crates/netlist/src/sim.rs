@@ -261,7 +261,9 @@ mod tests {
     fn registered_lut_delays() {
         let mut c = LutCircuit::new("t", 4);
         let a = c.add_input("a").unwrap();
-        let g = c.add_lut("g", vec![a], TruthTable::var(1, 0), true).unwrap();
+        let g = c
+            .add_lut("g", vec![a], TruthTable::var(1, 0), true)
+            .unwrap();
         c.add_output("y", g).unwrap();
         let mut sim = LutSimulator::new(&c).unwrap();
         // step() samples before the edge: the first step still shows the
@@ -287,7 +289,9 @@ mod tests {
     fn init_value_respected() {
         let mut c = LutCircuit::new("t", 4);
         let a = c.add_input("a").unwrap();
-        let g = c.add_lut("g", vec![a], TruthTable::var(1, 0), true).unwrap();
+        let g = c
+            .add_lut("g", vec![a], TruthTable::var(1, 0), true)
+            .unwrap();
         c.set_init(g, true).unwrap();
         c.add_output("y", g).unwrap();
         let sim = LutSimulator::new(&c).unwrap();
@@ -314,11 +318,15 @@ mod tests {
     fn divergence_detected() {
         let mut c = LutCircuit::new("t", 4);
         let a = c.add_input("a").unwrap();
-        let g = c.add_lut("g", vec![a], TruthTable::var(1, 0), false).unwrap();
+        let g = c
+            .add_lut("g", vec![a], TruthTable::var(1, 0), false)
+            .unwrap();
         c.add_output("y", g).unwrap();
         let mut d = LutCircuit::new("t2", 4);
         let a2 = d.add_input("a").unwrap();
-        let g2 = d.add_lut("g", vec![a2], !TruthTable::var(1, 0), false).unwrap();
+        let g2 = d
+            .add_lut("g", vec![a2], !TruthTable::var(1, 0), false)
+            .unwrap();
         d.add_output("y", g2).unwrap();
         assert!(first_divergence(&c, &d, 64, 42).unwrap().is_some());
     }

@@ -54,7 +54,10 @@ impl TruthTable {
     /// Panics if `k > MAX_LUT_INPUTS`.
     #[must_use]
     pub fn from_bits(k: usize, bits: u64) -> Self {
-        assert!(k <= MAX_LUT_INPUTS, "LUT width {k} exceeds {MAX_LUT_INPUTS}");
+        assert!(
+            k <= MAX_LUT_INPUTS,
+            "LUT width {k} exceeds {MAX_LUT_INPUTS}"
+        );
         Self {
             bits: bits & mask(k),
             k: k as u8,
@@ -503,9 +506,7 @@ mod tests {
     fn cover_errors() {
         assert!(TruthTable::from_cover(2, &[("1".into(), '1')]).is_err());
         assert!(TruthTable::from_cover(2, &[("1x".into(), '1')]).is_err());
-        assert!(
-            TruthTable::from_cover(2, &[("11".into(), '1'), ("00".into(), '0')]).is_err()
-        );
+        assert!(TruthTable::from_cover(2, &[("11".into(), '1'), ("00".into(), '0')]).is_err());
         assert!(TruthTable::from_cover(2, &[("11".into(), '2')]).is_err());
     }
 

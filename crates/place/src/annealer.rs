@@ -65,6 +65,20 @@ impl PlacerOptions {
         self.seed = seed;
         self
     }
+
+    /// A stable fingerprint of every option that affects the produced
+    /// placement (floats by bit pattern), used by the batch engine's
+    /// stage cache keys.
+    #[must_use]
+    pub fn fingerprint(&self) -> String {
+        format!(
+            "placer-v1;cost={};inner={:016x};seed={:016x};maxt={}",
+            self.cost.fingerprint(),
+            self.inner_num.to_bits(),
+            self.seed,
+            self.max_temperatures,
+        )
+    }
 }
 
 /// Errors of the placement stage.
@@ -188,7 +202,8 @@ pub fn place_combined(
     // VPR: perform `num_blocks` moves accepting everything; T0 = 20·σ(ΔC).
     let mut deltas: Vec<f64> = Vec::with_capacity(num_blocks);
     for _ in 0..num_blocks {
-        if let Some((m, a, b)) = pick_move(&movable, &model, &sites, &io_sites, grid, grid, &mut rng)
+        if let Some((m, a, b)) =
+            pick_move(&movable, &model, &sites, &io_sites, grid, grid, &mut rng)
         {
             if let Some((delta, _undo)) = model.apply_swap(m, a, b) {
                 deltas.push(delta);
@@ -204,9 +219,8 @@ pub fn place_combined(
     };
 
     // ---- annealing loop ----------------------------------------------------
-    let moves_per_temp = ((options.inner_num * (num_blocks as f64).powf(4.0 / 3.0)).ceil()
-        as usize)
-        .max(16);
+    let moves_per_temp =
+        ((options.inner_num * (num_blocks as f64).powf(4.0 / 3.0)).ceil() as usize).max(16);
     let mut temperature = t0;
     let mut rlim = grid as f64;
     let mut temps = 0usize;

@@ -41,6 +41,26 @@ pub enum CostKind {
     },
 }
 
+impl CostKind {
+    /// A stable fingerprint of the cost function (floats by bit pattern),
+    /// used by the batch engine's stage cache keys.
+    #[must_use]
+    pub fn fingerprint(&self) -> String {
+        match self {
+            CostKind::WireLength => "wl".to_string(),
+            CostKind::EdgeMatching => "edge".to_string(),
+            CostKind::Hybrid {
+                wl_weight,
+                edge_weight,
+            } => format!(
+                "hybrid({:016x},{:016x})",
+                wl_weight.to_bits(),
+                edge_weight.to_bits()
+            ),
+        }
+    }
+}
+
 /// Undo record returned by [`CostModel::apply_swap`].
 #[derive(Debug)]
 pub struct SwapUndo {
@@ -463,8 +483,12 @@ mod tests {
     fn chain() -> LutCircuit {
         let mut c = LutCircuit::new("chain", 4);
         let a = c.add_input("a").unwrap();
-        let g1 = c.add_lut("g1", vec![a], TruthTable::var(1, 0), false).unwrap();
-        let g2 = c.add_lut("g2", vec![g1], TruthTable::var(1, 0), false).unwrap();
+        let g1 = c
+            .add_lut("g1", vec![a], TruthTable::var(1, 0), false)
+            .unwrap();
+        let g2 = c
+            .add_lut("g2", vec![g1], TruthTable::var(1, 0), false)
+            .unwrap();
         c.add_output("y", g2).unwrap();
         c
     }

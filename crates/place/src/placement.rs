@@ -213,7 +213,9 @@ mod tests {
     fn tiny_circuit() -> LutCircuit {
         let mut c = LutCircuit::new("t", 4);
         let a = c.add_input("a").unwrap();
-        let g = c.add_lut("g", vec![a], TruthTable::var(1, 0), false).unwrap();
+        let g = c
+            .add_lut("g", vec![a], TruthTable::var(1, 0), false)
+            .unwrap();
         c.add_output("y", g).unwrap();
         c
     }

@@ -38,7 +38,7 @@ const Q_SLOPE: f64 = 0.026_16;
 #[must_use]
 pub fn q_factor(terminals: usize) -> f64 {
     match terminals {
-        0 | 1 | 2 | 3 => 1.0,
+        0..=3 => 1.0,
         t if t <= 10 => Q_SMALL[t - 1],
         t if t <= 50 => {
             // Linear interpolation between the coarse anchors.

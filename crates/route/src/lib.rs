@@ -46,6 +46,4 @@ mod router;
 
 pub use minw::{min_channel_width, relaxed_width, MinWidthResult};
 pub use nets::{nets_for_circuit, verify_routing};
-pub use router::{
-    NetRoute, RouteNet, RouteSink, RouteTreeNode, Router, RouterOptions, Routing,
-};
+pub use router::{NetRoute, RouteNet, RouteSink, RouteTreeNode, Router, RouterOptions, Routing};

@@ -5,7 +5,7 @@
 //! found the way VPR does it: route the design repeatedly while binary
 //! searching the channel width.
 
-use crate::{Router, RouterOptions, RouteNet, Routing};
+use crate::{RouteNet, Router, RouterOptions, Routing};
 use mm_arch::{Architecture, RoutingGraph};
 
 /// Result of the minimum-channel-width search.

@@ -167,7 +167,9 @@ mod tests {
     fn placed_chain() -> (LutCircuit, HashMap<BlockId, Site>) {
         let mut c = LutCircuit::new("chain", 4);
         let a = c.add_input("a").unwrap();
-        let g1 = c.add_lut("g1", vec![a], TruthTable::var(1, 0), false).unwrap();
+        let g1 = c
+            .add_lut("g1", vec![a], TruthTable::var(1, 0), false)
+            .unwrap();
         let g2 = c
             .add_lut("g2", vec![g1, a], TruthTable::var(2, 0), false)
             .unwrap();
@@ -239,7 +241,9 @@ mod tests {
         let rrg = RoutingGraph::build(&arch);
         let mut c = LutCircuit::new("dup", 4);
         let a = c.add_input("a").unwrap();
-        let g1 = c.add_lut("g1", vec![a], TruthTable::var(1, 0), false).unwrap();
+        let g1 = c
+            .add_lut("g1", vec![a], TruthTable::var(1, 0), false)
+            .unwrap();
         let g2 = c
             .add_lut("g2", vec![a, g1], TruthTable::var(2, 1), false)
             .unwrap();

@@ -94,6 +94,25 @@ impl RouterOptions {
             ..Self::default()
         }
     }
+
+    /// A stable fingerprint of every option that affects the produced
+    /// routing (floats by bit pattern), used by the batch engine's stage
+    /// cache keys.
+    #[must_use]
+    pub fn fingerprint(&self) -> String {
+        format!(
+            "router-v1;it={};pf={:016x};pfm={:016x};hf={:016x};as={:016x};m={};sd={:016x};pp={:016x};ra={}",
+            self.max_iterations,
+            self.initial_pres_fac.to_bits(),
+            self.pres_fac_mult.to_bits(),
+            self.hist_fac.to_bits(),
+            self.astar_fac.to_bits(),
+            self.mode_count,
+            self.share_discount.to_bits(),
+            self.param_penalty.to_bits(),
+            self.reroute_all_iters,
+        )
+    }
 }
 
 /// One node of a routed net's route tree.
@@ -429,8 +448,7 @@ impl<'a> Router<'a> {
                 let max = self.occ.max_all(node);
                 if max > cap {
                     overused_nodes += 1;
-                    self.history[node] +=
-                        (self.options.hist_fac * f64::from(max - cap)) as f32;
+                    self.history[node] += (self.options.hist_fac * f64::from(max - cap)) as f32;
                 }
             }
             if overused_nodes == 0 {
@@ -540,10 +558,7 @@ impl<'a> Router<'a> {
             }
         }
 
-        NetRoute {
-            tree,
-            sink_pos,
-        }
+        NetRoute { tree, sink_pos }
     }
 
     /// Widens the activation of `pos` and all its ancestors by `act`.
@@ -841,8 +856,10 @@ mod tests {
                 }],
             },
         ];
-        let mut options = RouterOptions::default();
-        options.max_iterations = 12;
+        let options = RouterOptions {
+            max_iterations: 12,
+            ..RouterOptions::default()
+        };
         let mut router = Router::new(&rrg, options);
         let routing = router.route(&nets);
         // With W=1 and crossing diagonals, congestion may or may not be

@@ -70,8 +70,12 @@ mod tests {
     fn synthesize_end_to_end_equivalence() {
         // A 4-bit ripple-carry adder with registered sum.
         let mut n = GateNetwork::new("adder4");
-        let a: Vec<_> = (0..4).map(|i| n.add_input(format!("a{i}")).unwrap()).collect();
-        let b: Vec<_> = (0..4).map(|i| n.add_input(format!("b{i}")).unwrap()).collect();
+        let a: Vec<_> = (0..4)
+            .map(|i| n.add_input(format!("a{i}")).unwrap())
+            .collect();
+        let b: Vec<_> = (0..4)
+            .map(|i| n.add_input(format!("b{i}")).unwrap())
+            .collect();
         let mut carry = n.constant(false);
         for i in 0..4 {
             let axb = n.xor(a[i], b[i]);
@@ -103,12 +107,14 @@ mod tests {
         // far fewer LUTs — the FIR-specialisation effect.
         fn datapath(constant_b: Option<u8>) -> usize {
             let mut n = GateNetwork::new("mul");
-            let a: Vec<_> = (0..8).map(|i| n.add_input(format!("a{i}")).unwrap()).collect();
+            let a: Vec<_> = (0..8)
+                .map(|i| n.add_input(format!("a{i}")).unwrap())
+                .collect();
             let b: Vec<_> = match constant_b {
-                Some(value) => (0..8)
-                    .map(|i| n.constant((value >> i) & 1 == 1))
+                Some(value) => (0..8).map(|i| n.constant((value >> i) & 1 == 1)).collect(),
+                None => (0..8)
+                    .map(|i| n.add_input(format!("b{i}")).unwrap())
                     .collect(),
-                None => (0..8).map(|i| n.add_input(format!("b{i}")).unwrap()).collect(),
             };
             // Sum of partial products a & b_i shifted (truncated to 8 bits).
             let mut acc: Vec<_> = (0..8).map(|_| n.constant(false)).collect();

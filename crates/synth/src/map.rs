@@ -99,6 +99,9 @@ pub fn map_aig(aig: &Aig, options: MapOptions) -> Result<LutCircuit, NetlistErro
 
     // ---- cut enumeration + best-cut costs ------------------------------
     let mut info: Vec<NodeInfo> = Vec::with_capacity(n);
+    // Index-driven on purpose: the body reads `info[..i]` while pushing
+    // entry `i`, which an iterator over `info` cannot express.
+    #[allow(clippy::needless_range_loop)]
     for i in 0..n {
         let node = aig.node(i as u32);
         let ni = match node {
@@ -319,7 +322,12 @@ pub fn map_aig(aig: &Aig, options: MapOptions) -> Result<LutCircuit, NetlistErro
                     } else {
                         TruthTable::const0(0)
                     };
-                    let b = circuit.add_lut(format!("const{}", u8::from(value)), vec![], truth, false)?;
+                    let b = circuit.add_lut(
+                        format!("const{}", u8::from(value)),
+                        vec![],
+                        truth,
+                        false,
+                    )?;
                     const_block.insert(value, b);
                     b
                 }
@@ -545,7 +553,11 @@ mod tests {
         let ins: Vec<AigLit> = (0..6).map(|i| g.add_input(format!("i{i}"))).collect();
         let mut acc = ins[0];
         for (j, &l) in ins[1..].iter().enumerate() {
-            acc = if j % 2 == 0 { g.xor(acc, l) } else { g.or(acc, l) };
+            acc = if j % 2 == 0 {
+                g.xor(acc, l)
+            } else {
+                g.or(acc, l)
+            };
         }
         g.add_output("y", acc);
         let c1 = map_aig(&g, MapOptions::default()).unwrap();

@@ -32,9 +32,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let lp_mapped = synthesize(&specialized_fir(&lp), MapOptions::default())?;
     let hp_mapped = synthesize(&specialized_fir(&hp), MapOptions::default())?;
     let generic = fir_generic_reference(4);
-    println!(
-        "\nconstant propagation (paper: 'such a FIR filter is 3 times smaller'):"
-    );
+    println!("\nconstant propagation (paper: 'such a FIR filter is 3 times smaller'):");
     println!("  generic filter:      {} LUTs", generic.lut_count());
     println!("  specialised low-pass:  {} LUTs", lp_mapped.lut_count());
     println!("  specialised high-pass: {} LUTs", hp_mapped.lut_count());
@@ -43,7 +41,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let input = MultiModeInput::new(vec![lp_mapped, hp_mapped])?;
     let result = DcsFlow::new(FlowOptions::default()).run(&input)?;
     let stats = result.tunable.stats();
-    println!("\nmulti-mode filter on a {0}x{0} region (channel width {1}):", result.arch.grid, result.arch.channel_width);
+    println!(
+        "\nmulti-mode filter on a {0}x{0} region (channel width {1}):",
+        result.arch.grid, result.arch.channel_width
+    );
     println!("  {stats}");
     println!("  MDR rewrite: {}", result.mdr_cost());
     println!("  DCS rewrite: {}", result.dcs_cost());

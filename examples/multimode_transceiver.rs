@@ -36,17 +36,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     assert!(http.matches(b"GET /admin/users/list?session=0123456789abcdef HTTP/1.1"));
     assert!(!http.matches(b"GET /index.html HTTP/1.1"));
 
-    let input = MultiModeInput::new(vec![
-        http.into_lut_circuit(),
-        dns.into_lut_circuit(),
-    ])?;
+    let input = MultiModeInput::new(vec![http.into_lut_circuit(), dns.into_lut_circuit()])?;
 
     let mut options = FlowOptions::default();
     options.placer.inner_num = 2.0;
     println!("\nrunning MDR + DCS (edge matching) + DCS (wire length)...");
     let m = run_pair(&input, &options, "transceiver")?;
 
-    println!("\nregion {0}x{0}; channel widths: MDR {1}, DCS-edge {2}, DCS-wl {3}", m.grid, m.width_mdr, m.width_edge, m.width_wirelength);
+    println!(
+        "\nregion {0}x{0}; channel widths: MDR {1}, DCS-edge {2}, DCS-wl {3}",
+        m.grid, m.width_mdr, m.width_edge, m.width_wirelength
+    );
     println!("\nreconfiguration cost (bits rewritten on a mode switch):");
     println!("  MDR  (full region): {}", m.mdr);
     println!("  Diff (changed bits): {}", m.diff);

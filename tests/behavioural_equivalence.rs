@@ -67,7 +67,9 @@ fn mcnc_circuits_map_equivalently() {
         let n_in = net.inputs().len();
         let mut state = 0x1234_5678_9abc_def0u64 ^ name.len() as u64;
         for cycle in 0..200 {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let ins: Vec<bool> = (0..n_in).map(|i| (state >> (i % 60)) & 1 == 1).collect();
             assert_eq!(gate.step(&ins), lut.step(&ins), "{name} cycle {cycle}");
         }
@@ -89,7 +91,10 @@ fn blif_roundtrip_of_sequential_datapath() {
     let mapped = synthesize(&net, MapOptions::default()).unwrap();
     let text = blif::to_blif(&mapped);
     let parsed = blif::from_blif(&text, 4).unwrap();
-    assert_eq!(first_divergence(&mapped, &parsed, 512, 0xace).unwrap(), None);
+    assert_eq!(
+        first_divergence(&mapped, &parsed, 512, 0xace).unwrap(),
+        None
+    );
 }
 
 #[test]

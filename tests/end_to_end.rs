@@ -53,7 +53,10 @@ fn full_pair_experiment_invariants() {
     // Headline orderings of the paper.
     assert!(m.speedup_wirelength() > 1.0, "DCS-wl beats MDR");
     assert!(m.speedup_edge() > 1.0, "DCS-edge beats MDR");
-    assert!(m.diff.routing_bits < m.mdr.routing_bits, "diff < full region");
+    assert!(
+        m.diff.routing_bits < m.mdr.routing_bits,
+        "diff < full region"
+    );
     // LUT bits are always fully rewritten in every scenario.
     assert_eq!(m.mdr.lut_bits, m.diff.lut_bits);
     assert_eq!(m.mdr.lut_bits, m.dcs_edge.lut_bits);

@@ -137,9 +137,7 @@ fn build_circuit(name: &str, n_inputs: usize, n_luts: usize, seed: u64) -> LutCi
         }
         let tt = TruthTable::from_bits(ins.len(), next(usize::MAX) as u64);
         let registered = next(5) == 0;
-        let id = c
-            .add_lut(format!("n{j}"), ins, tt, registered)
-            .unwrap();
+        let id = c.add_lut(format!("n{j}"), ins, tt, registered).unwrap();
         drivers.push(id);
     }
     let out = drivers[drivers.len() - 1];
@@ -148,11 +146,7 @@ fn build_circuit(name: &str, n_inputs: usize, n_luts: usize, seed: u64) -> LutCi
 }
 
 /// Random legal placement of `circuits` on `arch`.
-fn random_placement(
-    circuits: &[LutCircuit],
-    arch: &Architecture,
-    seed: u64,
-) -> MultiPlacement {
+fn random_placement(circuits: &[LutCircuit], arch: &Architecture, seed: u64) -> MultiPlacement {
     let mut s = seed | 1;
     let mut next = move |bound: usize| {
         s ^= s << 13;

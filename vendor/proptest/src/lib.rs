@@ -1,0 +1,274 @@
+//! Vendored, dependency-free stand-in for `proptest`.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! ships the subset of the proptest surface its property tests use: the
+//! [`proptest!`] macro over functions whose parameters are either
+//! `name in <range>` strategies or `name: <type>` arbitrary values, plus
+//! [`prop_assert!`]/[`prop_assert_eq!`] and
+//! [`test_runner::TestCaseError`].
+//!
+//! Cases are generated from a fixed seed, so failures are reproducible;
+//! there is no shrinking — the failing inputs are printed instead.
+
+#![forbid(unsafe_code)]
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Runner configuration (`cases` only).
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of random cases to execute per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+/// Test-runner types referenced by generated code.
+pub mod test_runner {
+    /// A failed (or rejected) test case.
+    #[derive(Debug)]
+    pub struct TestCaseError(pub String);
+
+    impl TestCaseError {
+        /// A failure carrying `reason`.
+        pub fn fail(reason: impl Into<String>) -> Self {
+            TestCaseError(reason.into())
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "{}", self.0)
+        }
+    }
+}
+
+/// Sampling strategies: ranges of integers, or "arbitrary" for plain
+/// typed parameters.
+pub mod strategy {
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// A source of random values for one parameter.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+        /// Draws one value.
+        fn sample(&self, rng: &mut StdRng) -> Self::Value;
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    /// Types that can be drawn without an explicit strategy
+    /// (`name: type` parameters).
+    pub trait Arbitrary {
+        /// Draws one arbitrary value.
+        fn arbitrary(rng: &mut StdRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut StdRng) -> Self {
+                    rng.gen()
+                }
+            }
+        )*};
+    }
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, bool);
+}
+
+/// Everything the `proptest!` blocks use.
+pub mod prelude {
+    pub use crate::strategy::{Arbitrary, Strategy};
+    pub use crate::test_runner::TestCaseError;
+    pub use crate::{prop_assert, prop_assert_eq, proptest, ProptestConfig};
+}
+
+/// Runs `cases` deterministic cases, reporting the case index on failure.
+///
+/// Used by the expansion of [`proptest!`]; not part of the public
+/// proptest API.
+pub fn run_cases(
+    test_name: &str,
+    cases: u32,
+    mut one: impl FnMut(&mut StdRng) -> Result<(), test_runner::TestCaseError>,
+) {
+    for case in 0..cases {
+        // Stable per (test, case): reruns reproduce the exact failure.
+        let seed = 0x00c0_ffee_0000_0000u64
+            ^ u64::from(case).wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            ^ test_name
+                .bytes()
+                .fold(0u64, |h, b| h.wrapping_mul(131).wrapping_add(u64::from(b)));
+        let mut rng = StdRng::seed_from_u64(seed);
+        if let Err(e) = one(&mut rng) {
+            panic!("proptest case {case}/{cases} of '{test_name}' failed: {e}");
+        }
+    }
+}
+
+/// Declares property tests. Supports the proptest syntax subset:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn prop(x in 0usize..10, mask: u64) { prop_assert!(x < 10); }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+/// Internal: expands each function of a [`proptest!`] block.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr); ) => {};
+    (($cfg:expr);
+     $(#[$meta:meta])*
+     fn $name:ident($($params:tt)*) $body:block
+     $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            $crate::run_cases(stringify!($name), config.cases, |__rng| {
+                $crate::__proptest_bind!(__rng; $($params)*);
+                $body
+                Ok(())
+            });
+        }
+        $crate::__proptest_impl!{ ($cfg); $($rest)* }
+    };
+}
+
+/// Internal: binds the parameters of one property-test case.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_bind {
+    ($rng:ident; ) => {};
+    ($rng:ident; $name:ident in $strat:expr) => {
+        let $name = $crate::strategy::Strategy::sample(&($strat), $rng);
+    };
+    ($rng:ident; $name:ident in $strat:expr, $($rest:tt)*) => {
+        let $name = $crate::strategy::Strategy::sample(&($strat), $rng);
+        $crate::__proptest_bind!($rng; $($rest)*);
+    };
+    ($rng:ident; $name:ident : $ty:ty) => {
+        let $name: $ty = $crate::strategy::Arbitrary::arbitrary($rng);
+    };
+    ($rng:ident; $name:ident : $ty:ty, $($rest:tt)*) => {
+        let $name: $ty = $crate::strategy::Arbitrary::arbitrary($rng);
+        $crate::__proptest_bind!($rng; $($rest)*);
+    };
+}
+
+/// `assert!` that fails the case (with location info) instead of
+/// panicking directly.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(
+                    format!("{} at {}:{}", format!($($fmt)*), file!(), line!()),
+                ),
+            );
+        }
+    };
+}
+
+/// `assert_eq!` variant of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}` (left: `{:?}`, right: `{:?}`)",
+            stringify!($left),
+            stringify!($right),
+            l,
+            r
+        );
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_respected(x in 1usize..=9, y in 0u64..100, flag: bool) {
+            prop_assert!((1..=9).contains(&x));
+            prop_assert!(y < 100);
+            let _ = flag;
+        }
+
+        #[test]
+        fn eq_macro_works(a: u32) {
+            prop_assert_eq!(a, a);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "failed")]
+    fn failures_panic_with_case_info() {
+        crate::run_cases("always_fails", 4, |_rng| {
+            prop_assert!(false);
+            #[allow(unreachable_code)]
+            Ok(())
+        });
+    }
+
+    #[test]
+    fn question_mark_propagates() {
+        crate::run_cases("qmark", 2, |_rng| {
+            let r: Result<(), TestCaseError> = Ok(());
+            r?;
+            Ok(())
+        });
+    }
+}
