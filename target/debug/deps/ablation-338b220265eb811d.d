@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation-338b220265eb811d.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/debug/deps/ablation-338b220265eb811d: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation-54d5a5ed74ab7168.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/debug/deps/ablation-54d5a5ed74ab7168: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation-8a55aa4e293dfe05.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/debug/deps/libablation-8a55aa4e293dfe05.rmeta: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

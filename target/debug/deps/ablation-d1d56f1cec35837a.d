@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation-d1d56f1cec35837a.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/debug/deps/ablation-d1d56f1cec35837a: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

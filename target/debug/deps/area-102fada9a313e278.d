@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/area-102fada9a313e278.d: crates/bench/src/bin/area.rs Cargo.toml
+
+/root/repo/target/debug/deps/libarea-102fada9a313e278.rmeta: crates/bench/src/bin/area.rs Cargo.toml
+
+crates/bench/src/bin/area.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/area-2ea397b37f6ff04f.d: crates/bench/src/bin/area.rs
+
+/root/repo/target/debug/deps/area-2ea397b37f6ff04f: crates/bench/src/bin/area.rs
+
+crates/bench/src/bin/area.rs:

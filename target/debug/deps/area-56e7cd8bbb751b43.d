@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/area-56e7cd8bbb751b43.d: crates/bench/src/bin/area.rs
+
+/root/repo/target/debug/deps/area-56e7cd8bbb751b43: crates/bench/src/bin/area.rs
+
+crates/bench/src/bin/area.rs:

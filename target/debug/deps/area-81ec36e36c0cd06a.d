@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/area-81ec36e36c0cd06a.d: crates/bench/src/bin/area.rs
+
+/root/repo/target/debug/deps/libarea-81ec36e36c0cd06a.rmeta: crates/bench/src/bin/area.rs
+
+crates/bench/src/bin/area.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/area-af648345147c52e6.d: crates/bench/src/bin/area.rs Cargo.toml
+
+/root/repo/target/debug/deps/libarea-af648345147c52e6.rmeta: crates/bench/src/bin/area.rs Cargo.toml
+
+crates/bench/src/bin/area.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

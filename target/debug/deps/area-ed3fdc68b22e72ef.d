@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/area-ed3fdc68b22e72ef.d: crates/bench/src/bin/area.rs
+
+/root/repo/target/debug/deps/area-ed3fdc68b22e72ef: crates/bench/src/bin/area.rs
+
+crates/bench/src/bin/area.rs:

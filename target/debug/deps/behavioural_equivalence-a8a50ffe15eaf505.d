@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/behavioural_equivalence-a8a50ffe15eaf505.d: tests/behavioural_equivalence.rs
+
+/root/repo/target/debug/deps/behavioural_equivalence-a8a50ffe15eaf505: tests/behavioural_equivalence.rs
+
+tests/behavioural_equivalence.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/behavioural_equivalence-d362b40afde13b90.d: tests/behavioural_equivalence.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbehavioural_equivalence-d362b40afde13b90.rmeta: tests/behavioural_equivalence.rs Cargo.toml
+
+tests/behavioural_equivalence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cli-a794459c8c177135.d: crates/cli/tests/cli.rs
+
+/root/repo/target/debug/deps/cli-a794459c8c177135: crates/cli/tests/cli.rs
+
+crates/cli/tests/cli.rs:
+
+# env-dep:CARGO_BIN_EXE_mmflow=/root/repo/target/debug/mmflow

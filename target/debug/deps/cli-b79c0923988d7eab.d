@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cli-b79c0923988d7eab.d: crates/cli/tests/cli.rs
+
+/root/repo/target/debug/deps/cli-b79c0923988d7eab: crates/cli/tests/cli.rs
+
+crates/cli/tests/cli.rs:
+
+# env-dep:CARGO_BIN_EXE_mmflow=/root/repo/target/debug/mmflow

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-79e4a57290e1bb77.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-79e4a57290e1bb77: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/engine-164aec4d87322776.d: crates/engine/tests/engine.rs
+
+/root/repo/target/debug/deps/engine-164aec4d87322776: crates/engine/tests/engine.rs
+
+crates/engine/tests/engine.rs:

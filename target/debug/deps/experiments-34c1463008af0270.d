@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments-34c1463008af0270.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/debug/deps/experiments-34c1463008af0270: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments-8a65f887d8e6028c.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/debug/deps/experiments-8a65f887d8e6028c: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

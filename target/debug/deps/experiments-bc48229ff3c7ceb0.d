@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments-bc48229ff3c7ceb0.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/debug/deps/experiments-bc48229ff3c7ceb0: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments-f1cb1a3bad599f29.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/debug/deps/libexperiments-f1cb1a3bad599f29.rmeta: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extensions-1eff387d3d3c56d2.d: crates/bench/src/bin/extensions.rs
+
+/root/repo/target/debug/deps/extensions-1eff387d3d3c56d2: crates/bench/src/bin/extensions.rs
+
+crates/bench/src/bin/extensions.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extensions-4c3f2f5b07861ec8.d: crates/bench/src/bin/extensions.rs
+
+/root/repo/target/debug/deps/extensions-4c3f2f5b07861ec8: crates/bench/src/bin/extensions.rs
+
+crates/bench/src/bin/extensions.rs:

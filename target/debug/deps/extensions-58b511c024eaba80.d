@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extensions-58b511c024eaba80.d: crates/bench/src/bin/extensions.rs
+
+/root/repo/target/debug/deps/libextensions-58b511c024eaba80.rmeta: crates/bench/src/bin/extensions.rs
+
+crates/bench/src/bin/extensions.rs:

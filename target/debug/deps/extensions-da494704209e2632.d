@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extensions-da494704209e2632.d: crates/bench/src/bin/extensions.rs
+
+/root/repo/target/debug/deps/extensions-da494704209e2632: crates/bench/src/bin/extensions.rs
+
+crates/bench/src/bin/extensions.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5-2b8f19f296850134.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/debug/deps/fig5-2b8f19f296850134: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

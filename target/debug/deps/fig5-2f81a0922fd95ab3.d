@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5-2f81a0922fd95ab3.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/debug/deps/fig5-2f81a0922fd95ab3: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5-5dbf6030de878fd9.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/debug/deps/fig5-5dbf6030de878fd9: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5-c6b51067da113e9c.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/debug/deps/libfig5-c6b51067da113e9c.rmeta: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-787d0f06a1ae90fa.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/debug/deps/libfig6-787d0f06a1ae90fa.rmeta: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

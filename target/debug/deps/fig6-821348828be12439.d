@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-821348828be12439.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/debug/deps/fig6-821348828be12439: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

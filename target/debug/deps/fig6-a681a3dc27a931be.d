@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-a681a3dc27a931be.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/debug/deps/fig6-a681a3dc27a931be: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

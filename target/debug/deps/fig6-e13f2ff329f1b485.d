@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-e13f2ff329f1b485.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/debug/deps/fig6-e13f2ff329f1b485: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

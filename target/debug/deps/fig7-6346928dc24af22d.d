@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-6346928dc24af22d.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/fig7-6346928dc24af22d: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

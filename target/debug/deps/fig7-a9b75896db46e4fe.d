@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-a9b75896db46e4fe.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/libfig7-a9b75896db46e4fe.rmeta: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

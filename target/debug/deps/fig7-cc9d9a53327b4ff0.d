@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-cc9d9a53327b4ff0.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/fig7-cc9d9a53327b4ff0: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-e4faa18586e86004.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/fig7-e4faa18586e86004: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/flow_stages-786657c6fd2ab1e1.d: crates/bench/benches/flow_stages.rs Cargo.toml
+
+/root/repo/target/debug/deps/libflow_stages-786657c6fd2ab1e1.rmeta: crates/bench/benches/flow_stages.rs Cargo.toml
+
+crates/bench/benches/flow_stages.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

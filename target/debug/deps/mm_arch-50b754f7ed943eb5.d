@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/mm_arch-50b754f7ed943eb5.d: crates/arch/src/lib.rs crates/arch/src/model.rs crates/arch/src/rrg.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmm_arch-50b754f7ed943eb5.rmeta: crates/arch/src/lib.rs crates/arch/src/model.rs crates/arch/src/rrg.rs Cargo.toml
+
+crates/arch/src/lib.rs:
+crates/arch/src/model.rs:
+crates/arch/src/rrg.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

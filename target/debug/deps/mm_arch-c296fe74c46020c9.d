@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/mm_arch-c296fe74c46020c9.d: crates/arch/src/lib.rs crates/arch/src/model.rs crates/arch/src/rrg.rs
+
+/root/repo/target/debug/deps/libmm_arch-c296fe74c46020c9.rmeta: crates/arch/src/lib.rs crates/arch/src/model.rs crates/arch/src/rrg.rs
+
+crates/arch/src/lib.rs:
+crates/arch/src/model.rs:
+crates/arch/src/rrg.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mm_arch-c68741348fd8927b.d: crates/arch/src/lib.rs crates/arch/src/model.rs crates/arch/src/rrg.rs
+
+/root/repo/target/debug/deps/libmm_arch-c68741348fd8927b.rlib: crates/arch/src/lib.rs crates/arch/src/model.rs crates/arch/src/rrg.rs
+
+/root/repo/target/debug/deps/libmm_arch-c68741348fd8927b.rmeta: crates/arch/src/lib.rs crates/arch/src/model.rs crates/arch/src/rrg.rs
+
+crates/arch/src/lib.rs:
+crates/arch/src/model.rs:
+crates/arch/src/rrg.rs:

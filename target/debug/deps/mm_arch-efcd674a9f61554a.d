@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/mm_arch-efcd674a9f61554a.d: crates/arch/src/lib.rs crates/arch/src/model.rs crates/arch/src/rrg.rs
+
+/root/repo/target/debug/deps/mm_arch-efcd674a9f61554a: crates/arch/src/lib.rs crates/arch/src/model.rs crates/arch/src/rrg.rs
+
+crates/arch/src/lib.rs:
+crates/arch/src/model.rs:
+crates/arch/src/rrg.rs:

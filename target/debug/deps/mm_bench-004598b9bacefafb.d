@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mm_bench-004598b9bacefafb.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libmm_bench-004598b9bacefafb.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

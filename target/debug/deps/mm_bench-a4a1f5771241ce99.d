@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mm_bench-a4a1f5771241ce99.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/mm_bench-a4a1f5771241ce99: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

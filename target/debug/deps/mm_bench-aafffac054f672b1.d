@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/mm_bench-aafffac054f672b1.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libmm_bench-aafffac054f672b1.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libmm_bench-aafffac054f672b1.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mm_bench-d1b038517b9b0ac8.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmm_bench-d1b038517b9b0ac8.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

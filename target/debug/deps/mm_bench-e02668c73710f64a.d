@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mm_bench-e02668c73710f64a.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmm_bench-e02668c73710f64a.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mm_bench-f706b246b5709d34.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/mm_bench-f706b246b5709d34: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

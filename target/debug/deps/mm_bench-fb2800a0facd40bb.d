@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/mm_bench-fb2800a0facd40bb.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libmm_bench-fb2800a0facd40bb.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libmm_bench-fb2800a0facd40bb.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

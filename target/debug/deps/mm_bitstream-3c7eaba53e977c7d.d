@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mm_bitstream-3c7eaba53e977c7d.d: crates/bitstream/src/lib.rs
+
+/root/repo/target/debug/deps/libmm_bitstream-3c7eaba53e977c7d.rmeta: crates/bitstream/src/lib.rs
+
+crates/bitstream/src/lib.rs:

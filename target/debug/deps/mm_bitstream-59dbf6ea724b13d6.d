@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mm_bitstream-59dbf6ea724b13d6.d: crates/bitstream/src/lib.rs
+
+/root/repo/target/debug/deps/mm_bitstream-59dbf6ea724b13d6: crates/bitstream/src/lib.rs
+
+crates/bitstream/src/lib.rs:

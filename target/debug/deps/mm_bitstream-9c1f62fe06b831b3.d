@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mm_bitstream-9c1f62fe06b831b3.d: crates/bitstream/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmm_bitstream-9c1f62fe06b831b3.rmeta: crates/bitstream/src/lib.rs Cargo.toml
+
+crates/bitstream/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

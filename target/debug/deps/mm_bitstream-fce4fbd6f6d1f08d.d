@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/mm_bitstream-fce4fbd6f6d1f08d.d: crates/bitstream/src/lib.rs
+
+/root/repo/target/debug/deps/libmm_bitstream-fce4fbd6f6d1f08d.rlib: crates/bitstream/src/lib.rs
+
+/root/repo/target/debug/deps/libmm_bitstream-fce4fbd6f6d1f08d.rmeta: crates/bitstream/src/lib.rs
+
+crates/bitstream/src/lib.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/mm_boolexpr-32af768c9f99cd79.d: crates/boolexpr/src/lib.rs crates/boolexpr/src/cube.rs crates/boolexpr/src/expr.rs crates/boolexpr/src/modeset.rs crates/boolexpr/src/qm.rs
+
+/root/repo/target/debug/deps/libmm_boolexpr-32af768c9f99cd79.rlib: crates/boolexpr/src/lib.rs crates/boolexpr/src/cube.rs crates/boolexpr/src/expr.rs crates/boolexpr/src/modeset.rs crates/boolexpr/src/qm.rs
+
+/root/repo/target/debug/deps/libmm_boolexpr-32af768c9f99cd79.rmeta: crates/boolexpr/src/lib.rs crates/boolexpr/src/cube.rs crates/boolexpr/src/expr.rs crates/boolexpr/src/modeset.rs crates/boolexpr/src/qm.rs
+
+crates/boolexpr/src/lib.rs:
+crates/boolexpr/src/cube.rs:
+crates/boolexpr/src/expr.rs:
+crates/boolexpr/src/modeset.rs:
+crates/boolexpr/src/qm.rs:

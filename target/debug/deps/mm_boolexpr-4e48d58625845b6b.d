@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mm_boolexpr-4e48d58625845b6b.d: crates/boolexpr/src/lib.rs crates/boolexpr/src/cube.rs crates/boolexpr/src/expr.rs crates/boolexpr/src/modeset.rs crates/boolexpr/src/qm.rs
+
+/root/repo/target/debug/deps/libmm_boolexpr-4e48d58625845b6b.rmeta: crates/boolexpr/src/lib.rs crates/boolexpr/src/cube.rs crates/boolexpr/src/expr.rs crates/boolexpr/src/modeset.rs crates/boolexpr/src/qm.rs
+
+crates/boolexpr/src/lib.rs:
+crates/boolexpr/src/cube.rs:
+crates/boolexpr/src/expr.rs:
+crates/boolexpr/src/modeset.rs:
+crates/boolexpr/src/qm.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mm_boolexpr-74c4c491c45aba13.d: crates/boolexpr/src/lib.rs crates/boolexpr/src/cube.rs crates/boolexpr/src/expr.rs crates/boolexpr/src/modeset.rs crates/boolexpr/src/qm.rs
+
+/root/repo/target/debug/deps/mm_boolexpr-74c4c491c45aba13: crates/boolexpr/src/lib.rs crates/boolexpr/src/cube.rs crates/boolexpr/src/expr.rs crates/boolexpr/src/modeset.rs crates/boolexpr/src/qm.rs
+
+crates/boolexpr/src/lib.rs:
+crates/boolexpr/src/cube.rs:
+crates/boolexpr/src/expr.rs:
+crates/boolexpr/src/modeset.rs:
+crates/boolexpr/src/qm.rs:

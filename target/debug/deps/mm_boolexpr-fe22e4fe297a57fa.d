@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/mm_boolexpr-fe22e4fe297a57fa.d: crates/boolexpr/src/lib.rs crates/boolexpr/src/cube.rs crates/boolexpr/src/expr.rs crates/boolexpr/src/modeset.rs crates/boolexpr/src/qm.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmm_boolexpr-fe22e4fe297a57fa.rmeta: crates/boolexpr/src/lib.rs crates/boolexpr/src/cube.rs crates/boolexpr/src/expr.rs crates/boolexpr/src/modeset.rs crates/boolexpr/src/qm.rs Cargo.toml
+
+crates/boolexpr/src/lib.rs:
+crates/boolexpr/src/cube.rs:
+crates/boolexpr/src/expr.rs:
+crates/boolexpr/src/modeset.rs:
+crates/boolexpr/src/qm.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/mm_engine-0fe4bc930d5b765e.d: crates/engine/src/lib.rs crates/engine/src/cache.rs crates/engine/src/engine.rs crates/engine/src/hash.rs crates/engine/src/job.rs crates/engine/src/json.rs crates/engine/src/pool.rs
+
+/root/repo/target/debug/deps/libmm_engine-0fe4bc930d5b765e.rmeta: crates/engine/src/lib.rs crates/engine/src/cache.rs crates/engine/src/engine.rs crates/engine/src/hash.rs crates/engine/src/job.rs crates/engine/src/json.rs crates/engine/src/pool.rs
+
+crates/engine/src/lib.rs:
+crates/engine/src/cache.rs:
+crates/engine/src/engine.rs:
+crates/engine/src/hash.rs:
+crates/engine/src/job.rs:
+crates/engine/src/json.rs:
+crates/engine/src/pool.rs:

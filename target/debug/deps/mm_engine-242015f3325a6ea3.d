@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/mm_engine-242015f3325a6ea3.d: crates/engine/src/lib.rs
+
+/root/repo/target/debug/deps/libmm_engine-242015f3325a6ea3.rlib: crates/engine/src/lib.rs
+
+/root/repo/target/debug/deps/libmm_engine-242015f3325a6ea3.rmeta: crates/engine/src/lib.rs
+
+crates/engine/src/lib.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/mm_engine-79034fd74119c4b0.d: crates/engine/src/lib.rs crates/engine/src/cache.rs crates/engine/src/engine.rs crates/engine/src/hash.rs crates/engine/src/job.rs crates/engine/src/json.rs crates/engine/src/pool.rs
+
+/root/repo/target/debug/deps/libmm_engine-79034fd74119c4b0.rlib: crates/engine/src/lib.rs crates/engine/src/cache.rs crates/engine/src/engine.rs crates/engine/src/hash.rs crates/engine/src/job.rs crates/engine/src/json.rs crates/engine/src/pool.rs
+
+/root/repo/target/debug/deps/libmm_engine-79034fd74119c4b0.rmeta: crates/engine/src/lib.rs crates/engine/src/cache.rs crates/engine/src/engine.rs crates/engine/src/hash.rs crates/engine/src/job.rs crates/engine/src/json.rs crates/engine/src/pool.rs
+
+crates/engine/src/lib.rs:
+crates/engine/src/cache.rs:
+crates/engine/src/engine.rs:
+crates/engine/src/hash.rs:
+crates/engine/src/job.rs:
+crates/engine/src/json.rs:
+crates/engine/src/pool.rs:

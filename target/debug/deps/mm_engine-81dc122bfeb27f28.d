@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mm_engine-81dc122bfeb27f28.d: crates/engine/src/lib.rs
+
+/root/repo/target/debug/deps/mm_engine-81dc122bfeb27f28: crates/engine/src/lib.rs
+
+crates/engine/src/lib.rs:

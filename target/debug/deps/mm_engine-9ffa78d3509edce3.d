@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/mm_engine-9ffa78d3509edce3.d: crates/engine/src/lib.rs crates/engine/src/cache.rs crates/engine/src/engine.rs crates/engine/src/hash.rs crates/engine/src/job.rs crates/engine/src/json.rs crates/engine/src/pool.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmm_engine-9ffa78d3509edce3.rmeta: crates/engine/src/lib.rs crates/engine/src/cache.rs crates/engine/src/engine.rs crates/engine/src/hash.rs crates/engine/src/job.rs crates/engine/src/json.rs crates/engine/src/pool.rs Cargo.toml
+
+crates/engine/src/lib.rs:
+crates/engine/src/cache.rs:
+crates/engine/src/engine.rs:
+crates/engine/src/hash.rs:
+crates/engine/src/job.rs:
+crates/engine/src/json.rs:
+crates/engine/src/pool.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/mm_flow-4e3c5f6f156334d1.d: crates/core/src/lib.rs crates/core/src/error.rs crates/core/src/experiment.rs crates/core/src/flow.rs crates/core/src/report.rs crates/core/src/timing.rs crates/core/src/tunable.rs
+
+/root/repo/target/debug/deps/libmm_flow-4e3c5f6f156334d1.rlib: crates/core/src/lib.rs crates/core/src/error.rs crates/core/src/experiment.rs crates/core/src/flow.rs crates/core/src/report.rs crates/core/src/timing.rs crates/core/src/tunable.rs
+
+/root/repo/target/debug/deps/libmm_flow-4e3c5f6f156334d1.rmeta: crates/core/src/lib.rs crates/core/src/error.rs crates/core/src/experiment.rs crates/core/src/flow.rs crates/core/src/report.rs crates/core/src/timing.rs crates/core/src/tunable.rs
+
+crates/core/src/lib.rs:
+crates/core/src/error.rs:
+crates/core/src/experiment.rs:
+crates/core/src/flow.rs:
+crates/core/src/report.rs:
+crates/core/src/timing.rs:
+crates/core/src/tunable.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/mm_flow-77fcacd553007934.d: crates/core/src/lib.rs crates/core/src/error.rs crates/core/src/experiment.rs crates/core/src/flow.rs crates/core/src/report.rs crates/core/src/timing.rs crates/core/src/tunable.rs
+
+/root/repo/target/debug/deps/libmm_flow-77fcacd553007934.rmeta: crates/core/src/lib.rs crates/core/src/error.rs crates/core/src/experiment.rs crates/core/src/flow.rs crates/core/src/report.rs crates/core/src/timing.rs crates/core/src/tunable.rs
+
+crates/core/src/lib.rs:
+crates/core/src/error.rs:
+crates/core/src/experiment.rs:
+crates/core/src/flow.rs:
+crates/core/src/report.rs:
+crates/core/src/timing.rs:
+crates/core/src/tunable.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/mm_flow-dc244c5ed46a0a44.d: crates/core/src/lib.rs crates/core/src/error.rs crates/core/src/experiment.rs crates/core/src/flow.rs crates/core/src/report.rs crates/core/src/timing.rs crates/core/src/tunable.rs
+
+/root/repo/target/debug/deps/mm_flow-dc244c5ed46a0a44: crates/core/src/lib.rs crates/core/src/error.rs crates/core/src/experiment.rs crates/core/src/flow.rs crates/core/src/report.rs crates/core/src/timing.rs crates/core/src/tunable.rs
+
+crates/core/src/lib.rs:
+crates/core/src/error.rs:
+crates/core/src/experiment.rs:
+crates/core/src/flow.rs:
+crates/core/src/report.rs:
+crates/core/src/timing.rs:
+crates/core/src/tunable.rs:

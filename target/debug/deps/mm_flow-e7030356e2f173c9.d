@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/mm_flow-e7030356e2f173c9.d: crates/core/src/lib.rs crates/core/src/error.rs crates/core/src/experiment.rs crates/core/src/flow.rs crates/core/src/report.rs crates/core/src/timing.rs crates/core/src/tunable.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmm_flow-e7030356e2f173c9.rmeta: crates/core/src/lib.rs crates/core/src/error.rs crates/core/src/experiment.rs crates/core/src/flow.rs crates/core/src/report.rs crates/core/src/timing.rs crates/core/src/tunable.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/error.rs:
+crates/core/src/experiment.rs:
+crates/core/src/flow.rs:
+crates/core/src/report.rs:
+crates/core/src/timing.rs:
+crates/core/src/tunable.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/mm_gen-14bfd9efac212470.d: crates/gen/src/lib.rs crates/gen/src/fir.rs crates/gen/src/mcnc.rs crates/gen/src/regex.rs crates/gen/src/words.rs
+
+/root/repo/target/debug/deps/libmm_gen-14bfd9efac212470.rlib: crates/gen/src/lib.rs crates/gen/src/fir.rs crates/gen/src/mcnc.rs crates/gen/src/regex.rs crates/gen/src/words.rs
+
+/root/repo/target/debug/deps/libmm_gen-14bfd9efac212470.rmeta: crates/gen/src/lib.rs crates/gen/src/fir.rs crates/gen/src/mcnc.rs crates/gen/src/regex.rs crates/gen/src/words.rs
+
+crates/gen/src/lib.rs:
+crates/gen/src/fir.rs:
+crates/gen/src/mcnc.rs:
+crates/gen/src/regex.rs:
+crates/gen/src/words.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mm_gen-409fae65b7f908b9.d: crates/gen/src/lib.rs crates/gen/src/fir.rs crates/gen/src/mcnc.rs crates/gen/src/regex.rs crates/gen/src/words.rs
+
+/root/repo/target/debug/deps/libmm_gen-409fae65b7f908b9.rmeta: crates/gen/src/lib.rs crates/gen/src/fir.rs crates/gen/src/mcnc.rs crates/gen/src/regex.rs crates/gen/src/words.rs
+
+crates/gen/src/lib.rs:
+crates/gen/src/fir.rs:
+crates/gen/src/mcnc.rs:
+crates/gen/src/regex.rs:
+crates/gen/src/words.rs:

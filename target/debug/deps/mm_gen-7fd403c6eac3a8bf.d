@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/mm_gen-7fd403c6eac3a8bf.d: crates/gen/src/lib.rs crates/gen/src/fir.rs crates/gen/src/mcnc.rs crates/gen/src/regex.rs crates/gen/src/words.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmm_gen-7fd403c6eac3a8bf.rmeta: crates/gen/src/lib.rs crates/gen/src/fir.rs crates/gen/src/mcnc.rs crates/gen/src/regex.rs crates/gen/src/words.rs Cargo.toml
+
+crates/gen/src/lib.rs:
+crates/gen/src/fir.rs:
+crates/gen/src/mcnc.rs:
+crates/gen/src/regex.rs:
+crates/gen/src/words.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mm_gen-c635621672c38aad.d: crates/gen/src/lib.rs crates/gen/src/fir.rs crates/gen/src/mcnc.rs crates/gen/src/regex.rs crates/gen/src/words.rs
+
+/root/repo/target/debug/deps/mm_gen-c635621672c38aad: crates/gen/src/lib.rs crates/gen/src/fir.rs crates/gen/src/mcnc.rs crates/gen/src/regex.rs crates/gen/src/words.rs
+
+crates/gen/src/lib.rs:
+crates/gen/src/fir.rs:
+crates/gen/src/mcnc.rs:
+crates/gen/src/regex.rs:
+crates/gen/src/words.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/mm_netlist-17584739f083370b.d: crates/netlist/src/lib.rs crates/netlist/src/blif.rs crates/netlist/src/error.rs crates/netlist/src/gates.rs crates/netlist/src/lut.rs crates/netlist/src/sim.rs crates/netlist/src/truth.rs
+
+/root/repo/target/debug/deps/libmm_netlist-17584739f083370b.rlib: crates/netlist/src/lib.rs crates/netlist/src/blif.rs crates/netlist/src/error.rs crates/netlist/src/gates.rs crates/netlist/src/lut.rs crates/netlist/src/sim.rs crates/netlist/src/truth.rs
+
+/root/repo/target/debug/deps/libmm_netlist-17584739f083370b.rmeta: crates/netlist/src/lib.rs crates/netlist/src/blif.rs crates/netlist/src/error.rs crates/netlist/src/gates.rs crates/netlist/src/lut.rs crates/netlist/src/sim.rs crates/netlist/src/truth.rs
+
+crates/netlist/src/lib.rs:
+crates/netlist/src/blif.rs:
+crates/netlist/src/error.rs:
+crates/netlist/src/gates.rs:
+crates/netlist/src/lut.rs:
+crates/netlist/src/sim.rs:
+crates/netlist/src/truth.rs:

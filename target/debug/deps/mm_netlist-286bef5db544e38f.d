@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/mm_netlist-286bef5db544e38f.d: crates/netlist/src/lib.rs crates/netlist/src/blif.rs crates/netlist/src/error.rs crates/netlist/src/gates.rs crates/netlist/src/lut.rs crates/netlist/src/sim.rs crates/netlist/src/truth.rs
+
+/root/repo/target/debug/deps/libmm_netlist-286bef5db544e38f.rmeta: crates/netlist/src/lib.rs crates/netlist/src/blif.rs crates/netlist/src/error.rs crates/netlist/src/gates.rs crates/netlist/src/lut.rs crates/netlist/src/sim.rs crates/netlist/src/truth.rs
+
+crates/netlist/src/lib.rs:
+crates/netlist/src/blif.rs:
+crates/netlist/src/error.rs:
+crates/netlist/src/gates.rs:
+crates/netlist/src/lut.rs:
+crates/netlist/src/sim.rs:
+crates/netlist/src/truth.rs:

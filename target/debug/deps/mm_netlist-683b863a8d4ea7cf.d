@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/mm_netlist-683b863a8d4ea7cf.d: crates/netlist/src/lib.rs crates/netlist/src/blif.rs crates/netlist/src/error.rs crates/netlist/src/gates.rs crates/netlist/src/lut.rs crates/netlist/src/sim.rs crates/netlist/src/truth.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmm_netlist-683b863a8d4ea7cf.rmeta: crates/netlist/src/lib.rs crates/netlist/src/blif.rs crates/netlist/src/error.rs crates/netlist/src/gates.rs crates/netlist/src/lut.rs crates/netlist/src/sim.rs crates/netlist/src/truth.rs Cargo.toml
+
+crates/netlist/src/lib.rs:
+crates/netlist/src/blif.rs:
+crates/netlist/src/error.rs:
+crates/netlist/src/gates.rs:
+crates/netlist/src/lut.rs:
+crates/netlist/src/sim.rs:
+crates/netlist/src/truth.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/mm_netlist-c2e027bed04be501.d: crates/netlist/src/lib.rs crates/netlist/src/blif.rs crates/netlist/src/error.rs crates/netlist/src/gates.rs crates/netlist/src/lut.rs crates/netlist/src/sim.rs crates/netlist/src/truth.rs
+
+/root/repo/target/debug/deps/mm_netlist-c2e027bed04be501: crates/netlist/src/lib.rs crates/netlist/src/blif.rs crates/netlist/src/error.rs crates/netlist/src/gates.rs crates/netlist/src/lut.rs crates/netlist/src/sim.rs crates/netlist/src/truth.rs
+
+crates/netlist/src/lib.rs:
+crates/netlist/src/blif.rs:
+crates/netlist/src/error.rs:
+crates/netlist/src/gates.rs:
+crates/netlist/src/lut.rs:
+crates/netlist/src/sim.rs:
+crates/netlist/src/truth.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/mm_place-49e2b1f855cde75a.d: crates/place/src/lib.rs crates/place/src/annealer.rs crates/place/src/netmodel.rs crates/place/src/placement.rs crates/place/src/qfactor.rs
+
+/root/repo/target/debug/deps/libmm_place-49e2b1f855cde75a.rlib: crates/place/src/lib.rs crates/place/src/annealer.rs crates/place/src/netmodel.rs crates/place/src/placement.rs crates/place/src/qfactor.rs
+
+/root/repo/target/debug/deps/libmm_place-49e2b1f855cde75a.rmeta: crates/place/src/lib.rs crates/place/src/annealer.rs crates/place/src/netmodel.rs crates/place/src/placement.rs crates/place/src/qfactor.rs
+
+crates/place/src/lib.rs:
+crates/place/src/annealer.rs:
+crates/place/src/netmodel.rs:
+crates/place/src/placement.rs:
+crates/place/src/qfactor.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mm_place-9dba0a134628dec8.d: crates/place/src/lib.rs crates/place/src/annealer.rs crates/place/src/netmodel.rs crates/place/src/placement.rs crates/place/src/qfactor.rs
+
+/root/repo/target/debug/deps/libmm_place-9dba0a134628dec8.rmeta: crates/place/src/lib.rs crates/place/src/annealer.rs crates/place/src/netmodel.rs crates/place/src/placement.rs crates/place/src/qfactor.rs
+
+crates/place/src/lib.rs:
+crates/place/src/annealer.rs:
+crates/place/src/netmodel.rs:
+crates/place/src/placement.rs:
+crates/place/src/qfactor.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/mm_place-b92b5707214f230b.d: crates/place/src/lib.rs crates/place/src/annealer.rs crates/place/src/netmodel.rs crates/place/src/placement.rs crates/place/src/qfactor.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmm_place-b92b5707214f230b.rmeta: crates/place/src/lib.rs crates/place/src/annealer.rs crates/place/src/netmodel.rs crates/place/src/placement.rs crates/place/src/qfactor.rs Cargo.toml
+
+crates/place/src/lib.rs:
+crates/place/src/annealer.rs:
+crates/place/src/netmodel.rs:
+crates/place/src/placement.rs:
+crates/place/src/qfactor.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

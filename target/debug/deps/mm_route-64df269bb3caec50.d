@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/mm_route-64df269bb3caec50.d: crates/route/src/lib.rs crates/route/src/minw.rs crates/route/src/nets.rs crates/route/src/router.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmm_route-64df269bb3caec50.rmeta: crates/route/src/lib.rs crates/route/src/minw.rs crates/route/src/nets.rs crates/route/src/router.rs Cargo.toml
+
+crates/route/src/lib.rs:
+crates/route/src/minw.rs:
+crates/route/src/nets.rs:
+crates/route/src/router.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

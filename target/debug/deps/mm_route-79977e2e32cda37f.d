@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/mm_route-79977e2e32cda37f.d: crates/route/src/lib.rs crates/route/src/minw.rs crates/route/src/nets.rs crates/route/src/router.rs
+
+/root/repo/target/debug/deps/libmm_route-79977e2e32cda37f.rmeta: crates/route/src/lib.rs crates/route/src/minw.rs crates/route/src/nets.rs crates/route/src/router.rs
+
+crates/route/src/lib.rs:
+crates/route/src/minw.rs:
+crates/route/src/nets.rs:
+crates/route/src/router.rs:

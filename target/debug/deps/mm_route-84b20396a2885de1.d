@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/mm_route-84b20396a2885de1.d: crates/route/src/lib.rs crates/route/src/minw.rs crates/route/src/nets.rs crates/route/src/router.rs
+
+/root/repo/target/debug/deps/libmm_route-84b20396a2885de1.rlib: crates/route/src/lib.rs crates/route/src/minw.rs crates/route/src/nets.rs crates/route/src/router.rs
+
+/root/repo/target/debug/deps/libmm_route-84b20396a2885de1.rmeta: crates/route/src/lib.rs crates/route/src/minw.rs crates/route/src/nets.rs crates/route/src/router.rs
+
+crates/route/src/lib.rs:
+crates/route/src/minw.rs:
+crates/route/src/nets.rs:
+crates/route/src/router.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/mm_route-c71a8b8c2505b679.d: crates/route/src/lib.rs crates/route/src/minw.rs crates/route/src/nets.rs crates/route/src/router.rs
+
+/root/repo/target/debug/deps/mm_route-c71a8b8c2505b679: crates/route/src/lib.rs crates/route/src/minw.rs crates/route/src/nets.rs crates/route/src/router.rs
+
+crates/route/src/lib.rs:
+crates/route/src/minw.rs:
+crates/route/src/nets.rs:
+crates/route/src/router.rs:

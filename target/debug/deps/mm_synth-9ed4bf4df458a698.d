@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/mm_synth-9ed4bf4df458a698.d: crates/synth/src/lib.rs crates/synth/src/aig.rs crates/synth/src/cuts.rs crates/synth/src/map.rs
+
+/root/repo/target/debug/deps/mm_synth-9ed4bf4df458a698: crates/synth/src/lib.rs crates/synth/src/aig.rs crates/synth/src/cuts.rs crates/synth/src/map.rs
+
+crates/synth/src/lib.rs:
+crates/synth/src/aig.rs:
+crates/synth/src/cuts.rs:
+crates/synth/src/map.rs:

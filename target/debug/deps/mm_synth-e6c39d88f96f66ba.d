@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/mm_synth-e6c39d88f96f66ba.d: crates/synth/src/lib.rs crates/synth/src/aig.rs crates/synth/src/cuts.rs crates/synth/src/map.rs
+
+/root/repo/target/debug/deps/libmm_synth-e6c39d88f96f66ba.rlib: crates/synth/src/lib.rs crates/synth/src/aig.rs crates/synth/src/cuts.rs crates/synth/src/map.rs
+
+/root/repo/target/debug/deps/libmm_synth-e6c39d88f96f66ba.rmeta: crates/synth/src/lib.rs crates/synth/src/aig.rs crates/synth/src/cuts.rs crates/synth/src/map.rs
+
+crates/synth/src/lib.rs:
+crates/synth/src/aig.rs:
+crates/synth/src/cuts.rs:
+crates/synth/src/map.rs:

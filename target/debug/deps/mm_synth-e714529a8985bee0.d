@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/mm_synth-e714529a8985bee0.d: crates/synth/src/lib.rs crates/synth/src/aig.rs crates/synth/src/cuts.rs crates/synth/src/map.rs
+
+/root/repo/target/debug/deps/libmm_synth-e714529a8985bee0.rmeta: crates/synth/src/lib.rs crates/synth/src/aig.rs crates/synth/src/cuts.rs crates/synth/src/map.rs
+
+crates/synth/src/lib.rs:
+crates/synth/src/aig.rs:
+crates/synth/src/cuts.rs:
+crates/synth/src/map.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/mm_synth-f0c5338ad654c093.d: crates/synth/src/lib.rs crates/synth/src/aig.rs crates/synth/src/cuts.rs crates/synth/src/map.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmm_synth-f0c5338ad654c093.rmeta: crates/synth/src/lib.rs crates/synth/src/aig.rs crates/synth/src/cuts.rs crates/synth/src/map.rs Cargo.toml
+
+crates/synth/src/lib.rs:
+crates/synth/src/aig.rs:
+crates/synth/src/cuts.rs:
+crates/synth/src/map.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

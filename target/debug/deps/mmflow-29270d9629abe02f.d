@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mmflow-29270d9629abe02f.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/libmmflow-29270d9629abe02f.rmeta: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

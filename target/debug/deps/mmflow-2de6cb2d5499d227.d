@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mmflow-2de6cb2d5499d227.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/mmflow-2de6cb2d5499d227: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

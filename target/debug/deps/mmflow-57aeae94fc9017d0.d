@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mmflow-57aeae94fc9017d0.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/mmflow-57aeae94fc9017d0: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

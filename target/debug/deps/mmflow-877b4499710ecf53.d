@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mmflow-877b4499710ecf53.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/mmflow-877b4499710ecf53: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mmflow-fecc29bbeebb43e4.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/mmflow-fecc29bbeebb43e4: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

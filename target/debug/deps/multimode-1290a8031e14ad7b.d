@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/multimode-1290a8031e14ad7b.d: src/lib.rs
+
+/root/repo/target/debug/deps/libmultimode-1290a8031e14ad7b.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libmultimode-1290a8031e14ad7b.rmeta: src/lib.rs
+
+src/lib.rs:

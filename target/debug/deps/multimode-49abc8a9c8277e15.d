@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/multimode-49abc8a9c8277e15.d: src/lib.rs
+
+/root/repo/target/debug/deps/multimode-49abc8a9c8277e15: src/lib.rs
+
+src/lib.rs:

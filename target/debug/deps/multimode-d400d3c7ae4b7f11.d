@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/multimode-d400d3c7ae4b7f11.d: src/lib.rs
+
+/root/repo/target/debug/deps/libmultimode-d400d3c7ae4b7f11.rmeta: src/lib.rs
+
+src/lib.rs:

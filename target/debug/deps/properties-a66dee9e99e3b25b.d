@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-a66dee9e99e3b25b.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-a66dee9e99e3b25b: tests/properties.rs
+
+tests/properties.rs:

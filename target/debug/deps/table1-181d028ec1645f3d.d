@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-181d028ec1645f3d.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-181d028ec1645f3d: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-283634d5017c7d0a.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-283634d5017c7d0a: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

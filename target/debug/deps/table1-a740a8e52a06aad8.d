@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-a740a8e52a06aad8.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-a740a8e52a06aad8: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

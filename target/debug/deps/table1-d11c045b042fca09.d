@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-d11c045b042fca09.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/libtable1-d11c045b042fca09.rmeta: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/adaptive_filter-216e933302e943ce.d: examples/adaptive_filter.rs
+
+/root/repo/target/debug/examples/adaptive_filter-216e933302e943ce: examples/adaptive_filter.rs
+
+examples/adaptive_filter.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/adaptive_filter-35bfac2906d50142.d: examples/adaptive_filter.rs Cargo.toml
+
+/root/repo/target/debug/examples/libadaptive_filter-35bfac2906d50142.rmeta: examples/adaptive_filter.rs Cargo.toml
+
+examples/adaptive_filter.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

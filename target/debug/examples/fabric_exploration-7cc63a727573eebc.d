@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/fabric_exploration-7cc63a727573eebc.d: examples/fabric_exploration.rs
+
+/root/repo/target/debug/examples/fabric_exploration-7cc63a727573eebc: examples/fabric_exploration.rs
+
+examples/fabric_exploration.rs:

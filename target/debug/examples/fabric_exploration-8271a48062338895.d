@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/fabric_exploration-8271a48062338895.d: examples/fabric_exploration.rs Cargo.toml
+
+/root/repo/target/debug/examples/libfabric_exploration-8271a48062338895.rmeta: examples/fabric_exploration.rs Cargo.toml
+
+examples/fabric_exploration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/multimode_transceiver-207a83b505a2cfc0.d: examples/multimode_transceiver.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmultimode_transceiver-207a83b505a2cfc0.rmeta: examples/multimode_transceiver.rs Cargo.toml
+
+examples/multimode_transceiver.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/multimode_transceiver-3615bca444ebf015.d: examples/multimode_transceiver.rs
+
+/root/repo/target/debug/examples/multimode_transceiver-3615bca444ebf015: examples/multimode_transceiver.rs
+
+examples/multimode_transceiver.rs:

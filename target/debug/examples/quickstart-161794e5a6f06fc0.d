@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/quickstart-161794e5a6f06fc0.d: examples/quickstart.rs Cargo.toml
+
+/root/repo/target/debug/examples/libquickstart-161794e5a6f06fc0.rmeta: examples/quickstart.rs Cargo.toml
+
+examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-9e1f5d3280e7408c.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-9e1f5d3280e7408c: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/sizes-1c929db2cbd2f512.d: crates/gen/examples/sizes.rs Cargo.toml
+
+/root/repo/target/debug/examples/libsizes-1c929db2cbd2f512.rmeta: crates/gen/examples/sizes.rs Cargo.toml
+
+crates/gen/examples/sizes.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/sizes-80ae119234ddb7d7.d: crates/gen/examples/sizes.rs
+
+/root/repo/target/debug/examples/sizes-80ae119234ddb7d7: crates/gen/examples/sizes.rs
+
+crates/gen/examples/sizes.rs:

@@ -1,0 +1,1 @@
+/root/repo/target/debug/libmm_arch.rlib: /root/repo/crates/arch/src/lib.rs /root/repo/crates/arch/src/model.rs /root/repo/crates/arch/src/rrg.rs

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation-878d0dbf0312a355.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/release/deps/ablation-878d0dbf0312a355: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/area-b9c9c3761879b9fc.d: crates/bench/src/bin/area.rs
+
+/root/repo/target/release/deps/area-b9c9c3761879b9fc: crates/bench/src/bin/area.rs
+
+crates/bench/src/bin/area.rs:

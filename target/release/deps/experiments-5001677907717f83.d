@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/experiments-5001677907717f83.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/release/deps/experiments-5001677907717f83: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

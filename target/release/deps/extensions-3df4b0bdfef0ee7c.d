@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/extensions-3df4b0bdfef0ee7c.d: crates/bench/src/bin/extensions.rs
+
+/root/repo/target/release/deps/extensions-3df4b0bdfef0ee7c: crates/bench/src/bin/extensions.rs
+
+crates/bench/src/bin/extensions.rs:

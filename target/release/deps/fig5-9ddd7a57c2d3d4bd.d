@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5-9ddd7a57c2d3d4bd.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/release/deps/fig5-9ddd7a57c2d3d4bd: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

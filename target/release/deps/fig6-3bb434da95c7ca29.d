@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6-3bb434da95c7ca29.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/release/deps/fig6-3bb434da95c7ca29: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7-b442ba1f3505b919.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/release/deps/fig7-b442ba1f3505b919: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/mm_arch-72e6ad5b53d9a01f.d: crates/arch/src/lib.rs crates/arch/src/model.rs crates/arch/src/rrg.rs
+
+/root/repo/target/release/deps/libmm_arch-72e6ad5b53d9a01f.rlib: crates/arch/src/lib.rs crates/arch/src/model.rs crates/arch/src/rrg.rs
+
+/root/repo/target/release/deps/libmm_arch-72e6ad5b53d9a01f.rmeta: crates/arch/src/lib.rs crates/arch/src/model.rs crates/arch/src/rrg.rs
+
+crates/arch/src/lib.rs:
+crates/arch/src/model.rs:
+crates/arch/src/rrg.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/mm_bench-35ac6510829c4dca.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libmm_bench-35ac6510829c4dca.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libmm_bench-35ac6510829c4dca.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/mm_bitstream-8f5a77d1fc06972f.d: crates/bitstream/src/lib.rs
+
+/root/repo/target/release/deps/libmm_bitstream-8f5a77d1fc06972f.rlib: crates/bitstream/src/lib.rs
+
+/root/repo/target/release/deps/libmm_bitstream-8f5a77d1fc06972f.rmeta: crates/bitstream/src/lib.rs
+
+crates/bitstream/src/lib.rs:

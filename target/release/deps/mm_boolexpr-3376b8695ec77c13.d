@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/mm_boolexpr-3376b8695ec77c13.d: crates/boolexpr/src/lib.rs crates/boolexpr/src/cube.rs crates/boolexpr/src/expr.rs crates/boolexpr/src/modeset.rs crates/boolexpr/src/qm.rs
+
+/root/repo/target/release/deps/libmm_boolexpr-3376b8695ec77c13.rlib: crates/boolexpr/src/lib.rs crates/boolexpr/src/cube.rs crates/boolexpr/src/expr.rs crates/boolexpr/src/modeset.rs crates/boolexpr/src/qm.rs
+
+/root/repo/target/release/deps/libmm_boolexpr-3376b8695ec77c13.rmeta: crates/boolexpr/src/lib.rs crates/boolexpr/src/cube.rs crates/boolexpr/src/expr.rs crates/boolexpr/src/modeset.rs crates/boolexpr/src/qm.rs
+
+crates/boolexpr/src/lib.rs:
+crates/boolexpr/src/cube.rs:
+crates/boolexpr/src/expr.rs:
+crates/boolexpr/src/modeset.rs:
+crates/boolexpr/src/qm.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/mm_engine-88f635965a55c024.d: crates/engine/src/lib.rs crates/engine/src/cache.rs crates/engine/src/engine.rs crates/engine/src/hash.rs crates/engine/src/job.rs crates/engine/src/json.rs crates/engine/src/pool.rs
+
+/root/repo/target/release/deps/libmm_engine-88f635965a55c024.rlib: crates/engine/src/lib.rs crates/engine/src/cache.rs crates/engine/src/engine.rs crates/engine/src/hash.rs crates/engine/src/job.rs crates/engine/src/json.rs crates/engine/src/pool.rs
+
+/root/repo/target/release/deps/libmm_engine-88f635965a55c024.rmeta: crates/engine/src/lib.rs crates/engine/src/cache.rs crates/engine/src/engine.rs crates/engine/src/hash.rs crates/engine/src/job.rs crates/engine/src/json.rs crates/engine/src/pool.rs
+
+crates/engine/src/lib.rs:
+crates/engine/src/cache.rs:
+crates/engine/src/engine.rs:
+crates/engine/src/hash.rs:
+crates/engine/src/job.rs:
+crates/engine/src/json.rs:
+crates/engine/src/pool.rs:

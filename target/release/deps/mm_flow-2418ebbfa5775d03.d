@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/mm_flow-2418ebbfa5775d03.d: crates/core/src/lib.rs crates/core/src/error.rs crates/core/src/experiment.rs crates/core/src/flow.rs crates/core/src/report.rs crates/core/src/timing.rs crates/core/src/tunable.rs
+
+/root/repo/target/release/deps/libmm_flow-2418ebbfa5775d03.rlib: crates/core/src/lib.rs crates/core/src/error.rs crates/core/src/experiment.rs crates/core/src/flow.rs crates/core/src/report.rs crates/core/src/timing.rs crates/core/src/tunable.rs
+
+/root/repo/target/release/deps/libmm_flow-2418ebbfa5775d03.rmeta: crates/core/src/lib.rs crates/core/src/error.rs crates/core/src/experiment.rs crates/core/src/flow.rs crates/core/src/report.rs crates/core/src/timing.rs crates/core/src/tunable.rs
+
+crates/core/src/lib.rs:
+crates/core/src/error.rs:
+crates/core/src/experiment.rs:
+crates/core/src/flow.rs:
+crates/core/src/report.rs:
+crates/core/src/timing.rs:
+crates/core/src/tunable.rs:

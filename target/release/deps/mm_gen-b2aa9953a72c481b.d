@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/mm_gen-b2aa9953a72c481b.d: crates/gen/src/lib.rs crates/gen/src/fir.rs crates/gen/src/mcnc.rs crates/gen/src/regex.rs crates/gen/src/words.rs
+
+/root/repo/target/release/deps/libmm_gen-b2aa9953a72c481b.rlib: crates/gen/src/lib.rs crates/gen/src/fir.rs crates/gen/src/mcnc.rs crates/gen/src/regex.rs crates/gen/src/words.rs
+
+/root/repo/target/release/deps/libmm_gen-b2aa9953a72c481b.rmeta: crates/gen/src/lib.rs crates/gen/src/fir.rs crates/gen/src/mcnc.rs crates/gen/src/regex.rs crates/gen/src/words.rs
+
+crates/gen/src/lib.rs:
+crates/gen/src/fir.rs:
+crates/gen/src/mcnc.rs:
+crates/gen/src/regex.rs:
+crates/gen/src/words.rs:

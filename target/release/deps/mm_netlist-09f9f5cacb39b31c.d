@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/mm_netlist-09f9f5cacb39b31c.d: crates/netlist/src/lib.rs crates/netlist/src/blif.rs crates/netlist/src/error.rs crates/netlist/src/gates.rs crates/netlist/src/lut.rs crates/netlist/src/sim.rs crates/netlist/src/truth.rs
+
+/root/repo/target/release/deps/libmm_netlist-09f9f5cacb39b31c.rlib: crates/netlist/src/lib.rs crates/netlist/src/blif.rs crates/netlist/src/error.rs crates/netlist/src/gates.rs crates/netlist/src/lut.rs crates/netlist/src/sim.rs crates/netlist/src/truth.rs
+
+/root/repo/target/release/deps/libmm_netlist-09f9f5cacb39b31c.rmeta: crates/netlist/src/lib.rs crates/netlist/src/blif.rs crates/netlist/src/error.rs crates/netlist/src/gates.rs crates/netlist/src/lut.rs crates/netlist/src/sim.rs crates/netlist/src/truth.rs
+
+crates/netlist/src/lib.rs:
+crates/netlist/src/blif.rs:
+crates/netlist/src/error.rs:
+crates/netlist/src/gates.rs:
+crates/netlist/src/lut.rs:
+crates/netlist/src/sim.rs:
+crates/netlist/src/truth.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/mm_place-a05e0b11b9dbd177.d: crates/place/src/lib.rs crates/place/src/annealer.rs crates/place/src/netmodel.rs crates/place/src/placement.rs crates/place/src/qfactor.rs
+
+/root/repo/target/release/deps/libmm_place-a05e0b11b9dbd177.rlib: crates/place/src/lib.rs crates/place/src/annealer.rs crates/place/src/netmodel.rs crates/place/src/placement.rs crates/place/src/qfactor.rs
+
+/root/repo/target/release/deps/libmm_place-a05e0b11b9dbd177.rmeta: crates/place/src/lib.rs crates/place/src/annealer.rs crates/place/src/netmodel.rs crates/place/src/placement.rs crates/place/src/qfactor.rs
+
+crates/place/src/lib.rs:
+crates/place/src/annealer.rs:
+crates/place/src/netmodel.rs:
+crates/place/src/placement.rs:
+crates/place/src/qfactor.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/mm_route-b40d4654b6189ef8.d: crates/route/src/lib.rs crates/route/src/minw.rs crates/route/src/nets.rs crates/route/src/router.rs
+
+/root/repo/target/release/deps/libmm_route-b40d4654b6189ef8.rlib: crates/route/src/lib.rs crates/route/src/minw.rs crates/route/src/nets.rs crates/route/src/router.rs
+
+/root/repo/target/release/deps/libmm_route-b40d4654b6189ef8.rmeta: crates/route/src/lib.rs crates/route/src/minw.rs crates/route/src/nets.rs crates/route/src/router.rs
+
+crates/route/src/lib.rs:
+crates/route/src/minw.rs:
+crates/route/src/nets.rs:
+crates/route/src/router.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/mm_synth-16c01d31adf975a3.d: crates/synth/src/lib.rs crates/synth/src/aig.rs crates/synth/src/cuts.rs crates/synth/src/map.rs
+
+/root/repo/target/release/deps/libmm_synth-16c01d31adf975a3.rlib: crates/synth/src/lib.rs crates/synth/src/aig.rs crates/synth/src/cuts.rs crates/synth/src/map.rs
+
+/root/repo/target/release/deps/libmm_synth-16c01d31adf975a3.rmeta: crates/synth/src/lib.rs crates/synth/src/aig.rs crates/synth/src/cuts.rs crates/synth/src/map.rs
+
+crates/synth/src/lib.rs:
+crates/synth/src/aig.rs:
+crates/synth/src/cuts.rs:
+crates/synth/src/map.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/mmflow-0c90f3fecae4ac79.d: crates/cli/src/main.rs
+
+/root/repo/target/release/deps/mmflow-0c90f3fecae4ac79: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/multimode-83e8a517a15d9ba7.d: src/lib.rs
+
+/root/repo/target/release/deps/libmultimode-83e8a517a15d9ba7.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libmultimode-83e8a517a15d9ba7.rmeta: src/lib.rs
+
+src/lib.rs:

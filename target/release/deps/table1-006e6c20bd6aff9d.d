@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-006e6c20bd6aff9d.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-006e6c20bd6aff9d: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:
