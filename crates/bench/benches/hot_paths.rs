@@ -1,0 +1,83 @@
+//! Criterion micro-benchmarks of the optimized hot paths against their
+//! naive baselines — the counterpart of `mmflow bench --json`, for quick
+//! local iteration on the router/placer/flow performance work.
+//!
+//! * `router/optimized` — scratch-arena + bounding-box PathFinder,
+//!   router reused across iterations (steady state, zero per-net
+//!   allocations).
+//! * `router/reference_baseline` — the naive pre-optimization
+//!   formulation (fresh heap + hash maps per search, full-fabric
+//!   exploration, whole-graph overuse scans).
+//! * `router/optimized_no_bbox` — isolates the arena from the pruning.
+//! * `placer/mdr_parallel_place` and `flow/pair_staged` — the intra-job
+//!   parallel stages introduced with the batch engine's stage sharing.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mm_bench::perf::{router_workload, small_pair_input, PerfConfig};
+use mm_flow::{place_pair, run_pair_with_placements, FlowOptions, MdrFlow, MultiModeInput};
+use mm_route::reference::route_reference;
+use mm_route::Router;
+
+fn smoke_config() -> PerfConfig {
+    PerfConfig {
+        smoke: true,
+        reps: 1,
+    }
+}
+
+fn bench_router(c: &mut Criterion) {
+    let (rrg, nets, options) = router_workload(&smoke_config());
+
+    let mut router = Router::new(&rrg, options);
+    let _ = router.route(&nets); // warm the arena
+    c.bench_function("router/optimized", |b| {
+        b.iter(|| router.route(std::hint::black_box(&nets)).success)
+    });
+
+    c.bench_function("router/reference_baseline", |b| {
+        b.iter(|| {
+            route_reference(&rrg, options.without_bbox(), std::hint::black_box(&nets)).success
+        })
+    });
+
+    let mut router_nb = Router::new(&rrg, options.without_bbox());
+    let _ = router_nb.route(&nets);
+    c.bench_function("router/optimized_no_bbox", |b| {
+        b.iter(|| router_nb.route(std::hint::black_box(&nets)).success)
+    });
+}
+
+fn pair_input() -> (MultiModeInput, FlowOptions) {
+    small_pair_input()
+}
+
+fn bench_placer(c: &mut Criterion) {
+    let (input, options) = pair_input();
+    let mut serial = options;
+    serial.intra_parallelism = 1;
+    c.bench_function("placer/mdr_place_serial", |b| {
+        b.iter(|| MdrFlow::new(serial).place(&input).unwrap().len())
+    });
+    c.bench_function("placer/mdr_place_parallel", |b| {
+        b.iter(|| MdrFlow::new(options).place(&input).unwrap().len())
+    });
+}
+
+fn bench_flow(c: &mut Criterion) {
+    let (input, options) = pair_input();
+    let placements = place_pair(&input, &options).expect("pair places");
+    c.bench_function("flow/pair_route_stage", |b| {
+        b.iter(|| {
+            run_pair_with_placements(&input, &options, "bench", &placements)
+                .unwrap()
+                .grid
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_router, bench_placer, bench_flow
+}
+criterion_main!(benches);

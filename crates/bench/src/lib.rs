@@ -11,6 +11,8 @@
 
 #![forbid(unsafe_code)]
 
+pub mod perf;
+
 use mm_engine::{Engine, EngineOptions, FlowKind, Job, JobOutcome};
 use mm_flow::{run_pair, FlowOptions, MultiModeInput, PairMetrics, Stats};
 use mm_netlist::LutCircuit;

@@ -1,0 +1,482 @@
+//! Measured performance harness behind `mmflow bench`.
+//!
+//! Two reproducible, seeded benchmarks with a JSON report each, so every
+//! PR's speedup lands in `BENCH_router.json` / `BENCH_flow.json` at the
+//! repo root instead of anecdotes:
+//!
+//! * [`router_perf`] — the PathFinder hot path. *Baseline* is the naive
+//!   reference formulation with bounding boxes disabled
+//!   (`mm_route::reference`, exactly the pre-optimization router);
+//!   *optimized* is [`Router`] with its scratch arena and default
+//!   bounding boxes, reused across repetitions the way the flows reuse
+//!   it. The report carries both wall-clocks, routes/second and the
+//!   speedup, plus a parity check (optimized == reference under
+//!   identical options).
+//! * [`flow_perf`] — the batch engine. A cold run against an empty stage
+//!   cache, a warm re-run (everything from cache), and a `pair` job that
+//!   shares the placement stages plain `dcs`/`mdr` jobs cached — the
+//!   cross-job stage-sharing number.
+//!
+//! Both have a `--smoke` sized variant for CI.
+
+use mm_arch::{Architecture, RoutingGraph};
+use mm_boolexpr::ModeSet;
+use mm_engine::json::ObjBuilder;
+use mm_engine::{Engine, EngineOptions, FlowKind, Job};
+use mm_flow::FlowOptions;
+use mm_netlist::{LutCircuit, TruthTable};
+use mm_place::CostKind;
+use mm_route::reference::route_reference;
+use mm_route::{RouteNet, RouteSink, Router, RouterOptions};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Instant;
+
+/// Benchmark sizing.
+#[derive(Debug, Clone, Copy)]
+pub struct PerfConfig {
+    /// Tiny workload for CI smoke runs.
+    pub smoke: bool,
+    /// Timed repetitions per measurement.
+    pub reps: usize,
+}
+
+impl PerfConfig {
+    /// The default configuration (`smoke` scales the workload down).
+    #[must_use]
+    pub fn new(smoke: bool) -> Self {
+        Self {
+            smoke,
+            reps: if smoke { 3 } else { 10 },
+        }
+    }
+}
+
+/// A seeded multi-mode routing workload: fabric plus nets.
+///
+/// Deterministic for a given `config.smoke`, so baseline and optimized
+/// runs route exactly the same problem.
+#[must_use]
+pub fn router_workload(config: &PerfConfig) -> (RoutingGraph, Vec<RouteNet>, RouterOptions) {
+    let (grid, width, net_count) = if config.smoke {
+        (8usize, 8usize, 24usize)
+    } else {
+        (22, 8, 160)
+    };
+    let modes = 2usize;
+    let rrg = RoutingGraph::build(&Architecture::new(4, grid, width));
+    let mut rng = StdRng::seed_from_u64(0xbe7c);
+    // Each net needs its own driver site (a SOURCE has capacity 1):
+    // deal the logic sites out in shuffled order.
+    let mut sources: Vec<mm_arch::Site> = (1..=grid)
+        .flat_map(|x| (1..=grid).map(move |y| mm_arch::Site::new(x as u16, y as u16, 0)))
+        .collect();
+    for i in (1..sources.len()).rev() {
+        sources.swap(i, rng.gen_range(0..=i));
+    }
+    assert!(net_count <= sources.len(), "one driver site per net");
+    let mut nets = Vec::with_capacity(net_count);
+    for (i, &driver) in sources.iter().take(net_count).enumerate() {
+        let site = |rng: &mut StdRng| {
+            mm_arch::Site::new(
+                rng.gen_range(1..=grid) as u16,
+                rng.gen_range(1..=grid) as u16,
+                0,
+            )
+        };
+        let source = rrg.logic_source(driver);
+        let sink_count = rng.gen_range(1..=3usize);
+        let sinks = (0..sink_count)
+            .map(|_| {
+                let mut act = ModeSet::single(rng.gen_range(0..modes));
+                if rng.gen_bool(0.25) {
+                    act.insert(rng.gen_range(0..modes));
+                }
+                RouteSink {
+                    node: rrg.logic_sink(site(&mut rng)),
+                    activation: act,
+                }
+            })
+            .collect();
+        nets.push(RouteNet {
+            name: format!("n{i}"),
+            source,
+            sinks,
+        });
+    }
+    (rrg, nets, RouterOptions::for_modes(modes))
+}
+
+/// The router benchmark report.
+#[derive(Debug, Clone)]
+pub struct RouterPerf {
+    /// Fabric side length.
+    pub grid: usize,
+    /// Channel width.
+    pub width: usize,
+    /// Nets in the workload.
+    pub nets: usize,
+    /// Timed repetitions.
+    pub reps: usize,
+    /// Wall-clock of one full `route()` with the pre-optimization
+    /// router (naive reference, no bounding boxes), milliseconds.
+    pub baseline_ms: f64,
+    /// Wall-clock with the optimized router (scratch arena + bounding
+    /// boxes, reused across calls), milliseconds.
+    pub optimized_ms: f64,
+    /// Optimized router with bounding boxes disabled — isolates the
+    /// arena/data-structure contribution, milliseconds.
+    pub optimized_no_bbox_ms: f64,
+    /// Full routes per second, baseline.
+    pub baseline_ops_per_sec: f64,
+    /// Full routes per second, optimized.
+    pub optimized_ops_per_sec: f64,
+    /// baseline / optimized wall-clock.
+    pub speedup: f64,
+    /// Optimized and reference produced byte-identical routings under
+    /// identical options (trees, iteration count).
+    pub parity_ok: bool,
+    /// The workload routed successfully.
+    pub routed: bool,
+}
+
+impl RouterPerf {
+    /// The `BENCH_router.json` payload.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        ObjBuilder::new()
+            .field("bench", "router")
+            .field(
+                "workload",
+                ObjBuilder::new()
+                    .field("grid", self.grid)
+                    .field("channel_width", self.width)
+                    .field("nets", self.nets)
+                    .field("reps", self.reps)
+                    .build(),
+            )
+            .field("baseline_ms", round2(self.baseline_ms))
+            .field("optimized_ms", round2(self.optimized_ms))
+            .field("optimized_no_bbox_ms", round2(self.optimized_no_bbox_ms))
+            .field("baseline_ops_per_sec", round2(self.baseline_ops_per_sec))
+            .field("optimized_ops_per_sec", round2(self.optimized_ops_per_sec))
+            .field("speedup", round2(self.speedup))
+            .field("parity_ok", self.parity_ok)
+            .field("routed", self.routed)
+            .build()
+            .to_json()
+    }
+}
+
+fn round2(x: f64) -> f64 {
+    (x * 100.0).round() / 100.0
+}
+
+fn routings_identical(a: &mm_route::Routing, b: &mm_route::Routing) -> bool {
+    a.iterations == b.iterations
+        && a.success == b.success
+        && a.nets.len() == b.nets.len()
+        && a.nets.iter().zip(&b.nets).all(|(x, y)| {
+            x.sink_pos == y.sink_pos
+                && x.tree.len() == y.tree.len()
+                && x.tree.iter().zip(&y.tree).all(|(s, t)| {
+                    s.node == t.node
+                        && s.parent == t.parent
+                        && s.switch == t.switch
+                        && s.activation == t.activation
+                })
+        })
+}
+
+/// Runs the router benchmark: pre-optimization baseline vs the scratch-
+/// arena + bounding-box hot path on the same seeded workload.
+#[must_use]
+pub fn router_perf(config: &PerfConfig) -> RouterPerf {
+    let (rrg, nets, options) = router_workload(config);
+    let reps = config.reps.max(1);
+
+    // Parity sanity: optimized == reference under identical options.
+    let optimized_result = Router::new(&rrg, options).route(&nets);
+    let reference_result = route_reference(&rrg, options, &nets);
+    let parity_ok = routings_identical(&optimized_result, &reference_result);
+
+    // Baseline: the pre-optimization router — naive data structures,
+    // full-fabric exploration, fresh allocations per net and per run.
+    let baseline_options = options.without_bbox();
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        let r = route_reference(&rrg, baseline_options, &nets);
+        std::hint::black_box(r.success);
+    }
+    let baseline_ms = t0.elapsed().as_secs_f64() * 1000.0 / reps as f64;
+
+    // Optimized: one router reused across runs, the way the flows and
+    // the width search reuse it — zero per-net allocations in steady
+    // state.
+    let mut router = Router::new(&rrg, options);
+    let _ = router.route(&nets); // warm the arena
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        let r = router.route(&nets);
+        std::hint::black_box(r.success);
+    }
+    let optimized_ms = t0.elapsed().as_secs_f64() * 1000.0 / reps as f64;
+
+    // Decomposition: the arena without bounding boxes.
+    let mut router_nb = Router::new(&rrg, baseline_options);
+    let _ = router_nb.route(&nets);
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        let r = router_nb.route(&nets);
+        std::hint::black_box(r.success);
+    }
+    let optimized_no_bbox_ms = t0.elapsed().as_secs_f64() * 1000.0 / reps as f64;
+
+    let (grid, width) = {
+        // Recover the workload shape for the report.
+        if config.smoke {
+            (8, 8)
+        } else {
+            (22, 8)
+        }
+    };
+    RouterPerf {
+        grid,
+        width,
+        nets: nets.len(),
+        reps,
+        baseline_ms,
+        optimized_ms,
+        optimized_no_bbox_ms,
+        baseline_ops_per_sec: 1000.0 / baseline_ms.max(1e-9),
+        optimized_ops_per_sec: 1000.0 / optimized_ms.max(1e-9),
+        speedup: baseline_ms / optimized_ms.max(1e-9),
+        parity_ok,
+        routed: optimized_result.success,
+    }
+}
+
+/// The flow/engine benchmark report.
+#[derive(Debug, Clone)]
+pub struct FlowPerf {
+    /// Jobs in the batch.
+    pub jobs: usize,
+    /// Worker threads the engine resolved.
+    pub threads: usize,
+    /// Cold batch wall-clock (empty cache), milliseconds.
+    pub cold_wall_ms: f64,
+    /// Warm batch wall-clock (everything cached), milliseconds.
+    pub warm_wall_ms: f64,
+    /// cold / warm wall-clock.
+    pub warm_speedup: f64,
+    /// Flow stages computed by the cold run.
+    pub cold_stages_recomputed: usize,
+    /// Flow stages computed by the warm run (0 = full transparency).
+    pub warm_stages_recomputed: usize,
+    /// Results served from cache on the warm run.
+    pub warm_results_from_cache: usize,
+    /// Jobs per second on the cold run.
+    pub cold_jobs_per_sec: f64,
+    /// Placement legs a `pair` job shared from plain `dcs`/`mdr` jobs'
+    /// cached stages (0–3; 2 means MDR + DCS-wl came from plain jobs).
+    pub pair_placement_hits_from_plain_jobs: usize,
+    /// Stages the shared-placement pair job still had to compute.
+    pub pair_stages_recomputed: usize,
+    /// Warm-run cache hit rate (hits / lookups).
+    pub warm_hit_rate: f64,
+}
+
+impl FlowPerf {
+    /// The `BENCH_flow.json` payload.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        ObjBuilder::new()
+            .field("bench", "flow")
+            .field("jobs", self.jobs)
+            .field("threads", self.threads)
+            .field("cold_wall_ms", round2(self.cold_wall_ms))
+            .field("warm_wall_ms", round2(self.warm_wall_ms))
+            .field("warm_speedup", round2(self.warm_speedup))
+            .field("cold_stages_recomputed", self.cold_stages_recomputed)
+            .field("warm_stages_recomputed", self.warm_stages_recomputed)
+            .field("warm_results_from_cache", self.warm_results_from_cache)
+            .field("cold_jobs_per_sec", round2(self.cold_jobs_per_sec))
+            .field(
+                "pair_placement_hits_from_plain_jobs",
+                self.pair_placement_hits_from_plain_jobs,
+            )
+            .field("pair_stages_recomputed", self.pair_stages_recomputed)
+            .field("warm_hit_rate", round2(self.warm_hit_rate))
+            .build()
+            .to_json()
+    }
+}
+
+/// A deterministic random LUT circuit (the shape used across the repo's
+/// tests and benches).
+fn random_circuit(name: &str, n_inputs: usize, n_luts: usize, seed: u64) -> LutCircuit {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut c = LutCircuit::new(name, 4);
+    let mut drivers: Vec<mm_netlist::BlockId> = (0..n_inputs)
+        .map(|i| c.add_input(format!("i{i}")).unwrap())
+        .collect();
+    for j in 0..n_luts {
+        let fanin = rng.gen_range(2..=4.min(drivers.len()));
+        let mut ins = Vec::new();
+        while ins.len() < fanin {
+            let d = drivers[rng.gen_range(0..drivers.len())];
+            if !ins.contains(&d) {
+                ins.push(d);
+            }
+        }
+        let tt = TruthTable::from_bits(ins.len(), rng.gen());
+        let id = c
+            .add_lut(format!("n{j}"), ins, tt, rng.gen_bool(0.2))
+            .unwrap();
+        drivers.push(id);
+    }
+    for t in 0..2 {
+        let d = drivers[drivers.len() - 1 - t];
+        c.add_output(format!("o{t}"), d).unwrap();
+    }
+    c
+}
+
+/// A small seeded two-mode problem plus quick options — the workload the
+/// criterion flow/placer benches iterate on.
+///
+/// # Panics
+///
+/// Never for the fixed seeds used.
+#[must_use]
+pub fn small_pair_input() -> (mm_flow::MultiModeInput, FlowOptions) {
+    let a = random_circuit("m0", 5, 14, 77);
+    let b = random_circuit("m1", 5, 15, 78);
+    let input = mm_flow::MultiModeInput::new(vec![a, b]).expect("seeded circuits are valid");
+    let mut options = FlowOptions::default().with_fixed_width(12).with_seed(0xbe);
+    options.placer.inner_num = 1.0;
+    options.router.max_iterations = 30;
+    (input, options)
+}
+
+/// Runs the flow/engine benchmark: cold vs warm batch plus the
+/// pair-shares-plain-placements scenario, against a throwaway cache.
+#[must_use]
+pub fn flow_perf(config: &PerfConfig) -> FlowPerf {
+    let dir = std::env::temp_dir().join(format!(
+        "mmflow_bench_cache_{}_{}",
+        std::process::id(),
+        if config.smoke { "smoke" } else { "full" }
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let job_count = if config.smoke { 4 } else { 8 };
+    let luts = if config.smoke { 10 } else { 14 };
+    let mut options = FlowOptions::default().with_fixed_width(12).with_seed(0xbe);
+    options.placer.inner_num = 1.0;
+    options.router.max_iterations = 30;
+
+    // Consecutive dcs/mdr jobs share a mode group, so the pair job below
+    // finds both of its non-edge placement legs already cached.
+    let jobs: Vec<Job> = (0..job_count)
+        .map(|i| {
+            let group = (i / 2) as u64;
+            let a = random_circuit("m0", 5, luts + (i / 2) % 3, 9_000 + group);
+            let b = random_circuit("m1", 5, luts + (i / 2) % 3, 19_000 + group);
+            Job {
+                name: format!("j{i}"),
+                circuits: vec![a, b],
+                flow: if i % 2 == 0 {
+                    FlowKind::Dcs(CostKind::WireLength)
+                } else {
+                    FlowKind::Mdr
+                },
+                options,
+            }
+        })
+        .collect();
+
+    let engine = Engine::new(EngineOptions {
+        threads: 0,
+        cache_dir: Some(dir.clone()),
+    })
+    .expect("bench cache directory");
+
+    let cold = engine.run(jobs.clone());
+    let warm = engine.run(jobs.clone());
+
+    // The stage-sharing scenario: a `pair` job on the mode group the
+    // first dcs/mdr jobs already annealed, with a router variant so the
+    // result stage misses but the placement stages hit.
+    let mut variant = options;
+    variant.router.max_iterations = 29;
+    let pair_jobs = vec![Job {
+        name: "pair-shared".into(),
+        circuits: jobs[0].circuits.clone(),
+        flow: FlowKind::Pair,
+        options: variant,
+    }];
+    let pair = engine.run(pair_jobs);
+    let pair_info = pair.results[0].cache;
+
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let cold_ms = cold.wall.as_secs_f64() * 1000.0;
+    let warm_ms = warm.wall.as_secs_f64() * 1000.0;
+    let warm_lookups = warm.cache.hits + warm.cache.misses;
+    FlowPerf {
+        jobs: job_count,
+        threads: engine.threads(),
+        cold_wall_ms: cold_ms,
+        warm_wall_ms: warm_ms,
+        warm_speedup: cold_ms / warm_ms.max(1e-9),
+        cold_stages_recomputed: cold.stats.stages_recomputed,
+        warm_stages_recomputed: warm.stats.stages_recomputed,
+        warm_results_from_cache: warm.stats.results_from_cache,
+        cold_jobs_per_sec: job_count as f64 / cold.wall.as_secs_f64().max(1e-9),
+        pair_placement_hits_from_plain_jobs: pair_info.placement_hits,
+        pair_stages_recomputed: pair_info.stages_recomputed,
+        warm_hit_rate: if warm_lookups > 0 {
+            warm.cache.hits as f64 / warm_lookups as f64
+        } else {
+            0.0
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn router_perf_smoke_reports_plausible_numbers() {
+        let perf = router_perf(&PerfConfig {
+            smoke: true,
+            reps: 1,
+        });
+        assert!(perf.routed, "workload must route");
+        assert!(perf.parity_ok, "optimized must match the reference");
+        assert!(perf.baseline_ms > 0.0 && perf.optimized_ms > 0.0);
+        let json = perf.to_json();
+        assert!(json.contains("\"speedup\""), "{json}");
+        assert!(
+            mm_engine::json::parse(&json).is_ok(),
+            "report must be valid JSON"
+        );
+    }
+
+    #[test]
+    fn flow_perf_smoke_exercises_cache_and_pair_sharing() {
+        let perf = flow_perf(&PerfConfig {
+            smoke: true,
+            reps: 1,
+        });
+        assert_eq!(perf.warm_stages_recomputed, 0, "warm run fully cached");
+        assert_eq!(perf.warm_results_from_cache, perf.jobs);
+        assert_eq!(
+            perf.pair_placement_hits_from_plain_jobs, 2,
+            "pair shares mdr + dcs-wl legs with plain jobs"
+        );
+        assert!(mm_engine::json::parse(&perf.to_json()).is_ok());
+    }
+}

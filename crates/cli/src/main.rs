@@ -5,6 +5,8 @@
 //! mmflow merge a.blif b.blif [...]   run the DCS flow on BLIF mode circuits
 //! mmflow mdr   a.blif b.blif [...]   run the MDR baseline
 //! mmflow batch SPEC [...]            run a whole suite through mm-engine
+//! mmflow bench [--json]              measure the hot paths (BENCH_*.json)
+//! mmflow cache gc [...]              evict old/oversized stage-cache entries
 //! mmflow stats a.blif                print circuit statistics
 //! mmflow gen   <regexp|fir|mcnc> DIR write a benchmark suite as BLIF files
 //! ```
@@ -28,6 +30,11 @@ USAGE:
                                           SPEC is a JSON spec file, a
                                           directory of BLIF mode groups, or
                                           suite:<regexp|fir|mcnc>
+  mmflow bench [--json] [--smoke]         measure router/flow hot paths:
+                                          baseline vs optimized wall-clock,
+                                          throughput and cache hit rates
+  mmflow cache gc [--max-bytes N]         evict stage-cache entries, oldest
+                [--max-age-days D]        first, until under the limits
   mmflow stats <CIRCUIT.blif>...          circuit statistics
   mmflow gen <regexp|fir|mcnc> <DIR>      write a benchmark suite as BLIF
 
@@ -49,6 +56,17 @@ BATCH OPTIONS:
   --no-cache       disable the stage cache
   --jobs <N>       only run the first N jobs of the batch
   --out <FILE>     write JSONL results to FILE instead of stdout
+
+BENCH OPTIONS:
+  --json           write BENCH_router.json and BENCH_flow.json
+  --out-dir <DIR>  where to write them (default .)
+  --smoke          tiny CI-sized workload
+  --reps <N>       timed repetitions per measurement
+
+CACHE GC OPTIONS:
+  --cache <DIR>        stage-cache directory (default .mmcache)
+  --max-bytes <N>      size budget; suffixes k/m/g accepted
+  --max-age-days <D>   evict entries older than D days
 
 Batch results stream to stdout as one JSON record per job, in job order,
 byte-identical for serial, parallel and cached executions; the summary
@@ -148,6 +166,8 @@ fn run(args: &[String]) -> Result<(), Box<dyn Error>> {
         "merge" => cmd_merge(&args[1..]),
         "mdr" => cmd_mdr(&args[1..]),
         "batch" => cmd_batch(&args[1..]),
+        "bench" => cmd_bench(&args[1..]),
+        "cache" => cmd_cache(&args[1..]),
         "stats" => cmd_stats(&args[1..]),
         "gen" => cmd_gen(&args[1..]),
         "help" | "--help" | "-h" => {
@@ -297,6 +317,124 @@ fn cmd_batch(args: &[String]) -> Result<(), Box<dyn Error>> {
     if report.stats.failed > 0 {
         return Err(format!("{} of {} jobs failed", report.stats.failed, job_count).into());
     }
+    Ok(())
+}
+
+fn cmd_bench(args: &[String]) -> Result<(), Box<dyn Error>> {
+    use mm_bench::perf::{flow_perf, router_perf, PerfConfig};
+
+    let mut json = false;
+    let mut smoke = false;
+    let mut reps: Option<usize> = None;
+    let mut out_dir = std::path::PathBuf::from(".");
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--smoke" => smoke = true,
+            "--reps" => reps = Some(next_value(&mut it, "--reps")?.parse()?),
+            "--out-dir" => out_dir = next_value(&mut it, "--out-dir")?.into(),
+            other => return Err(format!("unknown bench option '{other}'").into()),
+        }
+    }
+    let mut config = PerfConfig::new(smoke);
+    if let Some(r) = reps {
+        config.reps = r;
+    }
+
+    eprintln!(
+        "bench: router workload ({}) ...",
+        if smoke { "smoke" } else { "full" }
+    );
+    let router = router_perf(&config);
+    eprintln!(
+        "  router: baseline {:.2} ms, optimized {:.2} ms → {:.2}x \
+         ({:.1} routes/s, parity {})",
+        router.baseline_ms,
+        router.optimized_ms,
+        router.speedup,
+        router.optimized_ops_per_sec,
+        if router.parity_ok { "ok" } else { "FAILED" },
+    );
+    eprintln!("bench: flow workload ...");
+    let flow = flow_perf(&config);
+    eprintln!(
+        "  flow: cold {:.2} ms, warm {:.2} ms → {:.2}x; warm stages recomputed {}, \
+         pair shared {} placement legs from plain jobs",
+        flow.cold_wall_ms,
+        flow.warm_wall_ms,
+        flow.warm_speedup,
+        flow.warm_stages_recomputed,
+        flow.pair_placement_hits_from_plain_jobs,
+    );
+    if !router.parity_ok || !router.routed {
+        return Err("router benchmark failed its parity/routability sanity checks".into());
+    }
+    if json {
+        std::fs::create_dir_all(&out_dir)?;
+        let router_path = out_dir.join("BENCH_router.json");
+        let flow_path = out_dir.join("BENCH_flow.json");
+        std::fs::write(&router_path, router.to_json() + "\n")?;
+        std::fs::write(&flow_path, flow.to_json() + "\n")?;
+        eprintln!(
+            "wrote {} and {}",
+            router_path.display(),
+            flow_path.display()
+        );
+    }
+    Ok(())
+}
+
+/// Parses `--max-bytes` values: plain bytes, or with a k/m/g suffix.
+fn parse_bytes(s: &str) -> Result<u64, Box<dyn Error>> {
+    let (digits, mult) = match s.chars().last() {
+        Some('k' | 'K') => (&s[..s.len() - 1], 1u64 << 10),
+        Some('m' | 'M') => (&s[..s.len() - 1], 1 << 20),
+        Some('g' | 'G') => (&s[..s.len() - 1], 1 << 30),
+        _ => (s, 1),
+    };
+    let n: u64 = digits
+        .parse()
+        .map_err(|_| format!("bad byte size '{s}' (e.g. 500m, 2g, 1048576)"))?;
+    n.checked_mul(mult)
+        .ok_or_else(|| format!("byte size '{s}' overflows").into())
+}
+
+fn cmd_cache(args: &[String]) -> Result<(), Box<dyn Error>> {
+    let Some(sub) = args.first() else {
+        return Err("cache needs a subcommand: gc".into());
+    };
+    if sub != "gc" {
+        return Err(format!("unknown cache subcommand '{sub}' (gc)").into());
+    }
+    let mut cache_dir = std::path::PathBuf::from(".mmcache");
+    let mut max_bytes: Option<u64> = None;
+    let mut max_age: Option<std::time::Duration> = None;
+    let mut it = args[1..].iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--cache" => cache_dir = next_value(&mut it, "--cache")?.into(),
+            "--max-bytes" => max_bytes = Some(parse_bytes(next_value(&mut it, "--max-bytes")?)?),
+            "--max-age-days" => {
+                let days: f64 = next_value(&mut it, "--max-age-days")?.parse()?;
+                max_age = Some(std::time::Duration::from_secs_f64(days * 86_400.0));
+            }
+            other => return Err(format!("unknown cache gc option '{other}'").into()),
+        }
+    }
+    if !cache_dir.exists() {
+        return Err(format!("cache directory '{}' does not exist", cache_dir.display()).into());
+    }
+    let cache = mm_engine::StageCache::open(&cache_dir)?;
+    let summary = cache.gc(max_bytes, max_age)?;
+    println!(
+        "cache gc: scanned {} entries ({} bytes), evicted {} ({} bytes), {} bytes remain",
+        summary.scanned,
+        summary.bytes_before,
+        summary.evicted,
+        summary.bytes_evicted,
+        summary.bytes_after(),
+    );
     Ok(())
 }
 

@@ -221,3 +221,78 @@ fn merge_rejects_missing_file() {
         .unwrap();
     assert!(!out.status.success());
 }
+
+#[test]
+fn bench_smoke_writes_parseable_json_artefacts() {
+    let dir = tmpdir("bench");
+    let out = mmflow()
+        .args(["bench", "--smoke", "--reps", "1", "--json"])
+        .args(["--out-dir", dir.to_str().unwrap()])
+        .output()
+        .unwrap();
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(out.status.success(), "{stderr}");
+    assert!(stderr.contains("router:"), "{stderr}");
+    assert!(stderr.contains("parity ok"), "{stderr}");
+    for artefact in ["BENCH_router.json", "BENCH_flow.json"] {
+        let text = std::fs::read_to_string(dir.join(artefact)).unwrap();
+        assert!(
+            mm_engine::json::parse(&text).is_ok(),
+            "{artefact} must be valid JSON: {text}"
+        );
+        assert!(text.contains("\"bench\""), "{text}");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn cache_gc_evicts_and_reports() {
+    let dir = tmpdir("gc");
+    let a = write_blif(&dir, "a.blif", MODE_A);
+    let b = write_blif(&dir, "b.blif", MODE_B);
+    let group = dir.join("jobs").join("g0");
+    std::fs::create_dir_all(&group).unwrap();
+    std::fs::copy(&a, group.join("m0.blif")).unwrap();
+    std::fs::copy(&b, group.join("m1.blif")).unwrap();
+    let cache = dir.join("cache");
+
+    // Populate the cache through a batch run.
+    let out = mmflow()
+        .args(["batch", dir.join("jobs").to_str().unwrap()])
+        .args(["--cache", cache.to_str().unwrap(), "--width", "6"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // GC with no limits keeps everything.
+    let out = mmflow()
+        .args(["cache", "gc", "--cache", cache.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("evicted 0"), "{stdout}");
+
+    // A zero-byte budget evicts every entry.
+    let out = mmflow()
+        .args(["cache", "gc", "--cache", cache.to_str().unwrap()])
+        .args(["--max-bytes", "0"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("0 bytes remain"), "{stdout}");
+
+    // Unknown flags and missing directories fail loudly.
+    let out = mmflow()
+        .args(["cache", "gc", "--cache", "/nonexistent/nope"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let out = mmflow().args(["cache", "frobnicate"]).output().unwrap();
+    assert!(!out.status.success());
+}

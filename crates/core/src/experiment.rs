@@ -9,13 +9,28 @@
 //! its modes). Reconfiguration costs are therefore measured on the fabric
 //! each tool flow would actually provision, exactly as a per-flow VPR run
 //! would report them.
+//!
+//! The comparison is staged so the batch engine can cache and share work:
+//!
+//! * [`place_pair`] — the three annealing stages (per-mode MDR
+//!   placements, edge-matching and wire-length combined placements), run
+//!   concurrently on the work-stealing pool; each stage is
+//!   content-addressed identically to the plain `mdr`/`dcs` jobs, so a
+//!   pair job shares placements with them.
+//! * [`run_pair_with_placements`] — width resolution, routing and
+//!   configuration extraction; the MDR leg and the two DCS variants run
+//!   concurrently.
+//!
+//! [`run_pair`] chains the two; with
+//! [`FlowOptions::intra_parallelism`] `== 1` everything runs serially and
+//! the results are byte-identical.
 
-use crate::flow::resolve_width;
-use crate::{FlowError, FlowOptions, MultiModeInput, TunableCircuit};
-use mm_arch::RoutingGraph;
+use crate::flow::{intra_threads, resolve_width};
+use crate::{pool, FlowError, FlowOptions, MultiModeInput, TunableCircuit};
+use mm_arch::{Architecture, RoutingGraph};
 use mm_bitstream::{speedup, Config, ConfigModel, ParamConfig, RewriteCost};
 use mm_boolexpr::ModeSet;
-use mm_place::{place_combined, place_single, CostKind, PlacerOptions};
+use mm_place::{place_combined, place_single, CostKind, MultiPlacement, Placement, PlacerOptions};
 use mm_route::{nets_for_circuit, verify_routing, Router, RouterOptions};
 
 /// All per-pair measurements used by the figures.
@@ -87,64 +102,151 @@ impl PairMetrics {
     }
 }
 
-/// Runs the full comparison for one multi-mode circuit.
+/// The annealing outputs of the pairwise comparison — one per flow leg.
+///
+/// These are exactly the placements a plain `mdr` job and the two `dcs`
+/// cost variants would produce, which is what lets the batch engine share
+/// the cached stages between pair jobs and plain jobs.
+#[derive(Debug, Clone)]
+pub struct PairPlacements {
+    /// Per-mode MDR placements (wire-length annealing per mode).
+    pub mdr: Vec<Placement>,
+    /// The edge-matching combined placement.
+    pub edge: MultiPlacement,
+    /// The wire-length combined placement.
+    pub wirelength: MultiPlacement,
+}
+
+/// One annealing task of [`place_pair`].
+enum PlaceTask {
+    MdrMode(usize),
+    Edge,
+    WireLength,
+}
+
+enum PlaceOutput {
+    Single(Placement),
+    Multi(MultiPlacement),
+}
+
+/// Stage 1 of the pairwise comparison: all three annealing legs, run
+/// concurrently on the work-stealing pool (serial when
+/// [`FlowOptions::intra_parallelism`] is 1).
 ///
 /// # Errors
 ///
-/// Fails if any flow cannot place or route.
-pub fn run_pair(
+/// Fails if any leg cannot be placed.
+pub fn place_pair(
     input: &MultiModeInput,
     options: &FlowOptions,
-    name: impl Into<String>,
-) -> Result<PairMetrics, FlowError> {
+) -> Result<PairPlacements, FlowError> {
     let base = options.base_arch(input);
+    let m = input.mode_count();
+    let mut tasks: Vec<PlaceTask> = (0..m).map(PlaceTask::MdrMode).collect();
+    tasks.push(PlaceTask::Edge);
+    tasks.push(PlaceTask::WireLength);
+    let threads = intra_threads(options, tasks.len());
+
+    let results = pool::run_ordered(
+        tasks,
+        threads,
+        |_, task| -> Result<PlaceOutput, FlowError> {
+            match task {
+                PlaceTask::MdrMode(mode) => {
+                    let opts = PlacerOptions {
+                        cost: CostKind::WireLength,
+                        seed: options.placer.seed
+                            ^ (mode as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+                        ..options.placer
+                    };
+                    let (p, _) = place_single(&input.circuits()[mode], &base, &opts)?;
+                    Ok(PlaceOutput::Single(p))
+                }
+                PlaceTask::Edge => {
+                    let placer = PlacerOptions {
+                        cost: CostKind::EdgeMatching,
+                        ..options.placer
+                    };
+                    let (p, _) = place_combined(input.circuits(), &base, &placer)?;
+                    Ok(PlaceOutput::Multi(p))
+                }
+                PlaceTask::WireLength => {
+                    let placer = PlacerOptions {
+                        cost: CostKind::WireLength,
+                        ..options.placer
+                    };
+                    let (p, _) = place_combined(input.circuits(), &base, &placer)?;
+                    Ok(PlaceOutput::Multi(p))
+                }
+            }
+        },
+        |_, _| {},
+    );
+
+    let mut outputs = results.into_iter();
+    let mut mdr = Vec::with_capacity(m);
+    for _ in 0..m {
+        match outputs.next().expect("one output per task")? {
+            PlaceOutput::Single(p) => mdr.push(p),
+            PlaceOutput::Multi(_) => unreachable!("MDR task yields a single placement"),
+        }
+    }
+    let edge = match outputs.next().expect("edge output")? {
+        PlaceOutput::Multi(p) => p,
+        PlaceOutput::Single(_) => unreachable!("edge task yields a combined placement"),
+    };
+    let wirelength = match outputs.next().expect("wirelength output")? {
+        PlaceOutput::Multi(p) => p,
+        PlaceOutput::Single(_) => unreachable!("wl task yields a combined placement"),
+    };
+    Ok(PairPlacements {
+        mdr,
+        edge,
+        wirelength,
+    })
+}
+
+/// What one routed flow leg reports back.
+enum LegOutput {
+    Mdr {
+        model: ConfigModel,
+        configs: Vec<Config>,
+        wires: Vec<usize>,
+        width: usize,
+    },
+    Dcs {
+        cost: RewriteCost,
+        wires: Vec<usize>,
+        width: usize,
+    },
+}
+
+enum Leg<'p> {
+    Mdr(&'p [Placement]),
+    Dcs {
+        tunable: &'p TunableCircuit,
+        label: &'static str,
+    },
+}
+
+/// Routes the MDR leg: shared width (max over modes, +20%), then every
+/// mode at that width, growing jointly if negotiation stalls.
+fn run_mdr_leg(
+    input: &MultiModeInput,
+    options: &FlowOptions,
+    base: &Architecture,
+    placements: &[Placement],
+) -> Result<LegOutput, FlowError> {
     let single_router = RouterOptions {
         mode_count: 1,
         ..options.router
     };
-    let multi_router = RouterOptions {
-        mode_count: input.mode_count(),
-        ..options.router
-    };
-
-    // ---- placements ------------------------------------------------------
-    let mut mdr_placements = Vec::with_capacity(input.mode_count());
-    for (m, circuit) in input.circuits().iter().enumerate() {
-        let opts = PlacerOptions {
-            cost: CostKind::WireLength,
-            seed: options.placer.seed ^ (m as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15),
-            ..options.placer
-        };
-        let (p, _) = place_single(circuit, &base, &opts)?;
-        mdr_placements.push(p);
-    }
-    let edge_placer = PlacerOptions {
-        cost: CostKind::EdgeMatching,
-        ..options.placer
-    };
-    let (edge_placement, _) = place_combined(input.circuits(), &base, &edge_placer)?;
-    let wl_placer = PlacerOptions {
-        cost: CostKind::WireLength,
-        ..options.placer
-    };
-    let (wl_placement, _) = place_combined(input.circuits(), &base, &wl_placer)?;
-
-    let edge_tunable = TunableCircuit::from_placement(input.circuits(), &edge_placement, &base)?;
-    let wl_tunable = TunableCircuit::from_placement(input.circuits(), &wl_placement, &base)?;
-    edge_tunable
-        .verify_projection(input.circuits(), &edge_placement)
-        .map_err(FlowError::Internal)?;
-    wl_tunable
-        .verify_projection(input.circuits(), &wl_placement)
-        .map_err(FlowError::Internal)?;
-
-    // ---- per-flow channel widths (min + 20%) ------------------------------
-    let width_mdr = {
+    let mut width = {
         let mut w = 0usize;
         for (m, circuit) in input.circuits().iter().enumerate() {
-            let placement = &mdr_placements[m];
+            let placement = &placements[m];
             let wm = resolve_width(
-                &base,
+                base,
                 options,
                 &single_router,
                 &format!("MDR mode {m}"),
@@ -154,73 +256,172 @@ pub fn run_pair(
         }
         w
     };
-    let width_edge = resolve_width(&base, options, &multi_router, "tunable (edge)", |rrg| {
-        edge_tunable.route_nets(rrg)
-    })?;
-    let width_wl = resolve_width(&base, options, &multi_router, "tunable (wl)", |rrg| {
-        wl_tunable.route_nets(rrg)
-    })?;
-
-    // ---- MDR on its own fabric (joint growth if negotiation stalls) --------
-    let mut width_mdr = width_mdr;
-    let (mdr_model, mdr_configs, mdr_wires) = loop {
-        let mdr_arch = base.with_channel_width(width_mdr);
-        let mdr_rrg = RoutingGraph::build(&mdr_arch);
+    loop {
+        let arch = base.with_channel_width(width);
+        let rrg = RoutingGraph::build(&arch);
         let mut configs = Vec::with_capacity(input.mode_count());
         let mut wires = Vec::with_capacity(input.mode_count());
         let mut ok = true;
         for circuit in input.circuits() {
-            let placement = &mdr_placements[configs.len()];
-            let nets = nets_for_circuit(circuit, &mdr_rrg, ModeSet::single(0), |b| {
-                placement.site_of(b)
-            });
-            let mut router = Router::new(&mdr_rrg, single_router);
+            let placement = &placements[configs.len()];
+            let nets =
+                nets_for_circuit(circuit, &rrg, ModeSet::single(0), |b| placement.site_of(b));
+            let mut router = Router::new(&rrg, single_router);
             let routing = router.route(&nets);
             if !routing.success {
                 ok = false;
                 break;
             }
-            verify_routing(&mdr_rrg, &nets, &routing, 1).map_err(FlowError::Internal)?;
-            wires.push(routing.total_wires(&mdr_rrg));
+            verify_routing(&rrg, &nets, &routing, 1).map_err(FlowError::Internal)?;
+            wires.push(routing.total_wires(&rrg));
             configs.push(Config::from_routing(&routing));
         }
         if ok {
-            break (ConfigModel::new(&mdr_arch, &mdr_rrg), configs, wires);
+            return Ok(LegOutput::Mdr {
+                model: ConfigModel::new(&arch, &rrg),
+                configs,
+                wires,
+                width,
+            });
         }
-        if width_mdr >= options.max_width {
+        if width >= options.max_width {
             return Err(FlowError::Unroutable {
                 max_width: options.max_width,
                 context: "MDR at relaxed width".into(),
             });
         }
-        width_mdr = (width_mdr + width_mdr.div_ceil(8)).min(options.max_width);
-    };
+        width = (width + width.div_ceil(8)).min(options.max_width);
+    }
+}
 
-    // ---- each DCS variant on its own fabric ---------------------------------
-    let route_tunable = |tunable: &TunableCircuit,
-                         width: usize,
-                         label: &str|
-     -> Result<(RewriteCost, Vec<usize>, usize), FlowError> {
-        let (arch, rrg, nets, routing) = crate::flow::route_with_growth(
-            &base,
+/// Routes one DCS leg: width resolution plus mode-aware routing of the
+/// tunable circuit on its own fabric.
+fn run_dcs_leg(
+    input: &MultiModeInput,
+    options: &FlowOptions,
+    base: &Architecture,
+    tunable: &TunableCircuit,
+    label: &str,
+) -> Result<LegOutput, FlowError> {
+    let multi_router = RouterOptions {
+        mode_count: input.mode_count(),
+        ..options.router
+    };
+    let width = resolve_width(
+        base,
+        options,
+        &multi_router,
+        &format!("tunable ({label})"),
+        |rrg| tunable.route_nets(rrg),
+    )?;
+    let (arch, rrg, nets, routing) = crate::flow::route_with_growth(
+        base,
+        width,
+        options.max_width,
+        &multi_router,
+        &format!("tunable circuit ({label}) at relaxed width"),
+        |rrg| tunable.route_nets(rrg),
+    )?;
+    let model = ConfigModel::new(&arch, &rrg);
+    verify_routing(&rrg, &nets, &routing, input.mode_count()).map_err(FlowError::Internal)?;
+    let wires = (0..input.mode_count())
+        .map(|m| routing.wires_in_mode(&rrg, m))
+        .collect();
+    let param = ParamConfig::from_routing(&routing, input.space());
+    Ok(LegOutput::Dcs {
+        cost: model.dcs_cost(&param),
+        wires,
+        width: arch.channel_width,
+    })
+}
+
+/// Stage 2 of the pairwise comparison: width resolution, routing and
+/// configuration extraction on top of existing placements. The MDR leg
+/// and the two DCS variants run concurrently (serially with
+/// [`FlowOptions::intra_parallelism`] `== 1`; results are identical
+/// either way).
+///
+/// # Errors
+///
+/// Fails if the placements do not fit the input or a leg cannot route.
+pub fn run_pair_with_placements(
+    input: &MultiModeInput,
+    options: &FlowOptions,
+    name: impl Into<String>,
+    placements: &PairPlacements,
+) -> Result<PairMetrics, FlowError> {
+    let base = options.base_arch(input);
+
+    // Guard against stale/poisoned placements (e.g. a corrupted cache):
+    // every leg's placement must fit this input on this fabric.
+    if placements.mdr.len() != input.mode_count() {
+        return Err(FlowError::Input(format!(
+            "{} MDR placements for {} modes",
+            placements.mdr.len(),
+            input.mode_count()
+        )));
+    }
+    let mdr_wrapped = MultiPlacement {
+        modes: placements.mdr.clone(),
+    };
+    mm_place::verify_placement(input.circuits(), &base, &mdr_wrapped).map_err(FlowError::Input)?;
+    mm_place::verify_placement(input.circuits(), &base, &placements.edge)
+        .map_err(FlowError::Input)?;
+    mm_place::verify_placement(input.circuits(), &base, &placements.wirelength)
+        .map_err(FlowError::Input)?;
+
+    let edge_tunable = TunableCircuit::from_placement(input.circuits(), &placements.edge, &base)?;
+    let wl_tunable =
+        TunableCircuit::from_placement(input.circuits(), &placements.wirelength, &base)?;
+    edge_tunable
+        .verify_projection(input.circuits(), &placements.edge)
+        .map_err(FlowError::Internal)?;
+    wl_tunable
+        .verify_projection(input.circuits(), &placements.wirelength)
+        .map_err(FlowError::Internal)?;
+
+    // ---- the three flow legs, each on its own fabric ---------------------
+    let legs = vec![
+        Leg::Mdr(&placements.mdr),
+        Leg::Dcs {
+            tunable: &edge_tunable,
+            label: "edge",
+        },
+        Leg::Dcs {
+            tunable: &wl_tunable,
+            label: "wl",
+        },
+    ];
+    let threads = intra_threads(options, legs.len());
+    let outputs = pool::run_ordered(
+        legs,
+        threads,
+        |_, leg| match leg {
+            Leg::Mdr(placements) => run_mdr_leg(input, options, &base, placements),
+            Leg::Dcs { tunable, label } => run_dcs_leg(input, options, &base, tunable, label),
+        },
+        |_, _| {},
+    );
+    let mut outputs = outputs.into_iter();
+    let (mdr_model, mdr_configs, mdr_wires, width_mdr) = match outputs.next().expect("mdr leg")? {
+        LegOutput::Mdr {
+            model,
+            configs,
+            wires,
             width,
-            options.max_width,
-            &multi_router,
-            &format!("tunable circuit ({label}) at relaxed width"),
-            |rrg| tunable.route_nets(rrg),
-        )?;
-        let model = ConfigModel::new(&arch, &rrg);
-        verify_routing(&rrg, &nets, &routing, input.mode_count()).map_err(FlowError::Internal)?;
-        let wires = (0..input.mode_count())
-            .map(|m| routing.wires_in_mode(&rrg, m))
-            .collect();
-        let param = ParamConfig::from_routing(&routing, input.space());
-        Ok((model.dcs_cost(&param), wires, arch.channel_width))
+        } => (model, configs, wires, width),
+        LegOutput::Dcs { .. } => unreachable!("leg order is fixed"),
     };
-    let (edge_cost, edge_wires, width_edge) = route_tunable(&edge_tunable, width_edge, "edge")?;
-    let (wl_cost, wl_wires, width_wl) = route_tunable(&wl_tunable, width_wl, "wl")?;
+    let (edge_cost, edge_wires, width_edge) = match outputs.next().expect("edge leg")? {
+        LegOutput::Dcs { cost, wires, width } => (cost, wires, width),
+        LegOutput::Mdr { .. } => unreachable!("leg order is fixed"),
+    };
+    let (wl_cost, wl_wires, width_wl) = match outputs.next().expect("wl leg")? {
+        LegOutput::Dcs { cost, wires, width } => (cost, wires, width),
+        LegOutput::Mdr { .. } => unreachable!("leg order is fixed"),
+    };
 
-    // ---- metrics --------------------------------------------------------------
+    // ---- metrics ---------------------------------------------------------
     let mean = |w: &[usize]| -> f64 { w.iter().sum::<usize>() as f64 / w.len().max(1) as f64 };
     let diff = {
         let m = input.mode_count();
@@ -258,6 +459,20 @@ pub fn run_pair(
         tunable_stats: wl_tunable.stats(),
         mode_luts: input.circuits().iter().map(|c| c.lut_count()).collect(),
     })
+}
+
+/// Runs the full comparison for one multi-mode circuit.
+///
+/// # Errors
+///
+/// Fails if any flow cannot place or route.
+pub fn run_pair(
+    input: &MultiModeInput,
+    options: &FlowOptions,
+    name: impl Into<String>,
+) -> Result<PairMetrics, FlowError> {
+    let placements = place_pair(input, options)?;
+    run_pair_with_placements(input, options, name, &placements)
 }
 
 #[cfg(test)]
@@ -332,5 +547,59 @@ mod tests {
         assert_eq!(metrics.width_mdr, 14);
         assert_eq!(metrics.width_edge, 14);
         assert_eq!(metrics.width_wirelength, 14);
+    }
+
+    #[test]
+    fn parallel_pair_is_byte_identical_to_serial() {
+        let input = MultiModeInput::new(vec![
+            random_circuit("m0", 5, 14, 51),
+            random_circuit("m1", 5, 15, 52),
+        ])
+        .unwrap();
+        let serial_options = FlowOptions {
+            intra_parallelism: 1,
+            ..FlowOptions::default()
+        };
+        let parallel_options = FlowOptions {
+            intra_parallelism: 0,
+            ..FlowOptions::default()
+        };
+        let serial = run_pair(&input, &serial_options, "p").unwrap();
+        let parallel = run_pair(&input, &parallel_options, "p").unwrap();
+        assert_eq!(
+            serial, parallel,
+            "intra-job parallelism must not change results"
+        );
+    }
+
+    #[test]
+    fn staged_pair_equals_monolithic_pair() {
+        let input = MultiModeInput::new(vec![
+            random_circuit("m0", 5, 12, 61),
+            random_circuit("m1", 5, 13, 62),
+        ])
+        .unwrap();
+        let options = FlowOptions::default().with_fixed_width(14);
+        let placements = place_pair(&input, &options).unwrap();
+        let staged = run_pair_with_placements(&input, &options, "s", &placements).unwrap();
+        let whole = run_pair(&input, &options, "s").unwrap();
+        assert_eq!(staged, whole);
+    }
+
+    #[test]
+    fn stale_pair_placements_rejected() {
+        let input = MultiModeInput::new(vec![
+            random_circuit("m0", 5, 12, 71),
+            random_circuit("m1", 5, 13, 72),
+        ])
+        .unwrap();
+        let other = MultiModeInput::new(vec![
+            random_circuit("x0", 5, 16, 73),
+            random_circuit("x1", 5, 17, 74),
+        ])
+        .unwrap();
+        let options = FlowOptions::default().with_fixed_width(14);
+        let placements = place_pair(&other, &options).unwrap();
+        assert!(run_pair_with_placements(&input, &options, "bad", &placements).is_err());
     }
 }

@@ -131,6 +131,14 @@ pub struct FlowOptions {
     pub fc_in: f64,
     /// Output connection-block flexibility.
     pub fc_out: f64,
+    /// Worker threads for parallel sections *inside* one flow run
+    /// (per-mode MDR placements, the flow legs of `run_pair`): `0` = one
+    /// per independent task, `1` = strictly serial. Results are
+    /// byte-identical at any setting (every task is independently
+    /// seeded), so this deliberately does **not** participate in
+    /// [`FlowOptions::fingerprint`] — serial and parallel runs share
+    /// cache entries.
+    pub intra_parallelism: usize,
 }
 
 impl Default for FlowOptions {
@@ -145,7 +153,16 @@ impl Default for FlowOptions {
             // for configuration-bit accounting.
             fc_in: 0.4,
             fc_out: 0.25,
+            intra_parallelism: 0,
         }
+    }
+}
+
+/// Resolves the intra-job worker count for `tasks` independent tasks.
+pub(crate) fn intra_threads(options: &FlowOptions, tasks: usize) -> usize {
+    match options.intra_parallelism {
+        0 => tasks.max(1),
+        n => n,
     }
 }
 
@@ -360,7 +377,10 @@ impl MdrFlow {
     }
 
     /// Stage 1 of MDR: conventional single-circuit annealing of every
-    /// mode on the shared region.
+    /// mode on the shared region. The modes are independent (each gets a
+    /// derived seed), so they anneal concurrently on the work-stealing
+    /// pool — serially with [`FlowOptions::intra_parallelism`] `== 1`,
+    /// with byte-identical results either way.
     ///
     /// This is the expensive, seed-determined stage; the batch engine
     /// caches its output by content address.
@@ -374,16 +394,24 @@ impl MdrFlow {
             cost: CostKind::WireLength,
             ..self.options.placer
         };
-        let mut placements = Vec::with_capacity(input.mode_count());
-        for (m, circuit) in input.circuits().iter().enumerate() {
-            let opts = PlacerOptions {
-                seed: placer.seed ^ (m as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15),
-                ..placer
-            };
-            let (p, _) = mm_place::place_single(circuit, &base, &opts)?;
-            placements.push(p);
-        }
-        Ok(placements)
+        let modes: Vec<usize> = (0..input.mode_count()).collect();
+        let threads = crate::flow::intra_threads(&self.options, modes.len());
+        crate::pool::run_ordered(
+            modes,
+            threads,
+            |_, m| {
+                let opts = PlacerOptions {
+                    seed: placer.seed ^ (m as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+                    ..placer
+                };
+                mm_place::place_single(&input.circuits()[m], &base, &opts)
+                    .map(|(p, _)| p)
+                    .map_err(FlowError::from)
+            },
+            |_, _| {},
+        )
+        .into_iter()
+        .collect()
     }
 
     /// Stage 2 of MDR: width resolution, per-mode routing and

@@ -41,12 +41,13 @@
 mod error;
 mod experiment;
 mod flow;
+pub mod pool;
 pub mod report;
 pub mod timing;
 mod tunable;
 
 pub use error::FlowError;
-pub use experiment::{run_pair, PairMetrics};
+pub use experiment::{place_pair, run_pair, run_pair_with_placements, PairMetrics, PairPlacements};
 pub use flow::{DcsFlow, DcsResult, FlowOptions, MdrFlow, MdrResult, MultiModeInput, WidthChoice};
 pub use report::Stats;
 pub use timing::{dcs_mode_timing, mdr_mode_timing, TimingReport, LUT_DELAY};

@@ -177,6 +177,103 @@ impl StageCache {
         self.counters.corrupt.fetch_add(1, Ordering::Relaxed);
         let _ = std::fs::remove_file(path);
     }
+
+    /// Garbage-collects the store: evicts every entry older than
+    /// `max_age`, then — oldest first — enough further entries to bring
+    /// the store under `max_bytes`. Either limit may be `None`.
+    ///
+    /// Eviction order is deterministic (modification time, then path);
+    /// a concurrently-vanishing entry is skipped, never an error.
+    ///
+    /// # Errors
+    ///
+    /// Fails only if the cache root cannot be read.
+    pub fn gc(
+        &self,
+        max_bytes: Option<u64>,
+        max_age: Option<std::time::Duration>,
+    ) -> std::io::Result<GcSummary> {
+        let mut entries: Vec<(std::time::SystemTime, PathBuf, u64)> = Vec::new();
+        let mut stack = vec![self.root.clone()];
+        while let Some(dir) = stack.pop() {
+            let reader = match std::fs::read_dir(&dir) {
+                Ok(r) => r,
+                Err(e) if dir == self.root => return Err(e),
+                Err(_) => continue,
+            };
+            for entry in reader.filter_map(Result::ok) {
+                let path = entry.path();
+                if path.is_dir() {
+                    stack.push(path);
+                } else if path.extension().is_some_and(|e| e == "json") {
+                    if let Ok(meta) = entry.metadata() {
+                        let mtime = meta.modified().unwrap_or(std::time::UNIX_EPOCH);
+                        entries.push((mtime, path, meta.len()));
+                    }
+                }
+            }
+        }
+        entries.sort();
+
+        let mut summary = GcSummary {
+            scanned: entries.len(),
+            bytes_before: entries.iter().map(|(_, _, len)| len).sum(),
+            evicted: 0,
+            bytes_evicted: 0,
+        };
+        let now = std::time::SystemTime::now();
+        let mut live_bytes = summary.bytes_before;
+        let budget = max_bytes.unwrap_or(u64::MAX);
+        for (mtime, path, len) in &entries {
+            let expired = max_age.is_some_and(|age| {
+                now.duration_since(*mtime)
+                    .map(|elapsed| elapsed > age)
+                    .unwrap_or(false)
+            });
+            if !expired && live_bytes <= budget {
+                break; // entries are oldest-first; the rest stay
+            }
+            match std::fs::remove_file(path) {
+                Ok(()) => {
+                    summary.evicted += 1;
+                    summary.bytes_evicted += len;
+                    live_bytes = live_bytes.saturating_sub(*len);
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                    // Vanished concurrently: its bytes are gone from the
+                    // store, but not our eviction.
+                    live_bytes = live_bytes.saturating_sub(*len);
+                }
+                Err(_) => {
+                    // Unremovable (permissions, read-only mount): its
+                    // bytes still occupy the store — keep evicting
+                    // younger entries until the budget really holds.
+                }
+            }
+        }
+        Ok(summary)
+    }
+}
+
+/// What one [`StageCache::gc`] sweep did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GcSummary {
+    /// Entries found in the store.
+    pub scanned: usize,
+    /// Entries evicted.
+    pub evicted: usize,
+    /// Store size before the sweep, bytes.
+    pub bytes_before: u64,
+    /// Bytes evicted.
+    pub bytes_evicted: u64,
+}
+
+impl GcSummary {
+    /// Store size after the sweep, bytes.
+    #[must_use]
+    pub fn bytes_after(&self) -> u64 {
+        self.bytes_before.saturating_sub(self.bytes_evicted)
+    }
 }
 
 #[cfg(test)]
@@ -246,6 +343,56 @@ mod tests {
         std::fs::copy(&from, &to).unwrap();
         assert!(cache.get("result", &key2).is_none());
         assert_eq!(cache.stats().corrupt, 1);
+        let _ = std::fs::remove_dir_all(cache.root());
+    }
+
+    #[test]
+    fn gc_respects_size_budget_oldest_first() {
+        let cache = StageCache::open(tmp_root("gc_size")).unwrap();
+        for i in 0..6 {
+            let key = format!("{i:064}");
+            cache.put("result", &key, &Value::Str("x".repeat(64)));
+        }
+        let all = cache.gc(None, None).unwrap();
+        assert_eq!(all.scanned, 6);
+        assert_eq!(all.evicted, 0, "no limits, no eviction");
+
+        let budget = all.bytes_before / 2;
+        let sweep = cache.gc(Some(budget), None).unwrap();
+        assert!(sweep.evicted >= 3, "over-budget entries evicted");
+        assert!(sweep.bytes_after() <= budget, "store under budget");
+        let after = cache.gc(None, None).unwrap();
+        assert_eq!(after.scanned, 6 - sweep.evicted);
+
+        // Evicted entries are misses, surviving ones still hit.
+        let mut hits = 0;
+        for i in 0..6 {
+            let key = format!("{i:064}");
+            if cache.get("result", &key).is_some() {
+                hits += 1;
+            }
+        }
+        assert_eq!(hits, 6 - sweep.evicted);
+        let _ = std::fs::remove_dir_all(cache.root());
+    }
+
+    #[test]
+    fn gc_age_limit_evicts_stale_entries() {
+        let cache = StageCache::open(tmp_root("gc_age")).unwrap();
+        let key = "a".repeat(64);
+        cache.put("placement", &key, &Value::Num(1.0));
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        let sweep = cache
+            .gc(None, Some(std::time::Duration::from_millis(1)))
+            .unwrap();
+        assert_eq!(sweep.evicted, 1, "stale entry evicted");
+        assert_eq!(sweep.bytes_after(), 0);
+        let keep = StageCache::open(cache.root()).unwrap();
+        keep.put("placement", &key, &Value::Num(2.0));
+        let sweep = keep
+            .gc(None, Some(std::time::Duration::from_secs(3600)))
+            .unwrap();
+        assert_eq!(sweep.evicted, 0, "fresh entry kept");
         let _ = std::fs::remove_dir_all(cache.root());
     }
 

@@ -25,8 +25,11 @@
 //!   configuration share this entry even across different router
 //!   settings.
 //!
-//! `pair` jobs (the full experimental comparison) cache at result
-//! granularity only. Failures are never cached.
+//! `pair` jobs (the full experimental comparison) are stage-granular
+//! too: their three annealing legs (MDR per-mode, DCS edge-matching,
+//! DCS wire-length) use **the same** placement keys as the plain
+//! `mdr`/`dcs` jobs, so placements flow freely between pair jobs and
+//! plain jobs in either direction. Failures are never cached.
 
 use crate::cache::{CacheStats, StageCache};
 use crate::hash::Sha256;
@@ -35,8 +38,8 @@ use crate::job::{
     JobCacheInfo, JobOutcome, JobResult, MdrSummary,
 };
 use crate::json::ObjBuilder;
-use crate::pool;
-use mm_flow::{run_pair, DcsFlow, MdrFlow, MultiModeInput};
+use mm_flow::pool;
+use mm_flow::{run_pair_with_placements, DcsFlow, MdrFlow, MultiModeInput, PairPlacements};
 use mm_netlist::blif;
 use mm_place::PlacerOptions;
 use std::path::PathBuf;
@@ -184,12 +187,25 @@ impl Engine {
     #[must_use]
     pub fn run_streamed_cancellable(
         &self,
-        jobs: Vec<Job>,
+        mut jobs: Vec<Job>,
         cancel: Option<&std::sync::atomic::AtomicBool>,
         mut sink: impl FnMut(&JobResult) + Send,
     ) -> BatchReport {
         let t0 = Instant::now();
         let n = jobs.len();
+        // Budget intra-job parallelism instead of letting it multiply
+        // with the job fan-out: jobs in "auto" mode (0) share the worker
+        // count — a lone job may use every worker for its internal
+        // stages, a full batch pins each job to one thread. Explicit
+        // per-job settings are respected, and results are identical at
+        // any setting (the flows' intra tasks are independently seeded).
+        let concurrent = self.threads.min(n.max(1)).max(1);
+        let intra_budget = (self.threads / concurrent).max(1);
+        for job in &mut jobs {
+            if job.options.intra_parallelism == 0 {
+                job.options.intra_parallelism = intra_budget;
+            }
+        }
         let counters = StageCounters::default();
         let cache_before = self
             .cache
@@ -288,12 +304,7 @@ impl Engine {
         let outcome = match job.flow {
             FlowKind::Dcs(cost) => self.run_dcs(job, &input, cost, keys.as_ref(), info)?,
             FlowKind::Mdr => self.run_mdr(job, &input, keys.as_ref(), info)?,
-            FlowKind::Pair => {
-                info.stages_recomputed += 1;
-                JobOutcome::Pair(
-                    run_pair(&input, &job.options, job.name.clone()).map_err(|e| e.to_string())?,
-                )
-            }
+            FlowKind::Pair => self.run_pair_staged(job, &input, keys.as_ref(), info)?,
         };
         if let (Some(cache), Some(key)) = (&self.cache, &result_key) {
             cache.put("result", key, &outcome.to_value());
@@ -316,18 +327,13 @@ impl Engine {
             cost,
             ..job.options.placer
         };
-        let key = keys.map(|k| {
-            stage_key(
-                "placement",
-                &["dcs", &placer.fingerprint(), &k.arch_fp],
-                &k.blifs,
-            )
-        });
+        let key = keys.map(|k| k.placement_key("dcs", &placer));
 
         let placement = self
             .cached_placement(key.as_deref(), |v| multi_placement_from(&job.circuits, v))
             .inspect(|_p| {
                 info.placement_hit = true;
+                info.placement_hits += 1;
             });
         let placement = match placement {
             Some(p) => p,
@@ -374,18 +380,13 @@ impl Engine {
             cost: mm_place::CostKind::WireLength,
             ..job.options.placer
         };
-        let key = keys.map(|k| {
-            stage_key(
-                "placement",
-                &["mdr", &placer.fingerprint(), &k.arch_fp],
-                &k.blifs,
-            )
-        });
+        let key = keys.map(|k| k.placement_key("mdr", &placer));
 
         let placements = self
             .cached_placement(key.as_deref(), |v| placements_from(&job.circuits, v))
             .inspect(|_p| {
                 info.placement_hit = true;
+                info.placement_hits += 1;
             });
         let placements = match placements {
             Some(p) => p,
@@ -414,6 +415,133 @@ impl Engine {
         }))
     }
 
+    /// Runs a `pair` job with stage-granular caching: each of the three
+    /// annealing legs is looked up (and stored) under **exactly** the
+    /// placement key a plain `mdr`/`dcs` job would use, so placements are
+    /// shared between pair jobs and plain jobs in both directions. Only
+    /// the missing legs are recomputed; when all three miss they anneal
+    /// concurrently on the work-stealing pool (within the job's
+    /// intra-parallelism budget).
+    fn run_pair_staged(
+        &self,
+        job: &Job,
+        input: &MultiModeInput,
+        keys: Option<&KeyContext>,
+        info: &mut JobCacheInfo,
+    ) -> Result<JobOutcome, String> {
+        let wl_placer = PlacerOptions {
+            cost: mm_place::CostKind::WireLength,
+            ..job.options.placer
+        };
+        let edge_placer = PlacerOptions {
+            cost: mm_place::CostKind::EdgeMatching,
+            ..job.options.placer
+        };
+        let mdr_key = keys.map(|k| k.placement_key("mdr", &wl_placer));
+        let edge_key = keys.map(|k| k.placement_key("dcs", &edge_placer));
+        let wl_key = keys.map(|k| k.placement_key("dcs", &wl_placer));
+
+        let mdr = self.cached_placement(mdr_key.as_deref(), |v| placements_from(&job.circuits, v));
+        let edge = self.cached_placement(edge_key.as_deref(), |v| {
+            multi_placement_from(&job.circuits, v)
+        });
+        let wl = self.cached_placement(wl_key.as_deref(), |v| {
+            multi_placement_from(&job.circuits, v)
+        });
+        let hits =
+            usize::from(mdr.is_some()) + usize::from(edge.is_some()) + usize::from(wl.is_some());
+        if hits > 0 {
+            info.placement_hit = true;
+            info.placement_hits += hits;
+        }
+
+        // Anneal whatever is missing, concurrently (within the job's
+        // intra-parallelism budget) — each computed leg is stored under
+        // its plain-job key. Leg flavours are disjoint, so the pooled
+        // results are matched back by kind.
+        enum LegKind {
+            Mdr,
+            Edge,
+            Wl,
+        }
+        enum LegPlacement {
+            Mdr(Vec<mm_place::Placement>),
+            Edge(mm_place::MultiPlacement),
+            Wl(mm_place::MultiPlacement),
+        }
+        let mut missing = Vec::new();
+        if mdr.is_none() {
+            missing.push(LegKind::Mdr);
+        }
+        if edge.is_none() {
+            missing.push(LegKind::Edge);
+        }
+        if wl.is_none() {
+            missing.push(LegKind::Wl);
+        }
+        info.stages_recomputed += missing.len();
+        let threads = match job.options.intra_parallelism {
+            0 => missing.len().max(1),
+            t => t,
+        };
+        let computed = pool::run_ordered(
+            missing,
+            threads,
+            |_, kind| -> Result<LegPlacement, String> {
+                match kind {
+                    LegKind::Mdr => MdrFlow::new(job.options)
+                        .place(input)
+                        .map(LegPlacement::Mdr)
+                        .map_err(|e| e.to_string()),
+                    LegKind::Edge => DcsFlow::new(job.options)
+                        .with_cost(mm_place::CostKind::EdgeMatching)
+                        .place(input)
+                        .map(LegPlacement::Edge)
+                        .map_err(|e| e.to_string()),
+                    LegKind::Wl => DcsFlow::new(job.options)
+                        .with_cost(mm_place::CostKind::WireLength)
+                        .place(input)
+                        .map(LegPlacement::Wl)
+                        .map_err(|e| e.to_string()),
+                }
+            },
+            |_, _| {},
+        );
+        let (mut mdr, mut edge, mut wl) = (mdr, edge, wl);
+        for leg in computed {
+            match leg? {
+                LegPlacement::Mdr(p) => {
+                    if let (Some(cache), Some(key)) = (&self.cache, &mdr_key) {
+                        cache.put("placement", key, &placements_value(&job.circuits, &p));
+                    }
+                    mdr = Some(p);
+                }
+                LegPlacement::Edge(p) => {
+                    if let (Some(cache), Some(key)) = (&self.cache, &edge_key) {
+                        cache.put("placement", key, &placements_value(&job.circuits, &p.modes));
+                    }
+                    edge = Some(p);
+                }
+                LegPlacement::Wl(p) => {
+                    if let (Some(cache), Some(key)) = (&self.cache, &wl_key) {
+                        cache.put("placement", key, &placements_value(&job.circuits, &p.modes));
+                    }
+                    wl = Some(p);
+                }
+            }
+        }
+        let placements = PairPlacements {
+            mdr: mdr.expect("mdr leg cached or computed"),
+            edge: edge.expect("edge leg cached or computed"),
+            wirelength: wl.expect("wl leg cached or computed"),
+        };
+
+        info.stages_recomputed += 1; // routing + extraction of the three legs
+        let metrics = run_pair_with_placements(input, &job.options, job.name.clone(), &placements)
+            .map_err(|e| e.to_string())?;
+        Ok(JobOutcome::Pair(metrics))
+    }
+
     fn cached_placement<P>(
         &self,
         key: Option<&str>,
@@ -430,6 +558,18 @@ impl Engine {
 struct KeyContext {
     blifs: Vec<String>,
     arch_fp: String,
+}
+
+impl KeyContext {
+    /// The placement-stage key of one annealing leg — shared verbatim
+    /// between plain jobs and the legs of `pair` jobs.
+    fn placement_key(&self, flow: &str, placer: &PlacerOptions) -> String {
+        stage_key(
+            "placement",
+            &[flow, &placer.fingerprint(), &self.arch_fp],
+            &self.blifs,
+        )
+    }
 }
 
 #[derive(Debug, Default)]

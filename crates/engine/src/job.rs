@@ -153,8 +153,11 @@ pub enum JobOutcome {
 pub struct JobCacheInfo {
     /// The final result came from the cache; nothing was recomputed.
     pub result_hit: bool,
-    /// The placement stage came from the cache.
+    /// At least one placement stage came from the cache.
     pub placement_hit: bool,
+    /// Placement stages served from the cache (a `pair` job has three
+    /// annealing legs and can hit 0–3 of them; plain jobs have one).
+    pub placement_hits: usize,
     /// Flow stages actually executed (0 on a full hit).
     pub stages_recomputed: usize,
 }

@@ -43,9 +43,11 @@ mod engine;
 pub mod hash;
 mod job;
 pub mod json;
-pub mod pool;
+/// The work-stealing pool now lives in `mm-flow` so flows can
+/// parallelize *inside* one job; re-exported here for compatibility.
+pub use mm_flow::pool;
 
-pub use cache::{CacheStats, StageCache};
+pub use cache::{CacheStats, GcSummary, StageCache};
 pub use engine::{BatchReport, Engine, EngineOptions, EngineStats};
 pub use job::{
     load_spec, multi_placement_from, placements_from, placements_value, suite_jobs, BatchSpec,

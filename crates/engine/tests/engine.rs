@@ -190,6 +190,63 @@ fn placement_stage_is_shared_across_router_variants() {
 }
 
 #[test]
+fn pair_jobs_share_placement_stages_with_plain_jobs() {
+    let dir = tmp_cache("pairshare");
+    let engine = Engine::new(EngineOptions {
+        threads: 1,
+        cache_dir: Some(dir.clone()),
+    })
+    .unwrap();
+
+    let a = random_circuit("m0", 5, 12, 81);
+    let b = random_circuit("m1", 5, 13, 82);
+    let job = |name: &str, flow: FlowKind, max_iterations: usize| {
+        let mut options = quick_options(7);
+        // Vary only the router so result keys miss while placement keys
+        // (which exclude router options) still match.
+        options.router.max_iterations = max_iterations;
+        Job {
+            name: name.into(),
+            circuits: vec![a.clone(), b.clone()],
+            flow,
+            options,
+        }
+    };
+
+    // Warm the placement stages with *plain* jobs.
+    let warm = engine.run(vec![
+        job("dcs", FlowKind::Dcs(CostKind::WireLength), 30),
+        job("mdr", FlowKind::Mdr, 30),
+    ]);
+    assert!(warm.results.iter().all(|r| r.outcome.is_ok()));
+
+    // A pair job on the same mode group shares the MDR and DCS-wl legs;
+    // only the edge-matching leg and the routing stage are computed.
+    let pair = engine.run(vec![job("pair", FlowKind::Pair, 29)]);
+    let info = pair.results[0].cache;
+    assert!(pair.results[0].outcome.is_ok());
+    assert!(info.placement_hit, "pair reuses plain-job annealing");
+    assert_eq!(info.placement_hits, 2, "mdr + dcs-wl legs from cache");
+    assert_eq!(info.stages_recomputed, 2, "edge leg + routing only");
+
+    // A second pair run (different router again) now hits all three legs.
+    let pair2 = engine.run(vec![job("pair2", FlowKind::Pair, 28)]);
+    let info2 = pair2.results[0].cache;
+    assert_eq!(info2.placement_hits, 3, "all legs cached");
+    assert_eq!(info2.stages_recomputed, 1, "only routing recomputed");
+
+    // And the sharing works in reverse: a plain dcs-edge job reuses the
+    // edge leg the pair job stored.
+    let edge = engine.run(vec![job("edge", FlowKind::Dcs(CostKind::EdgeMatching), 27)]);
+    assert!(edge.results[0].outcome.is_ok());
+    assert!(
+        edge.results[0].cache.placement_hit,
+        "plain job reuses pair-job annealing"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn corrupted_cache_entries_are_recomputed_not_believed() {
     let dir = tmp_cache("corrupt");
     let make = || {

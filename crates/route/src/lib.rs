@@ -42,6 +42,7 @@
 
 mod minw;
 mod nets;
+pub mod reference;
 mod router;
 
 pub use minw::{min_channel_width, relaxed_width, MinWidthResult};

@@ -1,0 +1,404 @@
+//! Naive reference formulation of the mode-aware PathFinder router.
+//!
+//! This module implements *exactly* the algorithm of [`crate::Router`]
+//! with the straightforward data structures the optimized router
+//! replaced: a fresh `BinaryHeap` and `HashMap`s per search, a per-net
+//! `HashMap` for tree positions, and a full `node_count()` scan for the
+//! overuse/history update. It exists for two reasons:
+//!
+//! * **differential testing** — the property tests in `tests/parity.rs`
+//!   assert the optimized router produces byte-identical [`Routing`]
+//!   results (same trees, same iteration count), so every data-structure
+//!   optimization is provably semantics-preserving;
+//! * **benchmarking** — `mmflow bench` and the criterion suite measure
+//!   the optimized hot path against this baseline (run it with
+//!   [`RouterOptions::without_bbox`] for the pre-optimization behaviour).
+//!
+//! It is deliberately slow; never use it from a flow.
+
+use crate::router::{grow_margin, net_bbox, BBox, HeapEntry, Occupancy, BBOX_CONGESTION_GRACE};
+use crate::{NetRoute, RouteNet, RouteTreeNode, RouterOptions, Routing};
+use mm_arch::{RoutingGraph, RrKind, RrNodeId, SwitchId};
+use mm_boolexpr::{ModeSet, ModeSpace};
+use std::collections::{BinaryHeap, HashMap};
+
+/// Routes `nets` with the naive reference implementation.
+///
+/// # Panics
+///
+/// Panics if `options.mode_count` is 0.
+#[must_use]
+pub fn route_reference(rrg: &RoutingGraph, options: RouterOptions, nets: &[RouteNet]) -> Routing {
+    ReferenceRouter::new(rrg, options).route(nets)
+}
+
+struct ReferenceRouter<'a> {
+    rrg: &'a RoutingGraph,
+    options: RouterOptions,
+    space: ModeSpace,
+    occ: Occupancy,
+    switch_use: Occupancy,
+    history: Vec<f32>,
+    pres_fac: f64,
+    max_x: u16,
+    max_y: u16,
+}
+
+impl<'a> ReferenceRouter<'a> {
+    fn new(rrg: &'a RoutingGraph, options: RouterOptions) -> Self {
+        assert!(options.mode_count >= 1, "mode_count must be positive");
+        let n = rrg.node_count();
+        let (mut max_x, mut max_y) = (0u16, 0u16);
+        for i in 0..n {
+            let node = rrg.node(RrNodeId::from_index(i as u32));
+            max_x = max_x.max(node.x);
+            max_y = max_y.max(node.y);
+        }
+        Self {
+            rrg,
+            space: ModeSpace::new(options.mode_count),
+            occ: Occupancy::new(n, options.mode_count),
+            switch_use: Occupancy::new(rrg.switch_count(), options.mode_count),
+            history: vec![0.0; n],
+            pres_fac: options.initial_pres_fac,
+            max_x,
+            max_y,
+            options,
+        }
+    }
+
+    fn base_cost(&self, kind: RrKind) -> f64 {
+        match kind {
+            RrKind::ChanX | RrKind::ChanY => 1.0,
+            RrKind::Ipin => 0.95,
+            RrKind::Sink => 0.0,
+            RrKind::Opin | RrKind::Source => 1.0,
+        }
+    }
+
+    fn node_cost(&self, node: u32, act: ModeSet) -> f64 {
+        let rr = self.rrg.node(RrNodeId::from_index(node));
+        let occ_eff = f64::from(self.occ.max_in(node as usize, act));
+        let over = (occ_eff + 1.0 - f64::from(rr.capacity)).max(0.0);
+        let pres = 1.0 + self.pres_fac * over;
+        self.base_cost(rr.kind) * (1.0 + f64::from(self.history[node as usize])) * pres
+    }
+
+    fn switch_activation(&self, switch: SwitchId) -> ModeSet {
+        let mut act = ModeSet::EMPTY;
+        for m in 0..self.options.mode_count {
+            if self.switch_use.counts[switch.index() * self.switch_use.modes + m] > 0 {
+                act.insert(m);
+            }
+        }
+        act
+    }
+
+    fn share_factor(&self, switch: Option<SwitchId>, act: ModeSet) -> f64 {
+        if self.options.mode_count == 1
+            || (self.options.share_discount == 0.0 && self.options.param_penalty == 0.0)
+        {
+            return 1.0;
+        }
+        let Some(s) = switch else { return 1.0 };
+        let current = self.switch_activation(s);
+        let after = current | act;
+        let before_param = current.is_parameterized(self.space);
+        let after_param = after.is_parameterized(self.space);
+        if after_param && !before_param && current.is_never() {
+            1.0 + self.options.param_penalty
+        } else if before_param && !after_param {
+            1.0 - self.options.share_discount
+        } else if before_param && act.is_subset(current) {
+            1.0 - self.options.share_discount * 0.5
+        } else {
+            1.0
+        }
+    }
+
+    fn heuristic(&self, node: u32, target: u32) -> f64 {
+        let a = self.rrg.node(RrNodeId::from_index(node));
+        let b = self.rrg.node(RrNodeId::from_index(target));
+        let dx = (i32::from(a.x) - i32::from(b.x)).unsigned_abs();
+        let dy = (i32::from(a.y) - i32::from(b.y)).unsigned_abs();
+        self.options.astar_fac * f64::from(dx + dy)
+    }
+
+    fn route(&mut self, nets: &[RouteNet]) -> Routing {
+        let mut routes: Vec<NetRoute> = vec![NetRoute::default(); nets.len()];
+        let mut net_margin = vec![self.options.bbox_margin; nets.len()];
+        let mut iterations = 0;
+        let mut success = false;
+        let mut overused_nodes = 0;
+        let mut unrouted = 0usize;
+        let reroute_all = self.options.reroute_all_iters.max(1);
+
+        for iter in 0..self.options.max_iterations {
+            iterations = iter + 1;
+            let mut rerouted_any = false;
+            for (i, net) in nets.iter().enumerate() {
+                let congested = iter >= reroute_all && self.route_is_congested(&routes[i]);
+                if iter >= reroute_all && !congested {
+                    continue;
+                }
+                if congested && iter >= reroute_all + BBOX_CONGESTION_GRACE {
+                    net_margin[i] = grow_margin(net_margin[i]);
+                }
+                rerouted_any = true;
+                self.rip_up(&routes[i]);
+                routes[i] = self.route_net(net, &mut net_margin[i]);
+            }
+
+            unrouted = nets
+                .iter()
+                .zip(&routes)
+                .map(|(net, route)| {
+                    net.sinks
+                        .iter()
+                        .zip(&route.sink_pos)
+                        .filter(|(sink, &pos)| {
+                            route
+                                .tree
+                                .get(pos as usize)
+                                .is_none_or(|t| t.node != sink.node)
+                        })
+                        .count()
+                })
+                .sum();
+            if unrouted > 0 {
+                break;
+            }
+
+            // The naive full scan the optimized router's touched-node
+            // accounting replaces.
+            overused_nodes = 0;
+            for node in 0..self.rrg.node_count() {
+                let cap = self.rrg.node(RrNodeId::from_index(node as u32)).capacity;
+                let max = self.occ.max_all(node);
+                if max > cap {
+                    overused_nodes += 1;
+                    self.history[node] += (self.options.hist_fac * f64::from(max - cap)) as f32;
+                }
+            }
+            if overused_nodes == 0 {
+                success = true;
+                break;
+            }
+            if !rerouted_any {
+                break;
+            }
+            self.pres_fac *= self.options.pres_fac_mult;
+        }
+
+        Routing {
+            nets: routes,
+            iterations,
+            success: success && unrouted == 0,
+            overused_nodes,
+            unrouted_sinks: unrouted,
+        }
+    }
+
+    fn route_is_congested(&self, route: &NetRoute) -> bool {
+        route.tree.iter().any(|t| {
+            let cap = self.rrg.node(t.node).capacity;
+            self.occ.max_all(t.node.index()) > cap
+        })
+    }
+
+    fn rip_up(&mut self, route: &NetRoute) {
+        for t in &route.tree {
+            self.occ.remove(t.node.index(), t.activation);
+            if let Some(s) = t.switch {
+                self.switch_use.remove(s.index(), t.activation);
+            }
+        }
+    }
+
+    fn route_net(&mut self, net: &RouteNet, margin: &mut usize) -> NetRoute {
+        let mut tree: Vec<RouteTreeNode> = Vec::with_capacity(net.sinks.len() * 8);
+        let mut tree_pos: HashMap<u32, u32> = HashMap::new();
+
+        let net_act: ModeSet = net
+            .sinks
+            .iter()
+            .fold(ModeSet::EMPTY, |a, s| a | s.activation);
+        tree.push(RouteTreeNode {
+            node: net.source,
+            parent: None,
+            switch: None,
+            activation: net_act,
+        });
+        tree_pos.insert(net.source.index() as u32, 0);
+        self.occ.add(net.source.index(), net_act);
+
+        // Route sinks farthest-first; same stable order as the optimized
+        // router (distance descending, index ascending on ties).
+        let src = self.rrg.node(net.source);
+        let mut order: Vec<usize> = (0..net.sinks.len()).collect();
+        order.sort_by_key(|&i| {
+            let s = self.rrg.node(net.sinks[i].node);
+            let d = (i32::from(s.x) - i32::from(src.x)).abs()
+                + (i32::from(s.y) - i32::from(src.y)).abs();
+            std::cmp::Reverse(d)
+        });
+
+        let mut sink_pos = vec![0u32; net.sinks.len()];
+        for &si in &order {
+            let sink = net.sinks[si];
+            if let Some(&pos) = tree_pos.get(&(sink.node.index() as u32)) {
+                self.extend_activation(&mut tree, pos, sink.activation);
+                sink_pos[si] = pos;
+                continue;
+            }
+            let path = loop {
+                let bbox = net_bbox(self.rrg, net, *margin, self.max_x, self.max_y);
+                match self.search(&tree, sink.node, sink.activation, bbox) {
+                    Some(path) => break Some(path),
+                    None if bbox.covers_fabric(self.max_x, self.max_y) => break None,
+                    None => *margin = grow_margin(*margin),
+                }
+            };
+            match path {
+                Some(path) => {
+                    let join = tree_pos[&path[0].0];
+                    self.extend_activation(&mut tree, join, sink.activation);
+                    let mut parent = join;
+                    for &(node, switch) in &path[1..] {
+                        let idx = tree.len() as u32;
+                        tree.push(RouteTreeNode {
+                            node: RrNodeId::from_index(node),
+                            parent: Some(parent),
+                            switch,
+                            activation: sink.activation,
+                        });
+                        self.occ.add(node as usize, sink.activation);
+                        if let Some(s) = switch {
+                            self.switch_use.add(s.index(), sink.activation);
+                        }
+                        tree_pos.insert(node, idx);
+                        parent = idx;
+                    }
+                    sink_pos[si] = parent;
+                }
+                None => {
+                    sink_pos[si] = 0;
+                }
+            }
+        }
+
+        NetRoute { tree, sink_pos }
+    }
+
+    fn extend_activation(&mut self, tree: &mut [RouteTreeNode], pos: u32, act: ModeSet) {
+        let mut cur = Some(pos);
+        while let Some(p) = cur {
+            let t = &mut tree[p as usize];
+            let delta = act & t.activation.complement(self.space);
+            if delta.is_never() {
+                break;
+            }
+            t.activation |= delta;
+            self.occ.add(t.node.index(), delta);
+            if let Some(s) = t.switch {
+                self.switch_use.add(s.index(), delta);
+            }
+            cur = t.parent;
+        }
+    }
+
+    /// A*-guided Dijkstra with fresh allocations per search: a new heap
+    /// and hash-map visit state every time.
+    #[allow(clippy::type_complexity)]
+    fn search(
+        &mut self,
+        tree: &[RouteTreeNode],
+        target: RrNodeId,
+        act: ModeSet,
+        bbox: BBox,
+    ) -> Option<Vec<(u32, Option<SwitchId>)>> {
+        let target_idx = target.index() as u32;
+        let mut heap: BinaryHeap<HeapEntry> = BinaryHeap::new();
+        let mut dist: HashMap<u32, f64> = HashMap::new();
+        let mut prev: HashMap<u32, (u32, Option<SwitchId>)> = HashMap::new();
+
+        for t in tree {
+            let node = t.node.index() as u32;
+            let rr = self.rrg.node(t.node);
+            if !bbox.contains(rr.x, rr.y) {
+                continue;
+            }
+            dist.insert(node, 0.0);
+            prev.insert(node, (node, None));
+            heap.push(HeapEntry {
+                f: self.heuristic(node, target_idx),
+                g: 0.0,
+                node,
+            });
+        }
+
+        let mut found = false;
+        while let Some(entry) = heap.pop() {
+            let u = entry.node;
+            if entry.g > dist[&u] + 1e-12 {
+                continue; // stale
+            }
+            if u == target_idx {
+                found = true;
+                break;
+            }
+            for e in self.rrg.edges(RrNodeId::from_index(u)) {
+                let v = e.to.index() as u32;
+                let to = self.rrg.node(e.to);
+                match to.kind {
+                    RrKind::Sink if v != target_idx => continue,
+                    RrKind::Source => continue,
+                    RrKind::Ipin => {
+                        let leads = self
+                            .rrg
+                            .edges(e.to)
+                            .first()
+                            .is_some_and(|se| se.to.index() as u32 == target_idx);
+                        if !leads {
+                            continue;
+                        }
+                    }
+                    _ => {}
+                }
+                if !bbox.contains(to.x, to.y) {
+                    continue;
+                }
+                let g = entry.g + self.node_cost(v, act) * self.share_factor(e.switch, act);
+                let better = match dist.get(&v) {
+                    None => true,
+                    Some(&d) => g + 1e-12 < d,
+                };
+                if better {
+                    dist.insert(v, g);
+                    prev.insert(v, (u, e.switch));
+                    heap.push(HeapEntry {
+                        f: g + self.heuristic(v, target_idx),
+                        g,
+                        node: v,
+                    });
+                }
+            }
+        }
+        if !found {
+            return None;
+        }
+
+        let mut path = vec![];
+        let mut cur = target_idx;
+        loop {
+            let (p, sw) = prev[&cur];
+            path.push((cur, sw));
+            if p == cur {
+                break;
+            }
+            cur = p;
+        }
+        path.reverse();
+        Some(path)
+    }
+}

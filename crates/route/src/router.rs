@@ -12,6 +12,27 @@
 //! because they are never active at the same time. With a single mode this
 //! degenerates to standard PathFinder, which is how the MDR baseline is
 //! routed.
+//!
+//! # Hot-path engineering
+//!
+//! [`Router`] is built for repeated rip-up-and-reroute over the same RRG
+//! and keeps every piece of search state in a persistent, generation-
+//! stamped scratch arena:
+//!
+//! * the A* heap, path buffer and sink-order buffer are reused across
+//!   nets and across [`Router::route`] calls;
+//! * `tree_pos` (RRG node → route-tree index) is a stamped `Vec<u32>`
+//!   instead of a per-net hash map;
+//! * overuse/history accounting walks only the nodes *touched* since the
+//!   previous evaluation instead of scanning the whole graph;
+//! * every net search is confined to a VPR-style bounding box around the
+//!   net's terminals ([`RouterOptions::bbox_margin`]) that grows — first
+//!   on unreachable sinks, then on persistent congestion — until it
+//!   covers the fabric, so pruning never costs routability.
+//!
+//! The naive, allocation-per-net formulation of the same algorithm lives
+//! in [`crate::reference`]; the two are kept byte-identical by the
+//! differential property tests in `tests/parity.rs`.
 
 use mm_arch::{RoutingGraph, RrKind, RrNodeId, SwitchId};
 use mm_boolexpr::{ModeSet, ModeSpace};
@@ -67,6 +88,12 @@ pub struct RouterOptions {
     /// congestion — lets the sharing-aware cost converge before the
     /// router goes incremental.
     pub reroute_all_iters: usize,
+    /// Margin (in grid units) added around a net's terminal extent to
+    /// form its expansion bounding box. The box grows automatically when
+    /// a sink is unreachable inside it or when the net stays congested,
+    /// so routability is never lost to pruning. `usize::MAX` disables
+    /// bounding boxes (full-fabric exploration).
+    pub bbox_margin: usize,
 }
 
 impl Default for RouterOptions {
@@ -81,6 +108,7 @@ impl Default for RouterOptions {
             share_discount: 0.35,
             param_penalty: 0.2,
             reroute_all_iters: 3,
+            bbox_margin: 3,
         }
     }
 }
@@ -95,13 +123,21 @@ impl RouterOptions {
         }
     }
 
+    /// Returns a copy with bounding-box pruning disabled (full-fabric
+    /// search, the pre-optimization behaviour).
+    #[must_use]
+    pub fn without_bbox(mut self) -> Self {
+        self.bbox_margin = usize::MAX;
+        self
+    }
+
     /// A stable fingerprint of every option that affects the produced
     /// routing (floats by bit pattern), used by the batch engine's stage
     /// cache keys.
     #[must_use]
     pub fn fingerprint(&self) -> String {
         format!(
-            "router-v1;it={};pf={:016x};pfm={:016x};hf={:016x};as={:016x};m={};sd={:016x};pp={:016x};ra={}",
+            "router-v2;it={};pf={:016x};pfm={:016x};hf={:016x};as={:016x};m={};sd={:016x};pp={:016x};ra={};bb={}",
             self.max_iterations,
             self.initial_pres_fac.to_bits(),
             self.pres_fac_mult.to_bits(),
@@ -111,6 +147,7 @@ impl RouterOptions {
             self.share_discount.to_bits(),
             self.param_penalty.to_bits(),
             self.reroute_all_iters,
+            self.bbox_margin,
         )
     }
 }
@@ -215,26 +252,26 @@ impl Routing {
 }
 
 /// Per-(node, mode) usage counts.
-struct Occupancy {
-    counts: Vec<u16>,
-    modes: usize,
+pub(crate) struct Occupancy {
+    pub(crate) counts: Vec<u16>,
+    pub(crate) modes: usize,
 }
 
 impl Occupancy {
-    fn new(nodes: usize, modes: usize) -> Self {
+    pub(crate) fn new(nodes: usize, modes: usize) -> Self {
         Self {
             counts: vec![0; nodes * modes],
             modes,
         }
     }
 
-    fn add(&mut self, node: usize, act: ModeSet) {
+    pub(crate) fn add(&mut self, node: usize, act: ModeSet) {
         for m in act.iter() {
             self.counts[node * self.modes + m] += 1;
         }
     }
 
-    fn remove(&mut self, node: usize, act: ModeSet) {
+    pub(crate) fn remove(&mut self, node: usize, act: ModeSet) {
         for m in act.iter() {
             let c = &mut self.counts[node * self.modes + m];
             debug_assert!(*c > 0, "occupancy underflow");
@@ -243,7 +280,7 @@ impl Occupancy {
     }
 
     /// Maximum usage over the modes of `act`.
-    fn max_in(&self, node: usize, act: ModeSet) -> u16 {
+    pub(crate) fn max_in(&self, node: usize, act: ModeSet) -> u16 {
         act.iter()
             .map(|m| self.counts[node * self.modes + m])
             .max()
@@ -251,7 +288,7 @@ impl Occupancy {
     }
 
     /// Maximum usage over all modes.
-    fn max_all(&self, node: usize) -> u16 {
+    pub(crate) fn max_all(&self, node: usize) -> u16 {
         (0..self.modes)
             .map(|m| self.counts[node * self.modes + m])
             .max()
@@ -261,12 +298,12 @@ impl Occupancy {
 
 /// Min-heap entry for the A* search.
 #[derive(Debug, Clone, Copy, PartialEq)]
-struct HeapEntry {
+pub(crate) struct HeapEntry {
     /// Estimated total cost (g + h).
-    f: f64,
+    pub(crate) f: f64,
     /// Cost to come.
-    g: f64,
-    node: u32,
+    pub(crate) g: f64,
+    pub(crate) node: u32,
 }
 
 impl Eq for HeapEntry {}
@@ -288,7 +325,76 @@ impl PartialOrd for HeapEntry {
     }
 }
 
+/// A net's expansion bounding box (inclusive, grid coordinates).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct BBox {
+    pub(crate) x0: u16,
+    pub(crate) y0: u16,
+    pub(crate) x1: u16,
+    pub(crate) y1: u16,
+}
+
+impl BBox {
+    #[inline]
+    pub(crate) fn contains(&self, x: u16, y: u16) -> bool {
+        x >= self.x0 && x <= self.x1 && y >= self.y0 && y <= self.y1
+    }
+
+    /// Whether the box already spans the whole fabric — growing it
+    /// further cannot help.
+    pub(crate) fn covers_fabric(&self, max_x: u16, max_y: u16) -> bool {
+        self.x0 == 0 && self.y0 == 0 && self.x1 >= max_x && self.y1 >= max_y
+    }
+}
+
+/// The bounding box of a net's terminals, expanded by `margin` and
+/// clamped to the fabric extent.
+pub(crate) fn net_bbox(
+    rrg: &RoutingGraph,
+    net: &RouteNet,
+    margin: usize,
+    max_x: u16,
+    max_y: u16,
+) -> BBox {
+    let src = rrg.node(net.source);
+    let (mut x0, mut y0, mut x1, mut y1) = (src.x, src.y, src.x, src.y);
+    for s in &net.sinks {
+        let n = rrg.node(s.node);
+        x0 = x0.min(n.x);
+        y0 = y0.min(n.y);
+        x1 = x1.max(n.x);
+        y1 = y1.max(n.y);
+    }
+    // Clamp the margin to the fabric extent before converting to u16 so
+    // `usize::MAX` (pruning disabled) cannot overflow. `max(max_x, max_y)`
+    // always fits u16 and is enough for the box to span the whole fabric
+    // from any terminal, so `covers_fabric` stays reachable and the
+    // grow-until-covered loop always terminates.
+    let m = margin.min(usize::from(max_x.max(max_y))) as u16;
+    BBox {
+        x0: x0.saturating_sub(m),
+        y0: y0.saturating_sub(m),
+        x1: x1.saturating_add(m).min(max_x),
+        y1: y1.saturating_add(m).min(max_y),
+    }
+}
+
+/// Grows a bounding-box margin (on unreachable sinks or persistent
+/// congestion). Doubling-plus-one reaches full-fabric in O(log n) steps.
+pub(crate) fn grow_margin(margin: usize) -> usize {
+    margin.saturating_mul(2).saturating_add(1)
+}
+
+/// The number of extra iterations nets get to negotiate congestion inside
+/// their initial bounding boxes before the boxes start growing.
+pub(crate) const BBOX_CONGESTION_GRACE: usize = 2;
+
 /// The mode-aware PathFinder router.
+///
+/// Holds a persistent scratch arena (heap storage, stamped visit state,
+/// path/order buffers) that is reused across nets, iterations and
+/// [`Router::route`] calls — steady-state routing performs no per-net
+/// heap allocations (see [`Router::scratch_footprint`]).
 pub struct Router<'a> {
     rrg: &'a RoutingGraph,
     options: RouterOptions,
@@ -296,13 +402,46 @@ pub struct Router<'a> {
     occ: Occupancy,
     /// Per-(switch, mode) usage counts for the sharing-aware cost.
     switch_use: Occupancy,
+    /// Per-switch activation (the OR of modes with non-zero use),
+    /// maintained incrementally so the per-edge sharing cost is O(1)
+    /// instead of a scan over the mode counts.
+    switch_act: Vec<ModeSet>,
     history: Vec<f32>,
     pres_fac: f64,
-    // Per-search scratch, generation-stamped to avoid clearing.
+    /// Fabric extent for bounding-box clamping.
+    max_x: u16,
+    max_y: u16,
+    /// For every `IPIN` node, the index of the `SINK` it feeds
+    /// (`u32::MAX` elsewhere) — precomputed so the search's IPIN pruning
+    /// is one array read instead of an edge-list lookup.
+    ipin_sink: Vec<u32>,
+    // ---- scratch arena (generation-stamped, reused across nets) ----
+    /// Per-search best cost-to-come, valid when `gen` matches.
     dist: Vec<f64>,
+    /// Per-search predecessor (node, switch), valid when `gen` matches.
     prev: Vec<(u32, Option<SwitchId>)>,
     gen: Vec<u32>,
     generation: u32,
+    /// Reused A* heap storage.
+    heap: BinaryHeap<HeapEntry>,
+    /// Reused back-walk path buffer (node, switch-from-previous).
+    path: Vec<(u32, Option<SwitchId>)>,
+    /// Reused farthest-first sink-order buffer.
+    order: Vec<u32>,
+    /// RRG node → tree index of the net being routed, stamped by
+    /// `tree_gen` — the allocation-free replacement of the per-net
+    /// `HashMap`.
+    tree_pos: Vec<u32>,
+    tree_gen: Vec<u32>,
+    tree_generation: u32,
+    /// Nodes whose occupancy changed since the last overuse evaluation,
+    /// deduplicated by `touch_gen` stamps — overuse/history accounting
+    /// walks this list instead of the whole graph.
+    touched: Vec<u32>,
+    touch_gen: Vec<u32>,
+    touch_generation: u32,
+    /// Per-net bounding-box margins of the current `route()` call.
+    net_margin: Vec<usize>,
 }
 
 impl<'a> Router<'a> {
@@ -315,19 +454,59 @@ impl<'a> Router<'a> {
     pub fn new(rrg: &'a RoutingGraph, options: RouterOptions) -> Self {
         assert!(options.mode_count >= 1, "mode_count must be positive");
         let n = rrg.node_count();
+        let (mut max_x, mut max_y) = (0u16, 0u16);
+        let mut ipin_sink = vec![u32::MAX; n];
+        for (i, sink) in ipin_sink.iter_mut().enumerate() {
+            let id = RrNodeId::from_index(i as u32);
+            let node = rrg.node(id);
+            max_x = max_x.max(node.x);
+            max_y = max_y.max(node.y);
+            if node.kind == RrKind::Ipin {
+                if let Some(edge) = rrg.edges(id).first() {
+                    *sink = edge.to.index() as u32;
+                }
+            }
+        }
         Self {
             rrg,
             space: ModeSpace::new(options.mode_count),
             occ: Occupancy::new(n, options.mode_count),
             switch_use: Occupancy::new(rrg.switch_count(), options.mode_count),
+            switch_act: vec![ModeSet::EMPTY; rrg.switch_count()],
             history: vec![0.0; n],
             pres_fac: options.initial_pres_fac,
+            max_x,
+            max_y,
+            ipin_sink,
             dist: vec![0.0; n],
             prev: vec![(0, None); n],
             gen: vec![0; n],
             generation: 0,
+            heap: BinaryHeap::new(),
+            path: Vec::new(),
+            order: Vec::new(),
+            tree_pos: vec![0; n],
+            tree_gen: vec![0; n],
+            tree_generation: 0,
+            touched: Vec::new(),
+            touch_gen: vec![0; n],
+            touch_generation: 1,
+            net_margin: Vec::new(),
             options,
         }
+    }
+
+    /// Total capacity (in elements) of the reusable scratch buffers whose
+    /// size depends on routing activity. Steady-state re-routing of the
+    /// same nets must leave this unchanged — the zero-allocation
+    /// regression tests assert exactly that.
+    #[must_use]
+    pub fn scratch_footprint(&self) -> usize {
+        self.heap.capacity()
+            + self.path.capacity()
+            + self.order.capacity()
+            + self.touched.capacity()
+            + self.net_margin.capacity()
     }
 
     fn base_cost(&self, kind: RrKind) -> f64 {
@@ -339,23 +518,44 @@ impl<'a> Router<'a> {
         }
     }
 
-    fn node_cost(&self, node: u32, act: ModeSet) -> f64 {
-        let rr = self.rrg.node(RrNodeId::from_index(node));
+    /// Node cost given the node's (already fetched) RRG record.
+    fn node_cost(&self, node: u32, rr: &mm_arch::RrNode, act: ModeSet) -> f64 {
         let occ_eff = f64::from(self.occ.max_in(node as usize, act));
         let over = (occ_eff + 1.0 - f64::from(rr.capacity)).max(0.0);
         let pres = 1.0 + self.pres_fac * over;
         self.base_cost(rr.kind) * (1.0 + f64::from(self.history[node as usize])) * pres
     }
 
-    /// The modes in which `switch` currently carries signal.
+    /// The modes in which `switch` currently carries signal — O(1) from
+    /// the incrementally maintained activation table.
+    #[inline]
     fn switch_activation(&self, switch: SwitchId) -> ModeSet {
-        let mut act = ModeSet::EMPTY;
-        for m in 0..self.options.mode_count {
-            if self.switch_use.counts[switch.index() * self.switch_use.modes + m] > 0 {
-                act.insert(m);
+        self.switch_act[switch.index()]
+    }
+
+    /// Claims `switch` in the modes of `act`, keeping the activation
+    /// table in sync with the counts.
+    fn switch_claim(&mut self, switch: SwitchId, act: ModeSet) {
+        self.switch_use.add(switch.index(), act);
+        let mut cur = self.switch_act[switch.index()];
+        for m in act.iter() {
+            cur.insert(m);
+        }
+        self.switch_act[switch.index()] = cur;
+    }
+
+    /// Releases `switch` in the modes of `act`; modes whose count drops
+    /// to zero leave the activation set.
+    fn switch_release(&mut self, switch: SwitchId, act: ModeSet) {
+        self.switch_use.remove(switch.index(), act);
+        let base = switch.index() * self.switch_use.modes;
+        let mut cur = self.switch_act[switch.index()];
+        for m in act.iter() {
+            if self.switch_use.counts[base + m] == 0 {
+                cur.remove(m);
             }
         }
-        act
+        self.switch_act[switch.index()] = cur;
     }
 
     /// Reconfiguration-aware edge factor: cheaper when the traversal makes
@@ -385,38 +585,64 @@ impl<'a> Router<'a> {
         }
     }
 
-    fn heuristic(&self, node: u32, target: u32) -> f64 {
-        let a = self.rrg.node(RrNodeId::from_index(node));
-        let b = self.rrg.node(RrNodeId::from_index(target));
-        let dx = (i32::from(a.x) - i32::from(b.x)).unsigned_abs();
-        let dy = (i32::from(a.y) - i32::from(b.y)).unsigned_abs();
+    /// A* distance estimate to the (pre-fetched) target coordinates.
+    #[inline]
+    fn heuristic_to(&self, rr: &mm_arch::RrNode, tx: i32, ty: i32) -> f64 {
+        let dx = (i32::from(rr.x) - tx).unsigned_abs();
+        let dy = (i32::from(rr.y) - ty).unsigned_abs();
         self.options.astar_fac * f64::from(dx + dy)
+    }
+
+    /// Marks a node's occupancy as changed since the last overuse
+    /// evaluation (deduplicated by stamp).
+    #[inline]
+    fn touch(&mut self, node: usize) {
+        if self.touch_gen[node] != self.touch_generation {
+            self.touch_gen[node] = self.touch_generation;
+            self.touched.push(node as u32);
+        }
     }
 
     /// Routes all nets; returns the final routing (check
     /// [`Routing::success`]).
+    ///
+    /// Congestion state (occupancy, history, present-congestion factor)
+    /// is reset on entry, so repeated calls on one router are idempotent
+    /// and reuse the scratch arena instead of reallocating it.
     pub fn route(&mut self, nets: &[RouteNet]) -> Routing {
+        self.occ.counts.fill(0);
+        self.switch_use.counts.fill(0);
+        self.switch_act.fill(ModeSet::EMPTY);
+        self.history.fill(0.0);
+        self.pres_fac = self.options.initial_pres_fac;
         let mut routes: Vec<NetRoute> = vec![NetRoute::default(); nets.len()];
+        self.net_margin.clear();
+        self.net_margin.resize(nets.len(), self.options.bbox_margin);
         let mut iterations = 0;
         let mut success = false;
         let mut overused_nodes = 0;
         let mut unrouted = 0usize;
+        let reroute_all = self.options.reroute_all_iters.max(1);
 
         for iter in 0..self.options.max_iterations {
             iterations = iter + 1;
             let mut rerouted_any = false;
             for (i, net) in nets.iter().enumerate() {
-                let needs = if iter < self.options.reroute_all_iters.max(1) {
-                    true
-                } else {
-                    self.route_is_congested(&routes[i])
-                };
-                if !needs {
+                let congested = iter >= reroute_all && self.route_is_congested(&routes[i]);
+                if iter >= reroute_all && !congested {
                     continue;
                 }
+                // A net that stays congested after a short grace period
+                // gets a wider box: detours the negotiation needs may lie
+                // outside the terminal extent.
+                if congested && iter >= reroute_all + BBOX_CONGESTION_GRACE {
+                    self.net_margin[i] = grow_margin(self.net_margin[i]);
+                }
                 rerouted_any = true;
-                self.rip_up(&routes[i]);
-                routes[i] = self.route_net(net);
+                let mut route = std::mem::take(&mut routes[i]);
+                self.rip_up(&route);
+                self.route_net(net, i, &mut route);
+                routes[i] = route;
             }
 
             // Any sink that has no path at all makes the fabric
@@ -441,9 +667,14 @@ impl<'a> Router<'a> {
                 break; // hard unreachability: iterating cannot help
             }
 
-            // Evaluate overuse and update history.
+            // Evaluate overuse and update history — only nodes whose
+            // occupancy changed since the last evaluation can be (or have
+            // stopped being) overused: congested nets are always ripped
+            // up and re-claimed, which touches every node involved.
             overused_nodes = 0;
-            for node in 0..self.rrg.node_count() {
+            let touched = std::mem::take(&mut self.touched);
+            for &node in &touched {
+                let node = node as usize;
                 let cap = self.rrg.node(RrNodeId::from_index(node as u32)).capacity;
                 let max = self.occ.max_all(node);
                 if max > cap {
@@ -451,6 +682,9 @@ impl<'a> Router<'a> {
                     self.history[node] += (self.options.hist_fac * f64::from(max - cap)) as f32;
                 }
             }
+            self.touched = touched;
+            self.touched.clear();
+            self.touch_generation = self.touch_generation.wrapping_add(1);
             if overused_nodes == 0 {
                 success = true;
                 break;
@@ -479,86 +713,121 @@ impl<'a> Router<'a> {
     }
 
     fn rip_up(&mut self, route: &NetRoute) {
-        for t in &route.tree {
+        for i in 0..route.tree.len() {
+            let t = route.tree[i];
             self.occ.remove(t.node.index(), t.activation);
+            self.touch(t.node.index());
             if let Some(s) = t.switch {
-                self.switch_use.remove(s.index(), t.activation);
+                self.switch_release(s, t.activation);
             }
         }
     }
 
-    /// Routes one net, claiming occupancy for its tree.
-    fn route_net(&mut self, net: &RouteNet) -> NetRoute {
-        let mut tree: Vec<RouteTreeNode> = Vec::with_capacity(net.sinks.len() * 8);
-        // tree_pos[rr_node] = tree index + 1, generation-stamped via gen2.
-        let mut tree_pos: std::collections::HashMap<u32, u32> = std::collections::HashMap::new();
+    /// Looks up an RRG node in the current net's route tree.
+    #[inline]
+    fn tree_index(&self, node: u32) -> Option<u32> {
+        (self.tree_gen[node as usize] == self.tree_generation).then(|| self.tree_pos[node as usize])
+    }
+
+    #[inline]
+    fn set_tree_index(&mut self, node: u32, index: u32) {
+        self.tree_pos[node as usize] = index;
+        self.tree_gen[node as usize] = self.tree_generation;
+    }
+
+    /// Routes one net into `route` (whose buffers are reused), claiming
+    /// occupancy for its tree.
+    fn route_net(&mut self, net: &RouteNet, net_index: usize, route: &mut NetRoute) {
+        route.tree.clear();
+        route.sink_pos.clear();
+        route.sink_pos.resize(net.sinks.len(), 0);
+        self.tree_generation = self.tree_generation.wrapping_add(1);
 
         let net_act: ModeSet = net
             .sinks
             .iter()
             .fold(ModeSet::EMPTY, |a, s| a | s.activation);
-        tree.push(RouteTreeNode {
+        route.tree.push(RouteTreeNode {
             node: net.source,
             parent: None,
             switch: None,
             activation: net_act,
         });
-        tree_pos.insert(net.source.index() as u32, 0);
+        self.set_tree_index(net.source.index() as u32, 0);
         self.occ.add(net.source.index(), net_act);
+        self.touch(net.source.index());
 
-        // Route sinks farthest-first (better tree quality).
-        let src = self.rrg.node(net.source);
-        let mut order: Vec<usize> = (0..net.sinks.len()).collect();
-        order.sort_by_key(|&i| {
-            let s = self.rrg.node(net.sinks[i].node);
+        // Route sinks farthest-first (better tree quality). The index tie
+        // break reproduces a stable sort without its temporary buffer.
+        let rrg = self.rrg;
+        let src = rrg.node(net.source);
+        self.order.clear();
+        self.order.extend(0..net.sinks.len() as u32);
+        self.order.sort_unstable_by_key(|&i| {
+            let s = rrg.node(net.sinks[i as usize].node);
             let d = (i32::from(s.x) - i32::from(src.x)).abs()
                 + (i32::from(s.y) - i32::from(src.y)).abs();
-            std::cmp::Reverse(d)
+            (std::cmp::Reverse(d), i)
         });
 
-        let mut sink_pos = vec![0u32; net.sinks.len()];
+        let order = std::mem::take(&mut self.order);
         for &si in &order {
+            let si = si as usize;
             let sink = net.sinks[si];
-            if let Some(&pos) = tree_pos.get(&(sink.node.index() as u32)) {
+            if let Some(pos) = self.tree_index(sink.node.index() as u32) {
                 // Already reached (e.g. shared sink); just extend activation.
-                self.extend_activation(&mut tree, pos, sink.activation);
-                sink_pos[si] = pos;
+                self.extend_activation(&mut route.tree, pos, sink.activation);
+                route.sink_pos[si] = pos;
                 continue;
             }
-            match self.search(&tree, sink.node, sink.activation) {
-                Some(path) => {
-                    // `path` runs from a tree node (first) to the sink (last).
-                    let join = tree_pos[&path[0].0];
-                    self.extend_activation(&mut tree, join, sink.activation);
-                    let mut parent = join;
-                    for &(node, switch) in &path[1..] {
-                        let idx = tree.len() as u32;
-                        tree.push(RouteTreeNode {
-                            node: RrNodeId::from_index(node),
-                            parent: Some(parent),
-                            switch,
-                            activation: sink.activation,
-                        });
-                        self.occ.add(node as usize, sink.activation);
-                        if let Some(s) = switch {
-                            self.switch_use.add(s.index(), sink.activation);
-                        }
-                        tree_pos.insert(node, idx);
-                        parent = idx;
+            // Search inside the net's bounding box, growing it until the
+            // sink is reached or the box covers the whole fabric.
+            let found = loop {
+                let bbox = net_bbox(rrg, net, self.net_margin[net_index], self.max_x, self.max_y);
+                if self.search(&route.tree, sink.node, sink.activation, bbox) {
+                    break true;
+                }
+                if bbox.covers_fabric(self.max_x, self.max_y) {
+                    break false;
+                }
+                self.net_margin[net_index] = grow_margin(self.net_margin[net_index]);
+            };
+            if found {
+                // `self.path` runs from a tree node (first) to the sink
+                // (last); take it so tree mutation can borrow `self`.
+                let path = std::mem::take(&mut self.path);
+                let join = self
+                    .tree_index(path[0].0)
+                    .expect("search starts at a tree node");
+                self.extend_activation(&mut route.tree, join, sink.activation);
+                let mut parent = join;
+                for &(node, switch) in &path[1..] {
+                    let idx = route.tree.len() as u32;
+                    route.tree.push(RouteTreeNode {
+                        node: RrNodeId::from_index(node),
+                        parent: Some(parent),
+                        switch,
+                        activation: sink.activation,
+                    });
+                    self.occ.add(node as usize, sink.activation);
+                    self.touch(node as usize);
+                    if let Some(s) = switch {
+                        self.switch_claim(s, sink.activation);
                     }
-                    sink_pos[si] = parent;
+                    self.set_tree_index(node, idx);
+                    parent = idx;
                 }
-                None => {
-                    // Unreachable sink: leave it unrouted; the caller sees
-                    // failure through the congestion/overuse check (the
-                    // net is marked congested by pointing the sink at the
-                    // source, which keeps indices valid).
-                    sink_pos[si] = 0;
-                }
+                route.sink_pos[si] = parent;
+                self.path = path;
+            } else {
+                // Unreachable sink: leave it unrouted; the caller sees
+                // failure through the congestion/overuse check (the
+                // net is marked congested by pointing the sink at the
+                // source, which keeps indices valid).
+                route.sink_pos[si] = 0;
             }
         }
-
-        NetRoute { tree, sink_pos }
+        self.order = order;
     }
 
     /// Widens the activation of `pos` and all its ancestors by `act`.
@@ -571,41 +840,50 @@ impl<'a> Router<'a> {
                 break; // invariant: ancestors already carry a superset
             }
             t.activation |= delta;
-            self.occ.add(t.node.index(), delta);
-            if let Some(s) = t.switch {
-                self.switch_use.add(s.index(), delta);
-            }
+            let node = t.node.index();
+            let switch = t.switch;
             cur = t.parent;
+            self.occ.add(node, delta);
+            self.touch(node);
+            if let Some(s) = switch {
+                self.switch_claim(s, delta);
+            }
         }
     }
 
-    /// A*-guided Dijkstra from the current tree to `target`. Returns the
-    /// path as (node, switch-from-previous) starting at a tree node.
+    /// A*-guided Dijkstra from the current tree to `target`, confined to
+    /// `bbox`. On success, fills `self.path` with the path as
+    /// (node, switch-from-previous) starting at a tree node.
     fn search(
         &mut self,
         tree: &[RouteTreeNode],
         target: RrNodeId,
         act: ModeSet,
-    ) -> Option<Vec<(u32, Option<SwitchId>)>> {
+        bbox: BBox,
+    ) -> bool {
         self.generation = self.generation.wrapping_add(1);
         let generation = self.generation;
         let target_idx = target.index() as u32;
-        let mut heap: BinaryHeap<HeapEntry> = BinaryHeap::new();
+        let rrg = self.rrg;
+        let target_rr = rrg.node(target);
+        let (tx, ty) = (i32::from(target_rr.x), i32::from(target_rr.y));
+        self.heap.clear();
 
         for t in tree {
             let node = t.node.index() as u32;
+            let rr = rrg.node(t.node);
+            if !bbox.contains(rr.x, rr.y) {
+                continue; // a congestion detour left the box; not a seed
+            }
             self.dist[node as usize] = 0.0;
             self.prev[node as usize] = (node, None);
             self.gen[node as usize] = generation;
-            heap.push(HeapEntry {
-                f: self.heuristic(node, target_idx),
-                g: 0.0,
-                node,
-            });
+            let f = self.heuristic_to(rr, tx, ty);
+            self.heap.push(HeapEntry { f, g: 0.0, node });
         }
 
         let mut found = false;
-        while let Some(entry) = heap.pop() {
+        while let Some(entry) = self.heap.pop() {
             let u = entry.node;
             if entry.g > self.dist[u as usize] + 1e-12 {
                 continue; // stale
@@ -614,56 +892,49 @@ impl<'a> Router<'a> {
                 found = true;
                 break;
             }
-            for e in self.rrg.edges(RrNodeId::from_index(u)) {
+            for e in rrg.edges(RrNodeId::from_index(u)) {
                 let v = e.to.index() as u32;
-                let kind = self.rrg.node(e.to).kind;
+                let to = rrg.node(e.to);
                 // Never expand through foreign sinks or sources; prune
-                // IPINs that do not lead to the target.
-                match kind {
+                // IPINs that do not lead to the target (one read from the
+                // precomputed table), and anything outside the net's
+                // bounding box.
+                match to.kind {
                     RrKind::Sink if v != target_idx => continue,
                     RrKind::Source => continue,
-                    RrKind::Ipin => {
-                        let leads = self
-                            .rrg
-                            .edges(e.to)
-                            .first()
-                            .is_some_and(|se| se.to.index() as u32 == target_idx);
-                        if !leads {
-                            continue;
-                        }
-                    }
+                    RrKind::Ipin if self.ipin_sink[v as usize] != target_idx => continue,
                     _ => {}
                 }
-                let g = entry.g + self.node_cost(v, act) * self.share_factor(e.switch, act);
+                if !bbox.contains(to.x, to.y) {
+                    continue;
+                }
+                let g = entry.g + self.node_cost(v, to, act) * self.share_factor(e.switch, act);
                 if self.gen[v as usize] != generation || g + 1e-12 < self.dist[v as usize] {
                     self.gen[v as usize] = generation;
                     self.dist[v as usize] = g;
                     self.prev[v as usize] = (u, e.switch);
-                    heap.push(HeapEntry {
-                        f: g + self.heuristic(v, target_idx),
-                        g,
-                        node: v,
-                    });
+                    let f = g + self.heuristic_to(to, tx, ty);
+                    self.heap.push(HeapEntry { f, g, node: v });
                 }
             }
         }
         if !found {
-            return None;
+            return false;
         }
 
         // Walk back to a tree node (dist 0 and part of the seed set).
-        let mut path = vec![];
+        self.path.clear();
         let mut cur = target_idx;
         loop {
             let (p, sw) = self.prev[cur as usize];
-            path.push((cur, sw));
+            self.path.push((cur, sw));
             if p == cur {
                 break; // reached a seed (tree) node
             }
             cur = p;
         }
-        path.reverse();
-        Some(path)
+        self.path.reverse();
+        true
     }
 }
 
@@ -960,5 +1231,89 @@ mod tests {
                 assert_eq!(x.node, y.node);
             }
         }
+    }
+
+    #[test]
+    fn bbox_growth_reaches_full_fabric() {
+        let mut m = 0usize;
+        let mut steps = 0;
+        while m < 1_000_000 {
+            m = grow_margin(m);
+            steps += 1;
+        }
+        assert!(steps <= 21, "doubling reaches any fabric quickly");
+        assert_eq!(grow_margin(usize::MAX), usize::MAX, "saturates");
+    }
+
+    #[test]
+    fn bbox_contains_and_covers() {
+        let rrg = arch_rrg(4, 2);
+        let all = ModeSet::of(&[0]);
+        let net = RouteNet {
+            name: "n".into(),
+            source: rrg.logic_source(site(2, 2, 0)),
+            sinks: vec![RouteSink {
+                node: rrg.logic_sink(site(3, 3, 0)),
+                activation: all,
+            }],
+        };
+        let tight = net_bbox(&rrg, &net, 0, 10, 10);
+        assert!(tight.contains(2, 2) && tight.contains(3, 3));
+        assert!(!tight.contains(0, 0) && !tight.contains(5, 3));
+        assert!(!tight.covers_fabric(10, 10));
+        let full = net_bbox(&rrg, &net, usize::MAX, 10, 10);
+        assert!(full.covers_fabric(10, 10), "MAX margin disables pruning");
+    }
+
+    #[test]
+    fn scratch_arena_is_stable_across_route_calls() {
+        // The acceptance check for "zero per-net allocations in steady
+        // state": re-routing the same nets with a reused router must not
+        // grow any scratch buffer, and must produce identical results.
+        let rrg = arch_rrg(6, 3);
+        let all = ModeSet::of(&[0]);
+        let nets: Vec<RouteNet> = (1..=5u16)
+            .map(|y| RouteNet {
+                name: format!("n{y}"),
+                source: rrg.logic_source(site(1, y, 0)),
+                sinks: vec![RouteSink {
+                    node: rrg.logic_sink(site(6, 6 - y, 0)),
+                    activation: all,
+                }],
+            })
+            .collect();
+        let mut fresh = Router::new(&rrg, RouterOptions::default());
+        let expected = fresh.route(&nets);
+
+        let mut router = Router::new(&rrg, RouterOptions::default());
+        let _warmup = router.route(&nets);
+        let footprint = router.scratch_footprint();
+        assert!(footprint > 0, "scratch buffers are in use");
+        for _ in 0..3 {
+            let again = router.route(&nets);
+            assert_eq!(router.scratch_footprint(), footprint, "no scratch growth");
+            // route() resets congestion state: repeated calls are
+            // idempotent down to the exact trees.
+            assert_eq!(again.iterations, expected.iterations);
+            for (a, b) in again.nets.iter().zip(&expected.nets) {
+                assert_eq!(a.tree, b.tree);
+                assert_eq!(a.sink_pos, b.sink_pos);
+            }
+        }
+    }
+
+    #[test]
+    fn fingerprint_tracks_bbox_margin() {
+        let a = RouterOptions::default();
+        let b = RouterOptions {
+            bbox_margin: 5,
+            ..RouterOptions::default()
+        };
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        assert!(a.fingerprint().starts_with("router-v2"));
+        assert_eq!(
+            RouterOptions::default().without_bbox().bbox_margin,
+            usize::MAX
+        );
     }
 }

@@ -1,0 +1,154 @@
+//! Differential tests: the optimized scratch-arena router must be
+//! byte-identical to the naive reference formulation, and bounding-box
+//! pruning must never cost routability.
+
+use mm_arch::{Architecture, RoutingGraph, Site};
+use mm_boolexpr::ModeSet;
+use mm_route::reference::route_reference;
+use mm_route::{RouteNet, RouteSink, Router, RouterOptions, Routing};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A generated multi-mode routing problem.
+struct Suite {
+    rrg: RoutingGraph,
+    nets: Vec<RouteNet>,
+    modes: usize,
+}
+
+/// Deterministically generates a random multi-mode suite: a small fabric
+/// plus nets with random terminals and random non-empty activation sets.
+fn random_suite(seed: u64) -> Suite {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = rng.gen_range(4..=7usize);
+    let w = rng.gen_range(2..=4usize);
+    let modes = rng.gen_range(1..=3usize);
+    let rrg = RoutingGraph::build(&Architecture::new(4, n, w));
+    let net_count = rng.gen_range(3..=9usize);
+    let mut nets = Vec::with_capacity(net_count);
+    let site =
+        |rng: &mut StdRng| Site::new(rng.gen_range(1..=n) as u16, rng.gen_range(1..=n) as u16, 0);
+    let activation = |rng: &mut StdRng| {
+        let mut act = ModeSet::single(rng.gen_range(0..modes));
+        for m in 0..modes {
+            if rng.gen_bool(0.3) {
+                act.insert(m);
+            }
+        }
+        act
+    };
+    for i in 0..net_count {
+        let source = rrg.logic_source(site(&mut rng));
+        let sink_count = rng.gen_range(1..=3usize);
+        let sinks = (0..sink_count)
+            .map(|_| RouteSink {
+                node: rrg.logic_sink(site(&mut rng)),
+                activation: activation(&mut rng),
+            })
+            .collect();
+        nets.push(RouteNet {
+            name: format!("n{i}"),
+            source,
+            sinks,
+        });
+    }
+    Suite { rrg, nets, modes }
+}
+
+/// Asserts two routings are byte-identical: same iteration count, same
+/// status, and the same trees node for node.
+fn assert_identical(a: &Routing, b: &Routing) -> Result<(), TestCaseError> {
+    prop_assert_eq!(a.iterations, b.iterations);
+    prop_assert_eq!(a.success, b.success);
+    prop_assert_eq!(a.overused_nodes, b.overused_nodes);
+    prop_assert_eq!(a.unrouted_sinks, b.unrouted_sinks);
+    prop_assert_eq!(a.nets.len(), b.nets.len());
+    for (i, (x, y)) in a.nets.iter().zip(&b.nets).enumerate() {
+        prop_assert_eq!(&x.sink_pos, &y.sink_pos);
+        prop_assert!(x.tree.len() == y.tree.len(), "net {} tree size", i);
+        for (j, (s, t)) in x.tree.iter().zip(&y.tree).enumerate() {
+            prop_assert!(
+                s.node == t.node
+                    && s.parent == t.parent
+                    && s.switch == t.switch
+                    && s.activation == t.activation,
+                "net {} tree node {} differs: {:?} vs {:?}",
+                i,
+                j,
+                s,
+                t
+            );
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The optimized router (scratch arena, stamped tree positions,
+    /// touched-node accounting, bounding boxes) produces byte-identical
+    /// results to the naive reference implementation.
+    #[test]
+    fn optimized_router_matches_reference(seed in 0u64..1_000_000) {
+        let suite = random_suite(seed);
+        let options = RouterOptions::for_modes(suite.modes);
+        let optimized = Router::new(&suite.rrg, options).route(&suite.nets);
+        let reference = route_reference(&suite.rrg, options, &suite.nets);
+        assert_identical(&optimized, &reference)?;
+    }
+
+    /// Parity also holds with bounding boxes disabled (the pre-
+    /// optimization full-fabric exploration).
+    #[test]
+    fn parity_without_bbox(seed in 0u64..1_000_000) {
+        let suite = random_suite(seed.wrapping_add(0x5eed));
+        let options = RouterOptions::for_modes(suite.modes).without_bbox();
+        let optimized = Router::new(&suite.rrg, options).route(&suite.nets);
+        let reference = route_reference(&suite.rrg, options, &suite.nets);
+        assert_identical(&optimized, &reference)?;
+    }
+
+    /// Bounding-box growth preserves routability: every suite the
+    /// unpruned router can route must also route with pruning enabled.
+    #[test]
+    fn bbox_growth_routes_every_feasible_net(seed in 0u64..1_000_000) {
+        let suite = random_suite(seed.wrapping_mul(3).wrapping_add(17));
+        let unpruned_options = RouterOptions::for_modes(suite.modes).without_bbox();
+        let unpruned = Router::new(&suite.rrg, unpruned_options).route(&suite.nets);
+        if unpruned.success {
+            let options = RouterOptions::for_modes(suite.modes);
+            let pruned = Router::new(&suite.rrg, options).route(&suite.nets);
+            prop_assert!(
+                pruned.success,
+                "bbox pruning lost routability on seed-feasible suite (seed {})",
+                seed
+            );
+            prop_assert_eq!(pruned.unrouted_sinks, 0);
+        }
+    }
+}
+
+/// Reusing one router across repeated `route()` calls keeps the scratch
+/// arena stable (no per-net allocations in steady state) and stays
+/// deterministic.
+#[test]
+fn scratch_arena_reuse_is_deterministic_and_stable() {
+    let suite = random_suite(0xfab);
+    let options = RouterOptions::for_modes(suite.modes);
+    let baseline = Router::new(&suite.rrg, options).route(&suite.nets);
+
+    let mut reused = Router::new(&suite.rrg, options);
+    let first = reused.route(&suite.nets);
+    assert_eq!(first.iterations, baseline.iterations);
+    let footprint = reused.scratch_footprint();
+    for _ in 0..4 {
+        let _ = reused.route(&suite.nets);
+        assert_eq!(
+            reused.scratch_footprint(),
+            footprint,
+            "steady-state route() must not grow the scratch arena"
+        );
+    }
+}
