@@ -9,12 +9,18 @@
 //!   formulation (fresh heap + hash maps per search, full-fabric
 //!   exploration, whole-graph overuse scans).
 //! * `router/optimized_no_bbox` — isolates the arena from the pruning.
+//! * `annealer/optimized` — a full combined-placement annealing sweep on
+//!   the flat, allocation-free cost model.
+//! * `annealer/naive_baseline` — the same sweep on the hash-map
+//!   reference model (byte-identical placements, so the ratio is a pure
+//!   data-structure speedup).
 //! * `placer/mdr_parallel_place` and `flow/pair_staged` — the intra-job
 //!   parallel stages introduced with the batch engine's stage sharing.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use mm_bench::perf::{router_workload, small_pair_input, PerfConfig};
+use mm_bench::perf::{placer_workload, router_workload, small_pair_input, PerfConfig};
 use mm_flow::{place_pair, run_pair_with_placements, FlowOptions, MdrFlow, MultiModeInput};
+use mm_place::{place_combined, place_combined_reference};
 use mm_route::reference::route_reference;
 use mm_route::Router;
 
@@ -36,7 +42,12 @@ fn bench_router(c: &mut Criterion) {
 
     c.bench_function("router/reference_baseline", |b| {
         b.iter(|| {
-            route_reference(&rrg, options.without_bbox(), std::hint::black_box(&nets)).success
+            route_reference(
+                &rrg,
+                options.without_bbox().with_full_reroute(),
+                std::hint::black_box(&nets),
+            )
+            .success
         })
     });
 
@@ -49,6 +60,26 @@ fn bench_router(c: &mut Criterion) {
 
 fn pair_input() -> (MultiModeInput, FlowOptions) {
     small_pair_input()
+}
+
+fn bench_annealer(c: &mut Criterion) {
+    let (circuits, arch, options) = placer_workload(&smoke_config());
+    c.bench_function("annealer/optimized", |b| {
+        b.iter(|| {
+            place_combined(std::hint::black_box(&circuits), &arch, &options)
+                .unwrap()
+                .1
+                .moves
+        })
+    });
+    c.bench_function("annealer/naive_baseline", |b| {
+        b.iter(|| {
+            place_combined_reference(std::hint::black_box(&circuits), &arch, &options)
+                .unwrap()
+                .1
+                .moves
+        })
+    });
 }
 
 fn bench_placer(c: &mut Criterion) {
@@ -78,6 +109,6 @@ fn bench_flow(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_router, bench_placer, bench_flow
+    targets = bench_router, bench_annealer, bench_placer, bench_flow
 }
 criterion_main!(benches);

@@ -12,12 +12,21 @@
 //!   it. The report carries both wall-clocks, routes/second and the
 //!   speedup, plus a parity check (optimized == reference under
 //!   identical options).
+//! * [`placer_perf`] — the simulated-annealing inner loop. *Baseline* is
+//!   the annealer on the naive hash-map cost model
+//!   (`mm_place::reference`); *optimized* is the flat, allocation-free
+//!   [`mm_place::CostModel`]. The two anneal byte-identical placements
+//!   (checked and reported), so the moves/second ratio is a pure
+//!   data-structure speedup. The headline run uses the `Hybrid` cost
+//!   (both the wire-length and the pair-count halves of the model are
+//!   live); a secondary wire-length-only measurement rides along in the
+//!   same report.
 //! * [`flow_perf`] — the batch engine. A cold run against an empty stage
 //!   cache, a warm re-run (everything from cache), and a `pair` job that
 //!   shares the placement stages plain `dcs`/`mdr` jobs cached — the
 //!   cross-job stage-sharing number.
 //!
-//! Both have a `--smoke` sized variant for CI.
+//! All have a `--smoke` sized variant for CI.
 
 use mm_arch::{Architecture, RoutingGraph};
 use mm_boolexpr::ModeSet;
@@ -25,7 +34,7 @@ use mm_engine::json::ObjBuilder;
 use mm_engine::{Engine, EngineOptions, FlowKind, Job};
 use mm_flow::FlowOptions;
 use mm_netlist::{LutCircuit, TruthTable};
-use mm_place::CostKind;
+use mm_place::{place_combined, place_combined_reference, CostKind, PlacerOptions};
 use mm_route::reference::route_reference;
 use mm_route::{RouteNet, RouteSink, Router, RouterOptions};
 use rand::rngs::StdRng;
@@ -201,8 +210,9 @@ pub fn router_perf(config: &PerfConfig) -> RouterPerf {
     let parity_ok = routings_identical(&optimized_result, &reference_result);
 
     // Baseline: the pre-optimization router — naive data structures,
-    // full-fabric exploration, fresh allocations per net and per run.
-    let baseline_options = options.without_bbox();
+    // full-fabric exploration, wholesale tear-down of congested nets,
+    // fresh allocations per net and per run.
+    let baseline_options = options.without_bbox().with_full_reroute();
     let t0 = Instant::now();
     for _ in 0..reps {
         let r = route_reference(&rrg, baseline_options, &nets);
@@ -253,6 +263,198 @@ pub fn router_perf(config: &PerfConfig) -> RouterPerf {
         speedup: baseline_ms / optimized_ms.max(1e-9),
         parity_ok,
         routed: optimized_result.success,
+    }
+}
+
+/// A seeded multi-mode combined-placement workload: mode circuits, the
+/// fabric, and the annealer options (the `Hybrid` cost, so both the
+/// wire-length and the pair-count halves of the model are exercised).
+///
+/// Deterministic for a given `config.smoke`, so the optimized and naive
+/// models anneal exactly the same problem (and, being bit-identical,
+/// exactly the same move sequence).
+#[must_use]
+pub fn placer_workload(config: &PerfConfig) -> (Vec<LutCircuit>, Architecture, PlacerOptions) {
+    let (luts, grid) = if config.smoke { (26, 7) } else { (150, 15) };
+    let circuits = vec![
+        random_circuit("m0", 6, luts, 0x91ace ^ 1),
+        random_circuit("m1", 6, luts + 4, 0x91ace ^ 2),
+    ];
+    let options = PlacerOptions {
+        cost: CostKind::Hybrid {
+            wl_weight: 1.0,
+            edge_weight: 2.0,
+        },
+        inner_num: 1.0,
+        seed: 0xbe7c,
+        max_temperatures: if config.smoke { 24 } else { 80 },
+    };
+    (circuits, Architecture::new(4, grid, 8), options)
+}
+
+/// One measured annealer comparison (a cost kind on the shared workload).
+#[derive(Debug, Clone)]
+pub struct PlaceRun {
+    /// Fingerprint of the cost kind annealed.
+    pub cost: String,
+    /// Annealer swaps attempted per run (identical on both models).
+    pub moves: usize,
+    /// Wall-clock of one combined placement on the naive hash-map model,
+    /// milliseconds.
+    pub baseline_ms: f64,
+    /// Wall-clock on the flat allocation-free model, milliseconds.
+    pub optimized_ms: f64,
+    /// Annealer moves per second, baseline.
+    pub baseline_moves_per_sec: f64,
+    /// Annealer moves per second, optimized.
+    pub optimized_moves_per_sec: f64,
+    /// baseline / optimized wall-clock.
+    pub speedup: f64,
+    /// The two models produced byte-identical placements and statistics.
+    pub parity_ok: bool,
+}
+
+impl PlaceRun {
+    fn json(&self) -> mm_engine::json::Value {
+        ObjBuilder::new()
+            .field("cost", self.cost.clone())
+            .field("moves_per_run", self.moves)
+            .field("baseline_ms", round2(self.baseline_ms))
+            .field("optimized_ms", round2(self.optimized_ms))
+            .field(
+                "baseline_moves_per_sec",
+                round2(self.baseline_moves_per_sec),
+            )
+            .field(
+                "optimized_moves_per_sec",
+                round2(self.optimized_moves_per_sec),
+            )
+            .field("speedup", round2(self.speedup))
+            .field("parity_ok", self.parity_ok)
+            .build()
+    }
+}
+
+/// The placer benchmark report: the headline `Hybrid`-cost run (both
+/// model halves live) plus a wire-length-only run on the same workload.
+#[derive(Debug, Clone)]
+pub struct PlacePerf {
+    /// Fabric side length.
+    pub grid: usize,
+    /// Modes placed simultaneously.
+    pub modes: usize,
+    /// LUTs of the largest mode.
+    pub luts: usize,
+    /// Timed repetitions.
+    pub reps: usize,
+    /// The headline hybrid-cost comparison.
+    pub hybrid: PlaceRun,
+    /// The wire-length-only comparison (the paper's default cost).
+    pub wirelength: PlaceRun,
+}
+
+impl PlacePerf {
+    /// Both parity checks passed.
+    #[must_use]
+    pub fn parity_ok(&self) -> bool {
+        self.hybrid.parity_ok && self.wirelength.parity_ok
+    }
+
+    /// The `BENCH_place.json` payload: the headline speedup/parity plus
+    /// one nested object per measured cost kind (both emitted by
+    /// `PlaceRun::json`, so the two stay structurally identical).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        ObjBuilder::new()
+            .field("bench", "place")
+            .field(
+                "workload",
+                ObjBuilder::new()
+                    .field("grid", self.grid)
+                    .field("modes", self.modes)
+                    .field("luts", self.luts)
+                    .field("reps", self.reps)
+                    .build(),
+            )
+            .field("speedup", round2(self.hybrid.speedup))
+            .field("parity_ok", self.parity_ok())
+            .field("hybrid", self.hybrid.json())
+            .field("wirelength", self.wirelength.json())
+            .build()
+            .to_json()
+    }
+}
+
+/// Anneals the workload under one cost kind on both models and compares.
+fn place_run(
+    circuits: &[LutCircuit],
+    arch: &Architecture,
+    options: &PlacerOptions,
+    reps: usize,
+) -> PlaceRun {
+    // Parity sanity: the two models anneal byte-identical placements.
+    let (fast, fast_stats) = place_combined(circuits, arch, options).expect("workload places");
+    let (naive, naive_stats) =
+        place_combined_reference(circuits, arch, options).expect("workload places");
+    let mut parity_ok = fast_stats.final_cost.to_bits() == naive_stats.final_cost.to_bits()
+        && fast_stats.moves == naive_stats.moves
+        && fast_stats.temperatures == naive_stats.temperatures;
+    for (m, c) in circuits.iter().enumerate() {
+        for id in c.block_ids() {
+            parity_ok &= fast.modes[m].site_of(id) == naive.modes[m].site_of(id);
+        }
+    }
+
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        let (_, s) = place_combined_reference(circuits, arch, options).expect("places");
+        std::hint::black_box(s.moves);
+    }
+    let baseline_ms = t0.elapsed().as_secs_f64() * 1000.0 / reps as f64;
+
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        let (_, s) = place_combined(circuits, arch, options).expect("places");
+        std::hint::black_box(s.moves);
+    }
+    let optimized_ms = t0.elapsed().as_secs_f64() * 1000.0 / reps as f64;
+
+    PlaceRun {
+        cost: options.cost.fingerprint(),
+        moves: fast_stats.moves,
+        baseline_ms,
+        optimized_ms,
+        baseline_moves_per_sec: fast_stats.moves as f64 / (baseline_ms / 1000.0).max(1e-9),
+        optimized_moves_per_sec: fast_stats.moves as f64 / (optimized_ms / 1000.0).max(1e-9),
+        speedup: baseline_ms / optimized_ms.max(1e-9),
+        parity_ok,
+    }
+}
+
+/// Runs the placer benchmark: the annealer on the naive hash-map cost
+/// model vs the flat allocation-free model, on the same seeded workload
+/// under the hybrid and wire-length costs.
+#[must_use]
+pub fn placer_perf(config: &PerfConfig) -> PlacePerf {
+    let (circuits, arch, options) = placer_workload(config);
+    let reps = config.reps.max(1);
+    let hybrid = place_run(&circuits, &arch, &options, reps);
+    let wl_options = PlacerOptions {
+        cost: CostKind::WireLength,
+        ..options
+    };
+    let wirelength = place_run(&circuits, &arch, &wl_options, reps);
+    PlacePerf {
+        grid: arch.grid,
+        modes: circuits.len(),
+        luts: circuits
+            .iter()
+            .map(LutCircuit::lut_count)
+            .max()
+            .unwrap_or(0),
+        reps,
+        hybrid,
+        wirelength,
     }
 }
 
@@ -459,6 +661,25 @@ mod tests {
         assert!(perf.baseline_ms > 0.0 && perf.optimized_ms > 0.0);
         let json = perf.to_json();
         assert!(json.contains("\"speedup\""), "{json}");
+        assert!(
+            mm_engine::json::parse(&json).is_ok(),
+            "report must be valid JSON"
+        );
+    }
+
+    #[test]
+    fn placer_perf_smoke_reports_plausible_numbers() {
+        let perf = placer_perf(&PerfConfig {
+            smoke: true,
+            reps: 1,
+        });
+        assert!(perf.parity_ok(), "optimized must match the naive model");
+        assert!(perf.hybrid.moves > 0, "the annealer must attempt moves");
+        assert!(perf.hybrid.baseline_ms > 0.0 && perf.hybrid.optimized_ms > 0.0);
+        assert!(perf.wirelength.moves > 0);
+        let json = perf.to_json();
+        assert!(json.contains("\"optimized_moves_per_sec\""), "{json}");
+        assert!(json.contains("\"wirelength\""), "{json}");
         assert!(
             mm_engine::json::parse(&json).is_ok(),
             "report must be valid JSON"

@@ -30,9 +30,10 @@ USAGE:
                                           SPEC is a JSON spec file, a
                                           directory of BLIF mode groups, or
                                           suite:<regexp|fir|mcnc>
-  mmflow bench [--json] [--smoke]         measure router/flow hot paths:
-                                          baseline vs optimized wall-clock,
-                                          throughput and cache hit rates
+  mmflow bench [--json] [--smoke]         measure router/placer/flow hot
+                                          paths: baseline vs optimized
+                                          wall-clock, throughput and cache
+                                          hit rates
   mmflow cache gc [--max-bytes N]         evict stage-cache entries, oldest
                 [--max-age-days D]        first, until under the limits
   mmflow stats <CIRCUIT.blif>...          circuit statistics
@@ -321,7 +322,7 @@ fn cmd_batch(args: &[String]) -> Result<(), Box<dyn Error>> {
 }
 
 fn cmd_bench(args: &[String]) -> Result<(), Box<dyn Error>> {
-    use mm_bench::perf::{flow_perf, router_perf, PerfConfig};
+    use mm_bench::perf::{flow_perf, placer_perf, router_perf, PerfConfig};
 
     let mut json = false;
     let mut smoke = false;
@@ -356,6 +357,21 @@ fn cmd_bench(args: &[String]) -> Result<(), Box<dyn Error>> {
         router.optimized_ops_per_sec,
         if router.parity_ok { "ok" } else { "FAILED" },
     );
+    eprintln!("bench: placer workload ...");
+    let place = placer_perf(&config);
+    for run in [&place.hybrid, &place.wirelength] {
+        eprintln!(
+            "  placer[{}]: baseline {:.2} ms, optimized {:.2} ms → {:.2}x \
+             ({:.0} moves/s vs {:.0} moves/s, parity {})",
+            run.cost,
+            run.baseline_ms,
+            run.optimized_ms,
+            run.speedup,
+            run.baseline_moves_per_sec,
+            run.optimized_moves_per_sec,
+            if run.parity_ok { "ok" } else { "FAILED" },
+        );
+    }
     eprintln!("bench: flow workload ...");
     let flow = flow_perf(&config);
     eprintln!(
@@ -370,15 +386,21 @@ fn cmd_bench(args: &[String]) -> Result<(), Box<dyn Error>> {
     if !router.parity_ok || !router.routed {
         return Err("router benchmark failed its parity/routability sanity checks".into());
     }
+    if !place.parity_ok() {
+        return Err("placer benchmark failed its parity sanity checks".into());
+    }
     if json {
         std::fs::create_dir_all(&out_dir)?;
         let router_path = out_dir.join("BENCH_router.json");
+        let place_path = out_dir.join("BENCH_place.json");
         let flow_path = out_dir.join("BENCH_flow.json");
         std::fs::write(&router_path, router.to_json() + "\n")?;
+        std::fs::write(&place_path, place.to_json() + "\n")?;
         std::fs::write(&flow_path, flow.to_json() + "\n")?;
         eprintln!(
-            "wrote {} and {}",
+            "wrote {}, {} and {}",
             router_path.display(),
+            place_path.display(),
             flow_path.display()
         );
     }

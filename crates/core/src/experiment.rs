@@ -259,6 +259,10 @@ fn run_mdr_leg(
     loop {
         let arch = base.with_channel_width(width);
         let rrg = RoutingGraph::build(&arch);
+        // One router serves every mode: `route` resets congestion state
+        // on entry and HPWL-seeds each net's bounding box from the
+        // placement geometry the nets carry.
+        let mut router = Router::new(&rrg, single_router);
         let mut configs = Vec::with_capacity(input.mode_count());
         let mut wires = Vec::with_capacity(input.mode_count());
         let mut ok = true;
@@ -266,7 +270,6 @@ fn run_mdr_leg(
             let placement = &placements[configs.len()];
             let nets =
                 nets_for_circuit(circuit, &rrg, ModeSet::single(0), |b| placement.site_of(b));
-            let mut router = Router::new(&rrg, single_router);
             let routing = router.route(&nets);
             if !routing.success {
                 ok = false;

@@ -236,6 +236,9 @@ pub(crate) fn route_with_growth(
         let arch = base.with_channel_width(w);
         let rrg = RoutingGraph::build(&arch);
         let net_list = nets(&rrg);
+        // `route` seeds each net's initial bounding box from the
+        // placement geometry the nets carry (per-net HPWL, see
+        // `RouterOptions::hpwl_margin_div`) instead of a fixed margin.
         let mut engine = Router::new(&rrg, *router);
         let routing = engine.route(&net_list);
         if routing.success {
@@ -470,6 +473,11 @@ impl MdrFlow {
         let (arch, rrg, routings, configs) = loop {
             let arch = base.with_channel_width(final_width);
             let rrg = RoutingGraph::build(&arch);
+            // One router serves every mode: `route` resets congestion
+            // state on entry (and HPWL-seeds each net's bounding box
+            // from the placement geometry), so the scratch arena is
+            // built once per width instead of once per mode.
+            let mut route_engine = Router::new(&rrg, router);
             let mut routings = Vec::with_capacity(input.mode_count());
             let mut configs = Vec::with_capacity(input.mode_count());
             let mut ok = true;
@@ -477,7 +485,6 @@ impl MdrFlow {
                 let placement = &placements[m];
                 let nets =
                     nets_for_circuit(circuit, &rrg, ModeSet::single(0), |b| placement.site_of(b));
-                let mut route_engine = Router::new(&rrg, router);
                 let routing = route_engine.route(&nets);
                 if !routing.success {
                     ok = false;

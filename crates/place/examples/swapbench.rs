@@ -1,0 +1,121 @@
+//! Micro-benchmark of raw `apply_swap`/`revert_last` throughput on the
+//! flat vs naive cost models (run with `--release`).
+
+use mm_arch::Architecture;
+use mm_netlist::{BlockId, LutCircuit, TruthTable};
+use mm_place::reference::NaiveCostModel;
+use mm_place::{CostKind, CostModel, CostTracker, SiteMap};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Instant;
+
+fn random_circuit(name: &str, n_inputs: usize, n_luts: usize, seed: u64) -> LutCircuit {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut c = LutCircuit::new(name, 4);
+    let mut drivers: Vec<BlockId> = (0..n_inputs)
+        .map(|i| c.add_input(format!("i{i}")).unwrap())
+        .collect();
+    for j in 0..n_luts {
+        let fanin = rng.gen_range(2..=4.min(drivers.len()));
+        let mut ins = Vec::new();
+        while ins.len() < fanin {
+            let d = drivers[rng.gen_range(0..drivers.len())];
+            if !ins.contains(&d) {
+                ins.push(d);
+            }
+        }
+        let tt = TruthTable::from_bits(ins.len(), rng.gen());
+        let id = c
+            .add_lut(format!("n{j}"), ins, tt, rng.gen_bool(0.2))
+            .unwrap();
+        drivers.push(id);
+    }
+    for t in 0..3 {
+        let d = drivers[drivers.len() - 1 - t];
+        c.add_output(format!("o{t}"), d).unwrap();
+    }
+    c
+}
+
+fn init(model: &mut impl CostTracker, circuits: &[LutCircuit], sites: &SiteMap) {
+    let mut rng = StdRng::seed_from_u64(1);
+    for (m, c) in circuits.iter().enumerate() {
+        let mut logic: Vec<u32> = sites.logic_indices().collect();
+        let mut io: Vec<u32> = sites.io_indices().collect();
+        for i in (1..logic.len()).rev() {
+            logic.swap(i, rng.gen_range(0..=i));
+        }
+        for i in (1..io.len()).rev() {
+            io.swap(i, rng.gen_range(0..=i));
+        }
+        let (mut li, mut ii) = (0usize, 0usize);
+        for id in c.block_ids() {
+            let site = if c.block(id).is_lut() {
+                li += 1;
+                logic[li - 1]
+            } else {
+                ii += 1;
+                io[ii - 1]
+            };
+            model.set_location(m, id.index() as u32, site);
+        }
+    }
+    model.recompute();
+}
+
+fn storm(model: &mut impl CostTracker, sites: usize, n: usize) -> f64 {
+    let mut rng = StdRng::seed_from_u64(2);
+    let mut acc = 0.0;
+    let t0 = Instant::now();
+    for _ in 0..n {
+        let m = rng.gen_range(0..2usize);
+        let a = rng.gen_range(0..sites as u32);
+        let b = rng.gen_range(0..sites as u32);
+        if let Some(d) = model.apply_swap(m, a, b) {
+            acc += d;
+            if rng.gen_bool(0.5) {
+                model.revert_last();
+            }
+        }
+    }
+    let dt = t0.elapsed().as_secs_f64();
+    std::hint::black_box(acc);
+    dt
+}
+
+fn main() {
+    let kind = match std::env::args().nth(1).as_deref() {
+        Some("edge") => CostKind::EdgeMatching,
+        Some("hybrid") => CostKind::Hybrid {
+            wl_weight: 1.0,
+            edge_weight: 2.0,
+        },
+        _ => CostKind::WireLength,
+    };
+    let circuits = vec![
+        random_circuit("m0", 6, 110, 11),
+        random_circuit("m1", 6, 114, 12),
+    ];
+    let arch = Architecture::new(4, 13, 8);
+    let sites = SiteMap::new(&arch);
+    let n = 2_000_000usize;
+
+    let mut fast = CostModel::new(&circuits, &sites, kind);
+    init(&mut fast, &circuits, &sites);
+    let _ = storm(&mut fast, sites.len(), 100_000); // warm
+    let tf = storm(&mut fast, sites.len(), n);
+
+    let mut naive = NaiveCostModel::new(&circuits, &sites, kind);
+    init(&mut naive, &circuits, &sites);
+    let _ = storm(&mut naive, sites.len(), 100_000);
+    let tn = storm(&mut naive, sites.len(), n);
+
+    println!(
+        "kind {kind:?}: flat {:.1} ns/op ({:.2}M/s), naive {:.1} ns/op ({:.2}M/s), speedup {:.2}x",
+        tf * 1e9 / n as f64,
+        n as f64 / tf / 1e6,
+        tn * 1e9 / n as f64,
+        n as f64 / tn / 1e6,
+        tn / tf
+    );
+}

@@ -17,7 +17,10 @@
 //! With a single mode this *is* the conventional VPR placer, which is how
 //! the MDR baseline is placed.
 
-use crate::{verify_placement, CostKind, CostModel, MultiPlacement, Placement, SiteMap};
+use crate::reference::NaiveCostModel;
+use crate::{
+    verify_placement, CostKind, CostModel, CostTracker, MultiPlacement, Placement, SiteMap,
+};
 use mm_arch::Architecture;
 use mm_netlist::{BlockId, LutCircuit};
 use rand::rngs::StdRng;
@@ -133,6 +136,11 @@ pub struct PlaceStats {
 /// Places all mode circuits simultaneously on `arch` and returns the
 /// per-mode placements together with run statistics.
 ///
+/// Runs on the flat, allocation-free [`CostModel`] whenever the fabric
+/// fits its dense matrices (see [`crate::DENSE_SITE_LIMIT`]), falling
+/// back to the naive model on oversized fabrics — the two are
+/// byte-identical, so the choice never changes the placement.
+///
 /// # Errors
 ///
 /// Fails if any mode does not fit on the architecture.
@@ -143,8 +151,37 @@ pub fn place_combined(
 ) -> Result<(MultiPlacement, PlaceStats), PlaceError> {
     assert!(!circuits.is_empty(), "at least one mode required");
     let sites = SiteMap::new(arch);
+    check_capacity(circuits, &sites)?;
+    if CostModel::fits(sites.len()) {
+        let model = CostModel::new(circuits, &sites, options.cost);
+        anneal(circuits, arch, &sites, options, model)
+    } else {
+        let model = NaiveCostModel::new(circuits, &sites, options.cost);
+        anneal(circuits, arch, &sites, options, model)
+    }
+}
 
-    // Capacity checks per mode.
+/// [`place_combined`] on the naive hash-map cost model — the
+/// differential-testing oracle and `mmflow bench` baseline. Produces
+/// byte-identical placements to the optimized path (property-tested).
+///
+/// # Errors
+///
+/// Fails if any mode does not fit on the architecture.
+pub fn place_combined_reference(
+    circuits: &[LutCircuit],
+    arch: &Architecture,
+    options: &PlacerOptions,
+) -> Result<(MultiPlacement, PlaceStats), PlaceError> {
+    assert!(!circuits.is_empty(), "at least one mode required");
+    let sites = SiteMap::new(arch);
+    check_capacity(circuits, &sites)?;
+    let model = NaiveCostModel::new(circuits, &sites, options.cost);
+    anneal(circuits, arch, &sites, options, model)
+}
+
+/// Per-mode capacity checks shared by the placer entry points.
+fn check_capacity(circuits: &[LutCircuit], sites: &SiteMap) -> Result<(), PlaceError> {
     for c in circuits {
         let pads = c.block_count() - c.lut_count();
         if c.lut_count() > sites.logic_count() {
@@ -162,9 +199,20 @@ pub fn place_combined(
             });
         }
     }
+    Ok(())
+}
 
+/// The annealing loop, generic over the incremental cost model — the
+/// models are bit-compatible, so the RNG stream and every accept/reject
+/// decision are identical regardless of which one runs.
+fn anneal<M: CostTracker>(
+    circuits: &[LutCircuit],
+    arch: &Architecture,
+    sites: &SiteMap,
+    options: &PlacerOptions,
+    mut model: M,
+) -> Result<(MultiPlacement, PlaceStats), PlaceError> {
     let mut rng = StdRng::seed_from_u64(options.seed);
-    let mut model = CostModel::new(circuits, &sites, options.cost);
 
     // ---- random legal initial placement ---------------------------------
     for (m, c) in circuits.iter().enumerate() {
@@ -202,10 +250,9 @@ pub fn place_combined(
     // VPR: perform `num_blocks` moves accepting everything; T0 = 20·σ(ΔC).
     let mut deltas: Vec<f64> = Vec::with_capacity(num_blocks);
     for _ in 0..num_blocks {
-        if let Some((m, a, b)) =
-            pick_move(&movable, &model, &sites, &io_sites, grid, grid, &mut rng)
+        if let Some((m, a, b)) = pick_move(&movable, &model, sites, &io_sites, grid, grid, &mut rng)
         {
-            if let Some((delta, _undo)) = model.apply_swap(m, a, b) {
+            if let Some(delta) = model.apply_swap(m, a, b) {
                 deltas.push(delta);
             }
         }
@@ -231,11 +278,11 @@ pub fn place_combined(
         let mut attempted = 0usize;
         for _ in 0..moves_per_temp {
             let r = rlim.round().max(1.0) as i32;
-            let Some((m, a, b)) = pick_move(&movable, &model, &sites, &io_sites, r, grid, &mut rng)
+            let Some((m, a, b)) = pick_move(&movable, &model, sites, &io_sites, r, grid, &mut rng)
             else {
                 continue;
             };
-            let Some((delta, undo)) = model.apply_swap(m, a, b) else {
+            let Some(delta) = model.apply_swap(m, a, b) else {
                 continue;
             };
             attempted += 1;
@@ -243,7 +290,7 @@ pub fn place_combined(
             if accept {
                 accepted += 1;
             } else {
-                model.revert(undo);
+                model.revert_last();
             }
         }
         total_moves += attempted;
@@ -306,7 +353,7 @@ pub fn place_combined(
 /// the range limit. Returns (mode, from-site, to-site).
 fn pick_move(
     movable: &[(usize, u32, bool)],
-    model: &CostModel,
+    model: &impl CostTracker,
     sites: &SiteMap,
     io_sites: &[u32],
     rlim: i32,
@@ -373,7 +420,8 @@ pub fn placement_wirelength(
     placement: &MultiPlacement,
 ) -> f64 {
     let sites = SiteMap::new(arch);
-    let mut model = CostModel::new(circuits, &sites, CostKind::WireLength);
+    // One-shot query: the naive model avoids the dense matrices.
+    let mut model = NaiveCostModel::new(circuits, &sites, CostKind::WireLength);
     for (m, c) in circuits.iter().enumerate() {
         for id in c.block_ids() {
             let site = placement.modes[m].site_of(id);
@@ -393,7 +441,8 @@ pub fn placement_tunable_connections(
     placement: &MultiPlacement,
 ) -> usize {
     let sites = SiteMap::new(arch);
-    let mut model = CostModel::new(circuits, &sites, CostKind::EdgeMatching);
+    // One-shot query: the naive model avoids the dense matrices.
+    let mut model = NaiveCostModel::new(circuits, &sites, CostKind::EdgeMatching);
     for (m, c) in circuits.iter().enumerate() {
         for id in c.block_ids() {
             let site = placement.modes[m].site_of(id);

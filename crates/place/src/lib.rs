@@ -38,11 +38,12 @@ mod annealer;
 mod netmodel;
 mod placement;
 mod qfactor;
+pub mod reference;
 
 pub use annealer::{
-    place_combined, place_single, placement_tunable_connections, placement_wirelength, site_of,
-    PlaceError, PlaceStats, PlacerOptions,
+    place_combined, place_combined_reference, place_single, placement_tunable_connections,
+    placement_wirelength, site_of, PlaceError, PlaceStats, PlacerOptions,
 };
-pub use netmodel::{CostKind, CostModel, SwapUndo};
+pub use netmodel::{CostKind, CostModel, CostTracker, DENSE_SITE_LIMIT};
 pub use placement::{verify_placement, MultiPlacement, Placement, SiteMap};
 pub use qfactor::q_factor;

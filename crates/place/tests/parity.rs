@@ -1,0 +1,247 @@
+//! Differential tests: the flat, allocation-free cost model must be
+//! bit-identical to the naive hash-map formulation — same costs, same
+//! deltas, and therefore byte-identical annealed placements.
+
+use mm_arch::Architecture;
+use mm_netlist::{BlockId, LutCircuit, TruthTable};
+use mm_place::reference::NaiveCostModel;
+use mm_place::{
+    place_combined, place_combined_reference, CostKind, CostModel, CostTracker, PlacerOptions,
+    SiteMap,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A deterministic random k-LUT circuit (the shape used across the
+/// repo's tests and benches).
+fn random_circuit(name: &str, n_inputs: usize, n_luts: usize, seed: u64) -> LutCircuit {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut c = LutCircuit::new(name, 4);
+    let mut drivers: Vec<BlockId> = (0..n_inputs)
+        .map(|i| c.add_input(format!("i{i}")).unwrap())
+        .collect();
+    for j in 0..n_luts {
+        let fanin = rng.gen_range(2..=4.min(drivers.len()));
+        let mut ins = Vec::new();
+        while ins.len() < fanin {
+            let d = drivers[rng.gen_range(0..drivers.len())];
+            if !ins.contains(&d) {
+                ins.push(d);
+            }
+        }
+        let tt = TruthTable::from_bits(ins.len(), rng.gen());
+        let id = c
+            .add_lut(format!("n{j}"), ins, tt, rng.gen_bool(0.2))
+            .unwrap();
+        drivers.push(id);
+    }
+    for t in 0..3.min(n_luts) {
+        let d = drivers[drivers.len() - 1 - t];
+        c.add_output(format!("o{t}"), d).unwrap();
+    }
+    c
+}
+
+/// A generated multi-mode placement problem: 1–3 modes on a fabric that
+/// fits the largest mode.
+fn random_problem(seed: u64) -> (Vec<LutCircuit>, Architecture) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let modes = rng.gen_range(1..=3usize);
+    let circuits: Vec<LutCircuit> = (0..modes)
+        .map(|m| {
+            let luts = rng.gen_range(8..=22usize);
+            random_circuit(&format!("m{m}"), 5, luts, seed ^ (m as u64) << 17)
+        })
+        .collect();
+    let max_luts = circuits.iter().map(LutCircuit::lut_count).max().unwrap();
+    let grid = ((max_luts as f64).sqrt().ceil() as usize + 1).max(4);
+    (circuits, Architecture::new(4, grid, 6))
+}
+
+/// One of the three cost kinds, chosen by the case seed — Hybrid included
+/// so both terms are exercised under the same swaps.
+fn cost_for(seed: u64) -> CostKind {
+    match seed % 3 {
+        0 => CostKind::WireLength,
+        1 => CostKind::EdgeMatching,
+        _ => CostKind::Hybrid {
+            wl_weight: 1.0,
+            edge_weight: 2.5,
+        },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The annealer produces byte-identical placements and statistics on
+    /// the flat model and on the naive reference model.
+    #[test]
+    fn annealed_placements_are_byte_identical(seed in 0u64..1_000_000) {
+        let (circuits, arch) = random_problem(seed);
+        let options = PlacerOptions {
+            cost: cost_for(seed),
+            inner_num: 0.5,
+            seed: seed ^ 0x5eed,
+            max_temperatures: 40,
+        };
+        let (fast, fast_stats) = place_combined(&circuits, &arch, &options).unwrap();
+        let (naive, naive_stats) = place_combined_reference(&circuits, &arch, &options).unwrap();
+        prop_assert_eq!(fast_stats.final_cost.to_bits(), naive_stats.final_cost.to_bits());
+        prop_assert_eq!(fast_stats.wirelength.to_bits(), naive_stats.wirelength.to_bits());
+        prop_assert_eq!(fast_stats.tunable_connections, naive_stats.tunable_connections);
+        prop_assert_eq!(fast_stats.temperatures, naive_stats.temperatures);
+        prop_assert_eq!(fast_stats.moves, naive_stats.moves);
+        for (m, c) in circuits.iter().enumerate() {
+            for id in c.block_ids() {
+                prop_assert!(
+                    fast.modes[m].site_of(id) == naive.modes[m].site_of(id),
+                    "mode {} block {:?} placed differently",
+                    m,
+                    id
+                );
+            }
+        }
+    }
+
+    /// Swap/revert sequences on the Hybrid cost over multi-mode problems:
+    /// the flat model's incremental state matches the naive model bit for
+    /// bit after every operation, and a from-scratch recompute agrees.
+    #[test]
+    fn hybrid_multi_mode_swaps_match_naive_and_recompute(seed in 0u64..1_000_000) {
+        let (circuits, arch) = random_problem(seed.wrapping_mul(7).wrapping_add(3));
+        let kind = CostKind::Hybrid { wl_weight: 1.0, edge_weight: 3.0 };
+        let sites = SiteMap::new(&arch);
+        let mut fast = CostModel::new(&circuits, &sites, kind);
+        let mut naive = NaiveCostModel::new(&circuits, &sites, kind);
+
+        // A legal random initial placement, mirrored into both models.
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xfab);
+        for (m, c) in circuits.iter().enumerate() {
+            let mut logic: Vec<u32> = sites.logic_indices().collect();
+            let mut io: Vec<u32> = sites.io_indices().collect();
+            for i in (1..logic.len()).rev() {
+                logic.swap(i, rng.gen_range(0..=i));
+            }
+            for i in (1..io.len()).rev() {
+                io.swap(i, rng.gen_range(0..=i));
+            }
+            let (mut li, mut ii) = (0usize, 0usize);
+            for id in c.block_ids() {
+                let site = if c.block(id).is_lut() {
+                    li += 1;
+                    logic[li - 1]
+                } else {
+                    ii += 1;
+                    io[ii - 1]
+                };
+                fast.set_location(m, id.index() as u32, site);
+                naive.set_location(m, id.index() as u32, site);
+            }
+        }
+        fast.recompute();
+        naive.recompute();
+        prop_assert_eq!(fast.cost().to_bits(), naive.cost().to_bits());
+
+        for _ in 0..60 {
+            let m = rng.gen_range(0..circuits.len());
+            let a = rng.gen_range(0..sites.len() as u32);
+            let b = rng.gen_range(0..sites.len() as u32);
+            let d1 = fast.apply_swap(m, a, b);
+            let d2 = naive.apply_swap(m, a, b);
+            prop_assert_eq!(d1.map(f64::to_bits), d2.map(f64::to_bits));
+            if d1.is_some() && rng.gen_bool(0.5) {
+                fast.revert_last();
+                naive.revert_last();
+            }
+            prop_assert_eq!(fast.cost().to_bits(), naive.cost().to_bits());
+            prop_assert_eq!(fast.wirelength().to_bits(), naive.wirelength().to_bits());
+            prop_assert_eq!(fast.tunable_connections(), naive.tunable_connections());
+            prop_assert_eq!(fast.net_count(), naive.net_count());
+        }
+
+        // The incremental state survives a drift-correcting recompute
+        // in lockstep with the naive model.
+        fast.recompute();
+        naive.recompute();
+        prop_assert_eq!(fast.cost().to_bits(), naive.cost().to_bits());
+
+        // And a fresh model over the final placement agrees with the
+        // incrementally maintained one (recompute-vs-incremental parity).
+        let mut fresh = CostModel::new(&circuits, &sites, kind);
+        for (m, c) in circuits.iter().enumerate() {
+            for id in c.block_ids() {
+                fresh.set_location(m, id.index() as u32, fast.location(m, id.index() as u32));
+            }
+        }
+        fresh.recompute();
+        prop_assert_eq!(fresh.cost().to_bits(), fast.cost().to_bits());
+    }
+}
+
+/// Steady-state annealing must not grow the flat model's swap scratch
+/// (the zero-allocation contract), exercised through a real placement.
+#[test]
+fn swap_scratch_stays_fixed_across_a_long_swap_storm() {
+    let (circuits, arch) = random_problem(0xfab);
+    let kind = CostKind::Hybrid {
+        wl_weight: 1.0,
+        edge_weight: 2.0,
+    };
+    let sites = SiteMap::new(&arch);
+    let mut model = CostModel::new(&circuits, &sites, kind);
+    let mut rng = StdRng::seed_from_u64(7);
+    for (m, c) in circuits.iter().enumerate() {
+        let mut logic: Vec<u32> = sites.logic_indices().collect();
+        let mut io: Vec<u32> = sites.io_indices().collect();
+        for i in (1..logic.len()).rev() {
+            logic.swap(i, rng.gen_range(0..=i));
+        }
+        for i in (1..io.len()).rev() {
+            io.swap(i, rng.gen_range(0..=i));
+        }
+        let (mut li, mut ii) = (0usize, 0usize);
+        for id in c.block_ids() {
+            let site = if c.block(id).is_lut() {
+                li += 1;
+                logic[li - 1]
+            } else {
+                ii += 1;
+                io[ii - 1]
+            };
+            model.set_location(m, id.index() as u32, site);
+        }
+    }
+    model.recompute();
+
+    // Deterministic warm-up: apply-and-revert every site pair in every
+    // mode. This co-swaps every pair of blocks of the initial placement,
+    // so each scratch buffer reaches its global high-water mark (swap
+    // scratch needs depend only on the two moved blocks' adjacency).
+    for m in 0..circuits.len() {
+        for a in 0..sites.len() as u32 {
+            for b in (a + 1)..sites.len() as u32 {
+                if model.apply_swap(m, a, b).is_some() {
+                    model.revert_last();
+                }
+            }
+        }
+    }
+    let footprint = model.scratch_footprint();
+    assert!(footprint > 0);
+    // ...and the steady state never grows it again.
+    for _ in 0..2000 {
+        let m = rng.gen_range(0..circuits.len());
+        let a = rng.gen_range(0..sites.len() as u32);
+        let b = rng.gen_range(0..sites.len() as u32);
+        if model.apply_swap(m, a, b).is_some() && rng.gen_bool(0.4) {
+            model.revert_last();
+        }
+    }
+    assert_eq!(
+        model.scratch_footprint(),
+        footprint,
+        "steady-state apply_swap must not grow the scratch"
+    );
+}

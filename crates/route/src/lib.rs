@@ -47,4 +47,6 @@ mod router;
 
 pub use minw::{min_channel_width, relaxed_width, MinWidthResult};
 pub use nets::{nets_for_circuit, verify_routing};
-pub use router::{NetRoute, RouteNet, RouteSink, RouteTreeNode, Router, RouterOptions, Routing};
+pub use router::{
+    seeded_margins, NetRoute, RouteNet, RouteSink, RouteTreeNode, Router, RouterOptions, Routing,
+};

@@ -9,27 +9,55 @@
 //! * **differential testing** — the property tests in `tests/parity.rs`
 //!   assert the optimized router produces byte-identical [`Routing`]
 //!   results (same trees, same iteration count), so every data-structure
-//!   optimization is provably semantics-preserving;
+//!   optimization is provably semantics-preserving; the incremental
+//!   rip-up and HPWL-seeded bounding boxes are mirrored here so parity
+//!   covers them too;
 //! * **benchmarking** — `mmflow bench` and the criterion suite measure
 //!   the optimized hot path against this baseline (run it with
-//!   [`RouterOptions::without_bbox`] for the pre-optimization behaviour).
+//!   [`RouterOptions::without_bbox`] and
+//!   [`RouterOptions::with_full_reroute`] for the pre-optimization
+//!   behaviour).
 //!
 //! It is deliberately slow; never use it from a flow.
 
-use crate::router::{grow_margin, net_bbox, BBox, HeapEntry, Occupancy, BBOX_CONGESTION_GRACE};
+use crate::router::{
+    grow_margin, initial_margin, net_bbox, BBox, HeapEntry, Occupancy, BBOX_CONGESTION_GRACE,
+};
 use crate::{NetRoute, RouteNet, RouteTreeNode, RouterOptions, Routing};
 use mm_arch::{RoutingGraph, RrKind, RrNodeId, SwitchId};
 use mm_boolexpr::{ModeSet, ModeSpace};
 use std::collections::{BinaryHeap, HashMap};
 
-/// Routes `nets` with the naive reference implementation.
+/// Routes `nets` with the naive reference implementation, with initial
+/// bounding-box margins derived from the options (fixed or HPWL-seeded).
 ///
 /// # Panics
 ///
 /// Panics if `options.mode_count` is 0.
 #[must_use]
 pub fn route_reference(rrg: &RoutingGraph, options: RouterOptions, nets: &[RouteNet]) -> Routing {
-    ReferenceRouter::new(rrg, options).route(nets)
+    let margins: Vec<usize> = nets
+        .iter()
+        .map(|net| initial_margin(rrg, net, &options))
+        .collect();
+    ReferenceRouter::new(rrg, options).route(nets, margins)
+}
+
+/// [`route_reference`] with explicit per-net initial margins — the naive
+/// counterpart of [`crate::Router::route_with_margins`].
+///
+/// # Panics
+///
+/// Panics if `options.mode_count` is 0 or `margins.len() != nets.len()`.
+#[must_use]
+pub fn route_reference_with_margins(
+    rrg: &RoutingGraph,
+    options: RouterOptions,
+    nets: &[RouteNet],
+    margins: &[usize],
+) -> Routing {
+    assert_eq!(margins.len(), nets.len(), "one margin per net");
+    ReferenceRouter::new(rrg, options).route(nets, margins.to_vec())
 }
 
 struct ReferenceRouter<'a> {
@@ -124,9 +152,8 @@ impl<'a> ReferenceRouter<'a> {
         self.options.astar_fac * f64::from(dx + dy)
     }
 
-    fn route(&mut self, nets: &[RouteNet]) -> Routing {
+    fn route(&mut self, nets: &[RouteNet], mut net_margin: Vec<usize>) -> Routing {
         let mut routes: Vec<NetRoute> = vec![NetRoute::default(); nets.len()];
-        let mut net_margin = vec![self.options.bbox_margin; nets.len()];
         let mut iterations = 0;
         let mut success = false;
         let mut overused_nodes = 0;
@@ -137,16 +164,23 @@ impl<'a> ReferenceRouter<'a> {
             iterations = iter + 1;
             let mut rerouted_any = false;
             for (i, net) in nets.iter().enumerate() {
-                let congested = iter >= reroute_all && self.route_is_congested(&routes[i]);
-                if iter >= reroute_all && !congested {
+                let warmup = iter < reroute_all;
+                let congested = !warmup && self.route_is_congested(&routes[i]);
+                if !warmup && !congested {
                     continue;
                 }
                 if congested && iter >= reroute_all + BBOX_CONGESTION_GRACE {
                     net_margin[i] = grow_margin(net_margin[i]);
                 }
                 rerouted_any = true;
-                self.rip_up(&routes[i]);
-                routes[i] = self.route_net(net, &mut net_margin[i]);
+                if warmup || !self.options.incremental {
+                    self.rip_up(&routes[i]);
+                    routes[i] = self.route_net(net, &mut net_margin[i]);
+                } else {
+                    let mut route = std::mem::take(&mut routes[i]);
+                    self.reroute_incremental(net, &mut route, &mut net_margin[i]);
+                    routes[i] = route;
+                }
             }
 
             unrouted = nets
@@ -215,6 +249,20 @@ impl<'a> ReferenceRouter<'a> {
         }
     }
 
+    /// Farthest-first sink order over `sinks` (indices into the net's
+    /// sink list) — stable sort, so ties stay in ascending index order
+    /// like the optimized router's (distance, index) key.
+    fn order_sinks(&self, net: &RouteNet, mut sinks: Vec<usize>) -> Vec<usize> {
+        let src = self.rrg.node(net.source);
+        sinks.sort_by_key(|&i| {
+            let s = self.rrg.node(net.sinks[i].node);
+            let d = (i32::from(s.x) - i32::from(src.x)).abs()
+                + (i32::from(s.y) - i32::from(src.y)).abs();
+            std::cmp::Reverse(d)
+        });
+        sinks
+    }
+
     fn route_net(&mut self, net: &RouteNet, margin: &mut usize) -> NetRoute {
         let mut tree: Vec<RouteTreeNode> = Vec::with_capacity(net.sinks.len() * 8);
         let mut tree_pos: HashMap<u32, u32> = HashMap::new();
@@ -232,28 +280,120 @@ impl<'a> ReferenceRouter<'a> {
         tree_pos.insert(net.source.index() as u32, 0);
         self.occ.add(net.source.index(), net_act);
 
-        // Route sinks farthest-first; same stable order as the optimized
-        // router (distance descending, index ascending on ties).
-        let src = self.rrg.node(net.source);
-        let mut order: Vec<usize> = (0..net.sinks.len()).collect();
-        order.sort_by_key(|&i| {
-            let s = self.rrg.node(net.sinks[i].node);
-            let d = (i32::from(s.x) - i32::from(src.x)).abs()
-                + (i32::from(s.y) - i32::from(src.y)).abs();
-            std::cmp::Reverse(d)
-        });
-
+        let order = self.order_sinks(net, (0..net.sinks.len()).collect());
         let mut sink_pos = vec![0u32; net.sinks.len()];
-        for &si in &order {
+        self.route_sinks(net, &mut tree, &mut tree_pos, &mut sink_pos, &order, margin);
+        NetRoute { tree, sink_pos }
+    }
+
+    /// The incremental rip-up mirror of
+    /// [`crate::Router`]'s congested-net handling: prune subtrees through
+    /// overused nodes, keep (and re-claim) the rest with renarrowed
+    /// activations, then re-route only the lost sinks.
+    fn reroute_incremental(&mut self, net: &RouteNet, route: &mut NetRoute, margin: &mut usize) {
+        let tree_len = route.tree.len();
+        let mut blocked = vec![false; tree_len];
+        for idx in 0..tree_len {
+            let t = route.tree[idx];
+            let over = self.occ.max_all(t.node.index()) > self.rrg.node(t.node).capacity;
+            let parent_blocked = t.parent.is_some_and(|p| blocked[p as usize]);
+            blocked[idx] = over || parent_blocked;
+        }
+
+        let mut keep = vec![false; tree_len];
+        let mut keep_act = vec![ModeSet::EMPTY; tree_len];
+        let mut lost: Vec<usize> = Vec::new();
+        let mut sink_lost = vec![false; net.sinks.len()];
+        keep[0] = true;
+        let root_blocked = blocked[0];
+        for (si, sink) in net.sinks.iter().enumerate() {
+            let pos = route.sink_pos[si];
+            if root_blocked || blocked[pos as usize] {
+                lost.push(si);
+                sink_lost[si] = true;
+                continue;
+            }
+            let mut cur = Some(pos);
+            while let Some(p) = cur {
+                keep[p as usize] = true;
+                keep_act[p as usize] |= sink.activation;
+                cur = route.tree[p as usize].parent;
+            }
+        }
+        if lost.is_empty() {
+            self.rip_up(route);
+            *route = self.route_net(net, margin);
+            return;
+        }
+
+        self.rip_up(route);
+        let net_act: ModeSet = net
+            .sinks
+            .iter()
+            .fold(ModeSet::EMPTY, |a, s| a | s.activation);
+        let mut remap = vec![0u32; tree_len];
+        let mut new_tree: Vec<RouteTreeNode> = Vec::with_capacity(tree_len);
+        let mut tree_pos: HashMap<u32, u32> = HashMap::new();
+        for idx in 0..tree_len {
+            if !keep[idx] {
+                continue;
+            }
+            let t = route.tree[idx];
+            let new_index = new_tree.len() as u32;
+            remap[idx] = new_index;
+            let activation = if idx == 0 { net_act } else { keep_act[idx] };
+            new_tree.push(RouteTreeNode {
+                node: t.node,
+                parent: t.parent.map(|p| remap[p as usize]),
+                switch: t.switch,
+                activation,
+            });
+            self.occ.add(t.node.index(), activation);
+            if let Some(s) = t.switch {
+                self.switch_use.add(s.index(), activation);
+            }
+            tree_pos.insert(t.node.index() as u32, new_index);
+        }
+        route.tree = new_tree;
+        for si in 0..net.sinks.len() {
+            if !sink_lost[si] {
+                route.sink_pos[si] = remap[route.sink_pos[si] as usize];
+            }
+        }
+
+        let order = self.order_sinks(net, lost);
+        let mut sink_pos = std::mem::take(&mut route.sink_pos);
+        self.route_sinks(
+            net,
+            &mut route.tree,
+            &mut tree_pos,
+            &mut sink_pos,
+            &order,
+            margin,
+        );
+        route.sink_pos = sink_pos;
+    }
+
+    /// Routes the sinks listed in `order` into the net's existing tree.
+    fn route_sinks(
+        &mut self,
+        net: &RouteNet,
+        tree: &mut Vec<RouteTreeNode>,
+        tree_pos: &mut HashMap<u32, u32>,
+        sink_pos: &mut [u32],
+        order: &[usize],
+        margin: &mut usize,
+    ) {
+        for &si in order {
             let sink = net.sinks[si];
             if let Some(&pos) = tree_pos.get(&(sink.node.index() as u32)) {
-                self.extend_activation(&mut tree, pos, sink.activation);
+                self.extend_activation(tree, pos, sink.activation);
                 sink_pos[si] = pos;
                 continue;
             }
             let path = loop {
                 let bbox = net_bbox(self.rrg, net, *margin, self.max_x, self.max_y);
-                match self.search(&tree, sink.node, sink.activation, bbox) {
+                match self.search(tree, sink.node, sink.activation, bbox) {
                     Some(path) => break Some(path),
                     None if bbox.covers_fabric(self.max_x, self.max_y) => break None,
                     None => *margin = grow_margin(*margin),
@@ -262,7 +402,7 @@ impl<'a> ReferenceRouter<'a> {
             match path {
                 Some(path) => {
                     let join = tree_pos[&path[0].0];
-                    self.extend_activation(&mut tree, join, sink.activation);
+                    self.extend_activation(tree, join, sink.activation);
                     let mut parent = join;
                     for &(node, switch) in &path[1..] {
                         let idx = tree.len() as u32;
@@ -286,8 +426,6 @@ impl<'a> ReferenceRouter<'a> {
                 }
             }
         }
-
-        NetRoute { tree, sink_pos }
     }
 
     fn extend_activation(&mut self, tree: &mut [RouteTreeNode], pos: u32, act: ModeSet) {

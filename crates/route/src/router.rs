@@ -94,6 +94,18 @@ pub struct RouterOptions {
     /// so routability is never lost to pruning. `usize::MAX` disables
     /// bounding boxes (full-fabric exploration).
     pub bbox_margin: usize,
+    /// HPWL seeding of the initial bounding boxes: when non-zero, a net's
+    /// initial margin is `max(bbox_margin, hpwl / hpwl_margin_div)` where
+    /// `hpwl` is the half-perimeter of its terminal extent — large nets
+    /// (whose detours scale with their span) start with proportionally
+    /// more slack instead of the fixed margin. `0` disables seeding.
+    /// [`seeded_margins`]/[`Router::route_with_margins`] expose the
+    /// same per-net margins for explicit control.
+    pub hpwl_margin_div: usize,
+    /// Incremental rip-up: congested nets keep the subtrees that avoid
+    /// every overused node and re-route only the sinks they lost, instead
+    /// of being torn down wholesale each iteration.
+    pub incremental: bool,
 }
 
 impl Default for RouterOptions {
@@ -109,6 +121,8 @@ impl Default for RouterOptions {
             param_penalty: 0.2,
             reroute_all_iters: 3,
             bbox_margin: 3,
+            hpwl_margin_div: 4,
+            incremental: true,
         }
     }
 }
@@ -131,13 +145,22 @@ impl RouterOptions {
         self
     }
 
+    /// Returns a copy with incremental rip-up disabled (every congested
+    /// net is fully torn down and re-routed — the pre-optimization
+    /// behaviour).
+    #[must_use]
+    pub fn with_full_reroute(mut self) -> Self {
+        self.incremental = false;
+        self
+    }
+
     /// A stable fingerprint of every option that affects the produced
     /// routing (floats by bit pattern), used by the batch engine's stage
     /// cache keys.
     #[must_use]
     pub fn fingerprint(&self) -> String {
         format!(
-            "router-v2;it={};pf={:016x};pfm={:016x};hf={:016x};as={:016x};m={};sd={:016x};pp={:016x};ra={};bb={}",
+            "router-v3;it={};pf={:016x};pfm={:016x};hf={:016x};as={:016x};m={};sd={:016x};pp={:016x};ra={};bb={};hd={};inc={}",
             self.max_iterations,
             self.initial_pres_fac.to_bits(),
             self.pres_fac_mult.to_bits(),
@@ -148,6 +171,8 @@ impl RouterOptions {
             self.param_penalty.to_bits(),
             self.reroute_all_iters,
             self.bbox_margin,
+            self.hpwl_margin_div,
+            u8::from(self.incremental),
         )
     }
 }
@@ -385,6 +410,47 @@ pub(crate) fn grow_margin(margin: usize) -> usize {
     margin.saturating_mul(2).saturating_add(1)
 }
 
+/// The half-perimeter (HPWL) of a net's terminal extent in grid units.
+pub(crate) fn net_hpwl(rrg: &RoutingGraph, net: &RouteNet) -> usize {
+    let src = rrg.node(net.source);
+    let (mut x0, mut y0, mut x1, mut y1) = (src.x, src.y, src.x, src.y);
+    for s in &net.sinks {
+        let n = rrg.node(s.node);
+        x0 = x0.min(n.x);
+        y0 = y0.min(n.y);
+        x1 = x1.max(n.x);
+        y1 = y1.max(n.y);
+    }
+    usize::from(x1 - x0) + usize::from(y1 - y0)
+}
+
+/// The initial bounding-box margin of one net under `options`: the fixed
+/// [`RouterOptions::bbox_margin`], widened to `hpwl / hpwl_margin_div`
+/// for nets whose placement extent calls for more slack.
+pub(crate) fn initial_margin(rrg: &RoutingGraph, net: &RouteNet, options: &RouterOptions) -> usize {
+    if options.hpwl_margin_div == 0 {
+        return options.bbox_margin;
+    }
+    options
+        .bbox_margin
+        .max(net_hpwl(rrg, net) / options.hpwl_margin_div)
+}
+
+/// Per-net initial bounding-box margins seeded from placement geometry
+/// (net HPWL) — what the flows pass to [`Router::route_with_margins`]
+/// so the router starts from placement-aware boxes instead of a fixed
+/// margin.
+#[must_use]
+pub fn seeded_margins(
+    rrg: &RoutingGraph,
+    nets: &[RouteNet],
+    options: &RouterOptions,
+) -> Vec<usize> {
+    nets.iter()
+        .map(|net| initial_margin(rrg, net, options))
+        .collect()
+}
+
 /// The number of extra iterations nets get to negotiate congestion inside
 /// their initial bounding boxes before the boxes start growing.
 pub(crate) const BBOX_CONGESTION_GRACE: usize = 2;
@@ -442,6 +508,22 @@ pub struct Router<'a> {
     touch_generation: u32,
     /// Per-net bounding-box margins of the current `route()` call.
     net_margin: Vec<usize>,
+    // ---- incremental rip-up scratch (per congested net, reused) ----
+    /// Tree nodes with an overused node on their root path (self
+    /// included).
+    blocked: Vec<bool>,
+    /// Tree nodes on the root path of a surviving sink.
+    keep: Vec<bool>,
+    /// Recomputed activation of kept nodes: OR of surviving sinks below.
+    keep_act: Vec<ModeSet>,
+    /// Old tree index → pruned tree index for kept nodes.
+    remap: Vec<u32>,
+    /// Sink indices torn down by the prune (to be re-routed).
+    lost: Vec<u32>,
+    /// Per-sink lost flag of the net being pruned.
+    sink_lost: Vec<bool>,
+    /// Pruned-tree build buffer, swapped with the net's tree.
+    tree_buf: Vec<RouteTreeNode>,
 }
 
 impl<'a> Router<'a> {
@@ -492,6 +574,13 @@ impl<'a> Router<'a> {
             touch_gen: vec![0; n],
             touch_generation: 1,
             net_margin: Vec::new(),
+            blocked: Vec::new(),
+            keep: Vec::new(),
+            keep_act: Vec::new(),
+            remap: Vec::new(),
+            lost: Vec::new(),
+            sink_lost: Vec::new(),
+            tree_buf: Vec::new(),
             options,
         }
     }
@@ -507,6 +596,13 @@ impl<'a> Router<'a> {
             + self.order.capacity()
             + self.touched.capacity()
             + self.net_margin.capacity()
+            + self.blocked.capacity()
+            + self.keep.capacity()
+            + self.keep_act.capacity()
+            + self.remap.capacity()
+            + self.lost.capacity()
+            + self.sink_lost.capacity()
+            + self.tree_buf.capacity()
     }
 
     fn base_cost(&self, kind: RrKind) -> f64 {
@@ -606,18 +702,43 @@ impl<'a> Router<'a> {
     /// Routes all nets; returns the final routing (check
     /// [`Routing::success`]).
     ///
+    /// Initial bounding-box margins follow [`RouterOptions`] (fixed, or
+    /// HPWL-seeded when [`RouterOptions::hpwl_margin_div`] is non-zero).
     /// Congestion state (occupancy, history, present-congestion factor)
     /// is reset on entry, so repeated calls on one router are idempotent
     /// and reuse the scratch arena instead of reallocating it.
     pub fn route(&mut self, nets: &[RouteNet]) -> Routing {
+        self.net_margin.clear();
+        for net in nets {
+            self.net_margin
+                .push(initial_margin(self.rrg, net, &self.options));
+        }
+        self.route_prepared(nets)
+    }
+
+    /// Routes all nets with explicit per-net initial bounding-box margins
+    /// — the flows pass placement-geometry-derived margins here (see
+    /// [`seeded_margins`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `margins.len() != nets.len()`.
+    pub fn route_with_margins(&mut self, nets: &[RouteNet], margins: &[usize]) -> Routing {
+        assert_eq!(margins.len(), nets.len(), "one margin per net");
+        self.net_margin.clear();
+        self.net_margin.extend_from_slice(margins);
+        self.route_prepared(nets)
+    }
+
+    /// The rip-up-and-reroute loop over `nets`, with `self.net_margin`
+    /// already holding the initial per-net margins.
+    fn route_prepared(&mut self, nets: &[RouteNet]) -> Routing {
         self.occ.counts.fill(0);
         self.switch_use.counts.fill(0);
         self.switch_act.fill(ModeSet::EMPTY);
         self.history.fill(0.0);
         self.pres_fac = self.options.initial_pres_fac;
         let mut routes: Vec<NetRoute> = vec![NetRoute::default(); nets.len()];
-        self.net_margin.clear();
-        self.net_margin.resize(nets.len(), self.options.bbox_margin);
         let mut iterations = 0;
         let mut success = false;
         let mut overused_nodes = 0;
@@ -628,8 +749,9 @@ impl<'a> Router<'a> {
             iterations = iter + 1;
             let mut rerouted_any = false;
             for (i, net) in nets.iter().enumerate() {
-                let congested = iter >= reroute_all && self.route_is_congested(&routes[i]);
-                if iter >= reroute_all && !congested {
+                let warmup = iter < reroute_all;
+                let congested = !warmup && self.route_is_congested(&routes[i]);
+                if !warmup && !congested {
                     continue;
                 }
                 // A net that stays congested after a short grace period
@@ -640,8 +762,12 @@ impl<'a> Router<'a> {
                 }
                 rerouted_any = true;
                 let mut route = std::mem::take(&mut routes[i]);
-                self.rip_up(&route);
-                self.route_net(net, i, &mut route);
+                if warmup || !self.options.incremental {
+                    self.rip_up(&route);
+                    self.route_net(net, i, &mut route);
+                } else {
+                    self.reroute_incremental(net, i, &mut route);
+                }
                 routes[i] = route;
             }
 
@@ -735,8 +861,8 @@ impl<'a> Router<'a> {
         self.tree_gen[node as usize] = self.tree_generation;
     }
 
-    /// Routes one net into `route` (whose buffers are reused), claiming
-    /// occupancy for its tree.
+    /// Routes one net from scratch into `route` (whose buffers are
+    /// reused), claiming occupancy for its tree.
     fn route_net(&mut self, net: &RouteNet, net_index: usize, route: &mut NetRoute) {
         route.tree.clear();
         route.sink_pos.clear();
@@ -757,19 +883,138 @@ impl<'a> Router<'a> {
         self.occ.add(net.source.index(), net_act);
         self.touch(net.source.index());
 
-        // Route sinks farthest-first (better tree quality). The index tie
-        // break reproduces a stable sort without its temporary buffer.
-        let rrg = self.rrg;
-        let src = rrg.node(net.source);
+        // Route all sinks farthest-first (better tree quality).
         self.order.clear();
         self.order.extend(0..net.sinks.len() as u32);
+        self.sort_sink_order(net);
+        self.route_sinks(net, net_index, route);
+    }
+
+    /// Sorts `self.order` (sink indices of `net`) farthest-first from the
+    /// source. The index tie break reproduces a stable sort without its
+    /// temporary buffer.
+    fn sort_sink_order(&mut self, net: &RouteNet) {
+        let rrg = self.rrg;
+        let src = rrg.node(net.source);
         self.order.sort_unstable_by_key(|&i| {
             let s = rrg.node(net.sinks[i as usize].node);
             let d = (i32::from(s.x) - i32::from(src.x)).abs()
                 + (i32::from(s.y) - i32::from(src.y)).abs();
             (std::cmp::Reverse(d), i)
         });
+    }
 
+    /// Incrementally re-routes a congested net: subtrees that pass
+    /// through an overused node are torn down (and only those), the
+    /// surviving tree keeps its claims with activations renarrowed to the
+    /// surviving sinks, and the lost sinks are re-routed from the kept
+    /// tree.
+    fn reroute_incremental(&mut self, net: &RouteNet, net_index: usize, route: &mut NetRoute) {
+        // Overuse is judged with this net's occupancy still claimed —
+        // exactly the condition `route_is_congested` saw.
+        let tree_len = route.tree.len();
+        self.blocked.clear();
+        self.blocked.resize(tree_len, false);
+        for (idx, t) in route.tree.iter().enumerate() {
+            let over = self.occ.max_all(t.node.index()) > self.rrg.node(t.node).capacity;
+            let parent_blocked = t.parent.is_some_and(|p| self.blocked[p as usize]);
+            self.blocked[idx] = over || parent_blocked;
+        }
+
+        // Classify sinks and mark the kept paths with their recomputed
+        // activations (OR of the surviving sinks through each node).
+        self.keep.clear();
+        self.keep.resize(tree_len, false);
+        self.keep_act.clear();
+        self.keep_act.resize(tree_len, ModeSet::EMPTY);
+        self.lost.clear();
+        self.sink_lost.clear();
+        self.sink_lost.resize(net.sinks.len(), false);
+        self.keep[0] = true;
+        let root_blocked = self.blocked[0];
+        for (si, sink) in net.sinks.iter().enumerate() {
+            let pos = route.sink_pos[si];
+            if root_blocked || self.blocked[pos as usize] {
+                self.lost.push(si as u32);
+                self.sink_lost[si] = true;
+                continue;
+            }
+            let mut cur = Some(pos);
+            while let Some(p) = cur {
+                self.keep[p as usize] = true;
+                self.keep_act[p as usize] |= sink.activation;
+                cur = route.tree[p as usize].parent;
+            }
+        }
+        if self.lost.is_empty() {
+            // Every tree node lies on some sink's path, so a congested
+            // net always loses a sink; defensive fallback to a full
+            // reroute if that invariant ever breaks.
+            self.rip_up(route);
+            self.route_net(net, net_index, route);
+            return;
+        }
+
+        // Release the whole old tree, then rebuild and re-claim only the
+        // kept part (same node order, remapped parents, renarrowed
+        // activations; the root keeps the full net activation, exactly
+        // as a from-scratch route starts).
+        self.rip_up(route);
+        let net_act: ModeSet = net
+            .sinks
+            .iter()
+            .fold(ModeSet::EMPTY, |a, s| a | s.activation);
+        self.tree_generation = self.tree_generation.wrapping_add(1);
+        self.remap.clear();
+        self.remap.resize(tree_len, 0);
+        let mut tree_buf = std::mem::take(&mut self.tree_buf);
+        tree_buf.clear();
+        for idx in 0..tree_len {
+            if !self.keep[idx] {
+                continue;
+            }
+            let t = route.tree[idx];
+            let new_index = tree_buf.len() as u32;
+            self.remap[idx] = new_index;
+            let activation = if idx == 0 {
+                net_act
+            } else {
+                self.keep_act[idx]
+            };
+            tree_buf.push(RouteTreeNode {
+                node: t.node,
+                // The parent of a kept node is on the same surviving
+                // path, hence kept and already remapped.
+                parent: t.parent.map(|p| self.remap[p as usize]),
+                switch: t.switch,
+                activation,
+            });
+            self.occ.add(t.node.index(), activation);
+            self.touch(t.node.index());
+            if let Some(s) = t.switch {
+                self.switch_claim(s, activation);
+            }
+            self.set_tree_index(t.node.index() as u32, new_index);
+        }
+        std::mem::swap(&mut route.tree, &mut tree_buf);
+        self.tree_buf = tree_buf;
+        for si in 0..net.sinks.len() {
+            if !self.sink_lost[si] {
+                route.sink_pos[si] = self.remap[route.sink_pos[si] as usize];
+            }
+        }
+
+        // Re-route only the lost sinks, farthest-first like a full route.
+        self.order.clear();
+        self.order.extend_from_slice(&self.lost);
+        self.sort_sink_order(net);
+        self.route_sinks(net, net_index, route);
+    }
+
+    /// Routes the sinks listed in `self.order` into the net's existing
+    /// tree, growing the net's bounding box as needed.
+    fn route_sinks(&mut self, net: &RouteNet, net_index: usize, route: &mut NetRoute) {
+        let rrg = self.rrg;
         let order = std::mem::take(&mut self.order);
         for &si in &order {
             let si = si as usize;
@@ -1310,10 +1555,83 @@ mod tests {
             ..RouterOptions::default()
         };
         assert_ne!(a.fingerprint(), b.fingerprint());
-        assert!(a.fingerprint().starts_with("router-v2"));
+        assert!(a.fingerprint().starts_with("router-v3"));
         assert_eq!(
             RouterOptions::default().without_bbox().bbox_margin,
             usize::MAX
         );
+    }
+
+    #[test]
+    fn fingerprint_tracks_incremental_and_hpwl_seeding() {
+        let a = RouterOptions::default();
+        assert!(a.incremental, "incremental rip-up is the default");
+        let b = RouterOptions::default().with_full_reroute();
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        let c = RouterOptions {
+            hpwl_margin_div: 0,
+            ..RouterOptions::default()
+        };
+        assert_ne!(a.fingerprint(), c.fingerprint());
+    }
+
+    #[test]
+    fn hpwl_seeding_widens_long_nets_only() {
+        let rrg = arch_rrg(9, 2);
+        let all = ModeSet::of(&[0]);
+        let short = RouteNet {
+            name: "short".into(),
+            source: rrg.logic_source(site(4, 4, 0)),
+            sinks: vec![RouteSink {
+                node: rrg.logic_sink(site(5, 4, 0)),
+                activation: all,
+            }],
+        };
+        let long = RouteNet {
+            name: "long".into(),
+            source: rrg.logic_source(site(1, 1, 0)),
+            sinks: vec![RouteSink {
+                node: rrg.logic_sink(site(9, 9, 0)),
+                activation: all,
+            }],
+        };
+        let options = RouterOptions::default();
+        let margins = seeded_margins(&rrg, &[short, long], &options);
+        assert_eq!(margins[0], options.bbox_margin, "short nets keep the floor");
+        assert_eq!(margins[1], 16 / options.hpwl_margin_div, "hpwl 16 scaled");
+        assert!(margins[1] > margins[0]);
+
+        let fixed = RouterOptions {
+            hpwl_margin_div: 0,
+            ..RouterOptions::default()
+        };
+        let rrg2 = arch_rrg(9, 2);
+        let nets: Vec<RouteNet> = Vec::new();
+        assert!(seeded_margins(&rrg2, &nets, &fixed).is_empty());
+    }
+
+    #[test]
+    fn route_with_margins_matches_options_derived_margins() {
+        let rrg = arch_rrg(6, 3);
+        let all = ModeSet::of(&[0]);
+        let nets: Vec<RouteNet> = (1..=5u16)
+            .map(|y| RouteNet {
+                name: format!("n{y}"),
+                source: rrg.logic_source(site(1, y, 0)),
+                sinks: vec![RouteSink {
+                    node: rrg.logic_sink(site(6, 6 - y, 0)),
+                    activation: all,
+                }],
+            })
+            .collect();
+        let options = RouterOptions::default();
+        let margins = seeded_margins(&rrg, &nets, &options);
+        let implicit = Router::new(&rrg, options).route(&nets);
+        let explicit = Router::new(&rrg, options).route_with_margins(&nets, &margins);
+        assert_eq!(implicit.iterations, explicit.iterations);
+        for (a, b) in implicit.nets.iter().zip(&explicit.nets) {
+            assert_eq!(a.tree, b.tree);
+            assert_eq!(a.sink_pos, b.sink_pos);
+        }
     }
 }

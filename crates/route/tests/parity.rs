@@ -4,8 +4,8 @@
 
 use mm_arch::{Architecture, RoutingGraph, Site};
 use mm_boolexpr::ModeSet;
-use mm_route::reference::route_reference;
-use mm_route::{RouteNet, RouteSink, Router, RouterOptions, Routing};
+use mm_route::reference::{route_reference, route_reference_with_margins};
+use mm_route::{seeded_margins, RouteNet, RouteSink, Router, RouterOptions, Routing};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -127,6 +127,71 @@ proptest! {
             );
             prop_assert_eq!(pruned.unrouted_sinks, 0);
         }
+    }
+
+    /// Incremental rip-up parity also holds with full tear-down disabled
+    /// in both implementations (the pre-optimization behaviour) — the
+    /// two rip-up policies are each byte-identical across the pair.
+    #[test]
+    fn parity_with_full_reroute(seed in 0u64..1_000_000) {
+        let suite = random_suite(seed.wrapping_add(0xbeef));
+        let options = RouterOptions::for_modes(suite.modes).with_full_reroute();
+        let optimized = Router::new(&suite.rrg, options).route(&suite.nets);
+        let reference = route_reference(&suite.rrg, options, &suite.nets);
+        assert_identical(&optimized, &reference)?;
+    }
+
+    /// A run that converges before any congested-net handling kicks in
+    /// (within `reroute_all_iters` iterations) is byte-identical under
+    /// incremental and full rip-up — the incremental path only ever
+    /// diverges where tear-down policy matters.
+    #[test]
+    fn incremental_is_identical_to_full_reroute_until_congestion_handling(
+        seed in 0u64..1_000_000
+    ) {
+        let suite = random_suite(seed.wrapping_mul(5).wrapping_add(1));
+        let incremental_options = RouterOptions::for_modes(suite.modes);
+        let full = Router::new(&suite.rrg, incremental_options.with_full_reroute())
+            .route(&suite.nets);
+        if full.iterations <= incremental_options.reroute_all_iters {
+            let incremental = Router::new(&suite.rrg, incremental_options).route(&suite.nets);
+            assert_identical(&incremental, &full)?;
+        }
+    }
+
+    /// Incremental rip-up preserves routability: every suite the full
+    /// tear-down router can route also routes incrementally, and the
+    /// result passes the same structural checks (asserted by
+    /// `assert_identical` against the naive incremental mirror).
+    #[test]
+    fn incremental_routes_every_full_reroute_feasible_suite(seed in 0u64..1_000_000) {
+        let suite = random_suite(seed.wrapping_mul(11).wrapping_add(5));
+        let options = RouterOptions::for_modes(suite.modes);
+        let full = Router::new(&suite.rrg, options.with_full_reroute()).route(&suite.nets);
+        if full.success {
+            let incremental = Router::new(&suite.rrg, options).route(&suite.nets);
+            prop_assert!(
+                incremental.success,
+                "incremental rip-up lost routability (seed {})",
+                seed
+            );
+            prop_assert_eq!(incremental.unrouted_sinks, 0);
+        }
+    }
+
+    /// Explicit HPWL-seeded margins through `route_with_margins` match
+    /// the options-derived path on both implementations.
+    #[test]
+    fn explicit_margins_match_implicit(seed in 0u64..1_000_000) {
+        let suite = random_suite(seed.wrapping_mul(13).wrapping_add(7));
+        let options = RouterOptions::for_modes(suite.modes);
+        let margins = seeded_margins(&suite.rrg, &suite.nets, &options);
+        let implicit = Router::new(&suite.rrg, options).route(&suite.nets);
+        let explicit =
+            Router::new(&suite.rrg, options).route_with_margins(&suite.nets, &margins);
+        assert_identical(&implicit, &explicit)?;
+        let reference = route_reference_with_margins(&suite.rrg, options, &suite.nets, &margins);
+        assert_identical(&explicit, &reference)?;
     }
 }
 
