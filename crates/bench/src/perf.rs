@@ -25,6 +25,11 @@
 //!   cache, a warm re-run (everything from cache), and a `pair` job that
 //!   shares the placement stages plain `dcs`/`mdr` jobs cached — the
 //!   cross-job stage-sharing number.
+//! * [`serve_perf`] — the long-running service. A real `mm-serve` server
+//!   on a Unix socket, a cold batch submitted over the wire and a warm
+//!   re-submission against the shared stage cache: end-to-end jobs/sec
+//!   including protocol framing, plus a byte-parity check of the socket
+//!   stream against a direct engine run.
 //!
 //! All have a `--smoke` sized variant for CI.
 
@@ -33,7 +38,7 @@ use mm_boolexpr::ModeSet;
 use mm_engine::json::ObjBuilder;
 use mm_engine::{Engine, EngineOptions, FlowKind, Job};
 use mm_flow::FlowOptions;
-use mm_netlist::{LutCircuit, TruthTable};
+use mm_netlist::LutCircuit;
 use mm_place::{place_combined, place_combined_reference, CostKind, PlacerOptions};
 use mm_route::reference::route_reference;
 use mm_route::{RouteNet, RouteSink, Router, RouterOptions};
@@ -515,33 +520,10 @@ impl FlowPerf {
 }
 
 /// A deterministic random LUT circuit (the shape used across the repo's
-/// tests and benches).
+/// tests and benches) — the shared `mm_gen` generator, so the committed
+/// BENCH workloads and the test fixtures stay byte-identical per seed.
 fn random_circuit(name: &str, n_inputs: usize, n_luts: usize, seed: u64) -> LutCircuit {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut c = LutCircuit::new(name, 4);
-    let mut drivers: Vec<mm_netlist::BlockId> = (0..n_inputs)
-        .map(|i| c.add_input(format!("i{i}")).unwrap())
-        .collect();
-    for j in 0..n_luts {
-        let fanin = rng.gen_range(2..=4.min(drivers.len()));
-        let mut ins = Vec::new();
-        while ins.len() < fanin {
-            let d = drivers[rng.gen_range(0..drivers.len())];
-            if !ins.contains(&d) {
-                ins.push(d);
-            }
-        }
-        let tt = TruthTable::from_bits(ins.len(), rng.gen());
-        let id = c
-            .add_lut(format!("n{j}"), ins, tt, rng.gen_bool(0.2))
-            .unwrap();
-        drivers.push(id);
-    }
-    for t in 0..2 {
-        let d = drivers[drivers.len() - 1 - t];
-        c.add_output(format!("o{t}"), d).unwrap();
-    }
-    c
+    mm_gen::seeded_test_circuit(name, n_inputs, n_luts, seed)
 }
 
 /// A small seeded two-mode problem plus quick options — the workload the
@@ -646,6 +628,159 @@ pub fn flow_perf(config: &PerfConfig) -> FlowPerf {
     }
 }
 
+/// The serve benchmark report.
+#[derive(Debug, Clone)]
+pub struct ServePerf {
+    /// Jobs per submitted batch.
+    pub jobs: usize,
+    /// Worker threads of the server's shared pool.
+    pub threads: usize,
+    /// Cold submission wall-clock (empty cache), milliseconds,
+    /// end-to-end over the socket.
+    pub cold_wall_ms: f64,
+    /// Warm re-submission wall-clock (shared cache answers),
+    /// milliseconds.
+    pub warm_wall_ms: f64,
+    /// Jobs per second, cold.
+    pub cold_jobs_per_sec: f64,
+    /// Jobs per second, warm.
+    pub warm_jobs_per_sec: f64,
+    /// cold / warm wall-clock.
+    pub warm_speedup: f64,
+    /// The socket stream matched a direct engine run byte-for-byte, on
+    /// both the cold and the warm submission.
+    pub parity_ok: bool,
+}
+
+impl ServePerf {
+    /// The `BENCH_serve.json` payload.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        ObjBuilder::new()
+            .field("bench", "serve")
+            .field("transport", "unix-socket")
+            .field("jobs", self.jobs)
+            .field("threads", self.threads)
+            .field("cold_wall_ms", round2(self.cold_wall_ms))
+            .field("warm_wall_ms", round2(self.warm_wall_ms))
+            .field("cold_jobs_per_sec", round2(self.cold_jobs_per_sec))
+            .field("warm_jobs_per_sec", round2(self.warm_jobs_per_sec))
+            .field("warm_speedup", round2(self.warm_speedup))
+            .field("parity_ok", self.parity_ok)
+            .build()
+            .to_json()
+    }
+}
+
+/// Runs the serve benchmark: a real server on a Unix socket, a seeded
+/// BLIF-directory workload submitted cold and warm over the wire.
+///
+/// # Panics
+///
+/// Panics if the throwaway server cannot be started or the protocol
+/// exchange breaks — a benchmark that cannot run must fail loudly.
+#[must_use]
+pub fn serve_perf(config: &PerfConfig) -> ServePerf {
+    use mm_engine::protocol::BatchRequest;
+
+    let root = std::env::temp_dir().join(format!(
+        "mmflow_bench_serve_{}_{}",
+        std::process::id(),
+        if config.smoke { "smoke" } else { "full" }
+    ));
+    let _ = std::fs::remove_dir_all(&root);
+
+    // The same workload shape as `flow_perf`, written out as a BLIF
+    // mode-group directory so it travels as a spec reference.
+    let (job_count, luts) = if config.smoke { (4, 10) } else { (8, 14) };
+    let spec_dir = root.join("jobs");
+    for g in 0..job_count {
+        let group = spec_dir.join(format!("g{g}"));
+        std::fs::create_dir_all(&group).expect("bench spec directory");
+        for (m, seed_base) in [(0usize, 9_000u64), (1, 19_000)] {
+            let c = random_circuit(&format!("m{m}"), 5, luts + g % 3, seed_base + g as u64);
+            std::fs::write(
+                group.join(format!("m{m}.blif")),
+                mm_netlist::blif::to_blif(&c),
+            )
+            .expect("bench blif");
+        }
+    }
+    let spec_str = spec_dir.to_str().expect("utf-8 tmp path").to_string();
+    let mut request = BatchRequest::new(spec_str.clone());
+    request.width = Some(12);
+    request.effort = Some(1.0);
+    request.max_iterations = Some(30);
+
+    // Reference bytes: a direct sequential engine run on the same spec,
+    // under exactly the options the request resolves to server-side.
+    let options = request.flow_options(&FlowOptions::default());
+    let reference: Vec<String> = Engine::new(EngineOptions {
+        threads: 1,
+        cache_dir: None,
+    })
+    .expect("reference engine")
+    .run(
+        mm_engine::load_spec(&spec_str, &options, 4)
+            .expect("bench spec loads")
+            .jobs,
+    )
+    .results
+    .iter()
+    .map(mm_engine::JobResult::to_json_line)
+    .collect();
+
+    let listen = mm_serve::Listen::Unix(root.join("bench.sock"));
+    let server = mm_serve::Server::bind(
+        &listen,
+        &mm_serve::ServeOptions {
+            threads: 0,
+            cache_dir: Some(root.join("cache")),
+            max_connections: 4,
+        },
+    )
+    .expect("bench server binds");
+    let threads = server.engine().threads();
+    let handle = server.handle();
+    let server_thread = std::thread::spawn(move || server.run());
+
+    let submit = |request: &BatchRequest| -> (Vec<String>, f64) {
+        let mut client = mm_serve::Client::connect(&listen).expect("connect");
+        let t0 = Instant::now();
+        let mut records = Vec::new();
+        client
+            .submit(request, |record| {
+                records.push(record.to_string());
+                Ok(())
+            })
+            .expect("protocol exchange")
+            .expect("batch accepted");
+        (records, t0.elapsed().as_secs_f64() * 1000.0)
+    };
+
+    let (cold_records, cold_wall_ms) = submit(&request);
+    let (warm_records, warm_wall_ms) = submit(&request);
+    let parity_ok = cold_records == reference && warm_records == reference;
+
+    handle.shutdown();
+    server_thread
+        .join()
+        .expect("server thread")
+        .expect("server drains");
+    let _ = std::fs::remove_dir_all(&root);
+
+    ServePerf {
+        jobs: job_count,
+        threads,
+        cold_wall_ms,
+        warm_wall_ms,
+        cold_jobs_per_sec: job_count as f64 / (cold_wall_ms / 1000.0).max(1e-9),
+        warm_jobs_per_sec: job_count as f64 / (warm_wall_ms / 1000.0).max(1e-9),
+        warm_speedup: cold_wall_ms / warm_wall_ms.max(1e-9),
+        parity_ok,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -682,6 +817,22 @@ mod tests {
         assert!(json.contains("\"wirelength\""), "{json}");
         assert!(
             mm_engine::json::parse(&json).is_ok(),
+            "report must be valid JSON"
+        );
+    }
+
+    #[test]
+    fn serve_perf_smoke_roundtrips_over_a_real_socket() {
+        let perf = serve_perf(&PerfConfig {
+            smoke: true,
+            reps: 1,
+        });
+        assert!(perf.parity_ok, "socket stream == direct engine bytes");
+        assert_eq!(perf.jobs, 4);
+        assert!(perf.cold_wall_ms > 0.0 && perf.warm_wall_ms > 0.0);
+        assert!(perf.warm_jobs_per_sec > 0.0);
+        assert!(
+            mm_engine::json::parse(&perf.to_json()).is_ok(),
             "report must be valid JSON"
         );
     }

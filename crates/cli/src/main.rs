@@ -5,6 +5,8 @@
 //! mmflow merge a.blif b.blif [...]   run the DCS flow on BLIF mode circuits
 //! mmflow mdr   a.blif b.blif [...]   run the MDR baseline
 //! mmflow batch SPEC [...]            run a whole suite through mm-engine
+//! mmflow serve --listen ADDR [...]   long-running batch service (mm-serve)
+//! mmflow submit SPEC --connect ADDR  submit a batch to a running service
 //! mmflow bench [--json]              measure the hot paths (BENCH_*.json)
 //! mmflow cache gc [...]              evict old/oversized stage-cache entries
 //! mmflow stats a.blif                print circuit statistics
@@ -30,12 +32,20 @@ USAGE:
                                           SPEC is a JSON spec file, a
                                           directory of BLIF mode groups, or
                                           suite:<regexp|fir|mcnc>
-  mmflow bench [--json] [--smoke]         measure router/placer/flow hot
-                                          paths: baseline vs optimized
+  mmflow serve --listen <ADDR>            run the long-running batch service:
+                                          one shared engine + stage cache,
+                                          JSONL protocol over a Unix or TCP
+                                          socket, graceful drain on shutdown
+  mmflow submit <SPEC> --connect <ADDR>   submit a batch to a running service;
+                                          result records stream to stdout
+                                          byte-identical to `mmflow batch`
+  mmflow bench [--json] [--smoke]         measure router/placer/flow/serve
+                                          hot paths: baseline vs optimized
                                           wall-clock, throughput and cache
                                           hit rates
-  mmflow cache gc [--max-bytes N]         evict stage-cache entries, oldest
-                [--max-age-days D]        first, until under the limits
+  mmflow cache gc [--max-bytes N]         evict stage-cache entries, least
+                [--max-age-days D]        recently used first, until under
+                                          the limits
   mmflow stats <CIRCUIT.blif>...          circuit statistics
   mmflow gen <regexp|fir|mcnc> <DIR>      write a benchmark suite as BLIF
 
@@ -58,8 +68,26 @@ BATCH OPTIONS:
   --jobs <N>       only run the first N jobs of the batch
   --out <FILE>     write JSONL results to FILE instead of stdout
 
+SERVE OPTIONS:
+  --listen <ADDR>       unix:<path> or tcp:<host:port> (required)
+  --threads <N>         shared worker-pool size (default: one per CPU)
+  --cache <DIR>         stage-cache directory (default .mmcache)
+  --no-cache            disable the stage cache
+  --max-connections <N> concurrent connections (default 8)
+
+SUBMIT OPTIONS:
+  --connect <ADDR>  the service address (required)
+  -k <N>            LUT width for directory BLIFs and generated suites
+  --jobs <N>        only run the first N jobs of the batch
+  --seed/--width/--effort/--max-iterations/--max-width
+                    flow overrides, as in batch specs
+  --out <FILE>      write JSONL results to FILE instead of stdout
+  --shutdown        ask the server to drain and exit (after the batch,
+                    or alone when no SPEC is given)
+
 BENCH OPTIONS:
-  --json           write BENCH_router.json and BENCH_flow.json
+  --json           write BENCH_router.json, BENCH_place.json,
+                   BENCH_flow.json and BENCH_serve.json
   --out-dir <DIR>  where to write them (default .)
   --smoke          tiny CI-sized workload
   --reps <N>       timed repetitions per measurement
@@ -109,17 +137,7 @@ fn parse_common(args: &[String]) -> Result<CommonOptions, Box<dyn Error>> {
             "-k" => options.k = next_value(&mut it, "-k")?.parse()?,
             "--cost" => {
                 let v = next_value(&mut it, "--cost")?;
-                options.cost = match v.as_str() {
-                    "wl" => CostKind::WireLength,
-                    "edge" => CostKind::EdgeMatching,
-                    other => match other.strip_prefix("hybrid:") {
-                        Some(l) => CostKind::Hybrid {
-                            wl_weight: 1.0,
-                            edge_weight: l.parse()?,
-                        },
-                        None => return Err(format!("unknown cost '{v}'").into()),
-                    },
-                };
+                options.cost = parse_cost(v)?;
             }
             "--width" => {
                 options.flow.width = WidthChoice::Fixed(next_value(&mut it, "--width")?.parse()?);
@@ -146,6 +164,16 @@ fn next_value<'a>(
         .ok_or_else(|| format!("{flag} needs a value").into())
 }
 
+/// Parses `--cost` values through the engine's validated parser, so the
+/// CLI rejects the same NaN/negative/non-finite hybrid weights batch
+/// specs do (those weights fingerprint into cache keys).
+fn parse_cost(v: &str) -> Result<CostKind, Box<dyn Error>> {
+    match mm_engine::FlowKind::parse("dcs", Some(v))? {
+        mm_engine::FlowKind::Dcs(cost) => Ok(cost),
+        _ => unreachable!("parsing the dcs flow yields a dcs kind"),
+    }
+}
+
 fn load_circuits(files: &[String], k: usize) -> Result<Vec<LutCircuit>, Box<dyn Error>> {
     if files.is_empty() {
         return Err("no input files".into());
@@ -167,6 +195,8 @@ fn run(args: &[String]) -> Result<(), Box<dyn Error>> {
         "merge" => cmd_merge(&args[1..]),
         "mdr" => cmd_mdr(&args[1..]),
         "batch" => cmd_batch(&args[1..]),
+        "serve" => cmd_serve(&args[1..]),
+        "submit" => cmd_submit(&args[1..]),
         "bench" => cmd_bench(&args[1..]),
         "cache" => cmd_cache(&args[1..]),
         "stats" => cmd_stats(&args[1..]),
@@ -321,8 +351,137 @@ fn cmd_batch(args: &[String]) -> Result<(), Box<dyn Error>> {
     Ok(())
 }
 
+fn cmd_serve(args: &[String]) -> Result<(), Box<dyn Error>> {
+    use mm_serve::{Listen, ServeOptions, Server};
+
+    let mut listen: Option<String> = None;
+    let mut options = ServeOptions {
+        threads: 0,
+        cache_dir: Some(".mmcache".into()),
+        max_connections: 8,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--listen" => listen = Some(next_value(&mut it, "--listen")?.clone()),
+            "--threads" => options.threads = next_value(&mut it, "--threads")?.parse()?,
+            "--cache" => options.cache_dir = Some(next_value(&mut it, "--cache")?.into()),
+            "--no-cache" => options.cache_dir = None,
+            "--max-connections" => {
+                options.max_connections = next_value(&mut it, "--max-connections")?.parse()?;
+            }
+            other => return Err(format!("unknown serve option '{other}'").into()),
+        }
+    }
+    let listen = listen.ok_or("serve needs --listen unix:<path> or tcp:<host:port>")?;
+    let listen = Listen::parse(&listen)?;
+
+    let server = Server::bind(&listen, &options)?;
+    eprintln!(
+        "serve: listening on {} ({} workers, cache {}, {} connection slots)",
+        server.listen_addr(),
+        server.engine().threads(),
+        options
+            .cache_dir
+            .as_ref()
+            .map_or("disabled".to_string(), |d| d.display().to_string()),
+        options.max_connections,
+    );
+    eprintln!("serve: send {{\"cmd\":\"shutdown\"}} (mmflow submit --shutdown) to drain and exit");
+    let report = server.run()?;
+    eprintln!(
+        "serve: drained — {} connections, {} batches, {} jobs",
+        report.connections, report.batches, report.jobs
+    );
+    Ok(())
+}
+
+fn cmd_submit(args: &[String]) -> Result<(), Box<dyn Error>> {
+    use mm_engine::protocol::BatchRequest;
+    use std::io::Write;
+
+    let mut connect: Option<String> = None;
+    let mut spec: Option<String> = None;
+    let mut out_path: Option<String> = None;
+    let mut shutdown = false;
+    let mut k: Option<usize> = None;
+    let mut max_jobs: Option<usize> = None;
+    let mut seed: Option<u64> = None;
+    let mut width: Option<usize> = None;
+    let mut effort: Option<f64> = None;
+    let mut max_iterations: Option<usize> = None;
+    let mut max_width: Option<usize> = None;
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--connect" => connect = Some(next_value(&mut it, "--connect")?.clone()),
+            "--out" => out_path = Some(next_value(&mut it, "--out")?.clone()),
+            "--shutdown" => shutdown = true,
+            "-k" => k = Some(next_value(&mut it, "-k")?.parse()?),
+            "--jobs" => max_jobs = Some(next_value(&mut it, "--jobs")?.parse()?),
+            "--seed" => seed = Some(next_value(&mut it, "--seed")?.parse()?),
+            "--width" => width = Some(next_value(&mut it, "--width")?.parse()?),
+            "--effort" => effort = Some(next_value(&mut it, "--effort")?.parse()?),
+            "--max-iterations" => {
+                max_iterations = Some(next_value(&mut it, "--max-iterations")?.parse()?);
+            }
+            "--max-width" => max_width = Some(next_value(&mut it, "--max-width")?.parse()?),
+            other if other.starts_with('-') => {
+                return Err(format!("unknown submit option '{other}'").into());
+            }
+            positional if spec.is_none() => spec = Some(positional.to_string()),
+            extra => return Err(format!("unexpected argument '{extra}'").into()),
+        }
+    }
+    let connect = connect.ok_or("submit needs --connect unix:<path> or tcp:<host:port>")?;
+    if spec.is_none() && !shutdown {
+        return Err("submit needs a SPEC (or --shutdown alone)".into());
+    }
+
+    let mut client = mm_serve::Client::connect(&mm_serve::Listen::parse(&connect)?)?;
+    let mut failed_jobs = 0usize;
+
+    if let Some(spec) = spec {
+        let mut request = BatchRequest::new(spec);
+        request.k = k.unwrap_or(4);
+        request.max_jobs = max_jobs;
+        request.seed = seed;
+        request.width = width;
+        request.effort = effort;
+        request.max_iterations = max_iterations;
+        request.max_width = max_width;
+
+        let mut sink: Box<dyn Write> = match &out_path {
+            Some(path) => Box::new(std::io::BufWriter::new(std::fs::File::create(path)?)),
+            None => Box::new(std::io::stdout()),
+        };
+        match client.submit(&request, |record| writeln!(sink, "{record}"))? {
+            Ok(outcome) => {
+                eprintln!("submit: {} jobs accepted", outcome.accepted);
+                eprintln!("{}", outcome.summary.to_json());
+                failed_jobs = outcome.failed_jobs();
+            }
+            Err(message) => {
+                return Err(format!("server rejected the batch: {message}").into());
+            }
+        }
+        sink.flush()?;
+    }
+
+    if shutdown {
+        client.shutdown()?;
+        eprintln!("submit: server is draining");
+    }
+
+    if failed_jobs > 0 {
+        return Err(format!("{failed_jobs} jobs failed").into());
+    }
+    Ok(())
+}
+
 fn cmd_bench(args: &[String]) -> Result<(), Box<dyn Error>> {
-    use mm_bench::perf::{flow_perf, placer_perf, router_perf, PerfConfig};
+    use mm_bench::perf::{flow_perf, placer_perf, router_perf, serve_perf, PerfConfig};
 
     let mut json = false;
     let mut smoke = false;
@@ -383,25 +542,43 @@ fn cmd_bench(args: &[String]) -> Result<(), Box<dyn Error>> {
         flow.warm_stages_recomputed,
         flow.pair_placement_hits_from_plain_jobs,
     );
+    eprintln!("bench: serve workload (real unix socket) ...");
+    let serve = serve_perf(&config);
+    eprintln!(
+        "  serve: cold {:.2} ms ({:.1} jobs/s), warm {:.2} ms ({:.1} jobs/s) → {:.2}x; \
+         stream parity {}",
+        serve.cold_wall_ms,
+        serve.cold_jobs_per_sec,
+        serve.warm_wall_ms,
+        serve.warm_jobs_per_sec,
+        serve.warm_speedup,
+        if serve.parity_ok { "ok" } else { "FAILED" },
+    );
     if !router.parity_ok || !router.routed {
         return Err("router benchmark failed its parity/routability sanity checks".into());
     }
     if !place.parity_ok() {
         return Err("placer benchmark failed its parity sanity checks".into());
     }
+    if !serve.parity_ok {
+        return Err("serve benchmark streamed different bytes than the engine".into());
+    }
     if json {
         std::fs::create_dir_all(&out_dir)?;
         let router_path = out_dir.join("BENCH_router.json");
         let place_path = out_dir.join("BENCH_place.json");
         let flow_path = out_dir.join("BENCH_flow.json");
+        let serve_path = out_dir.join("BENCH_serve.json");
         std::fs::write(&router_path, router.to_json() + "\n")?;
         std::fs::write(&place_path, place.to_json() + "\n")?;
         std::fs::write(&flow_path, flow.to_json() + "\n")?;
+        std::fs::write(&serve_path, serve.to_json() + "\n")?;
         eprintln!(
-            "wrote {}, {} and {}",
+            "wrote {}, {}, {} and {}",
             router_path.display(),
             place_path.display(),
-            flow_path.display()
+            flow_path.display(),
+            serve_path.display()
         );
     }
     Ok(())

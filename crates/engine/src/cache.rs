@@ -121,6 +121,7 @@ impl StageCache {
                 match entry.get("payload") {
                     Some(payload) => {
                         self.counters.hits.fetch_add(1, Ordering::Relaxed);
+                        touch(&path);
                         Some(payload.clone())
                     }
                     None => {
@@ -179,8 +180,16 @@ impl StageCache {
     }
 
     /// Garbage-collects the store: evicts every entry older than
-    /// `max_age`, then — oldest first — enough further entries to bring
-    /// the store under `max_bytes`. Either limit may be `None`.
+    /// `max_age`, then — least recently *used* first — enough further
+    /// entries to bring the store under `max_bytes`. Either limit may be
+    /// `None`.
+    ///
+    /// [`StageCache::get`] touches entries on every hit, so modification
+    /// time tracks last use and the sweep is LRU, not insertion-order.
+    /// An entry whose mtime cannot be read ranks *newest* (it is kept
+    /// unless the byte budget forces it out last) — treating it as
+    /// epoch-old would make exactly the unreadable entries the first
+    /// victims of every sweep.
     ///
     /// Eviction order is deterministic (modification time, then path);
     /// a concurrently-vanishing entry is skipped, never an error.
@@ -193,6 +202,7 @@ impl StageCache {
         max_bytes: Option<u64>,
         max_age: Option<std::time::Duration>,
     ) -> std::io::Result<GcSummary> {
+        let scan_time = std::time::SystemTime::now();
         let mut entries: Vec<(std::time::SystemTime, PathBuf, u64)> = Vec::new();
         let mut stack = vec![self.root.clone()];
         while let Some(dir) = stack.pop() {
@@ -207,7 +217,10 @@ impl StageCache {
                     stack.push(path);
                 } else if path.extension().is_some_and(|e| e == "json") {
                     if let Ok(meta) = entry.metadata() {
-                        let mtime = meta.modified().unwrap_or(std::time::UNIX_EPOCH);
+                        // Unreadable mtime ⇒ rank as "used right now":
+                        // never the preferred victim, and never counted
+                        // as expired by the age limit.
+                        let mtime = meta.modified().unwrap_or(scan_time);
                         entries.push((mtime, path, meta.len()));
                     }
                 }
@@ -252,6 +265,15 @@ impl StageCache {
             }
         }
         Ok(summary)
+    }
+}
+
+/// Best-effort LRU bookkeeping: bump an entry's mtime to "now" so GC
+/// ranks it most recently used. Failures (read-only store, vanished
+/// file) cost nothing but eviction precision.
+fn touch(path: &Path) {
+    if let Ok(file) = std::fs::File::options().write(true).open(path) {
+        let _ = file.set_modified(std::time::SystemTime::now());
     }
 }
 
@@ -373,6 +395,39 @@ mod tests {
             }
         }
         assert_eq!(hits, 6 - sweep.evicted);
+        let _ = std::fs::remove_dir_all(cache.root());
+    }
+
+    #[test]
+    fn gc_is_lru_a_just_hit_entry_survives_a_size_sweep() {
+        let cache = StageCache::open(tmp_root("gc_lru")).unwrap();
+        let hot = "a".repeat(64);
+        let cold = "b".repeat(64);
+        cache.put("result", &hot, &Value::Str("x".repeat(64)));
+        cache.put("result", &cold, &Value::Str("x".repeat(64)));
+
+        // Backdate both entries, the hot one *further into the past* —
+        // under insertion-order GC it would be the first victim.
+        let backdate = |key: &str, secs: u64| {
+            let path = cache.entry_path("result", key);
+            let file = std::fs::File::options().write(true).open(path).unwrap();
+            file.set_modified(std::time::SystemTime::now() - std::time::Duration::from_secs(secs))
+                .unwrap();
+        };
+        backdate(&hot, 7_200);
+        backdate(&cold, 3_600);
+
+        // A hit must refresh the hot entry's recency...
+        assert!(cache.get("result", &hot).is_some());
+
+        // ...so a sweep that only has room for one entry evicts the
+        // colder, *older-by-last-use* entry, not the older-by-insertion
+        // one.
+        let all = cache.gc(None, None).unwrap();
+        let sweep = cache.gc(Some(all.bytes_before / 2), None).unwrap();
+        assert_eq!(sweep.evicted, 1);
+        assert!(cache.get("result", &hot).is_some(), "just-hit entry kept");
+        assert!(cache.get("result", &cold).is_none(), "LRU entry evicted");
         let _ = std::fs::remove_dir_all(cache.root());
     }
 

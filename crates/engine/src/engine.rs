@@ -35,7 +35,7 @@ use crate::cache::{CacheStats, StageCache};
 use crate::hash::Sha256;
 use crate::job::{
     multi_placement_from, placements_from, placements_value, DcsSummary, FlowKind, Job,
-    JobCacheInfo, JobOutcome, JobResult, MdrSummary,
+    JobCacheInfo, JobError, JobOutcome, JobResult, MdrSummary,
 };
 use crate::json::ObjBuilder;
 use mm_flow::pool;
@@ -43,7 +43,7 @@ use mm_flow::{run_pair_with_placements, DcsFlow, MdrFlow, MultiModeInput, PairPl
 use mm_netlist::blif;
 use mm_place::PlacerOptions;
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::Ordering;
 use std::time::{Duration, Instant};
 
 /// Engine configuration.
@@ -71,6 +71,24 @@ pub struct EngineStats {
     /// Flow stages actually executed across the batch (0 on a fully warm
     /// cache — the "zero recomputation" acceptance check).
     pub stages_recomputed: usize,
+}
+
+impl EngineStats {
+    /// Aggregates the counters from finished results — every number in
+    /// the summary is derived from the per-job [`JobCacheInfo`] records,
+    /// so batch-level and per-job accounting can never disagree.
+    #[must_use]
+    pub fn from_results(results: &[JobResult]) -> Self {
+        let ok = results.iter().filter(|r| r.outcome.is_ok()).count();
+        Self {
+            jobs: results.len(),
+            ok,
+            failed: results.len() - ok,
+            results_from_cache: results.iter().filter(|r| r.cache.result_hit).count(),
+            placements_from_cache: results.iter().filter(|r| r.cache.placement_hit).count(),
+            stages_recomputed: results.iter().map(|r| r.cache.stages_recomputed).sum(),
+        }
+    }
 }
 
 /// The outcome of one batch.
@@ -101,6 +119,13 @@ impl BatchReport {
     /// timings and cache counters, unlike the per-job records).
     #[must_use]
     pub fn summary_json(&self) -> String {
+        self.summary_value().to_json()
+    }
+
+    /// The summary as a JSON value — what the serve protocol embeds in
+    /// its trailer frame.
+    #[must_use]
+    pub fn summary_value(&self) -> crate::json::Value {
         let serial = self.serial_estimate();
         let speedup = if self.wall.as_secs_f64() > 0.0 {
             serial.as_secs_f64() / self.wall.as_secs_f64()
@@ -128,7 +153,6 @@ impl BatchReport {
                     .build(),
             )
             .build()
-            .to_json()
     }
 }
 
@@ -206,7 +230,6 @@ impl Engine {
                 job.options.intra_parallelism = intra_budget;
             }
         }
-        let counters = StageCounters::default();
         let cache_before = self
             .cache
             .as_ref()
@@ -215,20 +238,13 @@ impl Engine {
         let results = pool::run_ordered(
             jobs,
             self.threads,
-            |_, job| self.execute(&job, &counters, cancel),
+            |_, job| self.execute(&job, cancel),
             |_, result| sink(result),
         );
         let wall = t0.elapsed();
 
-        let ok = results.iter().filter(|r| r.outcome.is_ok()).count();
-        let stats = EngineStats {
-            jobs: n,
-            ok,
-            failed: n - ok,
-            results_from_cache: counters.result_hits.load(Ordering::Relaxed) as usize,
-            placements_from_cache: counters.placement_hits.load(Ordering::Relaxed) as usize,
-            stages_recomputed: counters.recomputed.load(Ordering::Relaxed) as usize,
-        };
+        let stats = EngineStats::from_results(&results);
+        debug_assert_eq!(stats.jobs, n);
         BatchReport {
             results,
             stats,
@@ -244,17 +260,23 @@ impl Engine {
         }
     }
 
-    fn execute(
-        &self,
-        job: &Job,
-        counters: &StageCounters,
-        cancel: Option<&std::sync::atomic::AtomicBool>,
-    ) -> JobResult {
+    /// Runs one job outside any batch — the entry point a long-running
+    /// service uses to multiplex jobs from many connections onto one
+    /// shared worker pool while keeping the engine's cache semantics.
+    ///
+    /// A failing job returns a [`JobResult`] with a structured
+    /// [`JobError`] outcome; this never panics on infeasible inputs.
+    #[must_use]
+    pub fn execute_job(&self, job: &Job) -> JobResult {
+        self.execute(job, None)
+    }
+
+    fn execute(&self, job: &Job, cancel: Option<&std::sync::atomic::AtomicBool>) -> JobResult {
         if cancel.is_some_and(|c| c.load(Ordering::Relaxed)) {
             return JobResult {
                 name: job.name.clone(),
                 flow: job.flow,
-                outcome: Err("cancelled before execution".to_string()),
+                outcome: Err(JobError::engine("cancelled before execution")),
                 cache: JobCacheInfo::default(),
                 duration: Duration::ZERO,
             };
@@ -262,7 +284,6 @@ impl Engine {
         let t0 = Instant::now();
         let mut info = JobCacheInfo::default();
         let outcome = self.run_flow(job, &mut info);
-        counters.record(&info);
         JobResult {
             name: job.name.clone(),
             flow: job.flow,
@@ -272,8 +293,9 @@ impl Engine {
         }
     }
 
-    fn run_flow(&self, job: &Job, info: &mut JobCacheInfo) -> Result<JobOutcome, String> {
-        let input = MultiModeInput::new(job.circuits.clone()).map_err(|e| e.to_string())?;
+    fn run_flow(&self, job: &Job, info: &mut JobCacheInfo) -> Result<JobOutcome, JobError> {
+        let input =
+            MultiModeInput::new(job.circuits.clone()).map_err(|e| JobError::from_flow(&e))?;
         // Serializing the circuits and hashing keys is only worth doing
         // when there is a cache to consult.
         let keys = self.cache.as_ref().map(|_| KeyContext {
@@ -319,7 +341,7 @@ impl Engine {
         cost: mm_place::CostKind,
         keys: Option<&KeyContext>,
         info: &mut JobCacheInfo,
-    ) -> Result<JobOutcome, String> {
+    ) -> Result<JobOutcome, JobError> {
         let flow = DcsFlow::new(job.options).with_cost(cost);
         // The placement key deliberately excludes router options: jobs
         // differing only in routing configuration share annealing work.
@@ -339,7 +361,7 @@ impl Engine {
             Some(p) => p,
             None => {
                 info.stages_recomputed += 1;
-                let p = flow.place(input).map_err(|e| e.to_string())?;
+                let p = flow.place(input).map_err(|e| JobError::from_flow(&e))?;
                 if let (Some(cache), Some(key)) = (&self.cache, &key) {
                     cache.put("placement", key, &placements_value(&job.circuits, &p.modes));
                 }
@@ -350,7 +372,7 @@ impl Engine {
         info.stages_recomputed += 1; // routing + extraction always run on a result miss
         let r = flow
             .run_with_placement(input, placement)
-            .map_err(|e| e.to_string())?;
+            .map_err(|e| JobError::from_flow(&e))?;
         let modes = input.mode_count();
         Ok(JobOutcome::Dcs(DcsSummary {
             grid: r.arch.grid,
@@ -371,7 +393,7 @@ impl Engine {
         input: &MultiModeInput,
         keys: Option<&KeyContext>,
         info: &mut JobCacheInfo,
-    ) -> Result<JobOutcome, String> {
+    ) -> Result<JobOutcome, JobError> {
         let flow = MdrFlow::new(job.options);
         // `MdrFlow::place` always anneals with the wire-length cost, so
         // normalize the cost out of the key: MDR jobs differing only in
@@ -392,7 +414,7 @@ impl Engine {
             Some(p) => p,
             None => {
                 info.stages_recomputed += 1;
-                let p = flow.place(input).map_err(|e| e.to_string())?;
+                let p = flow.place(input).map_err(|e| JobError::from_flow(&e))?;
                 if let (Some(cache), Some(key)) = (&self.cache, &key) {
                     cache.put("placement", key, &placements_value(&job.circuits, &p));
                 }
@@ -403,7 +425,7 @@ impl Engine {
         info.stages_recomputed += 1;
         let r = flow
             .run_with_placements(input, placements)
-            .map_err(|e| e.to_string())?;
+            .map_err(|e| JobError::from_flow(&e))?;
         let modes = input.mode_count();
         Ok(JobOutcome::Mdr(MdrSummary {
             grid: r.arch.grid,
@@ -428,7 +450,7 @@ impl Engine {
         input: &MultiModeInput,
         keys: Option<&KeyContext>,
         info: &mut JobCacheInfo,
-    ) -> Result<JobOutcome, String> {
+    ) -> Result<JobOutcome, JobError> {
         let wl_placer = PlacerOptions {
             cost: mm_place::CostKind::WireLength,
             ..job.options.placer
@@ -487,22 +509,22 @@ impl Engine {
         let computed = pool::run_ordered(
             missing,
             threads,
-            |_, kind| -> Result<LegPlacement, String> {
+            |_, kind| -> Result<LegPlacement, JobError> {
                 match kind {
                     LegKind::Mdr => MdrFlow::new(job.options)
                         .place(input)
                         .map(LegPlacement::Mdr)
-                        .map_err(|e| e.to_string()),
+                        .map_err(|e| JobError::from_flow(&e)),
                     LegKind::Edge => DcsFlow::new(job.options)
                         .with_cost(mm_place::CostKind::EdgeMatching)
                         .place(input)
                         .map(LegPlacement::Edge)
-                        .map_err(|e| e.to_string()),
+                        .map_err(|e| JobError::from_flow(&e)),
                     LegKind::Wl => DcsFlow::new(job.options)
                         .with_cost(mm_place::CostKind::WireLength)
                         .place(input)
                         .map(LegPlacement::Wl)
-                        .map_err(|e| e.to_string()),
+                        .map_err(|e| JobError::from_flow(&e)),
                 }
             },
             |_, _| {},
@@ -530,15 +552,21 @@ impl Engine {
                 }
             }
         }
+        // A leg that is neither cached nor computed is an engine bug —
+        // but a long-running service must degrade it to one failed job,
+        // never to a process abort taking every other job down with it.
+        let missing_leg = |leg: &'static str| {
+            JobError::engine(format!("pair {leg} leg neither cached nor computed"))
+        };
         let placements = PairPlacements {
-            mdr: mdr.expect("mdr leg cached or computed"),
-            edge: edge.expect("edge leg cached or computed"),
-            wirelength: wl.expect("wl leg cached or computed"),
+            mdr: mdr.ok_or_else(|| missing_leg("mdr"))?,
+            edge: edge.ok_or_else(|| missing_leg("edge"))?,
+            wirelength: wl.ok_or_else(|| missing_leg("wirelength"))?,
         };
 
         info.stages_recomputed += 1; // routing + extraction of the three legs
         let metrics = run_pair_with_placements(input, &job.options, job.name.clone(), &placements)
-            .map_err(|e| e.to_string())?;
+            .map_err(|e| JobError::from_flow(&e))?;
         Ok(JobOutcome::Pair(metrics))
     }
 
@@ -569,26 +597,6 @@ impl KeyContext {
             &[flow, &placer.fingerprint(), &self.arch_fp],
             &self.blifs,
         )
-    }
-}
-
-#[derive(Debug, Default)]
-struct StageCounters {
-    result_hits: AtomicU64,
-    placement_hits: AtomicU64,
-    recomputed: AtomicU64,
-}
-
-impl StageCounters {
-    fn record(&self, info: &JobCacheInfo) {
-        if info.result_hit {
-            self.result_hits.fetch_add(1, Ordering::Relaxed);
-        }
-        if info.placement_hit {
-            self.placement_hits.fetch_add(1, Ordering::Relaxed);
-        }
-        self.recomputed
-            .fetch_add(info.stages_recomputed as u64, Ordering::Relaxed);
     }
 }
 

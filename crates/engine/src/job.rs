@@ -61,16 +61,30 @@ impl FlowKind {
     ///
     /// # Errors
     ///
-    /// Fails with a description on unknown kinds.
+    /// Fails with a description on unknown kinds, and on hybrid weights
+    /// that are not finite non-negative numbers — NaN and infinities
+    /// would poison cost comparisons *and* the stage-cache keys their
+    /// bit patterns fingerprint into.
     pub fn parse(kind: &str, cost: Option<&str>) -> Result<Self, String> {
         let cost_kind = match cost {
             None | Some("wl") => CostKind::WireLength,
             Some("edge") => CostKind::EdgeMatching,
             Some(other) => match other.strip_prefix("hybrid:") {
-                Some(l) => CostKind::Hybrid {
-                    wl_weight: 1.0,
-                    edge_weight: l.parse().map_err(|_| format!("bad hybrid weight '{l}'"))?,
-                },
+                Some(l) => {
+                    let alpha: f64 = l.parse().map_err(|_| format!("bad hybrid weight '{l}'"))?;
+                    // `is_sign_negative` also rejects -0.0: it is
+                    // semantically identical to 0.0 but its bit pattern
+                    // would fingerprint into a different cache key.
+                    if !alpha.is_finite() || alpha.is_sign_negative() {
+                        return Err(format!(
+                            "hybrid weight '{l}' must be a finite non-negative number"
+                        ));
+                    }
+                    CostKind::Hybrid {
+                        wl_weight: 1.0,
+                        edge_weight: alpha,
+                    }
+                }
                 None => return Err(format!("unknown cost '{other}'")),
             },
         };
@@ -162,6 +176,63 @@ pub struct JobCacheInfo {
     pub stages_recomputed: usize,
 }
 
+/// A structured per-job failure: which stage failed and why.
+///
+/// One failing job yields exactly one `"status":"error"` record in the
+/// JSONL stream (and an error frame over the serve protocol) — never a
+/// process abort, and never a missing record for the other jobs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobError {
+    /// The stage that failed: `input`, `place`, `route`, `verify` or
+    /// `engine` (scheduling/cancellation).
+    pub stage: &'static str,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl JobError {
+    /// An input-validation failure.
+    #[must_use]
+    pub fn input(message: impl Into<String>) -> Self {
+        Self {
+            stage: "input",
+            message: message.into(),
+        }
+    }
+
+    /// An engine-level failure (cancellation, lost stage, …).
+    #[must_use]
+    pub fn engine(message: impl Into<String>) -> Self {
+        Self {
+            stage: "engine",
+            message: message.into(),
+        }
+    }
+
+    /// Maps a flow error onto the stage that raised it.
+    #[must_use]
+    pub fn from_flow(e: &mm_flow::FlowError) -> Self {
+        let stage = match e {
+            mm_flow::FlowError::Input(_) => "input",
+            mm_flow::FlowError::Place(_) => "place",
+            mm_flow::FlowError::Unroutable { .. } => "route",
+            mm_flow::FlowError::Internal(_) => "verify",
+        };
+        Self {
+            stage,
+            message: e.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for JobError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.stage, self.message)
+    }
+}
+
+impl std::error::Error for JobError {}
+
 /// One job's result.
 #[derive(Debug, Clone)]
 pub struct JobResult {
@@ -169,8 +240,8 @@ pub struct JobResult {
     pub name: String,
     /// The flow that ran.
     pub flow: FlowKind,
-    /// Outcome or error description.
-    pub outcome: Result<JobOutcome, String>,
+    /// Outcome, or the structured failure of the stage that broke.
+    pub outcome: Result<JobOutcome, JobError>,
     /// Cache provenance.
     pub cache: JobCacheInfo,
     /// Wall-clock execution time of this job (on whatever worker ran it).
@@ -193,7 +264,8 @@ impl JobResult {
                 .build(),
             Err(e) => b
                 .field("status", "error")
-                .field("error", e.as_str())
+                .field("stage", e.stage)
+                .field("error", e.message.as_str())
                 .build(),
         };
         value.to_json()
@@ -589,7 +661,8 @@ fn lookup<'v>(jv: &'v Value, defaults: Option<&'v Value>, key: &str) -> Option<&
 /// Seeds are 64-bit, but JSON numbers round-trip exactly only up to
 /// 2^53 — larger seeds must be written as strings (decimal or `0x…`)
 /// so the requested seed is never silently rounded to a neighbour.
-fn parse_seed(v: &Value) -> Result<u64, String> {
+/// Shared with the serve protocol, which carries the same seed field.
+pub(crate) fn parse_seed(v: &Value) -> Result<u64, String> {
     if let Some(n) = v.as_u64() {
         return Ok(n);
     }
@@ -655,6 +728,11 @@ fn parse_job(
             .as_usize()
             .ok_or("\"max_iterations\" must be an integer")?;
     }
+    if let Some(max_width) = lookup(jv, defaults, "max_width") {
+        options.max_width = max_width
+            .as_usize()
+            .ok_or("\"max_width\" must be an integer")?;
+    }
     Ok(Job {
         name,
         circuits,
@@ -696,6 +774,29 @@ mod tests {
         assert_eq!(FlowKind::parse("pair", None).unwrap(), FlowKind::Pair);
         assert!(FlowKind::parse("zzz", None).is_err());
         assert!(FlowKind::parse("dcs", Some("banana")).is_err());
+    }
+
+    #[test]
+    fn hybrid_weights_must_be_finite_and_non_negative() {
+        for bad in [
+            "hybrid:NaN",
+            "hybrid:nan",
+            "hybrid:-1",
+            "hybrid:-0.5",
+            "hybrid:-0",
+        ] {
+            let err = FlowKind::parse("dcs", Some(bad)).unwrap_err();
+            assert!(err.contains("finite non-negative"), "{bad}: {err}");
+        }
+        for bad in ["hybrid:inf", "hybrid:-inf", "hybrid:infinity"] {
+            assert!(FlowKind::parse("dcs", Some(bad)).is_err(), "{bad}");
+        }
+        assert!(FlowKind::parse("dcs", Some("hybrid:")).is_err());
+        assert!(FlowKind::parse("dcs", Some("hybrid:two")).is_err());
+        // Zero and ordinary values stay accepted (zero degrades to pure
+        // wire length but fingerprints deterministically).
+        assert!(FlowKind::parse("dcs", Some("hybrid:0")).is_ok());
+        assert!(FlowKind::parse("dcs", Some("hybrid:2.5")).is_ok());
     }
 
     #[test]
@@ -820,7 +921,7 @@ mod tests {
             &spec_path,
             r#"{
               "k": 4,
-              "defaults": {"flow": "dcs", "seed": 11, "width": 8},
+              "defaults": {"flow": "dcs", "seed": 11, "width": 8, "max_width": 24},
               "jobs": [
                 {"name": "first", "modes": ["a.blif", "b.blif"]},
                 {"modes": ["b.blif", "a.blif"], "flow": "mdr", "seed": 99},
@@ -835,6 +936,7 @@ mod tests {
         assert_eq!(batch.jobs[0].name, "first");
         assert_eq!(batch.jobs[0].options.placer.seed, 11);
         assert_eq!(batch.jobs[0].options.width, WidthChoice::Fixed(8));
+        assert_eq!(batch.jobs[0].options.max_width, 24);
         assert_eq!(batch.jobs[1].name, "job1");
         assert_eq!(batch.jobs[1].flow, FlowKind::Mdr);
         assert_eq!(batch.jobs[1].options.placer.seed, 99);
@@ -930,13 +1032,16 @@ mod tests {
         let err = JobResult {
             name: "j".into(),
             flow: FlowKind::Pair,
-            outcome: Err("boom".into()),
+            outcome: Err(JobError {
+                stage: "route",
+                message: "boom".into(),
+            }),
             cache: JobCacheInfo::default(),
             duration: Duration::ZERO,
         };
         assert_eq!(
             err.to_json_line(),
-            r#"{"name":"j","flow":"pair","status":"error","error":"boom"}"#
+            r#"{"name":"j","flow":"pair","status":"error","stage":"route","error":"boom"}"#
         );
     }
 }

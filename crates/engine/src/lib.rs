@@ -43,6 +43,7 @@ mod engine;
 pub mod hash;
 mod job;
 pub mod json;
+pub mod protocol;
 /// The work-stealing pool now lives in `mm-flow` so flows can
 /// parallelize *inside* one job; re-exported here for compatibility.
 pub use mm_flow::pool;
@@ -51,7 +52,8 @@ pub use cache::{CacheStats, GcSummary, StageCache};
 pub use engine::{BatchReport, Engine, EngineOptions, EngineStats};
 pub use job::{
     load_spec, multi_placement_from, placements_from, placements_value, suite_jobs, BatchSpec,
-    DcsSummary, FlowKind, Job, JobCacheInfo, JobOutcome, JobResult, MdrSummary, SpecSource,
+    DcsSummary, FlowKind, Job, JobCacheInfo, JobError, JobOutcome, JobResult, MdrSummary,
+    SpecSource,
 };
 
 // Everything crossing a worker-thread boundary must be Send + Sync.

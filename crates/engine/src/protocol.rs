@@ -1,0 +1,438 @@
+//! The `mmflow serve` wire protocol: newline-delimited JSON frames.
+//!
+//! A serve session is one bidirectional byte stream (Unix or TCP
+//! socket). Both directions are line-oriented JSON:
+//!
+//! * **client → server** — one object per line, tagged by a `"cmd"`
+//!   member: [`Request::Batch`] submits a batch spec, [`Request::Ping`]
+//!   probes liveness, [`Request::Shutdown`] asks the server to stop
+//!   accepting and drain.
+//! * **server → client** — per-job result records are streamed **raw**:
+//!   exactly the bytes `mmflow batch` writes ([`crate::JobResult::to_json_line`]),
+//!   which is what makes serve output byte-identical to batch output.
+//!   Every other server line is a typed [`Frame`], an object carrying a
+//!   `"type"` member. Result records never contain a top-level `"type"`
+//!   member (their fields are `name`/`flow`/`status`/…), so the two are
+//!   unambiguous; [`classify`] implements that split for clients.
+//!
+//! One batch exchange is:
+//!
+//! ```text
+//! C: {"cmd":"batch","spec":"suite:fir","k":4,"seed":7}
+//! S: {"type":"accepted","jobs":25}
+//! S: {"name":"fir5+fir7","flow":"dcs","status":"ok","metrics":{…}}
+//! S: …one raw record line per job, in job order…
+//! S: {"type":"summary","summary":{"jobs":25,"ok":24,"failed":1,…}}
+//! ```
+//!
+//! A job that fails yields a raw record with `"status":"error"` plus the
+//! failing stage — the batch still completes and the summary still
+//! arrives. A *request*-level failure (unparsable frame, unknown spec)
+//! yields one `{"type":"error",…}` frame instead of the
+//! accepted/records/summary sequence; the connection stays usable.
+
+use crate::job::parse_seed;
+use crate::json::{self, ObjBuilder, Value};
+use mm_flow::{FlowOptions, WidthChoice};
+
+/// Protocol version, carried in every `accepted` frame. Frames may grow
+/// members (unknown members are ignored), but semantic breaks bump this
+/// so clients can detect a server speaking a different dialect.
+pub const PROTOCOL_VERSION: u64 = 1;
+
+/// A batch submission: the spec reference plus the flow-option
+/// overrides `mmflow batch` exposes, so a submit through the service
+/// can reproduce any batch invocation byte-for-byte.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchRequest {
+    /// The batch spec, resolved server-side exactly like `mmflow batch`:
+    /// a JSON spec file path, a directory of BLIF mode groups, or
+    /// `suite:<regexp|fir|mcnc>`.
+    pub spec: String,
+    /// LUT width for directory BLIFs and generated suites.
+    pub k: usize,
+    /// Run only the first N jobs.
+    pub max_jobs: Option<usize>,
+    /// Placer seed override.
+    pub seed: Option<u64>,
+    /// Fixed channel width override.
+    pub width: Option<usize>,
+    /// Annealing effort override (VPR `inner_num`).
+    pub effort: Option<f64>,
+    /// Router iteration cap override.
+    pub max_iterations: Option<usize>,
+    /// Width-search cap override.
+    pub max_width: Option<usize>,
+}
+
+impl BatchRequest {
+    /// A request with default options (k = 4, no overrides).
+    #[must_use]
+    pub fn new(spec: impl Into<String>) -> Self {
+        Self {
+            spec: spec.into(),
+            k: 4,
+            max_jobs: None,
+            seed: None,
+            width: None,
+            effort: None,
+            max_iterations: None,
+            max_width: None,
+        }
+    }
+
+    /// The base flow options with this request's overrides applied — the
+    /// same mapping `mmflow batch` performs on its command line.
+    #[must_use]
+    pub fn flow_options(&self, base: &FlowOptions) -> FlowOptions {
+        let mut options = *base;
+        if let Some(seed) = self.seed {
+            options.placer.seed = seed;
+        }
+        if let Some(width) = self.width {
+            options.width = WidthChoice::Fixed(width);
+        }
+        if let Some(effort) = self.effort {
+            options.placer.inner_num = effort;
+        }
+        if let Some(iters) = self.max_iterations {
+            options.router.max_iterations = iters;
+        }
+        if let Some(max_width) = self.max_width {
+            options.max_width = max_width;
+        }
+        options
+    }
+}
+
+/// One client → server frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Submit a batch; the server answers `accepted`, raw records and a
+    /// `summary` trailer (or one `error` frame).
+    Batch(BatchRequest),
+    /// Liveness probe; the server answers `pong`.
+    Ping,
+    /// Stop accepting connections and drain in-flight batches; the
+    /// server answers `shutting_down` before the listener closes.
+    Shutdown,
+}
+
+impl Request {
+    /// Serializes the request as one JSON line (no trailing newline).
+    #[must_use]
+    pub fn to_json_line(&self) -> String {
+        match self {
+            Request::Ping => ObjBuilder::new().field("cmd", "ping").build().to_json(),
+            Request::Shutdown => ObjBuilder::new().field("cmd", "shutdown").build().to_json(),
+            Request::Batch(b) => {
+                let mut o = ObjBuilder::new()
+                    .field("cmd", "batch")
+                    .field("spec", b.spec.as_str())
+                    .field("k", b.k);
+                if let Some(n) = b.max_jobs {
+                    o = o.field("max_jobs", n);
+                }
+                if let Some(seed) = b.seed {
+                    // Seeds beyond 2^53 go as strings so the JSON number
+                    // round-trip can never round them (cf. `parse_seed`).
+                    if seed < (1 << 53) {
+                        o = o.field("seed", seed as usize);
+                    } else {
+                        o = o.field("seed", format!("{seed}"));
+                    }
+                }
+                if let Some(w) = b.width {
+                    o = o.field("width", w);
+                }
+                if let Some(e) = b.effort {
+                    o = o.field("effort", e);
+                }
+                if let Some(i) = b.max_iterations {
+                    o = o.field("max_iterations", i);
+                }
+                if let Some(w) = b.max_width {
+                    o = o.field("max_width", w);
+                }
+                o.build().to_json()
+            }
+        }
+    }
+
+    /// Parses one request line.
+    ///
+    /// # Errors
+    ///
+    /// Fails with a description on malformed JSON, a missing/unknown
+    /// `cmd`, or invalid member types — the server turns that into an
+    /// `error` frame, never a dropped connection.
+    pub fn parse(line: &str) -> Result<Self, String> {
+        let v = json::parse(line).map_err(|e| format!("malformed request: {e}"))?;
+        let cmd = v
+            .get("cmd")
+            .and_then(Value::as_str)
+            .ok_or("request needs a \"cmd\" string")?;
+        match cmd {
+            "ping" => Ok(Request::Ping),
+            "shutdown" => Ok(Request::Shutdown),
+            "batch" => {
+                let spec = v
+                    .get("spec")
+                    .and_then(Value::as_str)
+                    .ok_or("batch request needs a \"spec\" string")?
+                    .to_string();
+                let usize_field = |key: &str| -> Result<Option<usize>, String> {
+                    v.get(key)
+                        .map(|f| {
+                            f.as_usize()
+                                .ok_or_else(|| format!("\"{key}\" must be a non-negative integer"))
+                        })
+                        .transpose()
+                };
+                let mut request = BatchRequest::new(spec);
+                request.k = usize_field("k")?.unwrap_or(4);
+                request.max_jobs = usize_field("max_jobs")?;
+                request.width = usize_field("width")?;
+                request.max_iterations = usize_field("max_iterations")?;
+                request.max_width = usize_field("max_width")?;
+                request.seed = v.get("seed").map(parse_seed).transpose()?;
+                request.effort = v
+                    .get("effort")
+                    .map(|f| f.as_f64().ok_or("\"effort\" must be a number"))
+                    .transpose()?;
+                Ok(Request::Batch(request))
+            }
+            other => Err(format!("unknown cmd '{other}' (batch|ping|shutdown)")),
+        }
+    }
+}
+
+/// One typed server → client frame (everything that is *not* a raw
+/// result record).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    /// The batch parsed; this many records will follow.
+    Accepted {
+        /// Jobs the batch resolved to (after `max_jobs` truncation).
+        jobs: usize,
+    },
+    /// The batch trailer: the engine summary (timings, cache counters).
+    Summary {
+        /// The [`crate::BatchReport::summary_value`] object.
+        summary: Value,
+    },
+    /// A request-level failure (bad frame, unknown spec, …).
+    Error {
+        /// What went wrong.
+        message: String,
+    },
+    /// Answer to [`Request::Ping`].
+    Pong,
+    /// Acknowledgement of [`Request::Shutdown`]: the server drains and
+    /// exits.
+    ShuttingDown,
+}
+
+impl Frame {
+    /// Serializes the frame as one JSON line (no trailing newline).
+    #[must_use]
+    pub fn to_json_line(&self) -> String {
+        match self {
+            Frame::Accepted { jobs } => ObjBuilder::new()
+                .field("type", "accepted")
+                .field("protocol", PROTOCOL_VERSION as usize)
+                .field("jobs", *jobs)
+                .build()
+                .to_json(),
+            Frame::Summary { summary } => ObjBuilder::new()
+                .field("type", "summary")
+                .field("summary", summary.clone())
+                .build()
+                .to_json(),
+            Frame::Error { message } => ObjBuilder::new()
+                .field("type", "error")
+                .field("error", message.as_str())
+                .build()
+                .to_json(),
+            Frame::Pong => ObjBuilder::new().field("type", "pong").build().to_json(),
+            Frame::ShuttingDown => ObjBuilder::new()
+                .field("type", "shutting_down")
+                .build()
+                .to_json(),
+        }
+    }
+
+    /// Parses one frame line.
+    ///
+    /// # Errors
+    ///
+    /// Fails with a description on malformed JSON or an unknown type.
+    pub fn parse(line: &str) -> Result<Self, String> {
+        let v = json::parse(line).map_err(|e| format!("malformed frame: {e}"))?;
+        Self::from_value(&v)
+    }
+
+    fn from_value(v: &Value) -> Result<Self, String> {
+        let kind = v
+            .get("type")
+            .and_then(Value::as_str)
+            .ok_or("frame needs a \"type\" string")?;
+        match kind {
+            "accepted" => Ok(Frame::Accepted {
+                jobs: v
+                    .get("jobs")
+                    .and_then(Value::as_usize)
+                    .ok_or("accepted frame needs a \"jobs\" count")?,
+            }),
+            "summary" => Ok(Frame::Summary {
+                summary: v
+                    .get("summary")
+                    .cloned()
+                    .ok_or("summary frame needs a \"summary\" object")?,
+            }),
+            "error" => Ok(Frame::Error {
+                message: v
+                    .get("error")
+                    .and_then(Value::as_str)
+                    .ok_or("error frame needs an \"error\" string")?
+                    .to_string(),
+            }),
+            "pong" => Ok(Frame::Pong),
+            "shutting_down" => Ok(Frame::ShuttingDown),
+            other => Err(format!("unknown frame type '{other}'")),
+        }
+    }
+}
+
+/// One server → client line, as a client sees it.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServerLine<'a> {
+    /// A raw per-job result record — print it verbatim to stay
+    /// byte-identical with `mmflow batch`.
+    Record(&'a str),
+    /// A typed protocol frame.
+    Frame(Frame),
+}
+
+/// Splits a server line into record vs frame: any JSON object carrying a
+/// top-level `"type"` member is a frame; everything else that parses is
+/// a raw record.
+///
+/// # Errors
+///
+/// Fails on lines that are not valid JSON or carry an unknown frame
+/// type.
+pub fn classify(line: &str) -> Result<ServerLine<'_>, String> {
+    let v = json::parse(line).map_err(|e| format!("malformed server line: {e}"))?;
+    if v.get("type").is_some() {
+        Frame::from_value(&v).map(ServerLine::Frame)
+    } else {
+        Ok(ServerLine::Record(line))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_roundtrip() {
+        let mut batch = BatchRequest::new("suite:fir");
+        batch.k = 5;
+        batch.max_jobs = Some(3);
+        batch.seed = Some(u64::MAX);
+        batch.width = Some(12);
+        batch.effort = Some(1.5);
+        batch.max_iterations = Some(30);
+        batch.max_width = Some(24);
+        for request in [Request::Batch(batch), Request::Ping, Request::Shutdown] {
+            let line = request.to_json_line();
+            assert_eq!(Request::parse(&line).unwrap(), request, "{line}");
+        }
+    }
+
+    #[test]
+    fn batch_defaults_and_small_seed() {
+        let line = r#"{"cmd":"batch","spec":"jobs/","seed":7}"#;
+        let Request::Batch(b) = Request::parse(line).unwrap() else {
+            panic!("not a batch");
+        };
+        assert_eq!(b.spec, "jobs/");
+        assert_eq!(b.k, 4);
+        assert_eq!(b.seed, Some(7));
+        assert_eq!(b.max_jobs, None);
+
+        // Small seeds serialize as plain numbers.
+        let line = Request::Batch(BatchRequest {
+            seed: Some(7),
+            ..BatchRequest::new("x")
+        })
+        .to_json_line();
+        assert!(line.contains("\"seed\":7"), "{line}");
+    }
+
+    #[test]
+    fn bad_requests_are_described() {
+        assert!(Request::parse("not json").is_err());
+        assert!(Request::parse("{}").is_err());
+        assert!(Request::parse(r#"{"cmd":"explode"}"#).is_err());
+        assert!(Request::parse(r#"{"cmd":"batch"}"#).is_err(), "no spec");
+        assert!(Request::parse(r#"{"cmd":"batch","spec":"s","k":"x"}"#).is_err());
+        assert!(Request::parse(r#"{"cmd":"batch","spec":"s","seed":true}"#).is_err());
+    }
+
+    #[test]
+    fn frames_roundtrip() {
+        let frames = [
+            Frame::Accepted { jobs: 9 },
+            Frame::Summary {
+                summary: ObjBuilder::new().field("jobs", 9usize).build(),
+            },
+            Frame::Error {
+                message: "nope".into(),
+            },
+            Frame::Pong,
+            Frame::ShuttingDown,
+        ];
+        for frame in frames {
+            let line = frame.to_json_line();
+            assert_eq!(Frame::parse(&line).unwrap(), frame, "{line}");
+        }
+        // The accepted frame announces the protocol dialect.
+        let line = Frame::Accepted { jobs: 9 }.to_json_line();
+        assert!(line.contains("\"protocol\":1"), "{line}");
+    }
+
+    #[test]
+    fn classification_separates_records_from_frames() {
+        let record = r#"{"name":"j","flow":"mdr","status":"ok","metrics":{}}"#;
+        assert_eq!(classify(record).unwrap(), ServerLine::Record(record));
+        let error = r#"{"name":"j","flow":"pair","status":"error","stage":"route","error":"x"}"#;
+        assert_eq!(classify(error).unwrap(), ServerLine::Record(error));
+        assert_eq!(
+            classify(r#"{"type":"pong"}"#).unwrap(),
+            ServerLine::Frame(Frame::Pong)
+        );
+        assert!(classify("garbage").is_err());
+        assert!(classify(r#"{"type":"martian"}"#).is_err());
+    }
+
+    #[test]
+    fn request_overrides_map_onto_flow_options() {
+        let mut batch = BatchRequest::new("s");
+        batch.seed = Some(9);
+        batch.width = Some(11);
+        batch.effort = Some(2.0);
+        batch.max_iterations = Some(17);
+        batch.max_width = Some(33);
+        let o = batch.flow_options(&FlowOptions::default());
+        assert_eq!(o.placer.seed, 9);
+        assert_eq!(o.width, WidthChoice::Fixed(11));
+        assert!((o.placer.inner_num - 2.0).abs() < 1e-12);
+        assert_eq!(o.router.max_iterations, 17);
+        assert_eq!(o.max_width, 33);
+        // No overrides ⇒ the base options pass through untouched.
+        let untouched = BatchRequest::new("s").flow_options(&FlowOptions::default());
+        assert_eq!(untouched, FlowOptions::default());
+    }
+}

@@ -9,38 +9,14 @@
 
 use mm_engine::{Engine, EngineOptions, FlowKind, Job, JobResult};
 use mm_flow::FlowOptions;
-use mm_netlist::{LutCircuit, TruthTable};
+use mm_netlist::LutCircuit;
 use mm_place::CostKind;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use std::path::PathBuf;
 
+/// The repo's shared seeded circuit shape (`mm_gen`), so fixtures match
+/// the bench workloads byte-for-byte per seed.
 fn random_circuit(name: &str, n_inputs: usize, n_luts: usize, seed: u64) -> LutCircuit {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut c = LutCircuit::new(name, 4);
-    let mut drivers: Vec<mm_netlist::BlockId> = (0..n_inputs)
-        .map(|i| c.add_input(format!("i{i}")).unwrap())
-        .collect();
-    for j in 0..n_luts {
-        let fanin = rng.gen_range(2..=4.min(drivers.len()));
-        let mut ins = Vec::new();
-        while ins.len() < fanin {
-            let d = drivers[rng.gen_range(0..drivers.len())];
-            if !ins.contains(&d) {
-                ins.push(d);
-            }
-        }
-        let tt = TruthTable::from_bits(ins.len(), rng.gen());
-        let id = c
-            .add_lut(format!("n{j}"), ins, tt, rng.gen_bool(0.2))
-            .unwrap();
-        drivers.push(id);
-    }
-    for t in 0..2 {
-        let d = drivers[drivers.len() - 1 - t];
-        c.add_output(format!("o{t}"), d).unwrap();
-    }
-    c
+    mm_gen::seeded_test_circuit(name, n_inputs, n_luts, seed)
 }
 
 fn quick_options(seed: u64) -> FlowOptions {
@@ -318,13 +294,41 @@ fn failed_jobs_are_reported_not_cached_and_deterministic() {
     let first = make().run(jobs.clone());
     assert_eq!(first.stats.ok, 3);
     assert_eq!(first.stats.failed, 1);
+    // The batch finished: every job has a record, and exactly the
+    // infeasible one is a structured error (stage + message), streamed
+    // in place.
+    assert_eq!(first.results.len(), 4);
+    for r in &first.results[..3] {
+        assert!(r.outcome.is_ok(), "{}: {:?}", r.name, r.outcome);
+    }
+    let err = first.results[3].outcome.as_ref().unwrap_err();
+    assert_eq!(err.stage, "route", "{err}");
     let line = first.results[3].to_json_line();
     assert!(line.contains("\"status\":\"error\""), "{line}");
+    assert!(line.contains("\"stage\":\"route\""), "{line}");
+
+    // Cache counters stay consistent around the failure: the summary
+    // numbers equal the sum of the per-job provenance records, and the
+    // failed job still accounts the placement stage it computed.
+    let summed: usize = first
+        .results
+        .iter()
+        .map(|r| r.cache.stages_recomputed)
+        .sum();
+    assert_eq!(first.stats.stages_recomputed, summed);
+    assert!(
+        first.results[3].cache.stages_recomputed >= 1,
+        "the doomed job annealed before routing failed"
+    );
 
     let second = make().run(jobs);
     assert_eq!(
         second.stats.results_from_cache, 3,
         "failures are not cached; successes are"
+    );
+    assert!(
+        second.results[3].cache.placement_hit,
+        "the failed job's placement stage was cached and reused"
     );
     assert_eq!(
         record_stream(&first.results),
@@ -351,7 +355,8 @@ fn cancellation_fails_pending_jobs_fast() {
     assert!(report.results[0].outcome.is_ok(), "in-flight job finished");
     for r in &report.results[1..] {
         let err = r.outcome.as_ref().unwrap_err();
-        assert!(err.contains("cancelled"), "{err}");
+        assert_eq!(err.stage, "engine", "{err}");
+        assert!(err.message.contains("cancelled"), "{err}");
     }
     assert!(
         t0.elapsed() < std::time::Duration::from_secs(30),

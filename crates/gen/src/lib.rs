@@ -25,6 +25,46 @@ pub mod words;
 use mm_netlist::LutCircuit;
 use mm_synth::MapOptions;
 
+/// A deterministic random k=4 LUT circuit — the seeded shape the repo's
+/// engine/serve/bench tests and benchmarks all share (byte-identical per
+/// seed, so test fixtures and committed BENCH workloads stay stable).
+///
+/// # Panics
+///
+/// Never for sane shapes (`n_inputs >= 2`).
+#[must_use]
+pub fn seeded_test_circuit(name: &str, n_inputs: usize, n_luts: usize, seed: u64) -> LutCircuit {
+    use mm_netlist::TruthTable;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut c = LutCircuit::new(name, 4);
+    let mut drivers: Vec<mm_netlist::BlockId> = (0..n_inputs)
+        .map(|i| c.add_input(format!("i{i}")).unwrap())
+        .collect();
+    for j in 0..n_luts {
+        let fanin = rng.gen_range(2..=4.min(drivers.len()));
+        let mut ins = Vec::new();
+        while ins.len() < fanin {
+            let d = drivers[rng.gen_range(0..drivers.len())];
+            if !ins.contains(&d) {
+                ins.push(d);
+            }
+        }
+        let tt = TruthTable::from_bits(ins.len(), rng.gen());
+        let id = c
+            .add_lut(format!("n{j}"), ins, tt, rng.gen_bool(0.2))
+            .unwrap();
+        drivers.push(id);
+    }
+    for t in 0..2 {
+        let d = drivers[drivers.len() - 1 - t];
+        c.add_output(format!("o{t}"), d).unwrap();
+    }
+    c
+}
+
 /// Number of circuits in the RegExp and MCNC suites.
 pub const SUITE_SIZE: usize = 5;
 /// Number of filters per FIR family.

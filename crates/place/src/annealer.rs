@@ -87,6 +87,8 @@ impl PlacerOptions {
 /// Errors of the placement stage.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum PlaceError {
+    /// No mode circuits were given.
+    EmptyInput,
     /// The architecture does not offer enough sites of some kind.
     InsufficientSites {
         /// "logic" or "IO".
@@ -103,6 +105,9 @@ pub enum PlaceError {
 impl fmt::Display for PlaceError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
+            PlaceError::EmptyInput => {
+                write!(f, "at least one mode circuit is required")
+            }
             PlaceError::InsufficientSites {
                 resource,
                 needed,
@@ -143,13 +148,17 @@ pub struct PlaceStats {
 ///
 /// # Errors
 ///
-/// Fails if any mode does not fit on the architecture.
+/// Fails on an empty mode list or if any mode does not fit on the
+/// architecture — infeasible inputs are reported, never panicked on, so
+/// batch engines and services can degrade them to per-job errors.
 pub fn place_combined(
     circuits: &[LutCircuit],
     arch: &Architecture,
     options: &PlacerOptions,
 ) -> Result<(MultiPlacement, PlaceStats), PlaceError> {
-    assert!(!circuits.is_empty(), "at least one mode required");
+    if circuits.is_empty() {
+        return Err(PlaceError::EmptyInput);
+    }
     let sites = SiteMap::new(arch);
     check_capacity(circuits, &sites)?;
     if CostModel::fits(sites.len()) {
@@ -167,13 +176,16 @@ pub fn place_combined(
 ///
 /// # Errors
 ///
-/// Fails if any mode does not fit on the architecture.
+/// Fails on an empty mode list or if any mode does not fit on the
+/// architecture.
 pub fn place_combined_reference(
     circuits: &[LutCircuit],
     arch: &Architecture,
     options: &PlacerOptions,
 ) -> Result<(MultiPlacement, PlaceStats), PlaceError> {
-    assert!(!circuits.is_empty(), "at least one mode required");
+    if circuits.is_empty() {
+        return Err(PlaceError::EmptyInput);
+    }
     let sites = SiteMap::new(arch);
     check_capacity(circuits, &sites)?;
     let model = NaiveCostModel::new(circuits, &sites, options.cost);
@@ -583,6 +595,15 @@ mod tests {
             .filter(|&id| p1.site_of(id) != p3.site_of(id))
             .count();
         assert!(moved > 0);
+    }
+
+    #[test]
+    fn empty_input_is_an_error_not_a_panic() {
+        let arch = Architecture::new(4, 3, 6);
+        let err = place_combined(&[], &arch, &PlacerOptions::default()).unwrap_err();
+        assert_eq!(err, PlaceError::EmptyInput);
+        let err = place_combined_reference(&[], &arch, &PlacerOptions::default()).unwrap_err();
+        assert_eq!(err, PlaceError::EmptyInput);
     }
 
     #[test]

@@ -1,0 +1,147 @@
+//! A line-protocol client for the batch service.
+//!
+//! `mmflow submit`, the serve benchmark and embedders all need the same
+//! exchange — send one request, split the response stream into raw
+//! records and typed frames, stop at the trailer — so the loop lives
+//! here once instead of being hand-rolled per caller. (The protocol
+//! *tests* deliberately keep their own raw loops: asserting on the exact
+//! frame sequence is their job.)
+
+use crate::server::{Listen, SocketStream};
+use mm_engine::json::Value;
+use mm_engine::protocol::{classify, BatchRequest, Frame, Request, ServerLine};
+use std::io::{BufRead, BufReader, Write};
+
+/// What a successful batch submission returned.
+#[derive(Debug, Clone)]
+pub struct BatchOutcome {
+    /// Jobs the server accepted (after `max_jobs` truncation).
+    pub accepted: usize,
+    /// The summary trailer (job counts, timings, cache counters).
+    pub summary: Value,
+}
+
+impl BatchOutcome {
+    /// Jobs the summary reports as failed.
+    #[must_use]
+    pub fn failed_jobs(&self) -> usize {
+        self.summary
+            .get("failed")
+            .and_then(Value::as_usize)
+            .unwrap_or(0)
+    }
+}
+
+/// One connected protocol session.
+#[derive(Debug)]
+pub struct Client {
+    writer: SocketStream,
+    reader: BufReader<SocketStream>,
+}
+
+impl Client {
+    /// Connects to a serving address.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the socket cannot be reached.
+    pub fn connect(listen: &Listen) -> std::io::Result<Self> {
+        let writer = SocketStream::connect(listen)?;
+        let reader = BufReader::new(writer.try_clone()?);
+        Ok(Self { writer, reader })
+    }
+
+    fn send(&mut self, request: &Request) -> std::io::Result<()> {
+        let mut line = request.to_json_line();
+        line.push('\n');
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.flush()
+    }
+
+    fn read_line(&mut self) -> std::io::Result<String> {
+        let mut line = String::new();
+        if self.reader.read_line(&mut line)? == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection mid-exchange",
+            ));
+        }
+        Ok(line)
+    }
+
+    fn read_frame(&mut self) -> std::io::Result<Frame> {
+        let line = self.read_line()?;
+        match classify(line.trim_end()).map_err(invalid_data)? {
+            ServerLine::Frame(frame) => Ok(frame),
+            ServerLine::Record(record) => Err(invalid_data(format!(
+                "expected a frame, got a record: {record}"
+            ))),
+        }
+    }
+
+    /// Liveness probe.
+    ///
+    /// # Errors
+    ///
+    /// Fails on transport errors or a non-`pong` answer.
+    pub fn ping(&mut self) -> std::io::Result<()> {
+        self.send(&Request::Ping)?;
+        match self.read_frame()? {
+            Frame::Pong => Ok(()),
+            other => Err(invalid_data(format!("expected pong, got {other:?}"))),
+        }
+    }
+
+    /// Asks the server to drain and exit; returns once acknowledged.
+    ///
+    /// # Errors
+    ///
+    /// Fails on transport errors or a missing acknowledgement.
+    pub fn shutdown(&mut self) -> std::io::Result<()> {
+        self.send(&Request::Shutdown)?;
+        match self.read_frame()? {
+            Frame::ShuttingDown => Ok(()),
+            other => Err(invalid_data(format!(
+                "expected shutting_down, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Submits one batch and streams it: `on_record` receives every raw
+    /// record line (without the trailing newline) in job order —
+    /// byte-identical to `mmflow batch` stdout.
+    ///
+    /// Returns `Ok(Err(message))` when the server rejects the request
+    /// with an error frame (the connection stays usable).
+    ///
+    /// # Errors
+    ///
+    /// Fails on transport errors, a mid-stream disconnect, or a frame
+    /// that violates the protocol.
+    pub fn submit(
+        &mut self,
+        request: &BatchRequest,
+        mut on_record: impl FnMut(&str) -> std::io::Result<()>,
+    ) -> std::io::Result<Result<BatchOutcome, String>> {
+        self.send(&Request::Batch(request.clone()))?;
+        let mut accepted = 0usize;
+        loop {
+            let line = self.read_line()?;
+            match classify(line.trim_end()).map_err(invalid_data)? {
+                ServerLine::Record(record) => on_record(record)?,
+                ServerLine::Frame(Frame::Accepted { jobs }) => accepted = jobs,
+                ServerLine::Frame(Frame::Summary { summary }) => {
+                    return Ok(Ok(BatchOutcome { accepted, summary }));
+                }
+                ServerLine::Frame(Frame::Error { message }) => return Ok(Err(message)),
+                ServerLine::Frame(other) => {
+                    return Err(invalid_data(format!("unexpected frame: {other:?}")));
+                }
+            }
+        }
+    }
+}
+
+fn invalid_data(message: impl Into<String>) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, message.into())
+}

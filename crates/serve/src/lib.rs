@@ -1,0 +1,46 @@
+//! # mm-serve — the long-running batch service
+//!
+//! `mmflow batch` is one process per batch; the ROADMAP's north star is
+//! a service that keeps the engine hot. This crate runs the batch engine
+//! behind a Unix/TCP socket:
+//!
+//! * **One shared [`mm_engine::Engine`]** — a single stage cache and a
+//!   single persistent worker pool ([`StaticPool`]) serve every
+//!   connection, so clients warm each other's caches and the process
+//!   never runs more than its worker count of jobs at once.
+//! * **The JSONL contract is the wire format** — per-job result records
+//!   stream back byte-identical to `mmflow batch` output, framed by
+//!   typed `accepted`/`summary`/`error` lines
+//!   ([`mm_engine::protocol`]).
+//! * **Failure isolation** — one infeasible job yields one structured
+//!   error record; a malformed request yields one error frame; neither
+//!   takes down the batch, the connection, or the server.
+//! * **Graceful drain** — a `shutdown` frame (or [`ServerHandle`]) stops
+//!   the accept loop and lets every in-flight batch finish before
+//!   [`Server::run`] returns.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use mm_serve::{Listen, ServeOptions, Server};
+//!
+//! # fn main() -> std::io::Result<()> {
+//! let listen = Listen::parse("unix:/tmp/mmflow.sock").unwrap();
+//! let server = Server::bind(&listen, &ServeOptions::default())?;
+//! eprintln!("listening on {}", server.listen_addr());
+//! let report = server.run()?; // until a shutdown frame arrives
+//! eprintln!("served {} batches", report.batches);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod client;
+mod pool;
+mod server;
+
+pub use client::{BatchOutcome, Client};
+pub use pool::StaticPool;
+pub use server::{Listen, ServeOptions, ServeReport, Server, ServerHandle, SocketStream};

@@ -1,0 +1,238 @@
+//! The service's persistent worker pool.
+//!
+//! `mm_flow::pool::run_ordered` spins its workers up per batch with
+//! scoped threads — exactly right for a CLI run, wrong for a daemon
+//! where every connection would pay thread start-up and the pools would
+//! multiply. [`StaticPool`] keeps one fixed set of workers alive for the
+//! server's lifetime; every connection submits its jobs here, so the
+//! whole process runs at most `threads` jobs at once no matter how many
+//! clients are connected.
+//!
+//! Tasks are coarse (one multi-mode flow job is milliseconds to minutes)
+//! so the queues share a single lock: workers prefer the front of their
+//! own deque and steal from the back of a sibling's, which preserves the
+//! submission-affinity/stealing split of the batch pool without
+//! fine-grained synchronization the workload cannot feel.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+
+type Task = Box<dyn FnOnce() + Send + 'static>;
+
+struct PoolState {
+    /// One deque per worker; tasks are dealt round-robin.
+    queues: Vec<VecDeque<Task>>,
+    /// Next deque to deal a submission to.
+    next: usize,
+    /// Set once; workers exit when their queues are empty.
+    shutdown: bool,
+}
+
+struct PoolShared {
+    state: Mutex<PoolState>,
+    work: Condvar,
+}
+
+/// A fixed-size worker pool living as long as the server.
+pub struct StaticPool {
+    shared: Arc<PoolShared>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for StaticPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StaticPool")
+            .field("threads", &self.workers.len())
+            .finish()
+    }
+}
+
+impl StaticPool {
+    /// Starts `threads` workers (`0` means one per available CPU).
+    #[must_use]
+    pub fn new(threads: usize) -> Self {
+        let threads = if threads == 0 {
+            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+        } else {
+            threads
+        };
+        let shared = Arc::new(PoolShared {
+            state: Mutex::new(PoolState {
+                queues: (0..threads).map(|_| VecDeque::new()).collect(),
+                next: 0,
+                shutdown: false,
+            }),
+            work: Condvar::new(),
+        });
+        let workers = (0..threads)
+            .map(|me| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker(&shared, me))
+            })
+            .collect();
+        Self { shared, workers }
+    }
+
+    /// The worker count.
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Enqueues one task. Tasks are dealt to the workers round-robin and
+    /// stolen when a worker runs dry, so submission order is *start*
+    /// order but not completion order — callers that need ordered
+    /// results reorder on collection (see the server's batch streaming).
+    pub fn submit(&self, task: impl FnOnce() + Send + 'static) {
+        let mut state = self.shared.state.lock().expect("pool lock");
+        let slot = state.next % state.queues.len();
+        state.next = state.next.wrapping_add(1);
+        state.queues[slot].push_back(Box::new(task));
+        drop(state);
+        self.shared.work.notify_one();
+    }
+}
+
+impl Drop for StaticPool {
+    /// Drains: queued tasks still run; workers exit once everything is
+    /// done.
+    fn drop(&mut self) {
+        {
+            let mut state = self.shared.state.lock().expect("pool lock");
+            state.shutdown = true;
+        }
+        self.shared.work.notify_all();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker(shared: &PoolShared, me: usize) {
+    loop {
+        let task = {
+            let mut state = shared.state.lock().expect("pool lock");
+            loop {
+                if let Some(task) = pop_or_steal(&mut state.queues, me) {
+                    break Some(task);
+                }
+                if state.shutdown {
+                    break None;
+                }
+                state = shared.work.wait(state).expect("pool lock");
+            }
+        };
+        match task {
+            // A panicking task must not kill the worker: the pool is the
+            // server's lifetime capacity, and a dead worker would shrink
+            // it forever. Submitters that need the panic surfaced catch
+            // it themselves (the server converts it into a per-job error
+            // record); here it only costs the task.
+            Some(task) => {
+                if let Err(panic) = std::panic::catch_unwind(std::panic::AssertUnwindSafe(task)) {
+                    eprintln!(
+                        "serve: worker task panicked: {}",
+                        panic_message(panic.as_ref())
+                    );
+                }
+            }
+            None => return,
+        }
+    }
+}
+
+/// Best-effort extraction of a panic payload's message.
+pub(crate) fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+fn pop_or_steal(queues: &mut [VecDeque<Task>], me: usize) -> Option<Task> {
+    if let Some(task) = queues[me].pop_front() {
+        return Some(task);
+    }
+    let n = queues.len();
+    for off in 1..n {
+        if let Some(task) = queues[(me + off) % n].pop_back() {
+            return Some(task);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn runs_every_submitted_task() {
+        let pool = StaticPool::new(4);
+        let count = Arc::new(AtomicUsize::new(0));
+        for _ in 0..64 {
+            let count = Arc::clone(&count);
+            pool.submit(move || {
+                count.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        drop(pool); // drains
+        assert_eq!(count.load(Ordering::SeqCst), 64);
+    }
+
+    #[test]
+    fn work_is_distributed_across_workers() {
+        let n = 4;
+        let pool = StaticPool::new(n);
+        assert_eq!(pool.threads(), n);
+        // All tasks block on one barrier: only true concurrency releases
+        // it.
+        let barrier = Arc::new(std::sync::Barrier::new(n));
+        let done = Arc::new(AtomicUsize::new(0));
+        for _ in 0..n {
+            let barrier = Arc::clone(&barrier);
+            let done = Arc::clone(&done);
+            pool.submit(move || {
+                barrier.wait();
+                done.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        drop(pool);
+        assert_eq!(done.load(Ordering::SeqCst), n);
+    }
+
+    #[test]
+    fn zero_threads_resolves_to_cpu_count() {
+        let pool = StaticPool::new(0);
+        assert!(pool.threads() >= 1);
+    }
+
+    #[test]
+    fn a_panicking_task_does_not_kill_its_worker() {
+        // One worker: if the panic unwound the thread, the follow-up
+        // tasks would never run and drop() would hang on the join.
+        let pool = StaticPool::new(1);
+        let done = Arc::new(AtomicUsize::new(0));
+        pool.submit(|| panic!("boom"));
+        for _ in 0..4 {
+            let done = Arc::clone(&done);
+            pool.submit(move || {
+                done.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        drop(pool);
+        assert_eq!(done.load(Ordering::SeqCst), 4, "worker survived the panic");
+    }
+
+    #[test]
+    fn panic_messages_are_extracted() {
+        let caught = std::panic::catch_unwind(|| panic!("static str")).expect_err("panics");
+        assert_eq!(panic_message(caught.as_ref()), "static str");
+        let caught = std::panic::catch_unwind(|| panic!("formatted {}", 7)).expect_err("panics");
+        assert_eq!(panic_message(caught.as_ref()), "formatted 7");
+    }
+}

@@ -1,0 +1,700 @@
+//! The batch service: accept loop, per-connection protocol handling,
+//! ordered result streaming and graceful drain.
+
+use crate::pool::StaticPool;
+use mm_engine::protocol::{BatchRequest, Frame, Request};
+use mm_engine::{
+    load_spec, BatchReport, Engine, EngineOptions, EngineStats, JobCacheInfo, JobError, JobResult,
+};
+use mm_flow::FlowOptions;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Where the server listens.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Listen {
+    /// A Unix-domain socket at this path (removed and re-created on
+    /// bind; the server owns the path).
+    Unix(PathBuf),
+    /// A TCP address (`host:port`; port `0` lets the OS pick).
+    Tcp(String),
+}
+
+impl Listen {
+    /// Parses a `--listen` value: `unix:<path>` / `tcp:<host:port>`
+    /// explicitly, else anything with a `/` is a socket path and
+    /// anything with a `:` is a TCP address.
+    ///
+    /// # Errors
+    ///
+    /// Fails on values that match neither form.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        if let Some(path) = s.strip_prefix("unix:") {
+            return Ok(Listen::Unix(path.into()));
+        }
+        if let Some(addr) = s.strip_prefix("tcp:") {
+            return Ok(Listen::Tcp(addr.to_string()));
+        }
+        if s.contains('/') {
+            return Ok(Listen::Unix(s.into()));
+        }
+        if s.contains(':') {
+            return Ok(Listen::Tcp(s.to_string()));
+        }
+        Err(format!(
+            "cannot interpret listen address '{s}' (use unix:<path> or tcp:<host:port>)"
+        ))
+    }
+}
+
+impl std::fmt::Display for Listen {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Listen::Unix(path) => write!(f, "unix:{}", path.display()),
+            Listen::Tcp(addr) => write!(f, "tcp:{addr}"),
+        }
+    }
+}
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Worker threads of the shared pool (`0` = one per CPU).
+    pub threads: usize,
+    /// Stage-cache root shared by every connection; `None` disables
+    /// caching.
+    pub cache_dir: Option<PathBuf>,
+    /// Connections handled concurrently; further clients queue in the
+    /// accept backlog until a slot frees up.
+    pub max_connections: usize,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        Self {
+            threads: 0,
+            cache_dir: None,
+            max_connections: 8,
+        }
+    }
+}
+
+/// What a finished server did, for the operator's exit line.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServeReport {
+    /// Connections served.
+    pub connections: u64,
+    /// Batches executed.
+    pub batches: u64,
+    /// Jobs executed across all batches.
+    pub jobs: u64,
+}
+
+#[derive(Debug, Default)]
+struct Counters {
+    connections: AtomicU64,
+    batches: AtomicU64,
+    jobs: AtomicU64,
+}
+
+#[derive(Debug)]
+struct ServerState {
+    shutdown: AtomicBool,
+    active: Mutex<usize>,
+    idle: Condvar,
+    counters: Counters,
+}
+
+/// A clonable remote control for a running [`Server`] — the programmatic
+/// equivalent of the protocol's `shutdown` frame.
+#[derive(Debug, Clone)]
+pub struct ServerHandle {
+    state: Arc<ServerState>,
+}
+
+impl ServerHandle {
+    /// Asks the server to stop accepting and drain in-flight work.
+    pub fn shutdown(&self) {
+        self.state.shutdown.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether shutdown has been requested.
+    #[must_use]
+    pub fn is_shutting_down(&self) -> bool {
+        self.state.shutdown.load(Ordering::Relaxed)
+    }
+}
+
+enum Listener {
+    Unix(UnixListener),
+    Tcp(TcpListener),
+}
+
+enum StreamInner {
+    Unix(UnixStream),
+    Tcp(TcpStream),
+}
+
+/// One connected byte stream over either transport — used by the server
+/// for accepted connections and by clients (`mmflow submit`) for
+/// outbound ones, so the transport dispatch lives in exactly one place.
+pub struct SocketStream(StreamInner);
+
+impl SocketStream {
+    /// Connects to a serving address.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the socket cannot be reached.
+    pub fn connect(listen: &Listen) -> std::io::Result<Self> {
+        Ok(SocketStream(match listen {
+            Listen::Unix(path) => StreamInner::Unix(UnixStream::connect(path)?),
+            Listen::Tcp(addr) => StreamInner::Tcp(TcpStream::connect(addr.as_str())?),
+        }))
+    }
+
+    /// A second handle to the same socket (e.g. a buffered read half
+    /// next to the write half).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the descriptor cannot be duplicated.
+    pub fn try_clone(&self) -> std::io::Result<SocketStream> {
+        Ok(SocketStream(match &self.0 {
+            StreamInner::Unix(s) => StreamInner::Unix(s.try_clone()?),
+            StreamInner::Tcp(s) => StreamInner::Tcp(s.try_clone()?),
+        }))
+    }
+
+    /// Bounds blocking reads (shared by all clones of the socket).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the option cannot be set.
+    pub fn set_read_timeout(&self, timeout: Option<Duration>) -> std::io::Result<()> {
+        match &self.0 {
+            StreamInner::Unix(s) => s.set_read_timeout(timeout),
+            StreamInner::Tcp(s) => s.set_read_timeout(timeout),
+        }
+    }
+
+    /// Bounds blocking writes (shared by all clones of the socket).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the option cannot be set.
+    pub fn set_write_timeout(&self, timeout: Option<Duration>) -> std::io::Result<()> {
+        match &self.0 {
+            StreamInner::Unix(s) => s.set_write_timeout(timeout),
+            StreamInner::Tcp(s) => s.set_write_timeout(timeout),
+        }
+    }
+}
+
+impl std::fmt::Debug for SocketStream {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.0 {
+            StreamInner::Unix(_) => write!(f, "SocketStream(unix)"),
+            StreamInner::Tcp(_) => write!(f, "SocketStream(tcp)"),
+        }
+    }
+}
+
+impl std::io::Read for SocketStream {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match &mut self.0 {
+            StreamInner::Unix(s) => s.read(buf),
+            StreamInner::Tcp(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for SocketStream {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match &mut self.0 {
+            StreamInner::Unix(s) => s.write(buf),
+            StreamInner::Tcp(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        match &mut self.0 {
+            StreamInner::Unix(s) => s.flush(),
+            StreamInner::Tcp(s) => s.flush(),
+        }
+    }
+}
+
+/// The long-running batch service.
+///
+/// One [`Engine`] (and therefore one stage cache) and one persistent
+/// [`StaticPool`] are shared by every connection: concurrent clients
+/// submit batches that interleave on the same workers and warm the same
+/// cache, while each connection's result stream stays in its own batch's
+/// job order — byte-identical to `mmflow batch` on the same spec.
+pub struct Server {
+    engine: Arc<Engine>,
+    pool: Arc<StaticPool>,
+    listener: Listener,
+    listen: Listen,
+    state: Arc<ServerState>,
+    max_connections: usize,
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server")
+            .field("listen", &self.listen)
+            .field("threads", &self.pool.threads())
+            .field("max_connections", &self.max_connections)
+            .finish()
+    }
+}
+
+impl Server {
+    /// Binds the listener and starts the shared pool (but accepts
+    /// nothing until [`Server::run`]). A stale Unix socket path is
+    /// removed first — the server owns it.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the socket cannot be bound or the cache directory cannot
+    /// be created.
+    pub fn bind(listen: &Listen, options: &ServeOptions) -> std::io::Result<Self> {
+        let pool = Arc::new(StaticPool::new(options.threads));
+        let engine = Arc::new(Engine::new(EngineOptions {
+            threads: pool.threads(),
+            cache_dir: options.cache_dir.clone(),
+        })?);
+        let (listener, listen) = match listen {
+            Listen::Unix(path) => {
+                if path.exists() {
+                    // Only a *stale socket* may be removed: a path that
+                    // is not a socket at all (a typo'd --listen hitting
+                    // a real file) must never be unlinked, and one that
+                    // still answers belongs to a live server.
+                    use std::os::unix::fs::FileTypeExt;
+                    if !std::fs::symlink_metadata(path)?.file_type().is_socket() {
+                        return Err(std::io::Error::new(
+                            std::io::ErrorKind::InvalidInput,
+                            format!("{} exists and is not a socket", path.display()),
+                        ));
+                    }
+                    if UnixStream::connect(path).is_ok() {
+                        return Err(std::io::Error::new(
+                            std::io::ErrorKind::AddrInUse,
+                            format!("{} is already being served", path.display()),
+                        ));
+                    }
+                    std::fs::remove_file(path)?;
+                }
+                (
+                    Listener::Unix(UnixListener::bind(path)?),
+                    Listen::Unix(path.clone()),
+                )
+            }
+            Listen::Tcp(addr) => {
+                let listener = TcpListener::bind(addr.as_str())?;
+                // Report the *bound* address (resolves port 0).
+                let bound = listener
+                    .local_addr()
+                    .map(|a| a.to_string())
+                    .unwrap_or_else(|_| addr.clone());
+                (Listener::Tcp(listener), Listen::Tcp(bound))
+            }
+        };
+        Ok(Self {
+            engine,
+            pool,
+            listener,
+            listen,
+            state: Arc::new(ServerState {
+                shutdown: AtomicBool::new(false),
+                active: Mutex::new(0),
+                idle: Condvar::new(),
+                counters: Counters::default(),
+            }),
+            max_connections: options.max_connections.max(1),
+        })
+    }
+
+    /// Where the server actually listens (TCP port 0 resolved).
+    #[must_use]
+    pub fn listen_addr(&self) -> &Listen {
+        &self.listen
+    }
+
+    /// The shared engine (for tests and embedding).
+    #[must_use]
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// A remote control that can request shutdown from another thread.
+    #[must_use]
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle {
+            state: Arc::clone(&self.state),
+        }
+    }
+
+    /// Serves until shutdown is requested (protocol `shutdown` frame or
+    /// [`ServerHandle::shutdown`]), then drains: the listener closes, and
+    /// every in-flight connection — including batches still executing on
+    /// the pool — runs to completion before this returns.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the listener cannot be polled.
+    pub fn run(self) -> std::io::Result<ServeReport> {
+        match &self.listener {
+            Listener::Unix(l) => l.set_nonblocking(true)?,
+            Listener::Tcp(l) => l.set_nonblocking(true)?,
+        }
+        std::thread::scope(|scope| -> std::io::Result<()> {
+            loop {
+                if self.state.shutdown.load(Ordering::Relaxed) {
+                    break;
+                }
+                let accepted = match &self.listener {
+                    Listener::Unix(l) => {
+                        l.accept().map(|(s, _)| SocketStream(StreamInner::Unix(s)))
+                    }
+                    Listener::Tcp(l) => l.accept().map(|(s, _)| SocketStream(StreamInner::Tcp(s))),
+                };
+                let stream = match accepted {
+                    Ok(stream) => stream,
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(20));
+                        continue;
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                    Err(e) => return Err(e),
+                };
+                // Concurrency limit: hold the connection until a slot
+                // frees up (the socket backlog is the waiting room).
+                let mut active = self.state.active.lock().expect("state lock");
+                while *active >= self.max_connections {
+                    active = self.state.idle.wait(active).expect("state lock");
+                }
+                *active += 1;
+                drop(active);
+                self.state
+                    .counters
+                    .connections
+                    .fetch_add(1, Ordering::Relaxed);
+
+                let engine = Arc::clone(&self.engine);
+                let pool = Arc::clone(&self.pool);
+                let state = Arc::clone(&self.state);
+                scope.spawn(move || {
+                    let result = handle_connection(&engine, &pool, &state, stream);
+                    if let Err(e) = result {
+                        eprintln!("serve: connection error: {e}");
+                    }
+                    let mut active = state.active.lock().expect("state lock");
+                    *active -= 1;
+                    state.idle.notify_all();
+                });
+            }
+            // Drain: wait for every connection (and thereby every
+            // in-flight batch) to finish.
+            let mut active = self.state.active.lock().expect("state lock");
+            while *active > 0 {
+                active = self.state.idle.wait(active).expect("state lock");
+            }
+            Ok(())
+        })?;
+        if let Listen::Unix(path) = &self.listen {
+            let _ = std::fs::remove_file(path);
+        }
+        Ok(ServeReport {
+            connections: self.state.counters.connections.load(Ordering::Relaxed),
+            batches: self.state.counters.batches.load(Ordering::Relaxed),
+            jobs: self.state.counters.jobs.load(Ordering::Relaxed),
+        })
+    }
+}
+
+/// One connection: read request lines, answer frames, stream batches.
+fn handle_connection(
+    engine: &Arc<Engine>,
+    pool: &StaticPool,
+    state: &Arc<ServerState>,
+    stream: SocketStream,
+) -> std::io::Result<()> {
+    // A finite read timeout keeps idle connections from stalling the
+    // drain: between lines the loop re-checks the shutdown flag. The
+    // write timeout bounds a client that stops *reading* mid-stream —
+    // without it a full send buffer would block the connection thread
+    // (and therefore drain) forever.
+    stream.set_read_timeout(Some(Duration::from_millis(100)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(30)))?;
+    let mut writer = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        // The cap is enforced *inside* the read via `take`, so even a
+        // client streaming newline-free bytes without ever pausing
+        // (read_line would otherwise never return) cannot grow the
+        // buffer past MAX_REQUEST_LINE + 1.
+        let budget = (MAX_REQUEST_LINE + 1).saturating_sub(line.len()) as u64;
+        if budget == 0 {
+            let _ = write_frame(
+                &mut writer,
+                &Frame::Error {
+                    message: format!("request line exceeds {MAX_REQUEST_LINE} bytes"),
+                },
+            );
+            break;
+        }
+        match std::io::Read::take(&mut reader, budget).read_line(&mut line) {
+            Ok(0) => break, // client closed
+            Ok(_) => {
+                // A read that stopped at the budget rather than a
+                // newline is an over-long line, not a request: answer
+                // the cap error and hang up instead of parsing the
+                // truncation.
+                if !line.ends_with('\n') && line.len() > MAX_REQUEST_LINE {
+                    continue; // the budget==0 arm reports and closes
+                }
+                // A draining server accepts nothing new, but stays
+                // polite: shutdown/ping still get their ack (so a
+                // concurrent `submit --shutdown` sees success), anything
+                // else gets an error frame. Without the check a client
+                // that keeps sending requests faster than the idle
+                // timeout would hold its connection (and the drain wait)
+                // open forever.
+                if state.shutdown.load(Ordering::Relaxed) {
+                    let frame = match Request::parse(line.trim()) {
+                        Ok(Request::Shutdown) => Frame::ShuttingDown,
+                        Ok(Request::Ping) => Frame::Pong,
+                        _ => Frame::Error {
+                            message: "server is shutting down".to_string(),
+                        },
+                    };
+                    let _ = write_frame(&mut writer, &frame);
+                    break;
+                }
+                let keep_going = handle_request(engine, pool, state, &mut writer, line.trim())?;
+                line.clear();
+                if !keep_going || state.shutdown.load(Ordering::Relaxed) {
+                    break;
+                }
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                // Idle (a partial line, if any, stays buffered in `line`).
+                if state.shutdown.load(Ordering::Relaxed) {
+                    break;
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
+}
+
+/// Upper bound on one request line — far above any real batch request,
+/// far below harm.
+const MAX_REQUEST_LINE: usize = 1 << 20;
+
+/// Handles one request line; `Ok(false)` closes the connection.
+fn handle_request(
+    engine: &Arc<Engine>,
+    pool: &StaticPool,
+    state: &Arc<ServerState>,
+    writer: &mut SocketStream,
+    line: &str,
+) -> std::io::Result<bool> {
+    if line.is_empty() {
+        return Ok(true);
+    }
+    let request = match Request::parse(line) {
+        Ok(request) => request,
+        Err(message) => {
+            write_frame(writer, &Frame::Error { message })?;
+            return Ok(true);
+        }
+    };
+    match request {
+        Request::Ping => {
+            write_frame(writer, &Frame::Pong)?;
+            Ok(true)
+        }
+        Request::Shutdown => {
+            write_frame(writer, &Frame::ShuttingDown)?;
+            state.shutdown.store(true, Ordering::Relaxed);
+            Ok(false)
+        }
+        Request::Batch(batch) => {
+            run_batch(engine, pool, state, writer, &batch)?;
+            Ok(true)
+        }
+    }
+}
+
+fn write_frame(writer: &mut SocketStream, frame: &Frame) -> std::io::Result<()> {
+    writer.write_all(frame.to_json_line().as_bytes())?;
+    writer.write_all(b"\n")?;
+    writer.flush()
+}
+
+/// Per-batch reorder buffer: pool workers finish jobs in any order, the
+/// connection thread consumes them strictly in job order.
+struct Collector {
+    slots: Mutex<Vec<Option<JobResult>>>,
+    ready: Condvar,
+}
+
+impl Collector {
+    fn deliver(&self, index: usize, result: JobResult) {
+        let mut slots = self.slots.lock().expect("collector lock");
+        slots[index] = Some(result);
+        drop(slots);
+        self.ready.notify_all();
+    }
+
+    fn take(&self, index: usize) -> JobResult {
+        let mut slots = self.slots.lock().expect("collector lock");
+        loop {
+            if let Some(result) = slots[index].take() {
+                return result;
+            }
+            slots = self.ready.wait(slots).expect("collector lock");
+        }
+    }
+}
+
+/// Resolves, executes and streams one batch request.
+fn run_batch(
+    engine: &Arc<Engine>,
+    pool: &StaticPool,
+    state: &Arc<ServerState>,
+    writer: &mut SocketStream,
+    request: &BatchRequest,
+) -> std::io::Result<()> {
+    let options = request.flow_options(&FlowOptions::default());
+    let mut batch = match load_spec(&request.spec, &options, request.k) {
+        Ok(batch) => batch,
+        Err(message) => return write_frame(writer, &Frame::Error { message }),
+    };
+    if let Some(n) = request.max_jobs {
+        batch.jobs.truncate(n);
+    }
+    let mut jobs = batch.jobs;
+    // The pool is shared by every connection — one worker per job, no
+    // intra-job fan-out on top (results are byte-identical either way).
+    for job in &mut jobs {
+        if job.options.intra_parallelism == 0 {
+            job.options.intra_parallelism = 1;
+        }
+    }
+    let n = jobs.len();
+    state.counters.batches.fetch_add(1, Ordering::Relaxed);
+    write_frame(writer, &Frame::Accepted { jobs: n })?;
+
+    let t0 = Instant::now();
+    let cache_before = engine.cache().map(|c| c.stats()).unwrap_or_default();
+    let collector = Arc::new(Collector {
+        slots: Mutex::new((0..n).map(|_| None).collect()),
+        ready: Condvar::new(),
+    });
+    // A client that vanishes mid-stream cancels the jobs that have not
+    // started yet; jobs already running finish (their cache writes are
+    // still useful).
+    let cancel = Arc::new(AtomicBool::new(false));
+    for (index, job) in jobs.into_iter().enumerate() {
+        let engine = Arc::clone(engine);
+        let collector = Arc::clone(&collector);
+        let cancel = Arc::clone(&cancel);
+        let state = Arc::clone(state);
+        pool.submit(move || {
+            let result = if cancel.load(Ordering::Relaxed) {
+                JobResult {
+                    name: job.name.clone(),
+                    flow: job.flow,
+                    outcome: Err(JobError::engine("cancelled: client disconnected")),
+                    cache: JobCacheInfo::default(),
+                    duration: Duration::ZERO,
+                }
+            } else {
+                // Counted here — not at accept time — so the operator's
+                // exit report only claims jobs that actually ran.
+                state.counters.jobs.fetch_add(1, Ordering::Relaxed);
+                // A panic inside a flow is an engine bug, but in a
+                // daemon it must degrade to one failed job: without the
+                // catch the collector slot would never be delivered and
+                // the connection (and the final drain) would hang on it
+                // forever.
+                let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    engine.execute_job(&job)
+                }));
+                match run {
+                    Ok(result) => result,
+                    Err(panic) => JobResult {
+                        name: job.name.clone(),
+                        flow: job.flow,
+                        outcome: Err(JobError::engine(format!(
+                            "job panicked: {}",
+                            crate::pool::panic_message(panic.as_ref())
+                        ))),
+                        cache: JobCacheInfo::default(),
+                        duration: Duration::ZERO,
+                    },
+                }
+            };
+            collector.deliver(index, result);
+        });
+    }
+
+    let mut results = Vec::with_capacity(n);
+    let mut write_error: Option<std::io::Error> = None;
+    for index in 0..n {
+        let result = collector.take(index);
+        if write_error.is_none() {
+            let mut record = result.to_json_line();
+            record.push('\n');
+            if let Err(e) = writer
+                .write_all(record.as_bytes())
+                .and_then(|()| writer.flush())
+            {
+                cancel.store(true, Ordering::Relaxed);
+                write_error = Some(e);
+            }
+        }
+        results.push(result);
+    }
+    if let Some(e) = write_error {
+        return Err(e);
+    }
+
+    let stats = EngineStats::from_results(&results);
+    let report = BatchReport {
+        results,
+        stats,
+        // Cache activity attributed to this batch; with concurrent
+        // connections the attribution is approximate (the counters are
+        // engine-wide), never the records.
+        cache: engine
+            .cache()
+            .map(|c| c.stats().since(cache_before))
+            .unwrap_or_default(),
+        wall: t0.elapsed(),
+        threads: engine.threads(),
+    };
+    write_frame(
+        writer,
+        &Frame::Summary {
+            summary: report.summary_value(),
+        },
+    )
+}

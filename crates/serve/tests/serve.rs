@@ -1,0 +1,399 @@
+//! In-process integration tests of the batch service: protocol frames,
+//! record byte-identity with the engine, failure isolation, cache
+//! sharing across connections, and graceful drain.
+
+use mm_engine::protocol::{classify, Frame, Request, ServerLine};
+use mm_engine::{load_spec, Engine, EngineOptions};
+use mm_flow::{FlowOptions, WidthChoice};
+use mm_netlist::{blif, LutCircuit};
+use mm_serve::{Listen, ServeOptions, Server, ServerHandle};
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::UnixStream;
+use std::path::{Path, PathBuf};
+
+/// The repo's shared seeded circuit shape (`mm_gen`), shrunk for
+/// service tests.
+fn small_circuit(name: &str, n_luts: usize, seed: u64) -> LutCircuit {
+    mm_gen::seeded_test_circuit(name, 5, n_luts, seed)
+}
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("mm_serve_it_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Writes a directory-of-mode-groups spec and returns its path.
+fn write_spec_dir(root: &Path, groups: usize) -> PathBuf {
+    let dir = root.join("jobs");
+    for g in 0..groups {
+        let group = dir.join(format!("g{g}"));
+        std::fs::create_dir_all(&group).unwrap();
+        for m in 0..2 {
+            let c = small_circuit(&format!("m{m}"), 8 + g, 0x5eed_0000 + (g * 10 + m) as u64);
+            std::fs::write(group.join(format!("m{m}.blif")), blif::to_blif(&c)).unwrap();
+        }
+    }
+    dir
+}
+
+/// The overrides every test batch uses (fast, deterministic).
+fn test_request(spec: &str) -> mm_engine::protocol::BatchRequest {
+    let mut b = mm_engine::protocol::BatchRequest::new(spec);
+    b.width = Some(12);
+    b.effort = Some(1.0);
+    b.max_iterations = Some(30);
+    b
+}
+
+/// The same overrides as [`test_request`], applied locally.
+fn test_options() -> FlowOptions {
+    let mut o = FlowOptions {
+        width: WidthChoice::Fixed(12),
+        ..FlowOptions::default()
+    };
+    o.placer.inner_num = 1.0;
+    o.router.max_iterations = 30;
+    o
+}
+
+struct RunningServer {
+    handle: ServerHandle,
+    socket: PathBuf,
+    thread: std::thread::JoinHandle<std::io::Result<mm_serve::ServeReport>>,
+}
+
+impl RunningServer {
+    fn start(root: &Path, options: ServeOptions) -> Self {
+        let socket = root.join("mmflow.sock");
+        let server = Server::bind(&Listen::Unix(socket.clone()), &options).unwrap();
+        let handle = server.handle();
+        let thread = std::thread::spawn(move || server.run());
+        Self {
+            handle,
+            socket,
+            thread,
+        }
+    }
+
+    fn connect(&self) -> UnixStream {
+        UnixStream::connect(&self.socket).unwrap()
+    }
+
+    fn stop(self) -> mm_serve::ServeReport {
+        self.handle.shutdown();
+        self.thread.join().unwrap().unwrap()
+    }
+}
+
+fn send(stream: &mut UnixStream, request: &Request) {
+    let mut line = request.to_json_line();
+    line.push('\n');
+    stream.write_all(line.as_bytes()).unwrap();
+    stream.flush().unwrap();
+}
+
+/// Reads server lines until (and including) a terminal frame: summary,
+/// error, pong or shutting_down.
+fn read_exchange(reader: &mut BufReader<UnixStream>) -> (Vec<String>, Vec<Frame>) {
+    let mut records = Vec::new();
+    let mut frames = Vec::new();
+    let mut line = String::new();
+    loop {
+        line.clear();
+        let n = reader.read_line(&mut line).unwrap();
+        assert!(n > 0, "server closed mid-exchange");
+        match classify(line.trim_end()).unwrap() {
+            ServerLine::Record(record) => records.push(record.to_string()),
+            ServerLine::Frame(frame) => {
+                let terminal = !matches!(frame, Frame::Accepted { .. });
+                frames.push(frame);
+                if terminal {
+                    return (records, frames);
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn ping_error_recovery_and_shutdown_frames() {
+    let root = tmp_dir("ping");
+    let server = RunningServer::start(&root, ServeOptions::default());
+
+    let mut stream = server.connect();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    send(&mut stream, &Request::Ping);
+    let (records, frames) = read_exchange(&mut reader);
+    assert!(records.is_empty());
+    assert_eq!(frames, vec![Frame::Pong]);
+
+    // A malformed request yields one error frame and keeps the
+    // connection usable.
+    stream.write_all(b"this is not json\n").unwrap();
+    let (_, frames) = read_exchange(&mut reader);
+    assert!(matches!(frames[0], Frame::Error { .. }), "{frames:?}");
+    send(&mut stream, &Request::Ping);
+    let (_, frames) = read_exchange(&mut reader);
+    assert_eq!(frames, vec![Frame::Pong]);
+
+    // A protocol shutdown acknowledges, then the server drains.
+    send(&mut stream, &Request::Shutdown);
+    let (_, frames) = read_exchange(&mut reader);
+    assert_eq!(frames, vec![Frame::ShuttingDown]);
+    let report = server.stop();
+    assert_eq!(report.connections, 1);
+    assert!(!root.join("mmflow.sock").exists(), "socket path cleaned up");
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn batch_records_are_byte_identical_to_the_engine() {
+    let root = tmp_dir("bytes");
+    let spec = write_spec_dir(&root, 3);
+    let spec_str = spec.to_str().unwrap();
+
+    // Reference: the engine run `mmflow batch` would perform.
+    let reference_engine = Engine::new(EngineOptions {
+        threads: 1,
+        cache_dir: None,
+    })
+    .unwrap();
+    let batch = load_spec(spec_str, &test_options(), 4).unwrap();
+    let expected: Vec<String> = reference_engine
+        .run(batch.jobs)
+        .results
+        .iter()
+        .map(mm_engine::JobResult::to_json_line)
+        .collect();
+
+    let server = RunningServer::start(
+        &root,
+        ServeOptions {
+            threads: 2,
+            cache_dir: None,
+            max_connections: 4,
+        },
+    );
+    let mut stream = server.connect();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    send(&mut stream, &Request::Batch(test_request(spec_str)));
+    let (records, frames) = read_exchange(&mut reader);
+
+    assert_eq!(frames[0], Frame::Accepted { jobs: 3 });
+    assert_eq!(records, expected, "serve records == batch records");
+    let Frame::Summary { summary } = &frames[1] else {
+        panic!("expected summary, got {frames:?}");
+    };
+    assert_eq!(summary.get("jobs").and_then(|v| v.as_usize()), Some(3));
+    assert_eq!(summary.get("ok").and_then(|v| v.as_usize()), Some(3));
+    server.stop();
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn one_infeasible_job_fails_alone_with_a_structured_record() {
+    let root = tmp_dir("fail");
+    let spec_dir = write_spec_dir(&root, 2);
+    // A JSON spec: two good jobs plus one that cannot route (width cap
+    // 1) — the batch must finish with exactly one error record.
+    let spec_path = root.join("mixed.json");
+    let blif = |g: usize, m: usize| format!("{}/g{g}/m{m}.blif", spec_dir.display());
+    std::fs::write(
+        &spec_path,
+        format!(
+            r#"{{
+              "defaults": {{"width": 12, "effort": 1, "max_iterations": 30}},
+              "jobs": [
+                {{"name": "good0", "modes": ["{}", "{}"]}},
+                {{"name": "doomed", "modes": ["{}", "{}"],
+                  "width": 1, "max_width": 1, "max_iterations": 3}},
+                {{"name": "good1", "modes": ["{}", "{}"]}}
+              ]
+            }}"#,
+            blif(0, 0),
+            blif(0, 1),
+            blif(0, 0),
+            blif(0, 1),
+            blif(1, 0),
+            blif(1, 1),
+        ),
+    )
+    .unwrap();
+
+    let server = RunningServer::start(&root, ServeOptions::default());
+    let mut stream = server.connect();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    send(
+        &mut stream,
+        &Request::Batch(mm_engine::protocol::BatchRequest::new(
+            spec_path.to_str().unwrap(),
+        )),
+    );
+    let (records, frames) = read_exchange(&mut reader);
+    assert_eq!(records.len(), 3, "every job has a record: {records:?}");
+    assert!(records[0].contains("\"name\":\"good0\"") && records[0].contains("\"status\":\"ok\""));
+    assert!(
+        records[1].contains("\"name\":\"doomed\"")
+            && records[1].contains("\"status\":\"error\"")
+            && records[1].contains("\"stage\":\"route\""),
+        "{}",
+        records[1]
+    );
+    assert!(records[2].contains("\"name\":\"good1\"") && records[2].contains("\"status\":\"ok\""));
+    let Frame::Summary { summary } = &frames[1] else {
+        panic!("expected summary, got {frames:?}");
+    };
+    assert_eq!(summary.get("failed").and_then(|v| v.as_usize()), Some(1));
+
+    // A bad spec is an error frame, not a dropped connection.
+    send(
+        &mut stream,
+        &Request::Batch(mm_engine::protocol::BatchRequest::new("suite:nope")),
+    );
+    let (records, frames) = read_exchange(&mut reader);
+    assert!(records.is_empty());
+    assert!(matches!(frames[0], Frame::Error { .. }));
+    server.stop();
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn connections_share_one_cache_and_stream_independently() {
+    let root = tmp_dir("shared");
+    let spec = write_spec_dir(&root, 2);
+    let spec_str = spec.to_str().unwrap().to_string();
+    let server = RunningServer::start(
+        &root,
+        ServeOptions {
+            threads: 2,
+            cache_dir: Some(root.join("cache")),
+            max_connections: 4,
+        },
+    );
+
+    // Two clients submit the same batch concurrently; both must receive
+    // complete, identical, in-order streams.
+    let submit = |socket: PathBuf, spec: String| {
+        std::thread::spawn(move || {
+            let mut stream = UnixStream::connect(socket).unwrap();
+            let mut reader = BufReader::new(stream.try_clone().unwrap());
+            let mut line = Request::Batch(test_request(&spec)).to_json_line();
+            line.push('\n');
+            stream.write_all(line.as_bytes()).unwrap();
+            read_exchange(&mut reader)
+        })
+    };
+    let a = submit(server.socket.clone(), spec_str.clone());
+    let b = submit(server.socket.clone(), spec_str.clone());
+    let (records_a, _) = a.join().unwrap();
+    let (records_b, _) = b.join().unwrap();
+    assert_eq!(records_a.len(), 2);
+    assert_eq!(records_a, records_b, "concurrent streams identical");
+
+    // A third submission is fully warm: the shared cache answers.
+    let mut stream = server.connect();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    send(&mut stream, &Request::Batch(test_request(&spec_str)));
+    let (records, frames) = read_exchange(&mut reader);
+    assert_eq!(records, records_a, "cache transparency over the wire");
+    let Frame::Summary { summary } = &frames[1] else {
+        panic!("expected summary, got {frames:?}");
+    };
+    let cache = summary.get("cache").expect("summary carries cache block");
+    assert_eq!(
+        cache.get("results_from_cache").and_then(|v| v.as_usize()),
+        Some(2),
+        "{cache:?}"
+    );
+    assert_eq!(
+        cache.get("stages_recomputed").and_then(|v| v.as_usize()),
+        Some(0),
+        "{cache:?}"
+    );
+
+    let report = server.stop();
+    assert_eq!(report.batches, 3);
+    assert_eq!(report.jobs, 6);
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn binding_over_a_live_server_is_refused() {
+    let root = tmp_dir("bind2");
+    let server = RunningServer::start(&root, ServeOptions::default());
+    // The path answers, so a second bind must fail instead of stealing
+    // the socket from the live server.
+    let err = Server::bind(
+        &Listen::Unix(server.socket.clone()),
+        &ServeOptions::default(),
+    )
+    .expect_err("second bind refused");
+    assert_eq!(err.kind(), std::io::ErrorKind::AddrInUse, "{err}");
+    // The live server is unharmed.
+    let mut stream = server.connect();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    send(&mut stream, &Request::Ping);
+    let (_, frames) = read_exchange(&mut reader);
+    assert_eq!(frames, vec![Frame::Pong]);
+    server.stop();
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn listen_addresses_parse() {
+    assert_eq!(
+        Listen::parse("unix:/tmp/x.sock").unwrap(),
+        Listen::Unix("/tmp/x.sock".into())
+    );
+    assert_eq!(
+        Listen::parse("/tmp/x.sock").unwrap(),
+        Listen::Unix("/tmp/x.sock".into())
+    );
+    assert_eq!(
+        Listen::parse("tcp:127.0.0.1:9000").unwrap(),
+        Listen::Tcp("127.0.0.1:9000".into())
+    );
+    assert_eq!(
+        Listen::parse("127.0.0.1:0").unwrap(),
+        Listen::Tcp("127.0.0.1:0".into())
+    );
+    assert!(Listen::parse("mystery").is_err());
+}
+
+#[test]
+fn tcp_transport_works_too() {
+    let root = tmp_dir("tcp");
+    let spec = write_spec_dir(&root, 1);
+    let server =
+        Server::bind(&Listen::Tcp("127.0.0.1:0".into()), &ServeOptions::default()).unwrap();
+    let Listen::Tcp(addr) = server.listen_addr().clone() else {
+        panic!("tcp bind reports tcp addr");
+    };
+    let handle = server.handle();
+    let thread = std::thread::spawn(move || server.run());
+
+    let mut stream = std::net::TcpStream::connect(&addr).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut line = Request::Batch(test_request(spec.to_str().unwrap())).to_json_line();
+    line.push('\n');
+    stream.write_all(line.as_bytes()).unwrap();
+    // Reuse the unix read loop shape inline (TcpStream reader).
+    let mut records = 0;
+    let mut buf = String::new();
+    loop {
+        buf.clear();
+        assert!(reader.read_line(&mut buf).unwrap() > 0);
+        match classify(buf.trim_end()).unwrap() {
+            ServerLine::Record(_) => records += 1,
+            ServerLine::Frame(Frame::Summary { .. }) => break, // trailer ends the exchange
+            ServerLine::Frame(_) => {}
+        }
+    }
+    assert_eq!(records, 1);
+    drop(stream);
+    handle.shutdown();
+    thread.join().unwrap().unwrap();
+    let _ = std::fs::remove_dir_all(&root);
+}
