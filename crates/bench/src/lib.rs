@@ -54,13 +54,36 @@ impl BenchmarkSet {
         }
     }
 
-    /// The multi-mode pairings of the suite.
+    /// The multi-mode pairings of the suite (the paper's N = 2 case of
+    /// [`BenchmarkSet::tuples`]).
     #[must_use]
     pub fn pairs(self) -> Vec<(usize, usize)> {
-        match self {
-            BenchmarkSet::RegExp | BenchmarkSet::Mcnc => mm_gen::all_pairs(mm_gen::SUITE_SIZE),
-            BenchmarkSet::Fir => mm_gen::fir_mode_pairs(),
-        }
+        self.tuples(2).into_iter().map(|t| (t[0], t[1])).collect()
+    }
+
+    /// The `modes`-ary combinations of the suite: every ascending tuple
+    /// for RegExp/MCNC, interleaved filter families for FIR.
+    ///
+    /// # Panics
+    ///
+    /// Panics on mode counts the suite cannot supply (mirroring the
+    /// engine's `suite_jobs_n` validation) — a bench binary silently
+    /// iterating zero or differently-sized problems would report
+    /// nothing wrong while measuring the wrong workload.
+    #[must_use]
+    pub fn tuples(self, modes: usize) -> Vec<Vec<usize>> {
+        let tuples = match self {
+            BenchmarkSet::RegExp | BenchmarkSet::Mcnc => {
+                mm_gen::all_tuples(mm_gen::SUITE_SIZE, modes)
+            }
+            BenchmarkSet::Fir => mm_gen::fir_mode_tuples(modes),
+        };
+        assert!(
+            modes >= 2 && tuples.first().is_some_and(|t| t.len() == modes),
+            "suite {} cannot form {modes}-mode problems",
+            self.name()
+        );
+        tuples
     }
 }
 

@@ -22,9 +22,11 @@
 //!   live); a secondary wire-length-only measurement rides along in the
 //!   same report.
 //! * [`flow_perf`] — the batch engine. A cold run against an empty stage
-//!   cache, a warm re-run (everything from cache), and a `pair` job that
+//!   cache, a warm re-run (everything from cache), a `pair` job that
 //!   shares the placement stages plain `dcs`/`mdr` jobs cached — the
-//!   cross-job stage-sharing number.
+//!   cross-job stage-sharing number — and an `nmodes` sub-benchmark:
+//!   3-mode combined-comparison jobs cold/warm, parity-gated on
+//!   `run_combined_n` over two modes reproducing `run_pair` exactly.
 //! * [`serve_perf`] — the long-running service. A real `mm-serve` server
 //!   on a Unix socket, a cold batch submitted over the wire and a warm
 //!   re-submission against the shared stage cache: end-to-end jobs/sec
@@ -491,6 +493,51 @@ pub struct FlowPerf {
     pub pair_stages_recomputed: usize,
     /// Warm-run cache hit rate (hits / lookups).
     pub warm_hit_rate: f64,
+    /// The multi-mode (>2 modes per problem) sub-benchmark.
+    pub nmodes: NModesPerf,
+}
+
+/// The multi-mode sub-benchmark: a batch of 3-mode combined-comparison
+/// jobs through the engine, cold and warm, parity-gated on the N = 2
+/// case (`run_combined_n` over two modes must equal `run_pair` — record
+/// bytes included).
+#[derive(Debug, Clone)]
+pub struct NModesPerf {
+    /// Modes per problem in the workload.
+    pub modes: usize,
+    /// Jobs in the batch.
+    pub jobs: usize,
+    /// Cold batch wall-clock (stages not yet cached), milliseconds.
+    pub cold_wall_ms: f64,
+    /// Warm batch wall-clock (everything cached), milliseconds.
+    pub warm_wall_ms: f64,
+    /// cold / warm wall-clock.
+    pub warm_speedup: f64,
+    /// Flow stages computed by the cold run.
+    pub cold_stages_recomputed: usize,
+    /// Flow stages computed by the warm run (0 = full transparency).
+    pub warm_stages_recomputed: usize,
+    /// Jobs per second on the cold run.
+    pub cold_jobs_per_sec: f64,
+    /// `run_combined_n` over two modes produced metrics and a JSONL
+    /// record byte-identical to `run_pair` on the same input.
+    pub parity_ok: bool,
+}
+
+impl NModesPerf {
+    fn json(&self) -> mm_engine::json::Value {
+        ObjBuilder::new()
+            .field("modes", self.modes)
+            .field("jobs", self.jobs)
+            .field("cold_wall_ms", round2(self.cold_wall_ms))
+            .field("warm_wall_ms", round2(self.warm_wall_ms))
+            .field("warm_speedup", round2(self.warm_speedup))
+            .field("cold_stages_recomputed", self.cold_stages_recomputed)
+            .field("warm_stages_recomputed", self.warm_stages_recomputed)
+            .field("cold_jobs_per_sec", round2(self.cold_jobs_per_sec))
+            .field("parity_ok", self.parity_ok)
+            .build()
+    }
 }
 
 impl FlowPerf {
@@ -514,6 +561,7 @@ impl FlowPerf {
             )
             .field("pair_stages_recomputed", self.pair_stages_recomputed)
             .field("warm_hit_rate", round2(self.warm_hit_rate))
+            .field("nmodes", self.nmodes.json())
             .build()
             .to_json()
     }
@@ -603,6 +651,63 @@ pub fn flow_perf(config: &PerfConfig) -> FlowPerf {
     let pair = engine.run(pair_jobs);
     let pair_info = pair.results[0].cache;
 
+    // The multi-mode scenario: 3-mode combined-comparison jobs through
+    // the same engine, cold then warm, plus the N = 2 parity gate
+    // (run_combined_n must reproduce run_pair byte-for-byte).
+    let nmode_count = 3usize;
+    let nmode_jobs: Vec<Job> = (0..if config.smoke { 2 } else { 3 })
+        .map(|g| {
+            let circuits = (0..nmode_count)
+                .map(|m| {
+                    // The seed base is calibrated: every 3-mode merge of
+                    // this family routes at the fixed quick width (edge
+                    // matching can be structurally unroutable on overly
+                    // dissimilar random circuits).
+                    random_circuit(
+                        &format!("m{m}"),
+                        5,
+                        luts + g % 2,
+                        29_100 + (m * 1000 + g) as u64,
+                    )
+                })
+                .collect();
+            Job {
+                name: format!("n3-{g}"),
+                circuits,
+                flow: FlowKind::Pair,
+                options,
+            }
+        })
+        .collect();
+    let nmode_cold = engine.run(nmode_jobs.clone());
+    let nmode_warm = engine.run(nmode_jobs.clone());
+    // The gate is a regression tripwire, not a tautology check: today
+    // `run_pair` delegates to the same staged code as `run_combined_n`,
+    // and this keeps the committed BENCH artifact asserting that the
+    // two entry points never diverge again.
+    let parity_ok = {
+        let two = jobs[0].circuits.clone();
+        let input = mm_flow::MultiModeInput::new(two.clone()).expect("bench circuits are valid");
+        let via_pair = mm_flow::run_pair(&input, &options, "parity").expect("pair runs");
+        let via_n = mm_flow::run_combined_n(&two, &options, "parity").expect("combined runs");
+        via_pair == via_n
+            && mm_engine::JobOutcome::Pair(via_pair).to_value().to_json()
+                == mm_engine::JobOutcome::Pair(via_n).to_value().to_json()
+    };
+    let nmode_cold_ms = nmode_cold.wall.as_secs_f64() * 1000.0;
+    let nmode_warm_ms = nmode_warm.wall.as_secs_f64() * 1000.0;
+    let nmodes = NModesPerf {
+        modes: nmode_count,
+        jobs: nmode_jobs.len(),
+        cold_wall_ms: nmode_cold_ms,
+        warm_wall_ms: nmode_warm_ms,
+        warm_speedup: nmode_cold_ms / nmode_warm_ms.max(1e-9),
+        cold_stages_recomputed: nmode_cold.stats.stages_recomputed,
+        warm_stages_recomputed: nmode_warm.stats.stages_recomputed,
+        cold_jobs_per_sec: nmode_jobs.len() as f64 / nmode_cold.wall.as_secs_f64().max(1e-9),
+        parity_ok,
+    };
+
     let _ = std::fs::remove_dir_all(&dir);
 
     let cold_ms = cold.wall.as_secs_f64() * 1000.0;
@@ -625,6 +730,7 @@ pub fn flow_perf(config: &PerfConfig) -> FlowPerf {
         } else {
             0.0
         },
+        nmodes,
     }
 }
 
@@ -849,6 +955,17 @@ mod tests {
             perf.pair_placement_hits_from_plain_jobs, 2,
             "pair shares mdr + dcs-wl legs with plain jobs"
         );
-        assert!(mm_engine::json::parse(&perf.to_json()).is_ok());
+        // The multi-mode sub-benchmark: warm transparency and the N = 2
+        // parity gate.
+        assert_eq!(perf.nmodes.modes, 3);
+        assert!(perf.nmodes.cold_stages_recomputed > 0);
+        assert_eq!(
+            perf.nmodes.warm_stages_recomputed, 0,
+            "3-mode warm run fully cached"
+        );
+        assert!(perf.nmodes.parity_ok, "run_combined_n(N=2) == run_pair");
+        let json = perf.to_json();
+        assert!(json.contains("\"nmodes\""), "{json}");
+        assert!(mm_engine::json::parse(&json).is_ok());
     }
 }

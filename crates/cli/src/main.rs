@@ -31,7 +31,8 @@ USAGE:
                                           in parallel with stage caching;
                                           SPEC is a JSON spec file, a
                                           directory of BLIF mode groups, or
-                                          suite:<regexp|fir|mcnc>
+                                          suite:<regexp|fir|mcnc>[:<modes>]
+                                          (modes per problem, default 2)
   mmflow serve --listen <ADDR>            run the long-running batch service:
                                           one shared engine + stage cache,
                                           JSONL protocol over a Unix or TCP
@@ -61,6 +62,8 @@ OPTIONS:
 BATCH OPTIONS:
   -k <N>           LUT width for directory BLIFs and generated suites
                    (default 4; spec files may set their own \"k\")
+  --modes <N>      modes per problem for generated suites (default 2;
+                   equivalent to the suite:<name>:<N> spelling)
   --threads <N>    worker threads (default: one per CPU; 1 = serial)
   --serial         shorthand for --threads 1
   --cache <DIR>    stage-cache directory (default .mmcache)
@@ -78,6 +81,7 @@ SERVE OPTIONS:
 SUBMIT OPTIONS:
   --connect <ADDR>  the service address (required)
   -k <N>            LUT width for directory BLIFs and generated suites
+  --modes <N>       modes per problem for generated suites
   --jobs <N>        only run the first N jobs of the batch
   --seed/--width/--effort/--max-iterations/--max-width
                     flow overrides, as in batch specs
@@ -271,7 +275,7 @@ fn cmd_mdr(args: &[String]) -> Result<(), Box<dyn Error>> {
 }
 
 fn cmd_batch(args: &[String]) -> Result<(), Box<dyn Error>> {
-    use mm_engine::{load_spec, Engine, EngineOptions};
+    use mm_engine::{load_spec_with_modes, Engine, EngineOptions};
     use std::io::Write;
 
     let mut spec: Option<String> = None;
@@ -281,11 +285,13 @@ fn cmd_batch(args: &[String]) -> Result<(), Box<dyn Error>> {
     let mut out_path: Option<String> = None;
     let mut flow = FlowOptions::default();
     let mut k = 4usize;
+    let mut modes: Option<usize> = None;
 
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "-k" => k = next_value(&mut it, "-k")?.parse()?,
+            "--modes" => modes = Some(next_value(&mut it, "--modes")?.parse()?),
             "--threads" => threads = next_value(&mut it, "--threads")?.parse()?,
             "--serial" => threads = 1,
             "--cache" => {
@@ -308,7 +314,7 @@ fn cmd_batch(args: &[String]) -> Result<(), Box<dyn Error>> {
     }
     let spec = spec.ok_or("batch needs a spec: a JSON file, a directory, or suite:<name>")?;
 
-    let mut batch = load_spec(&spec, &flow, k)?;
+    let mut batch = load_spec_with_modes(&spec, &flow, k, modes)?;
     batch.jobs.truncate(max_jobs);
     let job_count = batch.jobs.len();
     eprintln!("batch: {} jobs from {spec}", job_count);
@@ -405,6 +411,7 @@ fn cmd_submit(args: &[String]) -> Result<(), Box<dyn Error>> {
     let mut out_path: Option<String> = None;
     let mut shutdown = false;
     let mut k: Option<usize> = None;
+    let mut modes: Option<usize> = None;
     let mut max_jobs: Option<usize> = None;
     let mut seed: Option<u64> = None;
     let mut width: Option<usize> = None;
@@ -419,6 +426,7 @@ fn cmd_submit(args: &[String]) -> Result<(), Box<dyn Error>> {
             "--out" => out_path = Some(next_value(&mut it, "--out")?.clone()),
             "--shutdown" => shutdown = true,
             "-k" => k = Some(next_value(&mut it, "-k")?.parse()?),
+            "--modes" => modes = Some(next_value(&mut it, "--modes")?.parse()?),
             "--jobs" => max_jobs = Some(next_value(&mut it, "--jobs")?.parse()?),
             "--seed" => seed = Some(next_value(&mut it, "--seed")?.parse()?),
             "--width" => width = Some(next_value(&mut it, "--width")?.parse()?),
@@ -445,6 +453,7 @@ fn cmd_submit(args: &[String]) -> Result<(), Box<dyn Error>> {
     if let Some(spec) = spec {
         let mut request = BatchRequest::new(spec);
         request.k = k.unwrap_or(4);
+        request.modes = modes;
         request.max_jobs = max_jobs;
         request.seed = seed;
         request.width = width;
@@ -542,6 +551,21 @@ fn cmd_bench(args: &[String]) -> Result<(), Box<dyn Error>> {
         flow.warm_stages_recomputed,
         flow.pair_placement_hits_from_plain_jobs,
     );
+    eprintln!(
+        "  flow[{}-mode]: cold {:.2} ms ({:.1} jobs/s), warm {:.2} ms → {:.2}x; \
+         warm stages recomputed {}, N=2 parity {}",
+        flow.nmodes.modes,
+        flow.nmodes.cold_wall_ms,
+        flow.nmodes.cold_jobs_per_sec,
+        flow.nmodes.warm_wall_ms,
+        flow.nmodes.warm_speedup,
+        flow.nmodes.warm_stages_recomputed,
+        if flow.nmodes.parity_ok {
+            "ok"
+        } else {
+            "FAILED"
+        },
+    );
     eprintln!("bench: serve workload (real unix socket) ...");
     let serve = serve_perf(&config);
     eprintln!(
@@ -559,6 +583,9 @@ fn cmd_bench(args: &[String]) -> Result<(), Box<dyn Error>> {
     }
     if !place.parity_ok() {
         return Err("placer benchmark failed its parity sanity checks".into());
+    }
+    if !flow.nmodes.parity_ok {
+        return Err("flow benchmark: run_combined_n(N=2) diverged from run_pair".into());
     }
     if !serve.parity_ok {
         return Err("serve benchmark streamed different bytes than the engine".into());

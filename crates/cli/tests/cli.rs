@@ -204,6 +204,40 @@ fn batch_rejects_bad_specs() {
 }
 
 #[test]
+fn batch_validates_suite_mode_counts() {
+    // An infeasible suite mode count fails fast (before any circuit is
+    // generated), in both spellings.
+    let out = mmflow()
+        .args(["batch", "suite:regexp:1", "--no-cache"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("at least 2 modes"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let out = mmflow()
+        .args(["batch", "suite:regexp", "--modes", "1", "--no-cache"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    // A mode-count override on a non-suite spec is rejected.
+    let dir = tmpdir("modesdir");
+    let out = mmflow()
+        .args(["batch", dir.to_str().unwrap(), "--modes", "3", "--no-cache"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("generated suites"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn bad_usage_fails_with_help() {
     let out = mmflow().args(["frobnicate"]).output().unwrap();
     assert!(!out.status.success());
@@ -242,6 +276,10 @@ fn bench_smoke_writes_parseable_json_artefacts() {
         );
         assert!(text.contains("\"bench\""), "{text}");
     }
+    // The flow artefact carries the parity-gated multi-mode section.
+    let flow = std::fs::read_to_string(dir.join("BENCH_flow.json")).unwrap();
+    assert!(flow.contains("\"nmodes\""), "{flow}");
+    assert!(flow.contains("\"parity_ok\":true"), "{flow}");
     let _ = std::fs::remove_dir_all(&dir);
 }
 

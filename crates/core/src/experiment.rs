@@ -2,6 +2,12 @@
 //! MDR and both DCS variants on the *same* fabric and collect the metrics
 //! behind Table I and Figures 5–7.
 //!
+//! The comparison is defined for **any mode count** N ≥ 1, not just the
+//! paper's pairs: every stage iterates the modes of the input, the MDR
+//! leg anneals and routes one single-mode implementation per mode, and
+//! the diff cost averages over all ordered mode pairs. The historical
+//! `*_pair` names survive as thin wrappers around the N-ary entry points.
+//!
 //! Fabric sizing follows the paper per implementation: the array is sized
 //! for the biggest mode (+20% area, shared by all flows — the
 //! reconfigurable region is one physical resource), while each flow's
@@ -12,30 +18,37 @@
 //!
 //! The comparison is staged so the batch engine can cache and share work:
 //!
-//! * [`place_pair`] — the three annealing stages (per-mode MDR
-//!   placements, edge-matching and wire-length combined placements), run
-//!   concurrently on the work-stealing pool; each stage is
-//!   content-addressed identically to the plain `mdr`/`dcs` jobs, so a
-//!   pair job shares placements with them.
-//! * [`run_pair_with_placements`] — width resolution, routing and
+//! * [`place_combined_n`] — the N+2 annealing stages (one per-mode MDR
+//!   placement per mode, plus the edge-matching and wire-length combined
+//!   placements), run concurrently on the work-stealing pool; each stage
+//!   is content-addressed identically to the plain `mdr`/`dcs` jobs, so
+//!   a combined job shares placements with them.
+//! * [`run_combined_with_placements`] — width resolution, routing and
 //!   configuration extraction; the MDR leg and the two DCS variants run
 //!   concurrently.
 //!
-//! [`run_pair`] chains the two; with
+//! [`run_combined_n`] chains the two over a plain `&[LutCircuit]`; with
 //! [`FlowOptions::intra_parallelism`] `== 1` everything runs serially and
-//! the results are byte-identical.
+//! the results are byte-identical. [`run_pair`] (N = 2 callers) delegates
+//! to the same code, so its output is byte-identical by construction —
+//! and pinned by the parity property tests.
 
 use crate::flow::{intra_threads, resolve_width};
 use crate::{pool, FlowError, FlowOptions, MultiModeInput, TunableCircuit};
 use mm_arch::{Architecture, RoutingGraph};
 use mm_bitstream::{speedup, Config, ConfigModel, ParamConfig, RewriteCost};
 use mm_boolexpr::ModeSet;
+use mm_netlist::LutCircuit;
 use mm_place::{place_combined, place_single, CostKind, MultiPlacement, Placement, PlacerOptions};
 use mm_route::{nets_for_circuit, verify_routing, Router, RouterOptions};
 
-/// All per-pair measurements used by the figures.
+/// All per-problem measurements used by the figures, for any mode count.
+///
+/// The `*_pair` flows produce the same struct (they are N = 2 instances
+/// of the combined comparison); the historical [`PairMetrics`] name is an
+/// alias.
 #[derive(Debug, Clone, PartialEq)]
-pub struct PairMetrics {
+pub struct CombinedMetrics {
     /// Human-readable id, e.g. `regexp0+regexp3`.
     pub name: String,
     /// Array side length (shared region).
@@ -67,7 +80,10 @@ pub struct PairMetrics {
     pub mode_luts: Vec<usize>,
 }
 
-impl PairMetrics {
+/// Historical name of [`CombinedMetrics`], kept for API stability.
+pub type PairMetrics = CombinedMetrics;
+
+impl CombinedMetrics {
     /// Fig. 5: reconfiguration speed-up of DCS (edge matching) over MDR.
     #[must_use]
     pub fn speedup_edge(&self) -> f64 {
@@ -102,13 +118,14 @@ impl PairMetrics {
     }
 }
 
-/// The annealing outputs of the pairwise comparison — one per flow leg.
+/// The annealing outputs of the combined comparison — one per flow leg,
+/// for any mode count.
 ///
 /// These are exactly the placements a plain `mdr` job and the two `dcs`
 /// cost variants would produce, which is what lets the batch engine share
-/// the cached stages between pair jobs and plain jobs.
+/// the cached stages between combined jobs and plain jobs.
 #[derive(Debug, Clone)]
-pub struct PairPlacements {
+pub struct CombinedPlacements {
     /// Per-mode MDR placements (wire-length annealing per mode).
     pub mdr: Vec<Placement>,
     /// The edge-matching combined placement.
@@ -117,7 +134,10 @@ pub struct PairPlacements {
     pub wirelength: MultiPlacement,
 }
 
-/// One annealing task of [`place_pair`].
+/// Historical name of [`CombinedPlacements`], kept for API stability.
+pub type PairPlacements = CombinedPlacements;
+
+/// One annealing task of [`place_combined_n`].
 enum PlaceTask {
     MdrMode(usize),
     Edge,
@@ -129,17 +149,18 @@ enum PlaceOutput {
     Multi(MultiPlacement),
 }
 
-/// Stage 1 of the pairwise comparison: all three annealing legs, run
-/// concurrently on the work-stealing pool (serial when
+/// Stage 1 of the combined comparison: all N+2 annealing legs (one MDR
+/// placement per mode, plus the edge-matching and wire-length combined
+/// placements), run concurrently on the work-stealing pool (serial when
 /// [`FlowOptions::intra_parallelism`] is 1).
 ///
 /// # Errors
 ///
 /// Fails if any leg cannot be placed.
-pub fn place_pair(
+pub fn place_combined_n(
     input: &MultiModeInput,
     options: &FlowOptions,
-) -> Result<PairPlacements, FlowError> {
+) -> Result<CombinedPlacements, FlowError> {
     let base = options.base_arch(input);
     let m = input.mode_count();
     let mut tasks: Vec<PlaceTask> = (0..m).map(PlaceTask::MdrMode).collect();
@@ -199,11 +220,24 @@ pub fn place_pair(
         PlaceOutput::Multi(p) => p,
         PlaceOutput::Single(_) => unreachable!("wl task yields a combined placement"),
     };
-    Ok(PairPlacements {
+    Ok(CombinedPlacements {
         mdr,
         edge,
         wirelength,
     })
+}
+
+/// Thin N = 2-era wrapper around [`place_combined_n`], kept for API
+/// stability (it has always accepted any mode count).
+///
+/// # Errors
+///
+/// Fails if any leg cannot be placed.
+pub fn place_pair(
+    input: &MultiModeInput,
+    options: &FlowOptions,
+) -> Result<CombinedPlacements, FlowError> {
+    place_combined_n(input, options)
 }
 
 /// What one routed flow leg reports back.
@@ -338,7 +372,7 @@ fn run_dcs_leg(
     })
 }
 
-/// Stage 2 of the pairwise comparison: width resolution, routing and
+/// Stage 2 of the combined comparison: width resolution, routing and
 /// configuration extraction on top of existing placements. The MDR leg
 /// and the two DCS variants run concurrently (serially with
 /// [`FlowOptions::intra_parallelism`] `== 1`; results are identical
@@ -347,12 +381,12 @@ fn run_dcs_leg(
 /// # Errors
 ///
 /// Fails if the placements do not fit the input or a leg cannot route.
-pub fn run_pair_with_placements(
+pub fn run_combined_with_placements(
     input: &MultiModeInput,
     options: &FlowOptions,
     name: impl Into<String>,
-    placements: &PairPlacements,
-) -> Result<PairMetrics, FlowError> {
+    placements: &CombinedPlacements,
+) -> Result<CombinedMetrics, FlowError> {
     let base = options.base_arch(input);
 
     // Guard against stale/poisoned placements (e.g. a corrupted cache):
@@ -446,7 +480,7 @@ pub fn run_pair_with_placements(
         }
     };
 
-    Ok(PairMetrics {
+    Ok(CombinedMetrics {
         name: name.into(),
         grid: base.grid,
         width_mdr,
@@ -464,7 +498,45 @@ pub fn run_pair_with_placements(
     })
 }
 
-/// Runs the full comparison for one multi-mode circuit.
+/// Thin N = 2-era wrapper around [`run_combined_with_placements`], kept
+/// for API stability.
+///
+/// # Errors
+///
+/// Fails if the placements do not fit the input or a leg cannot route.
+pub fn run_pair_with_placements(
+    input: &MultiModeInput,
+    options: &FlowOptions,
+    name: impl Into<String>,
+    placements: &CombinedPlacements,
+) -> Result<CombinedMetrics, FlowError> {
+    run_combined_with_placements(input, options, name, placements)
+}
+
+/// Runs the full comparison for one N-mode problem, straight from the
+/// mode circuits: input validation, the N+2 annealing legs, then width
+/// resolution, routing and configuration extraction.
+///
+/// This is the N-ary primary entry point; [`run_pair`] delegates here
+/// (via the same staged functions), so a 2-element slice produces output
+/// byte-identical to the historical pair flow.
+///
+/// # Errors
+///
+/// Fails on invalid inputs or if any flow leg cannot place or route.
+pub fn run_combined_n(
+    circuits: &[LutCircuit],
+    options: &FlowOptions,
+    name: impl Into<String>,
+) -> Result<CombinedMetrics, FlowError> {
+    let input = MultiModeInput::new(circuits.to_vec())?;
+    let placements = place_combined_n(&input, options)?;
+    run_combined_with_placements(&input, options, name, &placements)
+}
+
+/// Runs the full comparison for one multi-mode circuit (any mode count —
+/// the name is historical; this is a thin wrapper over the combined-N
+/// staged flow).
 ///
 /// # Errors
 ///
@@ -473,9 +545,9 @@ pub fn run_pair(
     input: &MultiModeInput,
     options: &FlowOptions,
     name: impl Into<String>,
-) -> Result<PairMetrics, FlowError> {
-    let placements = place_pair(input, options)?;
-    run_pair_with_placements(input, options, name, &placements)
+) -> Result<CombinedMetrics, FlowError> {
+    let placements = place_combined_n(input, options)?;
+    run_combined_with_placements(input, options, name, &placements)
 }
 
 #[cfg(test)]
@@ -587,6 +659,40 @@ mod tests {
         let staged = run_pair_with_placements(&input, &options, "s", &placements).unwrap();
         let whole = run_pair(&input, &options, "s").unwrap();
         assert_eq!(staged, whole);
+    }
+
+    #[test]
+    fn combined_n_equals_pair_wrapper_for_two_modes() {
+        let circuits = vec![
+            random_circuit("m0", 5, 12, 91),
+            random_circuit("m1", 5, 13, 92),
+        ];
+        let input = MultiModeInput::new(circuits.clone()).unwrap();
+        let options = FlowOptions::default().with_fixed_width(14);
+        let pair = run_pair(&input, &options, "n2").unwrap();
+        let combined = run_combined_n(&circuits, &options, "n2").unwrap();
+        assert_eq!(pair, combined, "run_pair is a thin run_combined_n wrapper");
+    }
+
+    #[test]
+    fn three_mode_combined_comparison_runs() {
+        let circuits = vec![
+            random_circuit("m0", 5, 10, 101),
+            random_circuit("m1", 5, 11, 102),
+            random_circuit("m2", 5, 12, 103),
+        ];
+        let options = FlowOptions::default().with_fixed_width(14);
+        let metrics = run_combined_n(&circuits, &options, "n3").unwrap();
+        assert_eq!(metrics.mode_luts.len(), 3);
+        assert_eq!(metrics.tunable_stats.modes, 3);
+        assert!(metrics.wires_mdr > 0.0);
+        assert!(metrics.mdr.routing_bits > 0);
+        // The diff cost averages over the 6 ordered mode pairs and must
+        // stay below rewriting the whole region.
+        assert!(metrics.diff.routing_bits < metrics.mdr.routing_bits);
+        // Three similar-size modes: region ≈ a third of the static area.
+        let area = metrics.area_vs_static();
+        assert!(area > 0.25 && area < 0.55, "area ratio {area}");
     }
 
     #[test]

@@ -132,8 +132,9 @@ pub struct FlowOptions {
     /// Output connection-block flexibility.
     pub fc_out: f64,
     /// Worker threads for parallel sections *inside* one flow run
-    /// (per-mode MDR placements, the flow legs of `run_pair`): `0` = one
-    /// per independent task, `1` = strictly serial. Results are
+    /// (per-mode MDR placements, the N+2 annealing legs and the routed
+    /// flow legs of `run_combined_n`): `0` = one per independent task,
+    /// `1` = strictly serial. Results are
     /// byte-identical at any setting (every task is independently
     /// seeded), so this deliberately does **not** participate in
     /// [`FlowOptions::fingerprint`] — serial and parallel runs share

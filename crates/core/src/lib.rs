@@ -14,8 +14,10 @@
 //! * [`MdrFlow`] — the Modular Dynamic Reconfiguration baseline.
 //! * [`DcsFlow`] — the paper's flow (wire-length or edge-matching
 //!   combined placement).
-//! * [`run_pair`] — the full experimental comparison on a shared fabric,
-//!   producing the measurements behind Figures 5–7.
+//! * [`run_combined_n`] — the full experimental comparison on a shared
+//!   fabric for **any mode count**, producing the measurements behind
+//!   Figures 5–7; [`run_pair`] is its historical N = 2-era wrapper
+//!   (byte-identical output by construction).
 //!
 //! # Example
 //!
@@ -47,7 +49,10 @@ pub mod timing;
 mod tunable;
 
 pub use error::FlowError;
-pub use experiment::{place_pair, run_pair, run_pair_with_placements, PairMetrics, PairPlacements};
+pub use experiment::{
+    place_combined_n, place_pair, run_combined_n, run_combined_with_placements, run_pair,
+    run_pair_with_placements, CombinedMetrics, CombinedPlacements, PairMetrics, PairPlacements,
+};
 pub use flow::{DcsFlow, DcsResult, FlowOptions, MdrFlow, MdrResult, MultiModeInput, WidthChoice};
 pub use report::Stats;
 pub use timing::{dcs_mode_timing, mdr_mode_timing, TimingReport, LUT_DELAY};
@@ -65,7 +70,8 @@ const _: () = {
     assert_send_sync::<MdrFlow>();
     assert_send_sync::<DcsResult>();
     assert_send_sync::<MdrResult>();
-    assert_send_sync::<PairMetrics>();
+    assert_send_sync::<CombinedMetrics>();
+    assert_send_sync::<CombinedPlacements>();
     assert_send_sync::<TunableCircuit>();
     assert_send_sync::<FlowError>();
 };

@@ -25,11 +25,13 @@
 //!   configuration share this entry even across different router
 //!   settings.
 //!
-//! `pair` jobs (the full experimental comparison) are stage-granular
-//! too: their three annealing legs (MDR per-mode, DCS edge-matching,
-//! DCS wire-length) use **the same** placement keys as the plain
-//! `mdr`/`dcs` jobs, so placements flow freely between pair jobs and
-//! plain jobs in either direction. Failures are never cached.
+//! `pair` jobs (the full experimental comparison, any mode count —
+//! specs may spell the flow `combined`) are stage-granular too: their
+//! three annealing legs (MDR per-mode, DCS edge-matching, DCS
+//! wire-length) use **the same** placement keys as the plain `mdr`/`dcs`
+//! jobs on the same mode list, so placements flow freely between
+//! combined jobs and plain jobs in either direction. Failures are never
+//! cached.
 
 use crate::cache::{CacheStats, StageCache};
 use crate::hash::Sha256;
@@ -39,7 +41,7 @@ use crate::job::{
 };
 use crate::json::ObjBuilder;
 use mm_flow::pool;
-use mm_flow::{run_pair_with_placements, DcsFlow, MdrFlow, MultiModeInput, PairPlacements};
+use mm_flow::{run_combined_with_placements, CombinedPlacements, DcsFlow, MdrFlow, MultiModeInput};
 use mm_netlist::blif;
 use mm_place::PlacerOptions;
 use std::path::PathBuf;
@@ -326,7 +328,7 @@ impl Engine {
         let outcome = match job.flow {
             FlowKind::Dcs(cost) => self.run_dcs(job, &input, cost, keys.as_ref(), info)?,
             FlowKind::Mdr => self.run_mdr(job, &input, keys.as_ref(), info)?,
-            FlowKind::Pair => self.run_pair_staged(job, &input, keys.as_ref(), info)?,
+            FlowKind::Pair => self.run_combined_staged(job, &input, keys.as_ref(), info)?,
         };
         if let (Some(cache), Some(key)) = (&self.cache, &result_key) {
             cache.put("result", key, &outcome.to_value());
@@ -437,14 +439,15 @@ impl Engine {
         }))
     }
 
-    /// Runs a `pair` job with stage-granular caching: each of the three
-    /// annealing legs is looked up (and stored) under **exactly** the
-    /// placement key a plain `mdr`/`dcs` job would use, so placements are
-    /// shared between pair jobs and plain jobs in both directions. Only
+    /// Runs a `pair`/`combined` job (any mode count) with stage-granular
+    /// caching: each of the three annealing legs is looked up (and
+    /// stored) under **exactly** the placement key a plain `mdr`/`dcs`
+    /// job on the same mode list would use, so placements are shared
+    /// between combined jobs and plain jobs in both directions. Only
     /// the missing legs are recomputed; when all three miss they anneal
     /// concurrently on the work-stealing pool (within the job's
     /// intra-parallelism budget).
-    fn run_pair_staged(
+    fn run_combined_staged(
         &self,
         job: &Job,
         input: &MultiModeInput,
@@ -558,15 +561,16 @@ impl Engine {
         let missing_leg = |leg: &'static str| {
             JobError::engine(format!("pair {leg} leg neither cached nor computed"))
         };
-        let placements = PairPlacements {
+        let placements = CombinedPlacements {
             mdr: mdr.ok_or_else(|| missing_leg("mdr"))?,
             edge: edge.ok_or_else(|| missing_leg("edge"))?,
             wirelength: wl.ok_or_else(|| missing_leg("wirelength"))?,
         };
 
         info.stages_recomputed += 1; // routing + extraction of the three legs
-        let metrics = run_pair_with_placements(input, &job.options, job.name.clone(), &placements)
-            .map_err(|e| JobError::from_flow(&e))?;
+        let metrics =
+            run_combined_with_placements(input, &job.options, job.name.clone(), &placements)
+                .map_err(|e| JobError::from_flow(&e))?;
         Ok(JobOutcome::Pair(metrics))
     }
 

@@ -4,9 +4,11 @@
 //! plus the flow to run on it ([`FlowKind`]) and its [`FlowOptions`].
 //! Jobs come from three sources, all handled by [`load_spec`]:
 //!
-//! * a JSON spec file (`{"defaults": …, "jobs": [{"modes": [...]}, …]}`),
+//! * a JSON spec file (`{"defaults": …, "jobs": [{"modes": [...]}, …]}`
+//!   — each job's `"modes"` array is the mode list, any length),
 //! * a directory whose subdirectories each hold one BLIF mode group,
-//! * a generated suite (`suite:regexp`, `suite:fir`, `suite:mcnc`).
+//! * a generated suite (`suite:regexp`, `suite:fir`, `suite:mcnc`),
+//!   optionally with a mode count per problem (`suite:regexp:3`).
 //!
 //! A [`JobResult`] serializes to one deterministic JSON line: the record
 //! is purely semantic (no timings, no cache provenance), so a cached
@@ -28,8 +30,11 @@ pub enum FlowKind {
     Dcs(CostKind),
     /// The MDR baseline.
     Mdr,
-    /// The full experimental comparison (`run_pair`): MDR + both DCS
-    /// variants on the same fabric.
+    /// The full experimental comparison (`run_combined_n`): MDR + both
+    /// DCS variants on the same fabric, for any mode count. The name is
+    /// historical (the record/cache identity stays `pair` so existing
+    /// streams and caches remain byte-stable); specs may spell it
+    /// `pair` or `combined`.
     Pair,
 }
 
@@ -56,8 +61,9 @@ impl FlowKind {
         }
     }
 
-    /// Parses `dcs` / `mdr` / `pair`, with `dcs` cost selectors
-    /// `wl` / `edge` / `hybrid:<lambda>` as in the `mmflow` CLI.
+    /// Parses `dcs` / `mdr` / `pair` (alias `combined`), with `dcs` cost
+    /// selectors `wl` / `edge` / `hybrid:<lambda>` as in the `mmflow`
+    /// CLI.
     ///
     /// # Errors
     ///
@@ -91,8 +97,10 @@ impl FlowKind {
         match kind {
             "dcs" => Ok(FlowKind::Dcs(cost_kind)),
             "mdr" => Ok(FlowKind::Mdr),
-            "pair" => Ok(FlowKind::Pair),
-            other => Err(format!("unknown flow '{other}' (dcs|mdr|pair)")),
+            // `combined` is the N-mode-era spelling; identity (records,
+            // cache keys) deliberately stays `pair` either way.
+            "pair" | "combined" => Ok(FlowKind::Pair),
+            other => Err(format!("unknown flow '{other}' (dcs|mdr|pair|combined)")),
         }
     }
 }
@@ -507,11 +515,14 @@ pub struct BatchSpec {
 
 /// Loads a batch from `spec`:
 ///
-/// * `suite:<regexp|fir|mcnc>` — the paper's multi-mode pairings of a
-///   generated suite;
+/// * `suite:<regexp|fir|mcnc>[:<modes>]` — the paper's multi-mode
+///   combinations of a generated suite; the optional `:<modes>` suffix
+///   selects the mode count per problem (default 2 — the paper's
+///   pairings);
 /// * a directory — every subdirectory holding `.blif` files becomes one
-///   job (modes in filename order);
-/// * anything else — a JSON spec file (see the module docs).
+///   job (modes in filename order, any count);
+/// * anything else — a JSON spec file (see the module docs; each job's
+///   `"modes"` array carries the mode list, any length).
 ///
 /// `base` supplies the flow options jobs inherit; spec files can
 /// override seed/width/cost/flow per job or via `"defaults"`. `k` is
@@ -522,11 +533,45 @@ pub struct BatchSpec {
 ///
 /// Fails with a description of the first malformed entry.
 pub fn load_spec(spec: &str, base: &FlowOptions, k: usize) -> Result<BatchSpec, String> {
+    load_spec_with_modes(spec, base, k, None)
+}
+
+/// [`load_spec`] with an external mode-count override for generated
+/// suites — what `mmflow batch|submit --modes N` and the serve
+/// protocol's `modes` member resolve through. An explicit
+/// `suite:<name>:<modes>` suffix wins over `modes`; a `modes` override
+/// on a non-suite spec is an error (files and directories already carry
+/// their own mode lists).
+///
+/// # Errors
+///
+/// Fails with a description of the first malformed entry.
+pub fn load_spec_with_modes(
+    spec: &str,
+    base: &FlowOptions,
+    k: usize,
+    modes: Option<usize>,
+) -> Result<BatchSpec, String> {
     if let Some(suite) = spec.strip_prefix("suite:") {
+        let (name, inline) = match suite.split_once(':') {
+            Some((name, m)) => {
+                let m: usize = m
+                    .parse()
+                    .map_err(|_| format!("bad suite mode count '{m}' in '{spec}'"))?;
+                (name, Some(m))
+            }
+            None => (suite, None),
+        };
         return Ok(BatchSpec {
-            jobs: suite_jobs(suite, base, k)?,
+            jobs: suite_jobs_n(name, base, k, inline.or(modes).unwrap_or(2))?,
             source: SpecSource::Suite,
         });
+    }
+    if modes.is_some() {
+        return Err(format!(
+            "a mode count applies only to generated suites (suite:<name>); \
+             '{spec}' carries its own mode lists"
+        ));
     }
     let path = Path::new(spec);
     if path.is_dir() {
@@ -550,20 +595,59 @@ pub fn load_spec(spec: &str, base: &FlowOptions, k: usize) -> Result<BatchSpec, 
 ///
 /// Fails on unknown suite names.
 pub fn suite_jobs(suite: &str, base: &FlowOptions, k: usize) -> Result<Vec<Job>, String> {
-    let (circuits, pairs) = match suite {
+    suite_jobs_n(suite, base, k, 2)
+}
+
+/// The `modes`-ary combinations of one generated suite as jobs (named
+/// `<a>+<b>+…`), mapped to `k`-LUTs, with `base` options and the DCS
+/// wire-length flow. `modes == 2` reproduces [`suite_jobs`] exactly.
+///
+/// RegExp and MCNC enumerate every ascending combination of `modes`
+/// circuits out of the five; FIR interleaves the low-pass and high-pass
+/// families ([`mm_gen::fir_mode_tuples`]).
+///
+/// # Errors
+///
+/// Fails on unknown suite names and on mode counts the suite cannot
+/// supply.
+pub fn suite_jobs_n(
+    suite: &str,
+    base: &FlowOptions,
+    k: usize,
+    modes: usize,
+) -> Result<Vec<Job>, String> {
+    if modes < 2 {
+        return Err(format!(
+            "suite '{suite}' needs at least 2 modes per problem, got {modes}"
+        ));
+    }
+    let (circuits, tuples) = match suite {
         "regexp" => (
             mm_gen::regexp_suite(k),
-            mm_gen::all_pairs(mm_gen::SUITE_SIZE),
+            mm_gen::all_tuples(mm_gen::SUITE_SIZE, modes),
         ),
-        "fir" => (mm_gen::fir_suite(k), mm_gen::fir_mode_pairs()),
-        "mcnc" => (mm_gen::mcnc_suite(k), mm_gen::all_pairs(mm_gen::SUITE_SIZE)),
+        "fir" => (mm_gen::fir_suite(k), mm_gen::fir_mode_tuples(modes)),
+        "mcnc" => (
+            mm_gen::mcnc_suite(k),
+            mm_gen::all_tuples(mm_gen::SUITE_SIZE, modes),
+        ),
         other => return Err(format!("unknown suite '{other}' (regexp|fir|mcnc)")),
     };
-    Ok(pairs
+    if tuples.is_empty() || tuples[0].len() != modes {
+        return Err(format!(
+            "suite '{suite}' has only {} circuits — cannot form {modes}-mode problems",
+            circuits.len()
+        ));
+    }
+    Ok(tuples
         .into_iter()
-        .map(|(i, j)| Job {
-            name: format!("{}+{}", circuits[i].name(), circuits[j].name()),
-            circuits: vec![circuits[i].clone(), circuits[j].clone()],
+        .map(|tuple| Job {
+            name: tuple
+                .iter()
+                .map(|&i| circuits[i].name().to_string())
+                .collect::<Vec<_>>()
+                .join("+"),
+            circuits: tuple.iter().map(|&i| circuits[i].clone()).collect(),
             flow: FlowKind::Dcs(CostKind::WireLength),
             options: *base,
         })
@@ -974,6 +1058,31 @@ mod tests {
     fn bad_specs_are_rejected() {
         assert!(load_spec("suite:nope", &FlowOptions::default(), 4).is_err());
         assert!(load_spec("/nonexistent/spec.json", &FlowOptions::default(), 4).is_err());
+    }
+
+    #[test]
+    fn suite_mode_counts_are_validated() {
+        let base = FlowOptions::default();
+        // Malformed or infeasible counts fail before any circuit is
+        // generated (the checks precede suite synthesis).
+        assert!(load_spec("suite:regexp:x", &base, 4).is_err());
+        let err = load_spec("suite:regexp:1", &base, 4).unwrap_err();
+        assert!(err.contains("at least 2 modes"), "{err}");
+        assert!(load_spec_with_modes("suite:nope", &base, 4, Some(3)).is_err());
+        // A mode-count override only applies to generated suites.
+        let err = load_spec_with_modes("/nonexistent/spec.json", &base, 4, Some(3)).unwrap_err();
+        assert!(err.contains("generated suites"), "{err}");
+    }
+
+    #[test]
+    fn combined_flow_alias_parses_and_keeps_pair_identity() {
+        assert_eq!(FlowKind::parse("combined", None).unwrap(), FlowKind::Pair);
+        assert_eq!(FlowKind::parse("combined", None).unwrap().name(), "pair");
+        assert_eq!(
+            FlowKind::parse("combined", None).unwrap().fingerprint(),
+            FlowKind::parse("pair", None).unwrap().fingerprint(),
+            "both spellings share cache entries"
+        );
     }
 
     #[test]

@@ -47,10 +47,14 @@ pub const PROTOCOL_VERSION: u64 = 1;
 pub struct BatchRequest {
     /// The batch spec, resolved server-side exactly like `mmflow batch`:
     /// a JSON spec file path, a directory of BLIF mode groups, or
-    /// `suite:<regexp|fir|mcnc>`.
+    /// `suite:<regexp|fir|mcnc>[:<modes>]`.
     pub spec: String,
     /// LUT width for directory BLIFs and generated suites.
     pub k: usize,
+    /// Modes per problem for generated suites (`mmflow batch --modes`);
+    /// an explicit `suite:<name>:<modes>` spec suffix wins. File and
+    /// directory specs carry their own mode lists and reject this.
+    pub modes: Option<usize>,
     /// Run only the first N jobs.
     pub max_jobs: Option<usize>,
     /// Placer seed override.
@@ -72,6 +76,7 @@ impl BatchRequest {
         Self {
             spec: spec.into(),
             k: 4,
+            modes: None,
             max_jobs: None,
             seed: None,
             width: None,
@@ -130,6 +135,9 @@ impl Request {
                     .field("cmd", "batch")
                     .field("spec", b.spec.as_str())
                     .field("k", b.k);
+                if let Some(m) = b.modes {
+                    o = o.field("modes", m);
+                }
                 if let Some(n) = b.max_jobs {
                     o = o.field("max_jobs", n);
                 }
@@ -191,6 +199,7 @@ impl Request {
                 };
                 let mut request = BatchRequest::new(spec);
                 request.k = usize_field("k")?.unwrap_or(4);
+                request.modes = usize_field("modes")?;
                 request.max_jobs = usize_field("max_jobs")?;
                 request.width = usize_field("width")?;
                 request.max_iterations = usize_field("max_iterations")?;
@@ -339,6 +348,7 @@ mod tests {
     fn requests_roundtrip() {
         let mut batch = BatchRequest::new("suite:fir");
         batch.k = 5;
+        batch.modes = Some(3);
         batch.max_jobs = Some(3);
         batch.seed = Some(u64::MAX);
         batch.width = Some(12);
@@ -360,6 +370,7 @@ mod tests {
         assert_eq!(b.spec, "jobs/");
         assert_eq!(b.k, 4);
         assert_eq!(b.seed, Some(7));
+        assert_eq!(b.modes, None);
         assert_eq!(b.max_jobs, None);
 
         // Small seeds serialize as plain numbers.

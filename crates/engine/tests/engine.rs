@@ -222,6 +222,102 @@ fn pair_jobs_share_placement_stages_with_plain_jobs() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// The PR 2 `placement_hits` contract at N = 3: a combined job's
+/// single-mode legs use the same placement keys as plain `dcs`/`mdr`
+/// jobs on the same 3-mode list (sharing in both directions), and a
+/// warm re-run of the combined job recomputes zero stages.
+#[test]
+fn three_mode_combined_jobs_share_stages_and_rerun_warm() {
+    let dir = tmp_cache("n3share");
+    let engine = Engine::new(EngineOptions {
+        threads: 1, // sequential so earlier jobs seed the cache for later ones
+        cache_dir: Some(dir.clone()),
+    })
+    .unwrap();
+
+    // Shapes matter here: the edge-matching leg of the combined
+    // comparison can be structurally unroutable on very dissimilar
+    // random circuits; this trio routes at the fixed quick width.
+    let circuits = vec![
+        random_circuit("m0", 5, 8, 181),
+        random_circuit("m1", 5, 9, 182),
+        random_circuit("m2", 5, 8, 183),
+    ];
+    let job = |name: &str, flow: FlowKind, max_iterations: usize| {
+        let mut options = quick_options(7);
+        // Vary only the router so result keys miss while placement keys
+        // (which exclude router options) still match.
+        options.router.max_iterations = max_iterations;
+        Job {
+            name: name.into(),
+            circuits: circuits.clone(),
+            flow,
+            options,
+        }
+    };
+
+    // Warm the placement stages with *plain* 3-mode jobs.
+    let warm = engine.run(vec![
+        job("dcs", FlowKind::Dcs(CostKind::WireLength), 30),
+        job("mdr", FlowKind::Mdr, 30),
+    ]);
+    assert!(warm.results.iter().all(|r| r.outcome.is_ok()));
+
+    // A combined job on the same 3-mode list shares the MDR and DCS-wl
+    // legs; only the edge-matching leg and the routing stage compute.
+    let combined = engine.run(vec![job("combined", FlowKind::Pair, 29)]);
+    let info = combined.results[0].cache;
+    assert!(combined.results[0].outcome.is_ok());
+    assert!(info.placement_hit, "combined reuses plain-job annealing");
+    assert_eq!(info.placement_hits, 2, "mdr + dcs-wl legs from cache");
+    assert_eq!(info.stages_recomputed, 2, "edge leg + routing only");
+
+    // A warm re-run of the *same* combined job recomputes zero stages.
+    let rerun = engine.run(vec![job("combined", FlowKind::Pair, 29)]);
+    let rerun_info = rerun.results[0].cache;
+    assert!(rerun_info.result_hit, "combined result cached");
+    assert_eq!(rerun_info.stages_recomputed, 0, "warm N-mode re-run");
+    assert_eq!(
+        rerun.results[0].to_json_line(),
+        combined.results[0].to_json_line(),
+        "cache transparency at N = 3"
+    );
+
+    // And the sharing works in reverse: a plain 3-mode dcs-edge job
+    // reuses the edge leg the combined job stored.
+    let edge = engine.run(vec![job("edge", FlowKind::Dcs(CostKind::EdgeMatching), 27)]);
+    assert!(edge.results[0].outcome.is_ok());
+    assert!(
+        edge.results[0].cache.placement_hit,
+        "plain 3-mode job reuses combined-job annealing"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// `run_combined_n` at N = 2 streams records byte-identical to the
+/// historical pair flow, across several seeded circuits (the engine-level
+/// half of the parity campaign; the flow-level property test lives in
+/// the root facade's test suite).
+#[test]
+fn combined_n2_records_match_pair_records() {
+    for seed in [11u64, 12, 13] {
+        let circuits = vec![
+            random_circuit("m0", 5, 12 + seed as usize % 3, 400 + seed),
+            random_circuit("m1", 5, 13 + seed as usize % 2, 500 + seed),
+        ];
+        let options = quick_options(seed);
+        let input = mm_flow::MultiModeInput::new(circuits.clone()).unwrap();
+        let via_pair = mm_flow::run_pair(&input, &options, "p").unwrap();
+        let via_n = mm_flow::run_combined_n(&circuits, &options, "p").unwrap();
+        assert_eq!(via_pair, via_n, "seed {seed}");
+        assert_eq!(
+            mm_engine::JobOutcome::Pair(via_pair).to_value().to_json(),
+            mm_engine::JobOutcome::Pair(via_n).to_value().to_json(),
+            "record bytes, seed {seed}"
+        );
+    }
+}
+
 #[test]
 fn corrupted_cache_entries_are_recomputed_not_believed() {
     let dir = tmp_cache("corrupt");

@@ -13,6 +13,11 @@
 //!
 //! All generators are deterministic (seeded) and return circuits already
 //! technology-mapped to k-input LUTs.
+//!
+//! Beyond the paper's pairs, the suites combine into **N-mode** problems:
+//! [`all_tuples`] enumerates every ascending combination of `m` circuits
+//! (RegExp/MCNC triples, quadruples, …) and [`fir_mode_tuples`]
+//! generalizes the low-pass/high-pass pairing to `m` interleaved filters.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -157,8 +162,69 @@ pub fn all_pairs(n: usize) -> Vec<(usize, usize)> {
     pairs
 }
 
+/// All ascending `m`-element combinations of `0..n`, in lexicographic
+/// order — the N-mode generalization of [`all_pairs`] (`m == 2` yields
+/// the same pairs in the same order). `m == 0` or `m > n` yields no
+/// tuples.
+#[must_use]
+pub fn all_tuples(n: usize, m: usize) -> Vec<Vec<usize>> {
+    if m == 0 || m > n {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    let mut current: Vec<usize> = (0..m).collect();
+    loop {
+        out.push(current.clone());
+        // Advance the rightmost index that can still move.
+        let mut i = m;
+        loop {
+            if i == 0 {
+                return out;
+            }
+            i -= 1;
+            if current[i] + (m - i) < n {
+                break;
+            }
+        }
+        current[i] += 1;
+        for j in i + 1..m {
+            current[j] = current[j - 1] + 1;
+        }
+    }
+}
+
+/// The FIR `m`-mode tuples (indices into [`fir_suite`]'s output): tuple
+/// `i` interleaves the low-pass and high-pass families starting at
+/// filter `i`, walking the family index with wrap-around —
+/// `[lp i, hp i, lp i+1, hp i+1, …]` truncated to `m` modes. `m == 2`
+/// reproduces the paper's pairing (low-pass `i` with high-pass `i`,
+/// exactly [`fir_mode_pairs`]); there are always
+/// [`FIR_FAMILY_SIZE`] tuples. `m` is capped at `2 * FIR_FAMILY_SIZE`
+/// (beyond that a tuple would repeat a filter).
+#[must_use]
+pub fn fir_mode_tuples(m: usize) -> Vec<Vec<usize>> {
+    let m = m.min(2 * FIR_FAMILY_SIZE);
+    if m == 0 {
+        return Vec::new();
+    }
+    (0..FIR_FAMILY_SIZE)
+        .map(|i| {
+            (0..m)
+                .map(|j| {
+                    let family = (j % 2) * FIR_FAMILY_SIZE;
+                    family + (i + j / 2) % FIR_FAMILY_SIZE
+                })
+                .collect()
+        })
+        .collect()
+}
+
 /// The FIR pairing: low-pass `i` with high-pass `i` (indices into
 /// [`fir_suite`]'s output), giving the 10 multi-mode filters.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `fir_mode_tuples(2)`, which returns the identical pairs for any mode count"
+)]
 #[must_use]
 pub fn fir_mode_pairs() -> Vec<(usize, usize)> {
     (0..FIR_FAMILY_SIZE)
@@ -229,8 +295,62 @@ mod tests {
         assert_eq!(p[0], (0, 1));
         assert_eq!(p[9], (3, 4));
         assert!(p.iter().all(|&(i, j)| i < j && j < 5));
-        assert_eq!(fir_mode_pairs().len(), 10);
-        assert_eq!(fir_mode_pairs()[3], (3, 13));
+        assert_eq!(fir_mode_tuples(2).len(), 10);
+        assert_eq!(fir_mode_tuples(2)[3], vec![3, 13]);
+    }
+
+    #[test]
+    fn tuples_generalize_pairs() {
+        // m == 2 reproduces all_pairs exactly, order included.
+        let pairs: Vec<Vec<usize>> = all_pairs(5).into_iter().map(|(i, j)| vec![i, j]).collect();
+        assert_eq!(all_tuples(5, 2), pairs);
+        // C(5,3) = 10, C(5,4) = 5; tuples are ascending and in range.
+        let triples = all_tuples(5, 3);
+        assert_eq!(triples.len(), 10);
+        assert_eq!(triples[0], vec![0, 1, 2]);
+        assert_eq!(triples[9], vec![2, 3, 4]);
+        for t in &triples {
+            assert!(t.windows(2).all(|w| w[0] < w[1]) && t[2] < 5, "{t:?}");
+        }
+        assert_eq!(all_tuples(5, 4).len(), 5);
+        assert_eq!(all_tuples(5, 5), vec![vec![0, 1, 2, 3, 4]]);
+        assert!(all_tuples(5, 6).is_empty());
+        assert!(all_tuples(5, 0).is_empty());
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn fir_mode_tuples_of_two_equal_the_deprecated_pairs() {
+        let tuples = fir_mode_tuples(2);
+        let pairs: Vec<Vec<usize>> = fir_mode_pairs()
+            .into_iter()
+            .map(|(i, j)| vec![i, j])
+            .collect();
+        assert_eq!(
+            tuples, pairs,
+            "fir_mode_tuples(2) must replace fir_mode_pairs verbatim"
+        );
+    }
+
+    #[test]
+    fn fir_mode_tuples_interleave_families() {
+        let triples = fir_mode_tuples(3);
+        assert_eq!(triples.len(), FIR_FAMILY_SIZE);
+        // Tuple i: lp i, hp i, lp i+1 (wrapping).
+        assert_eq!(triples[0], vec![0, 10, 1]);
+        assert_eq!(triples[9], vec![9, 19, 0]);
+        let quads = fir_mode_tuples(4);
+        assert_eq!(quads[4], vec![4, 14, 5, 15]);
+        for t in &quads {
+            let mut seen = t.clone();
+            seen.sort_unstable();
+            seen.dedup();
+            assert_eq!(seen.len(), 4, "no repeated filter in {t:?}");
+            assert!(t.iter().all(|&i| i < 2 * FIR_FAMILY_SIZE));
+        }
+        // Saturating cap: every filter exactly once.
+        assert_eq!(fir_mode_tuples(99)[0].len(), 2 * FIR_FAMILY_SIZE);
+        assert!(fir_mode_tuples(0).is_empty());
     }
 
     #[test]

@@ -4,7 +4,8 @@
 use crate::pool::StaticPool;
 use mm_engine::protocol::{BatchRequest, Frame, Request};
 use mm_engine::{
-    load_spec, BatchReport, Engine, EngineOptions, EngineStats, JobCacheInfo, JobError, JobResult,
+    load_spec_with_modes, BatchReport, Engine, EngineOptions, EngineStats, JobCacheInfo, JobError,
+    JobResult,
 };
 use mm_flow::FlowOptions;
 use std::io::{BufRead, BufReader, Write};
@@ -583,7 +584,7 @@ fn run_batch(
     request: &BatchRequest,
 ) -> std::io::Result<()> {
     let options = request.flow_options(&FlowOptions::default());
-    let mut batch = match load_spec(&request.spec, &options, request.k) {
+    let mut batch = match load_spec_with_modes(&request.spec, &options, request.k, request.modes) {
         Ok(batch) => batch,
         Err(message) => return write_frame(writer, &Frame::Error { message }),
     };

@@ -10,8 +10,12 @@
 //! * [`place`] — VPR-style annealing placer and multi-mode combined placement.
 //! * [`route`] — PathFinder router with mode-aware wire sharing.
 //! * [`bitstream`] — configuration memory model and rewrite-cost metrics.
-//! * [`gen`] — multi-mode benchmark generators (regex engines, FIR, MCNC-like).
-//! * [`flow`] — the paper's tool flow: merging, MDR and DCS flows, experiments.
+//! * [`gen`] — multi-mode benchmark generators (regex engines, FIR, MCNC-like),
+//!   combinable into N-mode problems (`all_tuples`, `fir_mode_tuples`).
+//! * [`flow`] — the paper's tool flow: merging, MDR and DCS flows, and the
+//!   N-mode combined comparison (`run_combined_n`).
+//! * [`engine`] — parallel batch execution with content-addressed stage
+//!   caching (`mmflow batch` and the serve protocol live on top of it).
 //!
 //! # Quickstart
 //!
@@ -36,6 +40,7 @@
 pub use mm_arch as arch;
 pub use mm_bitstream as bitstream;
 pub use mm_boolexpr as boolexpr;
+pub use mm_engine as engine;
 pub use mm_flow as flow;
 pub use mm_gen as gen;
 pub use mm_netlist as netlist;
