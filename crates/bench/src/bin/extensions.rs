@@ -9,7 +9,7 @@
 use mm_bench::{BenchmarkSet, RunConfig};
 use mm_bitstream::FrameModel;
 use mm_flow::report::render_table;
-use mm_flow::{dcs_mode_timing, mdr_mode_timing, DcsFlow, MdrFlow, MultiModeInput};
+use mm_flow::{dcs_timing, mdr_timing, DcsFlow, MdrFlow, MultiModeInput};
 
 fn main() {
     let mut config = RunConfig::from_args(std::env::args().skip(1));
@@ -59,9 +59,11 @@ fn main() {
         ]);
 
         // ---- routed timing per mode ------------------------------------------
+        let mdr_reports = mdr_timing(&input, &mdr).expect("routed MDR result must analyze");
+        let dcs_reports = dcs_timing(&input, &dcs).expect("routed DCS result must analyze");
         for mode in 0..2 {
-            let tm = mdr_mode_timing(&input, &mdr, mode);
-            let td = dcs_mode_timing(&input, &dcs, mode);
+            let tm = mdr_reports[mode];
+            let td = dcs_reports[mode];
             timing_rows.push(vec![
                 format!("{name}/m{mode}"),
                 format!("{:.0}", tm.critical_path),

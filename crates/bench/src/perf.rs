@@ -32,6 +32,14 @@
 //!   re-submission against the shared stage cache: end-to-end jobs/sec
 //!   including protocol framing, plus a byte-parity check of the socket
 //!   stream against a direct engine run.
+//! * [`sta_perf`] — the timing subsystem. *Baseline* is the from-scratch
+//!   reference STA (`mm_sta::reference`) re-analyzing the whole circuit
+//!   per delay change; *optimized* is the incremental [`mm_sta::Sta`]
+//!   propagating only the affected cones, parity-gated bit-for-bit on
+//!   the final state. Plus the headline flow comparison: the
+//!   `timing:<alpha>` DCS cost vs the wirelength-only baseline on a
+//!   deep-logic multi-mode problem, reporting the critical-path win and
+//!   the wirelength price paid for it.
 //!
 //! All have a `--smoke` sized variant for CI.
 
@@ -887,6 +895,222 @@ pub fn serve_perf(config: &PerfConfig) -> ServePerf {
     }
 }
 
+/// The timing-driven vs wirelength-only flow comparison inside
+/// [`StaPerf`]: both costs run the full DCS flow on the same deep-logic
+/// multi-mode problem (`mm_gen::deeplogic`, whose wirelength and delay
+/// optima diverge), same seed, same fixed channel width.
+#[derive(Debug, Clone)]
+pub struct TimingFlowPerf {
+    /// Modes merged.
+    pub modes: usize,
+    /// LUTs of the largest mode.
+    pub luts: usize,
+    /// The timing-cost blend measured (`timing:<alpha>`).
+    pub alpha: f64,
+    /// The fixed channel width both runs route at.
+    pub channel_width: usize,
+    /// Worst per-mode routed critical path, wirelength-only cost.
+    pub baseline_critical_path: f64,
+    /// Worst per-mode routed critical path, `timing:<alpha>` cost.
+    pub timing_critical_path: f64,
+    /// timing / baseline critical path (< 1 is an improvement).
+    pub critical_path_ratio: f64,
+    /// Total routed wires across modes, wirelength-only cost.
+    pub baseline_wires: usize,
+    /// Total routed wires across modes, `timing:<alpha>` cost.
+    pub timing_wires: usize,
+    /// timing / baseline wires (the wirelength price of the delay win).
+    pub wires_ratio: f64,
+    /// The timing-driven run beat the baseline's critical path.
+    pub improved: bool,
+}
+
+impl TimingFlowPerf {
+    fn json(&self) -> mm_engine::json::Value {
+        ObjBuilder::new()
+            .field("modes", self.modes)
+            .field("luts", self.luts)
+            .field("alpha", self.alpha)
+            .field("channel_width", self.channel_width)
+            .field("baseline_critical_path", self.baseline_critical_path)
+            .field("timing_critical_path", self.timing_critical_path)
+            .field("critical_path_ratio", round2(self.critical_path_ratio))
+            .field("baseline_wires", self.baseline_wires)
+            .field("timing_wires", self.timing_wires)
+            .field("wires_ratio", round2(self.wires_ratio))
+            .field("improved", self.improved)
+            .build()
+    }
+}
+
+/// The timing subsystem benchmark report.
+#[derive(Debug, Clone)]
+pub struct StaPerf {
+    /// LUTs of the STA workload circuit.
+    pub luts: usize,
+    /// Connections (delay vector length).
+    pub connections: usize,
+    /// Random single-connection delay updates timed.
+    pub updates: usize,
+    /// Microseconds per update with the incremental analyzer
+    /// (`set_delay` + `refresh`, affected cones only).
+    pub incremental_us_per_update: f64,
+    /// Microseconds per update re-running the from-scratch reference.
+    pub reference_us_per_update: f64,
+    /// reference / incremental wall-clock.
+    pub incremental_speedup: f64,
+    /// After the whole update storm the incremental analysis is
+    /// bit-identical to a from-scratch run on the final delays.
+    pub parity_ok: bool,
+    /// The timing-driven vs wirelength-only flow comparison.
+    pub flow: TimingFlowPerf,
+}
+
+impl StaPerf {
+    /// The `BENCH_sta.json` payload.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        ObjBuilder::new()
+            .field("bench", "sta")
+            .field(
+                "workload",
+                ObjBuilder::new()
+                    .field("luts", self.luts)
+                    .field("connections", self.connections)
+                    .field("updates", self.updates)
+                    .build(),
+            )
+            .field(
+                "incremental_us_per_update",
+                round2(self.incremental_us_per_update),
+            )
+            .field(
+                "reference_us_per_update",
+                round2(self.reference_us_per_update),
+            )
+            .field("incremental_speedup", round2(self.incremental_speedup))
+            .field("parity_ok", self.parity_ok)
+            .field("flow", self.flow.json())
+            .build()
+            .to_json()
+    }
+}
+
+/// Runs the timing benchmark: incremental vs from-scratch STA under a
+/// random delay-update storm, then the timing-driven DCS flow vs the
+/// wirelength-only baseline on a deep-logic multi-mode problem.
+///
+/// # Panics
+///
+/// Panics if the seeded workloads fail to analyze or route — a
+/// benchmark that cannot run must fail loudly.
+#[must_use]
+pub fn sta_perf(config: &PerfConfig) -> StaPerf {
+    // --- Incremental vs from-scratch STA on one deep circuit. ---
+    let (w, chains, depth, noise, updates) = if config.smoke {
+        (4usize, 3usize, 16usize, 20usize, 60usize)
+    } else {
+        (8, 6, 40, 120, 600)
+    };
+    let c = mm_gen::deeplogic::deep_chain_circuit("sta", 5, w, chains, depth, noise, 0x57a);
+    let connections = c.connections().len();
+    let base = vec![1.0f64; connections];
+    let mut rng = StdRng::seed_from_u64(0x57a7);
+    let total = updates * config.reps.max(1);
+    let storm: Vec<(usize, f64)> = (0..total)
+        .map(|_| (rng.gen_range(0..connections), rng.gen_range(0.0..4.0)))
+        .collect();
+
+    let mut sta = mm_sta::Sta::new(&c, &base).expect("workload analyzes");
+    let t0 = Instant::now();
+    for &(i, d) in &storm {
+        sta.set_delay(i, d).expect("storm delays are valid");
+        sta.refresh();
+        std::hint::black_box(sta.critical_path());
+    }
+    let incremental_us_per_update = t0.elapsed().as_secs_f64() * 1e6 / total as f64;
+
+    let mut delays = base;
+    let t0 = Instant::now();
+    for &(i, d) in &storm {
+        delays[i] = d;
+        let a = mm_sta::reference::analyze(&c, &delays).expect("workload analyzes");
+        std::hint::black_box(a.critical_path);
+    }
+    let reference_us_per_update = t0.elapsed().as_secs_f64() * 1e6 / total as f64;
+
+    let from_scratch = mm_sta::reference::analyze(&c, &delays).expect("workload analyzes");
+    let incremental = sta.analysis();
+    let parity_ok = incremental.critical_path.to_bits() == from_scratch.critical_path.to_bits()
+        && incremental
+            .criticalities()
+            .iter()
+            .zip(&from_scratch.criticalities())
+            .all(|(a, b)| a.to_bits() == b.to_bits())
+        && incremental.connections.len() == from_scratch.connections.len();
+
+    // --- Timing-driven vs wirelength-only DCS on deep-logic modes. ---
+    let suite = mm_gen::deeplogic_suite(4);
+    let mode_count = if config.smoke { 2 } else { 3 };
+    let circuits: Vec<LutCircuit> = suite.into_iter().take(mode_count).collect();
+    let luts = circuits
+        .iter()
+        .map(LutCircuit::lut_count)
+        .max()
+        .unwrap_or(0);
+    let width = 14usize;
+    let alpha = 0.6f64;
+    let mut options = FlowOptions::default()
+        .with_fixed_width(width)
+        .with_seed(0x57ee);
+    options.placer.inner_num = if config.smoke { 0.5 } else { 1.0 };
+
+    let input = mm_flow::MultiModeInput::new(circuits).expect("suite circuits are valid");
+    let baseline = mm_flow::DcsFlow::new(options)
+        .run(&input)
+        .expect("baseline flow routes");
+    let timing = mm_flow::DcsFlow::new(options)
+        .with_cost(CostKind::Timing { alpha })
+        .run(&input)
+        .expect("timing flow routes");
+    let worst = |r: &mm_flow::DcsResult| -> f64 {
+        r.critical_paths(input.circuits())
+            .expect("routed circuits analyze")
+            .into_iter()
+            .fold(0.0f64, f64::max)
+    };
+    let total_wires = |r: &mm_flow::DcsResult| -> usize {
+        (0..input.mode_count()).map(|m| r.wires_in_mode(m)).sum()
+    };
+    let baseline_critical_path = worst(&baseline);
+    let timing_critical_path = worst(&timing);
+    let baseline_wires = total_wires(&baseline);
+    let timing_wires = total_wires(&timing);
+
+    StaPerf {
+        luts: c.lut_count(),
+        connections,
+        updates: total,
+        incremental_us_per_update,
+        reference_us_per_update,
+        incremental_speedup: reference_us_per_update / incremental_us_per_update.max(1e-9),
+        parity_ok,
+        flow: TimingFlowPerf {
+            modes: input.mode_count(),
+            luts,
+            alpha,
+            channel_width: width,
+            baseline_critical_path,
+            timing_critical_path,
+            critical_path_ratio: timing_critical_path / baseline_critical_path.max(1e-9),
+            baseline_wires,
+            timing_wires,
+            wires_ratio: timing_wires as f64 / (baseline_wires as f64).max(1e-9),
+            improved: timing_critical_path < baseline_critical_path,
+        },
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -939,6 +1163,30 @@ mod tests {
         assert!(perf.warm_jobs_per_sec > 0.0);
         assert!(
             mm_engine::json::parse(&perf.to_json()).is_ok(),
+            "report must be valid JSON"
+        );
+    }
+
+    #[test]
+    fn sta_perf_smoke_wins_on_delay_and_keeps_parity() {
+        let perf = sta_perf(&PerfConfig {
+            smoke: true,
+            reps: 1,
+        });
+        assert!(perf.parity_ok, "incremental STA == from-scratch bits");
+        assert!(perf.incremental_us_per_update > 0.0);
+        assert!(perf.reference_us_per_update > 0.0);
+        assert!(
+            perf.flow.improved,
+            "timing-driven cp {} must beat baseline cp {}",
+            perf.flow.timing_critical_path, perf.flow.baseline_critical_path
+        );
+        assert!(perf.flow.baseline_wires > 0 && perf.flow.timing_wires > 0);
+        let json = perf.to_json();
+        assert!(json.contains("\"incremental_speedup\""), "{json}");
+        assert!(json.contains("\"critical_path_ratio\""), "{json}");
+        assert!(
+            mm_engine::json::parse(&json).is_ok(),
             "report must be valid JSON"
         );
     }

@@ -5,12 +5,13 @@
 //! mmflow merge a.blif b.blif [...]   run the DCS flow on BLIF mode circuits
 //! mmflow mdr   a.blif b.blif [...]   run the MDR baseline
 //! mmflow batch SPEC [...]            run a whole suite through mm-engine
+//! mmflow pareto SPEC [...]           sweep the wirelength-vs-delay blend
 //! mmflow serve --listen ADDR [...]   long-running batch service (mm-serve)
 //! mmflow submit SPEC --connect ADDR  submit a batch to a running service
 //! mmflow bench [--json]              measure the hot paths (BENCH_*.json)
 //! mmflow cache gc [...]              evict old/oversized stage-cache entries
 //! mmflow stats a.blif                print circuit statistics
-//! mmflow gen   <regexp|fir|mcnc> DIR write a benchmark suite as BLIF files
+//! mmflow gen   <SUITE> DIR           write a benchmark suite as BLIF files
 //! ```
 
 use mm_flow::{DcsFlow, FlowOptions, MdrFlow, MultiModeInput, WidthChoice};
@@ -31,8 +32,13 @@ USAGE:
                                           in parallel with stage caching;
                                           SPEC is a JSON spec file, a
                                           directory of BLIF mode groups, or
-                                          suite:<regexp|fir|mcnc>[:<modes>]
+                                          suite:<NAME>[:<modes>] with NAME
+                                          one of regexp|fir|mcnc|deeplogic
                                           (modes per problem, default 2)
+  mmflow pareto <SPEC> [OPTIONS]          run every problem of a batch once
+                                          per timing-cost alpha and print a
+                                          wirelength-vs-critical-path table;
+                                          legs share the stage cache
   mmflow serve --listen <ADDR>            run the long-running batch service:
                                           one shared engine + stage cache,
                                           JSONL protocol over a Unix or TCP
@@ -40,20 +46,26 @@ USAGE:
   mmflow submit <SPEC> --connect <ADDR>   submit a batch to a running service;
                                           result records stream to stdout
                                           byte-identical to `mmflow batch`
-  mmflow bench [--json] [--smoke]         measure router/placer/flow/serve
-                                          hot paths: baseline vs optimized
-                                          wall-clock, throughput and cache
-                                          hit rates
+  mmflow bench [--json] [--smoke]         measure router/placer/flow/serve/
+                                          sta hot paths: baseline vs
+                                          optimized wall-clock, throughput,
+                                          cache hit rates and the
+                                          timing-driven critical-path win
   mmflow cache gc [--max-bytes N]         evict stage-cache entries, least
                 [--max-age-days D]        recently used first, until under
                                           the limits
   mmflow stats <CIRCUIT.blif>...          circuit statistics
-  mmflow gen <regexp|fir|mcnc> <DIR>      write a benchmark suite as BLIF
+  mmflow gen <SUITE> <DIR>                write a benchmark suite as BLIF;
+                                          SUITE is one of
+                                          regexp|fir|mcnc|deeplogic
 
 OPTIONS:
   -k <N>           LUT input count (default 4)
   --cost <C>       combined-placement cost: wl | edge | hybrid:<lambda>
-                   (default wl)
+                   | timing:<alpha> (default wl); timing blends bounding-box
+                   wirelength with criticality-weighted connection length
+                   (alpha 0 = pure wirelength, 1 = pure delay) and records
+                   per-mode critical paths
   --width <W>      fixed channel width (default: minimum + 20%)
   --seed <S>       placer seed (default 0x5eed)
   --effort <E>     annealing effort (VPR inner_num, default 1)
@@ -70,6 +82,12 @@ BATCH OPTIONS:
   --no-cache       disable the stage cache
   --jobs <N>       only run the first N jobs of the batch
   --out <FILE>     write JSONL results to FILE instead of stdout
+
+PARETO OPTIONS:
+  --alphas <LIST>  comma-separated timing alphas to sweep
+                   (default 0,0.25,0.5,0.75,1)
+  plus all BATCH OPTIONS; with --out, per-leg JSONL records (including
+  per-mode critical_paths) are written to FILE
 
 SERVE OPTIONS:
   --listen <ADDR>       unix:<path> or tcp:<host:port> (required)
@@ -91,7 +109,7 @@ SUBMIT OPTIONS:
 
 BENCH OPTIONS:
   --json           write BENCH_router.json, BENCH_place.json,
-                   BENCH_flow.json and BENCH_serve.json
+                   BENCH_flow.json, BENCH_serve.json and BENCH_sta.json
   --out-dir <DIR>  where to write them (default .)
   --smoke          tiny CI-sized workload
   --reps <N>       timed repetitions per measurement
@@ -199,6 +217,7 @@ fn run(args: &[String]) -> Result<(), Box<dyn Error>> {
         "merge" => cmd_merge(&args[1..]),
         "mdr" => cmd_mdr(&args[1..]),
         "batch" => cmd_batch(&args[1..]),
+        "pareto" => cmd_pareto(&args[1..]),
         "serve" => cmd_serve(&args[1..]),
         "submit" => cmd_submit(&args[1..]),
         "bench" => cmd_bench(&args[1..]),
@@ -357,6 +376,141 @@ fn cmd_batch(args: &[String]) -> Result<(), Box<dyn Error>> {
     Ok(())
 }
 
+fn cmd_pareto(args: &[String]) -> Result<(), Box<dyn Error>> {
+    use mm_engine::{load_spec_with_modes, Engine, EngineOptions, FlowKind, Job, JobOutcome};
+    use std::io::Write;
+
+    let mut spec: Option<String> = None;
+    let mut alphas: Vec<f64> = vec![0.0, 0.25, 0.5, 0.75, 1.0];
+    let mut threads = 0usize;
+    let mut cache_dir: Option<std::path::PathBuf> = Some(".mmcache".into());
+    let mut max_jobs = usize::MAX;
+    let mut out_path: Option<String> = None;
+    let mut flow = FlowOptions::default();
+    let mut k = 4usize;
+    let mut modes: Option<usize> = None;
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "-k" => k = next_value(&mut it, "-k")?.parse()?,
+            "--modes" => modes = Some(next_value(&mut it, "--modes")?.parse()?),
+            "--alphas" => {
+                alphas = next_value(&mut it, "--alphas")?
+                    .split(',')
+                    .map(str::parse)
+                    .collect::<Result<_, _>>()?;
+                if alphas.is_empty() {
+                    return Err("--alphas needs at least one value".into());
+                }
+            }
+            "--threads" => threads = next_value(&mut it, "--threads")?.parse()?,
+            "--serial" => threads = 1,
+            "--cache" => cache_dir = Some(next_value(&mut it, "--cache")?.into()),
+            "--no-cache" => cache_dir = None,
+            "--jobs" => max_jobs = next_value(&mut it, "--jobs")?.parse()?,
+            "--out" => out_path = Some(next_value(&mut it, "--out")?.clone()),
+            "--width" => {
+                flow.width = WidthChoice::Fixed(next_value(&mut it, "--width")?.parse()?);
+            }
+            "--seed" => flow.placer.seed = next_value(&mut it, "--seed")?.parse()?,
+            "--effort" => flow.placer.inner_num = next_value(&mut it, "--effort")?.parse()?,
+            other if other.starts_with('-') => {
+                return Err(format!("unknown pareto option '{other}'").into());
+            }
+            positional if spec.is_none() => spec = Some(positional.to_string()),
+            extra => return Err(format!("unexpected argument '{extra}'").into()),
+        }
+    }
+    let spec = spec.ok_or("pareto needs a spec: a JSON file, a directory, or suite:<name>")?;
+
+    let mut batch = load_spec_with_modes(&spec, &flow, k, modes)?;
+    batch.jobs.truncate(max_jobs);
+    // Each problem sweeps the wirelength-vs-delay blend: one timing job
+    // per alpha (alpha 0 anneals on pure wirelength but still reports
+    // the routed critical path). Every leg is content-address-cached,
+    // so re-sweeping with more alphas only runs the new legs.
+    let mut jobs = Vec::with_capacity(batch.jobs.len() * alphas.len());
+    for job in &batch.jobs {
+        for &alpha in &alphas {
+            let kind = FlowKind::parse("dcs", Some(&format!("timing:{alpha}")))?;
+            jobs.push(Job {
+                name: format!("{}@timing:{alpha}", job.name),
+                circuits: job.circuits.clone(),
+                flow: kind,
+                options: job.options,
+            });
+        }
+    }
+    eprintln!(
+        "pareto: {} problems x {} alphas = {} jobs from {spec}",
+        batch.jobs.len(),
+        alphas.len(),
+        jobs.len()
+    );
+
+    let engine = Engine::new(EngineOptions { threads, cache_dir })?;
+    let mut sink: Option<Box<dyn Write + Send>> = match &out_path {
+        Some(path) => Some(Box::new(std::io::BufWriter::new(std::fs::File::create(
+            path,
+        )?))),
+        None => None,
+    };
+    let mut write_error: Option<std::io::Error> = None;
+    let report = engine.run_streamed(jobs, |r| {
+        if let Some(sink) = sink.as_mut() {
+            if write_error.is_none() {
+                if let Err(e) = writeln!(sink, "{}", r.to_json_line()) {
+                    write_error = Some(e);
+                }
+            }
+        }
+    });
+    if let Some(e) = write_error {
+        return Err(format!("writing results: {e}").into());
+    }
+    if let Some(mut sink) = sink {
+        sink.flush()?;
+    }
+
+    let mut rows = Vec::new();
+    let mut failed = 0usize;
+    for result in &report.results {
+        match &result.outcome {
+            Ok(JobOutcome::Dcs(s)) => {
+                let cps = s.critical_paths.clone().unwrap_or_default();
+                let worst = cps.iter().copied().fold(0.0f64, f64::max);
+                let mean_wires = s.wires.iter().sum::<usize>() as f64 / s.wires.len().max(1) as f64;
+                rows.push(vec![
+                    result.name.clone(),
+                    format!("{}", s.channel_width),
+                    format!("{mean_wires:.1}"),
+                    format!("{worst:.0}"),
+                ]);
+            }
+            Ok(_) => {}
+            Err(e) => {
+                failed += 1;
+                rows.push(vec![
+                    result.name.clone(),
+                    "-".into(),
+                    "-".into(),
+                    format!("failed: {}", e.message),
+                ]);
+            }
+        }
+    }
+    print!(
+        "{}",
+        mm_flow::report::render_table(&["job", "width", "mean wires", "critical path"], &rows)
+    );
+    eprintln!("{}", report.summary_json());
+    if failed > 0 {
+        return Err(format!("{failed} of {} jobs failed", report.results.len()).into());
+    }
+    Ok(())
+}
+
 fn cmd_serve(args: &[String]) -> Result<(), Box<dyn Error>> {
     use mm_serve::{Listen, ServeOptions, Server};
 
@@ -490,7 +644,7 @@ fn cmd_submit(args: &[String]) -> Result<(), Box<dyn Error>> {
 }
 
 fn cmd_bench(args: &[String]) -> Result<(), Box<dyn Error>> {
-    use mm_bench::perf::{flow_perf, placer_perf, router_perf, serve_perf, PerfConfig};
+    use mm_bench::perf::{flow_perf, placer_perf, router_perf, serve_perf, sta_perf, PerfConfig};
 
     let mut json = false;
     let mut smoke = false;
@@ -578,6 +732,27 @@ fn cmd_bench(args: &[String]) -> Result<(), Box<dyn Error>> {
         serve.warm_speedup,
         if serve.parity_ok { "ok" } else { "FAILED" },
     );
+    eprintln!("bench: sta workload ...");
+    let sta = sta_perf(&config);
+    eprintln!(
+        "  sta: incremental {:.2} us/update vs reference {:.2} us/update → {:.2}x \
+         (parity {})",
+        sta.incremental_us_per_update,
+        sta.reference_us_per_update,
+        sta.incremental_speedup,
+        if sta.parity_ok { "ok" } else { "FAILED" },
+    );
+    eprintln!(
+        "  sta[flow, {} modes]: critical path {:.0} → {:.0} ({:.2}x), \
+         wires {} → {} ({:.2}x)",
+        sta.flow.modes,
+        sta.flow.baseline_critical_path,
+        sta.flow.timing_critical_path,
+        sta.flow.critical_path_ratio,
+        sta.flow.baseline_wires,
+        sta.flow.timing_wires,
+        sta.flow.wires_ratio,
+    );
     if !router.parity_ok || !router.routed {
         return Err("router benchmark failed its parity/routability sanity checks".into());
     }
@@ -590,22 +765,33 @@ fn cmd_bench(args: &[String]) -> Result<(), Box<dyn Error>> {
     if !serve.parity_ok {
         return Err("serve benchmark streamed different bytes than the engine".into());
     }
+    if !sta.parity_ok {
+        return Err("sta benchmark: incremental analysis diverged from the reference".into());
+    }
+    if !sta.flow.improved {
+        return Err(
+            "sta benchmark: timing-driven flow did not beat the baseline critical path".into(),
+        );
+    }
     if json {
         std::fs::create_dir_all(&out_dir)?;
         let router_path = out_dir.join("BENCH_router.json");
         let place_path = out_dir.join("BENCH_place.json");
         let flow_path = out_dir.join("BENCH_flow.json");
         let serve_path = out_dir.join("BENCH_serve.json");
+        let sta_path = out_dir.join("BENCH_sta.json");
         std::fs::write(&router_path, router.to_json() + "\n")?;
         std::fs::write(&place_path, place.to_json() + "\n")?;
         std::fs::write(&flow_path, flow.to_json() + "\n")?;
         std::fs::write(&serve_path, serve.to_json() + "\n")?;
+        std::fs::write(&sta_path, sta.to_json() + "\n")?;
         eprintln!(
-            "wrote {}, {}, {} and {}",
+            "wrote {}, {}, {}, {} and {}",
             router_path.display(),
             place_path.display(),
             flow_path.display(),
-            serve_path.display()
+            serve_path.display(),
+            sta_path.display()
         );
     }
     Ok(())
@@ -678,12 +864,13 @@ fn cmd_stats(args: &[String]) -> Result<(), Box<dyn Error>> {
 
 fn cmd_gen(args: &[String]) -> Result<(), Box<dyn Error>> {
     let [suite, dir] = args else {
-        return Err("usage: mmflow gen <regexp|fir|mcnc> <DIR>".into());
+        return Err("usage: mmflow gen <regexp|fir|mcnc|deeplogic> <DIR>".into());
     };
     let circuits = match suite.as_str() {
         "regexp" => mm_gen::regexp_suite(4),
         "fir" => mm_gen::fir_suite(4),
         "mcnc" => mm_gen::mcnc_suite(4),
+        "deeplogic" => mm_gen::deeplogic_suite(4),
         other => return Err(format!("unknown suite '{other}'").into()),
     };
     std::fs::create_dir_all(dir)?;

@@ -357,6 +357,7 @@ fn run_dcs_leg(
         options.max_width,
         &multi_router,
         &format!("tunable circuit ({label}) at relaxed width"),
+        None,
         |rrg| tunable.route_nets(rrg),
     )?;
     let model = ConfigModel::new(&arch, &rrg);

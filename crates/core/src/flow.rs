@@ -219,16 +219,28 @@ impl FlowOptions {
     }
 }
 
+/// Per-sink routing criticalities for a net list, produced fresh for
+/// each routing-resource graph (node ids change with channel width).
+pub(crate) type CritFn<'a> = &'a dyn Fn(&RoutingGraph, &[RouteNet]) -> Vec<Vec<f64>>;
+
+/// Owned form of [`CritFn`], as built by `estimated_criticality_fn`.
+type BoxedCritFn<'a> = Box<dyn Fn(&RoutingGraph, &[RouteNet]) -> Vec<Vec<f64>> + 'a>;
+
 /// Routes nets at `width`, growing the channel (+1, +2, +4, …) up to
 /// `max_width` if negotiation fails — congestion convergence is not
 /// strictly monotone in width under an iteration cap, so the relaxed
 /// width occasionally needs another track.
+///
+/// With `crit`, each width attempt routes timing-driven: the closure is
+/// re-evaluated against the attempt's graph and nets so criticalities
+/// always key the right RR nodes.
 pub(crate) fn route_with_growth(
     base: &Architecture,
     width: usize,
     max_width: usize,
     router: &RouterOptions,
     context: &str,
+    crit: Option<CritFn<'_>>,
     mut nets: impl FnMut(&RoutingGraph) -> Vec<RouteNet>,
 ) -> Result<(Architecture, RoutingGraph, Vec<RouteNet>, Routing), FlowError> {
     let mut grow = 0usize;
@@ -241,7 +253,13 @@ pub(crate) fn route_with_growth(
         // placement geometry the nets carry (per-net HPWL, see
         // `RouterOptions::hpwl_margin_div`) instead of a fixed margin.
         let mut engine = Router::new(&rrg, *router);
-        let routing = engine.route(&net_list);
+        let routing = match crit {
+            Some(f) => {
+                let rows = f(&rrg, &net_list);
+                engine.route_with_criticality(&net_list, &rows)
+            }
+            None => engine.route(&net_list),
+        };
         if routing.success {
             return Ok((arch, rrg, net_list, routing));
         }
@@ -571,6 +589,76 @@ impl DcsResult {
         let total: usize = (0..m).map(|i| self.wires_in_mode(i)).sum();
         total as f64 / m as f64
     }
+
+    /// Per-mode routed critical-path delays (STA over the actual wire
+    /// segments of this result's routing). `circuits` must be the mode
+    /// circuits the flow ran on.
+    ///
+    /// # Errors
+    ///
+    /// Fails if a mode's connections are not covered by the routing or
+    /// a circuit is combinationally cyclic.
+    pub fn critical_paths(&self, circuits: &[LutCircuit]) -> Result<Vec<f64>, FlowError> {
+        // `route_nets` is a pure function of the tunable circuit and the
+        // graph, so this rebuilds exactly the net list that was routed.
+        let nets = self.tunable.route_nets(&self.rrg);
+        circuits
+            .iter()
+            .enumerate()
+            .map(|(m, c)| {
+                let p = &self.placement.modes[m];
+                mm_sta::analyze_routed(c, |b| p.site_of(b), &self.rrg, &nets, &self.routing, m)
+                    .map(|a| a.critical_path)
+                    .map_err(|e| FlowError::Internal(format!("mode '{}' STA: {e}", c.name())))
+            })
+            .collect()
+    }
+}
+
+/// Builds the per-sink routing-criticality closure for a timing-driven
+/// DCS run: per-mode STA under placement-estimated (Manhattan) delays,
+/// collapsed onto RR source/sink node pairs by max over modes.
+///
+/// Criticalities are computed eagerly (so STA errors surface here); the
+/// returned closure only re-keys them onto whichever graph a width
+/// attempt builds. Connections the net list does not carry (none today)
+/// would default to 0.0 — plain congestion routing, never a panic.
+fn estimated_criticality_fn<'a>(
+    circuits: &'a [LutCircuit],
+    placement: &'a MultiPlacement,
+) -> Result<BoxedCritFn<'a>, FlowError> {
+    let manhattan = |a: mm_arch::Site, b: mm_arch::Site| -> f64 {
+        f64::from(u32::from(a.x.abs_diff(b.x)) + u32::from(a.y.abs_diff(b.y)))
+    };
+    let mut mode_crits: Vec<Vec<f64>> = Vec::with_capacity(circuits.len());
+    for (m, c) in circuits.iter().enumerate() {
+        let p = &placement.modes[m];
+        let analysis = mm_sta::analyze_estimated(c, |s, d| manhattan(p.site_of(s), p.site_of(d)))
+            .map_err(|e| FlowError::Internal(format!("mode '{}' STA: {e}", c.name())))?;
+        mode_crits.push(analysis.criticalities());
+    }
+    Ok(Box::new(move |rrg, nets| {
+        let mut by_pair: std::collections::HashMap<(mm_arch::RrNodeId, mm_arch::RrNodeId), f64> =
+            std::collections::HashMap::new();
+        for (m, c) in circuits.iter().enumerate() {
+            let p = &placement.modes[m];
+            for (ci, (src, dst)) in c.connections().into_iter().enumerate() {
+                let key = (rrg.source_at(p.site_of(src)), rrg.sink_at(p.site_of(dst)));
+                let slot = by_pair.entry(key).or_insert(0.0);
+                if mode_crits[m][ci] > *slot {
+                    *slot = mode_crits[m][ci];
+                }
+            }
+        }
+        nets.iter()
+            .map(|net| {
+                net.sinks
+                    .iter()
+                    .map(|s| by_pair.get(&(net.source, s.node)).copied().unwrap_or(0.0))
+                    .collect()
+            })
+            .collect()
+    }))
 }
 
 /// The paper's flow: merge by combined placement, then Dynamic Circuit
@@ -668,6 +756,16 @@ impl DcsFlow {
             .verify_projection(input.circuits(), &placement)
             .map_err(FlowError::Internal)?;
 
+        // Timing-driven runs estimate per-connection criticality from the
+        // placement (Manhattan distances) and blend it into the router's
+        // wire costs; the width search itself stays congestion-only so
+        // fabrics are sized identically across cost kinds.
+        let crit_fn = if matches!(self.cost, CostKind::Timing { .. }) {
+            Some(estimated_criticality_fn(input.circuits(), &placement)?)
+        } else {
+            None
+        };
+
         let width = resolve_width(&base, &self.options, &router, "tunable circuit", |rrg| {
             tunable.route_nets(rrg)
         })?;
@@ -677,8 +775,12 @@ impl DcsFlow {
             self.options.max_width,
             &router,
             "tunable circuit at final width",
+            crit_fn.as_deref(),
             |rrg| tunable.route_nets(rrg),
         )?;
+        // Ends the criticality closure's borrow of `placement` (the box
+        // has drop glue) before the result takes ownership.
+        drop(crit_fn);
         let model = ConfigModel::new(&arch, &rrg);
         verify_routing(&rrg, &nets, &routing, input.mode_count()).map_err(FlowError::Internal)?;
 

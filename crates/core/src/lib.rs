@@ -55,7 +55,9 @@ pub use experiment::{
 };
 pub use flow::{DcsFlow, DcsResult, FlowOptions, MdrFlow, MdrResult, MultiModeInput, WidthChoice};
 pub use report::Stats;
-pub use timing::{dcs_mode_timing, mdr_mode_timing, TimingReport, LUT_DELAY};
+#[allow(deprecated)]
+pub use timing::{dcs_mode_timing, mdr_mode_timing};
+pub use timing::{dcs_timing, mdr_timing, TimingReport, LUT_DELAY};
 pub use tunable::{TunableCircuit, TunableConnection, TunableLutBits, TunableSite, TunableStats};
 
 // The batch engine fans jobs out across threads; every type that crosses

@@ -1,24 +1,26 @@
-//! Routed timing analysis.
+//! Routed timing analysis — thin shims over the [`mm_sta`] crate.
 //!
 //! The paper evaluates wire length because it "correlates with power usage
-//! and performance (maximum clock frequency) of a circuit" (§IV-C). This
-//! module makes that link concrete: a unit-delay static timing analysis
-//! over the *routed* connections, so the per-mode critical path of an MDR
+//! and performance (maximum clock frequency) of a circuit" (§IV-C). The
+//! `mm-sta` crate makes that link concrete: a levelized static timing
+//! analysis over the *routed* connections (unit delay per wire segment,
+//! [`LUT_DELAY`] per LUT), so the per-mode critical path of an MDR
 //! implementation can be compared against the same mode inside the merged
 //! tunable circuit.
 //!
-//! Delay model: every wire segment costs 1 unit, every LUT costs
-//! [`LUT_DELAY`] units; paths start at input pads and register outputs and
-//! end at register data inputs and output pads.
+//! This module keeps the flow-level entry points. The N-ary
+//! [`dcs_timing`] / [`mdr_timing`] functions analyze every mode and
+//! propagate STA errors (a connection missing from the routing, a cyclic
+//! circuit) as [`FlowError`] instead of silently defaulting delays to
+//! zero or panicking, which is what the pre-`mm-sta` implementation did.
+//! The per-mode `*_mode_timing` wrappers are kept for compatibility and
+//! deprecated.
 
-use crate::{DcsResult, MdrResult, MultiModeInput};
-use mm_arch::RrNodeId;
-use mm_netlist::{BlockKind, LutCircuit};
-use mm_route::{RouteNet, Routing};
-use std::collections::HashMap;
+use crate::{DcsResult, FlowError, MdrResult, MultiModeInput};
 
-/// Delay of one LUT traversal in wire-segment units.
-pub const LUT_DELAY: f64 = 2.0;
+/// Delay of one LUT traversal in wire-segment units (re-exported from
+/// [`mm_sta`], the owner of the delay model).
+pub const LUT_DELAY: f64 = mm_sta::LUT_DELAY;
 
 /// Per-mode timing summary.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -27,141 +29,119 @@ pub struct TimingReport {
     pub critical_path: f64,
     /// Mean routed delay of a connection (wires per connection).
     pub mean_connection_delay: f64,
-    /// Number of routed connections considered.
+    /// Number of circuit connections analyzed.
     pub connections: usize,
 }
 
-/// Builds the routed-delay lookup `(source node, sink node) → wires` for
-/// the connections of `mode`.
-fn delay_map(
-    rrg: &mm_arch::RoutingGraph,
-    nets: &[RouteNet],
-    routing: &Routing,
-    mode: usize,
-) -> HashMap<(RrNodeId, RrNodeId), f64> {
-    let mut map = HashMap::new();
-    for (net, route) in nets.iter().zip(&routing.nets) {
-        for (si, sink) in net.sinks.iter().enumerate() {
-            if sink.activation.contains(mode) {
-                let wires = route.wires_to_sink(rrg, si) as f64;
-                map.insert((net.source, sink.node), wires);
-            }
+impl TimingReport {
+    fn from_analysis(a: &mm_sta::TimingAnalysis) -> Self {
+        Self {
+            critical_path: a.critical_path,
+            mean_connection_delay: a.mean_connection_delay(),
+            connections: a.connections.len(),
         }
     }
-    map
 }
 
-/// Unit-delay STA over one mode circuit given its placement and routed
-/// delays.
-fn analyze(
-    circuit: &LutCircuit,
-    site_of: impl Fn(mm_netlist::BlockId) -> mm_arch::Site,
-    rrg: &mm_arch::RoutingGraph,
-    delays: &HashMap<(RrNodeId, RrNodeId), f64>,
-) -> TimingReport {
-    let conn_delay = |src: mm_netlist::BlockId, dst: mm_netlist::BlockId| -> f64 {
-        let key = (rrg.source_at(site_of(src)), rrg.sink_at(site_of(dst)));
-        delays.get(&key).copied().unwrap_or(0.0)
-    };
+/// Timing of every mode inside the merged tunable circuit of a DCS
+/// result.
+///
+/// # Errors
+///
+/// Fails if the routing does not cover a mode's connections or a circuit
+/// is combinationally cyclic — conditions the old implementation hid as
+/// zero delays or a panic.
+pub fn dcs_timing(
+    input: &MultiModeInput,
+    result: &DcsResult,
+) -> Result<Vec<TimingReport>, FlowError> {
+    let nets = result.tunable.route_nets(&result.rrg);
+    input
+        .circuits()
+        .iter()
+        .enumerate()
+        .map(|(mode, circuit)| {
+            let placement = &result.placement.modes[mode];
+            mm_sta::analyze_routed(
+                circuit,
+                |b| placement.site_of(b),
+                &result.rrg,
+                &nets,
+                &result.routing,
+                mode,
+            )
+            .map(|a| TimingReport::from_analysis(&a))
+            .map_err(|e| FlowError::Internal(format!("DCS mode '{}' STA: {e}", circuit.name())))
+        })
+        .collect()
+}
 
-    // Arrival times: sources (input pads, registered LUT outputs) at 0.
-    let mut arrival: HashMap<mm_netlist::BlockId, f64> = HashMap::new();
-    let order = circuit
-        .comb_topo_order()
-        .expect("flow circuits are validated");
-    let arrival_of = |arrival: &HashMap<mm_netlist::BlockId, f64>,
-                      id: mm_netlist::BlockId|
-     -> f64 { arrival.get(&id).copied().unwrap_or(0.0) };
-
-    let mut critical = 0.0f64;
-    for id in order {
-        let at = circuit
-            .block(id)
-            .fanin()
-            .iter()
-            .map(|&d| arrival_of(&arrival, d) + conn_delay(d, id))
-            .fold(0.0f64, f64::max)
-            + LUT_DELAY;
-        critical = critical.max(at);
-        arrival.insert(id, at);
-    }
-    // Endpoints: registered LUT data inputs and output pads.
-    for id in circuit.block_ids() {
-        match circuit.block(id).kind() {
-            BlockKind::Lut {
-                registered: true, ..
-            } => {
-                let at = circuit
-                    .block(id)
-                    .fanin()
-                    .iter()
-                    .map(|&d| arrival_of(&arrival, d) + conn_delay(d, id))
-                    .fold(0.0f64, f64::max)
-                    + LUT_DELAY;
-                critical = critical.max(at);
-            }
-            BlockKind::OutputPad { source, .. } => {
-                let at = arrival_of(&arrival, *source) + conn_delay(*source, id);
-                critical = critical.max(at);
-            }
-            _ => {}
-        }
-    }
-
-    let total: f64 = delays.values().sum();
-    TimingReport {
-        critical_path: critical,
-        mean_connection_delay: if delays.is_empty() {
-            0.0
-        } else {
-            total / delays.len() as f64
-        },
-        connections: delays.len(),
-    }
+/// Timing of every mode in its standalone MDR implementation.
+///
+/// # Errors
+///
+/// See [`dcs_timing`].
+pub fn mdr_timing(
+    input: &MultiModeInput,
+    result: &MdrResult,
+) -> Result<Vec<TimingReport>, FlowError> {
+    input
+        .circuits()
+        .iter()
+        .enumerate()
+        .map(|(mode, circuit)| {
+            let placement = &result.placements[mode];
+            let nets = mm_route::nets_for_circuit(
+                circuit,
+                &result.rrg,
+                mm_boolexpr::ModeSet::single(0),
+                |b| placement.site_of(b),
+            );
+            mm_sta::analyze_routed(
+                circuit,
+                |b| placement.site_of(b),
+                &result.rrg,
+                &nets,
+                &result.routings[mode],
+                0,
+            )
+            .map(|a| TimingReport::from_analysis(&a))
+            .map_err(|e| FlowError::Internal(format!("MDR mode '{}' STA: {e}", circuit.name())))
+        })
+        .collect()
 }
 
 /// Timing of `mode` inside the merged tunable circuit of a DCS result.
 ///
 /// # Panics
 ///
-/// Panics if `mode` is out of range for the input.
+/// Panics if `mode` is out of range or the analysis fails; use
+/// [`dcs_timing`] to handle STA errors.
+#[deprecated(note = "use `dcs_timing` (N-ary, propagates STA errors)")]
 #[must_use]
 pub fn dcs_mode_timing(input: &MultiModeInput, result: &DcsResult, mode: usize) -> TimingReport {
     assert!(mode < input.mode_count(), "mode out of range");
-    let nets = result.tunable.route_nets(&result.rrg);
-    let delays = delay_map(&result.rrg, &nets, &result.routing, mode);
-    let circuit = &input.circuits()[mode];
-    analyze(
-        circuit,
-        |b| result.placement.modes[mode].site_of(b),
-        &result.rrg,
-        &delays,
-    )
+    dcs_timing(input, result).expect("routed DCS result must analyze")[mode]
 }
 
 /// Timing of `mode` in its standalone MDR implementation.
 ///
 /// # Panics
 ///
-/// Panics if `mode` is out of range for the input.
+/// Panics if `mode` is out of range or the analysis fails; use
+/// [`mdr_timing`] to handle STA errors.
+#[deprecated(note = "use `mdr_timing` (N-ary, propagates STA errors)")]
 #[must_use]
 pub fn mdr_mode_timing(input: &MultiModeInput, result: &MdrResult, mode: usize) -> TimingReport {
     assert!(mode < input.mode_count(), "mode out of range");
-    let circuit = &input.circuits()[mode];
-    let placement = &result.placements[mode];
-    let nets =
-        mm_route::nets_for_circuit(circuit, &result.rrg, mm_boolexpr::ModeSet::single(0), |b| {
-            placement.site_of(b)
-        });
-    let delays = delay_map(&result.rrg, &nets, &result.routings[mode], 0);
-    analyze(circuit, |b| placement.site_of(b), &result.rrg, &delays)
+    mdr_timing(input, result).expect("routed MDR result must analyze")[mode]
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::{DcsFlow, FlowOptions, MdrFlow};
-    use mm_netlist::TruthTable;
+    use mm_netlist::{LutCircuit, TruthTable};
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
 
@@ -205,9 +185,11 @@ mod tests {
         let mdr = MdrFlow::new(options).run(&input).unwrap();
         let dcs = DcsFlow::new(options).run(&input).unwrap();
 
+        let mdr_reports = mdr_timing(&input, &mdr).unwrap();
+        let dcs_reports = dcs_timing(&input, &dcs).unwrap();
         for mode in 0..2 {
-            let tm = mdr_mode_timing(&input, &mdr, mode);
-            let td = dcs_mode_timing(&input, &dcs, mode);
+            let tm = mdr_reports[mode];
+            let td = dcs_reports[mode];
             assert!(tm.critical_path >= LUT_DELAY, "mode {mode}: {tm:?}");
             assert!(td.critical_path >= LUT_DELAY, "mode {mode}: {td:?}");
             assert!(tm.connections > 0);
@@ -222,6 +204,12 @@ mod tests {
                 td.critical_path <= tm.critical_path * 3.0,
                 "mode {mode}: DCS {td:?} vs MDR {tm:?}"
             );
+        }
+        // The deprecated per-mode wrappers agree with the N-ary API.
+        #[allow(deprecated)]
+        {
+            assert_eq!(mdr_mode_timing(&input, &mdr, 0), mdr_reports[0]);
+            assert_eq!(dcs_mode_timing(&input, &dcs, 1), dcs_reports[1]);
         }
     }
 
@@ -244,7 +232,27 @@ mod tests {
         let mut options = FlowOptions::default();
         options.placer.inner_num = 1.0;
         let mdr = MdrFlow::new(options).run(&input).unwrap();
-        let t = mdr_mode_timing(&input, &mdr, 0);
+        let t = mdr_timing(&input, &mdr).unwrap()[0];
         assert!(t.critical_path >= 3.0 * LUT_DELAY);
+    }
+
+    #[test]
+    fn dcs_critical_paths_match_timing_reports() {
+        // `DcsResult::critical_paths` (what timing jobs record) and the
+        // flow-level reports are the same analysis.
+        let input = MultiModeInput::new(vec![
+            random_circuit("m0", 5, 14, 91),
+            random_circuit("m1", 5, 16, 92),
+        ])
+        .unwrap();
+        let mut options = FlowOptions::default();
+        options.placer.inner_num = 1.0;
+        let dcs = DcsFlow::new(options).run(&input).unwrap();
+        let cps = dcs.critical_paths(input.circuits()).unwrap();
+        let reports = dcs_timing(&input, &dcs).unwrap();
+        assert_eq!(cps.len(), reports.len());
+        for (cp, r) in cps.iter().zip(&reports) {
+            assert_eq!(cp.to_bits(), r.critical_path.to_bits());
+        }
     }
 }

@@ -376,6 +376,16 @@ impl Engine {
             .run_with_placement(input, placement)
             .map_err(|e| JobError::from_flow(&e))?;
         let modes = input.mode_count();
+        // Routed STA only for timing jobs: default records must stay
+        // byte-identical to builds without the timing subsystem.
+        let critical_paths = if matches!(cost, mm_place::CostKind::Timing { .. }) {
+            Some(
+                r.critical_paths(input.circuits())
+                    .map_err(|e| JobError::from_flow(&e))?,
+            )
+        } else {
+            None
+        };
         Ok(JobOutcome::Dcs(DcsSummary {
             grid: r.arch.grid,
             channel_width: r.arch.channel_width,
@@ -385,6 +395,7 @@ impl Engine {
             dcs_cost: r.dcs_cost(),
             mdr_cost: r.mdr_cost(),
             wires: (0..modes).map(|m| r.wires_in_mode(m)).collect(),
+            critical_paths,
             tunable: r.tunable.stats(),
         }))
     }

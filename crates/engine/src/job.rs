@@ -46,6 +46,7 @@ impl FlowKind {
             FlowKind::Dcs(CostKind::WireLength) => "dcs".to_string(),
             FlowKind::Dcs(CostKind::EdgeMatching) => "dcs-edge".to_string(),
             FlowKind::Dcs(CostKind::Hybrid { .. }) => "dcs-hybrid".to_string(),
+            FlowKind::Dcs(CostKind::Timing { .. }) => "dcs-timing".to_string(),
             FlowKind::Mdr => "mdr".to_string(),
             FlowKind::Pair => "pair".to_string(),
         }
@@ -62,21 +63,22 @@ impl FlowKind {
     }
 
     /// Parses `dcs` / `mdr` / `pair` (alias `combined`), with `dcs` cost
-    /// selectors `wl` / `edge` / `hybrid:<lambda>` as in the `mmflow`
-    /// CLI.
+    /// selectors `wl` / `edge` / `hybrid:<lambda>` / `timing:<alpha>` as
+    /// in the `mmflow` CLI.
     ///
     /// # Errors
     ///
-    /// Fails with a description on unknown kinds, and on hybrid weights
+    /// Fails with a description on unknown kinds, on hybrid weights
     /// that are not finite non-negative numbers — NaN and infinities
     /// would poison cost comparisons *and* the stage-cache keys their
-    /// bit patterns fingerprint into.
+    /// bit patterns fingerprint into — and on timing alphas outside
+    /// `0..=1` (the cost is a convex wirelength/delay blend).
     pub fn parse(kind: &str, cost: Option<&str>) -> Result<Self, String> {
         let cost_kind = match cost {
             None | Some("wl") => CostKind::WireLength,
             Some("edge") => CostKind::EdgeMatching,
-            Some(other) => match other.strip_prefix("hybrid:") {
-                Some(l) => {
+            Some(other) => {
+                if let Some(l) = other.strip_prefix("hybrid:") {
                     let alpha: f64 = l.parse().map_err(|_| format!("bad hybrid weight '{l}'"))?;
                     // `is_sign_negative` also rejects -0.0: it is
                     // semantically identical to 0.0 but its bit pattern
@@ -90,9 +92,16 @@ impl FlowKind {
                         wl_weight: 1.0,
                         edge_weight: alpha,
                     }
+                } else if let Some(a) = other.strip_prefix("timing:") {
+                    let alpha: f64 = a.parse().map_err(|_| format!("bad timing alpha '{a}'"))?;
+                    if !alpha.is_finite() || alpha.is_sign_negative() || alpha > 1.0 {
+                        return Err(format!("timing alpha '{a}' must be in 0..=1"));
+                    }
+                    CostKind::Timing { alpha }
+                } else {
+                    return Err(format!("unknown cost '{other}'"));
                 }
-                None => return Err(format!("unknown cost '{other}'")),
-            },
+            }
         };
         match kind {
             "dcs" => Ok(FlowKind::Dcs(cost_kind)),
@@ -137,6 +146,10 @@ pub struct DcsSummary {
     pub mdr_cost: RewriteCost,
     /// Wires used per mode.
     pub wires: Vec<usize>,
+    /// Per-mode critical-path delays from routed STA, populated only
+    /// when the job asked for the timing cost (`None` otherwise so
+    /// default result records stay byte-identical).
+    pub critical_paths: Option<Vec<f64>>,
     /// Tunable-circuit statistics.
     pub tunable: TunableStats,
 }
@@ -300,6 +313,10 @@ fn usizes_from(v: &Value) -> Option<Vec<usize>> {
     v.as_arr()?.iter().map(Value::as_usize).collect()
 }
 
+fn f64s_from(v: &Value) -> Option<Vec<f64>> {
+    v.as_arr()?.iter().map(Value::as_f64).collect()
+}
+
 fn tunable_value(t: &TunableStats) -> Value {
     ObjBuilder::new()
         .field("modes", t.modes)
@@ -325,19 +342,25 @@ impl JobOutcome {
     #[must_use]
     pub fn to_value(&self) -> Value {
         match self {
-            JobOutcome::Dcs(s) => ObjBuilder::new()
-                .field("kind", "dcs")
-                .field("grid", s.grid)
-                .field("channel_width", s.channel_width)
-                .field("modes", s.modes)
-                .field("param_bits", s.param_bits)
-                .field("static_on_bits", s.static_on_bits)
-                .field("dcs_cost", cost_value(&s.dcs_cost))
-                .field("mdr_cost", cost_value(&s.mdr_cost))
-                .field("speedup", mm_bitstream::speedup(&s.mdr_cost, &s.dcs_cost))
-                .field("wires", s.wires.clone())
-                .field("tunable", tunable_value(&s.tunable))
-                .build(),
+            JobOutcome::Dcs(s) => {
+                let mut b = ObjBuilder::new()
+                    .field("kind", "dcs")
+                    .field("grid", s.grid)
+                    .field("channel_width", s.channel_width)
+                    .field("modes", s.modes)
+                    .field("param_bits", s.param_bits)
+                    .field("static_on_bits", s.static_on_bits)
+                    .field("dcs_cost", cost_value(&s.dcs_cost))
+                    .field("mdr_cost", cost_value(&s.mdr_cost))
+                    .field("speedup", mm_bitstream::speedup(&s.mdr_cost, &s.dcs_cost))
+                    .field("wires", s.wires.clone());
+                // Emitted only for timing-cost jobs: default records must
+                // stay byte-identical to pre-timing builds.
+                if let Some(cp) = &s.critical_paths {
+                    b = b.field("critical_paths", cp.clone());
+                }
+                b.field("tunable", tunable_value(&s.tunable)).build()
+            }
             JobOutcome::Mdr(s) => ObjBuilder::new()
                 .field("kind", "mdr")
                 .field("grid", s.grid)
@@ -381,6 +404,10 @@ impl JobOutcome {
                 dcs_cost: cost_from(v.get("dcs_cost")?)?,
                 mdr_cost: cost_from(v.get("mdr_cost")?)?,
                 wires: usizes_from(v.get("wires")?)?,
+                critical_paths: match v.get("critical_paths") {
+                    Some(cp) => Some(f64s_from(cp)?),
+                    None => None,
+                },
                 tunable: tunable_from(v.get("tunable")?)?,
             })),
             "mdr" => Some(JobOutcome::Mdr(MdrSummary {
@@ -631,7 +658,15 @@ pub fn suite_jobs_n(
             mm_gen::mcnc_suite(k),
             mm_gen::all_tuples(mm_gen::SUITE_SIZE, modes),
         ),
-        other => return Err(format!("unknown suite '{other}' (regexp|fir|mcnc)")),
+        "deeplogic" => (
+            mm_gen::deeplogic_suite(k),
+            mm_gen::all_tuples(mm_gen::SUITE_SIZE, modes),
+        ),
+        other => {
+            return Err(format!(
+                "unknown suite '{other}' (regexp|fir|mcnc|deeplogic)"
+            ))
+        }
     };
     if tuples.is_empty() || tuples[0].len() != modes {
         return Err(format!(
@@ -854,6 +889,14 @@ mod tests {
             FlowKind::parse("dcs", Some("hybrid:1.5")).unwrap(),
             FlowKind::Dcs(CostKind::Hybrid { .. })
         ));
+        assert!(matches!(
+            FlowKind::parse("dcs", Some("timing:0.5")).unwrap(),
+            FlowKind::Dcs(CostKind::Timing { .. })
+        ));
+        assert_eq!(
+            FlowKind::parse("dcs", Some("timing:0.5")).unwrap().name(),
+            "dcs-timing"
+        );
         assert_eq!(FlowKind::parse("mdr", None).unwrap(), FlowKind::Mdr);
         assert_eq!(FlowKind::parse("pair", None).unwrap(), FlowKind::Pair);
         assert!(FlowKind::parse("zzz", None).is_err());
@@ -884,6 +927,29 @@ mod tests {
     }
 
     #[test]
+    fn timing_alpha_must_be_a_unit_interval_number() {
+        for bad in [
+            "timing:NaN",
+            "timing:-0.1",
+            "timing:-0",
+            "timing:1.5",
+            "timing:inf",
+            "timing:",
+            "timing:half",
+        ] {
+            assert!(FlowKind::parse("dcs", Some(bad)).is_err(), "{bad}");
+        }
+        assert_eq!(
+            FlowKind::parse("dcs", Some("timing:0")).unwrap(),
+            FlowKind::Dcs(CostKind::Timing { alpha: 0.0 })
+        );
+        assert_eq!(
+            FlowKind::parse("dcs", Some("timing:1")).unwrap(),
+            FlowKind::Dcs(CostKind::Timing { alpha: 1.0 })
+        );
+    }
+
+    #[test]
     fn outcome_roundtrips_through_value() {
         let dcs = JobOutcome::Dcs(DcsSummary {
             grid: 6,
@@ -900,6 +966,7 @@ mod tests {
                 routing_bits: 4000,
             },
             wires: vec![120, 130],
+            critical_paths: None,
             tunable: TunableStats {
                 modes: 2,
                 tunable_luts: 22,
@@ -910,6 +977,19 @@ mod tests {
         });
         let back = JobOutcome::from_value(&dcs.to_value(), "x").unwrap();
         assert_eq!(back, dcs);
+
+        // Timing jobs carry per-mode critical paths; the field must
+        // round-trip (and stay absent from the serialized default above).
+        assert!(!dcs.to_value().to_json().contains("critical_paths"));
+        let timed = match &dcs {
+            JobOutcome::Dcs(s) => JobOutcome::Dcs(DcsSummary {
+                critical_paths: Some(vec![10.0, 12.5]),
+                ..s.clone()
+            }),
+            _ => unreachable!(),
+        };
+        let back = JobOutcome::from_value(&timed.to_value(), "x").unwrap();
+        assert_eq!(back, timed);
 
         let pair = JobOutcome::Pair(PairMetrics {
             name: "p".into(),

@@ -294,6 +294,62 @@ fn three_mode_combined_jobs_share_stages_and_rerun_warm() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// A 3-mode timing job records one finite critical path per mode, and
+/// those numbers are bit-identical to what mm-sta reports on the same
+/// combined result via `mm_flow::dcs_timing`. Default-cost records on
+/// the same circuits carry no `critical_paths` field at all.
+#[test]
+fn three_mode_timing_jobs_record_per_mode_critical_paths() {
+    let engine = Engine::new(EngineOptions {
+        threads: 1,
+        cache_dir: None,
+    })
+    .unwrap();
+    let circuits = vec![
+        random_circuit("m0", 5, 10, 611),
+        random_circuit("m1", 5, 11, 612),
+        random_circuit("m2", 5, 9, 613),
+    ];
+    let job = |name: &str, flow: FlowKind| Job {
+        name: name.into(),
+        circuits: circuits.clone(),
+        flow,
+        options: quick_options(23),
+    };
+    let report = engine.run(vec![
+        job("wl", FlowKind::Dcs(CostKind::WireLength)),
+        job("t", FlowKind::Dcs(CostKind::Timing { alpha: 0.6 })),
+    ]);
+    let lines: Vec<String> = report.results.iter().map(JobResult::to_json_line).collect();
+    assert!(
+        !lines[0].contains("critical_paths"),
+        "default records must stay byte-identical"
+    );
+    assert!(lines[1].contains("\"critical_paths\""));
+
+    let mm_engine::JobOutcome::Dcs(summary) = report.results[1].outcome.as_ref().unwrap() else {
+        panic!("dcs job must produce a dcs summary");
+    };
+    let cps = summary
+        .critical_paths
+        .clone()
+        .expect("timing jobs record critical paths");
+    assert_eq!(cps.len(), 3, "one critical path per mode");
+    assert!(cps.iter().all(|c| c.is_finite() && *c > 0.0), "{cps:?}");
+
+    let input = mm_flow::MultiModeInput::new(circuits).unwrap();
+    let result = mm_flow::DcsFlow::new(quick_options(23))
+        .with_cost(CostKind::Timing { alpha: 0.6 })
+        .run(&input)
+        .unwrap();
+    let expected: Vec<f64> = mm_flow::dcs_timing(&input, &result)
+        .unwrap()
+        .iter()
+        .map(|r| r.critical_path)
+        .collect();
+    assert_eq!(cps, expected, "record matches routed STA bit-for-bit");
+}
+
 /// `run_combined_n` at N = 2 streams records byte-identical to the
 /// historical pair flow, across several seeded circuits (the engine-level
 /// half of the parity campaign; the flow-level property test lives in

@@ -1,0 +1,65 @@
+//! Golden-bytes regression test for default (non-timing) result records.
+//!
+//! The timing subsystem adds an optional `critical_paths` member to DCS
+//! records, emitted only when a `timing:<alpha>` cost is requested. This
+//! test pins the exact bytes of default records to the pre-timing output
+//! so that the opt-in can never leak into the default stream.
+
+use mm_engine::{Engine, EngineOptions, FlowKind, Job};
+use mm_flow::FlowOptions;
+use mm_place::CostKind;
+
+fn quick_options(seed: u64) -> FlowOptions {
+    let mut o = FlowOptions::default().with_fixed_width(12).with_seed(seed);
+    o.placer.inner_num = 1.0;
+    o.router.max_iterations = 30;
+    o
+}
+
+fn jobs() -> Vec<Job> {
+    let a = mm_gen::seeded_test_circuit("m0", 5, 12, 9001);
+    let b = mm_gen::seeded_test_circuit("m1", 5, 13, 9002);
+    vec![
+        Job {
+            name: "golden-dcs".into(),
+            circuits: vec![a.clone(), b.clone()],
+            flow: FlowKind::Dcs(CostKind::WireLength),
+            options: quick_options(0x601d),
+        },
+        Job {
+            name: "golden-mdr".into(),
+            circuits: vec![a.clone(), b.clone()],
+            flow: FlowKind::Mdr,
+            options: quick_options(0x601d),
+        },
+        Job {
+            name: "golden-pair".into(),
+            circuits: vec![a, b],
+            flow: FlowKind::Pair,
+            options: quick_options(0x601d),
+        },
+    ]
+}
+
+/// The exact record bytes these jobs produced before the timing
+/// subsystem existed (captured from the pre-PR engine). Default jobs
+/// must keep emitting them byte-for-byte.
+const GOLDEN: [&str; 3] = [
+    r#"{"name":"golden-dcs","flow":"dcs","status":"ok","metrics":{"kind":"dcs","grid":4,"channel_width":12,"modes":2,"param_bits":79,"static_on_bits":90,"dcs_cost":{"lut_bits":272,"routing_bits":79},"mdr_cost":{"lut_bits":272,"routing_bits":1896},"speedup":6.176638176638177,"wires":[87,96],"tunable":{"modes":2,"tunable_luts":13,"io_sites":8,"connections":59,"merged_connections":17}}}"#,
+    r#"{"name":"golden-mdr","flow":"mdr","status":"ok","metrics":{"kind":"mdr","grid":4,"channel_width":12,"modes":2,"mdr_cost":{"lut_bits":272,"routing_bits":1896},"avg_diff_cost":{"lut_bits":272,"routing_bits":165},"wires":[60,61]}}"#,
+    r#"{"name":"golden-pair","flow":"pair","status":"ok","metrics":{"kind":"pair","grid":4,"width_mdr":12,"width_edge":12,"width_wirelength":12,"mdr":{"lut_bits":272,"routing_bits":1896},"diff":{"lut_bits":272,"routing_bits":165},"dcs_edge":{"lut_bits":272,"routing_bits":78},"dcs_wirelength":{"lut_bits":272,"routing_bits":79},"speedup_edge":6.194285714285714,"speedup_wirelength":6.176638176638177,"wires_mdr":60.5,"wires_edge":107,"wires_wirelength":91.5,"tunable":{"modes":2,"tunable_luts":13,"io_sites":8,"connections":59,"merged_connections":17},"mode_luts":[12,13]}}"#,
+];
+
+#[test]
+fn default_records_are_byte_identical_to_pre_timing_output() {
+    let engine = Engine::new(EngineOptions {
+        threads: 1,
+        cache_dir: None,
+    })
+    .unwrap();
+    let report = engine.run(jobs());
+    assert_eq!(report.results.len(), GOLDEN.len());
+    for (r, expected) in report.results.iter().zip(GOLDEN) {
+        assert_eq!(r.to_json_line(), expected, "{} record drifted", r.name);
+    }
+}

@@ -1,0 +1,150 @@
+//! Deep-logic benchmark circuits: long register-to-register chains.
+//!
+//! The paper's suites (RegExp, FIR, MCNC) are dominated by wide, shallow
+//! logic, so a wirelength-optimised placement is already near
+//! delay-optimal and a timing-driven cost has little to bite on. These
+//! generators build the opposite shape — serial-multiplier-like circuits
+//! whose critical paths run through long combinational chains between
+//! register boundaries, surrounded by wide shallow "noise" logic that
+//! pulls a pure-wirelength placer away from the chains. On them the
+//! wirelength and delay optima visibly diverge, which is what the
+//! `timing:<alpha>` cost and the `BENCH_sta.json` comparison measure.
+
+use mm_netlist::{BlockId, LutCircuit, TruthTable};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One deep-logic circuit.
+///
+/// * `width` registered input samplers feed `chains` combinational
+///   chains of `depth` LUTs each (the register-to-register critical
+///   paths);
+/// * every chain ends in a registered accumulator;
+/// * `noise` shallow LUTs with random fanin provide the wirelength
+///   pressure that competes with the chains.
+///
+/// Deterministic per `(name, k, ...)`; `k >= 2` required.
+///
+/// # Panics
+///
+/// Panics on `k < 2` or degenerate shapes (`width == 0`, `depth == 0`).
+#[must_use]
+pub fn deep_chain_circuit(
+    name: &str,
+    k: usize,
+    width: usize,
+    chains: usize,
+    depth: usize,
+    noise: usize,
+    seed: u64,
+) -> LutCircuit {
+    assert!(k >= 2, "deep-logic circuits need at least 2-LUTs");
+    assert!(width > 0 && depth > 0, "degenerate deep-logic shape");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut c = LutCircuit::new(name, k);
+
+    let inputs: Vec<BlockId> = (0..width)
+        .map(|i| c.add_input(format!("d{i}")).unwrap())
+        .collect();
+    // Register boundary: arrival time 0 sources for the chains.
+    let regs: Vec<BlockId> = inputs
+        .iter()
+        .enumerate()
+        .map(|(i, &d)| {
+            c.add_lut(format!("r{i}"), vec![d], TruthTable::var(1, 0), true)
+                .unwrap()
+        })
+        .collect();
+
+    let lut = |rng: &mut StdRng, n: usize| TruthTable::from_bits(n, rng.gen());
+    let mut accumulators = Vec::with_capacity(chains);
+    let mut chain_nodes: Vec<BlockId> = Vec::new();
+    for ch in 0..chains {
+        let mut prev = regs[ch % regs.len()];
+        for d in 0..depth {
+            // Each stage mixes the chain with one side operand — a
+            // register or an earlier chain node — like the partial-product
+            // add/shift of a serial multiplier.
+            let side = if !chain_nodes.is_empty() && rng.gen_bool(0.3) {
+                chain_nodes[rng.gen_range(0..chain_nodes.len())]
+            } else {
+                regs[rng.gen_range(0..regs.len())]
+            };
+            let fanin = if side == prev {
+                vec![prev]
+            } else {
+                vec![prev, side]
+            };
+            let n = fanin.len();
+            prev = c
+                .add_lut(format!("c{ch}_{d}"), fanin, lut(&mut rng, n), false)
+                .unwrap();
+            chain_nodes.push(prev);
+        }
+        // The register-to-register endpoint of the chain.
+        let acc = c
+            .add_lut(format!("acc{ch}"), vec![prev], TruthTable::var(1, 0), true)
+            .unwrap();
+        accumulators.push(acc);
+    }
+
+    // Wide shallow noise: two levels deep at most, heavily connected to
+    // the registers so wirelength pressure points away from the chains.
+    let mut noise_nodes: Vec<BlockId> = Vec::new();
+    for j in 0..noise {
+        let pool: &[BlockId] = if j < noise / 2 || noise_nodes.is_empty() {
+            &regs
+        } else {
+            &noise_nodes
+        };
+        let want = rng.gen_range(2..=k.clamp(2, 4));
+        let mut fanin: Vec<BlockId> = Vec::new();
+        while fanin.len() < want.min(pool.len()) {
+            let cand = pool[rng.gen_range(0..pool.len())];
+            if !fanin.contains(&cand) {
+                fanin.push(cand);
+            }
+        }
+        let n = fanin.len();
+        noise_nodes.push(
+            c.add_lut(format!("w{j}"), fanin, lut(&mut rng, n), rng.gen_bool(0.5))
+                .unwrap(),
+        );
+    }
+
+    for (t, &acc) in accumulators.iter().enumerate() {
+        c.add_output(format!("y{t}"), acc).unwrap();
+    }
+    for (t, &w) in noise_nodes.iter().rev().take(2).enumerate() {
+        c.add_output(format!("z{t}"), w).unwrap();
+    }
+    c.validate().expect("generated deep-logic circuit is valid");
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chains_dominate_the_critical_path() {
+        let c = deep_chain_circuit("deep", 4, 6, 3, 12, 30, 7);
+        c.validate().unwrap();
+        // Unit wire delays: the deepest chain alone is 12 combinational
+        // LUTs plus the registered endpoint.
+        let delays = vec![1.0; c.connections().len()];
+        let a = mm_sta::analyze(&c, &delays).unwrap();
+        assert!(
+            a.critical_path >= 12.0 * mm_sta::LUT_DELAY,
+            "critical path {} too shallow",
+            a.critical_path
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = deep_chain_circuit("deep", 4, 5, 2, 10, 20, 3);
+        let b = deep_chain_circuit("deep", 4, 5, 2, 10, 20, 3);
+        assert_eq!(mm_netlist::blif::to_blif(&a), mm_netlist::blif::to_blif(&b));
+    }
+}

@@ -22,6 +22,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod deeplogic;
 pub mod fir;
 pub mod mcnc;
 pub mod regex;
@@ -147,6 +148,32 @@ pub fn mcnc_suite(k: usize) -> Vec<LutCircuit> {
         map(&mcnc::crc("crc32p48", 0xEDB8_8320, 32, 48), k),
         map(&mcnc::interrupt_controller("intc32", 32), k),
     ]
+}
+
+/// Generates the five deep-logic circuits — serial-multiplier-like
+/// register-to-register chains wrapped in shallow noise logic
+/// ([`deeplogic::deep_chain_circuit`]) — where wirelength-driven and
+/// timing-driven placements visibly diverge. Sized well below the
+/// paper's suites so timing sweeps stay fast.
+///
+/// # Panics
+///
+/// Panics on `k < 2`.
+#[must_use]
+pub fn deeplogic_suite(k: usize) -> Vec<LutCircuit> {
+    (0..SUITE_SIZE)
+        .map(|i| {
+            deeplogic::deep_chain_circuit(
+                &format!("deep{i}"),
+                k,
+                5 + i,      // registered inputs
+                2 + i % 3,  // chains
+                10 + 2 * i, // chain depth
+                24 + 6 * i, // shallow noise LUTs
+                0xdee9_1057 + i as u64,
+            )
+        })
+        .collect()
 }
 
 /// All unordered pairs `(i, j)` with `i < j < n` — the paper's "all
@@ -407,6 +434,21 @@ mod tests {
             generic > 2 * avg,
             "generic {generic} vs avg specialised {avg}"
         );
+    }
+
+    #[test]
+    fn deeplogic_suite_shape() {
+        let suite = deeplogic_suite(4);
+        assert_eq!(suite.len(), SUITE_SIZE);
+        for c in &suite {
+            c.validate().unwrap();
+            let n = c.lut_count();
+            assert!((40..=160).contains(&n), "{}: {n} LUTs", c.name());
+        }
+        let again = deeplogic_suite(4);
+        for (x, y) in suite.iter().zip(&again) {
+            assert_eq!(mm_netlist::blif::to_blif(x), mm_netlist::blif::to_blif(y));
+        }
     }
 
     #[test]

@@ -161,6 +161,7 @@ pub fn place_combined(
     }
     let sites = SiteMap::new(arch);
     check_capacity(circuits, &sites)?;
+    check_timing_feasible(circuits, options)?;
     if CostModel::fits(sites.len()) {
         let model = CostModel::new(circuits, &sites, options.cost);
         anneal(circuits, arch, &sites, options, model)
@@ -188,8 +189,30 @@ pub fn place_combined_reference(
     }
     let sites = SiteMap::new(arch);
     check_capacity(circuits, &sites)?;
+    check_timing_feasible(circuits, options)?;
     let model = NaiveCostModel::new(circuits, &sites, options.cost);
     anneal(circuits, arch, &sites, options, model)
+}
+
+/// The timing cost needs per-connection criticalities, which exist only
+/// for combinationally acyclic circuits — checked up front so the cost
+/// models' constructors can rely on it instead of panicking mid-build.
+fn check_timing_feasible(
+    circuits: &[LutCircuit],
+    options: &PlacerOptions,
+) -> Result<(), PlaceError> {
+    if !options.cost.tracks_timing() {
+        return Ok(());
+    }
+    for c in circuits {
+        if let Err(e) = mm_sta::unit_criticalities(c) {
+            return Err(PlaceError::Internal(format!(
+                "timing cost on mode '{}': {e}",
+                c.name()
+            )));
+        }
+    }
+    Ok(())
 }
 
 /// Per-mode capacity checks shared by the placer entry points.

@@ -65,6 +65,15 @@ pub enum CostKind {
         /// Weight of the connection-count term.
         edge_weight: f64,
     },
+    /// Timing-driven blend `(1 - alpha) · WL + alpha · Σ crit · dist`:
+    /// wire length plus a criticality-weighted Manhattan-delay term over
+    /// every mode connection, with criticalities from `mm-sta`'s
+    /// placement-independent unit-delay analysis.
+    Timing {
+        /// Weight of the delay term in `0..=1` (`0` degenerates to
+        /// pure wire length).
+        alpha: f64,
+    },
 }
 
 impl CostKind {
@@ -83,17 +92,30 @@ impl CostKind {
                 wl_weight.to_bits(),
                 edge_weight.to_bits()
             ),
+            CostKind::Timing { alpha } => format!("timing({:016x})", alpha.to_bits()),
         }
     }
 
     /// Whether the wire-length / pair terms are tracked for this kind.
     pub(crate) fn tracks(self) -> (bool, bool) {
         match self {
-            CostKind::WireLength => (true, false),
+            CostKind::WireLength | CostKind::Timing { .. } => (true, false),
             CostKind::EdgeMatching => (false, true),
             CostKind::Hybrid { .. } => (true, true),
         }
     }
+
+    /// Whether the criticality-weighted delay term is tracked.
+    pub(crate) fn tracks_timing(self) -> bool {
+        matches!(self, CostKind::Timing { .. })
+    }
+}
+
+/// Manhattan distance between two sites as `f64` (widened before
+/// summing so the `u16` coordinate differences cannot overflow).
+#[inline]
+pub(crate) fn manhattan(a: (u16, u16), b: (u16, u16)) -> f64 {
+    f64::from(u32::from(a.0.abs_diff(b.0)) + u32::from(a.1.abs_diff(b.1)))
 }
 
 /// The incremental-cost interface the annealer drives.
@@ -161,6 +183,13 @@ pub struct CostModel {
     /// CSR adjacency over flat blocks: distinct drivers of a block.
     driven_idx: Vec<u32>,
     driven_dat: Vec<u32>,
+    /// Per `drives_dat` entry: the connection's unit-delay criticality
+    /// (timing cost only).
+    conn_crit: Vec<f64>,
+    /// Per `driven_dat` entry: the global `drives_dat` index of the same
+    /// connection (timing cost only) — lets the swap path find a
+    /// connection's criticality from the consumer side in O(1).
+    driven_pos: Vec<u32>,
     /// Whether the flat block drives a net (LUTs and input pads).
     is_driver: Vec<bool>,
     /// `[block_off[m] + b] → site index`.
@@ -186,8 +215,12 @@ pub struct CostModel {
     /// `[src_site · site_count + dst_site] → connection multiplicity`.
     pair_counts: Vec<u32>,
     distinct_pairs: usize,
+    // ---- timing state ----
+    /// Running `Σ crit · manhattan` over all mode connections.
+    timing_cost: f64,
     track_wl: bool,
     track_pairs: bool,
+    track_timing: bool,
     // ---- reusable swap scratch (zero steady-state allocations) ----
     /// Stamped site marks deduplicating the affected-net key list.
     key_stamp: Vec<u32>,
@@ -207,6 +240,8 @@ pub struct CostModel {
     conns: Vec<(u32, u32)>,
     /// Pre-move site pairs of `conns`.
     old_pairs: Vec<(u32, u32)>,
+    /// Criticalities of `conns` (timing cost only).
+    conn_crit_buf: Vec<f64>,
     /// Pair-count operations (flattened pair index, ±1) of the swap.
     pair_ops: Vec<(u32, i8)>,
     // ---- pending-undo state ----
@@ -214,6 +249,9 @@ pub struct CostModel {
     undo_mode: usize,
     undo_a: u32,
     undo_b: u32,
+    /// Pre-swap `timing_cost` (a scalar snapshot: subtracting the delta
+    /// back out would not be bit-exact).
+    undo_timing: f64,
 }
 
 impl CostModel {
@@ -238,13 +276,37 @@ impl CostModel {
         }
         block_off.push(total);
 
+        let (track_wl, track_pairs) = kind.tracks();
+        let track_timing = kind.tracks_timing();
         let mut drives: Vec<Vec<u32>> = vec![Vec::new(); total];
         let mut driven: Vec<Vec<u32>> = vec![Vec::new(); total];
+        let mut crit_lists: Vec<Vec<f64>> = if track_timing {
+            vec![Vec::new(); total]
+        } else {
+            Vec::new()
+        };
+        let mut driven_slot: Vec<Vec<u32>> = if track_timing {
+            vec![Vec::new(); total]
+        } else {
+            Vec::new()
+        };
         let mut is_driver = Vec::with_capacity(total);
         for (m, circuit) in circuits.iter().enumerate() {
-            for (src, dst) in circuit.connections() {
-                drives[block_off[m] + src.index()].push(dst.index() as u32);
-                driven[block_off[m] + dst.index()].push(src.index() as u32);
+            let crits = if track_timing {
+                mm_sta::unit_criticalities(circuit)
+                    .expect("timing cost requires combinationally acyclic circuits")
+            } else {
+                Vec::new()
+            };
+            for (ci, (src, dst)) in circuit.connections().into_iter().enumerate() {
+                let fs = block_off[m] + src.index();
+                let fd = block_off[m] + dst.index();
+                drives[fs].push(dst.index() as u32);
+                driven[fd].push(src.index() as u32);
+                if track_timing {
+                    crit_lists[fs].push(crits[ci]);
+                    driven_slot[fd].push(drives[fs].len() as u32 - 1);
+                }
             }
             is_driver.extend(
                 circuit
@@ -254,6 +316,22 @@ impl CostModel {
         }
         let (drives_idx, drives_dat) = to_csr(&drives);
         let (driven_idx, driven_dat) = to_csr(&driven);
+        // Flattened in the same block order as `drives_dat`, so the
+        // criticality of `drives_dat[i]` is `conn_crit[i]`.
+        let conn_crit: Vec<f64> = crit_lists.into_iter().flatten().collect();
+        let driven_slot_dat: Vec<u32> = driven_slot.into_iter().flatten().collect();
+        let mut driven_pos = vec![0u32; driven_slot_dat.len()];
+        if track_timing {
+            for m in 0..mode_count {
+                let off = block_off[m];
+                for flat in off..block_off[m + 1] {
+                    for i in driven_idx[flat] as usize..driven_idx[flat + 1] as usize {
+                        let src_flat = off + driven_dat[i] as usize;
+                        driven_pos[i] = drives_idx[src_flat] + driven_slot_dat[i];
+                    }
+                }
+            }
+        }
 
         let site_xy = (0..site_count as u32)
             .map(|i| {
@@ -261,7 +339,6 @@ impl CostModel {
                 (s.x, s.y)
             })
             .collect();
-        let (track_wl, track_pairs) = kind.tracks();
         Self {
             kind,
             mode_count,
@@ -271,6 +348,8 @@ impl CostModel {
             drives_dat,
             driven_idx,
             driven_dat,
+            conn_crit,
+            driven_pos,
             is_driver,
             loc: vec![EMPTY; total],
             occ: vec![EMPTY; mode_count * site_count],
@@ -313,8 +392,10 @@ impl CostModel {
                 Vec::new()
             },
             distinct_pairs: 0,
+            timing_cost: 0.0,
             track_wl,
             track_pairs,
+            track_timing,
             key_stamp: vec![0; site_count],
             key_generation: 0,
             keys: Vec::new(),
@@ -326,12 +407,20 @@ impl CostModel {
             term_buf: Vec::new(),
             conns: Vec::new(),
             old_pairs: Vec::new(),
+            conn_crit_buf: Vec::new(),
             pair_ops: Vec::new(),
             undo_valid: false,
             undo_mode: 0,
             undo_a: 0,
             undo_b: 0,
+            undo_timing: 0.0,
         }
+    }
+
+    /// The criticality-weighted delay component (0 unless tracked).
+    #[must_use]
+    pub fn timing_cost(&self) -> f64 {
+        self.timing_cost
     }
 
     /// Number of modes.
@@ -352,6 +441,7 @@ impl CostModel {
             + self.term_buf.capacity()
             + self.conns.capacity()
             + self.old_pairs.capacity()
+            + self.conn_crit_buf.capacity()
             + self.pair_ops.capacity()
     }
 
@@ -540,6 +630,29 @@ impl CostTracker for CostModel {
                 }
             }
         }
+        if self.track_timing {
+            // Modes ascending, blocks ascending, drive slots ascending —
+            // the naive model folds in the identical order, so the sum
+            // is bit-identical.
+            let mut tc = 0.0;
+            for m in 0..self.mode_count {
+                let off = self.block_off[m];
+                for b in 0..(self.block_off[m + 1] - off) {
+                    let flat = off + b;
+                    let ls = self.loc[flat] as usize;
+                    let (lo, hi) = (
+                        self.drives_idx[flat] as usize,
+                        self.drives_idx[flat + 1] as usize,
+                    );
+                    for (slot, &snk) in self.drives_dat[lo..hi].iter().enumerate() {
+                        let ld = self.loc[off + snk as usize] as usize;
+                        tc += self.conn_crit[lo + slot]
+                            * manhattan(self.site_xy[ls], self.site_xy[ld]);
+                    }
+                }
+            }
+            self.timing_cost = tc;
+        }
     }
 
     fn apply_swap(&mut self, mode: usize, site_a: u32, site_b: u32) -> Option<f64> {
@@ -561,6 +674,7 @@ impl CostTracker for CostModel {
         self.dirty.clear();
         self.conns.clear();
         self.old_pairs.clear();
+        self.conn_crit_buf.clear();
         self.pair_ops.clear();
         self.key_generation = self.key_generation.wrapping_add(1);
         self.dirty_generation = self.dirty_generation.wrapping_add(1);
@@ -625,7 +739,7 @@ impl CostTracker for CostModel {
         }
 
         // ---- connections touched by the swap (pre-move site pairs) ------
-        if self.track_pairs {
+        if self.track_pairs || self.track_timing {
             for &x in &[ba, bb] {
                 if x == EMPTY {
                     continue;
@@ -634,18 +748,25 @@ impl CostTracker for CostModel {
                     self.drives_idx[off + x as usize] as usize,
                     self.drives_idx[off + x as usize + 1] as usize,
                 );
-                for &s in &self.drives_dat[lo..hi] {
+                for (slot, &s) in self.drives_dat[lo..hi].iter().enumerate() {
                     self.conns.push((x, s));
+                    if self.track_timing {
+                        self.conn_crit_buf.push(self.conn_crit[lo + slot]);
+                    }
                 }
                 let (lo, hi) = (
                     self.driven_idx[off + x as usize] as usize,
                     self.driven_idx[off + x as usize + 1] as usize,
                 );
-                for &d in &self.driven_dat[lo..hi] {
+                for (j, &d) in self.driven_dat[lo..hi].iter().enumerate() {
                     // A connection between two moved blocks is already
                     // covered by the drives loop of the driving block.
                     if d != ba && d != bb {
                         self.conns.push((d, x));
+                        if self.track_timing {
+                            self.conn_crit_buf
+                                .push(self.conn_crit[self.driven_pos[lo + j] as usize]);
+                        }
                     }
                 }
             }
@@ -758,10 +879,33 @@ impl CostTracker for CostModel {
                 match self.kind {
                     CostKind::WireLength => delta += wl_delta,
                     CostKind::Hybrid { wl_weight, .. } => delta += wl_weight * wl_delta,
+                    CostKind::Timing { alpha } => delta += (1.0 - alpha) * wl_delta,
                     CostKind::EdgeMatching => {}
                 }
             }
             self.keys = keys;
+        }
+
+        // ---- timing -----------------------------------------------------
+        if self.track_timing {
+            // Each touched connection contributes the change of its
+            // criticality-weighted Manhattan length; the enumeration
+            // order above matches the naive model's, so the fold is
+            // bit-identical.
+            let mut td = 0.0;
+            for (i, &(d, s)) in self.conns.iter().enumerate() {
+                let (ods, oss) = self.old_pairs[i];
+                let nds = self.loc[off + d as usize] as usize;
+                let nss = self.loc[off + s as usize] as usize;
+                td += self.conn_crit_buf[i]
+                    * (manhattan(self.site_xy[nds], self.site_xy[nss])
+                        - manhattan(self.site_xy[ods as usize], self.site_xy[oss as usize]));
+            }
+            self.undo_timing = self.timing_cost;
+            self.timing_cost += td;
+            if let CostKind::Timing { alpha } = self.kind {
+                delta += alpha * td;
+            }
         }
 
         // ---- edge matching ----------------------------------------------
@@ -794,7 +938,7 @@ impl CostTracker for CostModel {
                 CostKind::Hybrid { edge_weight, .. } => {
                     delta += edge_weight * distinct_delta as f64;
                 }
-                CostKind::WireLength => {}
+                CostKind::WireLength | CostKind::Timing { .. } => {}
             }
         }
 
@@ -871,6 +1015,10 @@ impl CostTracker for CostModel {
                 *c += 1;
             }
         }
+        // Restore the timing component from its scalar snapshot.
+        if self.track_timing {
+            self.timing_cost = self.undo_timing;
+        }
     }
 
     fn cost(&self) -> f64 {
@@ -881,6 +1029,7 @@ impl CostTracker for CostModel {
                 wl_weight,
                 edge_weight,
             } => wl_weight * self.wl + edge_weight * self.distinct_pairs as f64,
+            CostKind::Timing { alpha } => (1.0 - alpha) * self.wl + alpha * self.timing_cost,
         }
     }
 

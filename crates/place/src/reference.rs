@@ -17,6 +17,7 @@
 //!
 //! It is deliberately slow; never use it from a flow.
 
+use crate::netmodel::manhattan;
 use crate::{q_factor, CostKind, CostTracker, SiteMap};
 use mm_netlist::{BlockKind, LutCircuit};
 use std::collections::{HashMap, HashSet};
@@ -31,6 +32,8 @@ struct SwapUndo {
     wl_snapshot: Vec<(u32, Option<f64>)>,
     /// (pair, count delta applied) to be reversed.
     pair_ops: Vec<((u32, u32), i32)>,
+    /// Pre-swap timing cost (scalar snapshot, like the flat model's).
+    timing: f64,
 }
 
 /// The hash-map formulation of the combined-placement cost model (see the
@@ -43,6 +46,8 @@ pub struct NaiveCostModel {
     drives: Vec<Vec<Vec<u32>>>,
     /// `[mode][block] → distinct driver blocks`.
     driven_by: Vec<Vec<Vec<u32>>>,
+    /// `[mode][block][drive slot] → unit-delay criticality` (timing only).
+    crit: Vec<Vec<Vec<f64>>>,
     /// Whether the block drives a net (LUTs and input pads).
     is_driver: Vec<Vec<bool>>,
     /// `[mode][block] → site index`.
@@ -55,8 +60,11 @@ pub struct NaiveCostModel {
     wl: f64,
     /// Per-mode connection multiplicity of each site pair.
     pairs: HashMap<(u32, u32), u32>,
+    /// `Σ crit · manhattan` over all mode connections (timing only).
+    timing_cost: f64,
     track_wl: bool,
     track_pairs: bool,
+    track_timing: bool,
     undo: Option<SwapUndo>,
 }
 
@@ -66,19 +74,33 @@ impl NaiveCostModel {
     #[must_use]
     pub fn new(circuits: &[LutCircuit], sites: &SiteMap, kind: CostKind) -> Self {
         let mode_count = circuits.len();
+        let (track_wl, track_pairs) = kind.tracks();
+        let track_timing = kind.tracks_timing();
         let mut drives = Vec::with_capacity(mode_count);
         let mut driven_by = Vec::with_capacity(mode_count);
+        let mut crit = Vec::with_capacity(mode_count);
         let mut is_driver = Vec::with_capacity(mode_count);
         for circuit in circuits {
             let n = circuit.block_count();
             let mut dr: Vec<Vec<u32>> = vec![Vec::new(); n];
             let mut db: Vec<Vec<u32>> = vec![Vec::new(); n];
-            for (src, dst) in circuit.connections() {
+            let mut cr: Vec<Vec<f64>> = vec![Vec::new(); n];
+            let crits = if track_timing {
+                mm_sta::unit_criticalities(circuit)
+                    .expect("timing cost requires combinationally acyclic circuits")
+            } else {
+                Vec::new()
+            };
+            for (ci, (src, dst)) in circuit.connections().into_iter().enumerate() {
                 dr[src.index()].push(dst.index() as u32);
                 db[dst.index()].push(src.index() as u32);
+                if track_timing {
+                    cr[src.index()].push(crits[ci]);
+                }
             }
             drives.push(dr);
             driven_by.push(db);
+            crit.push(cr);
             is_driver.push(
                 circuit
                     .block_ids()
@@ -92,7 +114,6 @@ impl NaiveCostModel {
                 (s.x, s.y)
             })
             .collect();
-        let (track_wl, track_pairs) = kind.tracks();
         Self {
             kind,
             mode_count,
@@ -103,13 +124,16 @@ impl NaiveCostModel {
             occ: (0..mode_count).map(|_| vec![None; sites.len()]).collect(),
             drives,
             driven_by,
+            crit,
             is_driver,
             site_xy,
             net_cost: HashMap::new(),
             wl: 0.0,
             pairs: HashMap::new(),
+            timing_cost: 0.0,
             track_wl,
             track_pairs,
+            track_timing,
             undo: None,
         }
     }
@@ -118,6 +142,12 @@ impl NaiveCostModel {
     #[must_use]
     pub fn mode_count(&self) -> usize {
         self.mode_count
+    }
+
+    /// The criticality-weighted delay component (0 unless tracked).
+    #[must_use]
+    pub fn timing_cost(&self) -> f64 {
+        self.timing_cost
     }
 
     /// The cost of the tunable net sourced at `site`, or `None` when no
@@ -195,6 +225,19 @@ impl CostTracker for NaiveCostModel {
                 }
             }
         }
+        if self.track_timing {
+            let mut tc = 0.0;
+            for m in 0..self.mode_count {
+                for (b, sinks) in self.drives[m].iter().enumerate() {
+                    let ls = self.loc[m][b] as usize;
+                    for (slot, &snk) in sinks.iter().enumerate() {
+                        let ld = self.loc[m][snk as usize] as usize;
+                        tc += self.crit[m][b][slot] * manhattan(self.site_xy[ls], self.site_xy[ld]);
+                    }
+                }
+            }
+            self.timing_cost = tc;
+        }
     }
 
     fn apply_swap(&mut self, mode: usize, site_a: u32, site_b: u32) -> Option<f64> {
@@ -221,6 +264,38 @@ impl CostTracker for NaiveCostModel {
             }
         }
         let old_pairs: Vec<(u32, u32)> = conns
+            .iter()
+            .map(|&(d, s)| (self.loc[mode][d as usize], self.loc[mode][s as usize]))
+            .collect();
+
+        // Timing needs an *ordered* connection list (f64 folds are
+        // order-sensitive): moved blocks in `[ba, bb]` order, each block's
+        // drive slots ascending, then its driver entries ascending —
+        // exactly the flat model's enumeration.
+        let mut tconns: Vec<(u32, u32)> = Vec::new();
+        let mut tcrit: Vec<f64> = Vec::new();
+        if self.track_timing {
+            for &b in &moved {
+                for (slot, &snk) in self.drives[mode][b as usize].iter().enumerate() {
+                    tconns.push((b, snk));
+                    tcrit.push(self.crit[mode][b as usize][slot]);
+                }
+                for &d in &self.driven_by[mode][b as usize] {
+                    // A connection between two moved blocks is already
+                    // covered by the drives loop of the driving block.
+                    if Some(d) == ba || Some(d) == bb {
+                        continue;
+                    }
+                    let slot = self.drives[mode][d as usize]
+                        .iter()
+                        .position(|&s| s == b)
+                        .expect("driver lists its sink");
+                    tconns.push((d, b));
+                    tcrit.push(self.crit[mode][d as usize][slot]);
+                }
+            }
+        }
+        let t_old: Vec<(u32, u32)> = tconns
             .iter()
             .map(|&(d, s)| (self.loc[mode][d as usize], self.loc[mode][s as usize]))
             .collect();
@@ -279,8 +354,27 @@ impl CostTracker for NaiveCostModel {
                 match self.kind {
                     CostKind::WireLength => delta += wl_delta,
                     CostKind::Hybrid { wl_weight, .. } => delta += wl_weight * wl_delta,
+                    CostKind::Timing { alpha } => delta += (1.0 - alpha) * wl_delta,
                     CostKind::EdgeMatching => {}
                 }
+            }
+        }
+
+        // ---- timing ---------------------------------------------------------
+        let timing_before = self.timing_cost;
+        if self.track_timing {
+            let mut td = 0.0;
+            for (i, &(d, s)) in tconns.iter().enumerate() {
+                let (ods, oss) = t_old[i];
+                let nds = self.loc[mode][d as usize] as usize;
+                let nss = self.loc[mode][s as usize] as usize;
+                td += tcrit[i]
+                    * (manhattan(self.site_xy[nds], self.site_xy[nss])
+                        - manhattan(self.site_xy[ods as usize], self.site_xy[oss as usize]));
+            }
+            self.timing_cost += td;
+            if let CostKind::Timing { alpha } = self.kind {
+                delta += alpha * td;
             }
         }
 
@@ -314,7 +408,7 @@ impl CostTracker for NaiveCostModel {
                 CostKind::Hybrid { edge_weight, .. } => {
                     delta += edge_weight * distinct_delta as f64;
                 }
-                CostKind::WireLength => {}
+                CostKind::WireLength | CostKind::Timing { .. } => {}
             }
         }
 
@@ -324,6 +418,7 @@ impl CostTracker for NaiveCostModel {
             site_b,
             wl_snapshot,
             pair_ops,
+            timing: timing_before,
         });
         Some(delta)
     }
@@ -331,6 +426,9 @@ impl CostTracker for NaiveCostModel {
     fn revert_last(&mut self) {
         let undo = self.undo.take().expect("no swap to revert");
         let (mode, a, b) = (undo.mode, undo.site_a, undo.site_b);
+        if self.track_timing {
+            self.timing_cost = undo.timing;
+        }
         let ba = self.occ[mode][b as usize];
         let bb = self.occ[mode][a as usize];
         self.occ[mode][a as usize] = ba;
@@ -380,6 +478,7 @@ impl CostTracker for NaiveCostModel {
                 wl_weight,
                 edge_weight,
             } => wl_weight * self.wl + edge_weight * self.pairs.len() as f64,
+            CostKind::Timing { alpha } => (1.0 - alpha) * self.wl + alpha * self.timing_cost,
         }
     }
 

@@ -59,16 +59,17 @@ fn random_problem(seed: u64) -> (Vec<LutCircuit>, Architecture) {
     (circuits, Architecture::new(4, grid, 6))
 }
 
-/// One of the three cost kinds, chosen by the case seed — Hybrid included
-/// so both terms are exercised under the same swaps.
+/// One of the four cost kinds, chosen by the case seed — Hybrid and
+/// Timing included so every term is exercised under the same swaps.
 fn cost_for(seed: u64) -> CostKind {
-    match seed % 3 {
+    match seed % 4 {
         0 => CostKind::WireLength,
         1 => CostKind::EdgeMatching,
-        _ => CostKind::Hybrid {
+        2 => CostKind::Hybrid {
             wl_weight: 1.0,
             edge_weight: 2.5,
         },
+        _ => CostKind::Timing { alpha: 0.5 },
     }
 }
 
@@ -177,6 +178,67 @@ proptest! {
         }
         fresh.recompute();
         prop_assert_eq!(fresh.cost().to_bits(), fast.cost().to_bits());
+    }
+
+    /// Swap/revert sequences on the Timing cost: the criticality-weighted
+    /// delay term is delta-tracked bit-identically between the flat and
+    /// naive models, and survives a from-scratch recompute.
+    #[test]
+    fn timing_swaps_match_naive_and_recompute(seed in 0u64..1_000_000) {
+        let (circuits, arch) = random_problem(seed.wrapping_mul(13).wrapping_add(9));
+        let kind = CostKind::Timing { alpha: 0.7 };
+        let sites = SiteMap::new(&arch);
+        let mut fast = CostModel::new(&circuits, &sites, kind);
+        let mut naive = NaiveCostModel::new(&circuits, &sites, kind);
+
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x71417);
+        for (m, c) in circuits.iter().enumerate() {
+            let mut logic: Vec<u32> = sites.logic_indices().collect();
+            let mut io: Vec<u32> = sites.io_indices().collect();
+            for i in (1..logic.len()).rev() {
+                logic.swap(i, rng.gen_range(0..=i));
+            }
+            for i in (1..io.len()).rev() {
+                io.swap(i, rng.gen_range(0..=i));
+            }
+            let (mut li, mut ii) = (0usize, 0usize);
+            for id in c.block_ids() {
+                let site = if c.block(id).is_lut() {
+                    li += 1;
+                    logic[li - 1]
+                } else {
+                    ii += 1;
+                    io[ii - 1]
+                };
+                fast.set_location(m, id.index() as u32, site);
+                naive.set_location(m, id.index() as u32, site);
+            }
+        }
+        fast.recompute();
+        naive.recompute();
+        prop_assert_eq!(fast.cost().to_bits(), naive.cost().to_bits());
+        prop_assert_eq!(fast.timing_cost().to_bits(), naive.timing_cost().to_bits());
+
+        for _ in 0..60 {
+            let m = rng.gen_range(0..circuits.len());
+            let a = rng.gen_range(0..sites.len() as u32);
+            let b = rng.gen_range(0..sites.len() as u32);
+            let d1 = fast.apply_swap(m, a, b);
+            let d2 = naive.apply_swap(m, a, b);
+            prop_assert_eq!(d1.map(f64::to_bits), d2.map(f64::to_bits));
+            if d1.is_some() && rng.gen_bool(0.5) {
+                fast.revert_last();
+                naive.revert_last();
+            }
+            prop_assert_eq!(fast.cost().to_bits(), naive.cost().to_bits());
+            prop_assert_eq!(fast.timing_cost().to_bits(), naive.timing_cost().to_bits());
+            prop_assert_eq!(fast.wirelength().to_bits(), naive.wirelength().to_bits());
+        }
+
+        fast.recompute();
+        naive.recompute();
+        prop_assert_eq!(fast.cost().to_bits(), naive.cost().to_bits());
+        prop_assert_eq!(fast.timing_cost().to_bits(), naive.timing_cost().to_bits());
     }
 }
 

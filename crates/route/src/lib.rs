@@ -49,4 +49,5 @@ pub use minw::{min_channel_width, relaxed_width, MinWidthResult};
 pub use nets::{nets_for_circuit, verify_routing};
 pub use router::{
     seeded_margins, NetRoute, RouteNet, RouteSink, RouteTreeNode, Router, RouterOptions, Routing,
+    MAX_ROUTE_CRIT,
 };

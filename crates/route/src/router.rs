@@ -177,6 +177,11 @@ impl RouterOptions {
     }
 }
 
+/// Upper clamp on per-sink routing criticalities: even the most critical
+/// connection keeps a sliver of congestion sensitivity, so negotiation
+/// can still price it off an overused wire.
+pub const MAX_ROUTE_CRIT: f64 = 0.99;
+
 /// One node of a routed net's route tree.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RouteTreeNode {
@@ -508,6 +513,16 @@ pub struct Router<'a> {
     touch_generation: u32,
     /// Per-net bounding-box margins of the current `route()` call.
     net_margin: Vec<usize>,
+    // ---- timing-driven cost shaping (empty unless requested) ----
+    /// Flattened per-sink criticalities of the current
+    /// [`Router::route_with_criticality`] call (clamped to
+    /// `0..=MAX_ROUTE_CRIT`); empty for plain congestion-driven routing.
+    crit_dat: Vec<f64>,
+    /// Per-net start offsets into `crit_dat` (`nets.len() + 1` entries).
+    crit_idx: Vec<u32>,
+    /// Criticality of the sink currently being searched (0.0 keeps the
+    /// cost expression bit-identical to the congestion-only router).
+    sink_crit: f64,
     // ---- incremental rip-up scratch (per congested net, reused) ----
     /// Tree nodes with an overused node on their root path (self
     /// included).
@@ -574,6 +589,9 @@ impl<'a> Router<'a> {
             touch_gen: vec![0; n],
             touch_generation: 1,
             net_margin: Vec::new(),
+            crit_dat: Vec::new(),
+            crit_idx: Vec::new(),
+            sink_crit: 0.0,
             blocked: Vec::new(),
             keep: Vec::new(),
             keep_act: Vec::new(),
@@ -612,6 +630,26 @@ impl<'a> Router<'a> {
             RrKind::Sink => 0.0,
             RrKind::Opin | RrKind::Source => 1.0,
         }
+    }
+
+    /// Unit-delay model of a node traversal: one delay unit per wire
+    /// segment, zero for pins — the same model `mm-sta` analyzes routed
+    /// paths with (`NetRoute::wires_to_sink`).
+    fn wire_delay(kind: RrKind) -> f64 {
+        match kind {
+            RrKind::ChanX | RrKind::ChanY => 1.0,
+            RrKind::Ipin | RrKind::Sink | RrKind::Opin | RrKind::Source => 0.0,
+        }
+    }
+
+    /// Criticality of one sink under the current routing call (0.0 when
+    /// routing is purely congestion-driven).
+    #[inline]
+    fn sink_criticality(&self, net_index: usize, sink_index: usize) -> f64 {
+        if self.crit_idx.is_empty() {
+            return 0.0;
+        }
+        self.crit_dat[self.crit_idx[net_index] as usize + sink_index]
     }
 
     /// Node cost given the node's (already fetched) RRG record.
@@ -708,6 +746,48 @@ impl<'a> Router<'a> {
     /// is reset on entry, so repeated calls on one router are idempotent
     /// and reuse the scratch arena instead of reallocating it.
     pub fn route(&mut self, nets: &[RouteNet]) -> Routing {
+        self.crit_dat.clear();
+        self.crit_idx.clear();
+        self.net_margin.clear();
+        for net in nets {
+            self.net_margin
+                .push(initial_margin(self.rrg, net, &self.options));
+        }
+        self.route_prepared(nets)
+    }
+
+    /// [`Router::route`] with per-connection timing criticalities
+    /// (`crit[net][sink]` in `0..=1`, e.g. from `mm-sta`): each sink's
+    /// search blends the congestion cost with the wire delay,
+    /// `(1 - c) · congestion + c · delay`, so near-critical connections
+    /// prefer short paths while slack-rich ones keep yielding wires to
+    /// congestion negotiation. Criticalities are clamped to
+    /// `0..=MAX_ROUTE_CRIT` so congestion pressure never fully vanishes;
+    /// a sink at criticality 0.0 is routed with the exact
+    /// (bit-identical) congestion-only cost.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the criticality table's shape does not match `nets` or
+    /// contains a non-finite value.
+    pub fn route_with_criticality(&mut self, nets: &[RouteNet], crit: &[Vec<f64>]) -> Routing {
+        assert_eq!(crit.len(), nets.len(), "one criticality row per net");
+        self.crit_dat.clear();
+        self.crit_idx.clear();
+        self.crit_idx.push(0);
+        for (net, row) in nets.iter().zip(crit) {
+            assert_eq!(
+                row.len(),
+                net.sinks.len(),
+                "one criticality per sink of net '{}'",
+                net.name
+            );
+            for &c in row {
+                assert!(c.is_finite(), "criticality must be finite");
+                self.crit_dat.push(c.clamp(0.0, MAX_ROUTE_CRIT));
+            }
+            self.crit_idx.push(self.crit_dat.len() as u32);
+        }
         self.net_margin.clear();
         for net in nets {
             self.net_margin
@@ -725,6 +805,8 @@ impl<'a> Router<'a> {
     /// Panics if `margins.len() != nets.len()`.
     pub fn route_with_margins(&mut self, nets: &[RouteNet], margins: &[usize]) -> Routing {
         assert_eq!(margins.len(), nets.len(), "one margin per net");
+        self.crit_dat.clear();
+        self.crit_idx.clear();
         self.net_margin.clear();
         self.net_margin.extend_from_slice(margins);
         self.route_prepared(nets)
@@ -1019,6 +1101,7 @@ impl<'a> Router<'a> {
         for &si in &order {
             let si = si as usize;
             let sink = net.sinks[si];
+            self.sink_crit = self.sink_criticality(net_index, si);
             if let Some(pos) = self.tree_index(sink.node.index() as u32) {
                 // Already reached (e.g. shared sink); just extend activation.
                 self.extend_activation(&mut route.tree, pos, sink.activation);
@@ -1153,7 +1236,18 @@ impl<'a> Router<'a> {
                 if !bbox.contains(to.x, to.y) {
                     continue;
                 }
-                let g = entry.g + self.node_cost(v, to, act) * self.share_factor(e.switch, act);
+                // Timing-driven blend: a critical sink trades congestion
+                // cost for wire delay. The `c == 0.0` branch keeps the
+                // default path bit-identical to the congestion-only
+                // router (the parity tests rely on that).
+                let c = self.sink_crit;
+                let g = if c > 0.0 {
+                    entry.g
+                        + (1.0 - c) * self.node_cost(v, to, act) * self.share_factor(e.switch, act)
+                        + c * Self::wire_delay(to.kind)
+                } else {
+                    entry.g + self.node_cost(v, to, act) * self.share_factor(e.switch, act)
+                };
                 if self.gen[v as usize] != generation || g + 1e-12 < self.dist[v as usize] {
                     self.gen[v as usize] = generation;
                     self.dist[v as usize] = g;

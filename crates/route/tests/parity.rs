@@ -179,6 +179,51 @@ proptest! {
         }
     }
 
+    /// All-zero criticalities leave the cost expression on its original
+    /// branch: `route_with_criticality` with zeros is byte-identical to
+    /// plain `route`.
+    #[test]
+    fn zero_criticality_is_identical_to_plain_route(seed in 0u64..1_000_000) {
+        let suite = random_suite(seed.wrapping_mul(17).wrapping_add(29));
+        let options = RouterOptions::for_modes(suite.modes);
+        let plain = Router::new(&suite.rrg, options).route(&suite.nets);
+        let zeros: Vec<Vec<f64>> = suite.nets.iter().map(|n| vec![0.0; n.sinks.len()]).collect();
+        let crit = Router::new(&suite.rrg, options)
+            .route_with_criticality(&suite.nets, &zeros);
+        assert_identical(&plain, &crit)?;
+    }
+
+    /// Nonzero criticalities bias wire costs but must never lose
+    /// routability on a congestion-feasible suite, and the result must
+    /// still verify structurally per mode.
+    #[test]
+    fn criticality_preserves_routability(seed in 0u64..1_000_000) {
+        let suite = random_suite(seed.wrapping_mul(19).wrapping_add(3));
+        let options = RouterOptions::for_modes(suite.modes);
+        let plain = Router::new(&suite.rrg, options).route(&suite.nets);
+        if plain.success {
+            let mut rng = StdRng::seed_from_u64(seed ^ 0xc417);
+            let crit: Vec<Vec<f64>> = suite
+                .nets
+                .iter()
+                .map(|n| n.sinks.iter().map(|_| rng.gen_range(0.0..1.0)).collect())
+                .collect();
+            let routed = Router::new(&suite.rrg, options)
+                .route_with_criticality(&suite.nets, &crit);
+            prop_assert!(
+                routed.success,
+                "criticality weighting lost routability (seed {})",
+                seed
+            );
+            prop_assert_eq!(routed.unrouted_sinks, 0);
+            prop_assert!(
+                mm_route::verify_routing(&suite.rrg, &suite.nets, &routed, suite.modes).is_ok(),
+                "verification failed (seed {})",
+                seed
+            );
+        }
+    }
+
     /// Explicit HPWL-seeded margins through `route_with_margins` match
     /// the options-derived path on both implementations.
     #[test]

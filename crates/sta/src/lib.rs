@@ -1,0 +1,915 @@
+//! Static timing analysis for the multi-mode tool flow.
+//!
+//! A levelized arrival/required-time analysis over the unit-delay model
+//! of the reproduction (each wire segment costs 1, each LUT costs
+//! [`LUT_DELAY`]), producing per-connection slack and a normalized
+//! criticality in `0..=1` that the placer and router consume for
+//! timing-driven optimization.
+//!
+//! Two implementations share one semantics:
+//!
+//! * [`Sta`] — the production engine. It stores the levelized graph once
+//!   and, after [`Sta::set_delay`] updates, re-levelizes only the fanout
+//!   and fanin cones actually touched ([`Sta::refresh`]), so repeated
+//!   analysis during placement/routing iteration is cheap.
+//! * [`reference::analyze`] — a from-scratch `HashMap`-based
+//!   implementation recomputing everything on every call.
+//!
+//! Both compute every node value as the same pure function of the delay
+//! inputs (identical fold order and expressions), so their results are
+//! **bit-identical** — the property-based parity suite in
+//! `tests/parity.rs` holds them to that.
+//!
+//! # Timing model
+//!
+//! * Startpoints (arrival `0.0`): input pads and registered-LUT outputs.
+//! * A combinational LUT's arrival is the max over its fanin connections
+//!   of `arrival(src) + delay(conn)`, plus [`LUT_DELAY`].
+//! * Endpoints: registered-LUT inputs (the fold plus [`LUT_DELAY`] for
+//!   the capturing LUT) and output pads (`arrival(src) + delay`).
+//! * The critical path `T` is the max over all combinational arrivals
+//!   and endpoint arrivals.
+//! * `slack(conn)` measures how much the connection's delay could grow
+//!   without growing `T`; `criticality = 1 - slack / T` clamped to
+//!   `0..=1` (or `0.0` when `T = 0`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod reference;
+
+use mm_arch::{RoutingGraph, RrNodeId, Site};
+use mm_netlist::{BlockId, BlockKind, LutCircuit};
+use mm_route::{RouteNet, Routing};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+use std::fmt;
+
+/// Delay of one LUT in the unit-delay model (a LUT traversal costs a
+/// couple of wire segments' worth of time).
+pub const LUT_DELAY: f64 = 2.0;
+
+/// Errors produced by timing analysis.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StaError {
+    /// The circuit's combinational part contains a cycle (the payload
+    /// names a block on it).
+    Cycle(String),
+    /// The delay vector does not have one entry per connection.
+    DelayCount {
+        /// Connections in the circuit.
+        expected: usize,
+        /// Delays supplied.
+        got: usize,
+    },
+    /// A delay is not a finite non-negative number.
+    InvalidDelay {
+        /// Index into the connection list.
+        index: usize,
+        /// The offending value.
+        value: f64,
+    },
+    /// A routed connection has no delay in the delay map — the routing
+    /// does not cover the connection (or the lookup is mis-keyed).
+    /// Silently treating it as zero would underestimate the critical
+    /// path, so this is a hard error.
+    MissingDelay {
+        /// Driver block name.
+        source: String,
+        /// Consumer block name.
+        sink: String,
+    },
+}
+
+impl fmt::Display for StaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Cycle(name) => write!(f, "combinational cycle through '{name}'"),
+            Self::DelayCount { expected, got } => {
+                write!(f, "expected {expected} connection delays, got {got}")
+            }
+            Self::InvalidDelay { index, value } => {
+                write!(f, "connection {index} has invalid delay {value}")
+            }
+            Self::MissingDelay { source, sink } => {
+                write!(f, "no routed delay for connection {source} -> {sink}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StaError {}
+
+/// Timing of one connection (driver → consumer pin pair).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConnectionTiming {
+    /// Driver block.
+    pub source: BlockId,
+    /// Consumer block.
+    pub sink: BlockId,
+    /// Connection delay (routed wire count, estimate, or unit).
+    pub delay: f64,
+    /// Signal arrival time at the consumer's input.
+    pub arrival: f64,
+    /// Slack: how much `delay` could grow without growing the critical
+    /// path (negative never occurs under a consistent analysis).
+    pub slack: f64,
+    /// Normalized criticality in `0..=1` (1 = on the critical path).
+    pub criticality: f64,
+}
+
+/// Result of a full timing analysis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimingAnalysis {
+    /// Length of the longest registered-to-registered (or pad-to-pad)
+    /// path in delay units.
+    pub critical_path: f64,
+    /// Per-connection timing, in [`LutCircuit::connections`] order.
+    pub connections: Vec<ConnectionTiming>,
+}
+
+impl TimingAnalysis {
+    /// Mean connection delay (0.0 for a circuit without connections).
+    #[must_use]
+    pub fn mean_connection_delay(&self) -> f64 {
+        if self.connections.is_empty() {
+            return 0.0;
+        }
+        let sum: f64 = self.connections.iter().map(|c| c.delay).sum();
+        sum / self.connections.len() as f64
+    }
+
+    /// Criticalities in [`LutCircuit::connections`] order.
+    #[must_use]
+    pub fn criticalities(&self) -> Vec<f64> {
+        self.connections.iter().map(|c| c.criticality).collect()
+    }
+}
+
+/// Validates one delay value (finite, non-negative, not `-0.0` — the
+/// sign would leak into max/min folds where IEEE leaves the result
+/// underspecified).
+fn check_delay(index: usize, value: f64) -> Result<(), StaError> {
+    if !value.is_finite() || value.is_sign_negative() {
+        return Err(StaError::InvalidDelay { index, value });
+    }
+    Ok(())
+}
+
+/// Node classification for the timing graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Class {
+    CombLut,
+    RegLut,
+    InputPad,
+    OutputPad,
+}
+
+/// Incremental static timing analyzer.
+///
+/// Built once per circuit from a delay vector aligned with
+/// [`LutCircuit::connections`]; delays can then be changed with
+/// [`Sta::set_delay`] and the analysis brought up to date with
+/// [`Sta::refresh`], which re-levelizes only the cones reachable from
+/// the changed connections. Results are bit-identical to a from-scratch
+/// run ([`reference::analyze`]) because every node value is recomputed
+/// in full (never delta-adjusted) with identical fold orders.
+#[derive(Debug, Clone)]
+pub struct Sta {
+    // Static structure.
+    conn_pairs: Vec<(BlockId, BlockId)>,
+    conn_src: Vec<u32>,
+    conn_dst: Vec<u32>,
+    delays: Vec<f64>,
+    class: Vec<Class>,
+    fanin_idx: Vec<u32>,
+    fanin_dat: Vec<u32>,
+    fanout_idx: Vec<u32>,
+    fanout_dat: Vec<u32>,
+    /// Combinational LUTs in topological order.
+    order: Vec<u32>,
+    /// Block → position in `order` (`u32::MAX` for non-comb blocks).
+    pos: Vec<u32>,
+    // Dynamic values.
+    arr: Vec<f64>,
+    contrib: Vec<f64>,
+    req: Vec<f64>,
+    t: f64,
+    slack: Vec<f64>,
+    crit: Vec<f64>,
+    // Dirty-set machinery (reused across refreshes).
+    fwd_heap: BinaryHeap<Reverse<u32>>,
+    fwd_in: Vec<bool>,
+    bwd_heap: BinaryHeap<u32>,
+    bwd_in: Vec<bool>,
+    dirty_end: Vec<u32>,
+    end_in: Vec<bool>,
+    dirty_conns: Vec<u32>,
+    conn_in: Vec<bool>,
+}
+
+impl Sta {
+    /// Builds the analyzer and runs the initial full analysis.
+    ///
+    /// `delays` holds one delay per [`LutCircuit::connections`] entry,
+    /// in that order.
+    ///
+    /// # Errors
+    ///
+    /// [`StaError::DelayCount`] on a length mismatch,
+    /// [`StaError::InvalidDelay`] for non-finite or negative delays, and
+    /// [`StaError::Cycle`] if the combinational part of the circuit is
+    /// cyclic.
+    pub fn new(circuit: &LutCircuit, delays: &[f64]) -> Result<Self, StaError> {
+        let conn_pairs = circuit.connections();
+        if delays.len() != conn_pairs.len() {
+            return Err(StaError::DelayCount {
+                expected: conn_pairs.len(),
+                got: delays.len(),
+            });
+        }
+        for (i, &d) in delays.iter().enumerate() {
+            check_delay(i, d)?;
+        }
+        let order_ids = circuit
+            .comb_topo_order()
+            .map_err(|e| StaError::Cycle(e.to_string()))?;
+
+        let n = circuit.block_count();
+        let class: Vec<Class> = circuit
+            .block_ids()
+            .map(|id| match circuit.block(id).kind() {
+                BlockKind::InputPad => Class::InputPad,
+                BlockKind::OutputPad { .. } => Class::OutputPad,
+                BlockKind::Lut {
+                    registered: true, ..
+                } => Class::RegLut,
+                BlockKind::Lut { .. } => Class::CombLut,
+            })
+            .collect();
+
+        let conn_src: Vec<u32> = conn_pairs.iter().map(|&(s, _)| s.index() as u32).collect();
+        let conn_dst: Vec<u32> = conn_pairs.iter().map(|&(_, d)| d.index() as u32).collect();
+        let (fanin_idx, fanin_dat) = csr(n, &conn_dst);
+        let (fanout_idx, fanout_dat) = csr(n, &conn_src);
+
+        let mut pos = vec![u32::MAX; n];
+        let order: Vec<u32> = order_ids.iter().map(|id| id.index() as u32).collect();
+        for (p, &b) in order.iter().enumerate() {
+            pos[b as usize] = p as u32;
+        }
+
+        let m = conn_pairs.len();
+        let mut sta = Self {
+            conn_pairs,
+            conn_src,
+            conn_dst,
+            delays: delays.to_vec(),
+            class,
+            fanin_idx,
+            fanin_dat,
+            fanout_idx,
+            fanout_dat,
+            order,
+            pos,
+            arr: vec![0.0; n],
+            contrib: vec![0.0; n],
+            req: vec![0.0; n],
+            t: 0.0,
+            slack: vec![0.0; m],
+            crit: vec![0.0; m],
+            fwd_heap: BinaryHeap::new(),
+            fwd_in: vec![false; n],
+            bwd_heap: BinaryHeap::new(),
+            bwd_in: vec![false; n],
+            dirty_end: Vec::new(),
+            end_in: vec![false; n],
+            dirty_conns: Vec::new(),
+            conn_in: vec![false; m],
+        };
+        sta.recompute();
+        Ok(sta)
+    }
+
+    /// Number of connections (and delays).
+    #[must_use]
+    pub fn connection_count(&self) -> usize {
+        self.delays.len()
+    }
+
+    /// The connection pairs, in [`LutCircuit::connections`] order.
+    #[must_use]
+    pub fn connections(&self) -> &[(BlockId, BlockId)] {
+        &self.conn_pairs
+    }
+
+    /// Current delay vector.
+    #[must_use]
+    pub fn delays(&self) -> &[f64] {
+        &self.delays
+    }
+
+    /// Critical path as of the last [`Sta::refresh`] (or construction).
+    #[must_use]
+    pub fn critical_path(&self) -> f64 {
+        self.t
+    }
+
+    /// Per-connection slacks.
+    #[must_use]
+    pub fn slacks(&self) -> &[f64] {
+        &self.slack
+    }
+
+    /// Per-connection criticalities in `0..=1`.
+    #[must_use]
+    pub fn criticalities(&self) -> &[f64] {
+        &self.crit
+    }
+
+    /// Updates one connection delay, marking the affected cones dirty.
+    /// Call [`Sta::refresh`] to bring the analysis up to date.
+    ///
+    /// # Errors
+    ///
+    /// [`StaError::InvalidDelay`] for a non-finite or negative value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn set_delay(&mut self, index: usize, delay: f64) -> Result<(), StaError> {
+        check_delay(index, delay)?;
+        if self.delays[index].to_bits() == delay.to_bits() {
+            return Ok(());
+        }
+        self.delays[index] = delay;
+        self.mark_conn(index as u32);
+        let dst = self.conn_dst[index] as usize;
+        match self.class[dst] {
+            Class::CombLut => self.push_fwd(self.pos[dst]),
+            Class::RegLut | Class::OutputPad => self.mark_end(dst as u32),
+            Class::InputPad => {}
+        }
+        let src = self.conn_src[index] as usize;
+        if self.class[src] == Class::CombLut {
+            self.push_bwd(self.pos[src]);
+        }
+        Ok(())
+    }
+
+    /// Replaces the whole delay vector (marking only actually-changed
+    /// connections dirty) and refreshes.
+    ///
+    /// # Errors
+    ///
+    /// [`StaError::DelayCount`] on a length mismatch and
+    /// [`StaError::InvalidDelay`] for invalid values.
+    pub fn set_delays(&mut self, delays: &[f64]) -> Result<(), StaError> {
+        if delays.len() != self.delays.len() {
+            return Err(StaError::DelayCount {
+                expected: self.delays.len(),
+                got: delays.len(),
+            });
+        }
+        for (i, &d) in delays.iter().enumerate() {
+            self.set_delay(i, d)?;
+        }
+        self.refresh();
+        Ok(())
+    }
+
+    /// Propagates all pending delay changes through the affected fanout
+    /// and fanin cones. A no-op when nothing is dirty.
+    pub fn refresh(&mut self) {
+        // Forward: arrival times, ascending topological position. A
+        // node's recomputed arrival only dirties its successors (strictly
+        // larger positions), so one ascending sweep settles the cone.
+        while let Some(Reverse(p)) = self.fwd_heap.pop() {
+            self.fwd_in[p as usize] = false;
+            let b = self.order[p as usize] as usize;
+            let a = self.compute_arr(b);
+            if a.to_bits() != self.arr[b].to_bits() {
+                self.arr[b] = a;
+                self.contrib[b] = a;
+                let (s, e) = self.fanout_range(b);
+                for i in s..e {
+                    let ci = self.fanout_dat[i];
+                    self.mark_conn(ci);
+                    let d = self.conn_dst[ci as usize] as usize;
+                    match self.class[d] {
+                        Class::CombLut => self.push_fwd(self.pos[d]),
+                        Class::RegLut | Class::OutputPad => self.mark_end(d as u32),
+                        Class::InputPad => {}
+                    }
+                }
+                // Required times downstream do not depend on arrivals,
+                // but this node's own required time bounds its fanin
+                // slacks — those connections were marked above.
+            }
+        }
+
+        // Endpoints: recompute the dirtied critical-path contributions.
+        let dirty_end = std::mem::take(&mut self.dirty_end);
+        for &b in &dirty_end {
+            self.end_in[b as usize] = false;
+            let e = self.compute_end(b as usize);
+            if e.to_bits() != self.contrib[b as usize].to_bits() {
+                self.contrib[b as usize] = e;
+            }
+        }
+        self.dirty_end = dirty_end;
+        self.dirty_end.clear();
+
+        // Critical path: an exact max over the contribution vector (max
+        // is order-insensitive on finite floats, so a full scan is both
+        // cheap and bit-stable).
+        let t = self.compute_t();
+        if t.to_bits() != self.t.to_bits() {
+            // A changed critical path moves every required time and every
+            // criticality: fall back to the full backward pass.
+            self.t = t;
+            self.bwd_heap.clear();
+            self.bwd_in.iter_mut().for_each(|f| *f = false);
+            self.dirty_conns.clear();
+            self.conn_in.iter_mut().for_each(|f| *f = false);
+            self.recompute_backward();
+            self.recompute_all_slacks();
+            return;
+        }
+
+        // Backward: required times, descending topological position (a
+        // node's required time depends only on successors).
+        while let Some(p) = self.bwd_heap.pop() {
+            self.bwd_in[p as usize] = false;
+            let b = self.order[p as usize] as usize;
+            let r = self.compute_req(b);
+            if r.to_bits() != self.req[b].to_bits() {
+                self.req[b] = r;
+                let (s, e) = self.fanin_range(b);
+                for i in s..e {
+                    let ci = self.fanin_dat[i];
+                    self.mark_conn(ci);
+                    let src = self.conn_src[ci as usize] as usize;
+                    if self.class[src] == Class::CombLut {
+                        self.push_bwd(self.pos[src]);
+                    }
+                }
+            }
+        }
+
+        // Slack/criticality of exactly the touched connections.
+        let dirty = std::mem::take(&mut self.dirty_conns);
+        for &ci in &dirty {
+            self.conn_in[ci as usize] = false;
+            let (s, c) = self.conn_timing(ci as usize);
+            self.slack[ci as usize] = s;
+            self.crit[ci as usize] = c;
+        }
+        self.dirty_conns = dirty;
+        self.dirty_conns.clear();
+    }
+
+    /// Extracts the full analysis at the current delay state.
+    #[must_use]
+    pub fn analysis(&self) -> TimingAnalysis {
+        let connections = self
+            .conn_pairs
+            .iter()
+            .enumerate()
+            .map(|(i, &(source, sink))| ConnectionTiming {
+                source,
+                sink,
+                delay: self.delays[i],
+                arrival: self.arr[self.conn_src[i] as usize] + self.delays[i],
+                slack: self.slack[i],
+                criticality: self.crit[i],
+            })
+            .collect();
+        TimingAnalysis {
+            critical_path: self.t,
+            connections,
+        }
+    }
+
+    // ---- internals ----
+
+    fn fanin_range(&self, b: usize) -> (usize, usize) {
+        (self.fanin_idx[b] as usize, self.fanin_idx[b + 1] as usize)
+    }
+
+    fn fanout_range(&self, b: usize) -> (usize, usize) {
+        (self.fanout_idx[b] as usize, self.fanout_idx[b + 1] as usize)
+    }
+
+    fn push_fwd(&mut self, p: u32) {
+        if !self.fwd_in[p as usize] {
+            self.fwd_in[p as usize] = true;
+            self.fwd_heap.push(Reverse(p));
+        }
+    }
+
+    fn push_bwd(&mut self, p: u32) {
+        if !self.bwd_in[p as usize] {
+            self.bwd_in[p as usize] = true;
+            self.bwd_heap.push(p);
+        }
+    }
+
+    fn mark_end(&mut self, b: u32) {
+        if !self.end_in[b as usize] {
+            self.end_in[b as usize] = true;
+            self.dirty_end.push(b);
+        }
+    }
+
+    fn mark_conn(&mut self, ci: u32) {
+        if !self.conn_in[ci as usize] {
+            self.conn_in[ci as usize] = true;
+            self.dirty_conns.push(ci);
+        }
+    }
+
+    /// Arrival at a combinational LUT's output: max over fanin of
+    /// `arrival(src) + delay`, plus the LUT delay.
+    fn compute_arr(&self, b: usize) -> f64 {
+        let (s, e) = self.fanin_range(b);
+        let mut a = 0.0f64;
+        for i in s..e {
+            let ci = self.fanin_dat[i] as usize;
+            a = a.max(self.arr[self.conn_src[ci] as usize] + self.delays[ci]);
+        }
+        a + LUT_DELAY
+    }
+
+    /// Critical-path contribution of an endpoint block: a registered
+    /// LUT's capture (fold + LUT delay) or an output pad's arrival.
+    fn compute_end(&self, b: usize) -> f64 {
+        let (s, e) = self.fanin_range(b);
+        let mut a = 0.0f64;
+        for i in s..e {
+            let ci = self.fanin_dat[i] as usize;
+            a = a.max(self.arr[self.conn_src[ci] as usize] + self.delays[ci]);
+        }
+        match self.class[b] {
+            Class::RegLut => a + LUT_DELAY,
+            _ => a,
+        }
+    }
+
+    /// Required time at the consumer side of connection `ci` (the time
+    /// by which the signal must arrive at the consumer's input).
+    fn edge_req(&self, ci: usize) -> f64 {
+        let d = self.conn_dst[ci] as usize;
+        match self.class[d] {
+            Class::CombLut => self.req[d] - LUT_DELAY,
+            Class::RegLut => self.t - LUT_DELAY,
+            Class::OutputPad | Class::InputPad => self.t,
+        }
+    }
+
+    /// Required time at a combinational LUT's output: min over fanout of
+    /// `edge_req - delay`, starting from `T` (the node's own arrival also
+    /// counts toward the critical path).
+    fn compute_req(&self, b: usize) -> f64 {
+        let (s, e) = self.fanout_range(b);
+        let mut r = self.t;
+        for i in s..e {
+            let ci = self.fanout_dat[i] as usize;
+            r = r.min(self.edge_req(ci) - self.delays[ci]);
+        }
+        r
+    }
+
+    fn compute_t(&self) -> f64 {
+        let mut t = 0.0f64;
+        for &c in &self.contrib {
+            t = t.max(c);
+        }
+        t
+    }
+
+    fn conn_timing(&self, ci: usize) -> (f64, f64) {
+        let slack = self.edge_req(ci) - (self.arr[self.conn_src[ci] as usize] + self.delays[ci]);
+        let crit = if self.t > 0.0 {
+            (1.0 - slack / self.t).clamp(0.0, 1.0)
+        } else {
+            0.0
+        };
+        (slack, crit)
+    }
+
+    /// Full from-scratch recompute of every derived value.
+    fn recompute(&mut self) {
+        for p in 0..self.order.len() {
+            let b = self.order[p] as usize;
+            let a = self.compute_arr(b);
+            self.arr[b] = a;
+            self.contrib[b] = a;
+        }
+        for b in 0..self.class.len() {
+            match self.class[b] {
+                Class::RegLut | Class::OutputPad => self.contrib[b] = self.compute_end(b),
+                Class::CombLut => {}
+                Class::InputPad => self.contrib[b] = 0.0,
+            }
+        }
+        self.t = self.compute_t();
+        self.recompute_backward();
+        self.recompute_all_slacks();
+    }
+
+    fn recompute_backward(&mut self) {
+        for p in (0..self.order.len()).rev() {
+            let b = self.order[p] as usize;
+            self.req[b] = self.compute_req(b);
+        }
+    }
+
+    fn recompute_all_slacks(&mut self) {
+        for ci in 0..self.delays.len() {
+            let (s, c) = self.conn_timing(ci);
+            self.slack[ci] = s;
+            self.crit[ci] = c;
+        }
+    }
+}
+
+/// Builds a CSR mapping block → connection indices whose `key` equals
+/// the block, preserving connection order within each list.
+fn csr(n: usize, key: &[u32]) -> (Vec<u32>, Vec<u32>) {
+    let mut idx = vec![0u32; n + 1];
+    for &k in key {
+        idx[k as usize + 1] += 1;
+    }
+    for i in 0..n {
+        idx[i + 1] += idx[i];
+    }
+    let mut dat = vec![0u32; key.len()];
+    let mut cursor = idx.clone();
+    for (ci, &k) in key.iter().enumerate() {
+        dat[cursor[k as usize] as usize] = ci as u32;
+        cursor[k as usize] += 1;
+    }
+    (idx, dat)
+}
+
+/// Runs a full analysis of `circuit` under `delays` (one entry per
+/// [`LutCircuit::connections`] element, in order).
+///
+/// # Errors
+///
+/// See [`Sta::new`].
+pub fn analyze(circuit: &LutCircuit, delays: &[f64]) -> Result<TimingAnalysis, StaError> {
+    Ok(Sta::new(circuit, delays)?.analysis())
+}
+
+/// Extracts per-connection routed delays for `mode` from a routing:
+/// `(source SOURCE node, sink SINK node) → wire segments on the path`.
+#[must_use]
+pub fn routed_delay_map(
+    rrg: &RoutingGraph,
+    nets: &[RouteNet],
+    routing: &Routing,
+    mode: usize,
+) -> HashMap<(RrNodeId, RrNodeId), f64> {
+    let mut map = HashMap::new();
+    for (net, route) in nets.iter().zip(&routing.nets) {
+        for (si, sink) in net.sinks.iter().enumerate() {
+            if sink.activation.contains(mode) {
+                map.insert((net.source, sink.node), route.wires_to_sink(rrg, si) as f64);
+            }
+        }
+    }
+    map
+}
+
+/// Resolves each circuit connection to its routed delay, strictly: a
+/// connection absent from `map` is an error, never a silent `0.0`.
+///
+/// `site_of` maps blocks to their placed sites.
+///
+/// # Errors
+///
+/// [`StaError::MissingDelay`] for any connection without a routed delay.
+pub fn routed_connection_delays(
+    circuit: &LutCircuit,
+    mut site_of: impl FnMut(BlockId) -> Site,
+    rrg: &RoutingGraph,
+    map: &HashMap<(RrNodeId, RrNodeId), f64>,
+) -> Result<Vec<f64>, StaError> {
+    circuit
+        .connections()
+        .into_iter()
+        .map(|(src, dst)| {
+            let key = (rrg.source_at(site_of(src)), rrg.sink_at(site_of(dst)));
+            map.get(&key)
+                .copied()
+                .ok_or_else(|| StaError::MissingDelay {
+                    source: circuit.block(src).name().to_string(),
+                    sink: circuit.block(dst).name().to_string(),
+                })
+        })
+        .collect()
+}
+
+/// Analyzes one placed-and-routed circuit in `mode`.
+///
+/// # Errors
+///
+/// [`StaError::MissingDelay`] if the routing does not cover every
+/// connection in `mode`; otherwise see [`Sta::new`].
+pub fn analyze_routed(
+    circuit: &LutCircuit,
+    site_of: impl FnMut(BlockId) -> Site,
+    rrg: &RoutingGraph,
+    nets: &[RouteNet],
+    routing: &Routing,
+    mode: usize,
+) -> Result<TimingAnalysis, StaError> {
+    let map = routed_delay_map(rrg, nets, routing, mode);
+    let delays = routed_connection_delays(circuit, site_of, rrg, &map)?;
+    analyze(circuit, &delays)
+}
+
+/// Placement-independent criticalities under a unit wire delay per
+/// connection — the topological criticality the annealer weights its
+/// timing cost with (pure function of the circuit, so content-addressed
+/// caching of placements keyed on circuit hashes stays sound).
+///
+/// # Errors
+///
+/// [`StaError::Cycle`] for a combinationally cyclic circuit.
+pub fn unit_criticalities(circuit: &LutCircuit) -> Result<Vec<f64>, StaError> {
+    let delays = vec![1.0; circuit.connections().len()];
+    Ok(analyze(circuit, &delays)?.criticalities())
+}
+
+/// Analyzes a circuit under estimated (pre-routing) connection delays
+/// supplied by `dist` — typically a placement's Manhattan distances.
+///
+/// # Errors
+///
+/// See [`Sta::new`].
+pub fn analyze_estimated(
+    circuit: &LutCircuit,
+    mut dist: impl FnMut(BlockId, BlockId) -> f64,
+) -> Result<TimingAnalysis, StaError> {
+    let delays: Vec<f64> = circuit
+        .connections()
+        .into_iter()
+        .map(|(s, d)| dist(s, d))
+        .collect();
+    analyze(circuit, &delays)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mm_netlist::TruthTable;
+
+    /// in → g1 → g2 → g3 → out, all combinational.
+    fn chain() -> LutCircuit {
+        let mut c = LutCircuit::new("chain", 4);
+        let a = c.add_input("a").unwrap();
+        let g1 = c
+            .add_lut("g1", vec![a], TruthTable::var(1, 0), false)
+            .unwrap();
+        let g2 = c
+            .add_lut("g2", vec![g1], TruthTable::var(1, 0), false)
+            .unwrap();
+        let g3 = c
+            .add_lut("g3", vec![g2], TruthTable::var(1, 0), false)
+            .unwrap();
+        c.add_output("y", g3).unwrap();
+        c
+    }
+
+    #[test]
+    fn chain_critical_path_counts_levels() {
+        let c = chain();
+        let delays = vec![1.0; c.connections().len()];
+        let a = analyze(&c, &delays).unwrap();
+        // 4 connections of delay 1 plus 3 LUT traversals.
+        assert_eq!(a.critical_path, 4.0 + 3.0 * LUT_DELAY);
+        // Every connection lies on the single path: criticality 1.
+        for conn in &a.connections {
+            assert_eq!(conn.criticality, 1.0, "{conn:?}");
+            assert_eq!(conn.slack, 0.0, "{conn:?}");
+        }
+    }
+
+    #[test]
+    fn registered_lut_cuts_the_path() {
+        let mut c = LutCircuit::new("cut", 4);
+        let a = c.add_input("a").unwrap();
+        let g1 = c
+            .add_lut("g1", vec![a], TruthTable::var(1, 0), false)
+            .unwrap();
+        let r = c
+            .add_lut("r", vec![g1], TruthTable::var(1, 0), true)
+            .unwrap();
+        let g2 = c
+            .add_lut("g2", vec![r], TruthTable::var(1, 0), false)
+            .unwrap();
+        c.add_output("y", g2).unwrap();
+        let delays = vec![1.0; c.connections().len()];
+        let an = analyze(&c, &delays).unwrap();
+        // Longest stage: a→g1→r capture = 1 + 2 + 1 + 2 = 6.
+        assert_eq!(an.critical_path, 6.0);
+    }
+
+    #[test]
+    fn off_path_connection_has_slack() {
+        let mut c = LutCircuit::new("slack", 4);
+        let a = c.add_input("a").unwrap();
+        let b = c.add_input("b").unwrap();
+        let g1 = c
+            .add_lut("g1", vec![a], TruthTable::var(1, 0), false)
+            .unwrap();
+        let g2 = c
+            .add_lut("g2", vec![g1, b], TruthTable::var(2, 0), false)
+            .unwrap();
+        c.add_output("y", g2).unwrap();
+        // a→g1 long, b→g2 short: b's connection is slack.
+        let conns = c.connections();
+        let delays: Vec<f64> = conns
+            .iter()
+            .map(|&(s, _)| if s == a { 5.0 } else { 1.0 })
+            .collect();
+        let an = analyze(&c, &delays).unwrap();
+        let b_conn = an
+            .connections
+            .iter()
+            .find(|ct| ct.source == b)
+            .expect("b drives g2");
+        assert!(b_conn.slack > 0.0);
+        assert!(b_conn.criticality < 1.0);
+        let a_conn = an.connections.iter().find(|ct| ct.source == a).unwrap();
+        assert_eq!(a_conn.criticality, 1.0);
+    }
+
+    #[test]
+    fn delay_vector_length_is_checked() {
+        let c = chain();
+        assert!(matches!(
+            analyze(&c, &[1.0]),
+            Err(StaError::DelayCount { .. })
+        ));
+    }
+
+    #[test]
+    fn invalid_delays_are_rejected() {
+        let c = chain();
+        let n = c.connections().len();
+        for bad in [f64::NAN, f64::INFINITY, -1.0, -0.0] {
+            let mut delays = vec![1.0; n];
+            delays[0] = bad;
+            assert!(
+                matches!(analyze(&c, &delays), Err(StaError::InvalidDelay { .. })),
+                "{bad} accepted"
+            );
+        }
+    }
+
+    #[test]
+    fn missing_routed_delay_is_an_error() {
+        use mm_arch::Architecture;
+        let c = chain();
+        let arch = Architecture::new(4, 3, 4);
+        let rrg = RoutingGraph::build(&arch);
+        let map = HashMap::new();
+        let err = routed_connection_delays(&c, |_| Site::new(1, 1, 0), &rrg, &map).unwrap_err();
+        assert!(matches!(err, StaError::MissingDelay { .. }));
+    }
+
+    #[test]
+    fn incremental_update_tracks_full_rebuild() {
+        let c = chain();
+        let n = c.connections().len();
+        let mut sta = Sta::new(&c, &vec![1.0; n]).unwrap();
+        let mut delays = vec![1.0; n];
+        delays[1] = 7.0;
+        sta.set_delays(&delays).unwrap();
+        let fresh = Sta::new(&c, &delays).unwrap();
+        assert_eq!(
+            sta.critical_path().to_bits(),
+            fresh.critical_path().to_bits()
+        );
+        for i in 0..n {
+            assert_eq!(sta.slacks()[i].to_bits(), fresh.slacks()[i].to_bits());
+            assert_eq!(
+                sta.criticalities()[i].to_bits(),
+                fresh.criticalities()[i].to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn unit_criticalities_are_normalized() {
+        let crits = unit_criticalities(&chain()).unwrap();
+        assert!(!crits.is_empty());
+        for c in crits {
+            assert!((0.0..=1.0).contains(&c));
+        }
+    }
+}

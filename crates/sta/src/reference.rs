@@ -1,0 +1,158 @@
+//! From-scratch reference timing analysis.
+//!
+//! An independent, obviously-correct implementation of the semantics in
+//! the crate docs: plain `HashMap`s, full recomputation on every call,
+//! no incremental state. The production [`Sta`](crate::Sta) engine must
+//! stay **bit-identical** to this — both compute every value with the
+//! same fold order and expressions, and the proptest parity suite
+//! enforces it.
+
+use crate::{ConnectionTiming, StaError, TimingAnalysis, LUT_DELAY};
+use mm_netlist::{BlockId, BlockKind, LutCircuit};
+use std::collections::HashMap;
+
+/// Analyzes `circuit` under `delays` by full recomputation.
+///
+/// # Errors
+///
+/// Same contract as [`crate::analyze`].
+pub fn analyze(circuit: &LutCircuit, delays: &[f64]) -> Result<TimingAnalysis, StaError> {
+    let conns = circuit.connections();
+    if delays.len() != conns.len() {
+        return Err(StaError::DelayCount {
+            expected: conns.len(),
+            got: delays.len(),
+        });
+    }
+    for (i, &d) in delays.iter().enumerate() {
+        if !d.is_finite() || d.is_sign_negative() {
+            return Err(StaError::InvalidDelay { index: i, value: d });
+        }
+    }
+    let order = circuit
+        .comb_topo_order()
+        .map_err(|e| StaError::Cycle(e.to_string()))?;
+
+    // Fanin/fanout connection indices per block, in connection order.
+    let mut fanin: HashMap<BlockId, Vec<usize>> = HashMap::new();
+    let mut fanout: HashMap<BlockId, Vec<usize>> = HashMap::new();
+    for (ci, &(src, dst)) in conns.iter().enumerate() {
+        fanout.entry(src).or_default().push(ci);
+        fanin.entry(dst).or_default().push(ci);
+    }
+    // Forward: arrivals of combinational LUTs (everything else is a
+    // startpoint at 0.0).
+    let mut arr: HashMap<BlockId, f64> = HashMap::new();
+    let arrival_of =
+        |arr: &HashMap<BlockId, f64>, id: BlockId| arr.get(&id).copied().unwrap_or(0.0);
+    let input_fold = |arr: &HashMap<BlockId, f64>, id: BlockId| {
+        let mut a = 0.0f64;
+        if let Some(list) = fanin.get(&id) {
+            for &ci in list {
+                a = a.max(arrival_of(arr, conns[ci].0) + delays[ci]);
+            }
+        }
+        a
+    };
+    for &b in &order {
+        let a = input_fold(&arr, b) + LUT_DELAY;
+        arr.insert(b, a);
+    }
+
+    // Critical path: max over combinational arrivals and endpoint
+    // arrivals, scanning blocks in ascending id order.
+    let mut t = 0.0f64;
+    for id in circuit.block_ids() {
+        match circuit.block(id).kind() {
+            BlockKind::Lut {
+                registered: false, ..
+            } => t = t.max(arrival_of(&arr, id)),
+            BlockKind::Lut {
+                registered: true, ..
+            } => t = t.max(input_fold(&arr, id) + LUT_DELAY),
+            BlockKind::OutputPad { .. } => t = t.max(input_fold(&arr, id)),
+            BlockKind::InputPad => {}
+        }
+    }
+
+    // Backward: required time at each combinational LUT's output.
+    let mut req: HashMap<BlockId, f64> = HashMap::new();
+    let edge_req = |req: &HashMap<BlockId, f64>, dst: BlockId| match circuit.block(dst).kind() {
+        BlockKind::Lut {
+            registered: false, ..
+        } => req[&dst] - LUT_DELAY,
+        BlockKind::Lut {
+            registered: true, ..
+        } => t - LUT_DELAY,
+        _ => t,
+    };
+    for &b in order.iter().rev() {
+        let mut r = t;
+        if let Some(list) = fanout.get(&b) {
+            for &ci in list {
+                r = r.min(edge_req(&req, conns[ci].1) - delays[ci]);
+            }
+        }
+        req.insert(b, r);
+    }
+
+    // Per-connection slack and criticality.
+    let connections = conns
+        .iter()
+        .enumerate()
+        .map(|(ci, &(source, sink))| {
+            let arrival = arrival_of(&arr, source) + delays[ci];
+            let slack = edge_req(&req, sink) - arrival;
+            let criticality = if t > 0.0 {
+                (1.0 - slack / t).clamp(0.0, 1.0)
+            } else {
+                0.0
+            };
+            ConnectionTiming {
+                source,
+                sink,
+                delay: delays[ci],
+                arrival,
+                slack,
+                criticality,
+            }
+        })
+        .collect();
+
+    Ok(TimingAnalysis {
+        critical_path: t,
+        connections,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use mm_netlist::{LutCircuit, TruthTable};
+
+    #[test]
+    fn reference_matches_production_on_a_small_circuit() {
+        let mut c = LutCircuit::new("x", 4);
+        let a = c.add_input("a").unwrap();
+        let b = c.add_input("b").unwrap();
+        let g1 = c
+            .add_lut("g1", vec![a, b], TruthTable::var(2, 0), false)
+            .unwrap();
+        let g2 = c
+            .add_lut("g2", vec![g1, a], TruthTable::var(2, 1), true)
+            .unwrap();
+        let g3 = c
+            .add_lut("g3", vec![g2, g1], TruthTable::var(2, 0), false)
+            .unwrap();
+        c.add_output("y", g3).unwrap();
+        let delays: Vec<f64> = (0..c.connections().len()).map(|i| 0.5 * i as f64).collect();
+        let r = super::analyze(&c, &delays).unwrap();
+        let p = crate::analyze(&c, &delays).unwrap();
+        assert_eq!(r.critical_path.to_bits(), p.critical_path.to_bits());
+        assert_eq!(r.connections.len(), p.connections.len());
+        for (rc, pc) in r.connections.iter().zip(&p.connections) {
+            assert_eq!(rc.slack.to_bits(), pc.slack.to_bits());
+            assert_eq!(rc.criticality.to_bits(), pc.criticality.to_bits());
+            assert_eq!(rc.arrival.to_bits(), pc.arrival.to_bits());
+        }
+    }
+}

@@ -1,0 +1,134 @@
+//! Differential tests: the incremental [`mm_sta::Sta`] engine must be
+//! bit-identical to the from-scratch reference analysis — same critical
+//! path, same slacks, same criticalities — both on construction and
+//! after arbitrary sequences of incremental delay updates.
+
+use mm_netlist::{BlockId, LutCircuit, TruthTable};
+use mm_sta::{reference, Sta};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A deterministic random k-LUT circuit (the shape used across the
+/// repo's tests and benches), with a mix of registered and purely
+/// combinational LUTs.
+fn random_circuit(name: &str, n_inputs: usize, n_luts: usize, seed: u64) -> LutCircuit {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut c = LutCircuit::new(name, 4);
+    let mut drivers: Vec<BlockId> = (0..n_inputs)
+        .map(|i| c.add_input(format!("i{i}")).unwrap())
+        .collect();
+    for j in 0..n_luts {
+        let fanin = rng.gen_range(1..=4.min(drivers.len()));
+        let mut ins = Vec::new();
+        while ins.len() < fanin {
+            let d = drivers[rng.gen_range(0..drivers.len())];
+            if !ins.contains(&d) {
+                ins.push(d);
+            }
+        }
+        let tt = TruthTable::from_bits(ins.len(), rng.gen());
+        let id = c
+            .add_lut(format!("n{j}"), ins, tt, rng.gen_bool(0.3))
+            .unwrap();
+        drivers.push(id);
+    }
+    for t in 0..3.min(n_luts) {
+        let d = drivers[drivers.len() - 1 - t];
+        c.add_output(format!("o{t}"), d).unwrap();
+    }
+    c
+}
+
+/// Random delay vector with varied bit patterns (quarter-unit steps so
+/// sums exercise non-trivial mantissas).
+fn random_delays(n: usize, rng: &mut StdRng) -> Vec<f64> {
+    (0..n)
+        .map(|_| f64::from(rng.gen_range(0u16..64)) * 0.25)
+        .collect()
+}
+
+fn assert_bit_identical(sta: &Sta, circuit: &LutCircuit, delays: &[f64]) {
+    let want = reference::analyze(circuit, delays).expect("reference analysis");
+    assert_eq!(
+        sta.critical_path().to_bits(),
+        want.critical_path.to_bits(),
+        "critical path diverged"
+    );
+    assert_eq!(sta.connection_count(), want.connections.len());
+    let got = sta.analysis();
+    for (i, (g, w)) in got.connections.iter().zip(&want.connections).enumerate() {
+        assert_eq!(g.slack.to_bits(), w.slack.to_bits(), "slack[{i}]");
+        assert_eq!(
+            g.criticality.to_bits(),
+            w.criticality.to_bits(),
+            "criticality[{i}]"
+        );
+        assert_eq!(g.arrival.to_bits(), w.arrival.to_bits(), "arrival[{i}]");
+        assert_eq!(g.delay.to_bits(), w.delay.to_bits(), "delay[{i}]");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Fresh construction matches the reference bit for bit.
+    #[test]
+    fn initial_analysis_matches_reference(seed in 0u64..1_000_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let luts = rng.gen_range(5..=40usize);
+        let circuit = random_circuit("p", 5, luts, seed ^ 0xace);
+        let delays = random_delays(circuit.connections().len(), &mut rng);
+        let sta = Sta::new(&circuit, &delays).expect("valid circuit");
+        assert_bit_identical(&sta, &circuit, &delays);
+    }
+
+    /// Arbitrary incremental update sequences stay bit-identical to a
+    /// reference rebuilt from scratch after every batch.
+    #[test]
+    fn incremental_updates_match_reference(seed in 0u64..1_000_000) {
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(11).wrapping_add(5));
+        let luts = rng.gen_range(5..=40usize);
+        let circuit = random_circuit("q", 5, luts, seed ^ 0xbee);
+        let n = circuit.connections().len();
+        let mut delays = random_delays(n, &mut rng);
+        let mut sta = Sta::new(&circuit, &delays).expect("valid circuit");
+
+        for _ in 0..8 {
+            // A batch of single-connection updates (sometimes touching
+            // the same connection twice, sometimes a no-op rewrite).
+            let batch = rng.gen_range(1..=6usize);
+            for _ in 0..batch {
+                let i = rng.gen_range(0..n);
+                let d = if rng.gen_bool(0.15) {
+                    delays[i] // no-op: must not dirty anything lasting
+                } else {
+                    f64::from(rng.gen_range(0u16..64)) * 0.25
+                };
+                delays[i] = d;
+                sta.set_delay(i, d).expect("valid delay");
+            }
+            sta.refresh();
+            assert_bit_identical(&sta, &circuit, &delays);
+        }
+
+        // A whole-vector swap through the batch entry point.
+        let fresh = random_delays(n, &mut rng);
+        delays.copy_from_slice(&fresh);
+        sta.set_delays(&fresh).expect("valid delays");
+        assert_bit_identical(&sta, &circuit, &delays);
+    }
+}
+
+/// `refresh` with no pending updates must leave everything untouched.
+#[test]
+fn refresh_is_idempotent() {
+    let circuit = random_circuit("idem", 5, 20, 42);
+    let mut rng = StdRng::seed_from_u64(7);
+    let delays = random_delays(circuit.connections().len(), &mut rng);
+    let mut sta = Sta::new(&circuit, &delays).unwrap();
+    let before = sta.analysis();
+    sta.refresh();
+    sta.refresh();
+    assert_eq!(before, sta.analysis());
+}
