@@ -28,6 +28,7 @@ fn smoke_config() -> PerfConfig {
     PerfConfig {
         smoke: true,
         reps: 1,
+        threads: 0,
     }
 }
 

@@ -122,6 +122,7 @@ fn main() {
         let serial_engine = mm_engine::Engine::new(mm_engine::EngineOptions {
             threads: 1,
             cache_dir: None,
+            ..Default::default()
         })
         .expect("serial engine");
         let st0 = Instant::now();

@@ -195,6 +195,7 @@ impl RunConfig {
         Engine::new(EngineOptions {
             threads: self.threads,
             cache_dir: self.cache.clone(),
+            ..Default::default()
         })
         .expect("engine cache directory")
     }

@@ -63,6 +63,9 @@ pub struct PerfConfig {
     pub smoke: bool,
     /// Timed repetitions per measurement.
     pub reps: usize,
+    /// Worker threads for the flow/serve workloads (`0` = one per CPU).
+    /// Whatever the engine actually resolves is recorded in the reports.
+    pub threads: usize,
 }
 
 impl PerfConfig {
@@ -72,6 +75,7 @@ impl PerfConfig {
         Self {
             smoke,
             reps: if smoke { 3 } else { 10 },
+            threads: 0,
         }
     }
 }
@@ -637,8 +641,9 @@ pub fn flow_perf(config: &PerfConfig) -> FlowPerf {
         .collect();
 
     let engine = Engine::new(EngineOptions {
-        threads: 0,
+        threads: config.threads,
         cache_dir: Some(dir.clone()),
+        ..Default::default()
     })
     .expect("bench cache directory");
 
@@ -742,12 +747,65 @@ pub fn flow_perf(config: &PerfConfig) -> FlowPerf {
     }
 }
 
+/// The contention section of the serve benchmark: many persistent
+/// clients hammering one server over a real socket, steady-state.
+#[derive(Debug, Clone)]
+pub struct ContentionPerf {
+    /// Concurrent client connections.
+    pub clients: usize,
+    /// Batches each client submitted (busy retries excluded).
+    pub batches_per_client: usize,
+    /// Jobs per batch.
+    pub jobs_per_batch: usize,
+    /// Wall-clock of the whole storm (barrier release to last summary),
+    /// milliseconds.
+    pub duration_ms: f64,
+    /// Aggregate jobs per second at saturation.
+    pub saturation_jobs_per_sec: f64,
+    /// Median per-batch latency, milliseconds.
+    pub p50_ms: f64,
+    /// 95th-percentile per-batch latency, milliseconds.
+    pub p95_ms: f64,
+    /// 99th-percentile per-batch latency, milliseconds.
+    pub p99_ms: f64,
+    /// Fairness spread: slowest client's throughput over the fastest
+    /// client's (1.0 = perfectly even service).
+    pub fairness: f64,
+    /// Submissions bounced with a `busy` frame and retried.
+    pub busy_retries: u64,
+    /// Every batch on every connection matched the reference bytes,
+    /// in order.
+    pub parity_ok: bool,
+}
+
+impl ContentionPerf {
+    fn json(&self) -> mm_engine::json::Value {
+        ObjBuilder::new()
+            .field("clients", self.clients)
+            .field("batches_per_client", self.batches_per_client)
+            .field("jobs_per_batch", self.jobs_per_batch)
+            .field("duration_ms", round2(self.duration_ms))
+            .field(
+                "saturation_jobs_per_sec",
+                round2(self.saturation_jobs_per_sec),
+            )
+            .field("p50_ms", round2(self.p50_ms))
+            .field("p95_ms", round2(self.p95_ms))
+            .field("p99_ms", round2(self.p99_ms))
+            .field("fairness", round2(self.fairness))
+            .field("busy_retries", self.busy_retries)
+            .field("parity_ok", self.parity_ok)
+            .build()
+    }
+}
+
 /// The serve benchmark report.
 #[derive(Debug, Clone)]
 pub struct ServePerf {
     /// Jobs per submitted batch.
     pub jobs: usize,
-    /// Worker threads of the server's shared pool.
+    /// Worker threads of the server's scheduler (as resolved, never a
+    /// hardcoded count).
     pub threads: usize,
     /// Cold submission wall-clock (empty cache), milliseconds,
     /// end-to-end over the socket.
@@ -764,6 +822,8 @@ pub struct ServePerf {
     /// The socket stream matched a direct engine run byte-for-byte, on
     /// both the cold and the warm submission.
     pub parity_ok: bool,
+    /// The multi-client contention storm.
+    pub contention: ContentionPerf,
 }
 
 impl ServePerf {
@@ -781,6 +841,7 @@ impl ServePerf {
             .field("warm_jobs_per_sec", round2(self.warm_jobs_per_sec))
             .field("warm_speedup", round2(self.warm_speedup))
             .field("parity_ok", self.parity_ok)
+            .field("contention", self.contention.json())
             .build()
             .to_json()
     }
@@ -832,6 +893,7 @@ pub fn serve_perf(config: &PerfConfig) -> ServePerf {
     let reference: Vec<String> = Engine::new(EngineOptions {
         threads: 1,
         cache_dir: None,
+        ..Default::default()
     })
     .expect("reference engine")
     .run(
@@ -848,9 +910,10 @@ pub fn serve_perf(config: &PerfConfig) -> ServePerf {
     let server = mm_serve::Server::bind(
         &listen,
         &mm_serve::ServeOptions {
-            threads: 0,
+            threads: config.threads,
             cache_dir: Some(root.join("cache")),
-            max_connections: 4,
+            max_connections: 16,
+            ..mm_serve::ServeOptions::default()
         },
     )
     .expect("bench server binds");
@@ -876,6 +939,8 @@ pub fn serve_perf(config: &PerfConfig) -> ServePerf {
     let (warm_records, warm_wall_ms) = submit(&request);
     let parity_ok = cold_records == reference && warm_records == reference;
 
+    let contention = contention_storm(config, &listen, &request, &reference, job_count);
+
     handle.shutdown();
     server_thread
         .join()
@@ -892,6 +957,116 @@ pub fn serve_perf(config: &PerfConfig) -> ServePerf {
         warm_jobs_per_sec: job_count as f64 / (warm_wall_ms / 1000.0).max(1e-9),
         warm_speedup: cold_wall_ms / warm_wall_ms.max(1e-9),
         parity_ok,
+        contention,
+    }
+}
+
+/// The contention storm: `clients` persistent connections released by a
+/// barrier, each submitting the same warm batch `rounds` times. A
+/// `busy` bounce is retried (and counted), never measured as a round.
+fn contention_storm(
+    config: &PerfConfig,
+    listen: &mm_serve::Listen,
+    request: &mm_engine::protocol::BatchRequest,
+    reference: &[String],
+    jobs_per_batch: usize,
+) -> ContentionPerf {
+    let clients = if config.smoke { 4 } else { 6 };
+    let rounds = config.reps.max(2);
+
+    struct ClientRun {
+        latencies_ms: Vec<f64>,
+        elapsed_s: f64,
+        busy_retries: u64,
+        parity_ok: bool,
+    }
+
+    let barrier = std::sync::Barrier::new(clients + 1);
+    let mut runs: Vec<ClientRun> = Vec::with_capacity(clients);
+    let t_all = std::sync::Mutex::new(None::<f64>);
+    let storm_t0 = Instant::now();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|_| {
+                let barrier = &barrier;
+                let t_all = &t_all;
+                scope.spawn(move || {
+                    let mut client = mm_serve::Client::connect(listen).expect("storm connect");
+                    barrier.wait();
+                    let t0 = Instant::now();
+                    let mut run = ClientRun {
+                        latencies_ms: Vec::with_capacity(rounds),
+                        elapsed_s: 0.0,
+                        busy_retries: 0,
+                        parity_ok: true,
+                    };
+                    let mut done = 0usize;
+                    while done < rounds {
+                        let t_batch = Instant::now();
+                        let mut records = Vec::with_capacity(reference.len());
+                        let outcome = client
+                            .submit(request, |record| {
+                                records.push(record.to_string());
+                                Ok(())
+                            })
+                            .expect("storm exchange");
+                        match outcome {
+                            Ok(_) => {
+                                run.latencies_ms
+                                    .push(t_batch.elapsed().as_secs_f64() * 1000.0);
+                                run.parity_ok &= records == reference;
+                                done += 1;
+                            }
+                            Err(mm_serve::Rejection::Busy { .. }) => {
+                                run.busy_retries += 1;
+                                std::thread::sleep(std::time::Duration::from_millis(1));
+                            }
+                            Err(rejection) => panic!("storm batch rejected: {rejection}"),
+                        }
+                    }
+                    run.elapsed_s = t0.elapsed().as_secs_f64();
+                    let mut last = t_all.lock().expect("storm clock");
+                    *last = Some(storm_t0.elapsed().as_secs_f64());
+                    run
+                })
+            })
+            .collect();
+        barrier.wait();
+        for handle in handles {
+            runs.push(handle.join().expect("storm client"));
+        }
+    });
+    let duration_s = t_all
+        .into_inner()
+        .expect("storm clock")
+        .expect("at least one client finished");
+
+    let mut latencies: Vec<f64> = runs.iter().flat_map(|r| r.latencies_ms.clone()).collect();
+    latencies.sort_by(f64::total_cmp);
+    let percentile = |p: f64| -> f64 {
+        let index = ((p / 100.0) * (latencies.len() - 1) as f64).round() as usize;
+        latencies[index]
+    };
+    let throughputs: Vec<f64> = runs
+        .iter()
+        .map(|r| rounds as f64 / r.elapsed_s.max(1e-9))
+        .collect();
+    let fastest = throughputs.iter().copied().fold(f64::MIN, f64::max);
+    let slowest = throughputs.iter().copied().fold(f64::MAX, f64::min);
+    let total_jobs = clients * rounds * jobs_per_batch;
+
+    ContentionPerf {
+        clients,
+        batches_per_client: rounds,
+        jobs_per_batch,
+        duration_ms: duration_s * 1000.0,
+        saturation_jobs_per_sec: total_jobs as f64 / duration_s.max(1e-9),
+        p50_ms: percentile(50.0),
+        p95_ms: percentile(95.0),
+        p99_ms: percentile(99.0),
+        fairness: slowest / fastest.max(1e-9),
+        busy_retries: runs.iter().map(|r| r.busy_retries).sum(),
+        parity_ok: runs.iter().all(|r| r.parity_ok),
     }
 }
 
@@ -1120,6 +1295,7 @@ mod tests {
         let perf = router_perf(&PerfConfig {
             smoke: true,
             reps: 1,
+            threads: 0,
         });
         assert!(perf.routed, "workload must route");
         assert!(perf.parity_ok, "optimized must match the reference");
@@ -1137,6 +1313,7 @@ mod tests {
         let perf = placer_perf(&PerfConfig {
             smoke: true,
             reps: 1,
+            threads: 0,
         });
         assert!(perf.parity_ok(), "optimized must match the naive model");
         assert!(perf.hybrid.moves > 0, "the annealer must attempt moves");
@@ -1156,6 +1333,7 @@ mod tests {
         let perf = serve_perf(&PerfConfig {
             smoke: true,
             reps: 1,
+            threads: 0,
         });
         assert!(perf.parity_ok, "socket stream == direct engine bytes");
         assert_eq!(perf.jobs, 4);
@@ -1172,6 +1350,7 @@ mod tests {
         let perf = sta_perf(&PerfConfig {
             smoke: true,
             reps: 1,
+            threads: 0,
         });
         assert!(perf.parity_ok, "incremental STA == from-scratch bits");
         assert!(perf.incremental_us_per_update > 0.0);
@@ -1196,6 +1375,7 @@ mod tests {
         let perf = flow_perf(&PerfConfig {
             smoke: true,
             reps: 1,
+            threads: 0,
         });
         assert_eq!(perf.warm_stages_recomputed, 0, "warm run fully cached");
         assert_eq!(perf.warm_results_from_cache, perf.jobs);

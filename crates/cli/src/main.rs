@@ -91,16 +91,24 @@ PARETO OPTIONS:
 
 SERVE OPTIONS:
   --listen <ADDR>       unix:<path> or tcp:<host:port> (required)
-  --threads <N>         shared worker-pool size (default: one per CPU)
+  --threads <N>         worker threads across all shards (default: one
+                        per CPU)
+  --workers <N>         worker groups (shards) jobs are routed to by
+                        content fingerprint (default: threads/2, max 8)
+  --queue-depth <N>     queued jobs each shard admits before batches
+                        bounce with a busy frame (default 256)
   --cache <DIR>         stage-cache directory (default .mmcache)
   --no-cache            disable the stage cache
-  --max-connections <N> concurrent connections (default 8)
+  --max-connections <N> concurrent connections; excess clients get a
+                        busy frame and are closed (default 8)
 
 SUBMIT OPTIONS:
   --connect <ADDR>  the service address (required)
   -k <N>            LUT width for directory BLIFs and generated suites
   --modes <N>       modes per problem for generated suites
   --jobs <N>        only run the first N jobs of the batch
+  --priority <N>    scheduling priority 0..=9, higher runs first
+                    (default 1)
   --seed/--width/--effort/--max-iterations/--max-width
                     flow overrides, as in batch specs
   --out <FILE>      write JSONL results to FILE instead of stdout
@@ -113,6 +121,8 @@ BENCH OPTIONS:
   --out-dir <DIR>  where to write them (default .)
   --smoke          tiny CI-sized workload
   --reps <N>       timed repetitions per measurement
+  --threads <N>    worker threads for the flow/serve workloads
+                   (default: one per CPU); recorded in every report
 
 CACHE GC OPTIONS:
   --cache <DIR>        stage-cache directory (default .mmcache)
@@ -338,7 +348,11 @@ fn cmd_batch(args: &[String]) -> Result<(), Box<dyn Error>> {
     let job_count = batch.jobs.len();
     eprintln!("batch: {} jobs from {spec}", job_count);
 
-    let engine = Engine::new(EngineOptions { threads, cache_dir })?;
+    let engine = Engine::new(EngineOptions {
+        threads,
+        cache_dir,
+        ..Default::default()
+    })?;
     let mut sink: Box<dyn Write + Send> = match &out_path {
         Some(path) => Box::new(std::io::BufWriter::new(std::fs::File::create(path)?)),
         None => Box::new(std::io::stdout()),
@@ -449,7 +463,11 @@ fn cmd_pareto(args: &[String]) -> Result<(), Box<dyn Error>> {
         jobs.len()
     );
 
-    let engine = Engine::new(EngineOptions { threads, cache_dir })?;
+    let engine = Engine::new(EngineOptions {
+        threads,
+        cache_dir,
+        ..Default::default()
+    })?;
     let mut sink: Option<Box<dyn Write + Send>> = match &out_path {
         Some(path) => Some(Box::new(std::io::BufWriter::new(std::fs::File::create(
             path,
@@ -519,12 +537,17 @@ fn cmd_serve(args: &[String]) -> Result<(), Box<dyn Error>> {
         threads: 0,
         cache_dir: Some(".mmcache".into()),
         max_connections: 8,
+        ..ServeOptions::default()
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--listen" => listen = Some(next_value(&mut it, "--listen")?.clone()),
             "--threads" => options.threads = next_value(&mut it, "--threads")?.parse()?,
+            "--workers" => options.workers = next_value(&mut it, "--workers")?.parse()?,
+            "--queue-depth" => {
+                options.queue_depth = next_value(&mut it, "--queue-depth")?.parse()?;
+            }
             "--cache" => options.cache_dir = Some(next_value(&mut it, "--cache")?.into()),
             "--no-cache" => options.cache_dir = None,
             "--max-connections" => {
@@ -538,9 +561,12 @@ fn cmd_serve(args: &[String]) -> Result<(), Box<dyn Error>> {
 
     let server = Server::bind(&listen, &options)?;
     eprintln!(
-        "serve: listening on {} ({} workers, cache {}, {} connection slots)",
+        "serve: listening on {} ({} workers in {} shards, queue depth {}, cache {}, \
+         {} connection slots)",
         server.listen_addr(),
-        server.engine().threads(),
+        server.scheduler().threads(),
+        server.scheduler().shards(),
+        options.queue_depth,
         options
             .cache_dir
             .as_ref()
@@ -550,8 +576,14 @@ fn cmd_serve(args: &[String]) -> Result<(), Box<dyn Error>> {
     eprintln!("serve: send {{\"cmd\":\"shutdown\"}} (mmflow submit --shutdown) to drain and exit");
     let report = server.run()?;
     eprintln!(
-        "serve: drained — {} connections, {} batches, {} jobs",
-        report.connections, report.batches, report.jobs
+        "serve: drained — {} connections, {} batches, {} jobs \
+         ({} connections and {} batches rejected busy, {} jobs purged)",
+        report.connections,
+        report.batches,
+        report.jobs,
+        report.rejected_connections,
+        report.rejected_batches,
+        report.purged_jobs,
     );
     Ok(())
 }
@@ -572,6 +604,7 @@ fn cmd_submit(args: &[String]) -> Result<(), Box<dyn Error>> {
     let mut effort: Option<f64> = None;
     let mut max_iterations: Option<usize> = None;
     let mut max_width: Option<usize> = None;
+    let mut priority: Option<u8> = None;
 
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -582,6 +615,7 @@ fn cmd_submit(args: &[String]) -> Result<(), Box<dyn Error>> {
             "-k" => k = Some(next_value(&mut it, "-k")?.parse()?),
             "--modes" => modes = Some(next_value(&mut it, "--modes")?.parse()?),
             "--jobs" => max_jobs = Some(next_value(&mut it, "--jobs")?.parse()?),
+            "--priority" => priority = Some(next_value(&mut it, "--priority")?.parse()?),
             "--seed" => seed = Some(next_value(&mut it, "--seed")?.parse()?),
             "--width" => width = Some(next_value(&mut it, "--width")?.parse()?),
             "--effort" => effort = Some(next_value(&mut it, "--effort")?.parse()?),
@@ -614,6 +648,16 @@ fn cmd_submit(args: &[String]) -> Result<(), Box<dyn Error>> {
         request.effort = effort;
         request.max_iterations = max_iterations;
         request.max_width = max_width;
+        if let Some(priority) = priority {
+            if priority > mm_engine::protocol::MAX_PRIORITY {
+                return Err(format!(
+                    "--priority must be 0..={}",
+                    mm_engine::protocol::MAX_PRIORITY
+                )
+                .into());
+            }
+            request.priority = priority;
+        }
 
         let mut sink: Box<dyn Write> = match &out_path {
             Some(path) => Box::new(std::io::BufWriter::new(std::fs::File::create(path)?)),
@@ -622,11 +666,14 @@ fn cmd_submit(args: &[String]) -> Result<(), Box<dyn Error>> {
         match client.submit(&request, |record| writeln!(sink, "{record}"))? {
             Ok(outcome) => {
                 eprintln!("submit: {} jobs accepted", outcome.accepted);
+                if outcome.queued_ahead > 0 {
+                    eprintln!("submit: {} jobs were queued ahead", outcome.queued_ahead);
+                }
                 eprintln!("{}", outcome.summary.to_json());
                 failed_jobs = outcome.failed_jobs();
             }
-            Err(message) => {
-                return Err(format!("server rejected the batch: {message}").into());
+            Err(rejection) => {
+                return Err(format!("server rejected the batch: {rejection}").into());
             }
         }
         sink.flush()?;
@@ -649,6 +696,7 @@ fn cmd_bench(args: &[String]) -> Result<(), Box<dyn Error>> {
     let mut json = false;
     let mut smoke = false;
     let mut reps: Option<usize> = None;
+    let mut threads = 0usize;
     let mut out_dir = std::path::PathBuf::from(".");
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -656,6 +704,7 @@ fn cmd_bench(args: &[String]) -> Result<(), Box<dyn Error>> {
             "--json" => json = true,
             "--smoke" => smoke = true,
             "--reps" => reps = Some(next_value(&mut it, "--reps")?.parse()?),
+            "--threads" => threads = next_value(&mut it, "--threads")?.parse()?,
             "--out-dir" => out_dir = next_value(&mut it, "--out-dir")?.into(),
             other => return Err(format!("unknown bench option '{other}'").into()),
         }
@@ -664,6 +713,7 @@ fn cmd_bench(args: &[String]) -> Result<(), Box<dyn Error>> {
     if let Some(r) = reps {
         config.reps = r;
     }
+    config.threads = threads;
 
     eprintln!(
         "bench: router workload ({}) ...",

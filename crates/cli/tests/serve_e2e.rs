@@ -306,3 +306,63 @@ fn serve_streams_three_mode_batches_byte_identical_to_batch() {
     }
     let _ = std::fs::remove_dir_all(&root);
 }
+
+#[test]
+fn concurrent_submits_stay_byte_identical_and_fair() {
+    let root = std::env::temp_dir().join(format!("mmflow_e2e_storm_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    std::fs::create_dir_all(&root).unwrap();
+    let spec = write_spec_dir(&root, 2, 2);
+    let spec_str = spec.to_str().unwrap();
+    let socket = root.join("mmflow.sock");
+
+    let batch = run_ok(&[
+        "batch",
+        spec_str,
+        "--no-cache",
+        "--width",
+        "12",
+        "--effort",
+        "1",
+    ]);
+
+    let server = start_server(&socket);
+    let connect = format!("unix:{}", socket.display());
+
+    // Four submit processes race on the same server; every stdout must
+    // be the reference bytes, in order, whatever the interleaving on
+    // the shared worker shards.
+    let children: Vec<Child> = (0..4)
+        .map(|i| {
+            mmflow()
+                .args([
+                    "submit",
+                    spec_str,
+                    "--connect",
+                    &connect,
+                    "--width",
+                    "12",
+                    "--effort",
+                    "1",
+                    "--priority",
+                    &format!("{}", 1 + i % 3),
+                ])
+                .stdout(Stdio::piped())
+                .stderr(Stdio::null())
+                .spawn()
+                .expect("spawn mmflow submit")
+        })
+        .collect();
+    for child in children {
+        let out = child.wait_with_output().expect("submit output");
+        assert!(out.status.success(), "concurrent submit failed");
+        assert_eq!(
+            out.stdout, batch.stdout,
+            "contended stream must be byte-identical to batch output"
+        );
+    }
+
+    run_ok(&["submit", "--connect", &connect, "--shutdown"]);
+    drop(server);
+    let _ = std::fs::remove_dir_all(&root);
+}

@@ -55,8 +55,6 @@ pub use experiment::{
 };
 pub use flow::{DcsFlow, DcsResult, FlowOptions, MdrFlow, MdrResult, MultiModeInput, WidthChoice};
 pub use report::Stats;
-#[allow(deprecated)]
-pub use timing::{dcs_mode_timing, mdr_mode_timing};
 pub use timing::{dcs_timing, mdr_timing, TimingReport, LUT_DELAY};
 pub use tunable::{TunableCircuit, TunableConnection, TunableLutBits, TunableSite, TunableStats};
 

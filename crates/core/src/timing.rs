@@ -13,8 +13,6 @@
 //! propagate STA errors (a connection missing from the routing, a cyclic
 //! circuit) as [`FlowError`] instead of silently defaulting delays to
 //! zero or panicking, which is what the pre-`mm-sta` implementation did.
-//! The per-mode `*_mode_timing` wrappers are kept for compatibility and
-//! deprecated.
 
 use crate::{DcsResult, FlowError, MdrResult, MultiModeInput};
 
@@ -111,32 +109,6 @@ pub fn mdr_timing(
         .collect()
 }
 
-/// Timing of `mode` inside the merged tunable circuit of a DCS result.
-///
-/// # Panics
-///
-/// Panics if `mode` is out of range or the analysis fails; use
-/// [`dcs_timing`] to handle STA errors.
-#[deprecated(note = "use `dcs_timing` (N-ary, propagates STA errors)")]
-#[must_use]
-pub fn dcs_mode_timing(input: &MultiModeInput, result: &DcsResult, mode: usize) -> TimingReport {
-    assert!(mode < input.mode_count(), "mode out of range");
-    dcs_timing(input, result).expect("routed DCS result must analyze")[mode]
-}
-
-/// Timing of `mode` in its standalone MDR implementation.
-///
-/// # Panics
-///
-/// Panics if `mode` is out of range or the analysis fails; use
-/// [`mdr_timing`] to handle STA errors.
-#[deprecated(note = "use `mdr_timing` (N-ary, propagates STA errors)")]
-#[must_use]
-pub fn mdr_mode_timing(input: &MultiModeInput, result: &MdrResult, mode: usize) -> TimingReport {
-    assert!(mode < input.mode_count(), "mode out of range");
-    mdr_timing(input, result).expect("routed MDR result must analyze")[mode]
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -204,12 +176,6 @@ mod tests {
                 td.critical_path <= tm.critical_path * 3.0,
                 "mode {mode}: DCS {td:?} vs MDR {tm:?}"
             );
-        }
-        // The deprecated per-mode wrappers agree with the N-ary API.
-        #[allow(deprecated)]
-        {
-            assert_eq!(mdr_mode_timing(&input, &mdr, 0), mdr_reports[0]);
-            assert_eq!(dcs_mode_timing(&input, &dcs, 1), dcs_reports[1]);
         }
     }
 

@@ -55,6 +55,13 @@ pub struct EngineOptions {
     pub threads: usize,
     /// Stage-cache root; `None` disables caching.
     pub cache_dir: Option<PathBuf>,
+    /// In-memory result memo capacity in entries (`0` disables it). The
+    /// memo keeps the most recent `result`-stage values keyed by the
+    /// same content-addressed key as the disk cache, so a long-running
+    /// service re-serving identical legs skips the file read *and* the
+    /// JSON text parse on every warm hit. Purely an acceleration layer:
+    /// records are byte-identical with the memo on or off.
+    pub result_memo: usize,
 }
 
 /// Aggregated execution counters of one batch.
@@ -163,6 +170,34 @@ impl BatchReport {
 pub struct Engine {
     threads: usize,
     cache: Option<StageCache>,
+    memo: Option<std::sync::Mutex<ResultMemo>>,
+}
+
+/// The in-memory `result`-stage memo: a bounded map from content
+/// key to the exact [`crate::json::Value`] the disk cache would
+/// round-trip. Entries are what [`JobOutcome::to_value`] wrote, and
+/// hits re-parse through [`JobOutcome::from_value`] with the *current*
+/// job's name — the same semantics as a disk hit, minus I/O.
+#[derive(Debug)]
+struct ResultMemo {
+    entries: std::collections::HashMap<String, crate::json::Value>,
+    capacity: usize,
+}
+
+impl ResultMemo {
+    fn get(&self, key: &str) -> Option<&crate::json::Value> {
+        self.entries.get(key)
+    }
+
+    fn put(&mut self, key: &str, value: crate::json::Value) {
+        // Generation eviction: a full memo is wiped wholesale. Warm
+        // steady-state working sets far below the capacity never evict,
+        // and the bound holds without per-entry recency bookkeeping.
+        if self.entries.len() >= self.capacity && !self.entries.contains_key(key) {
+            self.entries.clear();
+        }
+        self.entries.insert(key.to_string(), value);
+    }
 }
 
 impl Engine {
@@ -178,7 +213,17 @@ impl Engine {
             options.threads
         };
         let cache = options.cache_dir.map(StageCache::open).transpose()?;
-        Ok(Self { threads, cache })
+        let memo = (options.result_memo > 0).then(|| {
+            std::sync::Mutex::new(ResultMemo {
+                entries: std::collections::HashMap::new(),
+                capacity: options.result_memo,
+            })
+        });
+        Ok(Self {
+            threads,
+            cache,
+            memo,
+        })
     }
 
     /// The resolved worker-thread count.
@@ -299,8 +344,8 @@ impl Engine {
         let input =
             MultiModeInput::new(job.circuits.clone()).map_err(|e| JobError::from_flow(&e))?;
         // Serializing the circuits and hashing keys is only worth doing
-        // when there is a cache to consult.
-        let keys = self.cache.as_ref().map(|_| KeyContext {
+        // when there is a cache (or memo) to consult.
+        let keys = (self.cache.is_some() || self.memo.is_some()).then(|| KeyContext {
             blifs: job.circuits.iter().map(blif::to_blif).collect(),
             arch_fp: job.options.base_arch(&input).fingerprint(),
         });
@@ -316,9 +361,24 @@ impl Engine {
                 &k.blifs,
             )
         });
+        // Fastest first: the in-memory memo, then the disk cache (a disk
+        // hit back-fills the memo).
+        if let (Some(memo), Some(key)) = (&self.memo, &result_key) {
+            let memo = memo.lock().expect("memo lock");
+            if let Some(outcome) = memo
+                .get(key)
+                .and_then(|v| JobOutcome::from_value(v, &job.name))
+            {
+                info.result_hit = true;
+                return Ok(outcome);
+            }
+        }
         if let (Some(cache), Some(key)) = (&self.cache, &result_key) {
             if let Some(v) = cache.get("result", key) {
                 if let Some(outcome) = JobOutcome::from_value(&v, &job.name) {
+                    if let Some(memo) = &self.memo {
+                        memo.lock().expect("memo lock").put(key, v);
+                    }
                     info.result_hit = true;
                     return Ok(outcome);
                 }
@@ -330,8 +390,14 @@ impl Engine {
             FlowKind::Mdr => self.run_mdr(job, &input, keys.as_ref(), info)?,
             FlowKind::Pair => self.run_combined_staged(job, &input, keys.as_ref(), info)?,
         };
-        if let (Some(cache), Some(key)) = (&self.cache, &result_key) {
-            cache.put("result", key, &outcome.to_value());
+        if let Some(key) = &result_key {
+            let value = outcome.to_value();
+            if let Some(cache) = &self.cache {
+                cache.put("result", key, &value);
+            }
+            if let Some(memo) = &self.memo {
+                memo.lock().expect("memo lock").put(key, value);
+            }
         }
         Ok(outcome)
     }
@@ -655,6 +721,7 @@ mod tests {
         let e = Engine::new(EngineOptions {
             threads: 3,
             cache_dir: None,
+            ..Default::default()
         })
         .unwrap();
         assert_eq!(e.threads(), 3);

@@ -127,6 +127,27 @@ pub struct Job {
     pub options: FlowOptions,
 }
 
+impl Job {
+    /// A content-addressed scheduling fingerprint: SHA-256 over the flow
+    /// kind, the option fingerprint and the canonical BLIF of every mode
+    /// — the same ingredients as the engine's cache keys, folded to 64
+    /// bits. The job *name* is deliberately excluded, so identical legs
+    /// submitted under different names (or by different clients) hash
+    /// identically and a fingerprint-sharded scheduler lands them on the
+    /// same worker group, where they hit the same cache entries.
+    #[must_use]
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = crate::hash::Sha256::new();
+        h.field(self.flow.fingerprint().as_bytes());
+        h.field(self.options.fingerprint().as_bytes());
+        for circuit in &self.circuits {
+            h.field(blif::to_blif(circuit).as_bytes());
+        }
+        let digest = h.finish();
+        u64::from_le_bytes(digest[..8].try_into().expect("SHA-256 yields 32 bytes"))
+    }
+}
+
 /// Numeric summary of one DCS run (everything the batch reports).
 #[derive(Debug, Clone, PartialEq)]
 pub struct DcsSummary {
@@ -873,6 +894,34 @@ mod tests {
             .unwrap();
         c.add_output("y", g).unwrap();
         c
+    }
+
+    #[test]
+    fn job_fingerprints_are_content_addressed() {
+        let job = |name: &str, circuit: &str, flow: FlowKind| Job {
+            name: name.to_string(),
+            circuits: vec![tiny(circuit)],
+            flow,
+            options: FlowOptions::default(),
+        };
+        let base = job("a", "m0", FlowKind::Mdr);
+        // Same content under a different name ⇒ the same shard.
+        assert_eq!(
+            base.fingerprint(),
+            job("b", "m0", FlowKind::Mdr).fingerprint()
+        );
+        // Different circuits, flow kind or options ⇒ different keys.
+        assert_ne!(
+            base.fingerprint(),
+            job("a", "m1", FlowKind::Mdr).fingerprint()
+        );
+        assert_ne!(
+            base.fingerprint(),
+            job("a", "m0", FlowKind::Pair).fingerprint()
+        );
+        let mut tweaked = base.clone();
+        tweaked.options.placer.seed ^= 1;
+        assert_ne!(base.fingerprint(), tweaked.fingerprint());
     }
 
     #[test]

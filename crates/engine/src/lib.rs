@@ -28,6 +28,7 @@
 //! let engine = Engine::new(EngineOptions {
 //!     threads: 0, // one per CPU
 //!     cache_dir: Some(".mmcache".into()),
+//!     ..Default::default()
 //! })?;
 //! let report = engine.run_streamed(batch.jobs, |r| println!("{}", r.to_json_line()));
 //! eprintln!("{}", report.summary_json());

@@ -38,7 +38,18 @@ use mm_flow::{FlowOptions, WidthChoice};
 /// Protocol version, carried in every `accepted` frame. Frames may grow
 /// members (unknown members are ignored), but semantic breaks bump this
 /// so clients can detect a server speaking a different dialect.
-pub const PROTOCOL_VERSION: u64 = 1;
+///
+/// Version 2 added job priorities (`"priority"` on batch requests) and
+/// the backpressure frames `busy` / `queued`: a server at capacity now
+/// answers instead of stalling the client in the accept backlog.
+pub const PROTOCOL_VERSION: u64 = 2;
+
+/// Highest admissible job priority (priorities are `0..=MAX_PRIORITY`,
+/// higher runs first).
+pub const MAX_PRIORITY: u8 = 9;
+
+/// Priority of requests that do not ask for one.
+pub const DEFAULT_PRIORITY: u8 = 1;
 
 /// A batch submission: the spec reference plus the flow-option
 /// overrides `mmflow batch` exposes, so a submit through the service
@@ -67,6 +78,10 @@ pub struct BatchRequest {
     pub max_iterations: Option<usize>,
     /// Width-search cap override.
     pub max_width: Option<usize>,
+    /// Scheduling priority (`0..=MAX_PRIORITY`, higher runs first);
+    /// batches compete for workers at this level before fairness ties
+    /// within a level are broken per client.
+    pub priority: u8,
 }
 
 impl BatchRequest {
@@ -83,6 +98,7 @@ impl BatchRequest {
             effort: None,
             max_iterations: None,
             max_width: None,
+            priority: DEFAULT_PRIORITY,
         }
     }
 
@@ -162,6 +178,9 @@ impl Request {
                 if let Some(w) = b.max_width {
                     o = o.field("max_width", w);
                 }
+                if b.priority != DEFAULT_PRIORITY {
+                    o = o.field("priority", b.priority as usize);
+                }
                 o.build().to_json()
             }
         }
@@ -209,6 +228,12 @@ impl Request {
                     .get("effort")
                     .map(|f| f.as_f64().ok_or("\"effort\" must be a number"))
                     .transpose()?;
+                if let Some(p) = usize_field("priority")? {
+                    if p > MAX_PRIORITY as usize {
+                        return Err(format!("\"priority\" must be 0..={MAX_PRIORITY}"));
+                    }
+                    request.priority = p as u8;
+                }
                 Ok(Request::Batch(request))
             }
             other => Err(format!("unknown cmd '{other}' (batch|ping|shutdown)")),
@@ -234,6 +259,25 @@ pub enum Frame {
     Error {
         /// What went wrong.
         message: String,
+    },
+    /// Backpressure: the request was *not* admitted because a capacity
+    /// bound is exhausted. The connection (when `scope` is `"jobs"`)
+    /// stays usable — retry after draining; a `"connections"` busy
+    /// frame precedes the server closing the freshly accepted socket.
+    Busy {
+        /// Which bound rejected: `"connections"` or `"jobs"`.
+        scope: String,
+        /// Current occupancy of that bound.
+        queued: usize,
+        /// The bound itself.
+        capacity: usize,
+    },
+    /// The batch was admitted behind other work: this many jobs sit in
+    /// the scheduler queues ahead of its first job. Purely informative —
+    /// records still follow in order.
+    Queued {
+        /// Jobs queued ahead across the scheduler.
+        ahead: usize,
     },
     /// Answer to [`Request::Ping`].
     Pong,
@@ -261,6 +305,22 @@ impl Frame {
             Frame::Error { message } => ObjBuilder::new()
                 .field("type", "error")
                 .field("error", message.as_str())
+                .build()
+                .to_json(),
+            Frame::Busy {
+                scope,
+                queued,
+                capacity,
+            } => ObjBuilder::new()
+                .field("type", "busy")
+                .field("scope", scope.as_str())
+                .field("queued", *queued)
+                .field("capacity", *capacity)
+                .build()
+                .to_json(),
+            Frame::Queued { ahead } => ObjBuilder::new()
+                .field("type", "queued")
+                .field("ahead", *ahead)
                 .build()
                 .to_json(),
             Frame::Pong => ObjBuilder::new().field("type", "pong").build().to_json(),
@@ -305,6 +365,27 @@ impl Frame {
                     .and_then(Value::as_str)
                     .ok_or("error frame needs an \"error\" string")?
                     .to_string(),
+            }),
+            "busy" => Ok(Frame::Busy {
+                scope: v
+                    .get("scope")
+                    .and_then(Value::as_str)
+                    .ok_or("busy frame needs a \"scope\" string")?
+                    .to_string(),
+                queued: v
+                    .get("queued")
+                    .and_then(Value::as_usize)
+                    .ok_or("busy frame needs a \"queued\" count")?,
+                capacity: v
+                    .get("capacity")
+                    .and_then(Value::as_usize)
+                    .ok_or("busy frame needs a \"capacity\" count")?,
+            }),
+            "queued" => Ok(Frame::Queued {
+                ahead: v
+                    .get("ahead")
+                    .and_then(Value::as_usize)
+                    .ok_or("queued frame needs an \"ahead\" count")?,
             }),
             "pong" => Ok(Frame::Pong),
             "shutting_down" => Ok(Frame::ShuttingDown),
@@ -355,6 +436,7 @@ mod tests {
         batch.effort = Some(1.5);
         batch.max_iterations = Some(30);
         batch.max_width = Some(24);
+        batch.priority = 7;
         for request in [Request::Batch(batch), Request::Ping, Request::Shutdown] {
             let line = request.to_json_line();
             assert_eq!(Request::parse(&line).unwrap(), request, "{line}");
@@ -372,6 +454,12 @@ mod tests {
         assert_eq!(b.seed, Some(7));
         assert_eq!(b.modes, None);
         assert_eq!(b.max_jobs, None);
+        assert_eq!(b.priority, DEFAULT_PRIORITY);
+        // The default priority stays off the wire, so version-1 servers
+        // keep accepting default-priority requests unchanged.
+        assert!(!Request::Batch(BatchRequest::new("x"))
+            .to_json_line()
+            .contains("priority"));
 
         // Small seeds serialize as plain numbers.
         let line = Request::Batch(BatchRequest {
@@ -390,6 +478,10 @@ mod tests {
         assert!(Request::parse(r#"{"cmd":"batch"}"#).is_err(), "no spec");
         assert!(Request::parse(r#"{"cmd":"batch","spec":"s","k":"x"}"#).is_err());
         assert!(Request::parse(r#"{"cmd":"batch","spec":"s","seed":true}"#).is_err());
+        assert!(
+            Request::parse(r#"{"cmd":"batch","spec":"s","priority":10}"#).is_err(),
+            "priorities are capped at MAX_PRIORITY"
+        );
     }
 
     #[test]
@@ -402,6 +494,12 @@ mod tests {
             Frame::Error {
                 message: "nope".into(),
             },
+            Frame::Busy {
+                scope: "jobs".into(),
+                queued: 128,
+                capacity: 128,
+            },
+            Frame::Queued { ahead: 40 },
             Frame::Pong,
             Frame::ShuttingDown,
         ];
@@ -411,7 +509,7 @@ mod tests {
         }
         // The accepted frame announces the protocol dialect.
         let line = Frame::Accepted { jobs: 9 }.to_json_line();
-        assert!(line.contains("\"protocol\":1"), "{line}");
+        assert!(line.contains("\"protocol\":2"), "{line}");
     }
 
     #[test]

@@ -67,11 +67,13 @@ fn parallel_batch_is_byte_identical_to_sequential() {
     let serial_engine = Engine::new(EngineOptions {
         threads: 1,
         cache_dir: None,
+        ..Default::default()
     })
     .unwrap();
     let parallel_engine = Engine::new(EngineOptions {
         threads: 4,
         cache_dir: None,
+        ..Default::default()
     })
     .unwrap();
 
@@ -99,6 +101,7 @@ fn warm_cache_rerun_recomputes_nothing_and_matches() {
         Engine::new(EngineOptions {
             threads: 2,
             cache_dir: Some(dir.clone()),
+            ..Default::default()
         })
         .unwrap()
     };
@@ -134,6 +137,7 @@ fn placement_stage_is_shared_across_router_variants() {
     let engine = Engine::new(EngineOptions {
         threads: 1, // sequential so job 0 seeds the cache for job 1
         cache_dir: Some(dir.clone()),
+        ..Default::default()
     })
     .unwrap();
 
@@ -171,6 +175,7 @@ fn pair_jobs_share_placement_stages_with_plain_jobs() {
     let engine = Engine::new(EngineOptions {
         threads: 1,
         cache_dir: Some(dir.clone()),
+        ..Default::default()
     })
     .unwrap();
 
@@ -232,6 +237,7 @@ fn three_mode_combined_jobs_share_stages_and_rerun_warm() {
     let engine = Engine::new(EngineOptions {
         threads: 1, // sequential so earlier jobs seed the cache for later ones
         cache_dir: Some(dir.clone()),
+        ..Default::default()
     })
     .unwrap();
 
@@ -303,6 +309,7 @@ fn three_mode_timing_jobs_record_per_mode_critical_paths() {
     let engine = Engine::new(EngineOptions {
         threads: 1,
         cache_dir: None,
+        ..Default::default()
     })
     .unwrap();
     let circuits = vec![
@@ -381,6 +388,7 @@ fn corrupted_cache_entries_are_recomputed_not_believed() {
         Engine::new(EngineOptions {
             threads: 2,
             cache_dir: Some(dir.clone()),
+            ..Default::default()
         })
         .unwrap()
     };
@@ -424,6 +432,7 @@ fn failed_jobs_are_reported_not_cached_and_deterministic() {
         Engine::new(EngineOptions {
             threads: 2,
             cache_dir: Some(dir.clone()),
+            ..Default::default()
         })
         .unwrap()
     };
@@ -495,6 +504,7 @@ fn cancellation_fails_pending_jobs_fast() {
     let engine = Engine::new(EngineOptions {
         threads: 1,
         cache_dir: None,
+        ..Default::default()
     })
     .unwrap();
     let cancel = AtomicBool::new(false);

@@ -55,6 +55,7 @@ fn default_records_are_byte_identical_to_pre_timing_output() {
     let engine = Engine::new(EngineOptions {
         threads: 1,
         cache_dir: None,
+        ..Default::default()
     })
     .unwrap();
     let report = engine.run(jobs());

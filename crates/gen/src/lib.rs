@@ -224,8 +224,8 @@ pub fn all_tuples(n: usize, m: usize) -> Vec<Vec<usize>> {
 /// `i` interleaves the low-pass and high-pass families starting at
 /// filter `i`, walking the family index with wrap-around —
 /// `[lp i, hp i, lp i+1, hp i+1, …]` truncated to `m` modes. `m == 2`
-/// reproduces the paper's pairing (low-pass `i` with high-pass `i`,
-/// exactly [`fir_mode_pairs`]); there are always
+/// reproduces the paper's pairing (low-pass `i` with high-pass `i`);
+/// there are always
 /// [`FIR_FAMILY_SIZE`] tuples. `m` is capped at `2 * FIR_FAMILY_SIZE`
 /// (beyond that a tuple would repeat a filter).
 #[must_use]
@@ -243,19 +243,6 @@ pub fn fir_mode_tuples(m: usize) -> Vec<Vec<usize>> {
                 })
                 .collect()
         })
-        .collect()
-}
-
-/// The FIR pairing: low-pass `i` with high-pass `i` (indices into
-/// [`fir_suite`]'s output), giving the 10 multi-mode filters.
-#[deprecated(
-    since = "0.1.0",
-    note = "use `fir_mode_tuples(2)`, which returns the identical pairs for any mode count"
-)]
-#[must_use]
-pub fn fir_mode_pairs() -> Vec<(usize, usize)> {
-    (0..FIR_FAMILY_SIZE)
-        .map(|i| (i, FIR_FAMILY_SIZE + i))
         .collect()
 }
 
@@ -346,16 +333,14 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn fir_mode_tuples_of_two_equal_the_deprecated_pairs() {
+    fn fir_mode_tuples_of_two_pair_each_low_pass_with_its_high_pass() {
         let tuples = fir_mode_tuples(2);
-        let pairs: Vec<Vec<usize>> = fir_mode_pairs()
-            .into_iter()
-            .map(|(i, j)| vec![i, j])
+        let pairs: Vec<Vec<usize>> = (0..FIR_FAMILY_SIZE)
+            .map(|i| vec![i, FIR_FAMILY_SIZE + i])
             .collect();
         assert_eq!(
             tuples, pairs,
-            "fir_mode_tuples(2) must replace fir_mode_pairs verbatim"
+            "the paper's pairing: low-pass i with high-pass i"
         );
     }
 

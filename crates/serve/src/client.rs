@@ -17,6 +17,9 @@ use std::io::{BufRead, BufReader, Write};
 pub struct BatchOutcome {
     /// Jobs the server accepted (after `max_jobs` truncation).
     pub accepted: usize,
+    /// Jobs queued ahead of this batch at admission (from the server's
+    /// `queued` frame; `0` when the batch started immediately).
+    pub queued_ahead: usize,
     /// The summary trailer (job counts, timings, cache counters).
     pub summary: Value,
 }
@@ -29,6 +32,37 @@ impl BatchOutcome {
             .get("failed")
             .and_then(Value::as_usize)
             .unwrap_or(0)
+    }
+}
+
+/// Why the server declined a batch without running it. The connection
+/// stays usable in both cases.
+#[derive(Debug, Clone)]
+pub enum Rejection {
+    /// A structured `busy` frame: capacity backpressure, retry later.
+    Busy {
+        /// What was full: `"connections"` or `"jobs"`.
+        scope: String,
+        /// Occupancy the server reported.
+        queued: usize,
+        /// The configured capacity that was hit.
+        capacity: usize,
+    },
+    /// An `error` frame: the request itself was refused (bad spec,
+    /// draining server, …).
+    Error(String),
+}
+
+impl std::fmt::Display for Rejection {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Rejection::Busy {
+                scope,
+                queued,
+                capacity,
+            } => write!(f, "server busy ({scope}: {queued}/{capacity})"),
+            Rejection::Error(message) => write!(f, "{message}"),
+        }
     }
 }
 
@@ -111,8 +145,9 @@ impl Client {
     /// record line (without the trailing newline) in job order —
     /// byte-identical to `mmflow batch` stdout.
     ///
-    /// Returns `Ok(Err(message))` when the server rejects the request
-    /// with an error frame (the connection stays usable).
+    /// Returns `Ok(Err(rejection))` when the server declines the batch
+    /// — an `error` frame (bad request) or a `busy` frame (capacity
+    /// backpressure, worth retrying). The connection stays usable.
     ///
     /// # Errors
     ///
@@ -122,18 +157,37 @@ impl Client {
         &mut self,
         request: &BatchRequest,
         mut on_record: impl FnMut(&str) -> std::io::Result<()>,
-    ) -> std::io::Result<Result<BatchOutcome, String>> {
+    ) -> std::io::Result<Result<BatchOutcome, Rejection>> {
         self.send(&Request::Batch(request.clone()))?;
         let mut accepted = 0usize;
+        let mut queued_ahead = 0usize;
         loop {
             let line = self.read_line()?;
             match classify(line.trim_end()).map_err(invalid_data)? {
                 ServerLine::Record(record) => on_record(record)?,
                 ServerLine::Frame(Frame::Accepted { jobs }) => accepted = jobs,
+                ServerLine::Frame(Frame::Queued { ahead }) => queued_ahead = ahead,
                 ServerLine::Frame(Frame::Summary { summary }) => {
-                    return Ok(Ok(BatchOutcome { accepted, summary }));
+                    return Ok(Ok(BatchOutcome {
+                        accepted,
+                        queued_ahead,
+                        summary,
+                    }));
                 }
-                ServerLine::Frame(Frame::Error { message }) => return Ok(Err(message)),
+                ServerLine::Frame(Frame::Error { message }) => {
+                    return Ok(Err(Rejection::Error(message)));
+                }
+                ServerLine::Frame(Frame::Busy {
+                    scope,
+                    queued,
+                    capacity,
+                }) => {
+                    return Ok(Err(Rejection::Busy {
+                        scope,
+                        queued,
+                        capacity,
+                    }));
+                }
                 ServerLine::Frame(other) => {
                     return Err(invalid_data(format!("unexpected frame: {other:?}")));
                 }

@@ -4,17 +4,29 @@
 //! a service that keeps the engine hot. This crate runs the batch engine
 //! behind a Unix/TCP socket:
 //!
-//! * **One shared [`mm_engine::Engine`]** — a single stage cache and a
-//!   single persistent worker pool ([`StaticPool`]) serve every
-//!   connection, so clients warm each other's caches and the process
-//!   never runs more than its worker count of jobs at once.
+//! * **One shared [`mm_engine::Engine`]** — a single stage cache and
+//!   in-memory result memo serve every connection, so clients warm each
+//!   other's caches.
+//! * **Sharded, fair scheduling** — jobs from all connections meet in a
+//!   central [`Scheduler`]: worker threads are split into shards, jobs
+//!   are routed by content fingerprint (identical legs land on the same
+//!   shard and hit the same warm state), strict priorities order the
+//!   queues and a deficit round-robin interleaves clients fairly within
+//!   each priority.
+//! * **Multiplexed connections** — a few reactor threads drive every
+//!   socket; execution capacity is the worker count, not the connection
+//!   count.
+//! * **Backpressure is structured, never silent** — over-capacity
+//!   connections and over-quota batches get `busy` frames; admitted
+//!   batches that wait get a `queued` frame.
 //! * **The JSONL contract is the wire format** — per-job result records
 //!   stream back byte-identical to `mmflow batch` output, framed by
-//!   typed `accepted`/`summary`/`error` lines
+//!   typed `accepted`/`queued`/`summary`/`busy`/`error` lines
 //!   ([`mm_engine::protocol`]).
 //! * **Failure isolation** — one infeasible job yields one structured
 //!   error record; a malformed request yields one error frame; neither
-//!   takes down the batch, the connection, or the server.
+//!   takes down the batch, the connection, or the server. A client that
+//!   disconnects mid-batch has its queued jobs purged.
 //! * **Graceful drain** — a `shutdown` frame (or [`ServerHandle`]) stops
 //!   the accept loop and lets every in-flight batch finish before
 //!   [`Server::run`] returns.
@@ -38,9 +50,9 @@
 #![warn(missing_docs)]
 
 mod client;
-mod pool;
+mod scheduler;
 mod server;
 
-pub use client::{BatchOutcome, Client};
-pub use pool::StaticPool;
+pub use client::{BatchOutcome, Client, Rejection};
+pub use scheduler::{Admitted, ClientId, Rejected, Scheduler, ShardStats};
 pub use server::{Listen, ServeOptions, ServeReport, Server, ServerHandle, SocketStream};

@@ -1,0 +1,653 @@
+//! The central job scheduler: sharded worker groups, bounded queues,
+//! priorities and per-client fairness.
+//!
+//! Every connection submits its batch jobs here instead of owning
+//! threads. The scheduler splits its workers into **shards** (worker
+//! groups); a job is routed by its content fingerprint
+//! ([`mm_engine::Job::fingerprint`]), so identical legs — no matter
+//! which client submits them or what the jobs are named — land on the
+//! same shard and keep hitting the same warm cache entries while
+//! genuinely different work spreads across groups.
+//!
+//! Each shard queues admitted jobs in a [`FairQueue`]:
+//!
+//! * **priorities** — levels `0..=9` are strict: a queued job at a
+//!   higher level always runs before any lower-level job (the usual
+//!   starvation caveat applies and is the operator's knob, not a bug);
+//! * **per-client fairness** — within a level, clients are served by
+//!   deficit round-robin: each client's lane is granted `weight` pops
+//!   per rotation, so a tenant with a 10k-job batch and a tenant with a
+//!   2-job batch interleave instead of the small batch waiting out the
+//!   large one. A lane that empties forfeits its remaining deficit (no
+//!   banking credit across bursts).
+//!
+//! Admission control is batch-atomic: [`Scheduler::try_submit`] either
+//! enqueues *all* jobs of a batch or — when any target shard would
+//! exceed its `queue_depth` — enqueues none and reports the occupancy,
+//! which the server turns into a structured `busy` frame instead of a
+//! silent stall. Cancellation ([`Scheduler::cancel_client`]) purges a
+//! client's queued jobs and frees its fairness lanes; jobs already
+//! executing finish (their cache writes are still useful).
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+/// Stable identity of one submitting client (the server allocates one
+/// per connection).
+pub type ClientId = u64;
+
+type Task = Box<dyn FnOnce() + Send + 'static>;
+
+/// One client's queue within a priority level.
+struct Lane<T> {
+    jobs: VecDeque<T>,
+    /// Pops this client may still take before the rotation moves on.
+    deficit: u64,
+    /// Pops granted per rotation (≥ 1).
+    weight: u64,
+}
+
+/// One strict-priority level: a round-robin ring of clients plus their
+/// lanes.
+struct Level<T> {
+    ring: VecDeque<ClientId>,
+    lanes: HashMap<ClientId, Lane<T>>,
+}
+
+impl<T> Level<T> {
+    fn new() -> Self {
+        Self {
+            ring: VecDeque::new(),
+            lanes: HashMap::new(),
+        }
+    }
+
+    /// Deficit round-robin pop. The front client spends one unit of
+    /// deficit per job; at zero it is re-credited with its weight and
+    /// rotated to the back, so interleaving across clients is
+    /// proportional to their weights.
+    fn pop(&mut self) -> Option<T> {
+        loop {
+            let client = *self.ring.front()?;
+            let lane = self.lanes.get_mut(&client).expect("lane for ring entry");
+            if lane.jobs.is_empty() {
+                self.lanes.remove(&client);
+                self.ring.pop_front();
+                continue;
+            }
+            if lane.deficit == 0 {
+                lane.deficit = lane.weight.max(1);
+                self.ring.rotate_left(1);
+                continue;
+            }
+            lane.deficit -= 1;
+            let job = lane.jobs.pop_front().expect("non-empty lane");
+            if lane.jobs.is_empty() {
+                // Forfeit the rest of the credit with the burst.
+                self.lanes.remove(&client);
+                self.ring.pop_front();
+            }
+            return Some(job);
+        }
+    }
+}
+
+/// The per-shard queue: strict priority levels over fair client lanes.
+/// Kept free of locks and threads so the scheduling policy is unit
+/// testable in isolation.
+pub(crate) struct FairQueue<T> {
+    levels: BTreeMap<u8, Level<T>>,
+    len: usize,
+}
+
+impl<T> FairQueue<T> {
+    pub(crate) fn new() -> Self {
+        Self {
+            levels: BTreeMap::new(),
+            len: 0,
+        }
+    }
+
+    /// Queued jobs.
+    pub(crate) fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Live fairness lanes (distinct `(priority, client)` pairs holding
+    /// queued jobs) — drained and cancelled clients must not leak any.
+    pub(crate) fn lanes(&self) -> usize {
+        self.levels.values().map(|l| l.lanes.len()).sum()
+    }
+
+    /// Enqueues one job for `client` at `priority` with the client's
+    /// fairness `weight`.
+    pub(crate) fn push(&mut self, client: ClientId, priority: u8, weight: u64, job: T) {
+        let level = self.levels.entry(priority).or_insert_with(Level::new);
+        let lane = level.lanes.entry(client).or_insert_with(|| {
+            level.ring.push_back(client);
+            Lane {
+                jobs: VecDeque::new(),
+                deficit: 0,
+                weight: weight.max(1),
+            }
+        });
+        lane.weight = weight.max(1);
+        lane.jobs.push_back(job);
+        self.len += 1;
+    }
+
+    /// Dequeues the next job: highest priority level first, fair within
+    /// the level.
+    pub(crate) fn pop(&mut self) -> Option<T> {
+        loop {
+            let priority = *self.levels.keys().next_back()?;
+            let level = self.levels.get_mut(&priority).expect("level for key");
+            let job = level.pop();
+            if level.ring.is_empty() {
+                self.levels.remove(&priority);
+            }
+            if let Some(job) = job {
+                self.len -= 1;
+                return Some(job);
+            }
+        }
+    }
+
+    /// Drops every queued job of `client` (all levels) and frees its
+    /// lanes; returns how many jobs were purged.
+    pub(crate) fn cancel_client(&mut self, client: ClientId) -> usize {
+        let mut purged = 0;
+        self.levels.retain(|_, level| {
+            if let Some(lane) = level.lanes.remove(&client) {
+                purged += lane.jobs.len();
+                level.ring.retain(|c| *c != client);
+            }
+            !level.ring.is_empty()
+        });
+        self.len -= purged;
+        purged
+    }
+}
+
+/// A point-in-time snapshot of one shard, for the per-shard stats the
+/// serve summary reports.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Jobs handed to a worker so far.
+    pub executed: u64,
+    /// Jobs purged from the queue by client cancellation.
+    pub purged: u64,
+    /// Jobs currently queued.
+    pub queued: usize,
+    /// High-water mark of the queue.
+    pub peak_queued: usize,
+}
+
+struct ShardState {
+    queue: FairQueue<Task>,
+    executed: u64,
+    purged: u64,
+    peak_queued: usize,
+    shutdown: bool,
+}
+
+struct Shard {
+    state: Mutex<ShardState>,
+    work: Condvar,
+}
+
+/// The sharded worker-group scheduler. Dropping it drains: queued jobs
+/// still run, workers exit once every queue is empty.
+pub struct Scheduler {
+    shards: Vec<Arc<Shard>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+    queue_depth: usize,
+    threads: usize,
+}
+
+impl std::fmt::Debug for Scheduler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Scheduler")
+            .field("shards", &self.shards.len())
+            .field("threads", &self.threads)
+            .field("queue_depth", &self.queue_depth)
+            .finish()
+    }
+}
+
+/// Why a batch was not admitted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Rejected {
+    /// Jobs queued across all shards at rejection time.
+    pub queued: usize,
+    /// Total queue capacity (`shards × queue_depth`).
+    pub capacity: usize,
+}
+
+/// A successfully admitted batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Admitted {
+    /// Jobs that were queued ahead of this batch across all shards.
+    pub ahead: usize,
+}
+
+impl Scheduler {
+    /// Starts `threads` workers (`0` = one per CPU) split across
+    /// `shards` worker groups (`0` = one group per two workers, capped
+    /// at 8). Shards never outnumber workers; every shard owns at least
+    /// one worker. `queue_depth` bounds each shard's queued (not yet
+    /// running) jobs.
+    #[must_use]
+    pub fn new(shards: usize, threads: usize, queue_depth: usize) -> Self {
+        let threads = if threads == 0 {
+            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+        } else {
+            threads
+        };
+        let shards = if shards == 0 {
+            (threads / 2).clamp(1, 8)
+        } else {
+            shards.min(threads)
+        };
+        let queue_depth = queue_depth.max(1);
+        let shard_handles: Vec<Arc<Shard>> = (0..shards)
+            .map(|_| {
+                Arc::new(Shard {
+                    state: Mutex::new(ShardState {
+                        queue: FairQueue::new(),
+                        executed: 0,
+                        purged: 0,
+                        peak_queued: 0,
+                        shutdown: false,
+                    }),
+                    work: Condvar::new(),
+                })
+            })
+            .collect();
+        // Deal the workers round-robin so every group gets its fair
+        // share (first `threads % shards` groups get one extra).
+        let workers = (0..threads)
+            .map(|i| {
+                let shard = Arc::clone(&shard_handles[i % shards]);
+                std::thread::spawn(move || worker(&shard))
+            })
+            .collect();
+        Self {
+            shards: shard_handles,
+            workers,
+            queue_depth,
+            threads,
+        }
+    }
+
+    /// Total worker threads.
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Worker groups.
+    #[must_use]
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Which shard a job fingerprint routes to.
+    #[must_use]
+    pub fn shard_of(&self, fingerprint: u64) -> usize {
+        (fingerprint % self.shards.len() as u64) as usize
+    }
+
+    /// Admits a whole batch or nothing: every `(fingerprint, task)` is
+    /// routed to its shard; if any target shard would exceed
+    /// `queue_depth`, no job is enqueued and the occupancy comes back as
+    /// [`Rejected`] for the server's `busy` frame.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Rejected`] when a target shard's queue is full.
+    pub fn try_submit(
+        &self,
+        client: ClientId,
+        priority: u8,
+        weight: u64,
+        tasks: Vec<(u64, Task)>,
+    ) -> Result<Admitted, Rejected> {
+        let mut per_shard: Vec<Vec<Task>> = (0..self.shards.len()).map(|_| Vec::new()).collect();
+        for (fingerprint, task) in tasks {
+            per_shard[self.shard_of(fingerprint)].push(task);
+        }
+        // Lock every shard in index order (no deadlock: this is the only
+        // multi-shard lock site) so admission is atomic across shards.
+        let mut guards: Vec<MutexGuard<'_, ShardState>> = self
+            .shards
+            .iter()
+            .map(|s| s.state.lock().expect("shard lock"))
+            .collect();
+        let queued_now: usize = guards.iter().map(|g| g.queue.len()).sum();
+        if per_shard
+            .iter()
+            .zip(guards.iter())
+            .any(|(add, g)| g.queue.len() + add.len() > self.queue_depth)
+        {
+            return Err(Rejected {
+                queued: queued_now,
+                capacity: self.shards.len() * self.queue_depth,
+            });
+        }
+        for ((add, guard), shard) in per_shard
+            .into_iter()
+            .zip(guards.iter_mut())
+            .zip(self.shards.iter())
+        {
+            if add.is_empty() {
+                continue;
+            }
+            for task in add {
+                guard.queue.push(client, priority, weight, task);
+            }
+            guard.peak_queued = guard.peak_queued.max(guard.queue.len());
+            shard.work.notify_all();
+        }
+        Ok(Admitted { ahead: queued_now })
+    }
+
+    /// Purges every queued job of `client` across all shards (their
+    /// task closures are dropped unexecuted) and frees the client's
+    /// fairness lanes. Jobs already running finish normally.
+    pub fn cancel_client(&self, client: ClientId) -> usize {
+        let mut purged = 0;
+        for shard in &self.shards {
+            let mut state = shard.state.lock().expect("shard lock");
+            let n = state.queue.cancel_client(client);
+            state.purged += n as u64;
+            purged += n;
+        }
+        purged
+    }
+
+    /// Point-in-time per-shard counters.
+    #[must_use]
+    pub fn stats(&self) -> Vec<ShardStats> {
+        self.shards
+            .iter()
+            .map(|shard| {
+                let state = shard.state.lock().expect("shard lock");
+                ShardStats {
+                    executed: state.executed,
+                    purged: state.purged,
+                    queued: state.queue.len(),
+                    peak_queued: state.peak_queued,
+                }
+            })
+            .collect()
+    }
+
+    /// Live fairness lanes across all shards — `0` when nothing is
+    /// queued (leak check for disconnect tests).
+    #[must_use]
+    pub fn client_lanes(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.state.lock().expect("shard lock").queue.lanes())
+            .sum()
+    }
+}
+
+impl Drop for Scheduler {
+    /// Drains: queued jobs still run; workers exit once their shard is
+    /// empty.
+    fn drop(&mut self) {
+        for shard in &self.shards {
+            shard.state.lock().expect("shard lock").shutdown = true;
+            shard.work.notify_all();
+        }
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker(shard: &Shard) {
+    loop {
+        let task = {
+            let mut state = shard.state.lock().expect("shard lock");
+            loop {
+                if let Some(task) = state.queue.pop() {
+                    state.executed += 1;
+                    break Some(task);
+                }
+                if state.shutdown {
+                    break None;
+                }
+                state = shard.work.wait(state).expect("shard lock");
+            }
+        };
+        match task {
+            // A panicking task must not kill the worker: the shard is
+            // part of the server's lifetime capacity. Submitters that
+            // need the panic surfaced catch it themselves (the server
+            // converts it into a per-job error record).
+            Some(task) => {
+                if let Err(panic) = std::panic::catch_unwind(std::panic::AssertUnwindSafe(task)) {
+                    eprintln!(
+                        "serve: worker task panicked: {}",
+                        panic_message(panic.as_ref())
+                    );
+                }
+            }
+            None => return,
+        }
+    }
+}
+
+/// Best-effort extraction of a panic payload's message.
+pub(crate) fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn fair_queue_interleaves_clients_round_robin() {
+        let mut q = FairQueue::new();
+        for i in 0..6 {
+            q.push(1, 1, 1, format!("a{i}"));
+        }
+        q.push(2, 1, 1, "b0".to_string());
+        q.push(2, 1, 1, "b1".to_string());
+        let order: Vec<String> = std::iter::from_fn(|| q.pop()).collect();
+        // The 2-job client is done after at most 4 pops despite arriving
+        // behind a 6-job burst.
+        let b1 = order.iter().position(|j| j == "b1").unwrap();
+        assert!(b1 <= 3, "small client starved: {order:?}");
+        assert_eq!(order.len(), 8);
+        assert_eq!(q.lanes(), 0, "drained queue leaks no lanes");
+    }
+
+    #[test]
+    fn fair_queue_weights_scale_the_interleave() {
+        let mut q = FairQueue::new();
+        for i in 0..8 {
+            q.push(1, 1, 3, format!("h{i}")); // weight 3
+            q.push(2, 1, 1, format!("l{i}")); // weight 1
+        }
+        let first8: Vec<String> = (0..8).map(|_| q.pop().unwrap()).collect();
+        let heavy = first8.iter().filter(|j| j.starts_with('h')).count();
+        // Deficit round-robin serves roughly 3 heavy jobs per light one.
+        assert!(heavy >= 5, "weight 3 should dominate: {first8:?}");
+        assert!(heavy < 8, "weight 1 must still progress: {first8:?}");
+    }
+
+    #[test]
+    fn fair_queue_priorities_are_strict() {
+        let mut q = FairQueue::new();
+        q.push(1, 0, 1, "low");
+        q.push(1, 9, 1, "high");
+        q.push(2, 4, 1, "mid");
+        assert_eq!(q.pop(), Some("high"));
+        assert_eq!(q.pop(), Some("mid"));
+        assert_eq!(q.pop(), Some("low"));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn fair_queue_cancel_purges_only_that_client() {
+        let mut q = FairQueue::new();
+        for i in 0..4 {
+            q.push(1, 1, 1, format!("a{i}"));
+            q.push(2, 5, 1, format!("b{i}"));
+        }
+        assert_eq!(q.cancel_client(2), 4);
+        assert_eq!(q.len(), 4);
+        assert_eq!(q.lanes(), 1);
+        let rest: Vec<String> = std::iter::from_fn(|| q.pop()).collect();
+        assert!(rest.iter().all(|j| j.starts_with('a')), "{rest:?}");
+        assert_eq!(q.len(), 0);
+        assert_eq!(q.cancel_client(7), 0, "unknown clients purge nothing");
+    }
+
+    #[test]
+    fn scheduler_runs_every_admitted_task_and_drains_on_drop() {
+        let s = Scheduler::new(2, 4, 64);
+        assert_eq!(s.shards(), 2);
+        assert_eq!(s.threads(), 4);
+        let count = Arc::new(AtomicUsize::new(0));
+        let tasks: Vec<(u64, Task)> = (0..32u64)
+            .map(|i| {
+                let count = Arc::clone(&count);
+                let task: Task = Box::new(move || {
+                    count.fetch_add(1, Ordering::SeqCst);
+                });
+                (i, task)
+            })
+            .collect();
+        s.try_submit(1, 1, 1, tasks).expect("fits");
+        drop(s); // drains
+        assert_eq!(count.load(Ordering::SeqCst), 32);
+    }
+
+    #[test]
+    fn admission_is_batch_atomic_and_reports_occupancy() {
+        // One paused worker so queued jobs stay queued.
+        let s = Scheduler::new(1, 1, 4);
+        let gate = Arc::new(std::sync::Barrier::new(2));
+        let g = Arc::clone(&gate);
+        s.try_submit(
+            1,
+            1,
+            1,
+            vec![(
+                0,
+                Box::new(move || {
+                    g.wait();
+                }) as Task,
+            )],
+        )
+        .expect("admitted");
+        // Wait until the worker picked the blocker up.
+        while s.stats()[0].executed == 0 {
+            std::thread::yield_now();
+        }
+        // 4 queued jobs fill the depth exactly.
+        let fill: Vec<(u64, Task)> = (0..4).map(|i| (i, Box::new(|| {}) as Task)).collect();
+        let admitted = s.try_submit(1, 1, 1, fill).expect("fills the queue");
+        assert_eq!(admitted.ahead, 0);
+        // A 2-job batch must be rejected whole, not half-enqueued.
+        let over: Vec<(u64, Task)> = (0..2).map(|i| (i, Box::new(|| {}) as Task)).collect();
+        let rejected = s.try_submit(2, 1, 1, over).expect_err("over depth");
+        assert_eq!(rejected.queued, 4);
+        assert_eq!(rejected.capacity, 4);
+        assert_eq!(s.stats()[0].queued, 4, "rejected batch left nothing behind");
+        gate.wait(); // release the blocker, let the drop drain
+    }
+
+    #[test]
+    fn cancel_client_purges_queued_jobs_and_frees_lanes() {
+        let s = Scheduler::new(1, 1, 64);
+        let gate = Arc::new(std::sync::Barrier::new(2));
+        let g = Arc::clone(&gate);
+        let ran = Arc::new(AtomicUsize::new(0));
+        s.try_submit(
+            9,
+            1,
+            1,
+            vec![(
+                0,
+                Box::new(move || {
+                    g.wait();
+                }) as Task,
+            )],
+        )
+        .expect("admitted");
+        while s.stats()[0].executed == 0 {
+            std::thread::yield_now();
+        }
+        for client in [1u64, 2] {
+            let tasks: Vec<(u64, Task)> = (0..5)
+                .map(|i| {
+                    let ran = Arc::clone(&ran);
+                    (
+                        i,
+                        Box::new(move || {
+                            ran.fetch_add(1, Ordering::SeqCst);
+                        }) as Task,
+                    )
+                })
+                .collect();
+            s.try_submit(client, 1, 1, tasks).expect("admitted");
+        }
+        assert_eq!(s.cancel_client(1), 5);
+        assert_eq!(s.client_lanes(), 1, "client 2's lane survives");
+        gate.wait();
+        drop(s);
+        assert_eq!(ran.load(Ordering::SeqCst), 5, "only client 2's jobs ran");
+    }
+
+    #[test]
+    fn a_panicking_task_does_not_kill_its_worker() {
+        let s = Scheduler::new(1, 1, 64);
+        let done = Arc::new(AtomicUsize::new(0));
+        let mut tasks: Vec<(u64, Task)> = vec![(0, Box::new(|| panic!("boom")) as Task)];
+        for i in 0..4 {
+            let done = Arc::clone(&done);
+            tasks.push((
+                i,
+                Box::new(move || {
+                    done.fetch_add(1, Ordering::SeqCst);
+                }) as Task,
+            ));
+        }
+        s.try_submit(1, 1, 1, tasks).expect("admitted");
+        drop(s);
+        assert_eq!(done.load(Ordering::SeqCst), 4, "worker survived the panic");
+    }
+
+    #[test]
+    fn panic_messages_are_extracted() {
+        let caught = std::panic::catch_unwind(|| panic!("static str")).expect_err("panics");
+        assert_eq!(panic_message(caught.as_ref()), "static str");
+        let caught = std::panic::catch_unwind(|| panic!("formatted {}", 7)).expect_err("panics");
+        assert_eq!(panic_message(caught.as_ref()), "formatted 7");
+    }
+
+    #[test]
+    fn shard_resolution_bounds() {
+        let s = Scheduler::new(0, 4, 8);
+        assert_eq!(s.shards(), 2, "auto: one group per two workers");
+        let s = Scheduler::new(8, 2, 8);
+        assert_eq!(s.shards(), 2, "groups never outnumber workers");
+        let s = Scheduler::new(0, 1, 8);
+        assert_eq!(s.shards(), 1);
+        assert_eq!(s.shard_of(7), s.shard_of(7));
+    }
+}

@@ -1,18 +1,42 @@
-//! The batch service: accept loop, per-connection protocol handling,
-//! ordered result streaming and graceful drain.
+//! The batch service: accept loop, multiplexed connection reactors,
+//! scheduler admission, ordered result streaming and graceful drain.
+//!
+//! # Connection model
+//!
+//! Connections are *multiplexed*, not thread-per-connection: a small
+//! fixed set of reactor threads each owns many non-blocking sockets and
+//! drives them through a per-connection state machine (read request
+//! lines → admit batches to the [`Scheduler`] → pump in-order results
+//! into the outbound buffer → flush). Job execution never happens on a
+//! reactor thread — the scheduler's sharded worker groups do that — so
+//! a reactor's only work per connection is parsing, admission and byte
+//! shuffling, and hundreds of idle connections cost no threads.
+//!
+//! # Backpressure
+//!
+//! Capacity is never a silent stall:
+//!
+//! * a connection over `max_connections` receives one structured
+//!   `busy` frame (`scope: "connections"`) and is closed;
+//! * a batch that would overflow a shard queue is rejected whole with a
+//!   `busy` frame (`scope: "jobs"`) — the connection stays usable and
+//!   the client retries;
+//! * an admitted batch that has to wait is told so with a `queued`
+//!   frame carrying the number of jobs ahead of it.
 
-use crate::pool::StaticPool;
+use crate::scheduler::{panic_message, ClientId, Scheduler};
+use mm_engine::json::{ObjBuilder, Value};
 use mm_engine::protocol::{BatchRequest, Frame, Request};
 use mm_engine::{
-    load_spec_with_modes, BatchReport, Engine, EngineOptions, EngineStats, JobCacheInfo, JobError,
-    JobResult,
+    load_spec_with_modes, BatchReport, CacheStats, Engine, EngineOptions, EngineStats,
+    JobCacheInfo, JobError, JobResult,
 };
 use mm_flow::FlowOptions;
-use std::io::{BufRead, BufReader, Write};
+use std::io::{Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
@@ -65,14 +89,24 @@ impl std::fmt::Display for Listen {
 /// Server configuration.
 #[derive(Debug, Clone)]
 pub struct ServeOptions {
-    /// Worker threads of the shared pool (`0` = one per CPU).
+    /// Worker threads across all shards (`0` = one per CPU).
     pub threads: usize,
     /// Stage-cache root shared by every connection; `None` disables
     /// caching.
     pub cache_dir: Option<PathBuf>,
-    /// Connections handled concurrently; further clients queue in the
-    /// accept backlog until a slot frees up.
+    /// Connections handled concurrently; an excess client receives a
+    /// structured `busy` frame (`scope: "connections"`) and is closed
+    /// instead of stalling in the accept backlog.
     pub max_connections: usize,
+    /// Worker groups (shards) the threads are split into; jobs are
+    /// routed by content fingerprint so identical legs share a shard.
+    /// `0` = one group per two workers (capped at 8).
+    pub workers: usize,
+    /// Queued (not yet running) jobs each shard admits before batches
+    /// bounce with a `busy` frame (`scope: "jobs"`).
+    pub queue_depth: usize,
+    /// Reactor threads multiplexing the connections (`0` = 2).
+    pub io_threads: usize,
 }
 
 impl Default for ServeOptions {
@@ -81,6 +115,9 @@ impl Default for ServeOptions {
             threads: 0,
             cache_dir: None,
             max_connections: 8,
+            workers: 0,
+            queue_depth: 256,
+            io_threads: 0,
         }
     }
 }
@@ -90,10 +127,16 @@ impl Default for ServeOptions {
 pub struct ServeReport {
     /// Connections served.
     pub connections: u64,
-    /// Batches executed.
+    /// Batches admitted and executed.
     pub batches: u64,
     /// Jobs executed across all batches.
     pub jobs: u64,
+    /// Connections turned away with a `busy` frame at `max_connections`.
+    pub rejected_connections: u64,
+    /// Batches bounced with a `busy` frame by shard-queue admission.
+    pub rejected_batches: u64,
+    /// Queued jobs purged because their client disconnected.
+    pub purged_jobs: u64,
 }
 
 #[derive(Debug, Default)]
@@ -101,13 +144,16 @@ struct Counters {
     connections: AtomicU64,
     batches: AtomicU64,
     jobs: AtomicU64,
+    rejected_connections: AtomicU64,
+    rejected_batches: AtomicU64,
+    purged_jobs: AtomicU64,
 }
 
 #[derive(Debug)]
 struct ServerState {
     shutdown: AtomicBool,
-    active: Mutex<usize>,
-    idle: Condvar,
+    active: AtomicUsize,
+    next_client: AtomicU64,
     counters: Counters,
 }
 
@@ -195,6 +241,19 @@ impl SocketStream {
             StreamInner::Tcp(s) => s.set_write_timeout(timeout),
         }
     }
+
+    /// Switches the socket between blocking and non-blocking mode (the
+    /// reactors multiplex connections in non-blocking mode).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the option cannot be set.
+    pub fn set_nonblocking(&self, nonblocking: bool) -> std::io::Result<()> {
+        match &self.0 {
+            StreamInner::Unix(s) => s.set_nonblocking(nonblocking),
+            StreamInner::Tcp(s) => s.set_nonblocking(nonblocking),
+        }
+    }
 }
 
 impl std::fmt::Debug for SocketStream {
@@ -206,7 +265,7 @@ impl std::fmt::Debug for SocketStream {
     }
 }
 
-impl std::io::Read for SocketStream {
+impl Read for SocketStream {
     fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
         match &mut self.0 {
             StreamInner::Unix(s) => s.read(buf),
@@ -231,46 +290,97 @@ impl Write for SocketStream {
     }
 }
 
+/// Upper bound on one request line — far above any real batch request,
+/// far below harm. Also the inbound buffering bound per connection:
+/// a client pipelining past it is simply not read until the buffer
+/// drains (socket-level backpressure).
+const MAX_REQUEST_LINE: usize = 1 << 20;
+
+/// Outbound buffering high-water mark: result pumping pauses (results
+/// wait in their collector slots) until the client reads us back below
+/// it.
+const OUT_HIGH_WATER: usize = 256 * 1024;
+
+/// A client that accepts no bytes for this long mid-stream is declared
+/// gone.
+const WRITE_STALL: Duration = Duration::from_secs(30);
+
+/// How long an idle reactor parks before re-polling its sockets.
+const REACTOR_PARK: Duration = Duration::from_millis(1);
+
+/// Wakes a parked reactor (new connection, delivered result).
+#[derive(Debug, Default)]
+struct Waker {
+    flag: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl Waker {
+    fn wake(&self) {
+        *self.flag.lock().expect("waker lock") = true;
+        self.cv.notify_all();
+    }
+
+    fn park(&self, timeout: Duration) {
+        let mut flag = self.flag.lock().expect("waker lock");
+        if !*flag {
+            let (guard, _) = self.cv.wait_timeout(flag, timeout).expect("waker lock");
+            flag = guard;
+        }
+        *flag = false;
+    }
+}
+
 /// The long-running batch service.
 ///
-/// One [`Engine`] (and therefore one stage cache) and one persistent
-/// [`StaticPool`] are shared by every connection: concurrent clients
-/// submit batches that interleave on the same workers and warm the same
-/// cache, while each connection's result stream stays in its own batch's
-/// job order — byte-identical to `mmflow batch` on the same spec.
+/// One [`Engine`] (and therefore one stage cache) and one sharded
+/// [`Scheduler`] are shared by every connection: concurrent clients
+/// submit batches whose jobs interleave fairly on the worker groups and
+/// warm the same cache, while each connection's result stream stays in
+/// its own batch's job order — byte-identical to `mmflow batch` on the
+/// same spec.
 pub struct Server {
     engine: Arc<Engine>,
-    pool: Arc<StaticPool>,
+    scheduler: Arc<Scheduler>,
     listener: Listener,
     listen: Listen,
     state: Arc<ServerState>,
     max_connections: usize,
+    io_threads: usize,
 }
 
 impl std::fmt::Debug for Server {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Server")
             .field("listen", &self.listen)
-            .field("threads", &self.pool.threads())
+            .field("threads", &self.scheduler.threads())
+            .field("shards", &self.scheduler.shards())
             .field("max_connections", &self.max_connections)
             .finish()
     }
 }
 
 impl Server {
-    /// Binds the listener and starts the shared pool (but accepts
-    /// nothing until [`Server::run`]). A stale Unix socket path is
-    /// removed first — the server owns it.
+    /// Binds the listener and starts the scheduler's worker groups (but
+    /// accepts nothing until [`Server::run`]). A stale Unix socket path
+    /// is removed first — the server owns it.
     ///
     /// # Errors
     ///
     /// Fails if the socket cannot be bound or the cache directory cannot
     /// be created.
     pub fn bind(listen: &Listen, options: &ServeOptions) -> std::io::Result<Self> {
-        let pool = Arc::new(StaticPool::new(options.threads));
+        let scheduler = Arc::new(Scheduler::new(
+            options.workers,
+            options.threads,
+            options.queue_depth,
+        ));
         let engine = Arc::new(Engine::new(EngineOptions {
-            threads: pool.threads(),
+            threads: scheduler.threads(),
             cache_dir: options.cache_dir.clone(),
+            // The service is long-running and re-serves identical legs;
+            // the in-memory memo is what keeps warm hits off the disk.
+            result_memo: 4096,
         })?);
         let (listener, listen) = match listen {
             Listen::Unix(path) => {
@@ -311,16 +421,21 @@ impl Server {
         };
         Ok(Self {
             engine,
-            pool,
+            scheduler,
             listener,
             listen,
             state: Arc::new(ServerState {
                 shutdown: AtomicBool::new(false),
-                active: Mutex::new(0),
-                idle: Condvar::new(),
+                active: AtomicUsize::new(0),
+                next_client: AtomicU64::new(1),
                 counters: Counters::default(),
             }),
             max_connections: options.max_connections.max(1),
+            io_threads: if options.io_threads == 0 {
+                2
+            } else {
+                options.io_threads
+            },
         })
     }
 
@@ -336,6 +451,12 @@ impl Server {
         &self.engine
     }
 
+    /// The job scheduler (for tests and embedding).
+    #[must_use]
+    pub fn scheduler(&self) -> &Scheduler {
+        &self.scheduler
+    }
+
     /// A remote control that can request shutdown from another thread.
     #[must_use]
     pub fn handle(&self) -> ServerHandle {
@@ -345,24 +466,49 @@ impl Server {
     }
 
     /// Serves until shutdown is requested (protocol `shutdown` frame or
-    /// [`ServerHandle::shutdown`]), then drains: the listener closes, and
-    /// every in-flight connection — including batches still executing on
-    /// the pool — runs to completion before this returns.
+    /// [`ServerHandle::shutdown`]), then drains: the listener closes,
+    /// every connection — including batches still executing on the
+    /// worker groups — runs to completion, and the workers are joined
+    /// before this returns.
     ///
     /// # Errors
     ///
     /// Fails if the listener cannot be polled.
     pub fn run(self) -> std::io::Result<ServeReport> {
-        match &self.listener {
+        let Server {
+            engine,
+            scheduler,
+            listener,
+            listen,
+            state,
+            max_connections,
+            io_threads,
+        } = self;
+        match &listener {
             Listener::Unix(l) => l.set_nonblocking(true)?,
             Listener::Tcp(l) => l.set_nonblocking(true)?,
         }
+        let reactors: Vec<ReactorHandle> = (0..io_threads.max(1))
+            .map(|_| ReactorHandle {
+                inbox: Mutex::new(Vec::new()),
+                waker: Arc::new(Waker::default()),
+                load: AtomicUsize::new(0),
+            })
+            .collect();
         std::thread::scope(|scope| -> std::io::Result<()> {
+            for reactor in &reactors {
+                let ctx = Ctx {
+                    engine: &engine,
+                    scheduler: &scheduler,
+                    state: &state,
+                };
+                scope.spawn(move || run_reactor(&ctx, reactor));
+            }
             loop {
-                if self.state.shutdown.load(Ordering::Relaxed) {
+                if state.shutdown.load(Ordering::Relaxed) {
                     break;
                 }
-                let accepted = match &self.listener {
+                let accepted = match &listener {
                     Listener::Unix(l) => {
                         l.accept().map(|(s, _)| SocketStream(StreamInner::Unix(s)))
                     }
@@ -371,331 +517,535 @@ impl Server {
                 let stream = match accepted {
                     Ok(stream) => stream,
                     Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                        std::thread::sleep(Duration::from_millis(20));
+                        std::thread::sleep(Duration::from_millis(5));
                         continue;
                     }
                     Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
-                    Err(e) => return Err(e),
-                };
-                // Concurrency limit: hold the connection until a slot
-                // frees up (the socket backlog is the waiting room).
-                let mut active = self.state.active.lock().expect("state lock");
-                while *active >= self.max_connections {
-                    active = self.state.idle.wait(active).expect("state lock");
-                }
-                *active += 1;
-                drop(active);
-                self.state
-                    .counters
-                    .connections
-                    .fetch_add(1, Ordering::Relaxed);
-
-                let engine = Arc::clone(&self.engine);
-                let pool = Arc::clone(&self.pool);
-                let state = Arc::clone(&self.state);
-                scope.spawn(move || {
-                    let result = handle_connection(&engine, &pool, &state, stream);
-                    if let Err(e) = result {
-                        eprintln!("serve: connection error: {e}");
+                    Err(e) => {
+                        // Wake the reactors out of their parks so the
+                        // drain below cannot deadlock on an I/O error.
+                        state.shutdown.store(true, Ordering::Relaxed);
+                        for reactor in &reactors {
+                            reactor.waker.wake();
+                        }
+                        return Err(e);
                     }
-                    let mut active = state.active.lock().expect("state lock");
-                    *active -= 1;
-                    state.idle.notify_all();
-                });
+                };
+                if state.active.load(Ordering::Relaxed) >= max_connections {
+                    // Over capacity: answer, don't stall. The frame is
+                    // best-effort — a client that never reads forfeits
+                    // it, bounded by the write timeout.
+                    state
+                        .counters
+                        .rejected_connections
+                        .fetch_add(1, Ordering::Relaxed);
+                    let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
+                    let mut stream = stream;
+                    let frame = Frame::Busy {
+                        scope: "connections".to_string(),
+                        queued: state.active.load(Ordering::Relaxed),
+                        capacity: max_connections,
+                    };
+                    let _ = stream
+                        .write_all((frame.to_json_line() + "\n").as_bytes())
+                        .and_then(|()| stream.flush());
+                    continue;
+                }
+                if stream.set_nonblocking(true).is_err() {
+                    continue;
+                }
+                if let StreamInner::Tcp(s) = &stream.0 {
+                    let _ = s.set_nodelay(true);
+                }
+                state.active.fetch_add(1, Ordering::Relaxed);
+                state.counters.connections.fetch_add(1, Ordering::Relaxed);
+                let conn = Conn::new(stream, state.next_client.fetch_add(1, Ordering::Relaxed));
+                // Least-loaded reactor takes the new connection.
+                let reactor = reactors
+                    .iter()
+                    .min_by_key(|r| r.load.load(Ordering::Relaxed))
+                    .expect("at least one reactor");
+                reactor.load.fetch_add(1, Ordering::Relaxed);
+                reactor.inbox.lock().expect("inbox lock").push(conn);
+                reactor.waker.wake();
             }
-            // Drain: wait for every connection (and thereby every
-            // in-flight batch) to finish.
-            let mut active = self.state.active.lock().expect("state lock");
-            while *active > 0 {
-                active = self.state.idle.wait(active).expect("state lock");
+            for reactor in &reactors {
+                reactor.waker.wake();
             }
             Ok(())
         })?;
-        if let Listen::Unix(path) = &self.listen {
+        // Reactors have exited: every connection is closed and every
+        // admitted batch has streamed its summary. Join the workers
+        // (drains any purge-raced stragglers) before reporting.
+        drop(scheduler);
+        if let Listen::Unix(path) = &listen {
             let _ = std::fs::remove_file(path);
         }
+        drop(engine);
         Ok(ServeReport {
-            connections: self.state.counters.connections.load(Ordering::Relaxed),
-            batches: self.state.counters.batches.load(Ordering::Relaxed),
-            jobs: self.state.counters.jobs.load(Ordering::Relaxed),
+            connections: state.counters.connections.load(Ordering::Relaxed),
+            batches: state.counters.batches.load(Ordering::Relaxed),
+            jobs: state.counters.jobs.load(Ordering::Relaxed),
+            rejected_connections: state.counters.rejected_connections.load(Ordering::Relaxed),
+            rejected_batches: state.counters.rejected_batches.load(Ordering::Relaxed),
+            purged_jobs: state.counters.purged_jobs.load(Ordering::Relaxed),
         })
     }
 }
 
-/// One connection: read request lines, answer frames, stream batches.
-fn handle_connection(
-    engine: &Arc<Engine>,
-    pool: &StaticPool,
-    state: &Arc<ServerState>,
-    stream: SocketStream,
-) -> std::io::Result<()> {
-    // A finite read timeout keeps idle connections from stalling the
-    // drain: between lines the loop re-checks the shutdown flag. The
-    // write timeout bounds a client that stops *reading* mid-stream —
-    // without it a full send buffer would block the connection thread
-    // (and therefore drain) forever.
-    stream.set_read_timeout(Some(Duration::from_millis(100)))?;
-    stream.set_write_timeout(Some(Duration::from_secs(30)))?;
-    let mut writer = stream.try_clone()?;
-    let mut reader = BufReader::new(stream);
-    let mut line = String::new();
+/// Everything a reactor needs to drive its connections.
+#[derive(Clone, Copy)]
+struct Ctx<'a> {
+    engine: &'a Arc<Engine>,
+    scheduler: &'a Arc<Scheduler>,
+    state: &'a Arc<ServerState>,
+}
+
+struct ReactorHandle {
+    inbox: Mutex<Vec<Conn>>,
+    waker: Arc<Waker>,
+    load: AtomicUsize,
+}
+
+/// One reactor: adopt assigned connections, tick them all, park briefly
+/// when nothing progressed. Exits when shutdown is requested and its
+/// last connection is gone.
+fn run_reactor(ctx: &Ctx<'_>, reactor: &ReactorHandle) {
+    let mut conns: Vec<Conn> = Vec::new();
     loop {
-        // The cap is enforced *inside* the read via `take`, so even a
-        // client streaming newline-free bytes without ever pausing
-        // (read_line would otherwise never return) cannot grow the
-        // buffer past MAX_REQUEST_LINE + 1.
-        let budget = (MAX_REQUEST_LINE + 1).saturating_sub(line.len()) as u64;
-        if budget == 0 {
-            let _ = write_frame(
-                &mut writer,
-                &Frame::Error {
-                    message: format!("request line exceeds {MAX_REQUEST_LINE} bytes"),
-                },
-            );
-            break;
+        {
+            let mut inbox = reactor.inbox.lock().expect("inbox lock");
+            conns.append(&mut inbox);
         }
-        match std::io::Read::take(&mut reader, budget).read_line(&mut line) {
-            Ok(0) => break, // client closed
-            Ok(_) => {
-                // A read that stopped at the budget rather than a
-                // newline is an over-long line, not a request: answer
-                // the cap error and hang up instead of parsing the
-                // truncation.
-                if !line.ends_with('\n') && line.len() > MAX_REQUEST_LINE {
-                    continue; // the budget==0 arm reports and closes
-                }
-                // A draining server accepts nothing new, but stays
-                // polite: shutdown/ping still get their ack (so a
-                // concurrent `submit --shutdown` sees success), anything
-                // else gets an error frame. Without the check a client
-                // that keeps sending requests faster than the idle
-                // timeout would hold its connection (and the drain wait)
-                // open forever.
-                if state.shutdown.load(Ordering::Relaxed) {
-                    let frame = match Request::parse(line.trim()) {
-                        Ok(Request::Shutdown) => Frame::ShuttingDown,
-                        Ok(Request::Ping) => Frame::Pong,
-                        _ => Frame::Error {
-                            message: "server is shutting down".to_string(),
-                        },
-                    };
-                    let _ = write_frame(&mut writer, &frame);
-                    break;
-                }
-                let keep_going = handle_request(engine, pool, state, &mut writer, line.trim())?;
-                line.clear();
-                if !keep_going || state.shutdown.load(Ordering::Relaxed) {
-                    break;
-                }
+        let mut progressed = false;
+        let mut index = 0;
+        while index < conns.len() {
+            let tick = conns[index].tick(ctx, &reactor.waker);
+            progressed |= tick.progressed;
+            if tick.close {
+                let mut conn = conns.swap_remove(index);
+                conn.abandon_stream(ctx);
+                ctx.state.active.fetch_sub(1, Ordering::Relaxed);
+                reactor.load.fetch_sub(1, Ordering::Relaxed);
+            } else {
+                index += 1;
             }
-            Err(e)
-                if e.kind() == std::io::ErrorKind::WouldBlock
-                    || e.kind() == std::io::ErrorKind::TimedOut =>
-            {
-                // Idle (a partial line, if any, stays buffered in `line`).
-                if state.shutdown.load(Ordering::Relaxed) {
-                    break;
-                }
-            }
-            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
-            Err(e) => return Err(e),
         }
-    }
-    Ok(())
-}
-
-/// Upper bound on one request line — far above any real batch request,
-/// far below harm.
-const MAX_REQUEST_LINE: usize = 1 << 20;
-
-/// Handles one request line; `Ok(false)` closes the connection.
-fn handle_request(
-    engine: &Arc<Engine>,
-    pool: &StaticPool,
-    state: &Arc<ServerState>,
-    writer: &mut SocketStream,
-    line: &str,
-) -> std::io::Result<bool> {
-    if line.is_empty() {
-        return Ok(true);
-    }
-    let request = match Request::parse(line) {
-        Ok(request) => request,
-        Err(message) => {
-            write_frame(writer, &Frame::Error { message })?;
-            return Ok(true);
+        if conns.is_empty()
+            && ctx.state.shutdown.load(Ordering::Relaxed)
+            && reactor.inbox.lock().expect("inbox lock").is_empty()
+        {
+            return;
         }
-    };
-    match request {
-        Request::Ping => {
-            write_frame(writer, &Frame::Pong)?;
-            Ok(true)
-        }
-        Request::Shutdown => {
-            write_frame(writer, &Frame::ShuttingDown)?;
-            state.shutdown.store(true, Ordering::Relaxed);
-            Ok(false)
-        }
-        Request::Batch(batch) => {
-            run_batch(engine, pool, state, writer, &batch)?;
-            Ok(true)
+        if !progressed {
+            reactor.waker.park(REACTOR_PARK);
         }
     }
 }
 
-fn write_frame(writer: &mut SocketStream, frame: &Frame) -> std::io::Result<()> {
-    writer.write_all(frame.to_json_line().as_bytes())?;
-    writer.write_all(b"\n")?;
-    writer.flush()
-}
-
-/// Per-batch reorder buffer: pool workers finish jobs in any order, the
-/// connection thread consumes them strictly in job order.
+/// Per-batch reorder buffer: shard workers finish jobs in any order,
+/// the owning reactor consumes them strictly in job order. Delivery
+/// wakes the reactor so results stream without waiting out a park.
 struct Collector {
     slots: Mutex<Vec<Option<JobResult>>>,
-    ready: Condvar,
+    waker: Arc<Waker>,
 }
 
 impl Collector {
     fn deliver(&self, index: usize, result: JobResult) {
-        let mut slots = self.slots.lock().expect("collector lock");
-        slots[index] = Some(result);
-        drop(slots);
-        self.ready.notify_all();
+        {
+            let mut slots = self.slots.lock().expect("collector lock");
+            slots[index] = Some(result);
+        }
+        self.waker.wake();
     }
 
-    fn take(&self, index: usize) -> JobResult {
-        let mut slots = self.slots.lock().expect("collector lock");
-        loop {
-            if let Some(result) = slots[index].take() {
-                return result;
-            }
-            slots = self.ready.wait(slots).expect("collector lock");
-        }
+    fn try_take(&self, index: usize) -> Option<JobResult> {
+        self.slots.lock().expect("collector lock")[index].take()
     }
 }
 
-/// Resolves, executes and streams one batch request.
-fn run_batch(
-    engine: &Arc<Engine>,
-    pool: &StaticPool,
-    state: &Arc<ServerState>,
-    writer: &mut SocketStream,
-    request: &BatchRequest,
-) -> std::io::Result<()> {
-    let options = request.flow_options(&FlowOptions::default());
-    let mut batch = match load_spec_with_modes(&request.spec, &options, request.k, request.modes) {
-        Ok(batch) => batch,
-        Err(message) => return write_frame(writer, &Frame::Error { message }),
-    };
-    if let Some(n) = request.max_jobs {
-        batch.jobs.truncate(n);
-    }
-    let mut jobs = batch.jobs;
-    // The pool is shared by every connection — one worker per job, no
-    // intra-job fan-out on top (results are byte-identical either way).
-    for job in &mut jobs {
-        if job.options.intra_parallelism == 0 {
-            job.options.intra_parallelism = 1;
+/// An admitted batch mid-stream on one connection.
+struct Streaming {
+    collector: Arc<Collector>,
+    cancel: Arc<AtomicBool>,
+    next: usize,
+    total: usize,
+    results: Vec<JobResult>,
+    t0: Instant,
+    cache_before: CacheStats,
+}
+
+struct TickResult {
+    progressed: bool,
+    close: bool,
+}
+
+/// One multiplexed connection's state machine.
+struct Conn {
+    stream: SocketStream,
+    client: ClientId,
+    inbuf: Vec<u8>,
+    /// Consumed prefix of `inbuf` (compacted between ticks).
+    inpos: usize,
+    out: Vec<u8>,
+    /// Flushed prefix of `out` (compacted when fully flushed).
+    outpos: usize,
+    last_write_progress: Instant,
+    eof: bool,
+    close_after_flush: bool,
+    streaming: Option<Streaming>,
+}
+
+impl Conn {
+    fn new(stream: SocketStream, client: ClientId) -> Self {
+        Self {
+            stream,
+            client,
+            inbuf: Vec::new(),
+            inpos: 0,
+            out: Vec::new(),
+            outpos: 0,
+            last_write_progress: Instant::now(),
+            eof: false,
+            close_after_flush: false,
+            streaming: None,
         }
     }
-    let n = jobs.len();
-    state.counters.batches.fetch_add(1, Ordering::Relaxed);
-    write_frame(writer, &Frame::Accepted { jobs: n })?;
 
-    let t0 = Instant::now();
-    let cache_before = engine.cache().map(|c| c.stats()).unwrap_or_default();
-    let collector = Arc::new(Collector {
-        slots: Mutex::new((0..n).map(|_| None).collect()),
-        ready: Condvar::new(),
-    });
-    // A client that vanishes mid-stream cancels the jobs that have not
-    // started yet; jobs already running finish (their cache writes are
-    // still useful).
-    let cancel = Arc::new(AtomicBool::new(false));
-    for (index, job) in jobs.into_iter().enumerate() {
-        let engine = Arc::clone(engine);
-        let collector = Arc::clone(&collector);
-        let cancel = Arc::clone(&cancel);
-        let state = Arc::clone(state);
-        pool.submit(move || {
-            let result = if cancel.load(Ordering::Relaxed) {
-                JobResult {
-                    name: job.name.clone(),
-                    flow: job.flow,
-                    outcome: Err(JobError::engine("cancelled: client disconnected")),
-                    cache: JobCacheInfo::default(),
-                    duration: Duration::ZERO,
-                }
-            } else {
-                // Counted here — not at accept time — so the operator's
-                // exit report only claims jobs that actually ran.
-                state.counters.jobs.fetch_add(1, Ordering::Relaxed);
-                // A panic inside a flow is an engine bug, but in a
-                // daemon it must degrade to one failed job: without the
-                // catch the collector slot would never be delivered and
-                // the connection (and the final drain) would hang on it
-                // forever.
-                let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    engine.execute_job(&job)
-                }));
-                match run {
-                    Ok(result) => result,
-                    Err(panic) => JobResult {
-                        name: job.name.clone(),
-                        flow: job.flow,
-                        outcome: Err(JobError::engine(format!(
-                            "job panicked: {}",
-                            crate::pool::panic_message(panic.as_ref())
-                        ))),
-                        cache: JobCacheInfo::default(),
-                        duration: Duration::ZERO,
-                    },
-                }
-            };
-            collector.deliver(index, result);
-        });
+    fn queue_frame(&mut self, frame: &Frame) {
+        self.out.extend_from_slice(frame.to_json_line().as_bytes());
+        self.out.push(b'\n');
     }
 
-    let mut results = Vec::with_capacity(n);
-    let mut write_error: Option<std::io::Error> = None;
-    for index in 0..n {
-        let result = collector.take(index);
-        if write_error.is_none() {
-            let mut record = result.to_json_line();
-            record.push('\n');
-            if let Err(e) = writer
-                .write_all(record.as_bytes())
-                .and_then(|()| writer.flush())
+    fn out_pending(&self) -> usize {
+        self.out.len() - self.outpos
+    }
+
+    /// Cancels and purges a batch this connection will never stream
+    /// (client vanished): queued jobs are dropped, in-flight jobs see
+    /// the cancel flag, fairness lanes are freed.
+    fn abandon_stream(&mut self, ctx: &Ctx<'_>) {
+        if let Some(streaming) = self.streaming.take() {
+            streaming.cancel.store(true, Ordering::Relaxed);
+            let purged = ctx.scheduler.cancel_client(self.client) as u64;
+            ctx.state
+                .counters
+                .purged_jobs
+                .fetch_add(purged, Ordering::Relaxed);
+        }
+    }
+
+    /// One multiplexing step: read what's there, process requests,
+    /// pump stream results, flush what fits.
+    fn tick(&mut self, ctx: &Ctx<'_>, waker: &Arc<Waker>) -> TickResult {
+        let mut progressed = false;
+
+        // Read phase — runs even mid-stream so a vanished client is
+        // noticed by its EOF, not only by a write failure.
+        if !self.eof && !self.close_after_flush {
+            let mut buf = [0u8; 4096];
+            while self.inbuf.len() - self.inpos <= MAX_REQUEST_LINE {
+                match self.stream.read(&mut buf) {
+                    Ok(0) => {
+                        self.eof = true;
+                        break;
+                    }
+                    Ok(n) => {
+                        self.inbuf.extend_from_slice(&buf[..n]);
+                        progressed = true;
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                    Err(_) => {
+                        self.eof = true;
+                        break;
+                    }
+                }
+            }
+            // A single line may not exceed the cap; a pipelining client
+            // is merely left unread (backpressure), never disconnected.
+            if self.streaming.is_none()
+                && self.inbuf.len() - self.inpos > MAX_REQUEST_LINE
+                && !self.inbuf[self.inpos..].contains(&b'\n')
             {
-                cancel.store(true, Ordering::Relaxed);
-                write_error = Some(e);
+                self.queue_frame(&Frame::Error {
+                    message: format!("request line exceeds {MAX_REQUEST_LINE} bytes"),
+                });
+                self.close_after_flush = true;
             }
         }
-        results.push(result);
-    }
-    if let Some(e) = write_error {
-        return Err(e);
+
+        // Process phase — one request at a time; a batch in flight
+        // parks pipelined lines in the buffer until its summary is out.
+        while self.streaming.is_none() && !self.close_after_flush {
+            let Some(line) = self.take_line() else { break };
+            progressed = true;
+            let line = line.trim().to_string();
+            if line.is_empty() {
+                continue;
+            }
+            if ctx.state.shutdown.load(Ordering::Relaxed) {
+                // A draining server accepts nothing new, but stays
+                // polite: shutdown/ping still get their ack (so a
+                // concurrent `submit --shutdown` sees success),
+                // anything else gets an error frame.
+                let frame = match Request::parse(&line) {
+                    Ok(Request::Shutdown) => Frame::ShuttingDown,
+                    Ok(Request::Ping) => Frame::Pong,
+                    _ => Frame::Error {
+                        message: "server is shutting down".to_string(),
+                    },
+                };
+                self.queue_frame(&frame);
+                self.close_after_flush = true;
+                break;
+            }
+            match Request::parse(&line) {
+                Err(message) => self.queue_frame(&Frame::Error { message }),
+                Ok(Request::Ping) => self.queue_frame(&Frame::Pong),
+                Ok(Request::Shutdown) => {
+                    self.queue_frame(&Frame::ShuttingDown);
+                    ctx.state.shutdown.store(true, Ordering::Relaxed);
+                    self.close_after_flush = true;
+                }
+                Ok(Request::Batch(batch)) => {
+                    self.admit_batch(ctx, waker, &batch);
+                    progressed = true;
+                }
+            }
+        }
+
+        // Stream phase — move ready in-order results into the outbound
+        // buffer, then the summary trailer.
+        if let Some(streaming) = &mut self.streaming {
+            while streaming.next < streaming.total && self.out.len() - self.outpos < OUT_HIGH_WATER
+            {
+                let Some(result) = streaming.collector.try_take(streaming.next) else {
+                    break;
+                };
+                let mut record = result.to_json_line();
+                record.push('\n');
+                self.out.extend_from_slice(record.as_bytes());
+                streaming.results.push(result);
+                streaming.next += 1;
+                progressed = true;
+            }
+            if streaming.next == streaming.total {
+                let streaming = self.streaming.take().expect("streaming state");
+                self.finish_batch(ctx, streaming);
+                progressed = true;
+            }
+        }
+
+        // Flush phase.
+        while self.outpos < self.out.len() {
+            match self.stream.write(&self.out[self.outpos..]) {
+                Ok(0) => {
+                    self.eof = true;
+                    break;
+                }
+                Ok(n) => {
+                    self.outpos += n;
+                    self.last_write_progress = Instant::now();
+                    progressed = true;
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(_) => {
+                    self.eof = true;
+                    break;
+                }
+            }
+        }
+        if self.outpos == self.out.len() && self.outpos > 0 {
+            self.out.clear();
+            self.outpos = 0;
+        }
+
+        // Close decisions.
+        let flushed = self.out_pending() == 0;
+        let close = (self.eof && (self.streaming.is_some() || flushed || !self.has_line()))
+            || (self.close_after_flush && flushed && self.streaming.is_none())
+            || (!flushed && self.last_write_progress.elapsed() > WRITE_STALL)
+            || (ctx.state.shutdown.load(Ordering::Relaxed)
+                && self.streaming.is_none()
+                && flushed
+                && !self.has_line());
+        TickResult { progressed, close }
     }
 
-    let stats = EngineStats::from_results(&results);
-    let report = BatchReport {
-        results,
-        stats,
-        // Cache activity attributed to this batch; with concurrent
-        // connections the attribution is approximate (the counters are
-        // engine-wide), never the records.
-        cache: engine
-            .cache()
-            .map(|c| c.stats().since(cache_before))
-            .unwrap_or_default(),
-        wall: t0.elapsed(),
-        threads: engine.threads(),
-    };
-    write_frame(
-        writer,
-        &Frame::Summary {
-            summary: report.summary_value(),
-        },
+    /// Extracts the next complete request line from the inbound buffer.
+    fn take_line(&mut self) -> Option<String> {
+        let rest = &self.inbuf[self.inpos..];
+        let nl = rest.iter().position(|b| *b == b'\n')?;
+        let line = String::from_utf8_lossy(&rest[..nl]).into_owned();
+        self.inpos += nl + 1;
+        if self.inpos == self.inbuf.len() {
+            self.inbuf.clear();
+            self.inpos = 0;
+        }
+        Some(line)
+    }
+
+    fn has_line(&self) -> bool {
+        self.inbuf[self.inpos..].contains(&b'\n')
+    }
+
+    /// Resolves a batch request and submits its jobs to the scheduler;
+    /// on admission the connection enters streaming state, on rejection
+    /// it receives a `busy` frame and stays usable.
+    fn admit_batch(&mut self, ctx: &Ctx<'_>, waker: &Arc<Waker>, request: &BatchRequest) {
+        let options = request.flow_options(&FlowOptions::default());
+        let mut batch =
+            match load_spec_with_modes(&request.spec, &options, request.k, request.modes) {
+                Ok(batch) => batch,
+                Err(message) => return self.queue_frame(&Frame::Error { message }),
+            };
+        if let Some(n) = request.max_jobs {
+            batch.jobs.truncate(n);
+        }
+        let mut jobs = batch.jobs;
+        // The worker groups are shared by every connection — one worker
+        // per job, no intra-job fan-out on top (results are
+        // byte-identical either way).
+        for job in &mut jobs {
+            if job.options.intra_parallelism == 0 {
+                job.options.intra_parallelism = 1;
+            }
+        }
+        let n = jobs.len();
+        let t0 = Instant::now();
+        let cache_before = ctx.engine.cache().map(|c| c.stats()).unwrap_or_default();
+        let collector = Arc::new(Collector {
+            slots: Mutex::new((0..n).map(|_| None).collect()),
+            waker: Arc::clone(waker),
+        });
+        let cancel = Arc::new(AtomicBool::new(false));
+        let tasks: Vec<(u64, Box<dyn FnOnce() + Send>)> = jobs
+            .into_iter()
+            .enumerate()
+            .map(|(index, job)| {
+                let fingerprint = job.fingerprint();
+                let engine = Arc::clone(ctx.engine);
+                let collector = Arc::clone(&collector);
+                let cancel = Arc::clone(&cancel);
+                let state = Arc::clone(ctx.state);
+                let task: Box<dyn FnOnce() + Send> = Box::new(move || {
+                    let result = if cancel.load(Ordering::Relaxed) {
+                        JobResult {
+                            name: job.name.clone(),
+                            flow: job.flow,
+                            outcome: Err(JobError::engine("cancelled: client disconnected")),
+                            cache: JobCacheInfo::default(),
+                            duration: Duration::ZERO,
+                        }
+                    } else {
+                        // Counted here — not at admission — so the
+                        // operator's exit report only claims jobs that
+                        // actually ran.
+                        state.counters.jobs.fetch_add(1, Ordering::Relaxed);
+                        // A panic inside a flow is an engine bug, but in
+                        // a daemon it must degrade to one failed job:
+                        // without the catch the collector slot would
+                        // never be delivered and the batch would hang.
+                        let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            engine.execute_job(&job)
+                        }));
+                        match run {
+                            Ok(result) => result,
+                            Err(panic) => JobResult {
+                                name: job.name.clone(),
+                                flow: job.flow,
+                                outcome: Err(JobError::engine(format!(
+                                    "job panicked: {}",
+                                    panic_message(panic.as_ref())
+                                ))),
+                                cache: JobCacheInfo::default(),
+                                duration: Duration::ZERO,
+                            },
+                        }
+                    };
+                    collector.deliver(index, result);
+                });
+                (fingerprint, task)
+            })
+            .collect();
+        match ctx
+            .scheduler
+            .try_submit(self.client, request.priority, 1, tasks)
+        {
+            Ok(admitted) => {
+                ctx.state.counters.batches.fetch_add(1, Ordering::Relaxed);
+                self.queue_frame(&Frame::Accepted { jobs: n });
+                if admitted.ahead > 0 {
+                    self.queue_frame(&Frame::Queued {
+                        ahead: admitted.ahead,
+                    });
+                }
+                self.streaming = Some(Streaming {
+                    collector,
+                    cancel,
+                    next: 0,
+                    total: n,
+                    results: Vec::with_capacity(n),
+                    t0,
+                    cache_before,
+                });
+            }
+            Err(rejected) => {
+                ctx.state
+                    .counters
+                    .rejected_batches
+                    .fetch_add(1, Ordering::Relaxed);
+                self.queue_frame(&Frame::Busy {
+                    scope: "jobs".to_string(),
+                    queued: rejected.queued,
+                    capacity: rejected.capacity,
+                });
+            }
+        }
+    }
+
+    /// Builds and queues the summary trailer of a fully streamed batch.
+    fn finish_batch(&mut self, ctx: &Ctx<'_>, streaming: Streaming) {
+        let stats = EngineStats::from_results(&streaming.results);
+        let report = BatchReport {
+            results: streaming.results,
+            stats,
+            // Cache activity attributed to this batch; with concurrent
+            // connections the attribution is approximate (the counters
+            // are engine-wide), never the records.
+            cache: ctx
+                .engine
+                .cache()
+                .map(|c| c.stats().since(streaming.cache_before))
+                .unwrap_or_default(),
+            wall: streaming.t0.elapsed(),
+            threads: ctx.engine.threads(),
+        };
+        let mut summary = report.summary_value();
+        if let Value::Obj(members) = &mut summary {
+            members.push(("shards".to_string(), shard_stats_value(ctx.scheduler)));
+        }
+        self.queue_frame(&Frame::Summary { summary });
+    }
+}
+
+/// Per-shard scheduler counters as a JSON array for the summary frame.
+fn shard_stats_value(scheduler: &Scheduler) -> Value {
+    Value::Arr(
+        scheduler
+            .stats()
+            .into_iter()
+            .map(|s| {
+                ObjBuilder::new()
+                    .field("executed", s.executed)
+                    .field("purged", s.purged)
+                    .field("queued", s.queued)
+                    .field("peak_queued", s.peak_queued)
+                    .build()
+            })
+            .collect(),
     )
 }

@@ -107,7 +107,7 @@ fn read_exchange(reader: &mut BufReader<UnixStream>) -> (Vec<String>, Vec<Frame>
         match classify(line.trim_end()).unwrap() {
             ServerLine::Record(record) => records.push(record.to_string()),
             ServerLine::Frame(frame) => {
-                let terminal = !matches!(frame, Frame::Accepted { .. });
+                let terminal = !matches!(frame, Frame::Accepted { .. } | Frame::Queued { .. });
                 frames.push(frame);
                 if terminal {
                     return (records, frames);
@@ -158,6 +158,7 @@ fn batch_records_are_byte_identical_to_the_engine() {
     let reference_engine = Engine::new(EngineOptions {
         threads: 1,
         cache_dir: None,
+        ..Default::default()
     })
     .unwrap();
     let batch = load_spec(spec_str, &test_options(), 4).unwrap();
@@ -174,6 +175,7 @@ fn batch_records_are_byte_identical_to_the_engine() {
             threads: 2,
             cache_dir: None,
             max_connections: 4,
+            ..ServeOptions::default()
         },
     );
     let mut stream = server.connect();
@@ -270,6 +272,7 @@ fn connections_share_one_cache_and_stream_independently() {
             threads: 2,
             cache_dir: Some(root.join("cache")),
             max_connections: 4,
+            ..ServeOptions::default()
         },
     );
 
@@ -396,4 +399,238 @@ fn tcp_transport_works_too() {
     handle.shutdown();
     thread.join().unwrap().unwrap();
     let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn over_capacity_connection_gets_a_busy_frame_not_a_stall() {
+    let root = tmp_dir("busyconn");
+    let server = RunningServer::start(
+        &root,
+        ServeOptions {
+            max_connections: 1,
+            ..ServeOptions::default()
+        },
+    );
+
+    // Occupy the single slot (the ping proves the server registered us).
+    let mut first = server.connect();
+    let mut first_reader = BufReader::new(first.try_clone().unwrap());
+    send(&mut first, &Request::Ping);
+    let (_, frames) = read_exchange(&mut first_reader);
+    assert_eq!(frames, vec![Frame::Pong]);
+
+    // The excess connection is answered — one structured busy frame,
+    // then a close — instead of waiting silently for a slot.
+    let second = server.connect();
+    let mut second_reader = BufReader::new(second);
+    let mut line = String::new();
+    assert!(second_reader.read_line(&mut line).unwrap() > 0);
+    let ServerLine::Frame(Frame::Busy {
+        scope,
+        queued,
+        capacity,
+    }) = classify(line.trim_end()).unwrap()
+    else {
+        panic!("expected a busy frame, got {line:?}");
+    };
+    assert_eq!(scope, "connections");
+    assert_eq!(capacity, 1);
+    assert!(queued >= 1, "{queued}");
+    line.clear();
+    assert_eq!(second_reader.read_line(&mut line).unwrap(), 0, "then EOF");
+
+    // The admitted connection is unaffected.
+    send(&mut first, &Request::Ping);
+    let (_, frames) = read_exchange(&mut first_reader);
+    assert_eq!(frames, vec![Frame::Pong]);
+    drop(first);
+    drop(first_reader);
+    let report = server.stop();
+    assert_eq!(report.connections, 1);
+    assert_eq!(report.rejected_connections, 1);
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn over_quota_batch_bounces_busy_and_the_connection_stays_usable() {
+    let root = tmp_dir("busyjobs");
+    let spec = write_spec_dir(&root, 3);
+    let spec_str = spec.to_str().unwrap();
+    let server = RunningServer::start(
+        &root,
+        ServeOptions {
+            threads: 1,
+            workers: 1,
+            queue_depth: 2,
+            cache_dir: None,
+            ..ServeOptions::default()
+        },
+    );
+
+    let mut stream = server.connect();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    // Three jobs into a depth-2 queue: admission is batch-atomic, so
+    // the whole batch bounces with a busy frame (nothing half-runs).
+    send(&mut stream, &Request::Batch(test_request(spec_str)));
+    let (records, frames) = read_exchange(&mut reader);
+    assert!(records.is_empty());
+    let Frame::Busy {
+        scope, capacity, ..
+    } = &frames[0]
+    else {
+        panic!("expected busy, got {frames:?}");
+    };
+    assert_eq!(scope, "jobs");
+    assert_eq!(*capacity, 2);
+
+    // A batch that fits is admitted on the very same connection.
+    let mut request = test_request(spec_str);
+    request.max_jobs = Some(2);
+    request.priority = 3;
+    send(&mut stream, &Request::Batch(request));
+    let (records, frames) = read_exchange(&mut reader);
+    assert_eq!(frames[0], Frame::Accepted { jobs: 2 });
+    assert_eq!(records.len(), 2);
+    assert!(matches!(frames.last(), Some(Frame::Summary { .. })));
+
+    let report = server.stop();
+    assert_eq!(report.rejected_batches, 1);
+    assert_eq!(report.batches, 1);
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn a_disconnecting_client_has_its_queued_jobs_purged() {
+    let root = tmp_dir("discon");
+    let spec = write_spec_dir(&root, 4);
+    let spec_str = spec.to_str().unwrap();
+    let server = RunningServer::start(
+        &root,
+        ServeOptions {
+            threads: 1,
+            workers: 1,
+            cache_dir: None,
+            ..ServeOptions::default()
+        },
+    );
+
+    // Submit four slow jobs to the single worker, then vanish without
+    // reading a byte: the server must cancel, purge the queue, and not
+    // burn the worker on results nobody will read.
+    {
+        let mut stream = server.connect();
+        send(&mut stream, &Request::Batch(test_request(spec_str)));
+        // dropped here: EOF mid-batch
+    }
+
+    // The server stays fully usable for the next client, and its
+    // summary's shard stats show the purge (and an empty queue).
+    let mut stream = server.connect();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut request = test_request(spec_str);
+    request.max_jobs = Some(1);
+    send(&mut stream, &Request::Batch(request));
+    let (records, frames) = read_exchange(&mut reader);
+    assert_eq!(records.len(), 1);
+    let Frame::Summary { summary } = frames.last().unwrap() else {
+        panic!("expected summary, got {frames:?}");
+    };
+    let shards = summary
+        .get("shards")
+        .and_then(|v| v.as_arr())
+        .expect("summary carries per-shard stats");
+    let purged: usize = shards
+        .iter()
+        .map(|s| s.get("purged").and_then(|v| v.as_usize()).unwrap_or(0))
+        .sum();
+    let queued: usize = shards
+        .iter()
+        .map(|s| s.get("queued").and_then(|v| v.as_usize()).unwrap_or(0))
+        .sum();
+    assert!(purged >= 1, "disconnect purged queued jobs: {summary:?}");
+    assert_eq!(queued, 0, "no ghost jobs left queued: {summary:?}");
+
+    drop(stream);
+    drop(reader);
+    let report = server.stop();
+    assert_eq!(report.purged_jobs as usize, purged);
+    assert!(
+        (report.jobs as usize) + purged >= 5,
+        "every admitted job either ran or was purged: {report:?}"
+    );
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn concurrent_clients_all_get_reference_byte_streams() {
+    let root = tmp_dir("storm");
+    let spec = write_spec_dir(&root, 2);
+    let spec_str = spec.to_str().unwrap().to_string();
+
+    let reference_engine = Engine::new(EngineOptions {
+        threads: 1,
+        cache_dir: None,
+        ..Default::default()
+    })
+    .unwrap();
+    let batch = load_spec(&spec_str, &test_options(), 4).unwrap();
+    let expected: Vec<String> = reference_engine
+        .run(batch.jobs)
+        .results
+        .iter()
+        .map(mm_engine::JobResult::to_json_line)
+        .collect();
+
+    let server = RunningServer::start(
+        &root,
+        ServeOptions {
+            threads: 2,
+            workers: 2,
+            cache_dir: Some(root.join("cache")),
+            ..ServeOptions::default()
+        },
+    );
+
+    // Four clients, two rounds each, all interleaving on the shared
+    // scheduler: every stream must still be the reference bytes, in
+    // order, per connection.
+    let clients: Vec<_> = (0..4)
+        .map(|i| {
+            let socket = server.socket.clone();
+            let spec = spec_str.clone();
+            std::thread::spawn(move || {
+                let mut stream = UnixStream::connect(socket).unwrap();
+                let mut reader = BufReader::new(stream.try_clone().unwrap());
+                let mut streams = Vec::new();
+                for _ in 0..2 {
+                    let mut request = test_request(&spec);
+                    request.priority = 1 + (i % 3) as u8;
+                    send_unix(&mut stream, &Request::Batch(request));
+                    let (records, frames) = read_exchange(&mut reader);
+                    assert!(matches!(frames.last(), Some(Frame::Summary { .. })));
+                    streams.push(records);
+                }
+                streams
+            })
+        })
+        .collect();
+    for client in clients {
+        for records in client.join().unwrap() {
+            assert_eq!(records, expected, "contended stream == reference bytes");
+        }
+    }
+
+    let report = server.stop();
+    assert_eq!(report.batches, 8);
+    assert_eq!(report.jobs, 16);
+    assert_eq!(report.purged_jobs, 0);
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+/// `send` for threads that own their stream (no helper borrow games).
+fn send_unix(stream: &mut UnixStream, request: &Request) {
+    let mut line = request.to_json_line();
+    line.push('\n');
+    stream.write_all(line.as_bytes()).unwrap();
+    stream.flush().unwrap();
 }

@@ -50,6 +50,7 @@ fn three_mode_combined_flow_end_to_end() {
     let engine = Engine::new(EngineOptions {
         threads: 1,
         cache_dir: None,
+        ..Default::default()
     })
     .unwrap();
     let report = engine.run(vec![Job {
