@@ -799,6 +799,95 @@ impl ContentionPerf {
     }
 }
 
+/// The chaos section of the serve benchmark: the same workload under
+/// armed fault points (torn cache writes, failing reads, worker panics,
+/// stalls, dropped connections), with retrying clients. Proves the
+/// robustness contract end to end: no record is lost or duplicated,
+/// surviving records are byte-identical to a fault-free run, the SLO
+/// admission controller sheds priority 0 before priority 9, and the
+/// store recovers once faults are disarmed.
+#[derive(Debug, Clone)]
+pub struct ChaosPerf {
+    /// The deterministic fault spec the storm server armed.
+    pub fault_spec: String,
+    /// Concurrent retrying clients in the storm.
+    pub storm_clients: usize,
+    /// Completed batches across all storm clients.
+    pub storm_batches: usize,
+    /// Records each batch must deliver.
+    pub records_expected: usize,
+    /// Reference records that never arrived in some batch.
+    pub records_lost: usize,
+    /// Records that arrived more than once in some batch.
+    pub records_duplicated: usize,
+    /// Every completed batch matched the fault-free reference bytes, in
+    /// order.
+    pub parity_ok: bool,
+    /// Submissions the clients retried (dropped connections, busy
+    /// frames) before their batches completed.
+    pub client_retries: u64,
+    /// Fault-point firings during the storm — proof the faults were
+    /// armed and actually hit.
+    pub faults_fired: u64,
+    /// Panicking job executions the server retried to success.
+    pub panic_retries: u64,
+    /// Queued jobs purged after injected connection drops.
+    pub purged_jobs: u64,
+    /// Jobs the watchdog declared stuck.
+    pub timed_out_jobs: u64,
+    /// Corrupted cache entries quarantined (and recomputed) during the
+    /// storm, summed from the batch summaries.
+    pub quarantined: u64,
+    /// Priority-0 probes shed by the SLO controller (must be > 0).
+    pub shed_low_priority: u64,
+    /// Priority-9 probes shed by the SLO controller (must be 0).
+    pub shed_high_priority: u64,
+    /// The p95 the shedding `busy` frame reported, milliseconds.
+    pub slo_observed_p95_ms: f64,
+    /// After disarming, a fresh server over the stormed cache produced
+    /// the reference bytes again.
+    pub recovered_after_disarm: bool,
+}
+
+impl ChaosPerf {
+    /// The CI gate: faults fired, nothing was lost or duplicated, bytes
+    /// matched, priority 0 was shed while priority 9 rode through, and
+    /// the store recovered.
+    #[must_use]
+    pub fn ok(&self) -> bool {
+        self.faults_fired > 0
+            && self.records_lost == 0
+            && self.records_duplicated == 0
+            && self.parity_ok
+            && self.shed_low_priority > 0
+            && self.shed_high_priority == 0
+            && self.recovered_after_disarm
+    }
+
+    fn json(&self) -> mm_engine::json::Value {
+        ObjBuilder::new()
+            .field("fault_spec", self.fault_spec.as_str())
+            .field("storm_clients", self.storm_clients)
+            .field("storm_batches", self.storm_batches)
+            .field("records_expected", self.records_expected)
+            .field("records_lost", self.records_lost)
+            .field("records_duplicated", self.records_duplicated)
+            .field("parity_ok", self.parity_ok)
+            .field("client_retries", self.client_retries)
+            .field("faults_fired", self.faults_fired)
+            .field("panic_retries", self.panic_retries)
+            .field("purged_jobs", self.purged_jobs)
+            .field("timed_out_jobs", self.timed_out_jobs)
+            .field("quarantined", self.quarantined)
+            .field("shed_low_priority", self.shed_low_priority)
+            .field("shed_high_priority", self.shed_high_priority)
+            .field("slo_observed_p95_ms", round2(self.slo_observed_p95_ms))
+            .field("recovered_after_disarm", self.recovered_after_disarm)
+            .field("ok", self.ok())
+            .build()
+    }
+}
+
 /// The serve benchmark report.
 #[derive(Debug, Clone)]
 pub struct ServePerf {
@@ -824,6 +913,8 @@ pub struct ServePerf {
     pub parity_ok: bool,
     /// The multi-client contention storm.
     pub contention: ContentionPerf,
+    /// The fault-injection storm and SLO-shedding section.
+    pub chaos: ChaosPerf,
 }
 
 impl ServePerf {
@@ -842,6 +933,7 @@ impl ServePerf {
             .field("warm_speedup", round2(self.warm_speedup))
             .field("parity_ok", self.parity_ok)
             .field("contention", self.contention.json())
+            .field("chaos", self.chaos.json())
             .build()
             .to_json()
     }
@@ -946,6 +1038,10 @@ pub fn serve_perf(config: &PerfConfig) -> ServePerf {
         .join()
         .expect("server thread")
         .expect("server drains");
+
+    // The chaos section runs last so its armed fault points can never
+    // leak into the timed cold/warm/contention measurements above.
+    let chaos = chaos_storm(config, &root, &request, &reference);
     let _ = std::fs::remove_dir_all(&root);
 
     ServePerf {
@@ -958,6 +1054,221 @@ pub fn serve_perf(config: &PerfConfig) -> ServePerf {
         warm_speedup: cold_wall_ms / warm_wall_ms.max(1e-9),
         parity_ok,
         contention,
+        chaos,
+    }
+}
+
+/// The spec the chaos storm arms: every fault point live at once, rates
+/// low enough that retries (8 per job, 40 per submission) recover every
+/// batch, stalls far below the 30 s default deadline.
+const CHAOS_FAULT_SPEC: &str = "seed=3405,cache_read_io=0.05,cache_write_partial=0.05,\
+worker_panic=0.2,job_stall=0.1,conn_drop=0.25,stall_ms=5";
+
+/// The fault-injection storm behind the `chaos` section: retrying
+/// clients against a fault-armed server, then an SLO-shedding probe,
+/// then a disarmed recovery pass over the stormed cache.
+fn chaos_storm(
+    config: &PerfConfig,
+    root: &std::path::Path,
+    request: &mm_engine::protocol::BatchRequest,
+    reference: &[String],
+) -> ChaosPerf {
+    use mm_engine::faultpoint;
+
+    let storm_clients = 2usize;
+    let rounds = config.reps.max(2);
+    let cache_dir = root.join("chaos-cache");
+
+    let start_server = |listen: &mm_serve::Listen, options: &mm_serve::ServeOptions| {
+        let server = mm_serve::Server::bind(listen, options).expect("chaos server binds");
+        let handle = server.handle();
+        let thread = std::thread::spawn(move || server.run());
+        (handle, thread)
+    };
+    let stop_server = |handle: mm_serve::ServerHandle,
+                       thread: std::thread::JoinHandle<std::io::Result<mm_serve::ServeReport>>|
+     -> mm_serve::ServeReport {
+        handle.shutdown();
+        thread
+            .join()
+            .expect("chaos server thread")
+            .expect("chaos server drains")
+    };
+
+    // Phase 1: the storm. Every fault point armed, two retrying clients.
+    let listen = mm_serve::Listen::Unix(root.join("chaos.sock"));
+    let (handle, thread) = start_server(
+        &listen,
+        &mm_serve::ServeOptions {
+            threads: config.threads,
+            cache_dir: Some(cache_dir.clone()),
+            max_connections: 16,
+            fault_spec: Some(CHAOS_FAULT_SPEC.to_string()),
+            ..mm_serve::ServeOptions::default()
+        },
+    );
+
+    struct StormRun {
+        batches: usize,
+        lost: usize,
+        duplicated: usize,
+        parity_ok: bool,
+        retries: u64,
+        quarantined: u64,
+    }
+    let mut runs: Vec<StormRun> = Vec::with_capacity(storm_clients);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..storm_clients)
+            .map(|_| {
+                let listen = &listen;
+                scope.spawn(move || {
+                    let mut client = mm_serve::Client::connect(listen).expect("chaos connect");
+                    let mut run = StormRun {
+                        batches: 0,
+                        lost: 0,
+                        duplicated: 0,
+                        parity_ok: true,
+                        retries: 0,
+                        quarantined: 0,
+                    };
+                    for _ in 0..rounds {
+                        let mut records = Vec::with_capacity(reference.len());
+                        let outcome = client
+                            .submit_with_retries(request, 40, |record| {
+                                records.push(record.to_string());
+                                Ok(())
+                            })
+                            .expect("chaos exchange")
+                            .expect("chaos batch accepted");
+                        run.batches += 1;
+                        run.retries += u64::from(outcome.retries);
+                        run.quarantined += outcome
+                            .summary
+                            .get("cache")
+                            .and_then(|c| c.get("quarantined"))
+                            .and_then(mm_engine::json::Value::as_u64)
+                            .unwrap_or(0);
+                        run.parity_ok &= records == reference;
+                        // Lost/duplicated accounting by record identity,
+                        // independent of ordering.
+                        for expected in reference {
+                            let n = records.iter().filter(|r| *r == expected).count();
+                            run.lost += usize::from(n == 0);
+                            run.duplicated += n.saturating_sub(1);
+                        }
+                    }
+                    run
+                })
+            })
+            .collect();
+        for h in handles {
+            runs.push(h.join().expect("chaos client"));
+        }
+    });
+    let faults_fired = faultpoint::ALL_POINTS
+        .iter()
+        .map(|p| faultpoint::fired_count(p))
+        .sum();
+    let report = stop_server(handle, thread);
+    faultpoint::disarm();
+
+    // Phase 2: SLO shedding on a fresh server with an impossible SLO.
+    // The priming batch is admitted (empty latency window), then a
+    // priority-0 probe must bounce with the observed p95 while a
+    // priority-9 probe rides through.
+    let slo_listen = mm_serve::Listen::Unix(root.join("chaos-slo.sock"));
+    let (slo_handle, slo_thread) = start_server(
+        &slo_listen,
+        &mm_serve::ServeOptions {
+            threads: config.threads,
+            cache_dir: Some(cache_dir.clone()),
+            max_connections: 16,
+            slo_ms: Some(0.001),
+            ..mm_serve::ServeOptions::default()
+        },
+    );
+    let mut shed_low = 0u64;
+    let mut shed_high = 0u64;
+    let mut observed_p95 = 0.0f64;
+    {
+        let mut client = mm_serve::Client::connect(&slo_listen).expect("slo connect");
+        let mut prime = request.clone();
+        prime.priority = mm_engine::protocol::MAX_PRIORITY;
+        for _ in 0..2 {
+            client
+                .submit(&prime, |_| Ok(()))
+                .expect("slo priming exchange")
+                .expect("slo priming admitted");
+        }
+        // The last latency sample lands right after the summary; give
+        // the worker its instant to note it.
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        let mut low = request.clone();
+        low.priority = 0;
+        match client.submit(&low, |_| Ok(())).expect("slo p0 exchange") {
+            Err(mm_serve::Rejection::Busy {
+                scope,
+                p95_ms: Some(p95),
+                ..
+            }) if scope == "slo" => {
+                shed_low += 1;
+                observed_p95 = p95;
+            }
+            _ => {}
+        }
+        let mut high = request.clone();
+        high.priority = mm_engine::protocol::MAX_PRIORITY;
+        match client.submit(&high, |_| Ok(())).expect("slo p9 exchange") {
+            Ok(_) => {}
+            Err(_) => shed_high += 1,
+        }
+    }
+    stop_server(slo_handle, slo_thread);
+
+    // Phase 3: recovery. Faults disarmed, a fresh server over the
+    // stormed cache must stream the reference bytes again.
+    let recover_listen = mm_serve::Listen::Unix(root.join("chaos-recover.sock"));
+    let (recover_handle, recover_thread) = start_server(
+        &recover_listen,
+        &mm_serve::ServeOptions {
+            threads: config.threads,
+            cache_dir: Some(cache_dir),
+            max_connections: 16,
+            ..mm_serve::ServeOptions::default()
+        },
+    );
+    let recovered = {
+        let mut client = mm_serve::Client::connect(&recover_listen).expect("recovery connect");
+        let mut records = Vec::with_capacity(reference.len());
+        client
+            .submit(request, |record| {
+                records.push(record.to_string());
+                Ok(())
+            })
+            .expect("recovery exchange")
+            .expect("recovery batch accepted");
+        records == reference
+    };
+    stop_server(recover_handle, recover_thread);
+
+    ChaosPerf {
+        fault_spec: CHAOS_FAULT_SPEC.to_string(),
+        storm_clients,
+        storm_batches: runs.iter().map(|r| r.batches).sum(),
+        records_expected: reference.len(),
+        records_lost: runs.iter().map(|r| r.lost).sum(),
+        records_duplicated: runs.iter().map(|r| r.duplicated).sum(),
+        parity_ok: runs.iter().all(|r| r.parity_ok),
+        client_retries: runs.iter().map(|r| r.retries).sum(),
+        faults_fired,
+        panic_retries: report.panic_retries,
+        purged_jobs: report.purged_jobs,
+        timed_out_jobs: report.timed_out_jobs,
+        quarantined: runs.iter().map(|r| r.quarantined).sum(),
+        shed_low_priority: shed_low,
+        shed_high_priority: shed_high,
+        slo_observed_p95_ms: observed_p95,
+        recovered_after_disarm: recovered,
     }
 }
 
@@ -1290,6 +1601,11 @@ pub fn sta_perf(config: &PerfConfig) -> StaPerf {
 mod tests {
     use super::*;
 
+    /// The serve smoke arms the process-global fault registry for its
+    /// chaos phase; every test that touches a stage cache serializes on
+    /// this lock so injected cache faults cannot leak across tests.
+    static FAULT_SENSITIVE: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
     #[test]
     fn router_perf_smoke_reports_plausible_numbers() {
         let perf = router_perf(&PerfConfig {
@@ -1330,6 +1646,7 @@ mod tests {
 
     #[test]
     fn serve_perf_smoke_roundtrips_over_a_real_socket() {
+        let _lock = FAULT_SENSITIVE.lock().unwrap_or_else(|e| e.into_inner());
         let perf = serve_perf(&PerfConfig {
             smoke: true,
             reps: 1,
@@ -1339,6 +1656,13 @@ mod tests {
         assert_eq!(perf.jobs, 4);
         assert!(perf.cold_wall_ms > 0.0 && perf.warm_wall_ms > 0.0);
         assert!(perf.warm_jobs_per_sec > 0.0);
+        assert!(
+            perf.chaos.ok(),
+            "chaos storm must survive with zero lost/duplicated records, \
+             SLO shedding p0 before p9 and a clean recovery: {:?}",
+            perf.chaos
+        );
+        assert!(perf.chaos.faults_fired > 0, "the storm must actually fault");
         assert!(
             mm_engine::json::parse(&perf.to_json()).is_ok(),
             "report must be valid JSON"
@@ -1372,6 +1696,7 @@ mod tests {
 
     #[test]
     fn flow_perf_smoke_exercises_cache_and_pair_sharing() {
+        let _lock = FAULT_SENSITIVE.lock().unwrap_or_else(|e| e.into_inner());
         let perf = flow_perf(&PerfConfig {
             smoke: true,
             reps: 1,

@@ -101,9 +101,24 @@ SERVE OPTIONS:
   --no-cache            disable the stage cache
   --max-connections <N> concurrent connections; excess clients get a
                         busy frame and are closed (default 8)
+  --slo-ms <MS>         p95 batch-latency SLO; once a shard's observed
+                        p95 exceeds it, low-priority batches are shed
+                        with a busy frame carrying the p95 (priority 9
+                        is never shed; default: off)
+  --deadline-ms <MS>    per-job execution deadline; a stuck job is
+                        answered with a structured timeout record while
+                        the shard keeps serving (default 30000, 0 = off)
+  --fault-spec <SPEC>   arm deterministic fault injection, e.g.
+                        seed=7,worker_panic=0.1,conn_drop=0.05; points:
+                        cache_read_io cache_write_partial worker_panic
+                        job_stall conn_drop (bare name = always fire)
 
 SUBMIT OPTIONS:
-  --connect <ADDR>  the service address (required)
+  --connect <ADDR>  the service address (required); connection attempts
+                    time out after 10 s with a structured error
+  --retries <N>     resubmit up to N times on busy frames or dropped
+                    connections, with jittered exponential backoff;
+                    records stream exactly once (default 0)
   -k <N>            LUT width for directory BLIFs and generated suites
   --modes <N>       modes per problem for generated suites
   --jobs <N>        only run the first N jobs of the batch
@@ -119,7 +134,11 @@ BENCH OPTIONS:
   --json           write BENCH_router.json, BENCH_place.json,
                    BENCH_flow.json, BENCH_serve.json and BENCH_sta.json
   --out-dir <DIR>  where to write them (default .)
+  --suite <S>      run one workload: router|place|flow|serve|sta|chaos
+                   (default all; chaos runs the serve workload, whose
+                   report carries the fault-injection storm section)
   --smoke          tiny CI-sized workload
+  --quick          alias for --smoke
   --reps <N>       timed repetitions per measurement
   --threads <N>    worker threads for the flow/serve workloads
                    (default: one per CPU); recorded in every report
@@ -553,6 +572,13 @@ fn cmd_serve(args: &[String]) -> Result<(), Box<dyn Error>> {
             "--max-connections" => {
                 options.max_connections = next_value(&mut it, "--max-connections")?.parse()?;
             }
+            "--slo-ms" => options.slo_ms = Some(next_value(&mut it, "--slo-ms")?.parse()?),
+            "--deadline-ms" => {
+                options.deadline_ms = next_value(&mut it, "--deadline-ms")?.parse()?
+            }
+            "--fault-spec" => {
+                options.fault_spec = Some(next_value(&mut it, "--fault-spec")?.clone());
+            }
             other => return Err(format!("unknown serve option '{other}'").into()),
         }
     }
@@ -573,17 +599,33 @@ fn cmd_serve(args: &[String]) -> Result<(), Box<dyn Error>> {
             .map_or("disabled".to_string(), |d| d.display().to_string()),
         options.max_connections,
     );
+    if let Some(slo) = options.slo_ms {
+        eprintln!("serve: shedding low-priority batches above a {slo} ms p95 SLO");
+    }
+    if options.deadline_ms > 0 {
+        eprintln!(
+            "serve: {} ms per-job deadline watchdog",
+            options.deadline_ms
+        );
+    }
+    if let Some(spec) = &options.fault_spec {
+        eprintln!("serve: FAULT INJECTION ARMED ({spec})");
+    }
     eprintln!("serve: send {{\"cmd\":\"shutdown\"}} (mmflow submit --shutdown) to drain and exit");
     let report = server.run()?;
     eprintln!(
         "serve: drained — {} connections, {} batches, {} jobs \
-         ({} connections and {} batches rejected busy, {} jobs purged)",
+         ({} connections and {} batches rejected busy, {} batches shed over SLO, \
+         {} jobs purged, {} timed out, {} panicking executions retried)",
         report.connections,
         report.batches,
         report.jobs,
         report.rejected_connections,
         report.rejected_batches,
+        report.shed_batches,
         report.purged_jobs,
+        report.timed_out_jobs,
+        report.panic_retries,
     );
     Ok(())
 }
@@ -605,6 +647,7 @@ fn cmd_submit(args: &[String]) -> Result<(), Box<dyn Error>> {
     let mut max_iterations: Option<usize> = None;
     let mut max_width: Option<usize> = None;
     let mut priority: Option<u8> = None;
+    let mut retries = 0u32;
 
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -612,6 +655,7 @@ fn cmd_submit(args: &[String]) -> Result<(), Box<dyn Error>> {
             "--connect" => connect = Some(next_value(&mut it, "--connect")?.clone()),
             "--out" => out_path = Some(next_value(&mut it, "--out")?.clone()),
             "--shutdown" => shutdown = true,
+            "--retries" => retries = next_value(&mut it, "--retries")?.parse()?,
             "-k" => k = Some(next_value(&mut it, "-k")?.parse()?),
             "--modes" => modes = Some(next_value(&mut it, "--modes")?.parse()?),
             "--jobs" => max_jobs = Some(next_value(&mut it, "--jobs")?.parse()?),
@@ -663,9 +707,15 @@ fn cmd_submit(args: &[String]) -> Result<(), Box<dyn Error>> {
             Some(path) => Box::new(std::io::BufWriter::new(std::fs::File::create(path)?)),
             None => Box::new(std::io::stdout()),
         };
-        match client.submit(&request, |record| writeln!(sink, "{record}"))? {
+        match client.submit_with_retries(&request, retries, |record| writeln!(sink, "{record}"))? {
             Ok(outcome) => {
                 eprintln!("submit: {} jobs accepted", outcome.accepted);
+                if outcome.retries > 0 {
+                    eprintln!(
+                        "submit: succeeded after {} retried submission(s)",
+                        outcome.retries
+                    );
+                }
                 if outcome.queued_ahead > 0 {
                     eprintln!("submit: {} jobs were queued ahead", outcome.queued_ahead);
                 }
@@ -695,6 +745,7 @@ fn cmd_bench(args: &[String]) -> Result<(), Box<dyn Error>> {
 
     let mut json = false;
     let mut smoke = false;
+    let mut suite = "all".to_string();
     let mut reps: Option<usize> = None;
     let mut threads = 0usize;
     let mut out_dir = std::path::PathBuf::from(".");
@@ -702,147 +753,197 @@ fn cmd_bench(args: &[String]) -> Result<(), Box<dyn Error>> {
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--json" => json = true,
-            "--smoke" => smoke = true,
+            "--smoke" | "--quick" => smoke = true,
+            "--suite" => suite = next_value(&mut it, "--suite")?.clone(),
             "--reps" => reps = Some(next_value(&mut it, "--reps")?.parse()?),
             "--threads" => threads = next_value(&mut it, "--threads")?.parse()?,
             "--out-dir" => out_dir = next_value(&mut it, "--out-dir")?.into(),
             other => return Err(format!("unknown bench option '{other}'").into()),
         }
     }
+    let known = ["all", "router", "place", "flow", "serve", "sta", "chaos"];
+    if !known.contains(&suite.as_str()) {
+        return Err(format!("unknown bench suite '{suite}' (one of {})", known.join("|")).into());
+    }
+    let runs = |name: &str| suite == "all" || suite == name;
+    // The chaos phases live inside the serve workload, so `--suite
+    // chaos` runs the serve benchmark (its report carries the `chaos`
+    // section either way).
+    let run_serve = runs("serve") || suite == "chaos";
     let mut config = PerfConfig::new(smoke);
     if let Some(r) = reps {
         config.reps = r;
     }
     config.threads = threads;
 
-    eprintln!(
-        "bench: router workload ({}) ...",
-        if smoke { "smoke" } else { "full" }
-    );
-    let router = router_perf(&config);
-    eprintln!(
-        "  router: baseline {:.2} ms, optimized {:.2} ms → {:.2}x \
-         ({:.1} routes/s, parity {})",
-        router.baseline_ms,
-        router.optimized_ms,
-        router.speedup,
-        router.optimized_ops_per_sec,
-        if router.parity_ok { "ok" } else { "FAILED" },
-    );
-    eprintln!("bench: placer workload ...");
-    let place = placer_perf(&config);
-    for run in [&place.hybrid, &place.wirelength] {
-        eprintln!(
-            "  placer[{}]: baseline {:.2} ms, optimized {:.2} ms → {:.2}x \
-             ({:.0} moves/s vs {:.0} moves/s, parity {})",
-            run.cost,
-            run.baseline_ms,
-            run.optimized_ms,
-            run.speedup,
-            run.baseline_moves_per_sec,
-            run.optimized_moves_per_sec,
-            if run.parity_ok { "ok" } else { "FAILED" },
-        );
-    }
-    eprintln!("bench: flow workload ...");
-    let flow = flow_perf(&config);
-    eprintln!(
-        "  flow: cold {:.2} ms, warm {:.2} ms → {:.2}x; warm stages recomputed {}, \
-         pair shared {} placement legs from plain jobs",
-        flow.cold_wall_ms,
-        flow.warm_wall_ms,
-        flow.warm_speedup,
-        flow.warm_stages_recomputed,
-        flow.pair_placement_hits_from_plain_jobs,
-    );
-    eprintln!(
-        "  flow[{}-mode]: cold {:.2} ms ({:.1} jobs/s), warm {:.2} ms → {:.2}x; \
-         warm stages recomputed {}, N=2 parity {}",
-        flow.nmodes.modes,
-        flow.nmodes.cold_wall_ms,
-        flow.nmodes.cold_jobs_per_sec,
-        flow.nmodes.warm_wall_ms,
-        flow.nmodes.warm_speedup,
-        flow.nmodes.warm_stages_recomputed,
-        if flow.nmodes.parity_ok {
-            "ok"
-        } else {
-            "FAILED"
-        },
-    );
-    eprintln!("bench: serve workload (real unix socket) ...");
-    let serve = serve_perf(&config);
-    eprintln!(
-        "  serve: cold {:.2} ms ({:.1} jobs/s), warm {:.2} ms ({:.1} jobs/s) → {:.2}x; \
-         stream parity {}",
-        serve.cold_wall_ms,
-        serve.cold_jobs_per_sec,
-        serve.warm_wall_ms,
-        serve.warm_jobs_per_sec,
-        serve.warm_speedup,
-        if serve.parity_ok { "ok" } else { "FAILED" },
-    );
-    eprintln!("bench: sta workload ...");
-    let sta = sta_perf(&config);
-    eprintln!(
-        "  sta: incremental {:.2} us/update vs reference {:.2} us/update → {:.2}x \
-         (parity {})",
-        sta.incremental_us_per_update,
-        sta.reference_us_per_update,
-        sta.incremental_speedup,
-        if sta.parity_ok { "ok" } else { "FAILED" },
-    );
-    eprintln!(
-        "  sta[flow, {} modes]: critical path {:.0} → {:.0} ({:.2}x), \
-         wires {} → {} ({:.2}x)",
-        sta.flow.modes,
-        sta.flow.baseline_critical_path,
-        sta.flow.timing_critical_path,
-        sta.flow.critical_path_ratio,
-        sta.flow.baseline_wires,
-        sta.flow.timing_wires,
-        sta.flow.wires_ratio,
-    );
-    if !router.parity_ok || !router.routed {
-        return Err("router benchmark failed its parity/routability sanity checks".into());
-    }
-    if !place.parity_ok() {
-        return Err("placer benchmark failed its parity sanity checks".into());
-    }
-    if !flow.nmodes.parity_ok {
-        return Err("flow benchmark: run_combined_n(N=2) diverged from run_pair".into());
-    }
-    if !serve.parity_ok {
-        return Err("serve benchmark streamed different bytes than the engine".into());
-    }
-    if !sta.parity_ok {
-        return Err("sta benchmark: incremental analysis diverged from the reference".into());
-    }
-    if !sta.flow.improved {
-        return Err(
-            "sta benchmark: timing-driven flow did not beat the baseline critical path".into(),
-        );
-    }
+    let mut wrote = Vec::new();
     if json {
         std::fs::create_dir_all(&out_dir)?;
-        let router_path = out_dir.join("BENCH_router.json");
-        let place_path = out_dir.join("BENCH_place.json");
-        let flow_path = out_dir.join("BENCH_flow.json");
-        let serve_path = out_dir.join("BENCH_serve.json");
-        let sta_path = out_dir.join("BENCH_sta.json");
-        std::fs::write(&router_path, router.to_json() + "\n")?;
-        std::fs::write(&place_path, place.to_json() + "\n")?;
-        std::fs::write(&flow_path, flow.to_json() + "\n")?;
-        std::fs::write(&serve_path, serve.to_json() + "\n")?;
-        std::fs::write(&sta_path, sta.to_json() + "\n")?;
+    }
+    let mut write_json = |name: &str, text: String| -> std::io::Result<()> {
+        if json {
+            let path = out_dir.join(name);
+            std::fs::write(&path, text + "\n")?;
+            wrote.push(path.display().to_string());
+        }
+        Ok(())
+    };
+
+    if runs("router") {
         eprintln!(
-            "wrote {}, {}, {}, {} and {}",
-            router_path.display(),
-            place_path.display(),
-            flow_path.display(),
-            serve_path.display(),
-            sta_path.display()
+            "bench: router workload ({}) ...",
+            if smoke { "smoke" } else { "full" }
         );
+        let router = router_perf(&config);
+        eprintln!(
+            "  router: baseline {:.2} ms, optimized {:.2} ms → {:.2}x \
+             ({:.1} routes/s, parity {})",
+            router.baseline_ms,
+            router.optimized_ms,
+            router.speedup,
+            router.optimized_ops_per_sec,
+            if router.parity_ok { "ok" } else { "FAILED" },
+        );
+        if !router.parity_ok || !router.routed {
+            return Err("router benchmark failed its parity/routability sanity checks".into());
+        }
+        write_json("BENCH_router.json", router.to_json())?;
+    }
+    if runs("place") {
+        eprintln!("bench: placer workload ...");
+        let place = placer_perf(&config);
+        for run in [&place.hybrid, &place.wirelength] {
+            eprintln!(
+                "  placer[{}]: baseline {:.2} ms, optimized {:.2} ms → {:.2}x \
+                 ({:.0} moves/s vs {:.0} moves/s, parity {})",
+                run.cost,
+                run.baseline_ms,
+                run.optimized_ms,
+                run.speedup,
+                run.baseline_moves_per_sec,
+                run.optimized_moves_per_sec,
+                if run.parity_ok { "ok" } else { "FAILED" },
+            );
+        }
+        if !place.parity_ok() {
+            return Err("placer benchmark failed its parity sanity checks".into());
+        }
+        write_json("BENCH_place.json", place.to_json())?;
+    }
+    if runs("flow") {
+        eprintln!("bench: flow workload ...");
+        let flow = flow_perf(&config);
+        eprintln!(
+            "  flow: cold {:.2} ms, warm {:.2} ms → {:.2}x; warm stages recomputed {}, \
+             pair shared {} placement legs from plain jobs",
+            flow.cold_wall_ms,
+            flow.warm_wall_ms,
+            flow.warm_speedup,
+            flow.warm_stages_recomputed,
+            flow.pair_placement_hits_from_plain_jobs,
+        );
+        eprintln!(
+            "  flow[{}-mode]: cold {:.2} ms ({:.1} jobs/s), warm {:.2} ms → {:.2}x; \
+             warm stages recomputed {}, N=2 parity {}",
+            flow.nmodes.modes,
+            flow.nmodes.cold_wall_ms,
+            flow.nmodes.cold_jobs_per_sec,
+            flow.nmodes.warm_wall_ms,
+            flow.nmodes.warm_speedup,
+            flow.nmodes.warm_stages_recomputed,
+            if flow.nmodes.parity_ok {
+                "ok"
+            } else {
+                "FAILED"
+            },
+        );
+        if !flow.nmodes.parity_ok {
+            return Err("flow benchmark: run_combined_n(N=2) diverged from run_pair".into());
+        }
+        write_json("BENCH_flow.json", flow.to_json())?;
+    }
+    if run_serve {
+        eprintln!("bench: serve workload (real unix socket) ...");
+        let serve = serve_perf(&config);
+        eprintln!(
+            "  serve: cold {:.2} ms ({:.1} jobs/s), warm {:.2} ms ({:.1} jobs/s) → {:.2}x; \
+             stream parity {}",
+            serve.cold_wall_ms,
+            serve.cold_jobs_per_sec,
+            serve.warm_wall_ms,
+            serve.warm_jobs_per_sec,
+            serve.warm_speedup,
+            if serve.parity_ok { "ok" } else { "FAILED" },
+        );
+        let chaos = &serve.chaos;
+        eprintln!(
+            "  chaos: {} storm batches under '{}' — {} lost, {} duplicated, parity {}; \
+             {} client retries, {} panic retries, {} quarantined, {} purged; \
+             SLO shed p0 {} time(s), p9 {} (p95 {:.2} ms), recovered {}",
+            chaos.storm_batches,
+            chaos.fault_spec,
+            chaos.records_lost,
+            chaos.records_duplicated,
+            if chaos.parity_ok { "ok" } else { "FAILED" },
+            chaos.client_retries,
+            chaos.panic_retries,
+            chaos.quarantined,
+            chaos.purged_jobs,
+            chaos.shed_low_priority,
+            chaos.shed_high_priority,
+            chaos.slo_observed_p95_ms,
+            if chaos.recovered_after_disarm {
+                "ok"
+            } else {
+                "FAILED"
+            },
+        );
+        if !serve.parity_ok {
+            return Err("serve benchmark streamed different bytes than the engine".into());
+        }
+        if !chaos.ok() {
+            return Err(
+                "chaos benchmark: records were lost/duplicated/diverged or SLO shedding \
+                 misbehaved under armed faults"
+                    .into(),
+            );
+        }
+        write_json("BENCH_serve.json", serve.to_json())?;
+    }
+    if runs("sta") {
+        eprintln!("bench: sta workload ...");
+        let sta = sta_perf(&config);
+        eprintln!(
+            "  sta: incremental {:.2} us/update vs reference {:.2} us/update → {:.2}x \
+             (parity {})",
+            sta.incremental_us_per_update,
+            sta.reference_us_per_update,
+            sta.incremental_speedup,
+            if sta.parity_ok { "ok" } else { "FAILED" },
+        );
+        eprintln!(
+            "  sta[flow, {} modes]: critical path {:.0} → {:.0} ({:.2}x), \
+             wires {} → {} ({:.2}x)",
+            sta.flow.modes,
+            sta.flow.baseline_critical_path,
+            sta.flow.timing_critical_path,
+            sta.flow.critical_path_ratio,
+            sta.flow.baseline_wires,
+            sta.flow.timing_wires,
+            sta.flow.wires_ratio,
+        );
+        if !sta.parity_ok {
+            return Err("sta benchmark: incremental analysis diverged from the reference".into());
+        }
+        if !sta.flow.improved {
+            return Err(
+                "sta benchmark: timing-driven flow did not beat the baseline critical path".into(),
+            );
+        }
+        write_json("BENCH_sta.json", sta.to_json())?;
+    }
+    if !wrote.is_empty() {
+        eprintln!("wrote {}", wrote.join(", "));
     }
     Ok(())
 }

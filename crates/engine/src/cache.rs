@@ -9,13 +9,22 @@
 //! <root>/<stage>/<aa>/<key>.json      (aa = first two hex digits)
 //! ```
 //!
-//! and store `{"key": …, "stage": …, "payload": …}`. Writes go through a
+//! and store `{"key": …, "stage": …, "sum": …, "payload": …}` where
+//! `sum` is a SHA-256 over the serialized payload. Writes go through a
 //! unique temp file + atomic rename, so concurrent workers computing the
-//! same entry race benignly. Reads validate shape and embedded key;
-//! anything unreadable or mismatched counts as `corrupt`, is deleted
-//! best-effort, and falls back to recomputation — a corrupted cache can
-//! cost time, never correctness.
+//! same entry race benignly and a crash mid-write never leaves a
+//! half-entry under the final name. Reads validate shape, embedded key
+//! *and* content checksum; anything unreadable, mismatched or torn
+//! counts as `corrupt`, is moved into `<root>/quarantine/` for
+//! post-mortem (swept by the next [`StageCache::gc`]), and falls back
+//! to recomputation — a corrupted cache can cost time, never
+//! correctness.
+//!
+//! The [`crate::faultpoint`] sites [`faultpoint::CACHE_READ_IO`] and
+//! [`faultpoint::CACHE_WRITE_PARTIAL`] inject unreadable reads and torn
+//! writes here for chaos testing.
 
+use crate::faultpoint;
 use crate::json::{self, ObjBuilder, Value};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -38,7 +47,8 @@ pub struct CacheStats {
     pub misses: u64,
     /// Entries written.
     pub writes: u64,
-    /// Entries that existed but failed validation and were discarded.
+    /// Entries that existed but failed validation (shape, embedded key,
+    /// content checksum) and were quarantined.
     pub corrupt: u64,
 }
 
@@ -94,11 +104,20 @@ impl StageCache {
             .join(format!("{key}.json"))
     }
 
+    /// The quarantine directory: corrupted entries are moved here (not
+    /// deleted) so a corruption storm leaves evidence; the next
+    /// [`StageCache::gc`] sweeps it.
+    #[must_use]
+    pub fn quarantine_dir(&self) -> PathBuf {
+        self.root.join("quarantine")
+    }
+
     /// Looks up `key` in `stage`, returning the stored payload.
     ///
-    /// Counts a hit, a miss, or (for undecodable/mismatched entries) a
-    /// corruption — corrupted entries are removed so the follow-up
-    /// [`StageCache::put`] recreates them.
+    /// Counts a hit, a miss, or (for undecodable/mismatched/torn
+    /// entries) a corruption — corrupted entries are quarantined so the
+    /// follow-up [`StageCache::put`] recreates them and garbage never
+    /// propagates into a result.
     #[must_use]
     pub fn get(&self, stage: &str, key: &str) -> Option<Value> {
         let path = self.entry_path(stage, key);
@@ -109,54 +128,69 @@ impl StageCache {
                 return None;
             }
             Err(_) => {
-                self.discard_corrupt(&path);
+                self.quarantine(&path);
                 return None;
             }
         };
+        // Injected read fault: the bytes came back unusable.
+        if faultpoint::fire(faultpoint::CACHE_READ_IO) {
+            self.quarantine(&path);
+            return None;
+        }
         match json::parse(&text) {
             Ok(entry)
                 if entry.get("key").and_then(Value::as_str) == Some(key)
                     && entry.get("stage").and_then(Value::as_str) == Some(stage) =>
             {
                 match entry.get("payload") {
-                    Some(payload) => {
+                    Some(payload) if checksum_matches(&entry, payload) => {
                         self.counters.hits.fetch_add(1, Ordering::Relaxed);
                         touch(&path);
                         Some(payload.clone())
                     }
-                    None => {
-                        self.discard_corrupt(&path);
+                    _ => {
+                        self.quarantine(&path);
                         None
                     }
                 }
             }
             _ => {
-                self.discard_corrupt(&path);
+                self.quarantine(&path);
                 None
             }
         }
     }
 
     /// Stores `payload` under (`stage`, `key`). Failures are swallowed —
-    /// a read-only or full cache disk degrades to recomputation.
+    /// a read-only or full cache disk degrades to recomputation. The
+    /// entry carries a SHA-256 of the serialized payload, verified on
+    /// every read.
     pub fn put(&self, stage: &str, key: &str, payload: &Value) {
         let path = self.entry_path(stage, key);
         let Some(dir) = path.parent() else { return };
         if std::fs::create_dir_all(dir).is_err() {
             return;
         }
+        let payload_json = payload.to_json();
         let entry = ObjBuilder::new()
             .field("key", key)
             .field("stage", stage)
+            .field("sum", crate::hash::sha256_hex(payload_json.as_bytes()))
             .field("payload", payload.clone())
             .build();
+        let mut text = entry.to_json();
+        // Injected write fault: the entry is torn mid-write (as a crash
+        // or full disk would) — the checksum catches it on read.
+        if faultpoint::fire(faultpoint::CACHE_WRITE_PARTIAL) {
+            text.truncate(text.len() / 2);
+        }
         // Unique temp name per writer; rename is atomic within the dir.
         let tmp = dir.join(format!(
             ".tmp-{}-{:?}",
             std::process::id(),
             std::thread::current().id()
         ));
-        if std::fs::write(&tmp, entry.to_json()).is_ok() && std::fs::rename(&tmp, &path).is_ok() {
+        if std::fs::write(&tmp, text).is_ok() && std::fs::rename(&tmp, &path).is_ok() {
             self.counters.writes.fetch_add(1, Ordering::Relaxed);
         } else {
             let _ = std::fs::remove_file(&tmp);
@@ -174,9 +208,20 @@ impl StageCache {
         }
     }
 
-    fn discard_corrupt(&self, path: &Path) {
+    /// Counts a corruption and moves the entry into the quarantine
+    /// directory (falling back to removal if the move fails) — the
+    /// entry's slot is free for recomputation either way, and the bad
+    /// bytes survive for post-mortem until the next GC sweep.
+    fn quarantine(&self, path: &Path) {
         self.counters.corrupt.fetch_add(1, Ordering::Relaxed);
-        let _ = std::fs::remove_file(path);
+        let dir = self.quarantine_dir();
+        let moved = std::fs::create_dir_all(&dir).is_ok()
+            && path
+                .file_name()
+                .is_some_and(|name| std::fs::rename(path, dir.join(name)).is_ok());
+        if !moved {
+            let _ = std::fs::remove_file(path);
+        }
     }
 
     /// Garbage-collects the store: evicts every entry older than
@@ -214,7 +259,11 @@ impl StageCache {
             for entry in reader.filter_map(Result::ok) {
                 let path = entry.path();
                 if path.is_dir() {
-                    stack.push(path);
+                    // Quarantined entries are not live cache state; they
+                    // are swept wholesale below, not LRU-ranked.
+                    if !(dir == self.root && path.file_name().is_some_and(|n| n == "quarantine")) {
+                        stack.push(path);
+                    }
                 } else if path.extension().is_some_and(|e| e == "json") {
                     if let Ok(meta) = entry.metadata() {
                         // Unreadable mtime ⇒ rank as "used right now":
@@ -264,8 +313,30 @@ impl StageCache {
                 }
             }
         }
+
+        // Quarantined corpses are post-mortem evidence, not cache
+        // state: every sweep clears them unconditionally.
+        if let Ok(reader) = std::fs::read_dir(self.quarantine_dir()) {
+            for entry in reader.filter_map(Result::ok) {
+                let len = entry.metadata().map(|m| m.len()).unwrap_or(0);
+                if std::fs::remove_file(entry.path()).is_ok() {
+                    summary.scanned += 1;
+                    summary.evicted += 1;
+                    summary.bytes_before += len;
+                    summary.bytes_evicted += len;
+                }
+            }
+        }
         Ok(summary)
     }
+}
+
+/// The entry's recorded checksum matches the payload it carries. A
+/// missing or non-string `sum` (a pre-checksum or hand-edited entry)
+/// fails closed: unverifiable is corrupt.
+fn checksum_matches(entry: &Value, payload: &Value) -> bool {
+    entry.get("sum").and_then(Value::as_str)
+        == Some(crate::hash::sha256_hex(payload.to_json().as_bytes()).as_str())
 }
 
 /// Best-effort LRU bookkeeping: bump an entry's mtime to "now" so GC
@@ -332,7 +403,7 @@ mod tests {
     }
 
     #[test]
-    fn corrupted_entry_is_discarded_and_recovered() {
+    fn corrupted_entry_is_quarantined_and_recovered() {
         let cache = StageCache::open(tmp_root("cor")).unwrap();
         let key = "c".repeat(64);
         cache.put("result", &key, &Value::Num(42.0));
@@ -343,12 +414,60 @@ mod tests {
         std::fs::write(&path, &text[..text.len() / 2]).unwrap();
 
         assert!(cache.get("result", &key).is_none(), "corrupt => miss");
-        assert!(!path.exists(), "corrupt entry removed");
+        assert!(!path.exists(), "corrupt entry moved out of its slot");
+        let corpse = cache.quarantine_dir().join(format!("{key}.json"));
+        assert!(corpse.exists(), "corrupt entry kept for post-mortem");
         assert_eq!(cache.stats().corrupt, 1);
 
         // Recomputation path: put again, read back.
         cache.put("result", &key, &Value::Num(42.0));
         assert_eq!(cache.get("result", &key), Some(Value::Num(42.0)));
+
+        // GC sweeps the quarantine wholesale, leaving the live entry.
+        let sweep = cache.gc(None, None).unwrap();
+        assert_eq!(sweep.evicted, 1, "only the corpse is swept");
+        assert!(!corpse.exists());
+        assert_eq!(cache.get("result", &key), Some(Value::Num(42.0)));
+        let _ = std::fs::remove_dir_all(cache.root());
+    }
+
+    #[test]
+    fn bitflipped_payload_fails_the_checksum() {
+        let cache = StageCache::open(tmp_root("sum")).unwrap();
+        let key = "9".repeat(64);
+        cache.put("result", &key, &Value::Str("payload-data".into()));
+
+        // Flip one payload byte: the entry still parses as JSON and the
+        // embedded key/stage still match — only the checksum catches it.
+        let path = cache.entry_path("result", &key);
+        let text = std::fs::read_to_string(&path).unwrap();
+        let tampered = text.replace("payload-data", "payload-dbta");
+        assert_ne!(text, tampered, "tamper site present");
+        std::fs::write(&path, tampered).unwrap();
+
+        assert!(cache.get("result", &key).is_none(), "bad sum => miss");
+        assert_eq!(cache.stats().corrupt, 1);
+        assert!(
+            cache.quarantine_dir().join(format!("{key}.json")).exists(),
+            "tampered entry quarantined"
+        );
+        let _ = std::fs::remove_dir_all(cache.root());
+    }
+
+    #[test]
+    fn entry_without_checksum_is_unverifiable_hence_corrupt() {
+        let cache = StageCache::open(tmp_root("nosum")).unwrap();
+        let key = "8".repeat(64);
+        let path = cache.entry_path("result", &key);
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        let entry = ObjBuilder::new()
+            .field("key", key.as_str())
+            .field("stage", "result")
+            .field("payload", Value::Num(1.0))
+            .build();
+        std::fs::write(&path, entry.to_json()).unwrap();
+        assert!(cache.get("result", &key).is_none(), "no sum => no trust");
+        assert_eq!(cache.stats().corrupt, 1);
         let _ = std::fs::remove_dir_all(cache.root());
     }
 

@@ -80,12 +80,19 @@ pub struct EngineStats {
     /// Flow stages actually executed across the batch (0 on a fully warm
     /// cache — the "zero recomputation" acceptance check).
     pub stages_recomputed: usize,
+    /// On-disk cache entries that failed validation during the batch and
+    /// were quarantined (then transparently recomputed). Nonzero means
+    /// the store was corrupted — and that the corruption never reached a
+    /// record.
+    pub quarantined: usize,
 }
 
 impl EngineStats {
     /// Aggregates the counters from finished results — every number in
     /// the summary is derived from the per-job [`JobCacheInfo`] records,
     /// so batch-level and per-job accounting can never disagree.
+    /// (`quarantined` is store-level, not per-job: the caller fills it
+    /// from the batch's [`CacheStats`] delta.)
     #[must_use]
     pub fn from_results(results: &[JobResult]) -> Self {
         let ok = results.iter().filter(|r| r.outcome.is_ok()).count();
@@ -96,6 +103,7 @@ impl EngineStats {
             results_from_cache: results.iter().filter(|r| r.cache.result_hit).count(),
             placements_from_cache: results.iter().filter(|r| r.cache.placement_hit).count(),
             stages_recomputed: results.iter().map(|r| r.cache.stages_recomputed).sum(),
+            quarantined: 0,
         }
     }
 }
@@ -158,7 +166,7 @@ impl BatchReport {
                     .field("hits", self.cache.hits)
                     .field("misses", self.cache.misses)
                     .field("writes", self.cache.writes)
-                    .field("corrupt", self.cache.corrupt)
+                    .field("quarantined", self.cache.corrupt)
                     .build(),
             )
             .build()
@@ -290,18 +298,20 @@ impl Engine {
         );
         let wall = t0.elapsed();
 
-        let stats = EngineStats::from_results(&results);
+        let mut stats = EngineStats::from_results(&results);
         debug_assert_eq!(stats.jobs, n);
+        // Per-batch counters: a long-lived engine runs many batches
+        // against one cumulative StageCache.
+        let cache = self
+            .cache
+            .as_ref()
+            .map(|c| c.stats().since(cache_before))
+            .unwrap_or_default();
+        stats.quarantined = cache.corrupt as usize;
         BatchReport {
             results,
             stats,
-            // Per-batch counters: a long-lived engine runs many batches
-            // against one cumulative StageCache.
-            cache: self
-                .cache
-                .as_ref()
-                .map(|c| c.stats().since(cache_before))
-                .unwrap_or_default(),
+            cache,
             wall,
             threads: self.threads,
         }

@@ -225,8 +225,8 @@ pub struct JobCacheInfo {
 /// process abort, and never a missing record for the other jobs.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct JobError {
-    /// The stage that failed: `input`, `place`, `route`, `verify` or
-    /// `engine` (scheduling/cancellation).
+    /// The stage that failed: `input`, `place`, `route`, `verify`,
+    /// `engine` (scheduling/cancellation) or `timeout` (watchdog).
     pub stage: &'static str,
     /// Human-readable description.
     pub message: String,
@@ -247,6 +247,16 @@ impl JobError {
     pub fn engine(message: impl Into<String>) -> Self {
         Self {
             stage: "engine",
+            message: message.into(),
+        }
+    }
+
+    /// A deadline overrun: the scheduler's watchdog declared the job
+    /// stuck and produced this record on its behalf.
+    #[must_use]
+    pub fn timeout(message: impl Into<String>) -> Self {
+        Self {
+            stage: "timeout",
             message: message.into(),
         }
     }

@@ -41,6 +41,7 @@
 
 mod cache;
 mod engine;
+pub mod faultpoint;
 pub mod hash;
 mod job;
 pub mod json;

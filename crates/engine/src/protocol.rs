@@ -41,7 +41,11 @@ use mm_flow::{FlowOptions, WidthChoice};
 ///
 /// Version 2 added job priorities (`"priority"` on batch requests) and
 /// the backpressure frames `busy` / `queued`: a server at capacity now
-/// answers instead of stalling the client in the accept backlog.
+/// answers instead of stalling the client in the accept backlog. Still
+/// within version 2 (optional members only): `busy` frames may carry
+/// the observed `p95_ms` behind an SLO shed, and `error` frames for
+/// malformed request lines may carry the `offset`/`line` of the
+/// offender.
 pub const PROTOCOL_VERSION: u64 = 2;
 
 /// Highest admissible job priority (priorities are `0..=MAX_PRIORITY`,
@@ -259,18 +263,29 @@ pub enum Frame {
     Error {
         /// What went wrong.
         message: String,
+        /// For malformed request lines: the byte offset of the start of
+        /// the offending line within the connection's request stream.
+        offset: Option<u64>,
+        /// For malformed request lines: a truncated echo of the
+        /// offending line, so clients can debug blind.
+        line: Option<String>,
     },
     /// Backpressure: the request was *not* admitted because a capacity
     /// bound is exhausted. The connection (when `scope` is `"jobs"`)
     /// stays usable — retry after draining; a `"connections"` busy
     /// frame precedes the server closing the freshly accepted socket.
     Busy {
-        /// Which bound rejected: `"connections"` or `"jobs"`.
+        /// Which bound rejected: `"connections"`, `"jobs"` or `"slo"`
+        /// (latency-driven load shedding).
         scope: String,
-        /// Current occupancy of that bound.
+        /// Current occupancy of that bound (for `"slo"`: jobs queued on
+        /// the most-loaded target shard).
         queued: usize,
-        /// The bound itself.
+        /// The bound itself (for `"slo"`: the configured SLO in ms).
         capacity: usize,
+        /// For `"slo"` rejections: the observed p95 job latency (ms)
+        /// that triggered the shed, so clients can modulate backoff.
+        p95_ms: Option<f64>,
     },
     /// The batch was admitted behind other work: this many jobs sit in
     /// the scheduler queues ahead of its first job. Purely informative —
@@ -302,22 +317,38 @@ impl Frame {
                 .field("summary", summary.clone())
                 .build()
                 .to_json(),
-            Frame::Error { message } => ObjBuilder::new()
-                .field("type", "error")
-                .field("error", message.as_str())
-                .build()
-                .to_json(),
+            Frame::Error {
+                message,
+                offset,
+                line,
+            } => {
+                let mut o = ObjBuilder::new()
+                    .field("type", "error")
+                    .field("error", message.as_str());
+                if let Some(off) = offset {
+                    o = o.field("offset", *off as usize);
+                }
+                if let Some(echo) = line {
+                    o = o.field("line", echo.as_str());
+                }
+                o.build().to_json()
+            }
             Frame::Busy {
                 scope,
                 queued,
                 capacity,
-            } => ObjBuilder::new()
-                .field("type", "busy")
-                .field("scope", scope.as_str())
-                .field("queued", *queued)
-                .field("capacity", *capacity)
-                .build()
-                .to_json(),
+                p95_ms,
+            } => {
+                let mut o = ObjBuilder::new()
+                    .field("type", "busy")
+                    .field("scope", scope.as_str())
+                    .field("queued", *queued)
+                    .field("capacity", *capacity);
+                if let Some(p95) = p95_ms {
+                    o = o.field("p95_ms", (*p95 * 100.0).round() / 100.0);
+                }
+                o.build().to_json()
+            }
             Frame::Queued { ahead } => ObjBuilder::new()
                 .field("type", "queued")
                 .field("ahead", *ahead)
@@ -365,6 +396,8 @@ impl Frame {
                     .and_then(Value::as_str)
                     .ok_or("error frame needs an \"error\" string")?
                     .to_string(),
+                offset: v.get("offset").and_then(Value::as_u64),
+                line: v.get("line").and_then(Value::as_str).map(str::to_string),
             }),
             "busy" => Ok(Frame::Busy {
                 scope: v
@@ -380,6 +413,7 @@ impl Frame {
                     .get("capacity")
                     .and_then(Value::as_usize)
                     .ok_or("busy frame needs a \"capacity\" count")?,
+                p95_ms: v.get("p95_ms").and_then(Value::as_f64),
             }),
             "queued" => Ok(Frame::Queued {
                 ahead: v
@@ -493,11 +527,25 @@ mod tests {
             },
             Frame::Error {
                 message: "nope".into(),
+                offset: None,
+                line: None,
+            },
+            Frame::Error {
+                message: "malformed request: expected value at byte 0".into(),
+                offset: Some(4096),
+                line: Some("{\"cmd\":".into()),
             },
             Frame::Busy {
                 scope: "jobs".into(),
                 queued: 128,
                 capacity: 128,
+                p95_ms: None,
+            },
+            Frame::Busy {
+                scope: "slo".into(),
+                queued: 12,
+                capacity: 25,
+                p95_ms: Some(38.25),
             },
             Frame::Queued { ahead: 40 },
             Frame::Pong,

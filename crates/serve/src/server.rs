@@ -24,11 +24,12 @@
 //! * an admitted batch that has to wait is told so with a `queued`
 //!   frame carrying the number of jobs ahead of it.
 
-use crate::scheduler::{panic_message, ClientId, Scheduler};
+use crate::scheduler::{panic_message, ClientId, JobTask, Scheduler, Task};
+use mm_engine::faultpoint;
 use mm_engine::json::{ObjBuilder, Value};
 use mm_engine::protocol::{BatchRequest, Frame, Request};
 use mm_engine::{
-    load_spec_with_modes, BatchReport, CacheStats, Engine, EngineOptions, EngineStats,
+    load_spec_with_modes, BatchReport, CacheStats, Engine, EngineOptions, EngineStats, Job,
     JobCacheInfo, JobError, JobResult,
 };
 use mm_flow::FlowOptions;
@@ -107,6 +108,22 @@ pub struct ServeOptions {
     pub queue_depth: usize,
     /// Reactor threads multiplexing the connections (`0` = 2).
     pub io_threads: usize,
+    /// p95 sojourn-latency SLO in milliseconds. When set, batches are
+    /// shed lowest-priority-first once a target shard's observed p95
+    /// exceeds it (`busy` frame, `scope: "slo"`, carrying the p95);
+    /// priority 9 is never shed. `None` keeps plain queue-depth
+    /// admission only.
+    pub slo_ms: Option<f64>,
+    /// Per-job execution deadline in milliseconds; a job still running
+    /// past it is declared stuck by the watchdog and answered with a
+    /// structured `timeout` error record while the shard keeps serving.
+    /// `0` disables the watchdog.
+    pub deadline_ms: u64,
+    /// Deterministic fault-injection spec
+    /// (e.g. `"seed=7,worker_panic=0.1,stall_ms=20"`) armed at bind —
+    /// see [`mm_engine::faultpoint`]. `None` leaves every fault point a
+    /// compiled-in no-op.
+    pub fault_spec: Option<String>,
 }
 
 impl Default for ServeOptions {
@@ -118,6 +135,9 @@ impl Default for ServeOptions {
             workers: 0,
             queue_depth: 256,
             io_threads: 0,
+            slo_ms: None,
+            deadline_ms: 30_000,
+            fault_spec: None,
         }
     }
 }
@@ -137,6 +157,14 @@ pub struct ServeReport {
     pub rejected_batches: u64,
     /// Queued jobs purged because their client disconnected.
     pub purged_jobs: u64,
+    /// Jobs the watchdog declared stuck and answered with a `timeout`
+    /// record.
+    pub timed_out_jobs: u64,
+    /// Batches shed by the SLO admission controller.
+    pub shed_batches: u64,
+    /// Panicking job executions that were retried (transient faults
+    /// recovered to the same deterministic result).
+    pub panic_retries: u64,
 }
 
 #[derive(Debug, Default)]
@@ -147,6 +175,7 @@ struct Counters {
     rejected_connections: AtomicU64,
     rejected_batches: AtomicU64,
     purged_jobs: AtomicU64,
+    panic_retries: AtomicU64,
 }
 
 #[derive(Debug)]
@@ -202,6 +231,45 @@ impl SocketStream {
         Ok(SocketStream(match listen {
             Listen::Unix(path) => StreamInner::Unix(UnixStream::connect(path)?),
             Listen::Tcp(addr) => StreamInner::Tcp(TcpStream::connect(addr.as_str())?),
+        }))
+    }
+
+    /// Connects with a bound on the TCP connection attempt — a routed
+    /// but unresponsive address fails in `timeout` instead of the
+    /// kernel's (minutes-long) default. Unix sockets connect or fail
+    /// immediately; the timeout does not apply.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the socket cannot be reached within the timeout.
+    pub fn connect_timeout(listen: &Listen, timeout: Duration) -> std::io::Result<Self> {
+        Ok(SocketStream(match listen {
+            Listen::Unix(path) => StreamInner::Unix(UnixStream::connect(path)?),
+            Listen::Tcp(addr) => {
+                use std::net::ToSocketAddrs;
+                let mut last_error = None;
+                let mut stream = None;
+                for resolved in addr.as_str().to_socket_addrs()? {
+                    match TcpStream::connect_timeout(&resolved, timeout) {
+                        Ok(s) => {
+                            stream = Some(s);
+                            break;
+                        }
+                        Err(e) => last_error = Some(e),
+                    }
+                }
+                match stream {
+                    Some(s) => StreamInner::Tcp(s),
+                    None => {
+                        return Err(last_error.unwrap_or_else(|| {
+                            std::io::Error::new(
+                                std::io::ErrorKind::InvalidInput,
+                                format!("{addr} resolved to no addresses"),
+                            )
+                        }))
+                    }
+                }
+            }
         }))
     }
 
@@ -370,10 +438,17 @@ impl Server {
     /// Fails if the socket cannot be bound or the cache directory cannot
     /// be created.
     pub fn bind(listen: &Listen, options: &ServeOptions) -> std::io::Result<Self> {
-        let scheduler = Arc::new(Scheduler::new(
+        if let Some(spec) = &options.fault_spec {
+            faultpoint::arm(spec).map_err(|message| {
+                std::io::Error::new(std::io::ErrorKind::InvalidInput, message)
+            })?;
+        }
+        let scheduler = Arc::new(Scheduler::with_options(
             options.workers,
             options.threads,
             options.queue_depth,
+            (options.deadline_ms > 0).then(|| Duration::from_millis(options.deadline_ms)),
+            options.slo_ms,
         ));
         let engine = Arc::new(Engine::new(EngineOptions {
             threads: scheduler.threads(),
@@ -545,6 +620,7 @@ impl Server {
                         scope: "connections".to_string(),
                         queued: state.active.load(Ordering::Relaxed),
                         capacity: max_connections,
+                        p95_ms: None,
                     };
                     let _ = stream
                         .write_all((frame.to_json_line() + "\n").as_bytes())
@@ -577,6 +653,8 @@ impl Server {
         // Reactors have exited: every connection is closed and every
         // admitted batch has streamed its summary. Join the workers
         // (drains any purge-raced stragglers) before reporting.
+        let shed_batches = scheduler.shed_batches();
+        let timed_out_jobs: u64 = scheduler.stats().iter().map(|s| s.timed_out).sum();
         drop(scheduler);
         if let Listen::Unix(path) = &listen {
             let _ = std::fs::remove_file(path);
@@ -589,6 +667,9 @@ impl Server {
             rejected_connections: state.counters.rejected_connections.load(Ordering::Relaxed),
             rejected_batches: state.counters.rejected_batches.load(Ordering::Relaxed),
             purged_jobs: state.counters.purged_jobs.load(Ordering::Relaxed),
+            timed_out_jobs,
+            shed_batches,
+            panic_retries: state.counters.panic_retries.load(Ordering::Relaxed),
         })
     }
 }
@@ -674,6 +755,10 @@ struct Streaming {
     results: Vec<JobResult>,
     t0: Instant,
     cache_before: CacheStats,
+    /// Fault injection (`conn_drop`): abruptly close the connection once
+    /// this many records have streamed — simulates a client killed
+    /// mid-batch.
+    drop_at: Option<usize>,
 }
 
 struct TickResult {
@@ -688,6 +773,9 @@ struct Conn {
     inbuf: Vec<u8>,
     /// Consumed prefix of `inbuf` (compacted between ticks).
     inpos: usize,
+    /// Total request-stream bytes consumed so far — the byte offset of
+    /// the next unread line, echoed in malformed-request error frames.
+    consumed: u64,
     out: Vec<u8>,
     /// Flushed prefix of `out` (compacted when fully flushed).
     outpos: usize,
@@ -704,6 +792,7 @@ impl Conn {
             client,
             inbuf: Vec::new(),
             inpos: 0,
+            consumed: 0,
             out: Vec::new(),
             outpos: 0,
             last_write_progress: Instant::now(),
@@ -771,6 +860,8 @@ impl Conn {
             {
                 self.queue_frame(&Frame::Error {
                     message: format!("request line exceeds {MAX_REQUEST_LINE} bytes"),
+                    offset: Some(self.consumed),
+                    line: None,
                 });
                 self.close_after_flush = true;
             }
@@ -779,7 +870,9 @@ impl Conn {
         // Process phase — one request at a time; a batch in flight
         // parks pipelined lines in the buffer until its summary is out.
         while self.streaming.is_none() && !self.close_after_flush {
-            let Some(line) = self.take_line() else { break };
+            let Some((offset, line)) = self.take_line() else {
+                break;
+            };
             progressed = true;
             let line = line.trim().to_string();
             if line.is_empty() {
@@ -795,6 +888,8 @@ impl Conn {
                     Ok(Request::Ping) => Frame::Pong,
                     _ => Frame::Error {
                         message: "server is shutting down".to_string(),
+                        offset: None,
+                        line: None,
                     },
                 };
                 self.queue_frame(&frame);
@@ -802,7 +897,18 @@ impl Conn {
                 break;
             }
             match Request::parse(&line) {
-                Err(message) => self.queue_frame(&Frame::Error { message }),
+                Err(message) => {
+                    // A malformed request names the crime scene: where
+                    // in the byte stream it sits and (truncated) what it
+                    // said, so a client batching thousands of lines can
+                    // find the bad one.
+                    let echo: String = line.chars().take(120).collect();
+                    self.queue_frame(&Frame::Error {
+                        message,
+                        offset: Some(offset),
+                        line: Some(echo),
+                    });
+                }
                 Ok(Request::Ping) => self.queue_frame(&Frame::Pong),
                 Ok(Request::Shutdown) => {
                     self.queue_frame(&Frame::ShuttingDown);
@@ -819,6 +925,15 @@ impl Conn {
         // Stream phase — move ready in-order results into the outbound
         // buffer, then the summary trailer.
         if let Some(streaming) = &mut self.streaming {
+            if streaming.drop_at.is_some_and(|at| streaming.next >= at) {
+                // Fault injection: the connection dies mid-batch. The
+                // close path purges queued jobs and frees lanes exactly
+                // like a real vanished client.
+                return TickResult {
+                    progressed: true,
+                    close: true,
+                };
+            }
             while streaming.next < streaming.total && self.out.len() - self.outpos < OUT_HIGH_WATER
             {
                 let Some(result) = streaming.collector.try_take(streaming.next) else {
@@ -875,17 +990,21 @@ impl Conn {
         TickResult { progressed, close }
     }
 
-    /// Extracts the next complete request line from the inbound buffer.
-    fn take_line(&mut self) -> Option<String> {
+    /// Extracts the next complete request line from the inbound buffer,
+    /// with the byte offset of its start in this connection's request
+    /// stream (for error-frame diagnostics).
+    fn take_line(&mut self) -> Option<(u64, String)> {
         let rest = &self.inbuf[self.inpos..];
         let nl = rest.iter().position(|b| *b == b'\n')?;
+        let offset = self.consumed;
         let line = String::from_utf8_lossy(&rest[..nl]).into_owned();
         self.inpos += nl + 1;
+        self.consumed += nl as u64 + 1;
         if self.inpos == self.inbuf.len() {
             self.inbuf.clear();
             self.inpos = 0;
         }
-        Some(line)
+        Some((offset, line))
     }
 
     fn has_line(&self) -> bool {
@@ -900,7 +1019,13 @@ impl Conn {
         let mut batch =
             match load_spec_with_modes(&request.spec, &options, request.k, request.modes) {
                 Ok(batch) => batch,
-                Err(message) => return self.queue_frame(&Frame::Error { message }),
+                Err(message) => {
+                    return self.queue_frame(&Frame::Error {
+                        message,
+                        offset: None,
+                        line: None,
+                    })
+                }
             };
         if let Some(n) = request.max_jobs {
             batch.jobs.truncate(n);
@@ -922,16 +1047,25 @@ impl Conn {
             waker: Arc::clone(waker),
         });
         let cancel = Arc::new(AtomicBool::new(false));
-        let tasks: Vec<(u64, Box<dyn FnOnce() + Send>)> = jobs
+        let deadline = ctx.scheduler.deadline();
+        let tasks: Vec<JobTask> = jobs
             .into_iter()
             .enumerate()
             .map(|(index, job)| {
                 let fingerprint = job.fingerprint();
+                let name = job.name.clone();
+                let flow = job.flow;
                 let engine = Arc::clone(ctx.engine);
                 let collector = Arc::clone(&collector);
+                let timeout_collector = Arc::clone(&collector);
                 let cancel = Arc::clone(&cancel);
                 let state = Arc::clone(ctx.state);
-                let task: Box<dyn FnOnce() + Send> = Box::new(move || {
+                // Exactly one of {completion, watchdog timeout} delivers
+                // the collector slot: both race for this flag, the loser
+                // drops its record.
+                let delivered = Arc::new(AtomicBool::new(false));
+                let timeout_delivered = Arc::clone(&delivered);
+                let run: Task = Box::new(move || {
                     let result = if cancel.load(Ordering::Relaxed) {
                         JobResult {
                             name: job.name.clone(),
@@ -945,35 +1079,46 @@ impl Conn {
                         // operator's exit report only claims jobs that
                         // actually ran.
                         state.counters.jobs.fetch_add(1, Ordering::Relaxed);
-                        // A panic inside a flow is an engine bug, but in
-                        // a daemon it must degrade to one failed job:
-                        // without the catch the collector slot would
-                        // never be delivered and the batch would hang.
-                        let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                            engine.execute_job(&job)
-                        }));
-                        match run {
-                            Ok(result) => result,
-                            Err(panic) => JobResult {
-                                name: job.name.clone(),
-                                flow: job.flow,
-                                outcome: Err(JobError::engine(format!(
-                                    "job panicked: {}",
-                                    panic_message(panic.as_ref())
+                        execute_with_retries(&engine, &job, &state.counters)
+                    };
+                    if delivered
+                        .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
+                        .is_ok()
+                    {
+                        collector.deliver(index, result);
+                    }
+                });
+                let on_timeout: Task = Box::new(move || {
+                    if timeout_delivered
+                        .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
+                        .is_ok()
+                    {
+                        let deadline = deadline.unwrap_or_default();
+                        timeout_collector.deliver(
+                            index,
+                            JobResult {
+                                name,
+                                flow,
+                                outcome: Err(JobError::timeout(format!(
+                                    "job exceeded the {} ms deadline and was declared stuck",
+                                    deadline.as_millis()
                                 ))),
                                 cache: JobCacheInfo::default(),
-                                duration: Duration::ZERO,
+                                duration: deadline,
                             },
-                        }
-                    };
-                    collector.deliver(index, result);
+                        );
+                    }
                 });
-                (fingerprint, task)
+                JobTask {
+                    fingerprint,
+                    run,
+                    on_timeout: Some(on_timeout),
+                }
             })
             .collect();
         match ctx
             .scheduler
-            .try_submit(self.client, request.priority, 1, tasks)
+            .submit_jobs(self.client, request.priority, 1, tasks)
         {
             Ok(admitted) => {
                 ctx.state.counters.batches.fetch_add(1, Ordering::Relaxed);
@@ -983,6 +1128,10 @@ impl Conn {
                         ahead: admitted.ahead,
                     });
                 }
+                // Fault injection: decide *now* whether this connection
+                // will be killed mid-batch (once at least half the
+                // records have streamed).
+                let drop_at = faultpoint::fire(faultpoint::CONN_DROP).then_some(n / 2);
                 self.streaming = Some(Streaming {
                     collector,
                     cancel,
@@ -991,6 +1140,7 @@ impl Conn {
                     results: Vec::with_capacity(n),
                     t0,
                     cache_before,
+                    drop_at,
                 });
             }
             Err(rejected) => {
@@ -998,10 +1148,16 @@ impl Conn {
                     .counters
                     .rejected_batches
                     .fetch_add(1, Ordering::Relaxed);
+                let scope = if rejected.p95_ms.is_some() {
+                    "slo"
+                } else {
+                    "jobs"
+                };
                 self.queue_frame(&Frame::Busy {
-                    scope: "jobs".to_string(),
+                    scope: scope.to_string(),
                     queued: rejected.queued,
                     capacity: rejected.capacity,
+                    p95_ms: rejected.p95_ms,
                 });
             }
         }
@@ -1009,18 +1165,20 @@ impl Conn {
 
     /// Builds and queues the summary trailer of a fully streamed batch.
     fn finish_batch(&mut self, ctx: &Ctx<'_>, streaming: Streaming) {
-        let stats = EngineStats::from_results(&streaming.results);
+        let mut stats = EngineStats::from_results(&streaming.results);
+        // Cache activity attributed to this batch; with concurrent
+        // connections the attribution is approximate (the counters
+        // are engine-wide), never the records.
+        let cache = ctx
+            .engine
+            .cache()
+            .map(|c| c.stats().since(streaming.cache_before))
+            .unwrap_or_default();
+        stats.quarantined = cache.corrupt as usize;
         let report = BatchReport {
             results: streaming.results,
             stats,
-            // Cache activity attributed to this batch; with concurrent
-            // connections the attribution is approximate (the counters
-            // are engine-wide), never the records.
-            cache: ctx
-                .engine
-                .cache()
-                .map(|c| c.stats().since(streaming.cache_before))
-                .unwrap_or_default(),
+            cache,
             wall: streaming.t0.elapsed(),
             threads: ctx.engine.threads(),
         };
@@ -1029,6 +1187,53 @@ impl Conn {
             members.push(("shards".to_string(), shard_stats_value(ctx.scheduler)));
         }
         self.queue_frame(&Frame::Summary { summary });
+    }
+}
+
+/// Job executions that may retry after a (real or injected) panic
+/// before the job is declared failed. Transient faults recover to the
+/// byte-identical deterministic result; a persistent panic burns all
+/// attempts and degrades to one structured error record.
+const MAX_JOB_ATTEMPTS: u32 = 8;
+
+/// Runs one job, converting panics into bounded retries. The `job_stall`
+/// and `worker_panic` fault points live here — compiled to no-ops when
+/// the registry is disarmed.
+fn execute_with_retries(engine: &Engine, job: &Job, counters: &Counters) -> JobResult {
+    if faultpoint::fire(faultpoint::JOB_STALL) {
+        std::thread::sleep(faultpoint::stall_duration());
+    }
+    let mut attempts = 0;
+    loop {
+        attempts += 1;
+        // A panic inside a flow is an engine bug (or an injected fault),
+        // but in a daemon it must degrade to a retry and at worst one
+        // failed job: without the catch the collector slot would never
+        // be delivered and the batch would hang.
+        let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            if faultpoint::fire(faultpoint::WORKER_PANIC) {
+                panic!("injected fault: worker panic");
+            }
+            engine.execute_job(job)
+        }));
+        match run {
+            Ok(result) => return result,
+            Err(panic) if attempts >= MAX_JOB_ATTEMPTS => {
+                return JobResult {
+                    name: job.name.clone(),
+                    flow: job.flow,
+                    outcome: Err(JobError::engine(format!(
+                        "job panicked ({attempts} attempts): {}",
+                        panic_message(panic.as_ref())
+                    ))),
+                    cache: JobCacheInfo::default(),
+                    duration: Duration::ZERO,
+                }
+            }
+            Err(_) => {
+                counters.panic_retries.fetch_add(1, Ordering::Relaxed);
+            }
+        }
     }
 }
 
@@ -1042,8 +1247,10 @@ fn shard_stats_value(scheduler: &Scheduler) -> Value {
                 ObjBuilder::new()
                     .field("executed", s.executed)
                     .field("purged", s.purged)
+                    .field("timed_out", s.timed_out)
                     .field("queued", s.queued)
                     .field("peak_queued", s.peak_queued)
+                    .field("p95_ms", (s.p95_ms * 100.0).round() / 100.0)
                     .build()
             })
             .collect(),

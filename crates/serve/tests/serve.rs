@@ -129,11 +129,19 @@ fn ping_error_recovery_and_shutdown_frames() {
     assert!(records.is_empty());
     assert_eq!(frames, vec![Frame::Pong]);
 
-    // A malformed request yields one error frame and keeps the
-    // connection usable.
+    // A malformed request yields one error frame — carrying the byte
+    // offset of the offending line and a truncated echo of it — and
+    // keeps the connection usable.
     stream.write_all(b"this is not json\n").unwrap();
     let (_, frames) = read_exchange(&mut reader);
-    assert!(matches!(frames[0], Frame::Error { .. }), "{frames:?}");
+    match &frames[0] {
+        Frame::Error { offset, line, .. } => {
+            let ping_len = Request::Ping.to_json_line().len() as u64 + 1;
+            assert_eq!(*offset, Some(ping_len), "offset of the bad line");
+            assert_eq!(line.as_deref(), Some("this is not json"));
+        }
+        other => panic!("expected an error frame, got {other:?}"),
+    }
     send(&mut stream, &Request::Ping);
     let (_, frames) = read_exchange(&mut reader);
     assert_eq!(frames, vec![Frame::Pong]);
@@ -429,6 +437,7 @@ fn over_capacity_connection_gets_a_busy_frame_not_a_stall() {
         scope,
         queued,
         capacity,
+        ..
     }) = classify(line.trim_end()).unwrap()
     else {
         panic!("expected a busy frame, got {line:?}");
