@@ -24,9 +24,13 @@
 //! * [`flow_perf`] — the batch engine. A cold run against an empty stage
 //!   cache, a warm re-run (everything from cache), a `pair` job that
 //!   shares the placement stages plain `dcs`/`mdr` jobs cached — the
-//!   cross-job stage-sharing number — and an `nmodes` sub-benchmark:
+//!   cross-job stage-sharing number — an `nmodes` sub-benchmark:
 //!   3-mode combined-comparison jobs cold/warm, parity-gated on
-//!   `run_combined_n` over two modes reproducing `run_pair` exactly.
+//!   `run_combined_n` over two modes reproducing `run_pair` exactly —
+//!   and a `stagegraph` cache-replay sweep: re-running a batch with
+//!   only router options changed must leave every placement node warm
+//!   (structural fingerprints exclude downstream options), and the
+//!   replayed records must match a cacheless run byte for byte.
 //! * [`serve_perf`] — the long-running service. A real `mm-serve` server
 //!   on a Unix socket, a cold batch submitted over the wire and a warm
 //!   re-submission against the shared stage cache: end-to-end jobs/sec
@@ -47,6 +51,7 @@ use mm_arch::{Architecture, RoutingGraph};
 use mm_boolexpr::ModeSet;
 use mm_engine::json::ObjBuilder;
 use mm_engine::{Engine, EngineOptions, FlowKind, Job};
+use mm_flow::stage::CacheOutcome;
 use mm_flow::FlowOptions;
 use mm_netlist::LutCircuit;
 use mm_place::{place_combined, place_combined_reference, CostKind, PlacerOptions};
@@ -507,6 +512,61 @@ pub struct FlowPerf {
     pub warm_hit_rate: f64,
     /// The multi-mode (>2 modes per problem) sub-benchmark.
     pub nmodes: NModesPerf,
+    /// The stage-graph cache-replay sweep.
+    pub stagegraph: StageGraphPerf,
+}
+
+/// The stage-graph sub-benchmark: a cold batch against a fresh cache,
+/// then the same batch with only the router's iteration budget changed.
+/// Structural fingerprints exclude downstream options from upstream
+/// nodes, so the replay must serve every placement node from cache and
+/// recompute only the summaries — and the replayed records must be
+/// byte-identical to a cacheless run with the changed options.
+#[derive(Debug, Clone)]
+pub struct StageGraphPerf {
+    /// Jobs in the batch.
+    pub jobs: usize,
+    /// Cold batch wall-clock (fresh cache), milliseconds.
+    pub cold_wall_ms: f64,
+    /// Replay wall-clock (router options changed), milliseconds.
+    pub replay_wall_ms: f64,
+    /// cold / replay wall-clock.
+    pub replay_speedup: f64,
+    /// Plan nodes the cold run computed (telemetry entries, all jobs).
+    pub cold_stage_nodes: usize,
+    /// Placement nodes the replay served from cache.
+    pub replay_placement_hits: usize,
+    /// Placement nodes the replay recomputed — must be 0: a router-only
+    /// change can never invalidate an upstream fingerprint.
+    pub replay_upstream_recomputed: usize,
+    /// Summary nodes the replay recomputed (these *should* miss — their
+    /// params carry the changed router options).
+    pub replay_summaries_recomputed: usize,
+    /// Replayed record bytes == a cacheless run with the same changed
+    /// options.
+    pub parity_ok: bool,
+}
+
+impl StageGraphPerf {
+    fn json(&self) -> mm_engine::json::Value {
+        ObjBuilder::new()
+            .field("jobs", self.jobs)
+            .field("cold_wall_ms", round2(self.cold_wall_ms))
+            .field("replay_wall_ms", round2(self.replay_wall_ms))
+            .field("replay_speedup", round2(self.replay_speedup))
+            .field("cold_stage_nodes", self.cold_stage_nodes)
+            .field("replay_placement_hits", self.replay_placement_hits)
+            .field(
+                "replay_upstream_recomputed",
+                self.replay_upstream_recomputed,
+            )
+            .field(
+                "replay_summaries_recomputed",
+                self.replay_summaries_recomputed,
+            )
+            .field("parity_ok", self.parity_ok)
+            .build()
+    }
 }
 
 /// The multi-mode sub-benchmark: a batch of 3-mode combined-comparison
@@ -574,6 +634,7 @@ impl FlowPerf {
             .field("pair_stages_recomputed", self.pair_stages_recomputed)
             .field("warm_hit_rate", round2(self.warm_hit_rate))
             .field("nmodes", self.nmodes.json())
+            .field("stagegraph", self.stagegraph.json())
             .build()
             .to_json()
     }
@@ -723,6 +784,88 @@ pub fn flow_perf(config: &PerfConfig) -> FlowPerf {
 
     let _ = std::fs::remove_dir_all(&dir);
 
+    // The stage-graph replay sweep: a fresh cache, a cold mixed batch,
+    // then the identical batch with only the router's iteration budget
+    // changed. Per-record stage telemetry shows exactly which plan
+    // nodes recomputed; the structural-fingerprint contract is that no
+    // placement node does.
+    let sg_dir = std::env::temp_dir().join(format!(
+        "mmflow_bench_stagegraph_{}_{}",
+        std::process::id(),
+        if config.smoke { "smoke" } else { "full" }
+    ));
+    let _ = std::fs::remove_dir_all(&sg_dir);
+    let sg_engine = Engine::new(EngineOptions {
+        threads: config.threads,
+        cache_dir: Some(sg_dir.clone()),
+        ..Default::default()
+    })
+    .expect("stage-graph bench cache directory");
+    let sg_jobs: Vec<Job> = vec![
+        Job {
+            name: "sg-dcs".into(),
+            circuits: jobs[0].circuits.clone(),
+            flow: FlowKind::Dcs(CostKind::WireLength),
+            options,
+        },
+        Job {
+            name: "sg-pair".into(),
+            circuits: jobs[2].circuits.clone(),
+            flow: FlowKind::Pair,
+            options,
+        },
+    ];
+    let sg_cold = sg_engine.run(sg_jobs.clone());
+    let mut sg_replay_options = options;
+    sg_replay_options.router.max_iterations = options.router.max_iterations - 1;
+    let sg_replay_jobs: Vec<Job> = sg_jobs
+        .iter()
+        .map(|j| Job {
+            options: sg_replay_options,
+            ..j.clone()
+        })
+        .collect();
+    let sg_replay = sg_engine.run(sg_replay_jobs.clone());
+    let _ = std::fs::remove_dir_all(&sg_dir);
+    let replay_stages = || sg_replay.results.iter().flat_map(|r| &r.stages);
+    let replay_placement_hits = replay_stages()
+        .filter(|s| s.kind.is_placement() && s.cache == CacheOutcome::Hit)
+        .count();
+    let replay_upstream_recomputed = replay_stages()
+        .filter(|s| s.kind.is_placement() && s.cache != CacheOutcome::Hit)
+        .count();
+    let replay_summaries_recomputed = replay_stages()
+        .filter(|s| !s.kind.is_placement() && s.cache != CacheOutcome::Hit)
+        .count();
+    // Byte parity: the cache-assisted replay must emit the same records
+    // as a cacheless engine running the changed-options batch outright.
+    let sg_reference = Engine::new(EngineOptions {
+        threads: config.threads,
+        cache_dir: None,
+        ..Default::default()
+    })
+    .expect("cacheless engine")
+    .run(sg_replay_jobs);
+    let sg_parity_ok = sg_replay.results.len() == sg_reference.results.len()
+        && sg_replay
+            .results
+            .iter()
+            .zip(&sg_reference.results)
+            .all(|(a, b)| a.to_json_line() == b.to_json_line());
+    let sg_cold_ms = sg_cold.wall.as_secs_f64() * 1000.0;
+    let sg_replay_ms = sg_replay.wall.as_secs_f64() * 1000.0;
+    let stagegraph = StageGraphPerf {
+        jobs: sg_jobs.len(),
+        cold_wall_ms: sg_cold_ms,
+        replay_wall_ms: sg_replay_ms,
+        replay_speedup: sg_cold_ms / sg_replay_ms.max(1e-9),
+        cold_stage_nodes: sg_cold.results.iter().map(|r| r.stages.len()).sum(),
+        replay_placement_hits,
+        replay_upstream_recomputed,
+        replay_summaries_recomputed,
+        parity_ok: sg_parity_ok,
+    };
+
     let cold_ms = cold.wall.as_secs_f64() * 1000.0;
     let warm_ms = warm.wall.as_secs_f64() * 1000.0;
     let warm_lookups = warm.cache.hits + warm.cache.misses;
@@ -744,6 +887,7 @@ pub fn flow_perf(config: &PerfConfig) -> FlowPerf {
             0.0
         },
         nmodes,
+        stagegraph,
     }
 }
 
@@ -1717,8 +1861,26 @@ mod tests {
             "3-mode warm run fully cached"
         );
         assert!(perf.nmodes.parity_ok, "run_combined_n(N=2) == run_pair");
+        // The stage-graph replay sweep: a router-only change must leave
+        // every placement node warm and reproduce cacheless bytes.
+        let sg = &perf.stagegraph;
+        assert!(sg.cold_stage_nodes > 0, "cold run reported no stage nodes");
+        assert_eq!(
+            sg.replay_upstream_recomputed, 0,
+            "router-only replay recomputed a placement node"
+        );
+        assert!(
+            sg.replay_placement_hits > 0,
+            "replay never hit a cached placement"
+        );
+        assert!(
+            sg.replay_summaries_recomputed > 0,
+            "changed router options must miss the summary nodes"
+        );
+        assert!(sg.parity_ok, "replay bytes != cacheless run");
         let json = perf.to_json();
         assert!(json.contains("\"nmodes\""), "{json}");
+        assert!(json.contains("\"stagegraph\""), "{json}");
         assert!(mm_engine::json::parse(&json).is_ok());
     }
 }

@@ -82,6 +82,10 @@ BATCH OPTIONS:
   --no-cache       disable the stage cache
   --jobs <N>       only run the first N jobs of the batch
   --out <FILE>     write JSONL results to FILE instead of stdout
+  --emit-stage-times
+                   append per-stage timings to every record as
+                   stages: [{name, ms, cache}] (off by default so
+                   record bytes stay reproducible)
 
 PARETO OPTIONS:
   --alphas <LIST>  comma-separated timing alphas to sweep
@@ -124,6 +128,9 @@ SUBMIT OPTIONS:
   --jobs <N>        only run the first N jobs of the batch
   --priority <N>    scheduling priority 0..=9, higher runs first
                     (default 1)
+  --emit-stage-times
+                    ask the server to append per-stage timings to each
+                    record, as in batch
   --seed/--width/--effort/--max-iterations/--max-width
                     flow overrides, as in batch specs
   --out <FILE>      write JSONL results to FILE instead of stdout
@@ -334,12 +341,14 @@ fn cmd_batch(args: &[String]) -> Result<(), Box<dyn Error>> {
     let mut flow = FlowOptions::default();
     let mut k = 4usize;
     let mut modes: Option<usize> = None;
+    let mut emit_stage_times = false;
 
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "-k" => k = next_value(&mut it, "-k")?.parse()?,
             "--modes" => modes = Some(next_value(&mut it, "--modes")?.parse()?),
+            "--emit-stage-times" => emit_stage_times = true,
             "--threads" => threads = next_value(&mut it, "--threads")?.parse()?,
             "--serial" => threads = 1,
             "--cache" => {
@@ -383,7 +392,12 @@ fn cmd_batch(args: &[String]) -> Result<(), Box<dyn Error>> {
     let mut write_error: Option<std::io::Error> = None;
     let report = engine.run_streamed_cancellable(batch.jobs, Some(&cancelled), |r| {
         if write_error.is_none() {
-            if let Err(e) = writeln!(sink, "{}", r.to_json_line()) {
+            let record = if emit_stage_times {
+                r.to_json_line_with_stages()
+            } else {
+                r.to_json_line()
+            };
+            if let Err(e) = writeln!(sink, "{record}") {
                 write_error = Some(e);
                 cancelled.store(true, std::sync::atomic::Ordering::Relaxed);
             }
@@ -647,6 +661,7 @@ fn cmd_submit(args: &[String]) -> Result<(), Box<dyn Error>> {
     let mut max_iterations: Option<usize> = None;
     let mut max_width: Option<usize> = None;
     let mut priority: Option<u8> = None;
+    let mut emit_stage_times = false;
     let mut retries = 0u32;
 
     let mut it = args.iter();
@@ -660,6 +675,7 @@ fn cmd_submit(args: &[String]) -> Result<(), Box<dyn Error>> {
             "--modes" => modes = Some(next_value(&mut it, "--modes")?.parse()?),
             "--jobs" => max_jobs = Some(next_value(&mut it, "--jobs")?.parse()?),
             "--priority" => priority = Some(next_value(&mut it, "--priority")?.parse()?),
+            "--emit-stage-times" => emit_stage_times = true,
             "--seed" => seed = Some(next_value(&mut it, "--seed")?.parse()?),
             "--width" => width = Some(next_value(&mut it, "--width")?.parse()?),
             "--effort" => effort = Some(next_value(&mut it, "--effort")?.parse()?),
@@ -702,6 +718,7 @@ fn cmd_submit(args: &[String]) -> Result<(), Box<dyn Error>> {
             }
             request.priority = priority;
         }
+        request.emit_stage_times = emit_stage_times;
 
         let mut sink: Box<dyn Write> = match &out_path {
             Some(path) => Box::new(std::io::BufWriter::new(std::fs::File::create(path)?)),
@@ -859,6 +876,23 @@ fn cmd_bench(args: &[String]) -> Result<(), Box<dyn Error>> {
         );
         if !flow.nmodes.parity_ok {
             return Err("flow benchmark: run_combined_n(N=2) diverged from run_pair".into());
+        }
+        let sg = &flow.stagegraph;
+        eprintln!(
+            "  flow[stagegraph]: cold {:.2} ms, router-only replay {:.2} ms → {:.2}x; \
+             {} placement hits, {} upstream recomputed, replay parity {}",
+            sg.cold_wall_ms,
+            sg.replay_wall_ms,
+            sg.replay_speedup,
+            sg.replay_placement_hits,
+            sg.replay_upstream_recomputed,
+            if sg.parity_ok { "ok" } else { "FAILED" },
+        );
+        if sg.replay_upstream_recomputed > 0 {
+            return Err("flow benchmark: router-only replay recomputed a placement node".into());
+        }
+        if !sg.parity_ok {
+            return Err("flow benchmark: stage-graph replay diverged from a cacheless run".into());
         }
         write_json("BENCH_flow.json", flow.to_json())?;
     }

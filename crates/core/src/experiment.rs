@@ -27,7 +27,8 @@
 //!   configuration extraction; the MDR leg and the two DCS variants run
 //!   concurrently.
 //!
-//! [`run_combined_n`] chains the two over a plain `&[LutCircuit]`; with
+//! [`run_combined_n`] compiles the two stages to the
+//! [`crate::stage::combined_plan`] DAG and executes it uncached; with
 //! [`FlowOptions::intra_parallelism`] `== 1` everything runs serially and
 //! the results are byte-identical. [`run_pair`] (N = 2 callers) delegates
 //! to the same code, so its output is byte-identical by construction —
@@ -515,12 +516,14 @@ pub fn run_pair_with_placements(
 }
 
 /// Runs the full comparison for one N-mode problem, straight from the
-/// mode circuits: input validation, the N+2 annealing legs, then width
-/// resolution, routing and configuration extraction.
+/// mode circuits: input validation, then a compile-and-execute of the
+/// [`crate::stage::combined_plan`] stage graph (the annealing legs fan
+/// out, the combine stage joins them).
 ///
-/// This is the N-ary primary entry point; [`run_pair`] delegates here
-/// (via the same staged functions), so a 2-element slice produces output
-/// byte-identical to the historical pair flow.
+/// This is the N-ary primary entry point; [`run_pair`] delegates here,
+/// so a 2-element slice produces output byte-identical to the historical
+/// pair flow — and both are byte-identical to the pre-stage-graph
+/// hand-wired drivers (pinned by the engine's golden-bytes suite).
 ///
 /// # Errors
 ///
@@ -531,13 +534,12 @@ pub fn run_combined_n(
     name: impl Into<String>,
 ) -> Result<CombinedMetrics, FlowError> {
     let input = MultiModeInput::new(circuits.to_vec())?;
-    let placements = place_combined_n(&input, options)?;
-    run_combined_with_placements(&input, options, name, &placements)
+    run_pair(&input, options, name)
 }
 
 /// Runs the full comparison for one multi-mode circuit (any mode count —
-/// the name is historical; this is a thin wrapper over the combined-N
-/// staged flow).
+/// the name is historical): compiles the combined stage graph and
+/// executes it uncached.
 ///
 /// # Errors
 ///
@@ -547,8 +549,18 @@ pub fn run_pair(
     options: &FlowOptions,
     name: impl Into<String>,
 ) -> Result<CombinedMetrics, FlowError> {
-    let placements = place_combined_n(input, options)?;
-    run_combined_with_placements(input, options, name, &placements)
+    let plan = crate::stage::combined_plan(input.clone(), *options);
+    let run = plan.execute(&crate::stage::NoHooks, options.intra_parallelism);
+    match run.artifact? {
+        crate::stage::Artifact::Combined(mut metrics) => {
+            metrics.name = name.into();
+            Ok(metrics)
+        }
+        other => Err(FlowError::Internal(format!(
+            "combined plan resolved to a {:?} artifact",
+            other.kind()
+        ))),
+    }
 }
 
 #[cfg(test)]

@@ -45,6 +45,7 @@ mod experiment;
 mod flow;
 pub mod pool;
 pub mod report;
+pub mod stage;
 pub mod timing;
 mod tunable;
 
@@ -55,6 +56,7 @@ pub use experiment::{
 };
 pub use flow::{DcsFlow, DcsResult, FlowOptions, MdrFlow, MdrResult, MultiModeInput, WidthChoice};
 pub use report::Stats;
+pub use stage::{DcsSummary, MdrSummary};
 pub use timing::{dcs_timing, mdr_timing, TimingReport, LUT_DELAY};
 pub use tunable::{TunableCircuit, TunableConnection, TunableLutBits, TunableSite, TunableStats};
 
@@ -74,4 +76,7 @@ const _: () = {
     assert_send_sync::<CombinedPlacements>();
     assert_send_sync::<TunableCircuit>();
     assert_send_sync::<FlowError>();
+    assert_send_sync::<stage::Artifact>();
+    assert_send_sync::<stage::StagePlan>();
+    assert_send_sync::<stage::StageTiming>();
 };

@@ -16,9 +16,9 @@
 //! half-entry under the final name. Reads validate shape, embedded key
 //! *and* content checksum; anything unreadable, mismatched or torn
 //! counts as `corrupt`, is moved into `<root>/quarantine/` for
-//! post-mortem (swept by the next [`StageCache::gc`]), and falls back
-//! to recomputation — a corrupted cache can cost time, never
-//! correctness.
+//! post-mortem (size-accounted and evicted oldest-first by
+//! [`StageCache::gc`] like any entry), and falls back to recomputation
+//! — a corrupted cache can cost time, never correctness.
 //!
 //! The [`crate::faultpoint`] sites [`faultpoint::CACHE_READ_IO`] and
 //! [`faultpoint::CACHE_WRITE_PARTIAL`] inject unreadable reads and torn
@@ -38,7 +38,7 @@ pub struct CacheCounters {
     corrupt: AtomicU64,
 }
 
-/// A point-in-time snapshot of [`CacheCounters`].
+/// A point-in-time snapshot of the cache's lifetime counters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct CacheStats {
     /// Entries served from disk.
@@ -239,6 +239,11 @@ impl StageCache {
     /// Eviction order is deterministic (modification time, then path);
     /// a concurrently-vanishing entry is skipped, never an error.
     ///
+    /// Quarantined corpses under `<root>/quarantine/` participate like
+    /// any other entry: they count toward `scanned`/`bytes_before`, obey
+    /// `max_age`, and are evicted oldest-first under the byte budget —
+    /// a store that is mostly corpses still converges below `max_bytes`.
+    ///
     /// # Errors
     ///
     /// Fails only if the cache root cannot be read.
@@ -259,11 +264,13 @@ impl StageCache {
             for entry in reader.filter_map(Result::ok) {
                 let path = entry.path();
                 if path.is_dir() {
-                    // Quarantined entries are not live cache state; they
-                    // are swept wholesale below, not LRU-ranked.
-                    if !(dir == self.root && path.file_name().is_some_and(|n| n == "quarantine")) {
-                        stack.push(path);
-                    }
+                    // `quarantine/` is scanned like any other directory:
+                    // its corpses occupy the same disk budget as live
+                    // entries, so they must be size-accounted and
+                    // LRU-ranked (quarantining preserves mtime, so old
+                    // corpses are early victims) — ignoring them let a
+                    // corrupted store exceed `max_bytes` forever.
+                    stack.push(path);
                 } else if path.extension().is_some_and(|e| e == "json") {
                     if let Ok(meta) = entry.metadata() {
                         // Unreadable mtime ⇒ rank as "used right now":
@@ -314,19 +321,6 @@ impl StageCache {
             }
         }
 
-        // Quarantined corpses are post-mortem evidence, not cache
-        // state: every sweep clears them unconditionally.
-        if let Ok(reader) = std::fs::read_dir(self.quarantine_dir()) {
-            for entry in reader.filter_map(Result::ok) {
-                let len = entry.metadata().map(|m| m.len()).unwrap_or(0);
-                if std::fs::remove_file(entry.path()).is_ok() {
-                    summary.scanned += 1;
-                    summary.evicted += 1;
-                    summary.bytes_before += len;
-                    summary.bytes_evicted += len;
-                }
-            }
-        }
         Ok(summary)
     }
 }
@@ -423,11 +417,51 @@ mod tests {
         cache.put("result", &key, &Value::Num(42.0));
         assert_eq!(cache.get("result", &key), Some(Value::Num(42.0)));
 
-        // GC sweeps the quarantine wholesale, leaving the live entry.
-        let sweep = cache.gc(None, None).unwrap();
-        assert_eq!(sweep.evicted, 1, "only the corpse is swept");
+        // The corpse is ordinary GC state now: an unlimited sweep keeps
+        // it (post-mortem evidence has no deadline of its own), a byte
+        // budget evicts it oldest-first before any live entry.
+        let scan = cache.gc(None, None).unwrap();
+        assert_eq!(scan.scanned, 2, "corpse and live entry both scanned");
+        assert_eq!(scan.evicted, 0, "no limits, no eviction");
+        assert!(corpse.exists());
+        let sweep = cache.gc(Some(scan.bytes_before - 1), None).unwrap();
+        assert_eq!(sweep.evicted, 1, "the corpse is the oldest victim");
         assert!(!corpse.exists());
         assert_eq!(cache.get("result", &key), Some(Value::Num(42.0)));
+        let _ = std::fs::remove_dir_all(cache.root());
+    }
+
+    /// Regression: `gc` used to skip `quarantine/` during the scan and
+    /// instead wipe it wholesale after budgeting — so corpses were
+    /// invisible to `max_bytes` accounting. They must participate in
+    /// size accounting and oldest-first eviction like live entries.
+    #[test]
+    fn gc_accounts_for_and_evicts_quarantined_entries() {
+        let cache = StageCache::open(tmp_root("gc_quar")).unwrap();
+        let k0 = "0".repeat(64);
+        let k1 = "f".repeat(64);
+        cache.put("result", &k0, &Value::Str("x".repeat(64)));
+        let path = cache.entry_path("result", &k0);
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, &text[..text.len() / 2]).unwrap();
+        assert!(cache.get("result", &k0).is_none(), "corrupt => quarantined");
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        cache.put("result", &k1, &Value::Str("y".repeat(64)));
+
+        let scan = cache.gc(None, None).unwrap();
+        assert_eq!(scan.scanned, 2, "the corpse is size-accounted");
+        assert_eq!(scan.evicted, 0, "corpses are no longer swept wholesale");
+        let corpse = cache.quarantine_dir().join(format!("{k0}.json"));
+        assert!(corpse.exists());
+
+        let sweep = cache.gc(Some(scan.bytes_before - 1), None).unwrap();
+        assert_eq!(sweep.evicted, 1, "budget eviction is oldest-first");
+        assert!(!corpse.exists(), "the older corpse went before live data");
+        assert_eq!(
+            cache.get("result", &k1),
+            Some(Value::Str("y".repeat(64))),
+            "the younger live entry survives"
+        );
         let _ = std::fs::remove_dir_all(cache.root());
     }
 

@@ -1,4 +1,5 @@
-//! The batch engine: fan-out, stage caching, streaming, summary.
+//! The batch engine: a generic stage-plan executor with fan-out,
+//! caching, streaming and summary.
 //!
 //! # Execution model
 //!
@@ -12,40 +13,47 @@
 //!   identical** to the sequential run (verified by the integration
 //!   tests — this is the engine's determinism contract).
 //!
+//! Each job [compiles](Job::compile) to a typed
+//! [`StagePlan`](mm_flow::stage::StagePlan) — per-mode annealing legs
+//! fanning into a summarize/combine root — and runs through the plan
+//! executor, which schedules ready nodes onto the pool (within the
+//! job's intra-parallelism budget) and records per-node wall clock and
+//! cache outcome. There is no per-flavor execution code here: `dcs`,
+//! `mdr` and `pair`/`combined` differ only in the plan they compile to.
+//!
 //! # Stage caching
 //!
-//! With a cache configured, each job consults two content-addressed
-//! stages keyed by SHA-256 over the canonical BLIF of every mode, the
-//! architecture fingerprint, the option fingerprints and the flow kind:
+//! With a cache configured, the engine's [`PlanHooks`] key every node by
+//! SHA-256 over its structural fingerprint — stage name, stage params,
+//! the canonical input BLIFs and the fingerprints of its dependencies,
+//! composed recursively. Two namespaces fall out of the artifact kind:
 //!
-//! * `result` — the finished summary. A hit skips the job entirely.
-//! * `placement` — the expensive annealing stage (DCS combined placement
-//!   or MDR per-mode placements). A hit skips annealing and re-runs only
-//!   routing/extraction. Jobs that share a mode group, seed and placer
-//!   configuration share this entry even across different router
-//!   settings.
+//! * `result` — summary/combine roots. A hit skips the whole plan.
+//! * `placement` — the expensive annealing legs. A hit skips annealing
+//!   and re-runs only routing/extraction. Placement fingerprints
+//!   exclude router options, so jobs differing only in routing
+//!   configuration share annealing work.
 //!
-//! `pair` jobs (the full experimental comparison, any mode count —
-//! specs may spell the flow `combined`) are stage-granular too: their
-//! three annealing legs (MDR per-mode, DCS edge-matching, DCS
-//! wire-length) use **the same** placement keys as the plain `mdr`/`dcs`
-//! jobs on the same mode list, so placements flow freely between
-//! combined jobs and plain jobs in either direction. Failures are never
-//! cached.
+//! Because the legs of a `pair` job carry **the same** fingerprints as
+//! plain `mdr`/`dcs` jobs on the same mode list (labels are display
+//! only), placements flow freely between combined jobs and plain jobs
+//! in either direction — sharing is structural, not special-cased.
+//! Failures are never cached.
 
 use crate::cache::{CacheStats, StageCache};
 use crate::hash::Sha256;
 use crate::job::{
-    multi_placement_from, placements_from, placements_value, DcsSummary, FlowKind, Job,
-    JobCacheInfo, JobError, JobOutcome, JobResult, MdrSummary,
+    multi_placement_from, placements_from, placements_value, Job, JobCacheInfo, JobError,
+    JobOutcome, JobResult,
 };
 use crate::json::ObjBuilder;
 use mm_flow::pool;
-use mm_flow::{run_combined_with_placements, CombinedPlacements, DcsFlow, MdrFlow, MultiModeInput};
-use mm_netlist::blif;
-use mm_place::PlacerOptions;
+use mm_flow::stage::{
+    Artifact, ArtifactKind, CacheOutcome, Lookup, PlanHooks, PlanNode, StageTiming,
+};
 use std::path::PathBuf;
 use std::sync::atomic::Ordering;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Engine configuration.
@@ -80,6 +88,12 @@ pub struct EngineStats {
     /// Flow stages actually executed across the batch (0 on a fully warm
     /// cache — the "zero recomputation" acceptance check).
     pub stages_recomputed: usize,
+    /// Plan nodes served from the cache across the batch — placements
+    /// *and* summary roots (the node-level dual of `stages_recomputed`).
+    pub stages_from_cache: usize,
+    /// Wall clock summed over every resolved plan node in the batch —
+    /// the stage-level serial estimate (cache lookups included).
+    pub stage_time: Duration,
     /// On-disk cache entries that failed validation during the batch and
     /// were quarantined (then transparently recomputed). Nonzero means
     /// the store was corrupted — and that the corruption never reached a
@@ -96,6 +110,7 @@ impl EngineStats {
     #[must_use]
     pub fn from_results(results: &[JobResult]) -> Self {
         let ok = results.iter().filter(|r| r.outcome.is_ok()).count();
+        let stage_timings = results.iter().flat_map(|r| &r.stages);
         Self {
             jobs: results.len(),
             ok,
@@ -103,6 +118,11 @@ impl EngineStats {
             results_from_cache: results.iter().filter(|r| r.cache.result_hit).count(),
             placements_from_cache: results.iter().filter(|r| r.cache.placement_hit).count(),
             stages_recomputed: results.iter().map(|r| r.cache.stages_recomputed).sum(),
+            stages_from_cache: stage_timings
+                .clone()
+                .filter(|s| s.cache == CacheOutcome::Hit)
+                .count(),
+            stage_time: stage_timings.map(|s| s.duration).sum(),
             quarantined: 0,
         }
     }
@@ -156,6 +176,7 @@ impl BatchReport {
             .field("threads", self.threads)
             .field("wall_ms", self.wall.as_millis() as u64)
             .field("serial_estimate_ms", serial.as_millis() as u64)
+            .field("stage_time_ms", self.stats.stage_time.as_millis() as u64)
             .field("parallel_speedup", (speedup * 100.0).round() / 100.0)
             .field(
                 "cache",
@@ -163,6 +184,7 @@ impl BatchReport {
                     .field("results_from_cache", self.stats.results_from_cache)
                     .field("placements_from_cache", self.stats.placements_from_cache)
                     .field("stages_recomputed", self.stats.stages_recomputed)
+                    .field("stages_from_cache", self.stats.stages_from_cache)
                     .field("hits", self.cache.hits)
                     .field("misses", self.cache.misses)
                     .field("writes", self.cache.writes)
@@ -336,395 +358,186 @@ impl Engine {
                 outcome: Err(JobError::engine("cancelled before execution")),
                 cache: JobCacheInfo::default(),
                 duration: Duration::ZERO,
+                stages: Vec::new(),
             };
         }
         let t0 = Instant::now();
         let mut info = JobCacheInfo::default();
-        let outcome = self.run_flow(job, &mut info);
+        let (outcome, stages) = self.run_flow(job, &mut info);
         JobResult {
             name: job.name.clone(),
             flow: job.flow,
             outcome,
             cache: info,
             duration: t0.elapsed(),
+            stages,
         }
     }
 
-    fn run_flow(&self, job: &Job, info: &mut JobCacheInfo) -> Result<JobOutcome, JobError> {
-        let input =
-            MultiModeInput::new(job.circuits.clone()).map_err(|e| JobError::from_flow(&e))?;
-        // Serializing the circuits and hashing keys is only worth doing
-        // when there is a cache (or memo) to consult.
-        let keys = (self.cache.is_some() || self.memo.is_some()).then(|| KeyContext {
-            blifs: job.circuits.iter().map(blif::to_blif).collect(),
-            arch_fp: job.options.base_arch(&input).fingerprint(),
-        });
-
-        let result_key = keys.as_ref().map(|k| {
-            stage_key(
-                "result",
-                &[
-                    &job.flow.fingerprint(),
-                    &job.options.fingerprint(),
-                    &k.arch_fp,
-                ],
-                &k.blifs,
-            )
-        });
-        // Fastest first: the in-memory memo, then the disk cache (a disk
-        // hit back-fills the memo).
-        if let (Some(memo), Some(key)) = (&self.memo, &result_key) {
-            let memo = memo.lock().expect("memo lock");
-            if let Some(outcome) = memo
-                .get(key)
-                .and_then(|v| JobOutcome::from_value(v, &job.name))
-            {
-                info.result_hit = true;
-                return Ok(outcome);
-            }
-        }
-        if let (Some(cache), Some(key)) = (&self.cache, &result_key) {
-            if let Some(v) = cache.get("result", key) {
-                if let Some(outcome) = JobOutcome::from_value(&v, &job.name) {
-                    if let Some(memo) = &self.memo {
-                        memo.lock().expect("memo lock").put(key, v);
-                    }
-                    info.result_hit = true;
-                    return Ok(outcome);
-                }
-            }
-        }
-
-        let outcome = match job.flow {
-            FlowKind::Dcs(cost) => self.run_dcs(job, &input, cost, keys.as_ref(), info)?,
-            FlowKind::Mdr => self.run_mdr(job, &input, keys.as_ref(), info)?,
-            FlowKind::Pair => self.run_combined_staged(job, &input, keys.as_ref(), info)?,
-        };
-        if let Some(key) = &result_key {
-            let value = outcome.to_value();
-            if let Some(cache) = &self.cache {
-                cache.put("result", key, &value);
-            }
-            if let Some(memo) = &self.memo {
-                memo.lock().expect("memo lock").put(key, value);
-            }
-        }
-        Ok(outcome)
-    }
-
-    fn run_dcs(
+    /// Compiles the job to its stage plan and runs it through the plan
+    /// executor; every flow flavour takes this one path. The per-job
+    /// cache provenance is derived from the executor's per-node
+    /// telemetry, so batch counters and stage timings can never
+    /// disagree.
+    fn run_flow(
         &self,
         job: &Job,
-        input: &MultiModeInput,
-        cost: mm_place::CostKind,
-        keys: Option<&KeyContext>,
         info: &mut JobCacheInfo,
-    ) -> Result<JobOutcome, JobError> {
-        let flow = DcsFlow::new(job.options).with_cost(cost);
-        // The placement key deliberately excludes router options: jobs
-        // differing only in routing configuration share annealing work.
-        let placer = PlacerOptions {
-            cost,
-            ..job.options.placer
+    ) -> (Result<JobOutcome, JobError>, Vec<StageTiming>) {
+        let plan = match job.compile() {
+            Ok(plan) => plan,
+            Err(e) => return (Err(JobError::from_flow(&e)), Vec::new()),
         };
-        let key = keys.map(|k| k.placement_key("dcs", &placer));
-
-        let placement = self
-            .cached_placement(key.as_deref(), |v| multi_placement_from(&job.circuits, v))
-            .inspect(|_p| {
-                info.placement_hit = true;
-                info.placement_hits += 1;
-            });
-        let placement = match placement {
-            Some(p) => p,
-            None => {
-                info.stages_recomputed += 1;
-                let p = flow.place(input).map_err(|e| JobError::from_flow(&e))?;
-                if let (Some(cache), Some(key)) = (&self.cache, &key) {
-                    cache.put("placement", key, &placements_value(&job.circuits, &p.modes));
+        let hooks = EngineHooks {
+            cache: self.cache.as_ref(),
+            memo: self.memo.as_ref(),
+            job,
+        };
+        let run = plan.execute(&hooks, job.options.intra_parallelism);
+        for stage in &run.stages {
+            match stage.cache {
+                CacheOutcome::Hit if stage.kind.is_placement() => {
+                    info.placement_hit = true;
+                    info.placement_hits += 1;
                 }
-                p
+                // Summaries are always plan roots: a summary hit is a
+                // full result hit and nothing downstream exists to run.
+                CacheOutcome::Hit => info.result_hit = true,
+                CacheOutcome::Miss | CacheOutcome::Uncached => info.stages_recomputed += 1,
             }
+        }
+        let outcome = match run.artifact {
+            Ok(Artifact::Dcs(s)) => Ok(JobOutcome::Dcs(s)),
+            Ok(Artifact::Mdr(s)) => Ok(JobOutcome::Mdr(s)),
+            Ok(Artifact::Combined(mut m)) => {
+                // Plans are nameless (names would poison fingerprint
+                // sharing); the engine restores the job's name here.
+                m.name = job.name.clone();
+                Ok(JobOutcome::Pair(m))
+            }
+            Ok(other) => Err(JobError::engine(format!(
+                "plan resolved to a {:?} artifact instead of a summary",
+                other.kind()
+            ))),
+            Err(e) => Err(JobError::from_flow(&e)),
         };
+        (outcome, run.stages)
+    }
+}
 
-        info.stages_recomputed += 1; // routing + extraction always run on a result miss
-        let r = flow
-            .run_with_placement(input, placement)
-            .map_err(|e| JobError::from_flow(&e))?;
-        let modes = input.mode_count();
-        // Routed STA only for timing jobs: default records must stay
-        // byte-identical to builds without the timing subsystem.
-        let critical_paths = if matches!(cost, mm_place::CostKind::Timing { .. }) {
-            Some(
-                r.critical_paths(input.circuits())
-                    .map_err(|e| JobError::from_flow(&e))?,
-            )
+/// The engine's cache integration with the plan executor: nodes are
+/// keyed by SHA-256 over their structural fingerprint, placements and
+/// summaries land in separate namespaces, and summary values are
+/// additionally memoized in memory (a disk hit back-fills the memo).
+struct EngineHooks<'a> {
+    cache: Option<&'a StageCache>,
+    memo: Option<&'a std::sync::Mutex<ResultMemo>>,
+    job: &'a Job,
+}
+
+impl EngineHooks<'_> {
+    /// The on-disk key of one node: the structural fingerprint, hashed
+    /// (fingerprints are readable but unbounded; keys must be file
+    /// names).
+    fn key(node: &PlanNode) -> String {
+        let mut h = Sha256::new();
+        h.field(b"mm-engine-v2");
+        h.field(node.fingerprint().as_bytes());
+        h.finish_hex()
+    }
+
+    fn namespace(kind: ArtifactKind) -> &'static str {
+        if kind.is_placement() {
+            "placement"
         } else {
-            None
-        };
-        Ok(JobOutcome::Dcs(DcsSummary {
-            grid: r.arch.grid,
-            channel_width: r.arch.channel_width,
-            modes,
-            param_bits: r.parameterized_routing_bits(),
-            static_on_bits: r.param.static_on_bits(),
-            dcs_cost: r.dcs_cost(),
-            mdr_cost: r.mdr_cost(),
-            wires: (0..modes).map(|m| r.wires_in_mode(m)).collect(),
-            critical_paths,
-            tunable: r.tunable.stats(),
-        }))
+            "result"
+        }
     }
 
-    fn run_mdr(
-        &self,
-        job: &Job,
-        input: &MultiModeInput,
-        keys: Option<&KeyContext>,
-        info: &mut JobCacheInfo,
-    ) -> Result<JobOutcome, JobError> {
-        let flow = MdrFlow::new(job.options);
-        // `MdrFlow::place` always anneals with the wire-length cost, so
-        // normalize the cost out of the key: MDR jobs differing only in
-        // an (ignored) combined-placement cost share their annealing.
-        let placer = PlacerOptions {
-            cost: mm_place::CostKind::WireLength,
-            ..job.options.placer
-        };
-        let key = keys.map(|k| k.placement_key("mdr", &placer));
-
-        let placements = self
-            .cached_placement(key.as_deref(), |v| placements_from(&job.circuits, v))
-            .inspect(|_p| {
-                info.placement_hit = true;
-                info.placement_hits += 1;
-            });
-        let placements = match placements {
-            Some(p) => p,
-            None => {
-                info.stages_recomputed += 1;
-                let p = flow.place(input).map_err(|e| JobError::from_flow(&e))?;
-                if let (Some(cache), Some(key)) = (&self.cache, &key) {
-                    cache.put("placement", key, &placements_value(&job.circuits, &p));
-                }
-                p
+    /// Decodes a cached value into the artifact kind the node declares;
+    /// `None` (shape mismatch, wrong kind) is treated as a miss by the
+    /// caller.
+    fn decode(&self, kind: ArtifactKind, v: &crate::json::Value) -> Option<Artifact> {
+        match kind {
+            ArtifactKind::MdrPlacements => {
+                placements_from(&self.job.circuits, v).map(|p| Artifact::MdrPlacements(Arc::new(p)))
             }
-        };
-
-        info.stages_recomputed += 1;
-        let r = flow
-            .run_with_placements(input, placements)
-            .map_err(|e| JobError::from_flow(&e))?;
-        let modes = input.mode_count();
-        Ok(JobOutcome::Mdr(MdrSummary {
-            grid: r.arch.grid,
-            channel_width: r.arch.channel_width,
-            modes,
-            mdr_cost: r.mdr_cost(),
-            avg_diff_cost: r.average_diff_cost(),
-            wires: (0..modes).map(|m| r.wires_in_mode(m)).collect(),
-        }))
+            ArtifactKind::CombinedPlacement => multi_placement_from(&self.job.circuits, v)
+                .map(|p| Artifact::CombinedPlacement(Arc::new(p))),
+            summary => {
+                let artifact = match JobOutcome::from_value(v, &self.job.name)? {
+                    JobOutcome::Dcs(s) => Artifact::Dcs(s),
+                    JobOutcome::Mdr(s) => Artifact::Mdr(s),
+                    JobOutcome::Pair(m) => Artifact::Combined(m),
+                };
+                (artifact.kind() == summary).then_some(artifact)
+            }
+        }
     }
 
-    /// Runs a `pair`/`combined` job (any mode count) with stage-granular
-    /// caching: each of the three annealing legs is looked up (and
-    /// stored) under **exactly** the placement key a plain `mdr`/`dcs`
-    /// job on the same mode list would use, so placements are shared
-    /// between combined jobs and plain jobs in both directions. Only
-    /// the missing legs are recomputed; when all three miss they anneal
-    /// concurrently on the work-stealing pool (within the job's
-    /// intra-parallelism budget).
-    fn run_combined_staged(
-        &self,
-        job: &Job,
-        input: &MultiModeInput,
-        keys: Option<&KeyContext>,
-        info: &mut JobCacheInfo,
-    ) -> Result<JobOutcome, JobError> {
-        let wl_placer = PlacerOptions {
-            cost: mm_place::CostKind::WireLength,
-            ..job.options.placer
-        };
-        let edge_placer = PlacerOptions {
-            cost: mm_place::CostKind::EdgeMatching,
-            ..job.options.placer
-        };
-        let mdr_key = keys.map(|k| k.placement_key("mdr", &wl_placer));
-        let edge_key = keys.map(|k| k.placement_key("dcs", &edge_placer));
-        let wl_key = keys.map(|k| k.placement_key("dcs", &wl_placer));
+    fn encode(&self, artifact: &Artifact) -> crate::json::Value {
+        match artifact {
+            Artifact::MdrPlacements(p) => placements_value(&self.job.circuits, p),
+            Artifact::CombinedPlacement(p) => placements_value(&self.job.circuits, &p.modes),
+            Artifact::Dcs(s) => JobOutcome::Dcs(s.clone()).to_value(),
+            Artifact::Mdr(s) => JobOutcome::Mdr(s.clone()).to_value(),
+            Artifact::Combined(m) => JobOutcome::Pair(m.clone()).to_value(),
+        }
+    }
+}
 
-        let mdr = self.cached_placement(mdr_key.as_deref(), |v| placements_from(&job.circuits, v));
-        let edge = self.cached_placement(edge_key.as_deref(), |v| {
-            multi_placement_from(&job.circuits, v)
-        });
-        let wl = self.cached_placement(wl_key.as_deref(), |v| {
-            multi_placement_from(&job.circuits, v)
-        });
-        let hits =
-            usize::from(mdr.is_some()) + usize::from(edge.is_some()) + usize::from(wl.is_some());
-        if hits > 0 {
-            info.placement_hit = true;
-            info.placement_hits += hits;
+impl PlanHooks for EngineHooks<'_> {
+    fn lookup(&self, node: &PlanNode) -> Lookup {
+        let kind = node.output_kind();
+        let cacheable_in_memo = !kind.is_placement() && self.memo.is_some();
+        if self.cache.is_none() && !cacheable_in_memo {
+            return Lookup::Uncached;
         }
-
-        // Anneal whatever is missing, concurrently (within the job's
-        // intra-parallelism budget) — each computed leg is stored under
-        // its plain-job key. Leg flavours are disjoint, so the pooled
-        // results are matched back by kind.
-        enum LegKind {
-            Mdr,
-            Edge,
-            Wl,
+        let key = Self::key(node);
+        // Fastest first: the in-memory memo (summaries only), then the
+        // disk cache.
+        if cacheable_in_memo {
+            let memo = self.memo.expect("checked").lock().expect("memo lock");
+            if let Some(artifact) = memo.get(&key).and_then(|v| self.decode(kind, v)) {
+                return Lookup::Hit(artifact);
+            }
         }
-        enum LegPlacement {
-            Mdr(Vec<mm_place::Placement>),
-            Edge(mm_place::MultiPlacement),
-            Wl(mm_place::MultiPlacement),
-        }
-        let mut missing = Vec::new();
-        if mdr.is_none() {
-            missing.push(LegKind::Mdr);
-        }
-        if edge.is_none() {
-            missing.push(LegKind::Edge);
-        }
-        if wl.is_none() {
-            missing.push(LegKind::Wl);
-        }
-        info.stages_recomputed += missing.len();
-        let threads = match job.options.intra_parallelism {
-            0 => missing.len().max(1),
-            t => t,
-        };
-        let computed = pool::run_ordered(
-            missing,
-            threads,
-            |_, kind| -> Result<LegPlacement, JobError> {
-                match kind {
-                    LegKind::Mdr => MdrFlow::new(job.options)
-                        .place(input)
-                        .map(LegPlacement::Mdr)
-                        .map_err(|e| JobError::from_flow(&e)),
-                    LegKind::Edge => DcsFlow::new(job.options)
-                        .with_cost(mm_place::CostKind::EdgeMatching)
-                        .place(input)
-                        .map(LegPlacement::Edge)
-                        .map_err(|e| JobError::from_flow(&e)),
-                    LegKind::Wl => DcsFlow::new(job.options)
-                        .with_cost(mm_place::CostKind::WireLength)
-                        .place(input)
-                        .map(LegPlacement::Wl)
-                        .map_err(|e| JobError::from_flow(&e)),
-                }
-            },
-            |_, _| {},
-        );
-        let (mut mdr, mut edge, mut wl) = (mdr, edge, wl);
-        for leg in computed {
-            match leg? {
-                LegPlacement::Mdr(p) => {
-                    if let (Some(cache), Some(key)) = (&self.cache, &mdr_key) {
-                        cache.put("placement", key, &placements_value(&job.circuits, &p));
+        if let Some(cache) = self.cache {
+            if let Some(v) = cache.get(Self::namespace(kind), &key) {
+                if let Some(artifact) = self.decode(kind, &v) {
+                    if cacheable_in_memo {
+                        if let Some(memo) = self.memo {
+                            memo.lock().expect("memo lock").put(&key, v);
+                        }
                     }
-                    mdr = Some(p);
-                }
-                LegPlacement::Edge(p) => {
-                    if let (Some(cache), Some(key)) = (&self.cache, &edge_key) {
-                        cache.put("placement", key, &placements_value(&job.circuits, &p.modes));
-                    }
-                    edge = Some(p);
-                }
-                LegPlacement::Wl(p) => {
-                    if let (Some(cache), Some(key)) = (&self.cache, &wl_key) {
-                        cache.put("placement", key, &placements_value(&job.circuits, &p.modes));
-                    }
-                    wl = Some(p);
+                    return Lookup::Hit(artifact);
                 }
             }
         }
-        // A leg that is neither cached nor computed is an engine bug —
-        // but a long-running service must degrade it to one failed job,
-        // never to a process abort taking every other job down with it.
-        let missing_leg = |leg: &'static str| {
-            JobError::engine(format!("pair {leg} leg neither cached nor computed"))
-        };
-        let placements = CombinedPlacements {
-            mdr: mdr.ok_or_else(|| missing_leg("mdr"))?,
-            edge: edge.ok_or_else(|| missing_leg("edge"))?,
-            wirelength: wl.ok_or_else(|| missing_leg("wirelength"))?,
-        };
-
-        info.stages_recomputed += 1; // routing + extraction of the three legs
-        let metrics =
-            run_combined_with_placements(input, &job.options, job.name.clone(), &placements)
-                .map_err(|e| JobError::from_flow(&e))?;
-        Ok(JobOutcome::Pair(metrics))
+        Lookup::Miss
     }
 
-    fn cached_placement<P>(
-        &self,
-        key: Option<&str>,
-        decode: impl FnOnce(&crate::json::Value) -> Option<P>,
-    ) -> Option<P> {
-        let cache = self.cache.as_ref()?;
-        let v = cache.get("placement", key?)?;
-        decode(&v)
+    fn store(&self, node: &PlanNode, artifact: &Artifact) {
+        let kind = node.output_kind();
+        if self.cache.is_none() && (kind.is_placement() || self.memo.is_none()) {
+            return;
+        }
+        let key = Self::key(node);
+        let value = self.encode(artifact);
+        if let Some(cache) = self.cache {
+            cache.put(Self::namespace(kind), &key, &value);
+        }
+        if !kind.is_placement() {
+            if let Some(memo) = self.memo {
+                memo.lock().expect("memo lock").put(&key, value);
+            }
+        }
     }
-}
-
-/// The per-job material every cache key is derived from; only built
-/// when a cache is configured.
-struct KeyContext {
-    blifs: Vec<String>,
-    arch_fp: String,
-}
-
-impl KeyContext {
-    /// The placement-stage key of one annealing leg — shared verbatim
-    /// between plain jobs and the legs of `pair` jobs.
-    fn placement_key(&self, flow: &str, placer: &PlacerOptions) -> String {
-        stage_key(
-            "placement",
-            &[flow, &placer.fingerprint(), &self.arch_fp],
-            &self.blifs,
-        )
-    }
-}
-
-/// A content-addressed stage key: SHA-256 over the engine version, the
-/// stage, every context fingerprint and every mode's canonical BLIF, all
-/// length-prefixed.
-fn stage_key(stage: &str, context: &[&str], blifs: &[String]) -> String {
-    let mut h = Sha256::new();
-    h.field(b"mm-engine-v1");
-    h.field(stage.as_bytes());
-    for part in context {
-        h.field(part.as_bytes());
-    }
-    for text in blifs {
-        h.field(text.as_bytes());
-    }
-    h.finish_hex()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn stage_keys_separate_stage_context_and_content() {
-        let blifs = vec!["a".to_string(), "b".to_string()];
-        let base = stage_key("result", &["x"], &blifs);
-        assert_eq!(base.len(), 64);
-        assert_eq!(base, stage_key("result", &["x"], &blifs));
-        assert_ne!(base, stage_key("placement", &["x"], &blifs));
-        assert_ne!(base, stage_key("result", &["y"], &blifs));
-        assert_ne!(
-            base,
-            stage_key("result", &["x"], &["ab".to_string()]),
-            "field framing"
-        );
-    }
 
     #[test]
     fn thread_resolution() {

@@ -17,11 +17,17 @@
 
 use crate::json::{self, ObjBuilder, Value};
 use mm_bitstream::RewriteCost;
-use mm_flow::{FlowOptions, PairMetrics, TunableStats, WidthChoice};
+use mm_flow::stage::{StagePlan, StageTiming};
+use mm_flow::{FlowOptions, MultiModeInput, PairMetrics, TunableStats, WidthChoice};
 use mm_netlist::{blif, LutCircuit};
 use mm_place::{CostKind, MultiPlacement, Placement};
 use std::path::Path;
 use std::time::Duration;
+
+// The numeric run summaries moved into the stage module with the
+// stage-graph refactor (the summarizing stages produce them); re-export
+// them here so `mm_engine::{DcsSummary, MdrSummary}` stays a stable path.
+pub use mm_flow::stage::{DcsSummary, MdrSummary};
 
 /// Which flow a job runs.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -128,68 +134,53 @@ pub struct Job {
 }
 
 impl Job {
-    /// A content-addressed scheduling fingerprint: SHA-256 over the flow
-    /// kind, the option fingerprint and the canonical BLIF of every mode
-    /// — the same ingredients as the engine's cache keys, folded to 64
-    /// bits. The job *name* is deliberately excluded, so identical legs
+    /// Compiles the job to its typed stage plan: per-mode placement legs
+    /// fanning into the summarizing stage for [`FlowKind::Dcs`] /
+    /// [`FlowKind::Mdr`], or the three annealing legs joining in the
+    /// combine stage for [`FlowKind::Pair`].
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`mm_flow::FlowError::Input`] when the mode circuits
+    /// do not form a valid multi-mode input (plans only exist for
+    /// validated inputs).
+    pub fn compile(&self) -> Result<StagePlan, mm_flow::FlowError> {
+        let input = MultiModeInput::new(self.circuits.clone())?;
+        Ok(match self.flow {
+            FlowKind::Dcs(cost) => mm_flow::stage::dcs_plan(input, self.options, cost),
+            FlowKind::Mdr => mm_flow::stage::mdr_plan(input, self.options),
+            FlowKind::Pair => mm_flow::stage::combined_plan(input, self.options),
+        })
+    }
+
+    /// A content-addressed scheduling fingerprint: SHA-256 over the
+    /// compiled plan's root fingerprint — the same structural identity
+    /// the engine's stage cache keys derive from — folded to 64 bits.
+    /// The job *name* is deliberately excluded, so identical legs
     /// submitted under different names (or by different clients) hash
     /// identically and a fingerprint-sharded scheduler lands them on the
     /// same worker group, where they hit the same cache entries.
+    ///
+    /// Jobs whose circuits fail input validation (and therefore cannot
+    /// compile to a plan) fall back to hashing the raw ingredients —
+    /// flow kind, option fingerprint, canonical BLIFs — so scheduling
+    /// never panics on a job that will merely error at execution.
     #[must_use]
     pub fn fingerprint(&self) -> u64 {
         let mut h = crate::hash::Sha256::new();
-        h.field(self.flow.fingerprint().as_bytes());
-        h.field(self.options.fingerprint().as_bytes());
-        for circuit in &self.circuits {
-            h.field(blif::to_blif(circuit).as_bytes());
+        match self.compile() {
+            Ok(plan) => h.field(plan.root_fingerprint().as_bytes()),
+            Err(_) => {
+                h.field(self.flow.fingerprint().as_bytes());
+                h.field(self.options.fingerprint().as_bytes());
+                for circuit in &self.circuits {
+                    h.field(blif::to_blif(circuit).as_bytes());
+                }
+            }
         }
         let digest = h.finish();
         u64::from_le_bytes(digest[..8].try_into().expect("SHA-256 yields 32 bytes"))
     }
-}
-
-/// Numeric summary of one DCS run (everything the batch reports).
-#[derive(Debug, Clone, PartialEq)]
-pub struct DcsSummary {
-    /// Array side length.
-    pub grid: usize,
-    /// Final channel width.
-    pub channel_width: usize,
-    /// Mode count.
-    pub modes: usize,
-    /// Parameterized routing bits (the paper's headline per-switch cost).
-    pub param_bits: usize,
-    /// Statically-on routing bits.
-    pub static_on_bits: usize,
-    /// DCS rewrite cost.
-    pub dcs_cost: RewriteCost,
-    /// MDR rewrite cost on the same fabric.
-    pub mdr_cost: RewriteCost,
-    /// Wires used per mode.
-    pub wires: Vec<usize>,
-    /// Per-mode critical-path delays from routed STA, populated only
-    /// when the job asked for the timing cost (`None` otherwise so
-    /// default result records stay byte-identical).
-    pub critical_paths: Option<Vec<f64>>,
-    /// Tunable-circuit statistics.
-    pub tunable: TunableStats,
-}
-
-/// Numeric summary of one MDR run.
-#[derive(Debug, Clone, PartialEq)]
-pub struct MdrSummary {
-    /// Array side length.
-    pub grid: usize,
-    /// Final channel width.
-    pub channel_width: usize,
-    /// Mode count.
-    pub modes: usize,
-    /// Full-region rewrite cost.
-    pub mdr_cost: RewriteCost,
-    /// Diff-based rewrite cost, averaged over ordered mode pairs.
-    pub avg_diff_cost: RewriteCost,
-    /// Wires used per mode.
-    pub wires: Vec<usize>,
 }
 
 /// What a finished job produced.
@@ -298,29 +289,59 @@ pub struct JobResult {
     pub cache: JobCacheInfo,
     /// Wall-clock execution time of this job (on whatever worker ran it).
     pub duration: Duration,
+    /// Per-stage telemetry from the plan executor: name, wall clock and
+    /// cache outcome of every stage node the run touched. Empty for jobs
+    /// that failed before compiling to a plan. Never serialized into the
+    /// default record — only [`JobResult::to_json_line_with_stages`]
+    /// (the `--emit-stage-times` path) renders it.
+    pub stages: Vec<StageTiming>,
 }
 
 impl JobResult {
+    fn record(&self) -> ObjBuilder {
+        let b = ObjBuilder::new()
+            .field("name", self.name.as_str())
+            .field("flow", self.flow.name());
+        match &self.outcome {
+            Ok(outcome) => b.field("status", "ok").field("metrics", outcome.to_value()),
+            Err(e) => b
+                .field("status", "error")
+                .field("stage", e.stage)
+                .field("error", e.message.as_str()),
+        }
+    }
+
     /// The deterministic JSONL record: semantic content only, no timings
     /// or cache provenance, so records are byte-identical across serial,
     /// parallel and cached executions.
     #[must_use]
     pub fn to_json_line(&self) -> String {
-        let b = ObjBuilder::new()
-            .field("name", self.name.as_str())
-            .field("flow", self.flow.name());
-        let value = match &self.outcome {
-            Ok(outcome) => b
-                .field("status", "ok")
-                .field("metrics", outcome.to_value())
-                .build(),
-            Err(e) => b
-                .field("status", "error")
-                .field("stage", e.stage)
-                .field("error", e.message.as_str())
-                .build(),
-        };
-        value.to_json()
+        self.record().build().to_json()
+    }
+
+    /// The default record with a trailing `stages` array appended — one
+    /// `{"name", "ms", "cache"}` object per executed stage node. This is
+    /// the opt-in `--emit-stage-times` rendering; timings make it
+    /// non-deterministic by construction, so it never feeds caches or
+    /// golden comparisons.
+    #[must_use]
+    pub fn to_json_line_with_stages(&self) -> String {
+        let stages = Value::Arr(
+            self.stages
+                .iter()
+                .map(|s| {
+                    ObjBuilder::new()
+                        .field("name", s.name.as_str())
+                        .field(
+                            "ms",
+                            usize::try_from(s.duration.as_millis()).unwrap_or(usize::MAX),
+                        )
+                        .field("cache", s.cache.as_str())
+                        .build()
+                })
+                .collect(),
+        );
+        self.record().field("stages", stages).build().to_json()
     }
 }
 
@@ -894,6 +915,7 @@ fn parse_job(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mm_flow::stage::CacheOutcome;
     use mm_netlist::TruthTable;
 
     fn tiny(name: &str) -> LutCircuit {
@@ -1269,6 +1291,12 @@ mod tests {
             })),
             cache: JobCacheInfo::default(),
             duration: Duration::from_millis(5),
+            stages: vec![StageTiming {
+                name: "place-mdr".into(),
+                kind: mm_flow::stage::ArtifactKind::MdrPlacements,
+                cache: CacheOutcome::Miss,
+                duration: Duration::from_millis(12),
+            }],
         };
         let line = ok.to_json_line();
         assert!(
@@ -1276,6 +1304,22 @@ mod tests {
             "{line}"
         );
         assert!(!line.contains("duration"), "no timing in records");
+        assert!(
+            !line.contains("stages"),
+            "stage telemetry never leaks into default records: {line}"
+        );
+
+        // The opt-in rendering is the default record plus a trailing
+        // stages array.
+        let with_stages = ok.to_json_line_with_stages();
+        assert!(
+            with_stages.starts_with(&line[..line.len() - 1]),
+            "{with_stages}"
+        );
+        assert!(
+            with_stages.ends_with(r#","stages":[{"name":"place-mdr","ms":12,"cache":"miss"}]}"#),
+            "{with_stages}"
+        );
 
         let err = JobResult {
             name: "j".into(),
@@ -1286,10 +1330,16 @@ mod tests {
             }),
             cache: JobCacheInfo::default(),
             duration: Duration::ZERO,
+            stages: Vec::new(),
         };
         assert_eq!(
             err.to_json_line(),
             r#"{"name":"j","flow":"pair","status":"error","stage":"route","error":"boom"}"#
+        );
+        assert_eq!(
+            err.to_json_line_with_stages(),
+            r#"{"name":"j","flow":"pair","status":"error","stage":"route","error":"boom","stages":[]}"#,
+            "error records still carry an (empty) stages array when asked"
         );
     }
 }

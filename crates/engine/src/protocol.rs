@@ -86,6 +86,12 @@ pub struct BatchRequest {
     /// batches compete for workers at this level before fairness ties
     /// within a level are broken per client.
     pub priority: u8,
+    /// Append per-stage telemetry (`"stages":[{"name","ms","cache"}]`)
+    /// to every streamed record (`mmflow batch --emit-stage-times`).
+    /// Off by default — and off the wire when off — so default records
+    /// stay byte-identical across protocol generations (an optional
+    /// member within protocol version 2).
+    pub emit_stage_times: bool,
 }
 
 impl BatchRequest {
@@ -103,6 +109,7 @@ impl BatchRequest {
             max_iterations: None,
             max_width: None,
             priority: DEFAULT_PRIORITY,
+            emit_stage_times: false,
         }
     }
 
@@ -185,6 +192,9 @@ impl Request {
                 if b.priority != DEFAULT_PRIORITY {
                     o = o.field("priority", b.priority as usize);
                 }
+                if b.emit_stage_times {
+                    o = o.field("emit_stage_times", true);
+                }
                 o.build().to_json()
             }
         }
@@ -237,6 +247,11 @@ impl Request {
                         return Err(format!("\"priority\" must be 0..={MAX_PRIORITY}"));
                     }
                     request.priority = p as u8;
+                }
+                if let Some(emit) = v.get("emit_stage_times") {
+                    request.emit_stage_times = emit
+                        .as_bool()
+                        .ok_or("\"emit_stage_times\" must be a boolean")?;
                 }
                 Ok(Request::Batch(request))
             }
@@ -471,6 +486,7 @@ mod tests {
         batch.max_iterations = Some(30);
         batch.max_width = Some(24);
         batch.priority = 7;
+        batch.emit_stage_times = true;
         for request in [Request::Batch(batch), Request::Ping, Request::Shutdown] {
             let line = request.to_json_line();
             assert_eq!(Request::parse(&line).unwrap(), request, "{line}");
@@ -494,6 +510,12 @@ mod tests {
         assert!(!Request::Batch(BatchRequest::new("x"))
             .to_json_line()
             .contains("priority"));
+        // Likewise stage-time telemetry: off by default and off the
+        // wire, so old servers keep accepting default requests.
+        assert!(!b.emit_stage_times);
+        assert!(!Request::Batch(BatchRequest::new("x"))
+            .to_json_line()
+            .contains("emit_stage_times"));
 
         // Small seeds serialize as plain numbers.
         let line = Request::Batch(BatchRequest {

@@ -53,6 +53,6 @@ mod client;
 mod scheduler;
 mod server;
 
-pub use client::{BatchOutcome, Client, Rejection};
+pub use client::{BatchOutcome, Client, Rejection, DEFAULT_CONNECT_TIMEOUT};
 pub use scheduler::{Admitted, ClientId, Rejected, Scheduler, ShardStats};
 pub use server::{Listen, ServeOptions, ServeReport, Server, ServerHandle, SocketStream};

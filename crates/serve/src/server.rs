@@ -755,6 +755,10 @@ struct Streaming {
     results: Vec<JobResult>,
     t0: Instant,
     cache_before: CacheStats,
+    /// Append per-stage telemetry to every streamed record (the
+    /// request's `emit_stage_times` member). Default records stay the
+    /// exact `mmflow batch` bytes.
+    emit_stage_times: bool,
     /// Fault injection (`conn_drop`): abruptly close the connection once
     /// this many records have streamed — simulates a client killed
     /// mid-batch.
@@ -939,7 +943,11 @@ impl Conn {
                 let Some(result) = streaming.collector.try_take(streaming.next) else {
                     break;
                 };
-                let mut record = result.to_json_line();
+                let mut record = if streaming.emit_stage_times {
+                    result.to_json_line_with_stages()
+                } else {
+                    result.to_json_line()
+                };
                 record.push('\n');
                 self.out.extend_from_slice(record.as_bytes());
                 streaming.results.push(result);
@@ -1073,6 +1081,7 @@ impl Conn {
                             outcome: Err(JobError::engine("cancelled: client disconnected")),
                             cache: JobCacheInfo::default(),
                             duration: Duration::ZERO,
+                            stages: Vec::new(),
                         }
                     } else {
                         // Counted here — not at admission — so the
@@ -1105,6 +1114,7 @@ impl Conn {
                                 ))),
                                 cache: JobCacheInfo::default(),
                                 duration: deadline,
+                                stages: Vec::new(),
                             },
                         );
                     }
@@ -1140,6 +1150,7 @@ impl Conn {
                     results: Vec::with_capacity(n),
                     t0,
                     cache_before,
+                    emit_stage_times: request.emit_stage_times,
                     drop_at,
                 });
             }
@@ -1228,6 +1239,7 @@ fn execute_with_retries(engine: &Engine, job: &Job, counters: &Counters) -> JobR
                     ))),
                     cache: JobCacheInfo::default(),
                     duration: Duration::ZERO,
+                    stages: Vec::new(),
                 }
             }
             Err(_) => {
