@@ -140,6 +140,107 @@ pub fn router_workload(config: &PerfConfig) -> (RoutingGraph, Vec<RouteNet>, Rou
     (rrg, nets, RouterOptions::for_modes(modes))
 }
 
+/// A seeded high-fanout (broadcast-shaped) routing workload: one hub
+/// net with `fanout` sinks dealt out across the whole fabric, plus
+/// `fanout / 4` single-sink background nets for congestion pressure.
+///
+/// Deterministic per `(grid, width, fanout)`, so the steiner-off and
+/// steiner-on measurements route exactly the same problem.
+#[must_use]
+pub fn high_fanout_workload(
+    grid: usize,
+    width: usize,
+    fanout: usize,
+) -> (RoutingGraph, Vec<RouteNet>) {
+    let rrg = RoutingGraph::build(&Architecture::new(4, grid, width));
+    let mut rng = StdRng::seed_from_u64(0xfa40 ^ fanout as u64);
+    let mut sites: Vec<mm_arch::Site> = (1..=grid)
+        .flat_map(|x| (1..=grid).map(move |y| mm_arch::Site::new(x as u16, y as u16, 0)))
+        .collect();
+    for i in (1..sites.len()).rev() {
+        sites.swap(i, rng.gen_range(0..=i));
+    }
+    let background = fanout / 4;
+    assert!(
+        sites.len() > fanout + background,
+        "fabric too small for fanout {fanout}"
+    );
+    let all = ModeSet::of(&[0]);
+    let sinks = sites[1..=fanout]
+        .iter()
+        .map(|&s| RouteSink {
+            node: rrg.logic_sink(s),
+            activation: all,
+        })
+        .collect();
+    let mut nets = vec![RouteNet {
+        name: "hub".into(),
+        source: rrg.logic_source(sites[0]),
+        sinks,
+    }];
+    let rest = &sites[fanout + 1..];
+    for (i, &driver) in rest.iter().take(background).enumerate() {
+        let target = rest[(i * 7 + 3) % rest.len()];
+        nets.push(RouteNet {
+            name: format!("bg{i}"),
+            source: rrg.logic_source(driver),
+            sinks: vec![RouteSink {
+                node: rrg.logic_sink(target),
+                activation: all,
+            }],
+        });
+    }
+    (rrg, nets)
+}
+
+/// One measured high-fanout comparison: the broadcast workload routed
+/// with the Steiner decomposition off vs on, both parity-gated against
+/// the naive reference under identical options.
+#[derive(Debug, Clone)]
+pub struct HighFanoutRun {
+    /// Sinks on the hub net.
+    pub fanout: usize,
+    /// Nets in the workload (hub + background).
+    pub nets: usize,
+    /// The `steiner_fanout` threshold used for the "on" measurement.
+    pub steiner_fanout: usize,
+    /// Best-of-reps wall-clock with the decomposition off, milliseconds.
+    pub off_ms: f64,
+    /// Best-of-reps wall-clock with the decomposition on, milliseconds.
+    pub on_ms: f64,
+    /// off / on wall-clock.
+    pub speedup: f64,
+    /// Total routed tree nodes with the decomposition off.
+    pub off_wirelength: usize,
+    /// Total routed tree nodes with the decomposition on.
+    pub on_wirelength: usize,
+    /// on / off wirelength.
+    pub wirelength_ratio: f64,
+    /// Both gates held: optimized == reference with Steiner off AND
+    /// with Steiner on.
+    pub parity_ok: bool,
+    /// Both configurations routed successfully.
+    pub routed: bool,
+}
+
+impl HighFanoutRun {
+    fn to_value(&self) -> mm_engine::json::Value {
+        ObjBuilder::new()
+            .field("fanout", self.fanout)
+            .field("nets", self.nets)
+            .field("steiner_fanout", self.steiner_fanout)
+            .field("off_ms", round2(self.off_ms))
+            .field("on_ms", round2(self.on_ms))
+            .field("speedup", round2(self.speedup))
+            .field("off_wirelength", self.off_wirelength)
+            .field("on_wirelength", self.on_wirelength)
+            .field("wirelength_ratio", round2(self.wirelength_ratio))
+            .field("parity_ok", self.parity_ok)
+            .field("routed", self.routed)
+            .build()
+    }
+}
+
 /// The router benchmark report.
 #[derive(Debug, Clone)]
 pub struct RouterPerf {
@@ -171,6 +272,9 @@ pub struct RouterPerf {
     pub parity_ok: bool,
     /// The workload routed successfully.
     pub routed: bool,
+    /// The high-fanout sweep: Steiner decomposition off vs on per
+    /// fanout, each parity-gated against the reference.
+    pub high_fanout: Vec<HighFanoutRun>,
 }
 
 impl RouterPerf {
@@ -196,6 +300,13 @@ impl RouterPerf {
             .field("speedup", round2(self.speedup))
             .field("parity_ok", self.parity_ok)
             .field("routed", self.routed)
+            .field(
+                "high_fanout",
+                self.high_fanout
+                    .iter()
+                    .map(HighFanoutRun::to_value)
+                    .collect::<Vec<_>>(),
+            )
             .build()
             .to_json()
     }
@@ -274,6 +385,20 @@ pub fn router_perf(config: &PerfConfig) -> RouterPerf {
             (22, 8)
         }
     };
+    let fanouts: &[usize] = if config.smoke {
+        &[32, 64]
+    } else {
+        &[32, 64, 128]
+    };
+    // The high-fanout comparison keeps the full-size grid even in smoke
+    // mode (milliseconds per run): on a toy fabric the hub's sinks tile
+    // the whole grid, the "local" Steiner boxes degenerate into the net
+    // box, and the measured ratio says nothing about the decomposition.
+    let hf_grid = 22;
+    let high_fanout = fanouts
+        .iter()
+        .map(|&f| high_fanout_run(hf_grid, width, f, reps))
+        .collect();
     RouterPerf {
         grid,
         width,
@@ -287,6 +412,57 @@ pub fn router_perf(config: &PerfConfig) -> RouterPerf {
         speedup: baseline_ms / optimized_ms.max(1e-9),
         parity_ok,
         routed: optimized_result.success,
+        high_fanout,
+    }
+}
+
+/// Measures one high-fanout comparison: the same broadcast workload
+/// routed with the Steiner decomposition off and on. Wall-clocks are
+/// best-of-reps (the minimum is the least noisy location estimate for
+/// a CI-gated ratio); both configurations are parity-checked against
+/// the naive reference before timing.
+fn high_fanout_run(grid: usize, width: usize, fanout: usize, reps: usize) -> HighFanoutRun {
+    /// Any net at or above this sink count routes along the Steiner
+    /// topology in the "on" configuration — between the background
+    /// fanout (1) and the smallest hub fanout benched (32).
+    const STEINER_THRESHOLD: usize = 16;
+    let (rrg, nets) = high_fanout_workload(grid, width, fanout);
+    let options_off = RouterOptions::default();
+    let options_on = options_off.with_steiner(STEINER_THRESHOLD);
+
+    let off_result = Router::new(&rrg, options_off).route(&nets);
+    let on_result = Router::new(&rrg, options_on).route(&nets);
+    let parity_ok = routings_identical(&off_result, &route_reference(&rrg, options_off, &nets))
+        && routings_identical(&on_result, &route_reference(&rrg, options_on, &nets));
+
+    let wirelength = |r: &mm_route::Routing| r.nets.iter().map(|n| n.tree.len()).sum::<usize>();
+    let best_of = |options: RouterOptions| {
+        let mut router = Router::new(&rrg, options);
+        let _ = router.route(&nets); // warm the arena
+        (0..reps)
+            .map(|_| {
+                let t0 = Instant::now();
+                let r = router.route(&nets);
+                std::hint::black_box(r.success);
+                t0.elapsed().as_secs_f64() * 1000.0
+            })
+            .fold(f64::INFINITY, f64::min)
+    };
+    let off_ms = best_of(options_off);
+    let on_ms = best_of(options_on);
+    let (off_wl, on_wl) = (wirelength(&off_result), wirelength(&on_result));
+    HighFanoutRun {
+        fanout,
+        nets: nets.len(),
+        steiner_fanout: STEINER_THRESHOLD,
+        off_ms,
+        on_ms,
+        speedup: off_ms / on_ms.max(1e-9),
+        off_wirelength: off_wl,
+        on_wirelength: on_wl,
+        wirelength_ratio: on_wl as f64 / off_wl.max(1) as f64,
+        parity_ok,
+        routed: off_result.success && on_result.success,
     }
 }
 

@@ -33,8 +33,9 @@ USAGE:
                                           SPEC is a JSON spec file, a
                                           directory of BLIF mode groups, or
                                           suite:<NAME>[:<modes>] with NAME
-                                          one of regexp|fir|mcnc|deeplogic
-                                          (modes per problem, default 2)
+                                          one of regexp|fir|mcnc|deeplogic|
+                                          broadcast (modes per problem,
+                                          default 2)
   mmflow pareto <SPEC> [OPTIONS]          run every problem of a batch once
                                           per timing-cost alpha and print a
                                           wirelength-vs-critical-path table;
@@ -57,7 +58,7 @@ USAGE:
   mmflow stats <CIRCUIT.blif>...          circuit statistics
   mmflow gen <SUITE> <DIR>                write a benchmark suite as BLIF;
                                           SUITE is one of
-                                          regexp|fir|mcnc|deeplogic
+                                          regexp|fir|mcnc|deeplogic|broadcast
 
 OPTIONS:
   -k <N>           LUT input count (default 4)
@@ -82,6 +83,9 @@ BATCH OPTIONS:
   --no-cache       disable the stage cache
   --jobs <N>       only run the first N jobs of the batch
   --out <FILE>     write JSONL results to FILE instead of stdout
+  --steiner-fanout <N>
+                   route nets with N or more sinks along a rectilinear
+                   Steiner topology (0 = off, the default)
   --emit-stage-times
                    append per-stage timings to every record as
                    stages: [{name, ms, cache}] (off by default so
@@ -131,7 +135,7 @@ SUBMIT OPTIONS:
   --emit-stage-times
                     ask the server to append per-stage timings to each
                     record, as in batch
-  --seed/--width/--effort/--max-iterations/--max-width
+  --seed/--width/--effort/--max-iterations/--max-width/--steiner-fanout
                     flow overrides, as in batch specs
   --out <FILE>      write JSONL results to FILE instead of stdout
   --shutdown        ask the server to drain and exit (after the batch,
@@ -362,6 +366,9 @@ fn cmd_batch(args: &[String]) -> Result<(), Box<dyn Error>> {
             }
             "--seed" => flow.placer.seed = next_value(&mut it, "--seed")?.parse()?,
             "--effort" => flow.placer.inner_num = next_value(&mut it, "--effort")?.parse()?,
+            "--steiner-fanout" => {
+                flow.router.steiner_fanout = next_value(&mut it, "--steiner-fanout")?.parse()?;
+            }
             other if other.starts_with('-') => {
                 return Err(format!("unknown batch option '{other}'").into());
             }
@@ -462,6 +469,9 @@ fn cmd_pareto(args: &[String]) -> Result<(), Box<dyn Error>> {
             }
             "--seed" => flow.placer.seed = next_value(&mut it, "--seed")?.parse()?,
             "--effort" => flow.placer.inner_num = next_value(&mut it, "--effort")?.parse()?,
+            "--steiner-fanout" => {
+                flow.router.steiner_fanout = next_value(&mut it, "--steiner-fanout")?.parse()?;
+            }
             other if other.starts_with('-') => {
                 return Err(format!("unknown pareto option '{other}'").into());
             }
@@ -660,6 +670,7 @@ fn cmd_submit(args: &[String]) -> Result<(), Box<dyn Error>> {
     let mut effort: Option<f64> = None;
     let mut max_iterations: Option<usize> = None;
     let mut max_width: Option<usize> = None;
+    let mut steiner_fanout: Option<usize> = None;
     let mut priority: Option<u8> = None;
     let mut emit_stage_times = false;
     let mut retries = 0u32;
@@ -683,6 +694,9 @@ fn cmd_submit(args: &[String]) -> Result<(), Box<dyn Error>> {
                 max_iterations = Some(next_value(&mut it, "--max-iterations")?.parse()?);
             }
             "--max-width" => max_width = Some(next_value(&mut it, "--max-width")?.parse()?),
+            "--steiner-fanout" => {
+                steiner_fanout = Some(next_value(&mut it, "--steiner-fanout")?.parse()?);
+            }
             other if other.starts_with('-') => {
                 return Err(format!("unknown submit option '{other}'").into());
             }
@@ -708,6 +722,7 @@ fn cmd_submit(args: &[String]) -> Result<(), Box<dyn Error>> {
         request.effort = effort;
         request.max_iterations = max_iterations;
         request.max_width = max_width;
+        request.steiner_fanout = steiner_fanout;
         if let Some(priority) = priority {
             if priority > mm_engine::protocol::MAX_PRIORITY {
                 return Err(format!(
@@ -821,8 +836,23 @@ fn cmd_bench(args: &[String]) -> Result<(), Box<dyn Error>> {
             router.optimized_ops_per_sec,
             if router.parity_ok { "ok" } else { "FAILED" },
         );
+        for hf in &router.high_fanout {
+            eprintln!(
+                "  router[fanout {}]: steiner off {:.2} ms, on {:.2} ms → {:.2}x \
+                 (wirelength ratio {:.2}, parity {})",
+                hf.fanout,
+                hf.off_ms,
+                hf.on_ms,
+                hf.speedup,
+                hf.wirelength_ratio,
+                if hf.parity_ok { "ok" } else { "FAILED" },
+            );
+        }
         if !router.parity_ok || !router.routed {
             return Err("router benchmark failed its parity/routability sanity checks".into());
+        }
+        if router.high_fanout.iter().any(|h| !h.parity_ok || !h.routed) {
+            return Err("high-fanout benchmark failed its parity/routability sanity checks".into());
         }
         write_json("BENCH_router.json", router.to_json())?;
     }
@@ -1049,13 +1079,14 @@ fn cmd_stats(args: &[String]) -> Result<(), Box<dyn Error>> {
 
 fn cmd_gen(args: &[String]) -> Result<(), Box<dyn Error>> {
     let [suite, dir] = args else {
-        return Err("usage: mmflow gen <regexp|fir|mcnc|deeplogic> <DIR>".into());
+        return Err("usage: mmflow gen <regexp|fir|mcnc|deeplogic|broadcast> <DIR>".into());
     };
     let circuits = match suite.as_str() {
         "regexp" => mm_gen::regexp_suite(4),
         "fir" => mm_gen::fir_suite(4),
         "mcnc" => mm_gen::mcnc_suite(4),
         "deeplogic" => mm_gen::deeplogic_suite(4),
+        "broadcast" => mm_gen::broadcast_suite(4),
         other => return Err(format!("unknown suite '{other}'").into()),
     };
     std::fs::create_dir_all(dir)?;

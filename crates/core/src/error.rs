@@ -17,6 +17,16 @@ pub enum FlowError {
         /// What was being routed.
         context: String,
     },
+    /// Sinks no path can reach at all — hard unreachability, not
+    /// congestion. Wider channels replicate the same connectivity
+    /// pattern, so the route stage fails fast instead of burning its
+    /// width-growth retries.
+    UnreachableSinks {
+        /// What was being routed.
+        context: String,
+        /// Names of the nets with unreachable sinks.
+        nets: Vec<String>,
+    },
     /// Internal invariant violated (verification failed).
     Internal(String),
 }
@@ -28,6 +38,13 @@ impl fmt::Display for FlowError {
             FlowError::Place(e) => write!(f, "placement failed: {e}"),
             FlowError::Unroutable { max_width, context } => {
                 write!(f, "{context} unroutable within channel width {max_width}")
+            }
+            FlowError::UnreachableSinks { context, nets } => {
+                write!(
+                    f,
+                    "{context}: sinks of nets [{}] are unreachable at any channel width",
+                    nets.join(", ")
+                )
             }
             FlowError::Internal(msg) => write!(f, "internal flow error: {msg}"),
         }

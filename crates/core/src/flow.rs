@@ -263,6 +263,20 @@ pub(crate) fn route_with_growth(
         if routing.success {
             return Ok((arch, rrg, net_list, routing));
         }
+        if routing.unrouted_sinks > 0 {
+            // Hard unreachability, not congestion: the fabric family
+            // replicates the same connectivity at every width, so the
+            // growth retries cannot help — fail the route stage with
+            // the offending nets immediately.
+            return Err(FlowError::UnreachableSinks {
+                context: context.to_string(),
+                nets: routing
+                    .unreachable_nets(&net_list)
+                    .iter()
+                    .map(|s| (*s).to_string())
+                    .collect(),
+            });
+        }
         if w >= max_width {
             return Err(FlowError::Unroutable {
                 max_width,
@@ -506,6 +520,16 @@ impl MdrFlow {
                     nets_for_circuit(circuit, &rrg, ModeSet::single(0), |b| placement.site_of(b));
                 let routing = route_engine.route(&nets);
                 if !routing.success {
+                    if routing.unrouted_sinks > 0 {
+                        return Err(FlowError::UnreachableSinks {
+                            context: format!("MDR mode {m}"),
+                            nets: routing
+                                .unreachable_nets(&nets)
+                                .iter()
+                                .map(|s| (*s).to_string())
+                                .collect(),
+                        });
+                    }
                     ok = false;
                     break;
                 }
@@ -972,6 +996,40 @@ mod tests {
         let mut e = FlowOptions::default();
         e.placer.inner_num = 2.0;
         assert_ne!(a.fingerprint(), e.fingerprint());
+    }
+
+    #[test]
+    fn unreachable_sinks_fail_fast() {
+        // A "sink" that is really a SOURCE node has no incoming edges, so
+        // no channel width can reach it: the route stage must surface the
+        // structured error instead of burning width-growth retries.
+        let arch = Architecture::new(4, 3, 4);
+        let err = route_with_growth(
+            &arch,
+            4,
+            64,
+            &RouterOptions::default(),
+            "growth test",
+            None,
+            |rrg| {
+                vec![RouteNet {
+                    name: "stuck".into(),
+                    source: rrg.logic_source(mm_arch::Site::new(1, 1, 0)),
+                    sinks: vec![mm_route::RouteSink {
+                        node: rrg.logic_source(mm_arch::Site::new(3, 3, 0)),
+                        activation: ModeSet::of(&[0]),
+                    }],
+                }]
+            },
+        )
+        .unwrap_err();
+        match err {
+            FlowError::UnreachableSinks { context, nets } => {
+                assert_eq!(context, "growth test");
+                assert_eq!(nets, vec!["stuck".to_string()]);
+            }
+            other => panic!("expected UnreachableSinks, got {other}"),
+        }
     }
 
     #[test]

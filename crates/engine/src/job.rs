@@ -7,8 +7,9 @@
 //! * a JSON spec file (`{"defaults": …, "jobs": [{"modes": [...]}, …]}`
 //!   — each job's `"modes"` array is the mode list, any length),
 //! * a directory whose subdirectories each hold one BLIF mode group,
-//! * a generated suite (`suite:regexp`, `suite:fir`, `suite:mcnc`),
-//!   optionally with a mode count per problem (`suite:regexp:3`).
+//! * a generated suite (`suite:regexp`, `suite:fir`, `suite:mcnc`,
+//!   `suite:deeplogic`, `suite:broadcast`), optionally with a mode count
+//!   per problem (`suite:regexp:3`).
 //!
 //! A [`JobResult`] serializes to one deterministic JSON line: the record
 //! is purely semantic (no timings, no cache provenance), so a cached
@@ -258,7 +259,9 @@ impl JobError {
         let stage = match e {
             mm_flow::FlowError::Input(_) => "input",
             mm_flow::FlowError::Place(_) => "place",
-            mm_flow::FlowError::Unroutable { .. } => "route",
+            mm_flow::FlowError::Unroutable { .. } | mm_flow::FlowError::UnreachableSinks { .. } => {
+                "route"
+            }
             mm_flow::FlowError::Internal(_) => "verify",
         };
         Self {
@@ -594,7 +597,8 @@ pub struct BatchSpec {
 
 /// Loads a batch from `spec`:
 ///
-/// * `suite:<regexp|fir|mcnc>[:<modes>]` — the paper's multi-mode
+/// * `suite:<regexp|fir|mcnc|deeplogic|broadcast>[:<modes>]` — the
+///   paper's multi-mode
 ///   combinations of a generated suite; the optional `:<modes>` suffix
 ///   selects the mode count per problem (default 2 — the paper's
 ///   pairings);
@@ -714,9 +718,13 @@ pub fn suite_jobs_n(
             mm_gen::deeplogic_suite(k),
             mm_gen::all_tuples(mm_gen::SUITE_SIZE, modes),
         ),
+        "broadcast" => (
+            mm_gen::broadcast_suite(k),
+            mm_gen::all_tuples(mm_gen::SUITE_SIZE, modes),
+        ),
         other => {
             return Err(format!(
-                "unknown suite '{other}' (regexp|fir|mcnc|deeplogic)"
+                "unknown suite '{other}' (regexp|fir|mcnc|deeplogic|broadcast)"
             ))
         }
     };
@@ -903,6 +911,11 @@ fn parse_job(
         options.max_width = max_width
             .as_usize()
             .ok_or("\"max_width\" must be an integer")?;
+    }
+    if let Some(fanout) = lookup(jv, defaults, "steiner_fanout") {
+        options.router.steiner_fanout = fanout
+            .as_usize()
+            .ok_or("\"steiner_fanout\" must be an integer")?;
     }
     Ok(Job {
         name,

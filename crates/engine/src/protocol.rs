@@ -82,6 +82,9 @@ pub struct BatchRequest {
     pub max_iterations: Option<usize>,
     /// Width-search cap override.
     pub max_width: Option<usize>,
+    /// Steiner-tree fanout threshold override
+    /// (`RouterOptions::steiner_fanout`; 0 disables the decomposition).
+    pub steiner_fanout: Option<usize>,
     /// Scheduling priority (`0..=MAX_PRIORITY`, higher runs first);
     /// batches compete for workers at this level before fairness ties
     /// within a level are broken per client.
@@ -108,6 +111,7 @@ impl BatchRequest {
             effort: None,
             max_iterations: None,
             max_width: None,
+            steiner_fanout: None,
             priority: DEFAULT_PRIORITY,
             emit_stage_times: false,
         }
@@ -132,6 +136,9 @@ impl BatchRequest {
         }
         if let Some(max_width) = self.max_width {
             options.max_width = max_width;
+        }
+        if let Some(fanout) = self.steiner_fanout {
+            options.router.steiner_fanout = fanout;
         }
         options
     }
@@ -189,6 +196,9 @@ impl Request {
                 if let Some(w) = b.max_width {
                     o = o.field("max_width", w);
                 }
+                if let Some(sf) = b.steiner_fanout {
+                    o = o.field("steiner_fanout", sf);
+                }
                 if b.priority != DEFAULT_PRIORITY {
                     o = o.field("priority", b.priority as usize);
                 }
@@ -237,6 +247,7 @@ impl Request {
                 request.width = usize_field("width")?;
                 request.max_iterations = usize_field("max_iterations")?;
                 request.max_width = usize_field("max_width")?;
+                request.steiner_fanout = usize_field("steiner_fanout")?;
                 request.seed = v.get("seed").map(parse_seed).transpose()?;
                 request.effort = v
                     .get("effort")
@@ -485,6 +496,7 @@ mod tests {
         batch.effort = Some(1.5);
         batch.max_iterations = Some(30);
         batch.max_width = Some(24);
+        batch.steiner_fanout = Some(48);
         batch.priority = 7;
         batch.emit_stage_times = true;
         for request in [Request::Batch(batch), Request::Ping, Request::Shutdown] {
@@ -604,12 +616,14 @@ mod tests {
         batch.effort = Some(2.0);
         batch.max_iterations = Some(17);
         batch.max_width = Some(33);
+        batch.steiner_fanout = Some(64);
         let o = batch.flow_options(&FlowOptions::default());
         assert_eq!(o.placer.seed, 9);
         assert_eq!(o.width, WidthChoice::Fixed(11));
         assert!((o.placer.inner_num - 2.0).abs() < 1e-12);
         assert_eq!(o.router.max_iterations, 17);
         assert_eq!(o.max_width, 33);
+        assert_eq!(o.router.steiner_fanout, 64);
         // No overrides ⇒ the base options pass through untouched.
         let untouched = BatchRequest::new("s").flow_options(&FlowOptions::default());
         assert_eq!(untouched, FlowOptions::default());

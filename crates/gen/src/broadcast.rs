@@ -1,0 +1,107 @@
+//! Broadcast benchmark circuits: one hub net with very high fanout.
+//!
+//! The paper's suites (RegExp, FIR, MCNC) have modest per-net fanout, so
+//! the router's per-sink whole-net bounding boxes stay small. These
+//! generators build the opposite shape — a single hub LUT fanning out to
+//! dozens of consumers spread across the fabric — where a whole-net box
+//! covers most of the chip and every sink search pays for it. They are
+//! the workload for the Steiner-tree decomposition mode
+//! (`RouterOptions::steiner_fanout` in `mm-route`) and the `high_fanout`
+//! section of `BENCH_router.json`.
+
+use mm_netlist::{BlockId, LutCircuit, TruthTable};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One broadcast circuit: a hub LUT driving `fanout` consumer LUTs.
+///
+/// * a handful of primary inputs feed the hub LUT (the broadcast
+///   driver);
+/// * `fanout` consumer LUTs each read the hub plus one random primary
+///   input, so the hub's net has exactly `fanout` sinks after
+///   consumer-site deduplication by the placer;
+/// * a second "counter-pressure" chain threads through a quarter of the
+///   consumers so placement cannot collapse them all onto one spot;
+/// * two outputs tap the end of that chain.
+///
+/// Deterministic per `(name, k, fanout, seed)`; `k >= 2` and
+/// `fanout >= 1` required.
+///
+/// # Panics
+///
+/// Panics on `k < 2` or `fanout == 0`.
+#[must_use]
+pub fn broadcast_circuit(name: &str, k: usize, fanout: usize, seed: u64) -> LutCircuit {
+    assert!(k >= 2, "broadcast circuits need at least 2-LUTs");
+    assert!(fanout > 0, "degenerate broadcast shape");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut c = LutCircuit::new(name, k);
+
+    let inputs: Vec<BlockId> = (0..4)
+        .map(|i| c.add_input(format!("i{i}")).unwrap())
+        .collect();
+    let hub_fanin: Vec<BlockId> = inputs.iter().copied().take(k.min(4)).collect();
+    let n = hub_fanin.len();
+    let hub = c
+        .add_lut("hub", hub_fanin, TruthTable::from_bits(n, rng.gen()), false)
+        .unwrap();
+
+    // The broadcast: every consumer reads the hub (plus a side input so
+    // truth tables stay non-trivial).
+    let consumers: Vec<BlockId> = (0..fanout)
+        .map(|j| {
+            let side = inputs[rng.gen_range(0..inputs.len())];
+            c.add_lut(
+                format!("c{j}"),
+                vec![hub, side],
+                TruthTable::from_bits(2, rng.gen()),
+                false,
+            )
+            .unwrap()
+        })
+        .collect();
+
+    // Counter-pressure chain through every fourth consumer: gives the
+    // placer a reason to spread the consumers instead of clustering them
+    // around the hub, which keeps the hub net genuinely high-fanout in
+    // routed distance, not just in sink count.
+    let mut prev = consumers[0];
+    for (j, &cons) in consumers.iter().enumerate().skip(1) {
+        if j % 4 != 0 {
+            continue;
+        }
+        prev = c
+            .add_lut(
+                format!("s{j}"),
+                vec![prev, cons],
+                TruthTable::from_bits(2, rng.gen()),
+                false,
+            )
+            .unwrap();
+    }
+    c.add_output("y0", prev).unwrap();
+    c.add_output("y1", *consumers.last().unwrap()).unwrap();
+    c.validate().expect("generated broadcast circuit is valid");
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hub_fanout_matches_request() {
+        let c = broadcast_circuit("b", 4, 24, 9);
+        c.validate().unwrap();
+        let hub = c.find("hub").unwrap();
+        let fanout = c.connections().iter().filter(|(s, _)| *s == hub).count();
+        assert_eq!(fanout, 24);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = broadcast_circuit("b", 4, 32, 3);
+        let b = broadcast_circuit("b", 4, 32, 3);
+        assert_eq!(mm_netlist::blif::to_blif(&a), mm_netlist::blif::to_blif(&b));
+    }
+}

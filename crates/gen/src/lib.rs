@@ -22,6 +22,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod broadcast;
 pub mod deeplogic;
 pub mod fir;
 pub mod mcnc;
@@ -171,6 +172,34 @@ pub fn deeplogic_suite(k: usize) -> Vec<LutCircuit> {
                 10 + 2 * i, // chain depth
                 24 + 6 * i, // shallow noise LUTs
                 0xdee9_1057 + i as u64,
+            )
+        })
+        .collect()
+}
+
+/// Fanout of circuit `i` of the broadcast suite.
+#[must_use]
+pub const fn broadcast_fanout(i: usize) -> usize {
+    [16, 32, 64, 96, 128][i % SUITE_SIZE]
+}
+
+/// Generates the five broadcast circuits — a single hub LUT fanning out
+/// to 16/32/64/96/128 consumers ([`broadcast::broadcast_circuit`]) — the
+/// high-fanout workload for the router's Steiner-tree decomposition mode
+/// and the `high_fanout` section of `BENCH_router.json`.
+///
+/// # Panics
+///
+/// Panics on `k < 2`.
+#[must_use]
+pub fn broadcast_suite(k: usize) -> Vec<LutCircuit> {
+    (0..SUITE_SIZE)
+        .map(|i| {
+            broadcast::broadcast_circuit(
+                &format!("bcast{i}"),
+                k,
+                broadcast_fanout(i),
+                0xb04d_ca57 + i as u64,
             )
         })
         .collect()
@@ -431,6 +460,22 @@ mod tests {
             assert!((40..=160).contains(&n), "{}: {n} LUTs", c.name());
         }
         let again = deeplogic_suite(4);
+        for (x, y) in suite.iter().zip(&again) {
+            assert_eq!(mm_netlist::blif::to_blif(x), mm_netlist::blif::to_blif(y));
+        }
+    }
+
+    #[test]
+    fn broadcast_suite_shape() {
+        let suite = broadcast_suite(4);
+        assert_eq!(suite.len(), SUITE_SIZE);
+        for (i, c) in suite.iter().enumerate() {
+            c.validate().unwrap();
+            let hub = c.find("hub").unwrap();
+            let fanout = c.connections().iter().filter(|(s, _)| *s == hub).count();
+            assert_eq!(fanout, broadcast_fanout(i), "{}", c.name());
+        }
+        let again = broadcast_suite(4);
         for (x, y) in suite.iter().zip(&again) {
             assert_eq!(mm_netlist::blif::to_blif(x), mm_netlist::blif::to_blif(y));
         }

@@ -8,7 +8,12 @@
 //! * with several modes it is a TRoute-style *connection router*: every
 //!   connection carries an activation function and wires may be shared by
 //!   connections whose activation sets are disjoint (they are never live
-//!   simultaneously).
+//!   simultaneously);
+//! * above a configurable fanout threshold
+//!   ([`RouterOptions::steiner_fanout`]) nets are decomposed along a
+//!   rectilinear (Hanan-grid) Steiner topology and routed segment by
+//!   segment inside small local boxes, so broadcast-shaped nets stop
+//!   paying a whole-fabric search per sink.
 //!
 //! [`min_channel_width`] implements VPR's binary search for the smallest
 //! routable channel width, which the paper relaxes by 20% for its

@@ -58,7 +58,9 @@ pub fn nets_for_circuit(
 ///   the RRG with the recorded switch);
 /// * activation monotonicity (child ⊆ parent);
 /// * every sink reached with a sufficient activation;
-/// * per-(node, mode) capacity respected across all nets.
+/// * per-(node, mode) capacity respected across all nets;
+/// * the routing's own unreachable-sink accounting is consistent (a
+///   successful routing must not report unreachable nets).
 ///
 /// # Errors
 ///
@@ -74,6 +76,13 @@ pub fn verify_routing(
             "routing has {} nets, expected {}",
             routing.nets.len(),
             nets.len()
+        ));
+    }
+    let unreachable = routing.unreachable_nets(nets);
+    if !unreachable.is_empty() {
+        return Err(format!(
+            "unreachable sinks on nets [{}]",
+            unreachable.join(", ")
         ));
     }
     let mut usage: HashMap<(usize, usize), u16> = HashMap::new();

@@ -10,8 +10,8 @@
 //!   assert the optimized router produces byte-identical [`Routing`]
 //!   results (same trees, same iteration count), so every data-structure
 //!   optimization is provably semantics-preserving; the incremental
-//!   rip-up and HPWL-seeded bounding boxes are mirrored here so parity
-//!   covers them too;
+//!   rip-up, HPWL-seeded bounding boxes and the high-fanout Steiner
+//!   decomposition are mirrored here so parity covers them too;
 //! * **benchmarking** — `mmflow bench` and the criterion suite measure
 //!   the optimized hot path against this baseline (run it with
 //!   [`RouterOptions::without_bbox`] and
@@ -21,7 +21,8 @@
 //! It is deliberately slow; never use it from a flow.
 
 use crate::router::{
-    grow_margin, initial_margin, net_bbox, BBox, HeapEntry, Occupancy, BBOX_CONGESTION_GRACE,
+    fabric_extent, grow_margin, initial_margin, nearest_tree_point, net_bbox, steiner_bbox,
+    steiner_segments, BBox, HeapEntry, Occupancy, BBOX_CONGESTION_GRACE,
 };
 use crate::{NetRoute, RouteNet, RouteTreeNode, RouterOptions, Routing};
 use mm_arch::{RoutingGraph, RrKind, RrNodeId, SwitchId};
@@ -36,9 +37,10 @@ use std::collections::{BinaryHeap, HashMap};
 /// Panics if `options.mode_count` is 0.
 #[must_use]
 pub fn route_reference(rrg: &RoutingGraph, options: RouterOptions, nets: &[RouteNet]) -> Routing {
+    let extent = fabric_extent(rrg);
     let margins: Vec<usize> = nets
         .iter()
-        .map(|net| initial_margin(rrg, net, &options))
+        .map(|net| initial_margin(rrg, net, &options, extent))
         .collect();
     ReferenceRouter::new(rrg, options).route(nets, margins)
 }
@@ -88,7 +90,7 @@ impl<'a> ReferenceRouter<'a> {
             occ: Occupancy::new(n, options.mode_count),
             switch_use: Occupancy::new(rrg.switch_count(), options.mode_count),
             history: vec![0.0; n],
-            pres_fac: options.initial_pres_fac,
+            pres_fac: options.pres_fac_first,
             max_x,
             max_y,
             options,
@@ -152,7 +154,17 @@ impl<'a> ReferenceRouter<'a> {
         self.options.astar_fac * f64::from(dx + dy)
     }
 
+    /// The fabric extent `max(max_x, max_y)` — the margin cap.
+    fn extent(&self) -> usize {
+        usize::from(self.max_x.max(self.max_y))
+    }
+
     fn route(&mut self, nets: &[RouteNet], mut net_margin: Vec<usize>) -> Routing {
+        // Steiner segment boxes start from the flat `bbox_margin`, not
+        // the HPWL-seeded net margin (which scales with the whole net's
+        // extent), and widen only under congestion — the exact mirror of
+        // the optimized router's `steiner_margin`.
+        let mut steiner_margin = vec![self.options.bbox_margin.min(self.extent()); nets.len()];
         let mut routes: Vec<NetRoute> = vec![NetRoute::default(); nets.len()];
         let mut iterations = 0;
         let mut success = false;
@@ -170,15 +182,21 @@ impl<'a> ReferenceRouter<'a> {
                     continue;
                 }
                 if congested && iter >= reroute_all + BBOX_CONGESTION_GRACE {
-                    net_margin[i] = grow_margin(net_margin[i]);
+                    net_margin[i] = grow_margin(net_margin[i], self.extent());
+                    steiner_margin[i] = grow_margin(steiner_margin[i], self.extent());
                 }
                 rerouted_any = true;
                 if warmup || !self.options.incremental {
                     self.rip_up(&routes[i]);
-                    routes[i] = self.route_net(net, &mut net_margin[i]);
+                    routes[i] = self.route_net(net, &mut net_margin[i], steiner_margin[i]);
                 } else {
                     let mut route = std::mem::take(&mut routes[i]);
-                    self.reroute_incremental(net, &mut route, &mut net_margin[i]);
+                    self.reroute_incremental(
+                        net,
+                        &mut route,
+                        &mut net_margin[i],
+                        steiner_margin[i],
+                    );
                     routes[i] = route;
                 }
             }
@@ -211,7 +229,7 @@ impl<'a> ReferenceRouter<'a> {
                 let max = self.occ.max_all(node);
                 if max > cap {
                     overused_nodes += 1;
-                    self.history[node] += (self.options.hist_fac * f64::from(max - cap)) as f32;
+                    self.history[node] += (self.options.history_cost * f64::from(max - cap)) as f32;
                 }
             }
             if overused_nodes == 0 {
@@ -250,20 +268,23 @@ impl<'a> ReferenceRouter<'a> {
     }
 
     /// Farthest-first sink order over `sinks` (indices into the net's
-    /// sink list) — stable sort, so ties stay in ascending index order
-    /// like the optimized router's (distance, index) key.
+    /// sink list). Equal-distance sinks order by ascending sink index via
+    /// the explicit `(Reverse(distance), index)` key — the exact key the
+    /// optimized router sorts by — rather than leaning on stable-sort
+    /// artefacts, so the order is pinned independently of the sort
+    /// algorithm or platform.
     fn order_sinks(&self, net: &RouteNet, mut sinks: Vec<usize>) -> Vec<usize> {
         let src = self.rrg.node(net.source);
-        sinks.sort_by_key(|&i| {
+        sinks.sort_unstable_by_key(|&i| {
             let s = self.rrg.node(net.sinks[i].node);
             let d = (i32::from(s.x) - i32::from(src.x)).abs()
                 + (i32::from(s.y) - i32::from(src.y)).abs();
-            std::cmp::Reverse(d)
+            (std::cmp::Reverse(d), i)
         });
         sinks
     }
 
-    fn route_net(&mut self, net: &RouteNet, margin: &mut usize) -> NetRoute {
+    fn route_net(&mut self, net: &RouteNet, margin: &mut usize, steiner_margin: usize) -> NetRoute {
         let mut tree: Vec<RouteTreeNode> = Vec::with_capacity(net.sinks.len() * 8);
         let mut tree_pos: HashMap<u32, u32> = HashMap::new();
 
@@ -280,17 +301,100 @@ impl<'a> ReferenceRouter<'a> {
         tree_pos.insert(net.source.index() as u32, 0);
         self.occ.add(net.source.index(), net_act);
 
-        let order = self.order_sinks(net, (0..net.sinks.len()).collect());
         let mut sink_pos = vec![0u32; net.sinks.len()];
+        if self.options.steiner_fanout > 0 && net.sinks.len() >= self.options.steiner_fanout {
+            self.route_steiner(net, &mut tree, &mut tree_pos, &mut sink_pos, steiner_margin);
+            return NetRoute { tree, sink_pos };
+        }
+        let order = self.order_sinks(net, (0..net.sinks.len()).collect());
         self.route_sinks(net, &mut tree, &mut tree_pos, &mut sink_pos, &order, margin);
         NetRoute { tree, sink_pos }
+    }
+
+    /// The naive mirror of the optimized router's Steiner mode: the same
+    /// shared [`steiner_segments`] topology routed segment by segment
+    /// inside [`steiner_bbox`] boxes, with per-segment local growth.
+    fn route_steiner(
+        &mut self,
+        net: &RouteNet,
+        tree: &mut Vec<RouteTreeNode>,
+        tree_pos: &mut HashMap<u32, u32>,
+        sink_pos: &mut [u32],
+        margin_base: usize,
+    ) {
+        for seg in steiner_segments(self.rrg, net) {
+            let si = seg.sink as usize;
+            let sink = net.sinks[si];
+            if let Some(&pos) = tree_pos.get(&(sink.node.index() as u32)) {
+                self.extend_activation(tree, pos, sink.activation);
+                sink_pos[si] = pos;
+                continue;
+            }
+            // Same deterministic anchor as the optimized router: the
+            // tree node nearest the topological attach point.
+            let (ax, ay) = nearest_tree_point(self.rrg, tree, seg.ax, seg.ay);
+            let mut margin = margin_base;
+            let path = loop {
+                let bbox =
+                    steiner_bbox(self.rrg, sink.node, ax, ay, margin, self.max_x, self.max_y);
+                match self.search(tree, sink.node, sink.activation, bbox) {
+                    Some(path) => break Some(path),
+                    None if bbox.covers_fabric(self.max_x, self.max_y) => break None,
+                    None => margin = grow_margin(margin, self.extent()),
+                }
+            };
+            match path {
+                Some(path) => {
+                    self.claim_path(tree, tree_pos, sink_pos, si, sink.activation, &path);
+                }
+                None => sink_pos[si] = 0,
+            }
+        }
+    }
+
+    /// Claims a search result (tree node first, sink last) into the net's
+    /// tree — the naive mirror of the optimized router's `claim_path`.
+    fn claim_path(
+        &mut self,
+        tree: &mut Vec<RouteTreeNode>,
+        tree_pos: &mut HashMap<u32, u32>,
+        sink_pos: &mut [u32],
+        si: usize,
+        act: ModeSet,
+        path: &[(u32, Option<SwitchId>)],
+    ) {
+        let join = tree_pos[&path[0].0];
+        self.extend_activation(tree, join, act);
+        let mut parent = join;
+        for &(node, switch) in &path[1..] {
+            let idx = tree.len() as u32;
+            tree.push(RouteTreeNode {
+                node: RrNodeId::from_index(node),
+                parent: Some(parent),
+                switch,
+                activation: act,
+            });
+            self.occ.add(node as usize, act);
+            if let Some(s) = switch {
+                self.switch_use.add(s.index(), act);
+            }
+            tree_pos.insert(node, idx);
+            parent = idx;
+        }
+        sink_pos[si] = parent;
     }
 
     /// The incremental rip-up mirror of
     /// [`crate::Router`]'s congested-net handling: prune subtrees through
     /// overused nodes, keep (and re-claim) the rest with renarrowed
     /// activations, then re-route only the lost sinks.
-    fn reroute_incremental(&mut self, net: &RouteNet, route: &mut NetRoute, margin: &mut usize) {
+    fn reroute_incremental(
+        &mut self,
+        net: &RouteNet,
+        route: &mut NetRoute,
+        margin: &mut usize,
+        steiner_margin: usize,
+    ) {
         let tree_len = route.tree.len();
         let mut blocked = vec![false; tree_len];
         for idx in 0..tree_len {
@@ -322,7 +426,7 @@ impl<'a> ReferenceRouter<'a> {
         }
         if lost.is_empty() {
             self.rip_up(route);
-            *route = self.route_net(net, margin);
+            *route = self.route_net(net, margin, steiner_margin);
             return;
         }
 
@@ -396,30 +500,12 @@ impl<'a> ReferenceRouter<'a> {
                 match self.search(tree, sink.node, sink.activation, bbox) {
                     Some(path) => break Some(path),
                     None if bbox.covers_fabric(self.max_x, self.max_y) => break None,
-                    None => *margin = grow_margin(*margin),
+                    None => *margin = grow_margin(*margin, self.extent()),
                 }
             };
             match path {
                 Some(path) => {
-                    let join = tree_pos[&path[0].0];
-                    self.extend_activation(tree, join, sink.activation);
-                    let mut parent = join;
-                    for &(node, switch) in &path[1..] {
-                        let idx = tree.len() as u32;
-                        tree.push(RouteTreeNode {
-                            node: RrNodeId::from_index(node),
-                            parent: Some(parent),
-                            switch,
-                            activation: sink.activation,
-                        });
-                        self.occ.add(node as usize, sink.activation);
-                        if let Some(s) = switch {
-                            self.switch_use.add(s.index(), sink.activation);
-                        }
-                        tree_pos.insert(node, idx);
-                        parent = idx;
-                    }
-                    sink_pos[si] = parent;
+                    self.claim_path(tree, tree_pos, sink_pos, si, sink.activation, &path);
                 }
                 None => {
                     sink_pos[si] = 0;

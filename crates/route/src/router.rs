@@ -65,12 +65,20 @@ pub struct RouteNet {
 pub struct RouterOptions {
     /// Maximum rip-up-and-reroute iterations before giving up.
     pub max_iterations: usize,
-    /// Present-congestion factor of the first iteration.
-    pub initial_pres_fac: f64,
-    /// Present-congestion growth per iteration.
+    /// Present-congestion factor of the first iteration — the starting
+    /// point of the revisited-PathFinder cost schedule. Lower values let
+    /// early iterations overuse freely and discover short paths; higher
+    /// values make the very first iteration congestion-averse.
+    pub pres_fac_first: f64,
+    /// Present-congestion growth per iteration: after every rip-up pass
+    /// the present factor is multiplied by this, so congestion pressure
+    /// ramps geometrically until the solution is feasible.
     pub pres_fac_mult: f64,
-    /// History cost added per unit of overuse per iteration.
-    pub hist_fac: f64,
+    /// History cost added per unit of overuse per iteration — the
+    /// long-term memory of the negotiation. 0 disables history entirely
+    /// (pure present-cost routing); larger values make persistently
+    /// contested wires expensive faster.
+    pub history_cost: f64,
     /// A* aggressiveness: weight of the distance-to-target estimate.
     /// 1.0 is admissible for unit-cost wires; VPR uses 1.2.
     pub astar_fac: f64,
@@ -106,15 +114,25 @@ pub struct RouterOptions {
     /// every overused node and re-route only the sinks they lost, instead
     /// of being torn down wholesale each iteration.
     pub incremental: bool,
+    /// Fanout threshold for rectilinear-Steiner net decomposition: a net
+    /// with at least this many sinks is routed segment by segment along a
+    /// Hanan-grid Steiner topology ([`Router`] builds the topology with a
+    /// Prim-style nearest-terminal sweep), each segment confined to a
+    /// small local bounding box instead of the whole-net box — the
+    /// sink-by-sink searches of a fanout-100 broadcast net stop scaling
+    /// with the net's full extent. `0` (the default) disables Steiner
+    /// decomposition entirely, keeping every routing byte-identical to
+    /// the sink-by-sink router.
+    pub steiner_fanout: usize,
 }
 
 impl Default for RouterOptions {
     fn default() -> Self {
         Self {
             max_iterations: 40,
-            initial_pres_fac: 0.5,
+            pres_fac_first: 0.5,
             pres_fac_mult: 1.8,
-            hist_fac: 1.0,
+            history_cost: 1.0,
             astar_fac: 1.2,
             mode_count: 1,
             share_discount: 0.35,
@@ -123,6 +141,7 @@ impl Default for RouterOptions {
             bbox_margin: 3,
             hpwl_margin_div: 4,
             incremental: true,
+            steiner_fanout: 0,
         }
     }
 }
@@ -154,17 +173,25 @@ impl RouterOptions {
         self
     }
 
+    /// Returns a copy with Steiner decomposition enabled for nets of at
+    /// least `fanout` sinks (see [`RouterOptions::steiner_fanout`]).
+    #[must_use]
+    pub fn with_steiner(mut self, fanout: usize) -> Self {
+        self.steiner_fanout = fanout;
+        self
+    }
+
     /// A stable fingerprint of every option that affects the produced
     /// routing (floats by bit pattern), used by the batch engine's stage
     /// cache keys.
     #[must_use]
     pub fn fingerprint(&self) -> String {
         format!(
-            "router-v3;it={};pf={:016x};pfm={:016x};hf={:016x};as={:016x};m={};sd={:016x};pp={:016x};ra={};bb={};hd={};inc={}",
+            "router-v4;it={};pf={:016x};pfm={:016x};hf={:016x};as={:016x};m={};sd={:016x};pp={:016x};ra={};bb={};hd={};inc={};sf={}",
             self.max_iterations,
-            self.initial_pres_fac.to_bits(),
+            self.pres_fac_first.to_bits(),
             self.pres_fac_mult.to_bits(),
-            self.hist_fac.to_bits(),
+            self.history_cost.to_bits(),
             self.astar_fac.to_bits(),
             self.mode_count,
             self.share_discount.to_bits(),
@@ -173,6 +200,7 @@ impl RouterOptions {
             self.bbox_margin,
             self.hpwl_margin_div,
             u8::from(self.incremental),
+            self.steiner_fanout,
         )
     }
 }
@@ -278,6 +306,26 @@ impl Routing {
     #[must_use]
     pub fn wires_in_mode(&self, rrg: &RoutingGraph, mode: usize) -> usize {
         self.nets.iter().map(|n| n.wires_in_mode(rrg, mode)).sum()
+    }
+
+    /// Names of the nets with at least one sink no path reached
+    /// ([`Routing::unrouted_sinks`] counts them) — what a flow reports
+    /// when it fails the route stage on hard unreachability instead of
+    /// retrying at wider channels.
+    #[must_use]
+    pub fn unreachable_nets<'n>(&self, nets: &'n [RouteNet]) -> Vec<&'n str> {
+        nets.iter()
+            .zip(&self.nets)
+            .filter(|(net, route)| {
+                net.sinks.iter().zip(&route.sink_pos).any(|(sink, &pos)| {
+                    route
+                        .tree
+                        .get(pos as usize)
+                        .is_none_or(|t| t.node != sink.node)
+                })
+            })
+            .map(|(net, _)| net.name.as_str())
+            .collect()
     }
 }
 
@@ -410,9 +458,25 @@ pub(crate) fn net_bbox(
 }
 
 /// Grows a bounding-box margin (on unreachable sinks or persistent
-/// congestion). Doubling-plus-one reaches full-fabric in O(log n) steps.
-pub(crate) fn grow_margin(margin: usize) -> usize {
-    margin.saturating_mul(2).saturating_add(1)
+/// congestion). Doubling-plus-one reaches full-fabric in O(log n) steps;
+/// the result is capped at `extent` (the fabric's `max(max_x, max_y)`),
+/// beyond which a wider margin cannot change any clamped box — growth on
+/// an unroutable sink terminates at the cap instead of "growing" a
+/// saturated `usize::MAX` forever.
+pub(crate) fn grow_margin(margin: usize, extent: usize) -> usize {
+    margin.saturating_mul(2).saturating_add(1).min(extent)
+}
+
+/// The fabric extent `max(max_x, max_y)` of an RRG — the margin value at
+/// which every expansion bounding box covers the whole fabric.
+pub(crate) fn fabric_extent(rrg: &RoutingGraph) -> usize {
+    let (mut max_x, mut max_y) = (0u16, 0u16);
+    for i in 0..rrg.node_count() {
+        let node = rrg.node(RrNodeId::from_index(i as u32));
+        max_x = max_x.max(node.x);
+        max_y = max_y.max(node.y);
+    }
+    usize::from(max_x.max(max_y))
 }
 
 /// The half-perimeter (HPWL) of a net's terminal extent in grid units.
@@ -431,14 +495,24 @@ pub(crate) fn net_hpwl(rrg: &RoutingGraph, net: &RouteNet) -> usize {
 
 /// The initial bounding-box margin of one net under `options`: the fixed
 /// [`RouterOptions::bbox_margin`], widened to `hpwl / hpwl_margin_div`
-/// for nets whose placement extent calls for more slack.
-pub(crate) fn initial_margin(rrg: &RoutingGraph, net: &RouteNet, options: &RouterOptions) -> usize {
+/// for nets whose placement extent calls for more slack. The result is
+/// clamped to `extent` (the fabric's `max(max_x, max_y)`) up front — a
+/// corner-to-corner net otherwise seeds a margin far beyond the fabric
+/// and [`grow_margin`]'s doubling burns growth steps on boxes `net_bbox`
+/// re-clamps every call.
+pub(crate) fn initial_margin(
+    rrg: &RoutingGraph,
+    net: &RouteNet,
+    options: &RouterOptions,
+    extent: usize,
+) -> usize {
     if options.hpwl_margin_div == 0 {
-        return options.bbox_margin;
+        return options.bbox_margin.min(extent);
     }
     options
         .bbox_margin
         .max(net_hpwl(rrg, net) / options.hpwl_margin_div)
+        .min(extent)
 }
 
 /// Per-net initial bounding-box margins seeded from placement geometry
@@ -451,14 +525,127 @@ pub fn seeded_margins(
     nets: &[RouteNet],
     options: &RouterOptions,
 ) -> Vec<usize> {
+    let extent = fabric_extent(rrg);
     nets.iter()
-        .map(|net| initial_margin(rrg, net, options))
+        .map(|net| initial_margin(rrg, net, options, extent))
         .collect()
 }
 
 /// The number of extra iterations nets get to negotiate congestion inside
 /// their initial bounding boxes before the boxes start growing.
 pub(crate) const BBOX_CONGESTION_GRACE: usize = 2;
+
+/// One connection of a rectilinear Steiner decomposition: the sink to
+/// route next and the tree-side attach coordinates that (together with
+/// the sink) span its local search box.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct SteinerSeg {
+    /// Index into [`RouteNet::sinks`].
+    pub(crate) sink: u32,
+    /// Attach-point x (a terminal already in the tree or a Hanan corner).
+    pub(crate) ax: u16,
+    /// Attach-point y.
+    pub(crate) ay: u16,
+}
+
+/// Builds the rectilinear Steiner topology of a high-fanout net: a
+/// Prim-style nearest-terminal sweep over the sink coordinates, with the
+/// Hanan-grid corners of every accepted connection added as future attach
+/// candidates. Returns one segment per sink in connection order; ties are
+/// broken by (sink index, candidate index), so the topology is fully
+/// deterministic. Shared by [`Router`] and [`crate::reference`] so both
+/// route the exact same segments — the Steiner parity proptests rely on
+/// that.
+pub(crate) fn steiner_segments(rrg: &RoutingGraph, net: &RouteNet) -> Vec<SteinerSeg> {
+    let src = rrg.node(net.source);
+    // Attach candidates: terminals already connected plus Hanan corners.
+    let mut cands: Vec<(u16, u16)> = vec![(src.x, src.y)];
+    let mut remaining: Vec<u32> = (0..net.sinks.len() as u32).collect();
+    let mut segs = Vec::with_capacity(net.sinks.len());
+    while !remaining.is_empty() {
+        // (distance, sink index, candidate index) — lexicographic min.
+        let mut best: Option<(u32, u32, usize)> = None;
+        let mut best_at = 0usize;
+        for (ri, &si) in remaining.iter().enumerate() {
+            let s = rrg.node(net.sinks[si as usize].node);
+            for (ci, &(cx, cy)) in cands.iter().enumerate() {
+                let d = u32::from(cx.abs_diff(s.x)) + u32::from(cy.abs_diff(s.y));
+                let key = (d, si, ci);
+                if best.is_none_or(|b| key < b) {
+                    best = Some(key);
+                    best_at = ri;
+                }
+            }
+        }
+        let (_, si, ci) = best.expect("remaining is non-empty");
+        let (cx, cy) = cands[ci];
+        let s = rrg.node(net.sinks[si as usize].node);
+        segs.push(SteinerSeg {
+            sink: si,
+            ax: cx,
+            ay: cy,
+        });
+        // The sink itself and the two Hanan corners of the connection
+        // become attach candidates for the remaining sinks.
+        for p in [(s.x, s.y), (cx, s.y), (s.x, cy)] {
+            if !cands.contains(&p) {
+                cands.push(p);
+            }
+        }
+        remaining.remove(best_at);
+    }
+    segs
+}
+
+/// The local expansion bounding box of one Steiner segment: the extent of
+/// the sink and its attach point, expanded by `margin` and clamped to the
+/// fabric — the Steiner-mode counterpart of [`net_bbox`].
+pub(crate) fn steiner_bbox(
+    rrg: &RoutingGraph,
+    sink: RrNodeId,
+    ax: u16,
+    ay: u16,
+    margin: usize,
+    max_x: u16,
+    max_y: u16,
+) -> BBox {
+    let s = rrg.node(sink);
+    let m = margin.min(usize::from(max_x.max(max_y))) as u16;
+    BBox {
+        x0: s.x.min(ax).saturating_sub(m),
+        y0: s.y.min(ay).saturating_sub(m),
+        x1: s.x.max(ax).saturating_add(m).min(max_x),
+        y1: s.y.max(ay).saturating_add(m).min(max_y),
+    }
+}
+
+/// The coordinates of the routed-tree node nearest (Manhattan) to the
+/// segment's topological attach point. The Steiner sweep picks attach
+/// points on the Hanan grid of the *terminals*, but the tree that
+/// actually got routed need not pass through that corner — anchoring the
+/// segment box here guarantees the local search starts with at least one
+/// seed instead of failing empty and regrowing. Ties keep the earliest
+/// tree node (strict `<`), so the anchor is deterministic. Shared by
+/// [`Router`] and [`crate::reference`].
+pub(crate) fn nearest_tree_point(
+    rrg: &RoutingGraph,
+    tree: &[RouteTreeNode],
+    ax: u16,
+    ay: u16,
+) -> (u16, u16) {
+    let mut best = u32::MAX;
+    let (mut bx, mut by) = (ax, ay);
+    for t in tree {
+        let n = rrg.node(t.node);
+        let d = u32::from(n.x.abs_diff(ax)) + u32::from(n.y.abs_diff(ay));
+        if d < best {
+            best = d;
+            bx = n.x;
+            by = n.y;
+        }
+    }
+    (bx, by)
+}
 
 /// The mode-aware PathFinder router.
 ///
@@ -513,6 +700,18 @@ pub struct Router<'a> {
     touch_generation: u32,
     /// Per-net bounding-box margins of the current `route()` call.
     net_margin: Vec<usize>,
+    /// Per-net Steiner topology of the current `route()` call, computed
+    /// lazily on first use (empty = not yet computed). The topology
+    /// depends only on the static terminal geometry, so rip-up/reroute
+    /// iterations reuse it instead of re-running the Prim sweep.
+    steiner_cache: Vec<Vec<SteinerSeg>>,
+    /// Per-net base margin of the Steiner segment boxes. Starts at
+    /// [`RouterOptions::bbox_margin`] — NOT the HPWL-seeded net margin,
+    /// which scales with the whole net's extent and would make every
+    /// "local" segment box cover most of the fabric on exactly the
+    /// broadcast nets the decomposition targets — and grows only under
+    /// congestion, in step with `net_margin`.
+    steiner_margin: Vec<usize>,
     // ---- timing-driven cost shaping (empty unless requested) ----
     /// Flattened per-sink criticalities of the current
     /// [`Router::route_with_criticality`] call (clamped to
@@ -571,7 +770,7 @@ impl<'a> Router<'a> {
             switch_use: Occupancy::new(rrg.switch_count(), options.mode_count),
             switch_act: vec![ModeSet::EMPTY; rrg.switch_count()],
             history: vec![0.0; n],
-            pres_fac: options.initial_pres_fac,
+            pres_fac: options.pres_fac_first,
             max_x,
             max_y,
             ipin_sink,
@@ -589,6 +788,8 @@ impl<'a> Router<'a> {
             touch_gen: vec![0; n],
             touch_generation: 1,
             net_margin: Vec::new(),
+            steiner_cache: Vec::new(),
+            steiner_margin: Vec::new(),
             crit_dat: Vec::new(),
             crit_idx: Vec::new(),
             sink_crit: 0.0,
@@ -727,6 +928,13 @@ impl<'a> Router<'a> {
         self.options.astar_fac * f64::from(dx + dy)
     }
 
+    /// The fabric extent `max(max_x, max_y)` — the margin cap of
+    /// [`grow_margin`] and [`initial_margin`].
+    #[inline]
+    fn extent(&self) -> usize {
+        usize::from(self.max_x.max(self.max_y))
+    }
+
     /// Marks a node's occupancy as changed since the last overuse
     /// evaluation (deduplicated by stamp).
     #[inline]
@@ -749,9 +957,10 @@ impl<'a> Router<'a> {
         self.crit_dat.clear();
         self.crit_idx.clear();
         self.net_margin.clear();
+        let extent = self.extent();
         for net in nets {
             self.net_margin
-                .push(initial_margin(self.rrg, net, &self.options));
+                .push(initial_margin(self.rrg, net, &self.options, extent));
         }
         self.route_prepared(nets)
     }
@@ -789,9 +998,10 @@ impl<'a> Router<'a> {
             self.crit_idx.push(self.crit_dat.len() as u32);
         }
         self.net_margin.clear();
+        let extent = self.extent();
         for net in nets {
             self.net_margin
-                .push(initial_margin(self.rrg, net, &self.options));
+                .push(initial_margin(self.rrg, net, &self.options, extent));
         }
         self.route_prepared(nets)
     }
@@ -819,7 +1029,12 @@ impl<'a> Router<'a> {
         self.switch_use.counts.fill(0);
         self.switch_act.fill(ModeSet::EMPTY);
         self.history.fill(0.0);
-        self.pres_fac = self.options.initial_pres_fac;
+        self.pres_fac = self.options.pres_fac_first;
+        self.steiner_cache.clear();
+        self.steiner_cache.resize(nets.len(), Vec::new());
+        self.steiner_margin.clear();
+        self.steiner_margin
+            .resize(nets.len(), self.options.bbox_margin.min(self.extent()));
         let mut routes: Vec<NetRoute> = vec![NetRoute::default(); nets.len()];
         let mut iterations = 0;
         let mut success = false;
@@ -840,7 +1055,8 @@ impl<'a> Router<'a> {
                 // gets a wider box: detours the negotiation needs may lie
                 // outside the terminal extent.
                 if congested && iter >= reroute_all + BBOX_CONGESTION_GRACE {
-                    self.net_margin[i] = grow_margin(self.net_margin[i]);
+                    self.net_margin[i] = grow_margin(self.net_margin[i], self.extent());
+                    self.steiner_margin[i] = grow_margin(self.steiner_margin[i], self.extent());
                 }
                 rerouted_any = true;
                 let mut route = std::mem::take(&mut routes[i]);
@@ -887,7 +1103,7 @@ impl<'a> Router<'a> {
                 let max = self.occ.max_all(node);
                 if max > cap {
                     overused_nodes += 1;
-                    self.history[node] += (self.options.hist_fac * f64::from(max - cap)) as f32;
+                    self.history[node] += (self.options.history_cost * f64::from(max - cap)) as f32;
                 }
             }
             self.touched = touched;
@@ -965,11 +1181,69 @@ impl<'a> Router<'a> {
         self.occ.add(net.source.index(), net_act);
         self.touch(net.source.index());
 
+        if self.options.steiner_fanout > 0 && net.sinks.len() >= self.options.steiner_fanout {
+            // High-fanout net: Steiner decomposition into short segments
+            // with local search boxes.
+            self.route_steiner(net, net_index, route);
+            return;
+        }
+
         // Route all sinks farthest-first (better tree quality).
         self.order.clear();
         self.order.extend(0..net.sinks.len() as u32);
         self.sort_sink_order(net);
         self.route_sinks(net, net_index, route);
+    }
+
+    /// Routes one high-fanout net along its rectilinear Steiner topology:
+    /// every segment is an A* search seeded from the whole current tree
+    /// but confined to a small box around (sink, attach point), grown on
+    /// failure like the sink-by-sink path. Stitching is the ordinary tree
+    /// claim, so activation ORs and `sink_pos` mapping are exactly those
+    /// of the sink-by-sink router.
+    fn route_steiner(&mut self, net: &RouteNet, net_index: usize, route: &mut NetRoute) {
+        let rrg = self.rrg;
+        let extent = self.extent();
+        if self.steiner_cache[net_index].is_empty() {
+            self.steiner_cache[net_index] = steiner_segments(rrg, net);
+        }
+        let segs = std::mem::take(&mut self.steiner_cache[net_index]);
+        for seg in &segs {
+            let si = seg.sink as usize;
+            let sink = net.sinks[si];
+            self.sink_crit = self.sink_criticality(net_index, si);
+            if let Some(pos) = self.tree_index(sink.node.index() as u32) {
+                self.extend_activation(&mut route.tree, pos, sink.activation);
+                route.sink_pos[si] = pos;
+                continue;
+            }
+            // Anchor the local box at the tree node nearest the
+            // topological attach point: the routed tree need not pass
+            // through the Hanan corner itself, and a box with no tree
+            // seed inside can only fail-and-regrow. Ties keep the
+            // earliest tree node (strict `<`), so the anchor is
+            // deterministic.
+            let (ax, ay) = nearest_tree_point(rrg, &route.tree, seg.ax, seg.ay);
+            // Local growth only: a hard segment widens its own box
+            // without widening every later segment of the net.
+            let mut margin = self.steiner_margin[net_index];
+            let found = loop {
+                let bbox = steiner_bbox(rrg, sink.node, ax, ay, margin, self.max_x, self.max_y);
+                if self.search(&route.tree, sink.node, sink.activation, bbox) {
+                    break true;
+                }
+                if bbox.covers_fabric(self.max_x, self.max_y) {
+                    break false;
+                }
+                margin = grow_margin(margin, extent);
+            };
+            if found {
+                self.claim_path(route, si, sink.activation);
+            } else {
+                route.sink_pos[si] = 0;
+            }
+        }
+        self.steiner_cache[net_index] = segs;
     }
 
     /// Sorts `self.order` (sink indices of `net`) farthest-first from the
@@ -1118,35 +1392,10 @@ impl<'a> Router<'a> {
                 if bbox.covers_fabric(self.max_x, self.max_y) {
                     break false;
                 }
-                self.net_margin[net_index] = grow_margin(self.net_margin[net_index]);
+                self.net_margin[net_index] = grow_margin(self.net_margin[net_index], self.extent());
             };
             if found {
-                // `self.path` runs from a tree node (first) to the sink
-                // (last); take it so tree mutation can borrow `self`.
-                let path = std::mem::take(&mut self.path);
-                let join = self
-                    .tree_index(path[0].0)
-                    .expect("search starts at a tree node");
-                self.extend_activation(&mut route.tree, join, sink.activation);
-                let mut parent = join;
-                for &(node, switch) in &path[1..] {
-                    let idx = route.tree.len() as u32;
-                    route.tree.push(RouteTreeNode {
-                        node: RrNodeId::from_index(node),
-                        parent: Some(parent),
-                        switch,
-                        activation: sink.activation,
-                    });
-                    self.occ.add(node as usize, sink.activation);
-                    self.touch(node as usize);
-                    if let Some(s) = switch {
-                        self.switch_claim(s, sink.activation);
-                    }
-                    self.set_tree_index(node, idx);
-                    parent = idx;
-                }
-                route.sink_pos[si] = parent;
-                self.path = path;
+                self.claim_path(route, si, sink.activation);
             } else {
                 // Unreachable sink: leave it unrouted; the caller sees
                 // failure through the congestion/overuse check (the
@@ -1156,6 +1405,37 @@ impl<'a> Router<'a> {
             }
         }
         self.order = order;
+    }
+
+    /// Claims the search result in `self.path` (running from a tree node
+    /// to sink `si`'s node) into the net's tree: occupancy, switch and
+    /// tree-index bookkeeping plus the join's activation widening.
+    fn claim_path(&mut self, route: &mut NetRoute, si: usize, act: ModeSet) {
+        // Take the path so tree mutation can borrow `self`.
+        let path = std::mem::take(&mut self.path);
+        let join = self
+            .tree_index(path[0].0)
+            .expect("search starts at a tree node");
+        self.extend_activation(&mut route.tree, join, act);
+        let mut parent = join;
+        for &(node, switch) in &path[1..] {
+            let idx = route.tree.len() as u32;
+            route.tree.push(RouteTreeNode {
+                node: RrNodeId::from_index(node),
+                parent: Some(parent),
+                switch,
+                activation: act,
+            });
+            self.occ.add(node as usize, act);
+            self.touch(node as usize);
+            if let Some(s) = switch {
+                self.switch_claim(s, act);
+            }
+            self.set_tree_index(node, idx);
+            parent = idx;
+        }
+        route.sink_pos[si] = parent;
+        self.path = path;
     }
 
     /// Widens the activation of `pos` and all its ancestors by `act`.
@@ -1574,14 +1854,133 @@ mod tests {
 
     #[test]
     fn bbox_growth_reaches_full_fabric() {
+        let extent = 1_000_000usize;
         let mut m = 0usize;
         let mut steps = 0;
-        while m < 1_000_000 {
-            m = grow_margin(m);
+        while m < extent {
+            m = grow_margin(m, extent);
             steps += 1;
         }
         assert!(steps <= 21, "doubling reaches any fabric quickly");
-        assert_eq!(grow_margin(usize::MAX), usize::MAX, "saturates");
+        // The cap turns the former usize::MAX saturation point into a
+        // fixed point at the fabric extent: growth on an unroutable sink
+        // terminates instead of "growing" a saturated margin forever.
+        assert_eq!(grow_margin(extent, extent), extent, "fixed point at cap");
+        assert_eq!(grow_margin(usize::MAX, extent), extent, "clamped");
+    }
+
+    #[test]
+    fn initial_margin_clamped_to_fabric_extent() {
+        // A corner-to-corner net has HPWL 2·(n+1) on an (n+2)² fabric;
+        // with a tiny divisor its seeded margin would exceed the extent —
+        // the clamp caps it up front so `grow_margin` never burns steps
+        // on boxes `net_bbox` re-clamps anyway.
+        let rrg = arch_rrg(6, 2);
+        let all = ModeSet::of(&[0]);
+        let corner = RouteNet {
+            name: "corner".into(),
+            source: rrg.logic_source(site(1, 1, 0)),
+            sinks: vec![RouteSink {
+                node: rrg.logic_sink(site(6, 6, 0)),
+                activation: all,
+            }],
+        };
+        let extent = fabric_extent(&rrg);
+        let options = RouterOptions {
+            hpwl_margin_div: 1,
+            bbox_margin: usize::MAX,
+            ..RouterOptions::default()
+        };
+        let m = initial_margin(&rrg, &corner, &options, extent);
+        assert_eq!(m, extent, "margin clamped to the fabric extent");
+        let fixed = RouterOptions {
+            hpwl_margin_div: 0,
+            bbox_margin: usize::MAX,
+            ..RouterOptions::default()
+        };
+        assert_eq!(initial_margin(&rrg, &corner, &fixed, extent), extent);
+        // Seeded margins go through the same clamp, and the clamped
+        // margin still routes the corner-to-corner net.
+        let margins = seeded_margins(&rrg, std::slice::from_ref(&corner), &options);
+        assert_eq!(margins, vec![extent]);
+        let routing = Router::new(&rrg, options).route_with_margins(&[corner], &margins);
+        assert!(routing.success, "clamped margin keeps routability");
+    }
+
+    #[test]
+    fn steiner_topology_is_deterministic_and_complete() {
+        let rrg = arch_rrg(8, 2);
+        let all = ModeSet::of(&[0]);
+        let net = RouteNet {
+            name: "bcast".into(),
+            source: rrg.logic_source(site(4, 4, 0)),
+            sinks: (1..=8u16)
+                .map(|x| RouteSink {
+                    node: rrg.logic_sink(site(x, if x % 2 == 0 { 1 } else { 8 }, 0)),
+                    activation: all,
+                })
+                .collect(),
+        };
+        let segs = steiner_segments(&rrg, &net);
+        assert_eq!(segs.len(), net.sinks.len(), "one segment per sink");
+        let mut sinks: Vec<u32> = segs.iter().map(|s| s.sink).collect();
+        sinks.sort_unstable();
+        assert_eq!(sinks, (0..8).collect::<Vec<u32>>(), "every sink covered");
+        assert_eq!(segs, steiner_segments(&rrg, &net), "deterministic");
+        // The first connection attaches at the source.
+        assert_eq!((segs[0].ax, segs[0].ay), (4, 4));
+    }
+
+    #[test]
+    fn steiner_mode_routes_high_fanout_net() {
+        let rrg = arch_rrg(7, 6);
+        let all = ModeSet::of(&[0]);
+        let sinks: Vec<RouteSink> = (0..12)
+            .map(|i| RouteSink {
+                node: rrg.logic_sink(site(1 + (i % 7) as u16, 1 + (i / 2) as u16, 0)),
+                activation: all,
+            })
+            .filter({
+                let src = rrg.logic_sink(site(4, 4, 0));
+                move |s| s.node != src
+            })
+            .collect();
+        let net = RouteNet {
+            name: "bcast".into(),
+            source: rrg.logic_source(site(4, 4, 0)),
+            sinks,
+        };
+        let plain = Router::new(&rrg, RouterOptions::default()).route(std::slice::from_ref(&net));
+        assert!(plain.success);
+        let steiner_opts = RouterOptions::default().with_steiner(4);
+        let steiner = Router::new(&rrg, steiner_opts).route(std::slice::from_ref(&net));
+        assert!(steiner.success, "Steiner mode keeps routability");
+        verify_tree(&rrg, &net, &steiner.nets[0], ModeSpace::new(1));
+        // Below the threshold the gate stays closed: byte-identical.
+        let gated = RouterOptions::default().with_steiner(net.sinks.len() + 1);
+        let off = Router::new(&rrg, gated).route(std::slice::from_ref(&net));
+        assert_eq!(off.iterations, plain.iterations);
+        assert_eq!(off.nets[0].tree, plain.nets[0].tree);
+        assert_eq!(off.nets[0].sink_pos, plain.nets[0].sink_pos);
+    }
+
+    #[test]
+    fn unreachable_nets_reported_by_name() {
+        let rrg = arch_rrg(4, 2);
+        let all = ModeSet::of(&[0]);
+        let ok = RouteNet {
+            name: "ok".into(),
+            source: rrg.logic_source(site(1, 1, 0)),
+            sinks: vec![RouteSink {
+                node: rrg.logic_sink(site(3, 3, 0)),
+                activation: all,
+            }],
+        };
+        let routing = Router::new(&rrg, RouterOptions::default()).route(std::slice::from_ref(&ok));
+        assert!(routing.success);
+        assert!(routing
+            .unreachable_nets(std::slice::from_ref(&ok))
+            .is_empty());
     }
 
     #[test]
@@ -1649,11 +2048,35 @@ mod tests {
             ..RouterOptions::default()
         };
         assert_ne!(a.fingerprint(), b.fingerprint());
-        assert!(a.fingerprint().starts_with("router-v3"));
+        assert!(a.fingerprint().starts_with("router-v4"));
         assert_eq!(
             RouterOptions::default().without_bbox().bbox_margin,
             usize::MAX
         );
+    }
+
+    #[test]
+    fn fingerprint_tracks_steiner_and_cost_schedule() {
+        let a = RouterOptions::default();
+        assert_eq!(a.steiner_fanout, 0, "Steiner mode is off by default");
+        let b = RouterOptions::default().with_steiner(64);
+        assert_eq!(b.steiner_fanout, 64);
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        let c = RouterOptions {
+            pres_fac_first: 0.75,
+            ..RouterOptions::default()
+        };
+        assert_ne!(a.fingerprint(), c.fingerprint());
+        let d = RouterOptions {
+            history_cost: 0.5,
+            ..RouterOptions::default()
+        };
+        assert_ne!(a.fingerprint(), d.fingerprint());
+        let e = RouterOptions {
+            pres_fac_mult: 2.0,
+            ..RouterOptions::default()
+        };
+        assert_ne!(a.fingerprint(), e.fingerprint());
     }
 
     #[test]

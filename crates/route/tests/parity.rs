@@ -56,6 +56,99 @@ fn random_suite(seed: u64) -> Suite {
     Suite { rrg, nets, modes }
 }
 
+/// A high-fanout (broadcast) suite: one net fanning out from a central
+/// driver to many sinks spread over the fabric, plus a few background
+/// nets — the workload shape the Steiner decomposition targets.
+fn broadcast_suite(seed: u64) -> Suite {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = rng.gen_range(6..=9usize);
+    let w = rng.gen_range(4..=6usize);
+    let modes = rng.gen_range(1..=2usize);
+    let rrg = RoutingGraph::build(&Architecture::new(4, n, w));
+    let site =
+        |rng: &mut StdRng| Site::new(rng.gen_range(1..=n) as u16, rng.gen_range(1..=n) as u16, 0);
+    let mut nets = Vec::new();
+    let src_site = site(&mut rng);
+    let fanout = rng.gen_range(8..=16usize);
+    let act = ModeSet::single(rng.gen_range(0..modes));
+    let sinks = (0..fanout)
+        .map(|_| RouteSink {
+            node: rrg.logic_sink(site(&mut rng)),
+            activation: act,
+        })
+        .collect();
+    nets.push(RouteNet {
+        name: "bcast".into(),
+        source: rrg.logic_source(src_site),
+        sinks,
+    });
+    for i in 0..rng.gen_range(0..=3usize) {
+        let source = rrg.logic_source(site(&mut rng));
+        let sinks = (0..rng.gen_range(1..=2usize))
+            .map(|_| RouteSink {
+                node: rrg.logic_sink(site(&mut rng)),
+                activation: ModeSet::single(rng.gen_range(0..modes)),
+            })
+            .collect();
+        nets.push(RouteNet {
+            name: format!("bg{i}"),
+            source,
+            sinks,
+        });
+    }
+    Suite { rrg, nets, modes }
+}
+
+/// A suite engineered for sink-order ties: every net's sinks sit at
+/// equal Manhattan distance from the source (mirrored coordinates), so
+/// the farthest-first order is decided purely by the index tie-break.
+fn equidistant_suite(seed: u64) -> Suite {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = rng.gen_range(5..=7usize);
+    let w = rng.gen_range(2..=4usize);
+    let rrg = RoutingGraph::build(&Architecture::new(4, n, w));
+    let net_count = rng.gen_range(2..=5usize);
+    let mut nets = Vec::new();
+    for i in 0..net_count {
+        let cx = rng.gen_range(2..n) as u16;
+        let cy = rng.gen_range(2..n) as u16;
+        let dmax = (cx - 1)
+            .min(cy - 1)
+            .min(n as u16 - cx)
+            .min(n as u16 - cy)
+            .max(1);
+        let d = rng.gen_range(1..=dmax);
+        // Four sinks at identical distance `2·d` (diagonal mirrors), in
+        // shuffled insertion order so ties actually exercise the sort.
+        let mut corners = vec![
+            (cx + d, cy + d),
+            (cx - d, cy - d),
+            (cx + d, cy - d),
+            (cx - d, cy + d),
+        ];
+        for j in (1..corners.len()).rev() {
+            corners.swap(j, rng.gen_range(0..=j));
+        }
+        let sinks = corners
+            .into_iter()
+            .map(|(x, y)| RouteSink {
+                node: rrg.logic_sink(Site::new(x, y, 0)),
+                activation: ModeSet::single(0),
+            })
+            .collect();
+        nets.push(RouteNet {
+            name: format!("eq{i}"),
+            source: rrg.logic_source(Site::new(cx, cy, 0)),
+            sinks,
+        });
+    }
+    Suite {
+        rrg,
+        nets,
+        modes: 1,
+    }
+}
+
 /// Asserts two routings are byte-identical: same iteration count, same
 /// status, and the same trees node for node.
 fn assert_identical(a: &Routing, b: &Routing) -> Result<(), TestCaseError> {
@@ -222,6 +315,96 @@ proptest! {
                 seed
             );
         }
+    }
+
+    /// With Steiner decomposition off (the default), options that merely
+    /// carry a high `steiner_fanout` threshold no net reaches are
+    /// byte-identical to today's router — the gate adds no side effects.
+    #[test]
+    fn steiner_off_is_byte_identical(seed in 0u64..1_000_000) {
+        let suite = random_suite(seed.wrapping_mul(23).wrapping_add(11));
+        let options = RouterOptions::for_modes(suite.modes);
+        let plain = Router::new(&suite.rrg, options).route(&suite.nets);
+        let gated = Router::new(&suite.rrg, options.with_steiner(usize::MAX))
+            .route(&suite.nets);
+        assert_identical(&plain, &gated)?;
+    }
+
+    /// Steiner-mode parity: high-fanout nets routed via the shared
+    /// Steiner topology are byte-identical between the optimized router
+    /// and the naive reference mirror.
+    #[test]
+    fn steiner_parity(seed in 0u64..1_000_000) {
+        let suite = broadcast_suite(seed);
+        let options = RouterOptions::for_modes(suite.modes).with_steiner(4);
+        let optimized = Router::new(&suite.rrg, options).route(&suite.nets);
+        let reference = route_reference(&suite.rrg, options, &suite.nets);
+        assert_identical(&optimized, &reference)?;
+    }
+
+    /// Steiner decomposition preserves routability and never worsens
+    /// overuse: every broadcast suite the sink-by-sink router resolves,
+    /// the Steiner router resolves too (to zero overuse), and the result
+    /// verifies structurally.
+    #[test]
+    fn steiner_preserves_routability_and_overuse(seed in 0u64..1_000_000) {
+        let suite = broadcast_suite(seed.wrapping_mul(7).wrapping_add(13));
+        let options = RouterOptions::for_modes(suite.modes);
+        let plain = Router::new(&suite.rrg, options).route(&suite.nets);
+        if plain.success {
+            let steiner = Router::new(&suite.rrg, options.with_steiner(4))
+                .route(&suite.nets);
+            prop_assert!(
+                steiner.success,
+                "Steiner mode lost routability (seed {})", seed
+            );
+            prop_assert!(steiner.overused_nodes <= plain.overused_nodes);
+            prop_assert_eq!(steiner.unrouted_sinks, 0);
+            prop_assert!(
+                mm_route::verify_routing(&suite.rrg, &suite.nets, &steiner, suite.modes).is_ok(),
+                "Steiner routing failed structural verification (seed {})", seed
+            );
+        }
+    }
+
+    /// Incremental rip-up on stitched Steiner trees: the subtree pruning
+    /// and lost-sink repair work on Steiner-built trees exactly as they
+    /// do on sink-by-sink trees — full-reroute feasibility is preserved
+    /// and both implementations stay byte-identical.
+    #[test]
+    fn steiner_incremental_ripup_works_on_stitched_trees(seed in 0u64..1_000_000) {
+        let suite = broadcast_suite(seed.wrapping_mul(31).wrapping_add(3));
+        let options = RouterOptions::for_modes(suite.modes).with_steiner(4);
+        let full = Router::new(&suite.rrg, options.with_full_reroute()).route(&suite.nets);
+        let incremental = Router::new(&suite.rrg, options).route(&suite.nets);
+        let reference = route_reference(&suite.rrg, options, &suite.nets);
+        assert_identical(&incremental, &reference)?;
+        if full.success {
+            prop_assert!(
+                incremental.success,
+                "incremental rip-up on Steiner trees lost routability (seed {})", seed
+            );
+        }
+    }
+
+    /// Sink-order tie-breaking is deterministic: suites whose sinks are
+    /// all equidistant from their source route byte-identically across
+    /// implementations and across repeated runs — equal-distance sinks
+    /// order by sink index, not by sort artefacts.
+    #[test]
+    fn equidistant_sink_ordering_is_pinned(seed in 0u64..1_000_000) {
+        let suite = equidistant_suite(seed);
+        let options = RouterOptions::for_modes(suite.modes);
+        let first = Router::new(&suite.rrg, options).route(&suite.nets);
+        let again = Router::new(&suite.rrg, options).route(&suite.nets);
+        assert_identical(&first, &again)?;
+        let reference = route_reference(&suite.rrg, options, &suite.nets);
+        assert_identical(&first, &reference)?;
+        // Steiner selection is tie-broken the same way.
+        let steiner = RouterOptions::for_modes(suite.modes).with_steiner(2);
+        let s1 = Router::new(&suite.rrg, steiner).route(&suite.nets);
+        let s2 = route_reference(&suite.rrg, steiner, &suite.nets);
+        assert_identical(&s1, &s2)?;
     }
 
     /// Explicit HPWL-seeded margins through `route_with_margins` match
